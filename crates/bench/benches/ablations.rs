@@ -1,0 +1,138 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! Each group varies exactly one AMPoM knob and reports the resulting run
+//! (the interesting output is the measured fault/prefetch counts, printed
+//! once per configuration before timing).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ampom_core::migration::Scheme;
+use ampom_core::prefetcher::AmpomConfig;
+use ampom_core::runner::{run_workload, RunConfig};
+use ampom_workloads::sizes::ProblemSize;
+use ampom_workloads::{build_kernel, Kernel};
+
+const BENCH_MB: u64 = 4;
+
+fn run_with(kernel: Kernel, ampom: AmpomConfig) -> ampom_core::RunReport {
+    let size = ProblemSize {
+        problem: 0,
+        memory_mb: BENCH_MB,
+    };
+    let mut w = build_kernel(kernel, &size, 42);
+    let mut cfg = RunConfig::new(Scheme::Ampom);
+    cfg.ampom = ampom;
+    run_workload(w.as_mut(), &cfg)
+}
+
+/// Baseline read-ahead on/off: the knob that gives RandomAccess its 85%+
+/// fault prevention (paper §5.3's "baseline of prefetching aggressiveness").
+fn ablate_baseline_readahead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_baseline_readahead");
+    g.sample_size(10);
+    for baseline in [0u64, 8, 16, 32] {
+        let cfg = AmpomConfig {
+            baseline_readahead: baseline,
+            ..AmpomConfig::default()
+        };
+        let r = run_with(Kernel::RandomAccess, cfg.clone());
+        eprintln!(
+            "RandomAccess baseline={baseline}: {} fault requests, {} prefetched",
+            r.fault_requests, r.pages_prefetched
+        );
+        g.bench_with_input(
+            BenchmarkId::from_parameter(baseline),
+            &cfg,
+            |b, cfg| {
+                b.iter(|| run_with(Kernel::RandomAccess, cfg.clone()).fault_requests)
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Lookback window length `l` (paper uses 20 and admits it is arbitrary).
+fn ablate_window_length(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_window_length");
+    g.sample_size(10);
+    for l in [8usize, 20, 40, 80] {
+        let cfg = AmpomConfig {
+            window_len: l,
+            ..AmpomConfig::default()
+        };
+        let r = run_with(Kernel::Stream, cfg.clone());
+        eprintln!(
+            "STREAM l={l}: {} fault requests, overhead {:.4}%",
+            r.fault_requests,
+            r.analysis_overhead_fraction() * 100.0
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(l), &cfg, |b, cfg| {
+            b.iter(|| run_with(Kernel::Stream, cfg.clone()).total_time)
+        });
+    }
+    g.finish();
+}
+
+/// Maximum analysed stride `dmax` (paper argues 4 suffices because
+/// programs rarely exceed two-level indirection). Uses three interleaved
+/// sequential lanes (positional stride 3): detectable iff dmax ≥ 3, so
+/// the knife edge is visible.
+fn ablate_dmax(c: &mut Criterion) {
+    use ampom_workloads::synthetic::Interleaved;
+    let mut g = c.benchmark_group("ablate_dmax");
+    g.sample_size(10);
+    let run_interleaved = |dmax: usize| {
+        let mut w =
+            Interleaved::new(3, 340, ampom_sim::time::SimDuration::from_micros(15));
+        let mut cfg = RunConfig::new(Scheme::Ampom);
+        cfg.ampom = AmpomConfig {
+            dmax,
+            baseline_readahead: 0,
+            ..AmpomConfig::default()
+        };
+        run_workload(&mut w, &cfg)
+    };
+    for dmax in [1usize, 2, 4, 8] {
+        let r = run_interleaved(dmax);
+        eprintln!(
+            "3 interleaved lanes, dmax={dmax}: {} fault requests, mean S {:.3}",
+            r.fault_requests,
+            r.prefetch_stats.scores.mean()
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(dmax), &dmax, |b, &dmax| {
+            b.iter(|| run_interleaved(dmax).fault_requests)
+        });
+    }
+    g.finish();
+}
+
+/// Zone cap: how far the congestion feedback may inflate one request.
+fn ablate_zone_cap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_zone_cap");
+    g.sample_size(10);
+    for cap in [32u64, 128, 512, 2048] {
+        let cfg = AmpomConfig {
+            max_zone: cap,
+            ..AmpomConfig::default()
+        };
+        let r = run_with(Kernel::Stream, cfg.clone());
+        eprintln!(
+            "STREAM cap={cap}: {} fault requests, total {:.3}s",
+            r.fault_requests,
+            r.total_time.as_secs_f64()
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(cap), &cfg, |b, cfg| {
+            b.iter(|| run_with(Kernel::Stream, cfg.clone()).total_time)
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_baseline_readahead,
+    ablate_window_length,
+    ablate_dmax,
+    ablate_zone_cap
+);
+criterion_main!(benches);

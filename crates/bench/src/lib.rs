@@ -1,0 +1,41 @@
+//! # ampom-bench — benchmark support
+//!
+//! The actual benchmarks live in `benches/`:
+//!
+//! * `algorithm` — microbenchmarks of the AMPoM analysis path (window
+//!   record, stride census, Eq. 1 score, Eq. 3 zone sizing, full
+//!   `on_fault`), grounding the Figure 11 overhead model,
+//! * `figures` — one Criterion group per paper figure, running reduced
+//!   problem sizes so `cargo bench` completes in minutes,
+//! * `ablations` — the design-choice sweeps DESIGN.md calls out (baseline
+//!   read-ahead on/off, lookback window length, `dmax`, prefetch cap).
+//!
+//! This library module only hosts shared helpers.
+
+use ampom_core::migration::Scheme;
+use ampom_core::runner::{run_workload, RunConfig};
+use ampom_core::RunReport;
+use ampom_workloads::sizes::ProblemSize;
+use ampom_workloads::{build_kernel, Kernel};
+
+/// Runs one reduced-size cell for benchmarking (4 MB by default keeps a
+/// single run under ~10 ms).
+pub fn bench_cell(kernel: Kernel, memory_mb: u64, scheme: Scheme) -> RunReport {
+    let size = ProblemSize {
+        problem: 0,
+        memory_mb,
+    };
+    let mut w = build_kernel(kernel, &size, 42);
+    run_workload(w.as_mut(), &RunConfig::new(scheme))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_cell_is_usable() {
+        let r = bench_cell(Kernel::Stream, 4, Scheme::Ampom);
+        assert!(r.total_time.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Migration decision policies and the migration cost model.
+
+use ampom_core::migration::Scheme;
+use ampom_core::scheduler::{freeze_time, post_migration_slowdown};
+use ampom_sim::time::{SimDuration, SimTime};
+
+use crate::job::Job;
+
+/// Which migration mechanism the cluster uses, with its cost model taken
+/// from the single-migration experiments (Figures 5–6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MigrationModel {
+    /// The mechanism.
+    pub scheme: Scheme,
+}
+
+impl MigrationModel {
+    /// Freeze time for migrating `job`.
+    pub fn freeze(&self, job: &Job) -> SimDuration {
+        freeze_time(self.scheme, job.memory_mb)
+    }
+
+    /// Remote-paging tax applied to the job's remaining work.
+    pub fn slowdown(&self) -> f64 {
+        post_migration_slowdown(self.scheme)
+    }
+}
+
+/// Minimum believed load gap before any policy considers migrating: with
+/// a gap of ≤ 2 run-queue entries the move cannot improve mean response
+/// time enough to risk a suboptimal decision on stale information.
+pub const MIN_GAP: f64 = 2.0;
+
+/// Minimum residency after a migration before a job may move again —
+/// openMosix-style stabilization that prevents ping-ponging on stale load
+/// views.
+pub const RESIDENCY: SimDuration = SimDuration::from_secs(10);
+
+/// When a node considers pushing work away.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BalancePolicy {
+    /// Migrate only jobs older than the threshold (Harchol-Balter &
+    /// Downey-style lifetime filtering — the paper's reference \[10\]).
+    LifetimeThreshold(SimDuration),
+    /// Migrate whenever the believed imbalance exceeds one job.
+    Aggressive,
+}
+
+impl BalancePolicy {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BalancePolicy::LifetimeThreshold(_) => "lifetime-threshold",
+            BalancePolicy::Aggressive => "aggressive",
+        }
+    }
+
+    /// Picks the job to migrate from `jobs` (a node's run queue) given the
+    /// believed load gap, or `None` if the policy declines.
+    ///
+    /// Both policies move the job with the most remaining work among the
+    /// eligible ones (it amortises the freeze best); they differ in
+    /// eligibility.
+    pub fn pick_migrant(&self, jobs: &[Job], now: SimTime, load_gap: f64) -> Option<usize> {
+        if load_gap < MIN_GAP {
+            return None;
+        }
+        let rested = |j: &Job| match j.last_migrated {
+            Some(at) => now.saturating_since(at) >= RESIDENCY,
+            None => true,
+        };
+        let eligible = |j: &Job| {
+            rested(j)
+                && match self {
+                    BalancePolicy::LifetimeThreshold(min_age) => j.age(now) >= *min_age,
+                    BalancePolicy::Aggressive => true,
+                }
+        };
+        jobs.iter()
+            .enumerate()
+            .filter(|(_, j)| eligible(j) && !j.is_done())
+            .max_by_key(|(_, j)| j.remaining)
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobId;
+
+    fn job(id: u64, arrived_s: u64, remaining_s: u64) -> Job {
+        let mut j = Job::new(
+            JobId(id),
+            SimTime::ZERO + SimDuration::from_secs(arrived_s),
+            SimDuration::from_secs(remaining_s),
+            115,
+        );
+        j.remaining = SimDuration::from_secs(remaining_s);
+        j
+    }
+
+    #[test]
+    fn aggressive_picks_biggest_remaining() {
+        let jobs = vec![job(1, 0, 10), job(2, 0, 50), job(3, 0, 30)];
+        let now = SimTime::ZERO + SimDuration::from_secs(5);
+        let pick = BalancePolicy::Aggressive.pick_migrant(&jobs, now, 3.0);
+        assert_eq!(pick, Some(1));
+    }
+
+    #[test]
+    fn no_migration_without_imbalance() {
+        let jobs = vec![job(1, 0, 10)];
+        let now = SimTime::ZERO;
+        assert_eq!(BalancePolicy::Aggressive.pick_migrant(&jobs, now, 1.9), None);
+        assert_eq!(BalancePolicy::Aggressive.pick_migrant(&jobs, now, 0.5), None);
+    }
+
+    #[test]
+    fn residency_cooldown_blocks_ping_pong() {
+        let mut j = job(1, 0, 100);
+        j.last_migrated = Some(SimTime::ZERO + SimDuration::from_secs(5));
+        let jobs = vec![j];
+        // 5 s after the move: still resting.
+        let soon = SimTime::ZERO + SimDuration::from_secs(10);
+        assert_eq!(BalancePolicy::Aggressive.pick_migrant(&jobs, soon, 5.0), None);
+        // 15 s after: eligible again.
+        let later = SimTime::ZERO + SimDuration::from_secs(20);
+        assert_eq!(BalancePolicy::Aggressive.pick_migrant(&jobs, later, 5.0), Some(0));
+    }
+
+    #[test]
+    fn threshold_filters_young_jobs() {
+        let jobs = vec![job(1, 9, 100), job(2, 0, 10)];
+        let now = SimTime::ZERO + SimDuration::from_secs(10);
+        let policy = BalancePolicy::LifetimeThreshold(SimDuration::from_secs(5));
+        // Job 1 is 1 s old (too young); job 2 is 10 s old.
+        assert_eq!(policy.pick_migrant(&jobs, now, 3.0), Some(1));
+        // With nothing old enough, decline.
+        let young = vec![job(1, 9, 100)];
+        assert_eq!(policy.pick_migrant(&young, now, 3.0), None);
+    }
+
+    #[test]
+    fn migration_model_costs_track_scheme() {
+        let eager = MigrationModel { scheme: Scheme::OpenMosix };
+        let ampom = MigrationModel { scheme: Scheme::Ampom };
+        let j = job(1, 0, 100);
+        assert!(eager.freeze(&j) > ampom.freeze(&j) * 10);
+        assert_eq!(eager.slowdown(), 0.0);
+        assert!(ampom.slowdown() > 0.0 && ampom.slowdown() < 0.1);
+    }
+}

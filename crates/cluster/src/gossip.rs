@@ -1,0 +1,227 @@
+//! MOSIX/openMosix probabilistic load dissemination.
+//!
+//! openMosix nodes do not query a central server: every time unit each
+//! node sends its own load, plus a random half of what it knows about
+//! other nodes, to one randomly chosen peer (Barak & Litman's MOSIX
+//! information dissemination, inherited by openMosix's oM_infoD). Each
+//! node therefore holds a **stale, partial load vector** — the balancer
+//! must decide from that, not from ground truth. Staleness is the reason
+//! suboptimal migrations happen, which is precisely why the paper argues
+//! cheap freezes matter (§7).
+
+use ampom_sim::rng::SimRng;
+use ampom_sim::time::SimTime;
+
+/// One entry of a node's load vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadEntry {
+    /// The reported load (run-queue length).
+    pub load: f64,
+    /// When the owner measured it.
+    pub measured_at: SimTime,
+}
+
+/// A node's (stale, partial) view of cluster load.
+#[derive(Debug, Clone)]
+pub struct LoadView {
+    entries: Vec<Option<LoadEntry>>,
+    me: usize,
+}
+
+impl LoadView {
+    /// A fresh view for node `me` of an `n`-node cluster: it knows only
+    /// itself.
+    pub fn new(n: usize, me: usize) -> Self {
+        assert!(me < n);
+        let mut entries = vec![None; n];
+        entries[me] = Some(LoadEntry {
+            load: 0.0,
+            measured_at: SimTime::ZERO,
+        });
+        LoadView { entries, me }
+    }
+
+    /// Updates this node's own entry.
+    pub fn set_own(&mut self, load: f64, now: SimTime) {
+        self.entries[self.me] = Some(LoadEntry {
+            load,
+            measured_at: now,
+        });
+    }
+
+    /// Merges a received entry, keeping the fresher measurement.
+    pub fn merge(&mut self, node: usize, entry: LoadEntry) {
+        match self.entries[node] {
+            Some(existing) if existing.measured_at >= entry.measured_at => {}
+            _ => self.entries[node] = Some(entry),
+        }
+    }
+
+    /// The entry for `node`, if known.
+    pub fn entry(&self, node: usize) -> Option<LoadEntry> {
+        self.entries[node]
+    }
+
+    /// How many peers this node knows about (excluding itself).
+    pub fn known_peers(&self) -> usize {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|&(i, e)| i != self.me && e.is_some())
+            .count()
+    }
+
+    /// The least-loaded node this view knows of (other than `me`),
+    /// ignoring entries older than `max_age` relative to `now`.
+    pub fn least_loaded_peer(&self, now: SimTime, max_age: ampom_sim::time::SimDuration) -> Option<(usize, f64)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != self.me)
+            .filter_map(|(i, e)| e.map(|e| (i, e)))
+            .filter(|(_, e)| now.saturating_since(e.measured_at) <= max_age)
+            .map(|(i, e)| (i, e.load))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+    }
+
+    /// A random half of the known entries (the MOSIX gossip payload),
+    /// always including this node's own entry first.
+    pub fn gossip_payload(&self, rng: &mut SimRng) -> Vec<(usize, LoadEntry)> {
+        let mut known: Vec<(usize, LoadEntry)> = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != self.me)
+            .filter_map(|(i, e)| e.map(|e| (i, e)))
+            .collect();
+        rng.shuffle(&mut known);
+        known.truncate(known.len() / 2);
+        let mut payload = vec![(self.me, self.entries[self.me].expect("own entry"))];
+        payload.extend(known);
+        payload
+    }
+}
+
+/// Gossip parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GossipConfig {
+    /// Entries older than this are not trusted for decisions.
+    pub max_age: ampom_sim::time::SimDuration,
+}
+
+impl Default for GossipConfig {
+    fn default() -> Self {
+        GossipConfig {
+            max_age: ampom_sim::time::SimDuration::from_secs(8),
+        }
+    }
+}
+
+/// One gossip round: every node sends its payload to one random peer.
+pub fn gossip_round(views: &mut [LoadView], now: SimTime, rng: &mut SimRng) {
+    let n = views.len();
+    if n < 2 {
+        return;
+    }
+    // Collect sends first so a round is "simultaneous" (no intra-round
+    // relaying), then deliver.
+    let mut deliveries: Vec<(usize, Vec<(usize, LoadEntry)>)> = Vec::with_capacity(n);
+    for (i, view) in views.iter().enumerate() {
+        let mut target = rng.below(n as u64 - 1) as usize;
+        if target >= i {
+            target += 1;
+        }
+        let mut forked = rng.fork(now.as_nanos() ^ i as u64);
+        deliveries.push((target, view.gossip_payload(&mut forked)));
+    }
+    for (target, payload) in deliveries {
+        for (node, entry) in payload {
+            if node != target {
+                views[target].merge(node, entry);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampom_sim::time::SimDuration;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn fresh_view_knows_only_itself() {
+        let v = LoadView::new(8, 3);
+        assert_eq!(v.known_peers(), 0);
+        assert!(v.entry(3).is_some());
+        assert!(v.entry(0).is_none());
+    }
+
+    #[test]
+    fn merge_keeps_fresher_entry() {
+        let mut v = LoadView::new(4, 0);
+        v.merge(1, LoadEntry { load: 5.0, measured_at: t(10) });
+        v.merge(1, LoadEntry { load: 9.0, measured_at: t(5) }); // staler
+        assert_eq!(v.entry(1).unwrap().load, 5.0);
+        v.merge(1, LoadEntry { load: 2.0, measured_at: t(20) }); // fresher
+        assert_eq!(v.entry(1).unwrap().load, 2.0);
+    }
+
+    #[test]
+    fn least_loaded_respects_staleness() {
+        let mut v = LoadView::new(4, 0);
+        v.merge(1, LoadEntry { load: 1.0, measured_at: t(0) });
+        v.merge(2, LoadEntry { load: 3.0, measured_at: t(9) });
+        let now = t(10);
+        // Node 1 is cheaper but its entry is 10 s old; with max_age 8 s it
+        // is distrusted.
+        let pick = v.least_loaded_peer(now, SimDuration::from_secs(8));
+        assert_eq!(pick, Some((2, 3.0)));
+        // With a looser bound node 1 wins.
+        let pick = v.least_loaded_peer(now, SimDuration::from_secs(60));
+        assert_eq!(pick, Some((1, 1.0)));
+    }
+
+    #[test]
+    fn gossip_spreads_information() {
+        let n = 16;
+        let mut views: Vec<LoadView> = (0..n).map(|i| LoadView::new(n, i)).collect();
+        let mut rng = SimRng::seed_from_u64(11);
+        for (i, v) in views.iter_mut().enumerate() {
+            v.set_own(i as f64, t(0));
+        }
+        for round in 0..20 {
+            gossip_round(&mut views, t(round), &mut rng);
+        }
+        // After 20 rounds of push gossip every node should know most of
+        // the cluster.
+        let avg_known: f64 =
+            views.iter().map(|v| v.known_peers() as f64).sum::<f64>() / n as f64;
+        assert!(avg_known > (n - 1) as f64 * 0.7, "avg known {avg_known}");
+    }
+
+    #[test]
+    fn gossip_payload_contains_self_first() {
+        let mut v = LoadView::new(8, 2);
+        v.set_own(4.0, t(1));
+        v.merge(0, LoadEntry { load: 1.0, measured_at: t(1) });
+        v.merge(5, LoadEntry { load: 2.0, measured_at: t(1) });
+        let mut rng = SimRng::seed_from_u64(3);
+        let payload = v.gossip_payload(&mut rng);
+        assert_eq!(payload[0].0, 2);
+        assert_eq!(payload[0].1.load, 4.0);
+        // Half of the two known peers = 1 extra entry.
+        assert_eq!(payload.len(), 2);
+    }
+
+    #[test]
+    fn single_node_cluster_gossips_harmlessly() {
+        let mut views = vec![LoadView::new(1, 0)];
+        let mut rng = SimRng::seed_from_u64(1);
+        gossip_round(&mut views, t(0), &mut rng);
+        assert_eq!(views[0].known_peers(), 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # ampom-cluster — openMosix-style cluster load balancing
+//!
+//! The paper's introduction motivates lightweight migration with "HPC
+//! clusters having thousands of compute nodes with changing loads", and
+//! its §7 concludes that "new scheduling policies can make use of AMPoM on
+//! openMosix to perform more aggressive migrations since the performance
+//! penalty of suboptimal decisions has been dramatically decreased."
+//!
+//! This crate builds the cluster-level substrate needed to measure that
+//! claim at scale:
+//!
+//! * [`gossip`] — MOSIX/openMosix's probabilistic load dissemination:
+//!   each node periodically sends its load vector to a randomly chosen
+//!   peer, so every node has a *stale, partial* view of cluster load —
+//!   exactly the information a real openMosix balancer works from,
+//! * [`job`] — batch jobs with CPU demand and memory footprints,
+//! * [`balancer`] — the migration decision rule (greedy: move work toward
+//!   the least-loaded *known* node when the imbalance justifies it),
+//! * [`simulation`] — the tick-driven cluster simulator combining
+//!   arrivals, gossip, decisions, processor-sharing execution and the
+//!   migration cost model calibrated from the paper's Figure 5/6 results.
+//!
+//! The headline experiment (`hpcc-repro ext-cluster`, and
+//! `examples/cluster_balance.rs`) compares eager-openMosix migration
+//! against AMPoM migration under both conservative and aggressive
+//! policies on a skewed-arrival cluster.
+
+pub mod balancer;
+pub mod gossip;
+pub mod job;
+pub mod simulation;
+
+pub use balancer::{BalancePolicy, MigrationModel};
+pub use gossip::{GossipConfig, LoadView};
+pub use job::{Job, JobId};
+pub use simulation::{simulate, ClusterConfig, ClusterOutcome};

@@ -1,0 +1,121 @@
+//! Property tests for the cluster substrate.
+
+use ampom_cluster::gossip::{gossip_round, LoadEntry, LoadView};
+use ampom_cluster::{simulate, BalancePolicy, ClusterConfig};
+use ampom_core::migration::Scheme;
+use ampom_sim::rng::SimRng;
+use ampom_sim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn gossip_eventually_informs_everyone(n in 4usize..24, seed in 0u64..100) {
+        let mut views: Vec<LoadView> = (0..n).map(|i| LoadView::new(n, i)).collect();
+        let mut rng = SimRng::seed_from_u64(seed);
+        for (i, v) in views.iter_mut().enumerate() {
+            v.set_own(i as f64, SimTime::ZERO);
+        }
+        // Push gossip spreads in O(log n) rounds w.h.p.; 4·n rounds is
+        // overwhelming.
+        for round in 0..(4 * n as u64) {
+            gossip_round(
+                &mut views,
+                SimTime::ZERO + SimDuration::from_secs(round),
+                &mut rng,
+            );
+        }
+        for v in &views {
+            prop_assert!(
+                v.known_peers() >= (n - 1) / 2,
+                "a node knows only {} of {} peers",
+                v.known_peers(),
+                n - 1
+            );
+        }
+    }
+
+    #[test]
+    fn gossip_never_invents_or_ages_entries(
+        n in 3usize..12,
+        rounds in 1u64..30,
+        seed in 0u64..50,
+    ) {
+        let mut views: Vec<LoadView> = (0..n).map(|i| LoadView::new(n, i)).collect();
+        let mut rng = SimRng::seed_from_u64(seed);
+        for (i, v) in views.iter_mut().enumerate() {
+            v.set_own(10.0 + i as f64, SimTime::ZERO);
+        }
+        for round in 0..rounds {
+            gossip_round(
+                &mut views,
+                SimTime::ZERO + SimDuration::from_secs(round),
+                &mut rng,
+            );
+        }
+        // Every known entry matches the owner's true load (loads never
+        // changed, so any deviation means corruption in transit).
+        for v in &views {
+            for node in 0..n {
+                if let Some(e) = v.entry(node) {
+                    prop_assert_eq!(e.load, 10.0 + node as f64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_never_regresses_freshness(
+        loads in prop::collection::vec((0f64..100.0, 0u64..1000), 1..40),
+    ) {
+        let mut v = LoadView::new(4, 0);
+        let mut freshest = None;
+        for &(load, at_s) in &loads {
+            let at = SimTime::ZERO + SimDuration::from_secs(at_s);
+            v.merge(1, LoadEntry { load, measured_at: at });
+            match freshest {
+                None => freshest = Some((at, load)),
+                Some((best, _)) if at > best => freshest = Some((at, load)),
+                _ => {}
+            }
+            let entry = v.entry(1).unwrap();
+            let (best_at, best_load) = freshest.unwrap();
+            prop_assert_eq!(entry.measured_at, best_at);
+            prop_assert_eq!(entry.load, best_load);
+        }
+    }
+
+    #[test]
+    fn cluster_conserves_jobs(jobs in 5usize..40, seed in 0u64..20) {
+        let mut cfg = ClusterConfig::standard(BalancePolicy::Aggressive, Scheme::Ampom);
+        cfg.nodes = 6;
+        cfg.jobs = jobs;
+        cfg.seed = seed;
+        let out = simulate(&cfg);
+        prop_assert_eq!(out.completions.len(), jobs);
+        // Every job's slowdown is at least ~1 (it cannot finish faster
+        // than its demand).
+        for c in &out.completions {
+            prop_assert!(c.slowdown() > 0.99, "slowdown {}", c.slowdown());
+        }
+    }
+
+    #[test]
+    fn ampom_cluster_never_pays_more_freeze_than_eager(seed in 0u64..10) {
+        let mk = |scheme| {
+            let mut cfg = ClusterConfig::standard(BalancePolicy::Aggressive, scheme);
+            cfg.nodes = 6;
+            cfg.jobs = 20;
+            cfg.seed = seed;
+            simulate(&cfg)
+        };
+        let ampom = mk(Scheme::Ampom);
+        let eager = mk(Scheme::OpenMosix);
+        if ampom.migrations > 0 && eager.migrations > 0 {
+            let ampom_per = ampom.freeze_paid.as_secs_f64() / ampom.migrations as f64;
+            let eager_per = eager.freeze_paid.as_secs_f64() / eager.migrations as f64;
+            prop_assert!(ampom_per < eager_per);
+        }
+    }
+}

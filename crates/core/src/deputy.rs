@@ -1,0 +1,201 @@
+//! The deputy process on the home node.
+//!
+//! Paper §2.2: after migration "the original process instance will be
+//! switched to a 'deputy' process which only answers remote paging
+//! requests and executes system calls on behalf of the migrant".
+//!
+//! [`Deputy`] models the home-node side of the protocol: it serves paging
+//! requests (page-table walk + copy into the socket buffer per page, then
+//! FIFO transmission on the reply link) and forwards system calls — the
+//! "home dependency" the paper's §7 flags as the main cost for
+//! I/O-intensive applications.
+
+use ampom_mem::page::PageId;
+use ampom_mem::table::{PageLocation, PageTablePair};
+use ampom_sim::time::{SimDuration, SimTime};
+
+use crate::cluster::NetPath;
+
+/// Per-page service cost at the deputy: HPT lookup, page-table walk, copy
+/// into an skb and socket submission on a 2.4-era kernel.
+pub const PAGE_SERVICE_COST: SimDuration = SimDuration::from_micros(30);
+
+/// Fixed cost to parse one paging request.
+pub const REQUEST_PARSE_COST: SimDuration = SimDuration::from_micros(10);
+
+/// CPU cost of executing a forwarded system call at the home node
+/// (getpid-class; I/O calls pass `work` explicitly).
+pub const SYSCALL_EXEC_COST: SimDuration = SimDuration::from_micros(20);
+
+/// One served page: which page, and when it lands at the destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServedPage {
+    /// The page sent.
+    pub page: PageId,
+    /// Arrival time at the destination node.
+    pub arrives: SimTime,
+}
+
+/// The home-node deputy.
+#[derive(Debug, Default)]
+pub struct Deputy {
+    /// When the deputy finishes its current work (requests queue behind
+    /// one another — it is a single kernel thread).
+    busy_until: SimTime,
+    /// Pages served over this deputy's lifetime.
+    pages_served: u64,
+    /// Requests answered.
+    requests_served: u64,
+    /// Syscalls forwarded.
+    syscalls_served: u64,
+}
+
+impl Deputy {
+    /// A fresh deputy.
+    pub fn new() -> Self {
+        Deputy::default()
+    }
+
+    /// Serves a paging request that arrived at the home node at
+    /// `arrival`, asking for `pages`. Updates the page-table pair (the
+    /// origin's copy is deleted as each page ships, §2.2) and enqueues the
+    /// replies on the path. Returns per-page destination arrival times in
+    /// request order.
+    ///
+    /// Pages not stored at the origin (already shipped, or created at the
+    /// destination) are skipped defensively — the migrant's request may
+    /// race a previous transfer.
+    pub fn serve_request(
+        &mut self,
+        arrival: SimTime,
+        pages: &[PageId],
+        table: &mut PageTablePair,
+        path: &mut NetPath,
+    ) -> Vec<ServedPage> {
+        self.requests_served += 1;
+        let mut start = arrival.max(self.busy_until) + REQUEST_PARSE_COST;
+        let mut served = Vec::with_capacity(pages.len());
+        for &page in pages {
+            if table.lookup(page) != Some(PageLocation::Origin) {
+                continue;
+            }
+            start += PAGE_SERVICE_COST;
+            table.transfer_to_destination(page);
+            let arrives = path.send_page(start);
+            self.pages_served += 1;
+            served.push(ServedPage { page, arrives });
+        }
+        self.busy_until = start;
+        served
+    }
+
+    /// Forwards a system call issued by the migrant at `now`: control
+    /// message to the home node, execution there (`SYSCALL_EXEC_COST` plus
+    /// the call's own `work`), result message back. Returns when the
+    /// migrant can continue.
+    pub fn forward_syscall(
+        &mut self,
+        now: SimTime,
+        work: SimDuration,
+        path: &mut NetPath,
+    ) -> SimTime {
+        self.syscalls_served += 1;
+        let at_home = path.send_control_to_home(now, 128);
+        let start = at_home.max(self.busy_until);
+        let done = start + SYSCALL_EXEC_COST + work;
+        self.busy_until = done;
+        path.send_control_to_dest(done, 128)
+    }
+
+    /// Pages served so far.
+    pub fn pages_served(&self) -> u64 {
+        self.pages_served
+    }
+
+    /// Requests answered so far.
+    pub fn requests_served(&self) -> u64 {
+        self.requests_served
+    }
+
+    /// Syscalls forwarded so far.
+    pub fn syscalls_served(&self) -> u64 {
+        self.syscalls_served
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampom_net::calibration::fast_ethernet;
+
+    fn setup(pages: u64) -> (Deputy, PageTablePair, NetPath) {
+        (
+            Deputy::new(),
+            PageTablePair::at_migration((0..pages).map(PageId)),
+            NetPath::new(fast_ethernet()),
+        )
+    }
+
+    #[test]
+    fn serves_pages_in_order_with_pipelined_arrivals() {
+        let (mut d, mut t, mut p) = setup(10);
+        let req: Vec<PageId> = (0..4).map(PageId).collect();
+        let served = d.serve_request(SimTime::ZERO, &req, &mut t, &mut p);
+        assert_eq!(served.len(), 4);
+        for w in served.windows(2) {
+            assert!(w[1].arrives > w[0].arrives);
+        }
+        // The page table no longer stores them at the origin.
+        for s in &served {
+            assert_eq!(t.lookup(s.page), Some(PageLocation::Destination));
+        }
+        assert_eq!(d.pages_served(), 4);
+    }
+
+    #[test]
+    fn already_transferred_pages_are_skipped() {
+        let (mut d, mut t, mut p) = setup(4);
+        t.transfer_to_destination(PageId(1));
+        let served = d.serve_request(SimTime::ZERO, &[PageId(0), PageId(1)], &mut t, &mut p);
+        assert_eq!(served.len(), 1);
+        assert_eq!(served[0].page, PageId(0));
+    }
+
+    #[test]
+    fn unmapped_pages_are_skipped() {
+        let (mut d, mut t, mut p) = setup(2);
+        let served = d.serve_request(SimTime::ZERO, &[PageId(99)], &mut t, &mut p);
+        assert!(served.is_empty());
+        assert_eq!(d.requests_served(), 1);
+    }
+
+    #[test]
+    fn requests_queue_behind_each_other() {
+        let (mut d, mut t, mut p) = setup(100);
+        let big: Vec<PageId> = (0..50).map(PageId).collect();
+        let first = d.serve_request(SimTime::ZERO, &big, &mut t, &mut p);
+        let second = d.serve_request(SimTime::ZERO, &[PageId(60)], &mut t, &mut p);
+        assert!(second[0].arrives > first.last().unwrap().arrives);
+    }
+
+    #[test]
+    fn syscall_round_trip_exceeds_rtt() {
+        let (mut d, _t, mut p) = setup(1);
+        let done = d.forward_syscall(SimTime::ZERO, SimDuration::ZERO, &mut p);
+        assert!(done.since(SimTime::ZERO) >= p.latency() * 2);
+        assert_eq!(d.syscalls_served(), 1);
+    }
+
+    #[test]
+    fn syscall_work_adds_to_latency() {
+        let (mut d, _t, mut p) = setup(1);
+        let quick = d.forward_syscall(SimTime::ZERO, SimDuration::ZERO, &mut p);
+        let (mut d2, _t2, mut p2) = setup(1);
+        let slow = d2.forward_syscall(
+            SimTime::ZERO,
+            SimDuration::from_millis(5),
+            &mut p2,
+        );
+        assert!(slow.since(SimTime::ZERO) > quick.since(SimTime::ZERO) + SimDuration::from_millis(4));
+    }
+}

@@ -1,0 +1,75 @@
+//! # ampom-core — lightweight process migration and adaptive memory
+//! prefetching
+//!
+//! The primary contribution of Ho, Wang & Lau, *"Lightweight Process
+//! Migration and Memory Prefetching in openMosix"* (IPDPS 2008),
+//! reimplemented as a library over the simulated substrates in
+//! `ampom-sim` / `ampom-net` / `ampom-mem` / `ampom-workloads`.
+//!
+//! ## The algorithm (paper §3)
+//!
+//! After a lightweight migration moves only three pages (plus the master
+//! page table), the migrant demand-pages from its home node. AMPoM hides
+//! those round trips by prefetching the migrant's **dependent zone**:
+//!
+//! 1. every page fault is recorded in a [`window::LookbackWindow`] of
+//!    length 20 together with its time and the CPU utilisation,
+//! 2. a [`census`] finds stride-1…4 reference streams in the window and
+//!    the *outstanding* (still live) streams with their pivots,
+//! 3. the [`score`] module computes the spatial locality score
+//!    `S = Σ stride_d/(l·d)` (Eq. 1),
+//! 4. the [`zone`] module sizes the dependent zone
+//!    `N = (c'/c)·S·r·(2t0 + td + 1/r)` (Eq. 3) and splits it across the
+//!    pivots,
+//! 5. the [`prefetcher::AmpomPrefetcher`] batches the missing zone pages
+//!    into the remote paging request sent at the fault.
+//!
+//! ## The system (paper §2)
+//!
+//! * [`migration`] — the freeze-time mechanisms of openMosix, NoPrefetch,
+//!   AMPoM and the original FFA (Figure 2),
+//! * [`deputy`] — the home-node deputy serving remote paging and forwarded
+//!   system calls,
+//! * [`monitor`] — the modified oM_infoD measuring RTT and available
+//!   bandwidth,
+//! * [`cluster`] — the two-node network path with NIC counters and
+//!   optional cross traffic,
+//! * [`runner`] — the discrete-event experiment runner producing
+//!   [`metrics::RunReport`]s,
+//! * [`scheduler`] — the §7 future-work sketch: load-balancing policies
+//!   that exploit cheap migrations.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ampom_core::migration::Scheme;
+//! use ampom_core::runner::{run_workload, RunConfig};
+//! use ampom_sim::time::SimDuration;
+//! use ampom_workloads::synthetic::Sequential;
+//!
+//! let mut workload = Sequential::new(512, SimDuration::from_micros(10));
+//! let report = run_workload(&mut workload, &RunConfig::new(Scheme::Ampom));
+//! assert!(report.pages_prefetched > 0);
+//! assert!(report.freeze_time < SimDuration::from_millis(200));
+//! ```
+
+pub mod census;
+pub mod cluster;
+pub mod deputy;
+pub mod metrics;
+pub mod migration;
+pub mod monitor;
+pub mod prefetcher;
+pub mod remigration;
+pub mod runner;
+pub mod scheduler;
+pub mod validate;
+pub mod score;
+pub mod vm;
+pub mod window;
+pub mod zone;
+
+pub use metrics::RunReport;
+pub use migration::Scheme;
+pub use prefetcher::{AmpomConfig, AmpomPrefetcher};
+pub use runner::{run_workload, RunConfig};

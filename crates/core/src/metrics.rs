@@ -1,0 +1,201 @@
+//! Measurements of one experiment run — everything the paper's Figures
+//! 5–11 report, collected in one place.
+
+use ampom_sim::stats::TimeSeries;
+use ampom_sim::time::SimDuration;
+use ampom_sim::trace::Trace;
+
+use crate::migration::Scheme;
+use crate::prefetcher::PrefetchStats;
+
+/// The full measurement record of one (workload, scheme) run.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Scheme under test.
+    pub scheme: Scheme,
+    /// Workload name (paper spelling).
+    pub workload: String,
+    /// Program size in MB (the figures' x axis).
+    pub program_mb: u64,
+
+    /// Migration freeze time (Figure 5).
+    pub freeze_time: SimDuration,
+    /// Wall time from migration start to workload completion (Figure 6's
+    /// "total execution time").
+    pub total_time: SimDuration,
+    /// CPU time the workload actually computed.
+    pub compute_time: SimDuration,
+    /// Time the migrant spent stalled on remote pages.
+    pub stall_time: SimDuration,
+
+    /// Page faults taken on the destination (any kind).
+    pub faults_total: u64,
+    /// Remote paging requests that carried a demanded (faulted) page —
+    /// the "number of page fault requests" of Figure 7.
+    pub fault_requests: u64,
+    /// Requests that carried only prefetch pages.
+    pub prefetch_only_requests: u64,
+    /// Pages fetched on demand (the faulted page itself).
+    pub pages_demand_fetched: u64,
+    /// Pages delivered by prefetching (Figure 8's numerator).
+    pub pages_prefetched: u64,
+    /// Prefetched pages that were installed and then actually touched.
+    pub prefetched_pages_used: u64,
+    /// Pages created locally by first-touch allocation.
+    pub pages_local_alloc: u64,
+    /// System calls forwarded to the home-node deputy.
+    pub syscalls_forwarded: u64,
+    /// Wall time spent blocked on forwarded system calls.
+    pub syscall_time: SimDuration,
+    /// Pages evicted under memory pressure (pushed back to the origin).
+    pub pages_evicted: u64,
+
+    /// Bytes received by the destination over the run (replies + bulk).
+    pub bytes_to_dest: u64,
+    /// Bytes sent by the destination (requests, control).
+    pub bytes_from_dest: u64,
+    /// MPT bytes shipped at freeze (AMPoM only).
+    pub mpt_bytes: u64,
+
+    /// Cumulative time spent in AMPoM's dependent-zone analysis
+    /// (Figure 11's numerator).
+    pub analysis_time: SimDuration,
+    /// Number of analyses executed.
+    pub analysis_count: u64,
+    /// Prefetcher-internal statistics (scores, N distribution).
+    pub prefetch_stats: PrefetchStats,
+
+    /// Optional event timeline (Figure 2).
+    pub trace: Trace,
+    /// Optional sampled time series (enable with
+    /// `RunConfig::sample_series`).
+    pub series: Option<RunSeries>,
+}
+
+/// Sampled time series over one run, for timeline plots: how the
+/// in-flight pipeline, resident set and prefetch aggressiveness evolve.
+#[derive(Debug, Default)]
+pub struct RunSeries {
+    /// Pages in flight (requested, not yet arrived).
+    pub in_flight: TimeSeries,
+    /// Resident pages at the destination.
+    pub resident: TimeSeries,
+    /// The zone budget chosen at sampled faults.
+    pub zone_budget: TimeSeries,
+    /// Reply-link utilisation since the start of the run.
+    pub link_utilization: TimeSeries,
+}
+
+impl RunReport {
+    /// Prefetched pages per page-fault request — the Figure 8 metric.
+    pub fn prefetched_per_fault(&self) -> f64 {
+        if self.fault_requests == 0 {
+            0.0
+        } else {
+            self.pages_prefetched as f64 / self.fault_requests as f64
+        }
+    }
+
+    /// Analysis overhead as a fraction of total execution time — the
+    /// Figure 11 metric.
+    pub fn analysis_overhead_fraction(&self) -> f64 {
+        let total = self.total_time.as_secs_f64();
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.analysis_time.as_secs_f64() / total
+        }
+    }
+
+    /// Fraction of this run's fault requests avoided relative to a
+    /// baseline run (Figure 7's headline percentages: AMPoM vs NoPrefetch).
+    pub fn fault_prevention_vs(&self, baseline: &RunReport) -> f64 {
+        if baseline.fault_requests == 0 {
+            return 0.0;
+        }
+        1.0 - self.fault_requests as f64 / baseline.fault_requests as f64
+    }
+
+    /// Percentage increase of total execution time relative to a baseline
+    /// run (Figure 9's y axis).
+    pub fn exec_increase_vs(&self, baseline: &RunReport) -> f64 {
+        let b = baseline.total_time.as_secs_f64();
+        if b <= 0.0 {
+            return 0.0;
+        }
+        (self.total_time.as_secs_f64() - b) / b * 100.0
+    }
+
+    /// Fraction of prefetched pages that were eventually used (prefetch
+    /// accuracy; the paper argues AMPoM avoids excessive prefetching).
+    pub fn prefetch_accuracy(&self) -> f64 {
+        if self.pages_prefetched == 0 {
+            return 1.0;
+        }
+        self.prefetched_pages_used as f64 / self.pages_prefetched as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampom_sim::trace::Trace;
+
+    fn report(fault_requests: u64, total_secs: u64) -> RunReport {
+        RunReport {
+            scheme: Scheme::Ampom,
+            workload: "TEST".into(),
+            program_mb: 100,
+            freeze_time: SimDuration::from_millis(70),
+            total_time: SimDuration::from_secs(total_secs),
+            compute_time: SimDuration::from_secs(total_secs / 2),
+            stall_time: SimDuration::ZERO,
+            faults_total: fault_requests * 2,
+            fault_requests,
+            prefetch_only_requests: 0,
+            pages_demand_fetched: fault_requests,
+            pages_prefetched: fault_requests * 10,
+            prefetched_pages_used: fault_requests * 9,
+            pages_local_alloc: 0,
+            syscalls_forwarded: 0,
+            syscall_time: SimDuration::ZERO,
+            pages_evicted: 0,
+            bytes_to_dest: 0,
+            bytes_from_dest: 0,
+            mpt_bytes: 0,
+            analysis_time: SimDuration::from_millis(100),
+            analysis_count: fault_requests * 2,
+            prefetch_stats: PrefetchStats::default(),
+            trace: Trace::disabled(),
+            series: None,
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = report(100, 50);
+        assert!((r.prefetched_per_fault() - 10.0).abs() < 1e-12);
+        assert!((r.analysis_overhead_fraction() - 0.1 / 50.0).abs() < 1e-12);
+        assert!((r.prefetch_accuracy() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comparisons_against_baseline() {
+        let ampom = report(100, 55);
+        let nopf = report(1000, 50);
+        assert!((ampom.fault_prevention_vs(&nopf) - 0.9).abs() < 1e-12);
+        assert!((ampom.exec_increase_vs(&nopf) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_divide_by_zero() {
+        let mut r = report(0, 0);
+        r.pages_prefetched = 0;
+        assert_eq!(r.prefetched_per_fault(), 0.0);
+        assert_eq!(r.analysis_overhead_fraction(), 0.0);
+        assert_eq!(r.prefetch_accuracy(), 1.0);
+        let base = report(0, 0);
+        assert_eq!(r.fault_prevention_vs(&base), 0.0);
+        assert_eq!(r.exec_increase_vs(&base), 0.0);
+    }
+}

@@ -1,0 +1,176 @@
+//! The modified oM_infoD (resource discovery and monitoring daemon).
+//!
+//! Paper §2.4 and §4: the daemon measures the two network quantities Eq. 3
+//! needs —
+//!
+//! * **round-trip time**: "found by measuring how long it would take to
+//!   receive an acknowledgement from a remote node after a load update is
+//!   sent out from the oM_infoD" — [`MonitorDaemon::advance`] issues
+//!   periodic load-update probes over the real (simulated) links, so
+//!   congestion shows up in the estimate;
+//! * **available bandwidth**: "determined by a comparison of the current
+//!   and past values of the 'RX/TX bytes' fields outputted by the
+//!   /sbin/ifconfig command. This comparison is done every time when the
+//!   lookback window is 'looped' once" — [`MonitorDaemon::on_window_wrap`]
+//!   diffs the destination NIC's counters.
+//!
+//! Like the real daemon (which reads raw ifconfig counters), the bandwidth
+//! estimate does **not** separate the migrant's own paging traffic from
+//! foreign traffic: when prefetch replies saturate the link, the estimator
+//! reports little available bandwidth, `td` inflates, and Eq. 3 responds by
+//! prefetching *more* per request — the "prefetch more aggressively when
+//! the network is busy" behaviour of §1/§3.5.
+
+use ampom_net::calibration::{PAGE_SIZE, REPLY_HEADER_BYTES};
+use ampom_net::probe::{BandwidthEstimator, RttProber};
+use ampom_sim::time::{SimDuration, SimTime};
+
+use crate::cluster::NetPath;
+use crate::prefetcher::NetEstimates;
+
+/// Period between load-update probes (openMosix gossips load roughly once
+/// a second).
+pub const PROBE_PERIOD: SimDuration = SimDuration::from_secs(1);
+
+/// Wire size of a load-update / ack message.
+pub const PROBE_BYTES: u64 = 64;
+
+/// The migrant-side monitoring daemon.
+#[derive(Debug)]
+pub struct MonitorDaemon {
+    rtt: RttProber,
+    bandwidth: BandwidthEstimator,
+    next_probe_at: SimTime,
+    last_wrap_seen: u64,
+    /// Fallback one-way latency until the first probe completes.
+    fallback_t0: SimDuration,
+}
+
+impl MonitorDaemon {
+    /// Creates a daemon for a path; the fallback latency and capacity are
+    /// taken from the link configuration (a node knows its NIC speed).
+    pub fn new(path: &NetPath) -> Self {
+        let cfg = path.config();
+        MonitorDaemon {
+            rtt: RttProber::new(),
+            bandwidth: BandwidthEstimator::new(cfg.capacity_bytes_per_sec),
+            next_probe_at: SimTime::ZERO,
+            last_wrap_seen: 0,
+            fallback_t0: cfg.latency,
+        }
+    }
+
+    /// Runs any probes that are due by `now`. Probes ride the real links,
+    /// so their acks reflect current queueing.
+    pub fn advance(&mut self, now: SimTime, path: &mut NetPath) {
+        while self.next_probe_at <= now {
+            let sent_at = self.next_probe_at;
+            let id = self.rtt.probe_sent(sent_at);
+            let at_home = path.send_control_to_home(sent_at, PROBE_BYTES);
+            let ack_at = path.send_control_to_dest(at_home, PROBE_BYTES);
+            self.rtt.ack_received(id, ack_at);
+            self.next_probe_at = sent_at + PROBE_PERIOD;
+        }
+    }
+
+    /// Samples the bandwidth estimator if the lookback window has wrapped
+    /// since the last sample (the §4 schedule). Returns `true` if a sample
+    /// was taken.
+    pub fn on_window_wrap(&mut self, now: SimTime, wraps: u64, path: &NetPath) -> bool {
+        if wraps <= self.last_wrap_seen {
+            return false;
+        }
+        self.last_wrap_seen = wraps;
+        // Raw ifconfig semantics: total observed bytes, own traffic not
+        // subtracted (own_bytes = 0 tells the estimator everything it saw
+        // is "foreign").
+        self.bandwidth.sample(now, path.dest_nic_snapshot(), 0);
+        true
+    }
+
+    /// The current `t0`/`td` estimates for Eq. 3.
+    pub fn estimates(&self) -> NetEstimates {
+        let t0 = self.rtt.t0().unwrap_or(self.fallback_t0);
+        let td = self.bandwidth.transfer_time(PAGE_SIZE + REPLY_HEADER_BYTES);
+        NetEstimates { t0, td }
+    }
+
+    /// The available-bandwidth estimate, bytes/s.
+    pub fn available_bandwidth(&self) -> u64 {
+        self.bandwidth.available()
+    }
+
+    /// The smoothed RTT, if measured.
+    pub fn rtt(&self) -> Option<SimDuration> {
+        self.rtt.rtt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampom_net::calibration::fast_ethernet;
+
+    #[test]
+    fn estimates_start_from_link_config() {
+        let path = NetPath::new(fast_ethernet());
+        let m = MonitorDaemon::new(&path);
+        let e = m.estimates();
+        assert_eq!(e.t0, fast_ethernet().latency);
+        // Full capacity → td ≈ 4128 B / 11.2 MB/s ≈ 369 µs.
+        assert!(e.td > SimDuration::from_micros(300));
+        assert!(e.td < SimDuration::from_micros(450));
+    }
+
+    #[test]
+    fn probes_measure_rtt() {
+        let mut path = NetPath::new(fast_ethernet());
+        let mut m = MonitorDaemon::new(&path);
+        m.advance(SimTime::ZERO, &mut path);
+        let rtt = m.rtt().expect("first probe completed");
+        assert!(rtt >= fast_ethernet().latency * 2);
+        assert!(rtt < SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn probe_schedule_is_periodic() {
+        let mut path = NetPath::new(fast_ethernet());
+        let mut m = MonitorDaemon::new(&path);
+        let later = SimTime::ZERO + SimDuration::from_secs(5) + SimDuration::from_millis(1);
+        m.advance(later, &mut path);
+        // Probes at 0,1,2,3,4,5 s → 6 probes, each two control messages.
+        assert_eq!(path.dest_nic_snapshot().tx_bytes, 6 * PROBE_BYTES);
+    }
+
+    #[test]
+    fn saturated_link_shrinks_available_bandwidth() {
+        let mut path = NetPath::new(fast_ethernet());
+        let mut m = MonitorDaemon::new(&path);
+        let t0 = SimTime::ZERO;
+        m.on_window_wrap(t0, 1, &path); // first sample (baseline)
+        // Saturate the reply link for one second.
+        let mut at = t0;
+        for _ in 0..2800 {
+            at = path.send_page(at.min(t0 + SimDuration::from_secs(1)));
+        }
+        let t1 = t0 + SimDuration::from_secs(1);
+        assert!(m.on_window_wrap(t1, 2, &path));
+        let avail = m.available_bandwidth();
+        assert!(
+            avail < fast_ethernet().capacity_bytes_per_sec / 2,
+            "saturation must be visible: {avail}"
+        );
+        // td inflates correspondingly.
+        let td = m.estimates().td;
+        assert!(td > SimDuration::from_micros(700), "td = {td}");
+    }
+
+    #[test]
+    fn wrap_clock_deduplicates_samples() {
+        let path = NetPath::new(fast_ethernet());
+        let mut m = MonitorDaemon::new(&path);
+        assert!(m.on_window_wrap(SimTime::ZERO, 1, &path));
+        assert!(!m.on_window_wrap(SimTime::ZERO, 1, &path));
+        assert!(m.on_window_wrap(SimTime::ZERO, 2, &path));
+    }
+}

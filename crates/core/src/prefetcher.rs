@@ -1,0 +1,374 @@
+//! The AMPoM prefetcher — Algorithm 1 of the paper.
+//!
+//! ```text
+//! foreach page fault i do
+//!     if pages prefetched last time have arrived then
+//!         copy these pages to the migrant's address space;
+//!     record i in the lookback window;
+//!     calculate the current spatial locality score;
+//!     calculate the number of pages in the dependent zone;
+//!     identify which pages are in the dependent zone;
+//!     foreach page j in the dependent zone do
+//!         if j is not stored locally then record j in the remote paging request;
+//!     send out the recorded paging request to the original node;
+//!     wait for i to arrive if it is not available locally;
+//! ```
+//!
+//! The copy/wait steps are the runner's job (they need the clock and the
+//! network); this module owns the *analysis*: window bookkeeping, census,
+//! score, zone sizing and page selection, plus the paper's baseline
+//! read-ahead behaviour (§5.3: even when no pattern is developed, AMPoM
+//! "resembles the characteristics of a fixed-size read-ahead policy …
+//! which serves as a 'baseline' of prefetching aggressiveness").
+
+use ampom_mem::page::PageId;
+use ampom_sim::stats::OnlineStats;
+use ampom_sim::time::{SimDuration, SimTime};
+
+use crate::census::{census, Census};
+use crate::score::spatial_score;
+use crate::window::LookbackWindow;
+use crate::zone::{dependent_zone_size, select_zone, ZoneSizeInputs};
+
+/// Tunables of the AMPoM algorithm. Defaults are the paper's
+/// implementation values (§4) plus the documented engineering floors.
+#[derive(Debug, Clone)]
+pub struct AmpomConfig {
+    /// Lookback window length `l` ("we maintain a lookback window of
+    /// length 20").
+    pub window_len: usize,
+    /// Maximum stride analysed ("we limit to search for stride-1 to
+    /// stride-4 … i.e., dmax = 4").
+    pub dmax: usize,
+    /// Baseline read-ahead: minimum zone budget applied at every fault,
+    /// mirroring the fixed-size read-ahead of the Linux buffer cache the
+    /// paper compares against (§5.3). Set to 0 to disable (ablation).
+    pub baseline_readahead: u64,
+    /// Hard cap on the zone budget, bounding a single request's size when
+    /// the bandwidth estimator reports a starved network.
+    pub max_zone: u64,
+}
+
+impl Default for AmpomConfig {
+    fn default() -> Self {
+        AmpomConfig {
+            window_len: LookbackWindow::PAPER_LENGTH,
+            dmax: 4,
+            baseline_readahead: 16,
+            max_zone: 512,
+        }
+    }
+}
+
+/// Network estimates the monitor daemon feeds into Eq. 3.
+#[derive(Debug, Clone, Copy)]
+pub struct NetEstimates {
+    /// One-way latency estimate `t0`.
+    pub t0: SimDuration,
+    /// Single-page transfer time `td` at the available bandwidth.
+    pub td: SimDuration,
+}
+
+/// The outcome of one fault analysis.
+#[derive(Debug, Clone)]
+pub struct ZoneDecision {
+    /// Pages to include in the remote paging request (already filtered to
+    /// fetchable ones), in selection order. Does **not** include the
+    /// faulted page itself; the runner prepends it when it too must be
+    /// fetched.
+    pub prefetch: Vec<PageId>,
+    /// The computed (unrounded) `N` of Eq. 3.
+    pub n_raw: f64,
+    /// The applied budget after rounding, flooring and capping.
+    pub budget: u64,
+    /// The spatial locality score at this fault.
+    pub score: f64,
+}
+
+/// Running statistics of the prefetcher, reported in Figures 8 and 11.
+#[derive(Debug, Default, Clone)]
+pub struct PrefetchStats {
+    /// Analyses performed (= faults recorded).
+    pub analyses: u64,
+    /// Total pages selected for prefetch across all requests.
+    pub pages_selected: u64,
+    /// Distribution of the raw `N` values.
+    pub n_values: OnlineStats,
+    /// Distribution of the applied zone budgets (Figure 8's per-fault
+    /// prefetch aggressiveness).
+    pub budgets: OnlineStats,
+    /// Distribution of the spatial score.
+    pub scores: OnlineStats,
+    /// Analyses that fell back to read-ahead (no outstanding stream).
+    pub fallbacks: u64,
+}
+
+/// The AMPoM analysis engine. One instance per migrant.
+#[derive(Debug)]
+pub struct AmpomPrefetcher {
+    config: AmpomConfig,
+    window: LookbackWindow,
+    stats: PrefetchStats,
+    last_census: Option<Census>,
+}
+
+impl AmpomPrefetcher {
+    /// Creates a prefetcher with the given configuration.
+    pub fn new(config: AmpomConfig) -> Self {
+        assert!(config.dmax >= 1 && config.dmax < config.window_len);
+        AmpomPrefetcher {
+            window: LookbackWindow::new(config.window_len),
+            config,
+            stats: PrefetchStats::default(),
+            last_census: None,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &AmpomConfig {
+        &self.config
+    }
+
+    /// The lookback window (read access for diagnostics and the monitor's
+    /// window-wrap clock).
+    pub fn window(&self) -> &LookbackWindow {
+        &self.window
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &PrefetchStats {
+        &self.stats
+    }
+
+    /// The census from the most recent analysis, if any.
+    pub fn last_census(&self) -> Option<&Census> {
+        self.last_census.as_ref()
+    }
+
+    /// Runs one fault analysis (the analysis lines of Algorithm 1).
+    ///
+    /// * `page` — the faulted page `i`,
+    /// * `now` / `cpu_util` — the `T`/`C` values recorded with it,
+    /// * `net` — the monitor's current `t0`/`td`,
+    /// * `page_limit` — one past the last valid page,
+    /// * `fetchable` — predicate: true iff the page is stored remotely and
+    ///   not already in flight ("if j is not stored locally").
+    pub fn on_fault(
+        &mut self,
+        page: PageId,
+        now: SimTime,
+        cpu_util: f64,
+        net: NetEstimates,
+        page_limit: PageId,
+        mut fetchable: impl FnMut(PageId) -> bool,
+    ) -> ZoneDecision {
+        self.window.record(page, now, cpu_util);
+        self.stats.analyses += 1;
+
+        let pages = self.window.page_indices();
+        let c = census(&pages, self.config.dmax);
+        let score = spatial_score(&c);
+        self.stats.scores.record(score);
+
+        let n_raw = match self.window.paging_rate() {
+            Some(r) => dependent_zone_size(&ZoneSizeInputs {
+                spatial_score: score,
+                paging_rate: r,
+                mean_cpu: self.window.mean_cpu_util(),
+                next_cpu: self.window.latest_cpu_util(),
+                t0: net.t0,
+                td: net.td,
+            }),
+            None => 0.0,
+        };
+        self.stats.n_values.record(n_raw);
+
+        let budget = (n_raw.round() as u64)
+            .max(self.config.baseline_readahead)
+            .min(self.config.max_zone);
+        self.stats.budgets.record(budget as f64);
+
+        if c.outstanding.is_empty() {
+            self.stats.fallbacks += 1;
+        }
+        let zone = select_zone(&c.outstanding, budget, page, page_limit);
+        let prefetch: Vec<PageId> = zone
+            .into_iter()
+            .filter(|&p| p != page && fetchable(p))
+            .collect();
+        self.stats.pages_selected += prefetch.len() as u64;
+        self.last_census = Some(c);
+
+        ZoneDecision {
+            prefetch,
+            n_raw,
+            budget,
+            score,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> NetEstimates {
+        NetEstimates {
+            t0: SimDuration::from_micros(150),
+            td: SimDuration::from_micros(366),
+        }
+    }
+
+    fn t(us: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_micros(us)
+    }
+
+    fn prefetcher() -> AmpomPrefetcher {
+        AmpomPrefetcher::new(AmpomConfig::default())
+    }
+
+    #[test]
+    fn sequential_faults_grow_an_aggressive_zone() {
+        let mut p = prefetcher();
+        let limit = PageId(1_000_000);
+        let mut last = ZoneDecision {
+            prefetch: vec![],
+            n_raw: 0.0,
+            budget: 0,
+            score: 0.0,
+        };
+        for i in 0..40u64 {
+            last = p.on_fault(PageId(100 + i), t(i * 100), 1.0, net(), limit, |_| true);
+        }
+        assert!(last.score > 0.99, "sequential S = {}", last.score);
+        // r = 20 faults / 1.9 ms ≈ 10526/s; N = S·(r·(2t0+td)+1) ≈ 8.
+        assert!(last.n_raw > 5.0, "N = {}", last.n_raw);
+        assert!(!last.prefetch.is_empty());
+        // Zone pages follow the live stream's pivot.
+        assert_eq!(last.prefetch[0], PageId(140));
+    }
+
+    #[test]
+    fn random_faults_fall_back_to_baseline_readahead() {
+        let mut p = prefetcher();
+        let limit = PageId(10_000_000);
+        let pages = [
+            90_001u64, 5, 777_003, 42_000, 1_234, 990_011, 333, 806_202, 55_555, 7,
+            123_456, 98, 700_001, 3_141, 59_265, 35_897, 932_384, 626_433, 83_279, 502_884,
+            197_169, 399_375,
+        ];
+        let mut last_decision = None;
+        for (i, &pg) in pages.iter().enumerate() {
+            last_decision =
+                Some(p.on_fault(PageId(pg), t(i as u64 * 500), 1.0, net(), limit, |_| true));
+        }
+        let d = last_decision.unwrap();
+        assert_eq!(d.score, 0.0);
+        assert_eq!(d.budget, 16, "baseline read-ahead applies");
+        // Fallback zone: pages right after the last fault.
+        assert_eq!(d.prefetch.first(), Some(&PageId(399_376)));
+        assert_eq!(d.prefetch.len(), 16);
+        assert!(p.stats().fallbacks > 0);
+    }
+
+    #[test]
+    fn ablation_disabling_baseline_gives_empty_zone_for_random() {
+        let cfg = AmpomConfig {
+            baseline_readahead: 0,
+            ..AmpomConfig::default()
+        };
+        let mut p = AmpomPrefetcher::new(cfg);
+        let limit = PageId(10_000_000);
+        let mut last = None;
+        for i in 0..25u64 {
+            last = Some(p.on_fault(
+                PageId((i * 104_729 + 7) % 9_000_000),
+                t(i * 400),
+                1.0,
+                net(),
+                limit,
+                |_| true,
+            ));
+        }
+        assert!(last.unwrap().prefetch.is_empty());
+    }
+
+    #[test]
+    fn fetchable_filter_is_respected() {
+        let mut p = prefetcher();
+        let limit = PageId(1_000);
+        let mut d = ZoneDecision {
+            prefetch: vec![],
+            n_raw: 0.0,
+            budget: 0,
+            score: 0.0,
+        };
+        for i in 0..30u64 {
+            d = p.on_fault(PageId(i), t(i * 100), 1.0, net(), limit, |pg| {
+                pg.index() % 2 == 0
+            });
+        }
+        assert!(d.prefetch.iter().all(|pg| pg.index() % 2 == 0));
+    }
+
+    #[test]
+    fn faulted_page_never_in_prefetch_list() {
+        let mut p = prefetcher();
+        let limit = PageId(1_000);
+        for i in 0..30u64 {
+            let d = p.on_fault(PageId(i), t(i * 100), 1.0, net(), limit, |_| true);
+            assert!(!d.prefetch.contains(&PageId(i)));
+        }
+    }
+
+    #[test]
+    fn zone_capped_at_max() {
+        let cfg = AmpomConfig {
+            max_zone: 16,
+            ..AmpomConfig::default()
+        };
+        let mut p = AmpomPrefetcher::new(cfg);
+        let limit = PageId(1_000_000);
+        // Very slow network → huge td → N explodes; cap holds.
+        let slow = NetEstimates {
+            t0: SimDuration::from_millis(2),
+            td: SimDuration::from_millis(50),
+        };
+        let mut d = None;
+        for i in 0..30u64 {
+            d = Some(p.on_fault(PageId(i), t(i * 50), 1.0, slow, limit, |_| true));
+        }
+        let d = d.unwrap();
+        assert!(d.n_raw > 16.0);
+        assert_eq!(d.budget, 16);
+        assert!(d.prefetch.len() <= 16);
+    }
+
+    #[test]
+    fn no_zone_before_window_fills_beyond_baseline() {
+        let mut p = prefetcher();
+        let d = p.on_fault(
+            PageId(5),
+            t(0),
+            1.0,
+            net(),
+            PageId(1_000),
+            |_| true,
+        );
+        // Window not full → N = 0 → budget = baseline.
+        assert_eq!(d.n_raw, 0.0);
+        assert_eq!(d.budget, 16);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut p = prefetcher();
+        for i in 0..10u64 {
+            p.on_fault(PageId(i), t(i * 100), 0.8, net(), PageId(100), |_| true);
+        }
+        let s = p.stats();
+        assert_eq!(s.analyses, 10);
+        assert!(s.pages_selected > 0);
+        assert_eq!(s.scores.count(), 10);
+    }
+}

@@ -1,0 +1,391 @@
+//! Round-trip migration: migrate out, then come back.
+//!
+//! Paper §1: "it is also not cost-worthy to migrate the entire process if
+//! we are not sure how long computing resources will be available at the
+//! destination node; a wrong or suboptimal migration decision would
+//! require the process being migrated again, inducing even longer 'freeze
+//! time'." And §5.4: AMPoM's restraint keeps "a migrant … lightweight when
+//! it has to migrate to another node."
+//!
+//! This module quantifies the canonical case: a process is pushed to a
+//! remote node under load, executes there for a while, and is then called
+//! *back home* (the destination node was reclaimed). The MPT/HPT design
+//! makes the return asymmetric and interesting:
+//!
+//! * pages the migrant **never fetched** still live on the home node (the
+//!   origin's copy is deleted only when a page is transferred, §2.2) — on
+//!   return they are local again for free;
+//! * pages the migrant **did fetch** (and any it dirtied) live on the
+//!   remote node — eager openMosix must ship them all back during the
+//!   return freeze, while AMPoM ships three pages + MPT and demand-pages
+//!   from the remote node (which keeps a deputy stub) with prefetching.
+//!
+//! The sooner the process comes back (the more "suboptimal" the original
+//! decision), the smaller its remote footprint and the bigger AMPoM's win.
+
+use ampom_mem::page::PAGE_SIZE;
+use ampom_mem::space::{PageState, TouchOutcome};
+use ampom_net::calibration::{MIGRATION_BASE_COST, MPT_ENTRY_COST};
+use ampom_sim::time::{SimDuration, SimTime};
+use ampom_workloads::memref::Workload;
+
+use crate::cluster::NetPath;
+use crate::deputy::Deputy;
+use crate::migration::{perform_freeze, PreMigrationState, Scheme};
+use crate::monitor::MonitorDaemon;
+use crate::prefetcher::AmpomPrefetcher;
+use crate::runner::{RunConfig, MINOR_FAULT_COST, PAGE_INSTALL_COST};
+use ampom_net::calibration::AMPOM_ANALYSIS_COST;
+
+/// Measurements of a round-trip run.
+#[derive(Debug)]
+pub struct RoundTripReport {
+    /// Scheme used for both hops.
+    pub scheme: Scheme,
+    /// Freeze time of the outbound migration.
+    pub outbound_freeze: SimDuration,
+    /// Freeze time of the return migration.
+    pub return_freeze: SimDuration,
+    /// Wall time of the whole run (outbound freeze → workload complete).
+    pub total_time: SimDuration,
+    /// Pages that had to travel back during/after the return.
+    pub pages_returned: u64,
+    /// Remote fault requests over both phases.
+    pub fault_requests: u64,
+    /// Pages moved out to the remote node in phase one.
+    pub pages_fetched_remotely: u64,
+}
+
+/// Runs `workload` with an outbound migration at t=0 and a forced return
+/// home after `away_fraction` of the reference stream (0 < fraction < 1).
+///
+/// Both hops use `scheme`. The network between home and the remote node is
+/// `cfg.link` in both directions.
+pub fn run_round_trip<W: Workload + ?Sized>(
+    workload: &mut W,
+    cfg: &RunConfig,
+    away_fraction: f64,
+) -> RoundTripReport {
+    assert!(
+        (0.0..1.0).contains(&away_fraction) && away_fraction > 0.0,
+        "away_fraction must be in (0, 1)"
+    );
+    let layout = workload.layout().clone();
+    let pre = PreMigrationState::new(layout.clone(), workload.allocation_pages());
+    let total_refs = workload.total_refs_hint();
+    let switch_at = ((total_refs as f64 * away_fraction) as u64).max(1);
+
+    let mut path = NetPath::new(cfg.link);
+    let mut trace = ampom_sim::trace::Trace::disabled();
+    let freeze = perform_freeze(cfg.scheme, &pre, &mut path, &mut trace);
+    let outbound_freeze = freeze.freeze_time;
+    let mut space = freeze.space;
+    let mut table = freeze.table;
+    let mut now = SimTime::ZERO + outbound_freeze;
+
+    let mut deputy = Deputy::new();
+    let mut monitor = MonitorDaemon::new(&path);
+    let mut prefetcher =
+        (cfg.scheme == Scheme::Ampom).then(|| AmpomPrefetcher::new(cfg.ampom.clone()));
+    let mut in_flight: std::collections::HashMap<_, SimTime> = std::collections::HashMap::new();
+    let mut staged: std::collections::VecDeque<(SimTime, ampom_mem::page::PageId)> =
+        std::collections::VecDeque::new();
+    let page_limit = ampom_mem::page::PageId(layout.total_pages());
+
+    let mut fault_requests = 0u64;
+    let mut refs_done = 0u64;
+
+    // ---- Phase 1: executing on the remote node. ----
+    while refs_done < switch_at {
+        let Some(r) = workload.next() else { break };
+        refs_done += 1;
+        match space.touch(r.page, r.write) {
+            TouchOutcome::Hit => now += r.cpu,
+            TouchOutcome::LocalAllocate => {
+                if table.lookup(r.page).is_none() {
+                    table.create_at_destination(r.page);
+                }
+                now += MINOR_FAULT_COST + r.cpu;
+            }
+            TouchOutcome::RemoteFault => {
+                install(&mut staged, &mut in_flight, &mut space, &mut now);
+                let prefetch = match prefetcher.as_mut() {
+                    Some(pf) => {
+                        monitor.advance(now, &mut path);
+                        let est = monitor.estimates();
+                        let d = pf.on_fault(r.page, now, 1.0, est, page_limit, |p| {
+                            space.state(p) == PageState::Remote && !in_flight.contains_key(&p)
+                        });
+                        now += AMPOM_ANALYSIS_COST;
+                        monitor.on_window_wrap(now, pf.window().wraps(), &path);
+                        d.prefetch
+                    }
+                    None => Vec::new(),
+                };
+                if space.is_resident(r.page) {
+                    // Resolved by the install above.
+                } else if let Some(&arrival) = in_flight.get(&r.page) {
+                    now = now.max(arrival);
+                    install(&mut staged, &mut in_flight, &mut space, &mut now);
+                } else {
+                    fault_requests += 1;
+                    let mut pages = vec![r.page];
+                    pages.extend_from_slice(&prefetch);
+                    let at_home = path.send_request(now, pages.len());
+                    for s in deputy.serve_request(at_home, &pages, &mut table, &mut path) {
+                        in_flight.insert(s.page, s.arrives);
+                        staged.push_back((s.arrives, s.page));
+                    }
+                    now = now.max(in_flight[&r.page]);
+                    install(&mut staged, &mut in_flight, &mut space, &mut now);
+                }
+                let hit = space.touch(r.page, r.write);
+                debug_assert_eq!(hit, TouchOutcome::Hit);
+                now += r.cpu;
+            }
+        }
+    }
+
+    // Drain the pipeline: anything in flight lands at the remote node
+    // before the return migration (the kernel completes outstanding I/O
+    // before freezing).
+    while let Some(&(arrival, _)) = staged.front() {
+        now = now.max(arrival);
+        install(&mut staged, &mut in_flight, &mut space, &mut now);
+    }
+
+    // ---- Return migration. ----
+    // Pages resident at the remote node must come home; pages still at
+    // the origin are already home.
+    let remote_resident: Vec<_> = space
+        .pages_where(|s| matches!(s, PageState::Resident { .. }))
+        .collect();
+    let pages_returned = remote_resident.len() as u64;
+    let pages_fetched_remotely = table.pages_at_destination();
+
+    let return_freeze = match cfg.scheme {
+        Scheme::OpenMosix => {
+            // Eager: ship every remote-resident page back at once.
+            let bytes = pages_returned * PAGE_SIZE;
+            let done = path.bulk_transfer(now + MIGRATION_BASE_COST, bytes);
+            done.since(now)
+        }
+        Scheme::Ampom => {
+            // Three pages + MPT, as always.
+            let mpt = table.mpt_bytes();
+            let start = now
+                + MIGRATION_BASE_COST
+                + MPT_ENTRY_COST.saturating_mul(table.mapped_pages());
+            let done = path.bulk_transfer(start, 3 * PAGE_SIZE + mpt);
+            done.since(now)
+        }
+        Scheme::NoPrefetch | Scheme::Ffa => {
+            let done = path.bulk_transfer(now + MIGRATION_BASE_COST, 3 * PAGE_SIZE);
+            done.since(now)
+        }
+    };
+    now += return_freeze;
+
+    // ---- Phase 2: executing back home. ----
+    // Role swap: remote-resident pages become remote (stored on the node
+    // we just left, which keeps a deputy stub); origin-stored pages are
+    // local. Under eager openMosix everything returned during the freeze,
+    // so nothing is remote.
+    if cfg.scheme != Scheme::OpenMosix {
+        for &p in &remote_resident {
+            space.mark_remote(p);
+        }
+        // Pages still at the origin are local at home now.
+        let at_origin: Vec<_> = space
+            .pages_where(|s| s == PageState::Remote)
+            .filter(|p| {
+                table.lookup(*p) == Some(ampom_mem::table::PageLocation::Origin)
+            })
+            .collect();
+        for p in at_origin {
+            space.install(p);
+        }
+    }
+    // Fresh transfer bookkeeping for the second hop: the remote node's
+    // stub serves what it holds.
+    let mut return_table = ampom_mem::table::PageTablePair::at_migration(
+        space.pages_where(|s| s == PageState::Remote),
+    );
+    let mut return_deputy = Deputy::new();
+    let mut return_prefetcher =
+        (cfg.scheme == Scheme::Ampom).then(|| AmpomPrefetcher::new(cfg.ampom.clone()));
+    in_flight.clear();
+    staged.clear();
+
+    for r in &mut *workload {
+        match space.touch(r.page, r.write) {
+            TouchOutcome::Hit => now += r.cpu,
+            TouchOutcome::LocalAllocate => now += MINOR_FAULT_COST + r.cpu,
+            TouchOutcome::RemoteFault => {
+                install(&mut staged, &mut in_flight, &mut space, &mut now);
+                let prefetch = match return_prefetcher.as_mut() {
+                    Some(pf) => {
+                        monitor.advance(now, &mut path);
+                        let est = monitor.estimates();
+                        let d = pf.on_fault(r.page, now, 1.0, est, page_limit, |p| {
+                            space.state(p) == PageState::Remote
+                                && !in_flight.contains_key(&p)
+                                && return_table.lookup(p).is_some()
+                        });
+                        now += AMPOM_ANALYSIS_COST;
+                        d.prefetch
+                    }
+                    None => Vec::new(),
+                };
+                if space.is_resident(r.page) {
+                    // Arrived with the last batch.
+                } else if let Some(&arrival) = in_flight.get(&r.page) {
+                    now = now.max(arrival);
+                    install(&mut staged, &mut in_flight, &mut space, &mut now);
+                } else {
+                    fault_requests += 1;
+                    let mut pages = vec![r.page];
+                    pages.extend_from_slice(&prefetch);
+                    let at_remote = path.send_request(now, pages.len());
+                    for s in
+                        return_deputy.serve_request(at_remote, &pages, &mut return_table, &mut path)
+                    {
+                        in_flight.insert(s.page, s.arrives);
+                        staged.push_back((s.arrives, s.page));
+                    }
+                    now = now.max(in_flight[&r.page]);
+                    install(&mut staged, &mut in_flight, &mut space, &mut now);
+                }
+                let hit = space.touch(r.page, r.write);
+                debug_assert_eq!(hit, TouchOutcome::Hit);
+                now += r.cpu;
+            }
+        }
+    }
+
+    RoundTripReport {
+        scheme: cfg.scheme,
+        outbound_freeze,
+        return_freeze,
+        total_time: now.since(SimTime::ZERO),
+        pages_returned,
+        fault_requests,
+        pages_fetched_remotely,
+    }
+}
+
+fn install(
+    staged: &mut std::collections::VecDeque<(SimTime, ampom_mem::page::PageId)>,
+    in_flight: &mut std::collections::HashMap<ampom_mem::page::PageId, SimTime>,
+    space: &mut ampom_mem::space::AddressSpace,
+    now: &mut SimTime,
+) {
+    let mut n = 0u64;
+    while let Some(&(arrival, page)) = staged.front() {
+        if arrival > *now {
+            break;
+        }
+        staged.pop_front();
+        in_flight.remove(&page);
+        if space.state(page) == PageState::Remote {
+            space.install(page);
+        }
+        n += 1;
+    }
+    if n > 0 {
+        *now += PAGE_INSTALL_COST.saturating_mul(n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampom_workloads::synthetic::Sequential;
+
+    const CPU: SimDuration = SimDuration::from_micros(15);
+
+    fn round_trip(scheme: Scheme, frac: f64) -> RoundTripReport {
+        let mut w = Sequential::new(2048, CPU);
+        run_round_trip(&mut w, &RunConfig::new(scheme), frac)
+    }
+
+    #[test]
+    fn early_return_moves_few_pages_under_ampom() {
+        let r = round_trip(Scheme::Ampom, 0.2);
+        // ~20% of the sweep was fetched remotely; only that much can come
+        // back.
+        assert!(r.pages_fetched_remotely < 1000, "{}", r.pages_fetched_remotely);
+        assert!(r.return_freeze < SimDuration::from_millis(200));
+    }
+
+    #[test]
+    fn eager_always_hauls_the_full_footprint_back() {
+        // openMosix moved everything out at the first freeze, so the
+        // return moves everything back — regardless of how briefly the
+        // process stayed away.
+        let early = round_trip(Scheme::OpenMosix, 0.2);
+        let late = round_trip(Scheme::OpenMosix, 0.8);
+        assert_eq!(early.pages_returned, late.pages_returned);
+        assert!(early.pages_returned > 2000);
+        assert!(early.return_freeze > SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn ampom_remote_footprint_scales_with_time_away() {
+        let early = round_trip(Scheme::Ampom, 0.2);
+        let late = round_trip(Scheme::Ampom, 0.8);
+        assert!(
+            late.pages_fetched_remotely > early.pages_fetched_remotely,
+            "late {} vs early {}",
+            late.pages_fetched_remotely,
+            early.pages_fetched_remotely
+        );
+    }
+
+    #[test]
+    fn ampom_round_trip_beats_eager_round_trip() {
+        for frac in [0.2, 0.5, 0.8] {
+            let ampom = round_trip(Scheme::Ampom, frac);
+            let eager = round_trip(Scheme::OpenMosix, frac);
+            assert!(
+                ampom.total_time < eager.total_time,
+                "frac {frac}: AMPoM {} vs eager {}",
+                ampom.total_time,
+                eager.total_time
+            );
+            // Both freezes stay tiny under AMPoM.
+            assert!(ampom.outbound_freeze < SimDuration::from_millis(200));
+            assert!(ampom.return_freeze < SimDuration::from_millis(200));
+        }
+    }
+
+    #[test]
+    fn never_fetched_pages_are_free_on_return() {
+        // With a tiny away fraction, the untouched tail of the sweep stays
+        // at the origin the whole time; after the return the workload
+        // faults only on pages the remote node held.
+        let r = round_trip(Scheme::Ampom, 0.1);
+        // Fault requests in phase 2 relate to the ~10% remote footprint,
+        // not the remaining 90% of the sweep.
+        assert!(
+            r.fault_requests < 400,
+            "requests {} should not re-fetch home pages",
+            r.fault_requests
+        );
+    }
+
+    #[test]
+    fn workload_completes_exactly_once() {
+        let mut w = Sequential::new(512, CPU);
+        let report = run_round_trip(&mut w, &RunConfig::new(Scheme::Ampom), 0.5);
+        assert!(w.next().is_none(), "stream fully consumed");
+        assert!(report.total_time > SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "away_fraction")]
+    fn fraction_must_be_in_unit_interval() {
+        let mut w = Sequential::new(64, CPU);
+        let _ = run_round_trip(&mut w, &RunConfig::new(Scheme::Ampom), 1.5);
+    }
+}

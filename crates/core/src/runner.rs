@@ -1,0 +1,910 @@
+//! The experiment runner: executes one workload under one migration
+//! scheme and measures everything the paper reports.
+//!
+//! The runner is a process-centric discrete-event simulation. The migrant
+//! is the only active computation; its clock advances through compute
+//! (per-touch CPU from the workload), fault handling (analysis, paging
+//! requests, stalls) and page installs. The network side is exact: the
+//! reply link is a FIFO, so every page's arrival time is known the moment
+//! the deputy enqueues it, and prefetched pages stream back-to-back while
+//! the migrant computes — the paper's pipelining effect falls out of the
+//! model rather than being assumed.
+//!
+//! Fault semantics follow Algorithm 1 and the Linux 2.4 reality the paper
+//! built on:
+//!
+//! * **every** first touch of a non-resident page is a page fault
+//!   (recorded in the lookback window), whether the page must be fetched,
+//!   is already in flight, or has arrived and merely needs to be copied in
+//!   ("if pages prefetched last time have arrived then copy these pages to
+//!   the migrant's address space");
+//! * only faults that must *request* the missing page count as "page fault
+//!   requests" (the Figure 7 metric);
+//! * the migrant stalls only for the faulted page, never for prefetches.
+
+use std::collections::{HashMap, VecDeque};
+
+use ampom_mem::page::{PageId, PAGE_SIZE};
+use ampom_mem::eviction::ClockEvictor;
+use ampom_mem::space::TouchOutcome;
+use ampom_net::calibration::{AMPOM_ANALYSIS_COST, PER_MESSAGE_OVERHEAD};
+use ampom_net::cross::CrossTraffic;
+use ampom_net::link::LinkConfig;
+use ampom_sim::rng::SimRng;
+use ampom_sim::time::{SimDuration, SimTime};
+use ampom_sim::trace::{Trace, TraceKind};
+use ampom_workloads::memref::Workload;
+
+use crate::cluster::NetPath;
+use crate::deputy::Deputy;
+use crate::metrics::{RunReport, RunSeries};
+use crate::migration::{perform_freeze, PreMigrationState, Scheme};
+use crate::monitor::MonitorDaemon;
+use crate::prefetcher::{AmpomConfig, AmpomPrefetcher, PrefetchStats};
+
+/// Cost of servicing a minor fault (anonymous zero-fill) in the kernel.
+pub const MINOR_FAULT_COST: SimDuration = SimDuration::from_micros(1);
+
+/// Cost of copying one arrived page from the staging buffer into the
+/// migrant's address space and fixing up its page-table entry.
+pub const PAGE_INSTALL_COST: SimDuration = SimDuration::from_micros(1);
+
+/// Models an I/O-bound phase: every `every_refs` references the process
+/// issues a system call that must be forwarded to the home-node deputy
+/// (openMosix's "home dependency", paper §2.2/§7).
+#[derive(Debug, Clone, Copy)]
+pub struct SyscallProfile {
+    /// References between consecutive system calls.
+    pub every_refs: u64,
+    /// Work the call performs at the home node (0 for getpid-class).
+    pub work: SimDuration,
+}
+
+/// Cross-traffic specification for network-load experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct CrossTrafficSpec {
+    /// Offered foreign load on the reply direction, bytes/s.
+    pub bytes_per_sec: u64,
+    /// Burst size of each foreign message.
+    pub burst_bytes: u64,
+}
+
+/// Configuration of one run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Migration scheme under test.
+    pub scheme: Scheme,
+    /// Link configuration of the home↔destination path (use
+    /// [`ampom_net::calibration::fast_ethernet`] or a shaped config).
+    pub link: LinkConfig,
+    /// AMPoM tunables (ignored by the other schemes).
+    pub ampom: AmpomConfig,
+    /// Record a Figure 2 style timeline.
+    pub trace: bool,
+    /// Optional foreign traffic on the reply link.
+    pub cross_traffic: Option<CrossTrafficSpec>,
+    /// Optional forwarded-system-call workload (the home dependency).
+    pub syscalls: Option<SyscallProfile>,
+    /// Sample time series (in-flight pages, resident set, zone budgets,
+    /// link utilisation) every `n` faults; `None` disables sampling.
+    pub sample_series_every: Option<u64>,
+    /// Destination-node RAM available to the migrant, in MB. When the
+    /// resident set would exceed it, CLOCK eviction pushes victims back
+    /// to the home node (swap-over-network — the testbed's 512 MB nodes
+    /// could not hold a 575 MB migrant). `None` = unlimited.
+    pub resident_limit_mb: Option<u64>,
+    /// Seed for the cross-traffic arrival process.
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// A run of `scheme` on the standard cluster LAN.
+    pub fn new(scheme: Scheme) -> Self {
+        RunConfig {
+            scheme,
+            link: ampom_net::calibration::fast_ethernet(),
+            ampom: AmpomConfig::default(),
+            trace: false,
+            cross_traffic: None,
+            syscalls: None,
+            sample_series_every: None,
+            resident_limit_mb: None,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Same run on a different link (e.g. the §5.5 broadband emulation).
+    pub fn with_link(mut self, link: LinkConfig) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Enables the event trace.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+}
+
+/// Executes `workload` under `cfg` and returns the full measurement
+/// record.
+pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> RunReport {
+    let layout = workload.layout().clone();
+    let pre = PreMigrationState::new(layout.clone(), workload.allocation_pages());
+    let program_mb = (pre.allocated.len() as u64 * PAGE_SIZE) >> 20;
+
+    let mut path = NetPath::new(cfg.link);
+    if let Some(spec) = cfg.cross_traffic {
+        path = path.with_cross_traffic(CrossTraffic::new(
+            spec.bytes_per_sec,
+            spec.burst_bytes,
+            SimRng::seed_from_u64(cfg.seed),
+        ));
+    }
+    let mut trace = if cfg.trace {
+        Trace::enabled()
+    } else {
+        Trace::disabled()
+    };
+
+    let freeze = perform_freeze(cfg.scheme, &pre, &mut path, &mut trace);
+    let mut space = freeze.space;
+    let mut table = freeze.table;
+    let mut now = SimTime::ZERO + freeze.freeze_time;
+
+    let mut prefetcher = (cfg.scheme == Scheme::Ampom)
+        .then(|| AmpomPrefetcher::new(cfg.ampom.clone()));
+    let mut monitor = MonitorDaemon::new(&path);
+    let mut deputy = Deputy::new();
+
+    // FFA: the home node pushes the remaining stack pages right after the
+    // freeze and flushes every dirty page to the file server in the
+    // background; faults are then served by the file server. We model the
+    // flush schedule analytically (the flush uses the home↔file-server
+    // link, which does not contend with our path).
+    let ffa = (cfg.scheme == Scheme::Ffa).then(|| {
+        FfaState::new(&pre, now, cfg.link)
+    });
+
+    // In-flight pages and the staging buffer of arrived-but-uninstalled
+    // pages. The reply link is FIFO, so arrivals are monotone and the
+    // buffer stays sorted by construction.
+    let mut in_flight: HashMap<PageId, SimTime> = HashMap::new();
+    let mut staged: VecDeque<(SimTime, PageId)> = VecDeque::new();
+    let total_pages = layout.total_pages();
+    let mut was_prefetched = vec![false; total_pages as usize];
+    let mut pages_evicted = 0u64;
+    let mut series = cfg.sample_series_every.map(|_| RunSeries::default());
+    let sample_every = cfg.sample_series_every.unwrap_or(u64::MAX);
+    let mut faults_since_sample = 0u64;
+
+    // Memory pressure: register whatever the freeze installed, then push
+    // the overflow straight back (swap-over-network from the first
+    // instant — what an eager copy into a too-small node does).
+    let mut evictor = cfg.resident_limit_mb.map(|mb| {
+        let limit = (mb * 1024 * 1024 / PAGE_SIZE).max(4);
+        let mut ev = ClockEvictor::new(total_pages, limit);
+        let resident: Vec<PageId> = space
+            .pages_where(|st| matches!(st, ampom_mem::space::PageState::Resident { .. }))
+            .collect();
+        for p in resident {
+            if ev.at_capacity() {
+                pages_evicted += 1;
+                path.send_control_to_home(now, NetPath::page_reply_bytes());
+                table.return_to_origin(p);
+                space.mark_remote(p);
+            } else {
+                ev.on_install(p);
+            }
+        }
+        ev
+    });
+
+    // Measurement state.
+    let mut compute_time = SimDuration::ZERO;
+    let mut stall_time = SimDuration::ZERO;
+    let mut analysis_time = SimDuration::ZERO;
+    let mut faults_total = 0u64;
+    let mut fault_requests = 0u64;
+    let mut prefetch_only_requests = 0u64;
+    let mut pages_demand = 0u64;
+    let mut pages_prefetched = 0u64;
+    let mut prefetched_used = 0u64;
+    let mut pages_local_alloc = 0u64;
+
+    // CPU-utilisation tracking for the C array: share of wall time spent
+    // computing since the previous fault.
+    let mut cpu_since_fault = SimDuration::ZERO;
+    let mut last_fault_at = now;
+
+    // Forwarded-syscall state.
+    let mut syscalls_forwarded = 0u64;
+    let mut syscall_time = SimDuration::ZERO;
+    let mut refs_since_syscall = 0u64;
+
+    let page_limit = PageId(total_pages);
+
+    for r in &mut *workload {
+        if let Some(profile) = cfg.syscalls {
+            refs_since_syscall += 1;
+            if refs_since_syscall >= profile.every_refs {
+                refs_since_syscall = 0;
+                let done = deputy.forward_syscall(now, profile.work, &mut path);
+                syscall_time += done.since(now);
+                syscalls_forwarded += 1;
+                trace.record(done, TraceKind::SyscallForwarded, "");
+                now = done;
+            }
+        }
+
+        // Prefetch-usage accounting (one cheap indexed read per touch).
+        let pidx = r.page.index() as usize;
+        if was_prefetched[pidx] {
+            was_prefetched[pidx] = false;
+            prefetched_used += 1;
+        }
+
+        match space.touch(r.page, r.write) {
+            TouchOutcome::Hit => {
+                if let Some(ev) = evictor.as_mut() {
+                    ev.on_touch(r.page);
+                }
+                now += r.cpu;
+                compute_time += r.cpu;
+                cpu_since_fault += r.cpu;
+            }
+            TouchOutcome::LocalAllocate => {
+                // Anonymous first touch: minor fault, no network. Still a
+                // fault for the lookback window — the kernel handler runs.
+                faults_total += 1;
+                pages_local_alloc += 1;
+                now += MINOR_FAULT_COST;
+                if table.lookup(r.page).is_none() {
+                    table.create_at_destination(r.page);
+                }
+                if let Some(ev) = evictor.as_mut() {
+                    make_room(ev, r.page, now, &mut path, &mut table, &mut space, &mut pages_evicted);
+                    ev.on_install(r.page);
+                }
+                let util = utilization(cpu_since_fault, now, last_fault_at);
+                last_fault_at = now;
+                cpu_since_fault = SimDuration::ZERO;
+                if let Some(pf) = prefetcher.as_mut() {
+                    let prefetch = analyze(
+                        pf, r.page, &mut now, util, &mut monitor, &mut path, page_limit,
+                        &space, &in_flight, &mut analysis_time,
+                    );
+                    if !prefetch.is_empty() {
+                        prefetch_only_requests += 1;
+                        send_request(
+                            &prefetch, None, now, &mut path, &mut deputy, &mut table,
+                            &mut in_flight, &mut staged, &mut was_prefetched,
+                            &mut pages_prefetched,
+                        );
+                    }
+                }
+                now += r.cpu;
+                compute_time += r.cpu;
+                cpu_since_fault += r.cpu;
+            }
+            TouchOutcome::RemoteFault => {
+                faults_total += 1;
+                let fault_at = now;
+                trace.record(now, TraceKind::PageFault, format!("{}", r.page));
+                install_arrived_pressured(
+                    &mut staged, &mut in_flight, &mut space, &mut now,
+                    evictor.as_mut(), r.page, &mut path, &mut table, &mut pages_evicted,
+                );
+
+                let util = utilization(cpu_since_fault, fault_at, last_fault_at);
+                last_fault_at = fault_at;
+                cpu_since_fault = SimDuration::ZERO;
+
+                // AMPoM analysis (every fault, per Algorithm 1).
+                let prefetch = match prefetcher.as_mut() {
+                    Some(pf) => analyze(
+                        pf, r.page, &mut now, util, &mut monitor, &mut path, page_limit,
+                        &space, &in_flight, &mut analysis_time,
+                    ),
+                    None => Vec::new(),
+                };
+
+                if let Some(series) = series.as_mut() {
+                    faults_since_sample += 1;
+                    if faults_since_sample >= sample_every {
+                        faults_since_sample = 0;
+                        series.in_flight.push(now, in_flight.len() as f64);
+                        series.resident.push(now, space.resident_pages() as f64);
+                        if let Some(pf) = prefetcher.as_ref() {
+                            series
+                                .zone_budget
+                                .push(now, pf.stats().budgets.mean());
+                        }
+                        series
+                            .link_utilization
+                            .push(now, path.reply_utilization(now));
+                    }
+                }
+
+                if space.is_resident(r.page) {
+                    // Arrived with the last batch: the install above
+                    // resolved it. Any new zone pages still go out.
+                    if !prefetch.is_empty() {
+                        prefetch_only_requests += 1;
+                        send_request(
+                            &prefetch, None, now, &mut path, &mut deputy, &mut table,
+                            &mut in_flight, &mut staged, &mut was_prefetched,
+                            &mut pages_prefetched,
+                        );
+                    }
+                } else if let Some(&arrival) = in_flight.get(&r.page) {
+                    // Already requested: wait for the pipeline, no demand
+                    // request ("wait for i to arrive").
+                    if !prefetch.is_empty() {
+                        prefetch_only_requests += 1;
+                        send_request(
+                            &prefetch, None, now, &mut path, &mut deputy, &mut table,
+                            &mut in_flight, &mut staged, &mut was_prefetched,
+                            &mut pages_prefetched,
+                        );
+                    }
+                    if arrival > now {
+                        stall_time += arrival.since(now);
+                        now = arrival;
+                    }
+                    install_arrived_pressured(
+                        &mut staged, &mut in_flight, &mut space, &mut now,
+                        evictor.as_mut(), r.page, &mut path, &mut table, &mut pages_evicted,
+                    );
+                    trace.record(now, TraceKind::FaultResolved, format!("{} (pipelined)", r.page));
+                } else if let Some(ffa_state) = ffa.as_ref() {
+                    // FFA: demand-fetch from the file server.
+                    fault_requests += 1;
+                    pages_demand += 1;
+                    let done = ffa_state.fetch(now, r.page, &mut trace);
+                    stall_time += done.since(now);
+                    now = done;
+                    table.transfer_to_destination(r.page);
+                    space.install(r.page);
+                } else {
+                    // Demand fetch from the deputy, zone piggy-backed.
+                    fault_requests += 1;
+                    pages_demand += 1;
+                    trace.record(
+                        now,
+                        TraceKind::PagingRequest,
+                        format!("demand {} (+{} prefetch)", r.page, prefetch.len()),
+                    );
+                    send_request(
+                        &prefetch, Some(r.page), now, &mut path, &mut deputy, &mut table,
+                        &mut in_flight, &mut staged, &mut was_prefetched,
+                        &mut pages_prefetched,
+                    );
+                    let arrival = in_flight
+                        .get(&r.page)
+                        .copied()
+                        .expect("demand page must be served");
+                    stall_time += arrival.since(now);
+                    now = arrival;
+                    install_arrived_pressured(
+                        &mut staged, &mut in_flight, &mut space, &mut now,
+                        evictor.as_mut(), r.page, &mut path, &mut table, &mut pages_evicted,
+                    );
+                    trace.record(now, TraceKind::FaultResolved, format!("{}", r.page));
+                }
+
+                // The faulted page is resident now; apply the touch.
+                debug_assert!(space.is_resident(r.page));
+                let outcome = space.touch(r.page, r.write);
+                debug_assert_eq!(outcome, TouchOutcome::Hit);
+                now += r.cpu;
+                compute_time += r.cpu;
+                cpu_since_fault += r.cpu;
+            }
+        }
+    }
+
+    trace.record(now, TraceKind::WorkloadDone, "");
+    let total_time = now.since(SimTime::ZERO);
+
+    let (analysis_count, prefetch_stats) = match prefetcher {
+        Some(pf) => (pf.stats().analyses, pf.stats().clone()),
+        None => (0, PrefetchStats::default()),
+    };
+
+    RunReport {
+        scheme: cfg.scheme,
+        workload: workload.name().to_string(),
+        program_mb,
+        freeze_time: freeze.freeze_time,
+        total_time,
+        compute_time,
+        stall_time,
+        faults_total,
+        fault_requests,
+        prefetch_only_requests,
+        pages_demand_fetched: pages_demand,
+        pages_prefetched,
+        prefetched_pages_used: prefetched_used,
+        pages_local_alloc,
+        syscalls_forwarded,
+        syscall_time,
+        pages_evicted,
+        bytes_to_dest: path.bytes_to_dest(),
+        bytes_from_dest: path.bytes_from_dest(),
+        mpt_bytes: freeze.mpt_bytes,
+        analysis_time,
+        analysis_count,
+        prefetch_stats,
+        trace,
+        series,
+    }
+}
+
+/// Share of wall time spent computing since the last fault, the `C_i`
+/// recorded with each window entry.
+fn utilization(cpu: SimDuration, now: SimTime, last_fault: SimTime) -> f64 {
+    let wall = now.saturating_since(last_fault).as_secs_f64();
+    if wall <= 0.0 {
+        1.0
+    } else {
+        (cpu.as_secs_f64() / wall).clamp(0.0, 1.0)
+    }
+}
+
+/// Runs the AMPoM analysis for one fault: monitor upkeep, window record,
+/// census/score/zone, and the analysis-time charge.
+#[allow(clippy::too_many_arguments)]
+fn analyze(
+    pf: &mut AmpomPrefetcher,
+    page: PageId,
+    now: &mut SimTime,
+    util: f64,
+    monitor: &mut MonitorDaemon,
+    path: &mut NetPath,
+    page_limit: PageId,
+    space: &ampom_mem::space::AddressSpace,
+    in_flight: &HashMap<PageId, SimTime>,
+    analysis_time: &mut SimDuration,
+) -> Vec<PageId> {
+    monitor.advance(*now, path);
+    let est = monitor.estimates();
+    let decision = pf.on_fault(page, *now, util, est, page_limit, |p| {
+        space.state(p) == ampom_mem::space::PageState::Remote && !in_flight.contains_key(&p)
+    });
+    *now += AMPOM_ANALYSIS_COST;
+    *analysis_time += AMPOM_ANALYSIS_COST;
+    monitor.on_window_wrap(*now, pf.window().wraps(), path);
+    decision.prefetch
+}
+
+/// Sends one paging request (demand page first if present), lets the
+/// deputy serve it, and registers the replies.
+#[allow(clippy::too_many_arguments)]
+fn send_request(
+    prefetch: &[PageId],
+    demand: Option<PageId>,
+    now: SimTime,
+    path: &mut NetPath,
+    deputy: &mut Deputy,
+    table: &mut ampom_mem::table::PageTablePair,
+    in_flight: &mut HashMap<PageId, SimTime>,
+    staged: &mut VecDeque<(SimTime, PageId)>,
+    was_prefetched: &mut [bool],
+    pages_prefetched: &mut u64,
+) {
+    let mut pages: Vec<PageId> = Vec::with_capacity(prefetch.len() + 1);
+    if let Some(d) = demand {
+        pages.push(d);
+    }
+    pages.extend_from_slice(prefetch);
+    let at_home = path.send_request(now, pages.len());
+    let served = deputy.serve_request(at_home, &pages, table, path);
+    for s in &served {
+        in_flight.insert(s.page, s.arrives);
+        staged.push_back((s.arrives, s.page));
+        if demand != Some(s.page) {
+            *pages_prefetched += 1;
+            was_prefetched[s.page.index() as usize] = true;
+        }
+    }
+}
+
+/// Installs every staged page that has arrived by `now`, charging the
+/// per-page install cost.
+fn install_arrived(
+    staged: &mut VecDeque<(SimTime, PageId)>,
+    in_flight: &mut HashMap<PageId, SimTime>,
+    space: &mut ampom_mem::space::AddressSpace,
+    now: &mut SimTime,
+) {
+    let mut installed = 0u64;
+    while let Some(&(arrival, page)) = staged.front() {
+        if arrival > *now {
+            break;
+        }
+        staged.pop_front();
+        in_flight.remove(&page);
+        space.install(page);
+        installed += 1;
+    }
+    if installed > 0 {
+        *now += PAGE_INSTALL_COST.saturating_mul(installed);
+    }
+}
+
+/// Evicts until one more page fits, pushing victims back to the origin
+/// (the write-back rides the request-direction link; the table re-adopts
+/// the page at the origin).
+#[allow(clippy::too_many_arguments)]
+fn make_room(
+    ev: &mut ClockEvictor,
+    protect: PageId,
+    now: SimTime,
+    path: &mut NetPath,
+    table: &mut ampom_mem::table::PageTablePair,
+    space: &mut ampom_mem::space::AddressSpace,
+    pages_evicted: &mut u64,
+) {
+    while ev.at_capacity() {
+        let victim = ev.evict(protect);
+        *pages_evicted += 1;
+        path.send_control_to_home(now, NetPath::page_reply_bytes());
+        if table.lookup(victim) == Some(ampom_mem::table::PageLocation::Destination) {
+            table.return_to_origin(victim);
+        }
+        space.mark_remote(victim);
+    }
+}
+
+/// [`install_arrived`] plus memory-pressure bookkeeping: each install may
+/// first have to evict a victim.
+#[allow(clippy::too_many_arguments)]
+fn install_arrived_pressured(
+    staged: &mut VecDeque<(SimTime, PageId)>,
+    in_flight: &mut HashMap<PageId, SimTime>,
+    space: &mut ampom_mem::space::AddressSpace,
+    now: &mut SimTime,
+    evictor: Option<&mut ClockEvictor>,
+    protect: PageId,
+    path: &mut NetPath,
+    table: &mut ampom_mem::table::PageTablePair,
+    pages_evicted: &mut u64,
+) {
+    match evictor {
+        None => install_arrived(staged, in_flight, space, now),
+        Some(ev) => {
+            let mut installed = 0u64;
+            while let Some(&(arrival, page)) = staged.front() {
+                if arrival > *now {
+                    break;
+                }
+                staged.pop_front();
+                in_flight.remove(&page);
+                if space.state(page) != ampom_mem::space::PageState::Remote {
+                    // Evicted while in flight and re-created locally, or
+                    // already handled; drop the stale copy.
+                    continue;
+                }
+                make_room(ev, protect, *now, path, table, space, pages_evicted);
+                space.install(page);
+                ev.on_install(page);
+                installed += 1;
+            }
+            if installed > 0 {
+                *now += PAGE_INSTALL_COST.saturating_mul(installed);
+            }
+        }
+    }
+}
+
+/// FFA background state: flush schedule and file-server fetch timing.
+#[derive(Debug)]
+struct FfaState {
+    /// Completion time of each page's flush to the file server.
+    flush_done: HashMap<PageId, SimTime>,
+    /// File-server link (latency/capacity like the cluster LAN).
+    link: LinkConfig,
+}
+
+impl FfaState {
+    fn new(pre: &PreMigrationState, resume_at: SimTime, link: LinkConfig) -> Self {
+        // The home node streams all dirty pages to the file server at link
+        // speed, starting at resume.
+        let per_page = link.serialization_time(PAGE_SIZE);
+        let mut flush_done = HashMap::new();
+        let mut t = resume_at;
+        for p in pre.dirty_pages() {
+            t += per_page;
+            flush_done.insert(p, t + link.latency);
+        }
+        FfaState {
+            flush_done,
+            link,
+        }
+    }
+
+    /// When the whole flush completes.
+    #[allow(dead_code)]
+    fn flush_complete(&self) -> SimTime {
+        self.flush_done
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Demand-fetches `page` from the file server at `now`; returns when
+    /// the page is installed at the destination.
+    fn fetch(&self, now: SimTime, page: PageId, trace: &mut Trace) -> SimTime {
+        let request_arrives = now + PER_MESSAGE_OVERHEAD + self.link.latency;
+        let available = self
+            .flush_done
+            .get(&page)
+            .copied()
+            .unwrap_or(request_arrives);
+        let served = request_arrives.max(available);
+        let reply = served
+            + self.link.serialization_time(PAGE_SIZE + 32)
+            + self.link.latency;
+        trace.record(
+            reply,
+            TraceKind::FileServerFlush,
+            format!("{page} via file server"),
+        );
+        reply
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampom_sim::time::SimDuration;
+    use ampom_workloads::synthetic::{Scripted, Sequential, UniformRandom};
+
+    const CPU: SimDuration = SimDuration::from_micros(10);
+
+    fn run(scheme: Scheme, w: &mut dyn Workload) -> RunReport {
+        run_workload(w, &RunConfig::new(scheme))
+    }
+
+    #[test]
+    fn openmosix_run_has_no_remote_faults() {
+        let mut w = Sequential::new(256, CPU);
+        let r = run(Scheme::OpenMosix, &mut w);
+        assert_eq!(r.fault_requests, 0);
+        assert_eq!(r.pages_prefetched, 0);
+        assert!(r.freeze_time > SimDuration::from_millis(68));
+        assert!(r.compute_time >= CPU * 256);
+    }
+
+    #[test]
+    fn noprefetch_faults_once_per_page() {
+        let mut w = Sequential::new(256, CPU);
+        let r = run(Scheme::NoPrefetch, &mut w);
+        // 256 data pages, minus the "current data" page that shipped with
+        // the freeze (the last allocated page, which the sweep touches).
+        assert_eq!(r.fault_requests, 255);
+        assert_eq!(r.pages_demand_fetched, 255);
+        assert_eq!(r.pages_prefetched, 0);
+        assert!(r.stall_time > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn ampom_prevents_most_fault_requests_on_sequential() {
+        let mut w = Sequential::new(2048, CPU);
+        let ampom = run(Scheme::Ampom, &mut w);
+        let mut w2 = Sequential::new(2048, CPU);
+        let nopf = run(Scheme::NoPrefetch, &mut w2);
+        assert!(
+            ampom.fault_requests * 4 < nopf.fault_requests,
+            "AMPoM {} vs NoPrefetch {} requests",
+            ampom.fault_requests,
+            nopf.fault_requests
+        );
+        assert!(ampom.pages_prefetched > 0);
+        assert!(ampom.total_time < nopf.total_time);
+    }
+
+    #[test]
+    fn ampom_total_includes_tiny_freeze() {
+        let mut w = Sequential::new(512, CPU);
+        let r = run(Scheme::Ampom, &mut w);
+        assert!(r.freeze_time < SimDuration::from_millis(200));
+        assert!(r.total_time > r.freeze_time);
+    }
+
+    #[test]
+    fn all_transferred_pages_are_accounted() {
+        let mut w = Sequential::new(512, CPU);
+        let r = run(Scheme::Ampom, &mut w);
+        // Every data page the workload touched had to come from somewhere:
+        // demand + prefetched + freeze pages ≥ touched pages.
+        assert!(r.pages_demand_fetched + r.pages_prefetched + 3 >= 512);
+        // Prefetched pages on a pure sequential sweep are nearly all used;
+        // the only waste is the final read-ahead overshooting the sweep's
+        // end into the (remote, mapped) stack region.
+        assert!(r.prefetch_accuracy() > 0.9, "accuracy {}", r.prefetch_accuracy());
+    }
+
+    #[test]
+    fn random_workload_still_completes_under_ampom() {
+        let mut w = UniformRandom::new(
+            512,
+            2048,
+            CPU,
+            ampom_sim::rng::SimRng::seed_from_u64(7),
+        );
+        let r = run(Scheme::Ampom, &mut w);
+        assert!(r.faults_total > 0);
+        assert!(r.fault_requests > 0);
+        // Baseline read-ahead fetches something even here.
+        assert!(r.pages_prefetched > 0);
+    }
+
+    #[test]
+    fn ffa_serves_faults_via_file_server() {
+        let mut w = Sequential::new(128, CPU);
+        let r = run(Scheme::Ffa, &mut w);
+        assert!(r.fault_requests > 0);
+        assert!(r.freeze_time < SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn analysis_overhead_is_small() {
+        let mut w = Sequential::new(4096, CPU);
+        let r = run(Scheme::Ampom, &mut w);
+        assert!(r.analysis_count > 0);
+        assert!(
+            r.analysis_overhead_fraction() < 0.006,
+            "overhead {}",
+            r.analysis_overhead_fraction()
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let report = |_| {
+            let mut w = Sequential::new(512, CPU);
+            let r = run(Scheme::Ampom, &mut w);
+            (r.total_time, r.fault_requests, r.pages_prefetched)
+        };
+        assert_eq!(report(0), report(1));
+    }
+
+    #[test]
+    fn trace_captures_migration_and_faults() {
+        let mut w = Sequential::new(64, CPU);
+        let cfg = RunConfig::new(Scheme::Ampom).with_trace();
+        let r = run_workload(&mut w, &cfg);
+        assert!(r.trace.first_of(TraceKind::FreezeEnd).is_some());
+        assert!(r.trace.first_of(TraceKind::PageFault).is_some());
+        assert!(r.trace.first_of(TraceKind::WorkloadDone).is_some());
+    }
+
+    #[test]
+    fn scripted_revisits_fault_only_once() {
+        let mut w = Scripted::new(16, &[1, 2, 3, 1, 2, 3, 1, 2, 3], CPU);
+        let r = run(Scheme::NoPrefetch, &mut w);
+        assert_eq!(r.fault_requests, 3, "revisits must hit locally");
+    }
+
+    #[test]
+    fn forwarded_syscalls_add_home_dependency_cost() {
+        let mk = || Sequential::new(512, CPU);
+        let plain = run_workload(&mut mk(), &RunConfig::new(Scheme::Ampom));
+        let mut cfg = RunConfig::new(Scheme::Ampom);
+        cfg.syscalls = Some(SyscallProfile {
+            every_refs: 16,
+            work: SimDuration::ZERO,
+        });
+        let chatty = run_workload(&mut mk(), &cfg);
+        assert_eq!(chatty.syscalls_forwarded, 512 / 16);
+        assert!(chatty.syscall_time > SimDuration::ZERO);
+        assert!(chatty.total_time > plain.total_time);
+        // Each call costs at least one network round trip.
+        assert!(
+            chatty.syscall_time
+                >= ampom_net::calibration::LAN_LATENCY * 2 * chatty.syscalls_forwarded
+        );
+    }
+
+    #[test]
+    fn openmosix_pays_the_same_home_dependency() {
+        // The home dependency is scheme-independent: even an eagerly
+        // migrated process forwards its syscalls (paper §7).
+        let mk = || Sequential::new(256, CPU);
+        let mut cfg = RunConfig::new(Scheme::OpenMosix);
+        cfg.syscalls = Some(SyscallProfile {
+            every_refs: 32,
+            work: SimDuration::from_micros(100),
+        });
+        let r = run_workload(&mut mk(), &cfg);
+        assert_eq!(r.syscalls_forwarded, 8);
+        assert!(r.syscall_time > SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn series_sampling_captures_run_dynamics() {
+        let mut w = Sequential::new(2048, CPU);
+        let mut cfg = RunConfig::new(Scheme::Ampom);
+        cfg.sample_series_every = Some(50);
+        let r = run_workload(&mut w, &cfg);
+        let series = r.series.expect("sampling enabled");
+        assert!(series.in_flight.len() > 5);
+        assert!(series.resident.len() > 5);
+        // The resident set grows monotonically on a pure sweep.
+        let resident = series.resident.samples();
+        assert!(resident.last().unwrap().1 >= resident.first().unwrap().1);
+        // The reply link sees real utilisation during the transfer phase.
+        assert!(series.link_utilization.samples().iter().any(|&(_, u)| u > 0.3));
+    }
+
+    #[test]
+    fn series_disabled_by_default() {
+        let mut w = Sequential::new(64, CPU);
+        let r = run_workload(&mut w, &RunConfig::new(Scheme::Ampom));
+        assert!(r.series.is_none());
+    }
+
+    #[test]
+    fn memory_pressure_evicts_and_slows() {
+        // 512 data pages but room for only ~128: a full sequential sweep
+        // must evict most of what it fetches.
+        let mk = || Sequential::new(512, CPU);
+        let unlimited = run_workload(&mut mk(), &RunConfig::new(Scheme::Ampom));
+        let mut cfg = RunConfig::new(Scheme::Ampom);
+        cfg.resident_limit_mb = Some(1); // 256 pages incl. code/stack
+        let pressured = run_workload(&mut mk(), &cfg);
+        assert_eq!(unlimited.pages_evicted, 0);
+        assert!(pressured.pages_evicted > 100, "{}", pressured.pages_evicted);
+        assert!(pressured.total_time >= unlimited.total_time);
+        // The sweep never revisits, so evictions cost write-backs but no
+        // re-fetches; compute is unchanged.
+        assert_eq!(pressured.compute_time, unlimited.compute_time);
+    }
+
+    #[test]
+    fn pressure_with_reuse_causes_refetch_thrashing() {
+        // Two passes over 512 pages with room for far fewer: pass two
+        // re-faults pages evicted during pass one.
+        let refs: Vec<u64> = (0..512u64).chain(0..512).collect();
+        let mk = || Scripted::new(512, &refs, CPU);
+        let unlimited = run_workload(&mut mk(), &RunConfig::new(Scheme::Ampom));
+        let mut cfg = RunConfig::new(Scheme::Ampom);
+        cfg.resident_limit_mb = Some(1);
+        let pressured = run_workload(&mut mk(), &cfg);
+        assert!(
+            pressured.pages_demand_fetched + pressured.pages_prefetched
+                > unlimited.pages_demand_fetched + unlimited.pages_prefetched,
+            "pass two must re-fetch evicted pages"
+        );
+        assert!(pressured.total_time > unlimited.total_time);
+    }
+
+    #[test]
+    fn eager_copy_into_small_node_bounces_overflow() {
+        // openMosix ships all 512 pages into a node that holds ~256: the
+        // overflow is pushed straight back before execution begins.
+        let mut w = Sequential::new(512, CPU);
+        let mut cfg = RunConfig::new(Scheme::OpenMosix);
+        cfg.resident_limit_mb = Some(1);
+        let r = run_workload(&mut w, &cfg);
+        assert!(r.pages_evicted > 200, "{}", r.pages_evicted);
+        // And the sweep then faults on the bounced pages.
+        assert!(r.fault_requests > 0);
+    }
+
+    #[test]
+    fn cross_traffic_slows_the_run() {
+        let mk = || Sequential::new(1024, SimDuration::from_micros(2));
+        let quiet = run_workload(&mut mk(), &RunConfig::new(Scheme::NoPrefetch));
+        let mut cfg = RunConfig::new(Scheme::NoPrefetch);
+        cfg.cross_traffic = Some(CrossTrafficSpec {
+            bytes_per_sec: 8_000_000,
+            burst_bytes: 64 * 1024,
+        });
+        let busy = run_workload(&mut mk(), &cfg);
+        assert!(busy.total_time > quiet.total_time);
+    }
+}

@@ -1,0 +1,226 @@
+//! Load-balancing policies over cheap migrations (paper §7).
+//!
+//! "New scheduling policies can make use of AMPoM on openMosix to perform
+//! more aggressive migrations since the performance penalty of suboptimal
+//! decisions has been dramatically decreased." This module is that
+//! future-work sketch, made concrete enough to measure: a two-policy
+//! load-balancer simulation in which jobs arrive on nodes and a policy
+//! decides when to migrate, paying the freeze time of the chosen
+//! migration mechanism.
+//!
+//! * [`Policy::LifetimeThreshold`] — the conservative classic (after
+//!   Harchol-Balter & Downey \[10\]): migrate a job only once its age
+//!   proves it long-lived, because migrations are expensive;
+//! * [`Policy::Aggressive`] — migrate whenever it improves balance, which
+//!   only pays off when freezes are cheap (AMPoM).
+//!
+//! The `examples/load_balancer.rs` binary and the ablation bench drive
+//! this module.
+
+use ampom_sim::time::SimDuration;
+
+use crate::migration::Scheme;
+
+/// A batch job: fixed CPU demand, placed on a node at arrival.
+#[derive(Debug, Clone, Copy)]
+pub struct Job {
+    /// Remaining CPU demand.
+    pub remaining: SimDuration,
+    /// Memory footprint in MB (drives migration cost).
+    pub memory_mb: u64,
+}
+
+/// The migration-decision policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Migrate only jobs older than the threshold.
+    LifetimeThreshold(SimDuration),
+    /// Migrate whenever the imbalance exceeds one job.
+    Aggressive,
+}
+
+/// Result of one load-balancing simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BalanceOutcome {
+    /// Wall time until every job finished.
+    pub makespan: SimDuration,
+    /// Number of migrations performed.
+    pub migrations: u64,
+    /// Total freeze time paid.
+    pub freeze_paid: SimDuration,
+}
+
+/// Freeze-time model per scheme (the Figure 5 calibration, closed-form).
+pub fn freeze_time(scheme: Scheme, memory_mb: u64) -> SimDuration {
+    use ampom_net::calibration::{
+        fast_ethernet, MIGRATION_BASE_COST, MPT_ENTRY_COST,
+    };
+    let bytes = memory_mb * 1024 * 1024;
+    let pages = bytes / ampom_mem::PAGE_SIZE;
+    match scheme {
+        Scheme::OpenMosix => {
+            MIGRATION_BASE_COST + fast_ethernet().serialization_time(bytes)
+        }
+        Scheme::Ampom => {
+            MIGRATION_BASE_COST
+                + MPT_ENTRY_COST.saturating_mul(pages)
+                + fast_ethernet().serialization_time(pages * 6 + 3 * 4096)
+        }
+        Scheme::NoPrefetch | Scheme::Ffa => {
+            MIGRATION_BASE_COST + fast_ethernet().serialization_time(3 * 4096)
+        }
+    }
+}
+
+/// Remote-paging tax: lazy schemes resume instantly but pay for remote
+/// faults afterwards; modelled as a fractional slowdown of the remaining
+/// work (calibrated from Figure 6: AMPoM ≈ 3%, NoPrefetch ≈ 35%).
+pub fn post_migration_slowdown(scheme: Scheme) -> f64 {
+    match scheme {
+        Scheme::OpenMosix => 0.0,
+        Scheme::Ampom => 0.03,
+        Scheme::NoPrefetch => 0.35,
+        Scheme::Ffa => 0.30,
+    }
+}
+
+/// Simulates two nodes: `loaded` starts with all jobs, `idle` with none.
+/// At each decision epoch (1 s) the policy may migrate one job from the
+/// loaded to the idle node. Returns the makespan.
+///
+/// The model is deliberately coarse — it isolates the question the paper
+/// poses in §7: *given cheaper freezes, does aggressive migration win?*
+pub fn simulate_two_nodes(
+    jobs: &[Job],
+    policy: Policy,
+    scheme: Scheme,
+) -> BalanceOutcome {
+    let epoch = SimDuration::from_secs(1);
+    let mut node_a: Vec<(Job, SimDuration)> =
+        jobs.iter().map(|&j| (j, SimDuration::ZERO)).collect(); // (job, age)
+    let mut node_b: Vec<(Job, SimDuration)> = Vec::new();
+    let mut elapsed = SimDuration::ZERO;
+    let mut migrations = 0u64;
+    let mut freeze_paid = SimDuration::ZERO;
+
+    // Guard: bound the loop far beyond any sane makespan.
+    for _ in 0..1_000_000 {
+        if node_a.is_empty() && node_b.is_empty() {
+            break;
+        }
+        // Migration decision at epoch start.
+        if node_a.len() > node_b.len() + 1 {
+            let candidate = node_a
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, age))| match policy {
+                    Policy::LifetimeThreshold(t) => *age >= t,
+                    Policy::Aggressive => true,
+                })
+                .max_by_key(|(_, (j, _))| j.remaining)
+                .map(|(i, _)| i);
+            if let Some(i) = candidate {
+                let (mut job, age) = node_a.remove(i);
+                let f = freeze_time(scheme, job.memory_mb);
+                freeze_paid += f;
+                migrations += 1;
+                // The freeze suspends the job; the slowdown taxes the rest.
+                let slow = post_migration_slowdown(scheme);
+                job.remaining = SimDuration::from_secs_f64(
+                    job.remaining.as_secs_f64() * (1.0 + slow),
+                ) + f;
+                node_b.push((job, age));
+            }
+        }
+        // Processor-share one epoch on each node.
+        for node in [&mut node_a, &mut node_b] {
+            if node.is_empty() {
+                continue;
+            }
+            let share = epoch / node.len() as u64;
+            for (job, age) in node.iter_mut() {
+                let used = share.min(job.remaining);
+                job.remaining -= used;
+                *age += epoch;
+            }
+            node.retain(|(job, _)| !job.remaining.is_zero());
+        }
+        elapsed += epoch;
+    }
+
+    BalanceOutcome {
+        makespan: elapsed,
+        migrations,
+        freeze_paid,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jobs(n: usize, secs: u64, mb: u64) -> Vec<Job> {
+        (0..n)
+            .map(|_| Job {
+                remaining: SimDuration::from_secs(secs),
+                memory_mb: mb,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn freeze_model_matches_calibration() {
+        let eager = freeze_time(Scheme::OpenMosix, 575);
+        let ampom = freeze_time(Scheme::Ampom, 575);
+        let nopf = freeze_time(Scheme::NoPrefetch, 575);
+        assert!((50.0..60.0).contains(&eager.as_secs_f64()));
+        assert!((0.4..0.9).contains(&ampom.as_secs_f64()));
+        assert!(nopf < SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn balancing_beats_no_balancing() {
+        let out = simulate_two_nodes(
+            &jobs(8, 60, 100),
+            Policy::Aggressive,
+            Scheme::Ampom,
+        );
+        // Perfect split of 8×60 s across two nodes is 240 s; one node alone
+        // needs 480 s.
+        assert!(out.migrations >= 3);
+        assert!(out.makespan < SimDuration::from_secs(400));
+    }
+
+    #[test]
+    fn aggressive_with_ampom_beats_aggressive_with_eager_on_large_jobs() {
+        let big = jobs(6, 120, 575);
+        let ampom = simulate_two_nodes(&big, Policy::Aggressive, Scheme::Ampom);
+        let eager = simulate_two_nodes(&big, Policy::Aggressive, Scheme::OpenMosix);
+        assert!(
+            ampom.makespan <= eager.makespan,
+            "cheap freezes enable aggressive balancing: {:?} vs {:?}",
+            ampom.makespan,
+            eager.makespan
+        );
+        assert!(ampom.freeze_paid < eager.freeze_paid);
+    }
+
+    #[test]
+    fn threshold_policy_migrates_less() {
+        let js = jobs(8, 60, 230);
+        let aggressive = simulate_two_nodes(&js, Policy::Aggressive, Scheme::Ampom);
+        let cautious = simulate_two_nodes(
+            &js,
+            Policy::LifetimeThreshold(SimDuration::from_secs(30)),
+            Scheme::Ampom,
+        );
+        assert!(cautious.migrations <= aggressive.migrations);
+    }
+
+    #[test]
+    fn empty_job_list_finishes_immediately() {
+        let out = simulate_two_nodes(&[], Policy::Aggressive, Scheme::Ampom);
+        assert_eq!(out.makespan, SimDuration::ZERO);
+        assert_eq!(out.migrations, 0);
+    }
+}

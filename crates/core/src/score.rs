@@ -1,0 +1,101 @@
+//! The spatial locality score `S` (paper Eq. 1).
+//!
+//! "The spatial locality score S of a process is defined as the summation
+//! of the fraction of stride_d references in W:
+//!
+//! ```text
+//!     S = Σ_{d=1}^{dmax}  stride_d / (l × d)
+//! ```
+//!
+//! Since S is a normalized score in the range of [0, 1], it can be used to
+//! describe how much a process exhibits spatial locality."
+//!
+//! With pathological windows containing repeated (non-consecutive) pages, a
+//! position can participate in links of several distances, which can push
+//! the raw sum marginally above 1; we clamp, preserving the paper's stated
+//! range.
+
+use crate::census::Census;
+
+/// Computes `S` from a completed census.
+///
+/// Returns 0 for an empty window.
+pub fn spatial_score(census: &Census) -> f64 {
+    if census.l == 0 {
+        return 0.0;
+    }
+    let l = census.l as f64;
+    let s: f64 = census
+        .stride_counts
+        .iter()
+        .enumerate()
+        .map(|(i, &count)| count as f64 / (l * (i + 1) as f64))
+        .sum();
+    s.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::census::census;
+
+    #[test]
+    fn paper_worked_example_scores_quarter() {
+        // §3.2: "{10,99,11,34,12,85} … S = stride_2/(6 × 2) = 0.25."
+        let c = census(&[10, 99, 11, 34, 12, 85], 4);
+        assert!((spatial_score(&c) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pure_sequential_scores_one() {
+        // §3.2: "a process only does sequential access to consecutive pages
+        // (e.g. {1,2,3,4...}) has S = 1."
+        let pages: Vec<u64> = (1..=20).collect();
+        let c = census(&pages, 4);
+        assert!((spatial_score(&c) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_scores_zero() {
+        let c = census(&[77, 3001, 12, 950, 444, 18, 7002], 4);
+        assert_eq!(spatial_score(&c), 0.0);
+    }
+
+    #[test]
+    fn first_paper_example_score() {
+        // {1,99,2,45,3,78,4}: stride_2 = 4, l = 7 → S = 4/14.
+        let c = census(&[1, 99, 2, 45, 3, 78, 4], 4);
+        assert!((spatial_score(&c) - 4.0 / 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn three_lane_interleave_scores_one_third() {
+        // STREAM-like: three interleaved sequential streams → every
+        // position participates in a stride-3 link (interior ones), so
+        // stride_3 ≈ l and S ≈ l/(l·3) = 1/3.
+        let mut pages = Vec::new();
+        for i in 0..7u64 {
+            pages.push(100 + i);
+            pages.push(500 + i);
+            pages.push(900 + i);
+        }
+        let c = census(&pages[..20], 4);
+        let s = spatial_score(&c);
+        assert!((0.28..=0.34).contains(&s), "S = {s}");
+    }
+
+    #[test]
+    fn score_is_clamped_to_unit_interval() {
+        // Duplicates create multi-distance participation; the clamp keeps
+        // S ≤ 1 regardless.
+        let c = census(&[5, 7, 5, 7, 5, 6], 4);
+        let s = spatial_score(&c);
+        assert!((0.0..=1.0).contains(&s));
+    }
+
+    #[test]
+    fn empty_window_scores_zero() {
+        let c = census(&[], 4);
+        assert_eq!(spatial_score(&c), 0.0);
+    }
+}

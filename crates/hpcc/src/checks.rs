@@ -1,0 +1,200 @@
+//! The reproduction checklist: every quantitative claim the paper makes,
+//! re-measured and judged automatically.
+//!
+//! `hpcc-repro check` runs the experiments behind each claim and prints a
+//! PASS/FAIL table — the repository's "reproduction certificate". Bands
+//! are deliberately loose (this is a simulator, not the authors'
+//! testbed); each band is justified in EXPERIMENTS.md.
+
+use ampom_core::migration::Scheme;
+use ampom_core::runner::{run_workload, RunConfig};
+use ampom_workloads::dgemm::DgemmSmallWs;
+use ampom_workloads::sizes::ProblemSize;
+use ampom_workloads::{build_kernel, Kernel};
+
+use crate::matrix::{par_map, MATRIX_SEED};
+use crate::report::AsciiTable;
+
+/// One checked claim.
+#[derive(Debug)]
+pub struct Claim {
+    /// Where the paper states it.
+    pub source: &'static str,
+    /// The claim, paraphrased.
+    pub statement: String,
+    /// What we measured.
+    pub measured: String,
+    /// Whether the measurement satisfies the acceptance band.
+    pub pass: bool,
+}
+
+/// Runs the full checklist. `quick` shrinks problem sizes (used by tests);
+/// the published certificate uses full sizes.
+pub fn run_checklist(quick: bool) -> Vec<Claim> {
+    let size_mb = if quick { 8 } else { 575 };
+    let ra_mb = if quick { 8 } else { 513 };
+    let mut claims = Vec::new();
+
+    // Run the three schemes on DGEMM and RandomAccess once, in parallel.
+    let runs = par_map(
+        vec![
+            (Kernel::Dgemm, size_mb, Scheme::OpenMosix),
+            (Kernel::Dgemm, size_mb, Scheme::Ampom),
+            (Kernel::Dgemm, size_mb, Scheme::NoPrefetch),
+            (Kernel::RandomAccess, ra_mb, Scheme::Ampom),
+            (Kernel::RandomAccess, ra_mb, Scheme::NoPrefetch),
+        ],
+        |(kernel, mb, scheme)| {
+            let size = ProblemSize { problem: 0, memory_mb: mb };
+            let mut w = build_kernel(kernel, &size, MATRIX_SEED);
+            (kernel, scheme, run_workload(w.as_mut(), &RunConfig::new(scheme)))
+        },
+    );
+    let get = |kernel, scheme| {
+        &runs
+            .iter()
+            .find(|(k, s, _)| *k == kernel && *s == scheme)
+            .expect("run present")
+            .2
+    };
+
+    let eager = get(Kernel::Dgemm, Scheme::OpenMosix);
+    let ampom = get(Kernel::Dgemm, Scheme::Ampom);
+    let nopf = get(Kernel::Dgemm, Scheme::NoPrefetch);
+
+    // §Abstract: "AMPoM can avoid 98% of migration freeze time".
+    let freeze_avoided =
+        1.0 - ampom.freeze_time.as_secs_f64() / eager.freeze_time.as_secs_f64();
+    claims.push(Claim {
+        source: "abstract",
+        statement: "AMPoM avoids ~98% of openMosix's freeze time".into(),
+        measured: format!("{:.1}% avoided", freeze_avoided * 100.0),
+        pass: freeze_avoided > 0.9,
+    });
+
+    // §5.2: NoPrefetch freeze is flat and tiny.
+    claims.push(Claim {
+        source: "§5.2",
+        statement: "NoPrefetch freeze ≈ 0.07 s regardless of size".into(),
+        measured: format!("{:.3} s", nopf.freeze_time.as_secs_f64()),
+        pass: (0.05..0.12).contains(&nopf.freeze_time.as_secs_f64()),
+    });
+
+    // §Abstract: "preventing 85-99% of page fault requests".
+    let prevented = ampom.fault_prevention_vs(nopf);
+    claims.push(Claim {
+        source: "abstract / fig 7",
+        statement: "AMPoM prevents 85–99% of DGEMM fault requests".into(),
+        measured: format!("{:.1}% prevented", prevented * 100.0),
+        pass: prevented > 0.85,
+    });
+
+    let ra_ampom = get(Kernel::RandomAccess, Scheme::Ampom);
+    let ra_nopf = get(Kernel::RandomAccess, Scheme::NoPrefetch);
+    let ra_prevented = ra_ampom.fault_prevention_vs(ra_nopf);
+    claims.push(Claim {
+        source: "fig 7",
+        statement: "RandomAccess fault prevention near 85%".into(),
+        measured: format!("{:.1}% prevented", ra_prevented * 100.0),
+        pass: (0.7..0.95).contains(&ra_prevented),
+    });
+
+    // §Abstract: "0-5% additional runtime" vs openMosix. The acceptance
+    // band is ±5% at the paper's full sizes; at quick (small) sizes the
+    // documented small-size artifact (EXPERIMENTS.md deviation 1) widens
+    // it — AMPoM is *faster* there, never slower.
+    let increase = ampom.exec_increase_vs(eager);
+    let band = if quick { 15.0 } else { 5.0 };
+    claims.push(Claim {
+        source: "abstract / fig 6",
+        statement: format!("AMPoM within ±{band:.0}% of openMosix runtime (DGEMM)"),
+        measured: format!("{increase:+.1}%"),
+        pass: increase.abs() < band,
+    });
+
+    // Fig 6: NoPrefetch clearly lags.
+    let nopf_increase = nopf.exec_increase_vs(eager);
+    claims.push(Claim {
+        source: "fig 6",
+        statement: "NoPrefetch lags openMosix by tens of percent".into(),
+        measured: format!("{nopf_increase:+.1}%"),
+        pass: nopf_increase > 15.0,
+    });
+
+    // Fig 8: adaptivity — sequential ≫ random aggressiveness.
+    let seq_budget = ampom.prefetch_stats.budgets.mean();
+    let ra_budget = ra_ampom.prefetch_stats.budgets.mean();
+    claims.push(Claim {
+        source: "fig 8 / §5.4",
+        statement: "Prefetch aggressiveness adapts: sequential ≫ random".into(),
+        measured: format!("budgets {seq_budget:.0} vs {ra_budget:.0}"),
+        pass: seq_budget > 5.0 * ra_budget,
+    });
+
+    // Fig 11: analysis overhead < 0.6%.
+    let overhead = ampom.analysis_overhead_fraction();
+    claims.push(Claim {
+        source: "fig 11",
+        statement: "Dependent-zone analysis < 0.6% of execution time".into(),
+        measured: format!("{:.2}%", overhead * 100.0),
+        pass: overhead < 0.006,
+    });
+
+    // Fig 10: small working sets favour AMPoM.
+    let (alloc, ws) = if quick { (16u64, 4u64) } else { (575, 115) };
+    let fig10 = par_map(
+        vec![Scheme::OpenMosix, Scheme::Ampom],
+        move |scheme| {
+            let mut w = DgemmSmallWs::new(alloc * 1024 * 1024, ws * 1024 * 1024);
+            (scheme, run_workload(&mut w, &RunConfig::new(scheme)))
+        },
+    );
+    let small_eager = &fig10.iter().find(|(s, _)| *s == Scheme::OpenMosix).unwrap().1;
+    let small_ampom = &fig10.iter().find(|(s, _)| *s == Scheme::Ampom).unwrap().1;
+    let saved = -small_ampom.exec_increase_vs(small_eager);
+    claims.push(Claim {
+        source: "§5.6 / fig 10",
+        statement: "Small working set: AMPoM outperforms considerably".into(),
+        measured: format!("{saved:.1}% faster"),
+        pass: saved > 20.0,
+    });
+
+    claims
+}
+
+/// Renders the checklist as a table.
+pub fn checklist_table(claims: &[Claim]) -> AsciiTable {
+    let mut t = AsciiTable::new(
+        "Reproduction certificate: paper claims vs this implementation",
+        &["source", "claim", "measured", "verdict"],
+    );
+    for c in claims {
+        t.row(vec![
+            c.source.into(),
+            c.statement.clone(),
+            c.measured.clone(),
+            if c.pass { "PASS".into() } else { "FAIL".into() },
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_checklist_passes_every_claim() {
+        let claims = run_checklist(true);
+        assert!(claims.len() >= 9);
+        for c in &claims {
+            assert!(
+                c.pass,
+                "claim failed at quick size: {} — measured {}",
+                c.statement, c.measured
+            );
+        }
+        let t = checklist_table(&claims);
+        assert!(t.render().contains("PASS"));
+    }
+}

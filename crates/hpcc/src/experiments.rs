@@ -1,0 +1,433 @@
+//! One function per paper table/figure, each returning the ASCII tables
+//! that regenerate it.
+
+use ampom_core::migration::Scheme;
+use ampom_core::runner::{run_workload, RunConfig};
+use ampom_net::calibration::{broadband, fast_ethernet};
+use ampom_sim::trace::TraceKind;
+use ampom_workloads::dgemm::DgemmSmallWs;
+use ampom_workloads::locality::analyze;
+use ampom_workloads::sizes::{
+    ProblemSize, DGEMM_SIZES, RANDOM_ACCESS_FFT_SIZES, STREAM_SIZES,
+};
+use ampom_workloads::synthetic::Sequential;
+use ampom_workloads::{build_kernel, Kernel};
+
+use crate::matrix::{find, par_map, Cell, MATRIX_SEED};
+use crate::report::{pct, secs, AsciiTable};
+
+/// Table 1: problem sizes and memory sizes of HPCC.
+pub fn table1() -> AsciiTable {
+    let mut t = AsciiTable::new(
+        "Table 1: Problem and memory sizes of HPCC",
+        &["kernel", "problem sizes", "memory sizes (MB)"],
+    );
+    let fmt = |sizes: &[ProblemSize]| {
+        (
+            sizes
+                .iter()
+                .map(|s| s.problem.to_string())
+                .collect::<Vec<_>>()
+                .join(" "),
+            sizes
+                .iter()
+                .map(|s| s.memory_mb.to_string())
+                .collect::<Vec<_>>()
+                .join(" "),
+        )
+    };
+    let (p, m) = fmt(&DGEMM_SIZES);
+    t.row(vec!["DGEMM".into(), p, m]);
+    let (p, m) = fmt(&STREAM_SIZES);
+    t.row(vec!["STREAM".into(), p, m]);
+    let (p, m) = fmt(&RANDOM_ACCESS_FFT_SIZES);
+    t.row(vec!["RandomAccess & FFT".into(), p, m]);
+    t
+}
+
+/// Figure 2: migration timelines of openMosix, FFA and AMPoM on a small
+/// sequential workload. Returns `(summary, per-scheme timelines)`.
+pub fn fig2() -> (AsciiTable, Vec<(String, String)>) {
+    let schemes = [Scheme::OpenMosix, Scheme::Ffa, Scheme::Ampom];
+    let results = par_map(schemes.to_vec(), |scheme| {
+        let mut w = Sequential::new(2048, ampom_sim::time::SimDuration::from_micros(20));
+        let cfg = RunConfig::new(scheme).with_trace();
+        let r = run_workload(&mut w, &cfg);
+        (scheme, r)
+    });
+
+    let mut t = AsciiTable::new(
+        "Figure 2: migration mechanisms (2048-page sequential migrant)",
+        &["scheme", "freeze (s)", "resume at (s)", "first fault (s)", "done (s)"],
+    );
+    let mut timelines = Vec::new();
+    for (scheme, r) in &results {
+        let resume = r
+            .trace
+            .first_of(TraceKind::FreezeEnd)
+            .map(|e| e.at.as_secs_f64())
+            .unwrap_or(0.0);
+        let first_fault = r
+            .trace
+            .first_of(TraceKind::PageFault)
+            .map(|e| secs(e.at.as_secs_f64()))
+            .unwrap_or_else(|| "-".into());
+        t.row(vec![
+            scheme.name().into(),
+            secs(r.freeze_time.as_secs_f64()),
+            secs(resume),
+            first_fault,
+            secs(r.total_time.as_secs_f64()),
+        ]);
+        // Keep the first 25 events of each timeline for display.
+        let mut timeline = String::new();
+        for e in r.trace.events().iter().take(25) {
+            timeline.push_str(&format!(
+                "{:>12.6}s  {:<18} {}\n",
+                e.at.as_secs_f64(),
+                e.kind.to_string(),
+                e.detail
+            ));
+        }
+        timelines.push((scheme.name().to_string(), timeline));
+    }
+    (t, timelines)
+}
+
+/// Figure 4: measured localities of the four kernels (the conceptual
+/// quadrant, quantified). Spatial axis: successor fraction of the
+/// reference stream; temporal axis: reuse fraction.
+pub fn fig4(quick: bool) -> AsciiTable {
+    let mb = if quick { 4 } else { 64 };
+    let size = ProblemSize { problem: 0, memory_mb: mb };
+    let rows = par_map(Kernel::ALL.to_vec(), |kernel| {
+        let w = build_kernel(kernel, &size, MATRIX_SEED);
+        let a = analyze(w);
+        (kernel, a)
+    });
+    let mut t = AsciiTable::new(
+        format!("Figure 4: measured kernel localities ({mb} MB streams)"),
+        &["kernel", "spatial (successor frac)", "temporal (reuse frac)", "quadrant (relative)"],
+    );
+    // The paper's quadrant is relative: it ranks the four kernels against
+    // each other, so the thresholds are the medians of the measured set.
+    let median = |mut v: Vec<f64>| {
+        v.sort_by(|a, b| a.total_cmp(b));
+        (v[1] + v[2]) / 2.0
+    };
+    let spatial_med = median(rows.iter().map(|(_, a)| a.successor_fraction).collect());
+    let temporal_med = median(rows.iter().map(|(_, a)| a.reuse_fraction).collect());
+    for (kernel, a) in rows {
+        let quadrant = match (
+            a.successor_fraction >= spatial_med,
+            a.reuse_fraction >= temporal_med,
+        ) {
+            (true, true) => "spatial:high temporal:high",
+            (true, false) => "spatial:high temporal:low",
+            (false, true) => "spatial:low temporal:high",
+            (false, false) => "spatial:low temporal:low",
+        };
+        t.row(vec![
+            kernel.name().into(),
+            format!("{:.3}", a.successor_fraction),
+            format!("{:.3}", a.reuse_fraction),
+            quadrant.into(),
+        ]);
+    }
+    t
+}
+
+/// Figure 5: migration freeze time vs program size, per kernel.
+pub fn fig5(cells: &[Cell]) -> Vec<AsciiTable> {
+    per_kernel_tables(cells, "Figure 5: migration freeze time (s)", |c| {
+        secs(c.report.freeze_time.as_secs_f64())
+    })
+}
+
+/// Figure 6: total execution time vs program size, per kernel.
+pub fn fig6(cells: &[Cell]) -> Vec<AsciiTable> {
+    per_kernel_tables(cells, "Figure 6: total execution time (s)", |c| {
+        secs(c.report.total_time.as_secs_f64())
+    })
+}
+
+/// Figure 7: number of page-fault requests, AMPoM vs NoPrefetch, plus the
+/// prevention percentage the paper quotes.
+pub fn fig7(cells: &[Cell]) -> Vec<AsciiTable> {
+    let mut out = Vec::new();
+    for kernel in Kernel::ALL {
+        let sizes: Vec<u64> = cells
+            .iter()
+            .filter(|c| c.kernel == kernel)
+            .map(|c| c.size.memory_mb)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let mut t = AsciiTable::new(
+            format!("Figure 7: page fault requests — {}", kernel.name()),
+            &["MB", "AMPoM", "NoPrefetch", "prevented"],
+        );
+        for mb in sizes {
+            let ampom = find(cells, kernel, mb, Scheme::Ampom);
+            let nopf = find(cells, kernel, mb, Scheme::NoPrefetch);
+            t.row(vec![
+                mb.to_string(),
+                ampom.report.fault_requests.to_string(),
+                nopf.report.fault_requests.to_string(),
+                pct(ampom.report.fault_prevention_vs(&nopf.report) * 100.0),
+            ]);
+        }
+        out.push(t);
+    }
+    out
+}
+
+/// Figure 8: prefetching aggressiveness per kernel — the mean
+/// dependent-zone budget at each fault and pages prefetched per fault
+/// request.
+pub fn fig8(cells: &[Cell]) -> AsciiTable {
+    let mut t = AsciiTable::new(
+        "Figure 8: prefetched pages per page fault (AMPoM)",
+        &["kernel", "MB", "mean zone budget", "prefetched/request", "mean S"],
+    );
+    for kernel in Kernel::ALL {
+        for c in cells
+            .iter()
+            .filter(|c| c.kernel == kernel && c.scheme == Scheme::Ampom)
+        {
+            t.row(vec![
+                kernel.name().into(),
+                c.size.memory_mb.to_string(),
+                format!("{:.1}", c.report.prefetch_stats.budgets.mean()),
+                format!("{:.1}", c.report.prefetched_per_fault()),
+                format!("{:.3}", c.report.prefetch_stats.scores.mean()),
+            ]);
+        }
+    }
+    t
+}
+
+/// Figure 9: adaptation to network performance — % increase in execution
+/// time vs openMosix at 100 Mb/s and 6 Mb/s.
+pub fn fig9(quick: bool) -> AsciiTable {
+    let (dgemm_mb, ra_mb) = if quick { (4, 4) } else { (115, 129) };
+    let mut specs = Vec::new();
+    for (kernel, mb) in [(Kernel::Dgemm, dgemm_mb), (Kernel::RandomAccess, ra_mb)] {
+        for (label, link) in [("100Mb/s", fast_ethernet()), ("6Mb/s", broadband())] {
+            for scheme in Scheme::EVALUATED {
+                specs.push((kernel, mb, label, link, scheme));
+            }
+        }
+    }
+    let results = par_map(specs, |(kernel, mb, label, link, scheme)| {
+        let size = ProblemSize { problem: 0, memory_mb: mb };
+        let mut w = build_kernel(kernel, &size, MATRIX_SEED);
+        let r = run_workload(w.as_mut(), &RunConfig::new(scheme).with_link(link));
+        (kernel, mb, label, scheme, r)
+    });
+    let mut t = AsciiTable::new(
+        "Figure 9: % increase in execution time vs openMosix",
+        &["kernel", "MB", "network", "NoPrefetch", "AMPoM"],
+    );
+    for (kernel, mb) in [(Kernel::Dgemm, dgemm_mb), (Kernel::RandomAccess, ra_mb)] {
+        for label in ["100Mb/s", "6Mb/s"] {
+            let pick = |scheme: Scheme| {
+                &results
+                    .iter()
+                    .find(|(k, m, l, s, _)| {
+                        *k == kernel && *m == mb && *l == label && *s == scheme
+                    })
+                    .expect("run present")
+                    .4
+            };
+            let base = pick(Scheme::OpenMosix);
+            t.row(vec![
+                kernel.name().into(),
+                mb.to_string(),
+                label.into(),
+                pct(pick(Scheme::NoPrefetch).exec_increase_vs(base)),
+                pct(pick(Scheme::Ampom).exec_increase_vs(base)),
+            ]);
+        }
+    }
+    t
+}
+
+/// Figure 10: DGEMM with a 575 MB allocation and smaller working sets;
+/// openMosix vs AMPoM total execution time.
+pub fn fig10(quick: bool) -> AsciiTable {
+    let (alloc_mb, ws_list): (u64, Vec<u64>) = if quick {
+        (16, vec![4, 8, 16])
+    } else {
+        (575, vec![115, 230, 345, 460, 575])
+    };
+    let mut specs = Vec::new();
+    for &ws in &ws_list {
+        for scheme in [Scheme::OpenMosix, Scheme::Ampom] {
+            specs.push((ws, scheme));
+        }
+    }
+    let results = par_map(specs, |(ws, scheme)| {
+        let mut w = DgemmSmallWs::new(alloc_mb * 1024 * 1024, ws * 1024 * 1024);
+        let r = run_workload(&mut w, &RunConfig::new(scheme));
+        (ws, scheme, r)
+    });
+    let mut t = AsciiTable::new(
+        format!("Figure 10: small working sets ({alloc_mb} MB allocated DGEMM)"),
+        &["working set (MB)", "openMosix (s)", "AMPoM (s)", "AMPoM saves"],
+    );
+    for &ws in &ws_list {
+        let pick = |scheme: Scheme| {
+            &results
+                .iter()
+                .find(|(w, s, _)| *w == ws && *s == scheme)
+                .expect("run present")
+                .2
+        };
+        let eager = pick(Scheme::OpenMosix);
+        let ampom = pick(Scheme::Ampom);
+        t.row(vec![
+            ws.to_string(),
+            secs(eager.total_time.as_secs_f64()),
+            secs(ampom.total_time.as_secs_f64()),
+            pct(-ampom.exec_increase_vs(eager)),
+        ]);
+    }
+    t
+}
+
+/// Figure 11: time to determine the dependent zone, as a percentage of
+/// total execution time (AMPoM runs).
+pub fn fig11(cells: &[Cell]) -> AsciiTable {
+    let mut t = AsciiTable::new(
+        "Figure 11: AMPoM analysis overhead (% of execution time)",
+        &["kernel", "MB", "analyses", "analysis time (s)", "overhead"],
+    );
+    for kernel in Kernel::ALL {
+        for c in cells
+            .iter()
+            .filter(|c| c.kernel == kernel && c.scheme == Scheme::Ampom)
+        {
+            t.row(vec![
+                kernel.name().into(),
+                c.size.memory_mb.to_string(),
+                c.report.analysis_count.to_string(),
+                secs(c.report.analysis_time.as_secs_f64()),
+                pct(c.report.analysis_overhead_fraction() * 100.0),
+            ]);
+        }
+    }
+    t
+}
+
+/// Builds one table per kernel with a `MB | AMPoM | openMosix | NoPrefetch`
+/// layout, projecting `metric` out of each cell.
+fn per_kernel_tables(
+    cells: &[Cell],
+    title: &str,
+    metric: impl Fn(&Cell) -> String,
+) -> Vec<AsciiTable> {
+    let mut out = Vec::new();
+    for kernel in Kernel::ALL {
+        let sizes: Vec<u64> = cells
+            .iter()
+            .filter(|c| c.kernel == kernel)
+            .map(|c| c.size.memory_mb)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let mut t = AsciiTable::new(
+            format!("{title} — {}", kernel.name()),
+            &["MB", "AMPoM", "openMosix", "NoPrefetch"],
+        );
+        for mb in sizes {
+            t.row(vec![
+                mb.to_string(),
+                metric(find(cells, kernel, mb, Scheme::Ampom)),
+                metric(find(cells, kernel, mb, Scheme::OpenMosix)),
+                metric(find(cells, kernel, mb, Scheme::NoPrefetch)),
+            ]);
+        }
+        out.push(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::full_matrix;
+
+    #[test]
+    fn table1_lists_all_kernels() {
+        let t = table1();
+        assert_eq!(t.len(), 3);
+        let s = t.render();
+        assert!(s.contains("17350"));
+        assert!(s.contains("575"));
+    }
+
+    #[test]
+    fn table1_csv_golden() {
+        let dir = std::env::temp_dir().join("ampom-table1-golden");
+        table1().write_csv(&dir, "table1").unwrap();
+        let got = std::fs::read_to_string(dir.join("table1.csv")).unwrap();
+        let want = "\
+kernel,problem sizes,memory sizes (MB)
+DGEMM,7600 10850 13350 15450 17350,115 230 345 460 575
+STREAM,7750 11000 13450 15520 17400,115 230 345 460 575
+RandomAccess & FFT,8000 11000 16000 23000,65 129 260 513
+";
+        assert_eq!(got, want);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fig2_timeline_ordering() {
+        let (summary, timelines) = fig2();
+        assert_eq!(summary.len(), 3);
+        assert_eq!(timelines.len(), 3);
+        let rendered = summary.render();
+        assert!(rendered.contains("openMosix"));
+        assert!(rendered.contains("FFA"));
+        assert!(rendered.contains("AMPoM"));
+    }
+
+    #[test]
+    fn fig4_places_kernels_in_quadrants() {
+        let t = fig4(true);
+        let s = t.render();
+        assert!(s.contains("STREAM"));
+        // RandomAccess must land in the low-spatial half; DGEMM in the
+        // high/high corner (the paper's Figure 4 placement).
+        let ra_line = s.lines().find(|l| l.contains("RandomAccess")).unwrap();
+        assert!(ra_line.contains("spatial:low"), "{ra_line}");
+        let dgemm_line = s.lines().find(|l| l.starts_with("DGEMM") || l.contains(" DGEMM ")).unwrap();
+        assert!(dgemm_line.contains("spatial:high temporal:high"), "{dgemm_line}");
+    }
+
+    #[test]
+    fn quick_matrix_figures_render() {
+        let cells = full_matrix(true);
+        assert_eq!(fig5(&cells).len(), 4);
+        assert_eq!(fig6(&cells).len(), 4);
+        assert_eq!(fig7(&cells).len(), 4);
+        assert!(!fig8(&cells).is_empty());
+        assert!(!fig11(&cells).is_empty());
+    }
+
+    #[test]
+    fn fig9_quick_renders() {
+        let t = fig9(true);
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn fig10_quick_shows_ampom_winning_at_small_ws() {
+        let t = fig10(true);
+        assert_eq!(t.len(), 3);
+        // First row = smallest working set: AMPoM must save time.
+        let rendered = t.render();
+        assert!(rendered.contains('%'));
+    }
+}

@@ -1,0 +1,30 @@
+//! # ampom-hpcc — the experiment harness
+//!
+//! Regenerates every table and figure of the AMPoM paper's evaluation
+//! (§5) from the simulated system:
+//!
+//! | id | content | function |
+//! |----|---------|----------|
+//! | Table 1 | HPCC problem/memory sizes | [`experiments::table1`] |
+//! | Fig. 2 | migration timelines | [`experiments::fig2`] |
+//! | Fig. 4 | kernel locality quadrant | [`experiments::fig4`] |
+//! | Fig. 5 | migration freeze times | [`experiments::fig5`] |
+//! | Fig. 6 | total execution times | [`experiments::fig6`] |
+//! | Fig. 7 | page-fault requests | [`experiments::fig7`] |
+//! | Fig. 8 | prefetch aggressiveness | [`experiments::fig8`] |
+//! | Fig. 9 | network adaptation | [`experiments::fig9`] |
+//! | Fig. 10 | small working sets | [`experiments::fig10`] |
+//! | Fig. 11 | analysis overhead | [`experiments::fig11`] |
+//!
+//! Beyond the paper, [`extensions`] quantifies the §7 future-work items
+//! (VM migration, cluster-scale balancing), the algorithm's stride-window
+//! limits (PTRANS), the §5.6 interactive scenario, prefetch accuracy, and
+//! parameter-sensitivity sweeps.
+//!
+//! The `hpcc-repro` binary drives these; see `hpcc-repro --help`.
+
+pub mod checks;
+pub mod experiments;
+pub mod extensions;
+pub mod matrix;
+pub mod report;

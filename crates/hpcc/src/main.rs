@@ -1,0 +1,255 @@
+//! `hpcc-repro` — regenerate the AMPoM paper's tables and figures.
+//!
+//! ```text
+//! hpcc-repro [COMMAND] [--quick] [--csv DIR]
+//!
+//! Commands:
+//!   all       every table and figure (default)
+//!   table1    HPCC problem/memory sizes
+//!   fig2      migration timelines (openMosix / FFA / AMPoM)
+//!   fig4      kernel locality quadrant
+//!   fig5      migration freeze times
+//!   fig6      total execution times
+//!   fig7      page-fault requests
+//!   fig8      prefetch aggressiveness
+//!   fig9      adaptation to network performance
+//!   fig10     small working sets
+//!   fig11     AMPoM analysis overhead
+//!   ext-vm    extension: VM migration (shared vs per-process windows)
+//!   ext-cluster   extension: gossip-based cluster load balancing
+//!   ext-ptrans    extension: the transpose pattern beyond dmax
+//!   ext-interactive extension: the §5.6 interactive application
+//!   ext-roundtrip extension: migrate out and back (suboptimal decisions)
+//!   ext-syscall   extension: forwarded-syscall home dependency
+//!   ext-pressure  extension: destination memory pressure (eviction)
+//!   ext-hpl       extension: HPL / LU factorisation pattern
+//!   ext-locality  extension: measured locality of all workloads
+//!   ext-timing    extension: migrate mid-run instead of post-allocation
+//!   ext-gossip    extension: gossip staleness vs balancing quality
+//!   ext-accuracy  extension: prefetch accuracy per kernel
+//!   timeline  sampled run dynamics (in-flight, resident, budget, link)
+//!   check     reproduction certificate: paper claims, PASS/FAIL
+//!   sweep     sensitivity of l, dmax and the baseline read-ahead
+//!
+//! Options:
+//!   --quick   tiny problem sizes (seconds instead of minutes)
+//!   --csv DIR also write each series as CSV under DIR
+//! ```
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use ampom_hpcc::{checks, experiments, extensions};
+use ampom_hpcc::matrix::{full_matrix, Cell};
+use ampom_hpcc::report::AsciiTable;
+
+struct Options {
+    command: String,
+    quick: bool,
+    csv_dir: Option<PathBuf>,
+}
+
+fn parse_args() -> Options {
+    let mut command = "all".to_string();
+    let mut quick = false;
+    let mut csv_dir = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--csv" => {
+                csv_dir = Some(PathBuf::from(
+                    args.next().expect("--csv requires a directory"),
+                ));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "hpcc-repro [all|table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|\
+                     ext-vm|ext-cluster|ext-ptrans|ext-interactive|ext-roundtrip|ext-syscall|ext-pressure|ext-hpl|ext-locality|ext-timing|ext-gossip|ext-accuracy|timeline|check|sweep] \
+                     [--quick] [--csv DIR]"
+                );
+                std::process::exit(0);
+            }
+            cmd if !cmd.starts_with('-') => command = cmd.to_string(),
+            other => {
+                eprintln!("unknown option {other}; see --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    Options {
+        command,
+        quick,
+        csv_dir,
+    }
+}
+
+fn emit(table: &AsciiTable, opts: &Options, name: &str) {
+    println!("{}", table.render());
+    if let Some(dir) = &opts.csv_dir {
+        if let Err(e) = table.write_csv(dir, name) {
+            eprintln!("warning: could not write {name}.csv: {e}");
+        }
+        // Figures with a size-like x axis also get a gnuplot script, with
+        // the paper's log-scale presentation for freeze times and fault
+        // counts.
+        let plot = match name.split('_').next().unwrap_or("") {
+            "fig5" => Some(("freeze time (s)", true)),
+            "fig6" => Some(("total execution time (s)", false)),
+            "fig7" => Some(("page fault requests", true)),
+            "fig10" => Some(("total execution time (s)", false)),
+            "fig11" => Some(("overhead (%)", false)),
+            _ => None,
+        };
+        if let Some((ylabel, log_y)) = plot {
+            if let Err(e) = table.write_gnuplot(dir, name, ylabel, log_y) {
+                eprintln!("warning: could not write {name}.gp: {e}");
+            }
+        }
+    }
+}
+
+fn emit_all(tables: &[AsciiTable], opts: &Options, prefix: &str) {
+    for (i, t) in tables.iter().enumerate() {
+        emit(t, opts, &format!("{prefix}_{i}"));
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    let wants = |name: &str| opts.command == "all" || opts.command == name;
+    let needs_matrix = ["fig5", "fig6", "fig7", "fig8", "fig11"]
+        .iter()
+        .any(|f| wants(f));
+    let cells: Option<Vec<Cell>> = if needs_matrix {
+        let started = Instant::now();
+        eprintln!(
+            "running the {} experiment matrix (4 kernels x sizes x 3 schemes)...",
+            if opts.quick { "quick" } else { "full" }
+        );
+        let m = full_matrix(opts.quick);
+        eprintln!("matrix done in {:.1}s", started.elapsed().as_secs_f64());
+        Some(m)
+    } else {
+        None
+    };
+
+    let mut ran = false;
+    if wants("table1") {
+        emit(&experiments::table1(), &opts, "table1");
+        ran = true;
+    }
+    if wants("fig2") {
+        let (summary, timelines) = experiments::fig2();
+        emit(&summary, &opts, "fig2");
+        for (scheme, timeline) in timelines {
+            println!("--- {scheme} timeline (first events) ---");
+            println!("{timeline}");
+        }
+        ran = true;
+    }
+    if wants("fig4") {
+        emit(&experiments::fig4(opts.quick), &opts, "fig4");
+        ran = true;
+    }
+    if let Some(cells) = &cells {
+        if wants("fig5") {
+            emit_all(&experiments::fig5(cells), &opts, "fig5");
+            ran = true;
+        }
+        if wants("fig6") {
+            emit_all(&experiments::fig6(cells), &opts, "fig6");
+            ran = true;
+        }
+        if wants("fig7") {
+            emit_all(&experiments::fig7(cells), &opts, "fig7");
+            ran = true;
+        }
+        if wants("fig8") {
+            emit(&experiments::fig8(cells), &opts, "fig8");
+            ran = true;
+        }
+        if wants("fig11") {
+            emit(&experiments::fig11(cells), &opts, "fig11");
+            ran = true;
+        }
+    }
+    if wants("fig9") {
+        emit(&experiments::fig9(opts.quick), &opts, "fig9");
+        ran = true;
+    }
+    if wants("fig10") {
+        emit(&experiments::fig10(opts.quick), &opts, "fig10");
+        ran = true;
+    }
+    if wants("ext-vm") {
+        emit(&extensions::ext_vm(opts.quick), &opts, "ext_vm");
+        ran = true;
+    }
+    if wants("ext-cluster") {
+        emit(&extensions::ext_cluster(opts.quick), &opts, "ext_cluster");
+        ran = true;
+    }
+    if wants("ext-ptrans") {
+        emit(&extensions::ext_ptrans(opts.quick), &opts, "ext_ptrans");
+        ran = true;
+    }
+    if wants("ext-interactive") {
+        emit(&extensions::ext_interactive(opts.quick), &opts, "ext_interactive");
+        ran = true;
+    }
+    if wants("ext-roundtrip") {
+        emit(&extensions::ext_roundtrip(opts.quick), &opts, "ext_roundtrip");
+        ran = true;
+    }
+    if wants("ext-syscall") {
+        emit(&extensions::ext_syscall(opts.quick), &opts, "ext_syscall");
+        ran = true;
+    }
+    if wants("ext-pressure") {
+        emit(&extensions::ext_pressure(opts.quick), &opts, "ext_pressure");
+        ran = true;
+    }
+    if wants("ext-accuracy") {
+        emit(&extensions::ext_accuracy(opts.quick), &opts, "ext_accuracy");
+        ran = true;
+    }
+    if wants("ext-gossip") {
+        emit(&extensions::ext_gossip(opts.quick), &opts, "ext_gossip");
+        ran = true;
+    }
+    if wants("ext-timing") {
+        emit(&extensions::ext_timing(opts.quick), &opts, "ext_timing");
+        ran = true;
+    }
+    if wants("ext-locality") {
+        emit(&extensions::ext_locality(opts.quick), &opts, "ext_locality");
+        ran = true;
+    }
+    if wants("ext-hpl") {
+        emit(&extensions::ext_hpl(opts.quick), &opts, "ext_hpl");
+        ran = true;
+    }
+    if wants("timeline") {
+        emit(&extensions::timeline(opts.quick), &opts, "timeline");
+        ran = true;
+    }
+    if wants("check") {
+        let claims = checks::run_checklist(opts.quick);
+        emit(&checks::checklist_table(&claims), &opts, "check");
+        let failed = claims.iter().filter(|c| !c.pass).count();
+        if failed > 0 {
+            eprintln!("{failed} claim(s) FAILED");
+            std::process::exit(1);
+        }
+        ran = true;
+    }
+    if wants("sweep") {
+        emit_all(&extensions::sweep(opts.quick), &opts, "sweep");
+        ran = true;
+    }
+    if !ran {
+        eprintln!("unknown command '{}'; see --help", opts.command);
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,176 @@
+//! The experiment matrix and its parallel executor.
+//!
+//! Figures 5, 6, 7 and 8 all read off the *same* set of runs — every HPCC
+//! kernel at every Table 1 size under each of the three schemes — so the
+//! harness executes that matrix once ([`full_matrix`]) and each figure
+//! projects the columns it needs.
+
+use ampom_core::migration::Scheme;
+use ampom_core::runner::{run_workload, RunConfig};
+use ampom_core::RunReport;
+use ampom_workloads::sizes::{sizes_for, ProblemSize};
+use ampom_workloads::{build_kernel, Kernel};
+use crossbeam::channel;
+
+/// One completed run in the matrix.
+#[derive(Debug)]
+pub struct Cell {
+    /// The kernel.
+    pub kernel: Kernel,
+    /// The Table 1 size used.
+    pub size: ProblemSize,
+    /// The migration scheme.
+    pub scheme: Scheme,
+    /// The measurements.
+    pub report: RunReport,
+}
+
+/// Seed used for every stochastic kernel so all schemes see the same
+/// reference stream.
+pub const MATRIX_SEED: u64 = 42;
+
+/// Runs one cell of the matrix on the standard cluster LAN.
+pub fn run_cell(kernel: Kernel, size: ProblemSize, scheme: Scheme) -> Cell {
+    let mut w = build_kernel(kernel, &size, MATRIX_SEED);
+    let report = run_workload(w.as_mut(), &RunConfig::new(scheme));
+    Cell {
+        kernel,
+        size,
+        scheme,
+        report,
+    }
+}
+
+/// The sizes used for a kernel: the paper's Table 1, or a reduced set in
+/// quick mode (used by tests and smoke runs).
+pub fn matrix_sizes(kernel: Kernel, quick: bool) -> Vec<ProblemSize> {
+    if quick {
+        vec![
+            ProblemSize { problem: 0, memory_mb: 4 },
+            ProblemSize { problem: 0, memory_mb: 8 },
+        ]
+    } else {
+        sizes_for(kernel).to_vec()
+    }
+}
+
+/// Executes the full (kernel × size × scheme) matrix, parallelised across
+/// the machine's cores. Results are returned in deterministic
+/// (kernel, size, scheme) order regardless of scheduling.
+pub fn full_matrix(quick: bool) -> Vec<Cell> {
+    let mut specs = Vec::new();
+    for kernel in Kernel::ALL {
+        for size in matrix_sizes(kernel, quick) {
+            for scheme in Scheme::EVALUATED {
+                specs.push((kernel, size, scheme));
+            }
+        }
+    }
+    par_map(specs, |(kernel, size, scheme)| {
+        run_cell(kernel, size, scheme)
+    })
+}
+
+/// Order-preserving parallel map over a work list, using one worker per
+/// available core (minimum one). Falls back to sequential execution on a
+/// single-core machine without spawning.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let (work_tx, work_rx) = channel::unbounded::<(usize, T)>();
+    let (res_tx, res_rx) = channel::unbounded::<(usize, R)>();
+    for pair in items.into_iter().enumerate() {
+        work_tx.send(pair).expect("queue open");
+    }
+    drop(work_tx);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let work_rx = work_rx.clone();
+            let res_tx = res_tx.clone();
+            let f = &f;
+            s.spawn(move || {
+                while let Ok((i, item)) = work_rx.recv() {
+                    let _ = res_tx.send((i, f(item)));
+                }
+            });
+        }
+        drop(res_tx);
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        while let Ok((i, r)) = res_rx.recv() {
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            .map(|r| r.expect("every index produced"))
+            .collect()
+    })
+}
+
+/// Finds the cell for a given coordinate.
+pub fn find(
+    cells: &[Cell],
+    kernel: Kernel,
+    memory_mb: u64,
+    scheme: Scheme,
+) -> &Cell {
+    cells
+        .iter()
+        .find(|c| c.kernel == kernel && c.size.memory_mb == memory_mb && c.scheme == scheme)
+        .unwrap_or_else(|| panic!("missing cell {kernel:?} {memory_mb}MB {scheme:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let out = par_map((0..100).collect::<Vec<u64>>(), |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn quick_matrix_covers_all_coordinates() {
+        let cells = full_matrix(true);
+        // 4 kernels × 2 quick sizes × 3 schemes.
+        assert_eq!(cells.len(), 24);
+        for kernel in Kernel::ALL {
+            for scheme in Scheme::EVALUATED {
+                let c = find(&cells, kernel, 4, scheme);
+                assert_eq!(c.report.scheme, scheme);
+                assert!(c.report.total_time.as_nanos() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn quick_matrix_freeze_ordering_everywhere() {
+        let cells = full_matrix(true);
+        for kernel in Kernel::ALL {
+            for mb in [4, 8] {
+                let eager = find(&cells, kernel, mb, Scheme::OpenMosix);
+                let ampom = find(&cells, kernel, mb, Scheme::Ampom);
+                let nopf = find(&cells, kernel, mb, Scheme::NoPrefetch);
+                assert!(nopf.report.freeze_time <= ampom.report.freeze_time);
+                assert!(ampom.report.freeze_time < eager.report.freeze_time);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "missing cell")]
+    fn find_panics_on_absent_coordinate() {
+        let cells = full_matrix(true);
+        let _ = find(&cells, Kernel::Dgemm, 999, Scheme::Ampom);
+    }
+}

@@ -1,0 +1,245 @@
+//! Page replacement under memory pressure.
+//!
+//! The paper's testbed ran 575 MB processes on 512 MB nodes — the
+//! destination cannot hold every page, so the kernel must evict. Because
+//! §2.2 *deletes* the origin's copy when a page transfers, an evicted page
+//! (dirty or clean) has no other home and must be pushed back to the
+//! origin node, where the deputy re-adopts it into the HPT.
+//!
+//! [`ClockEvictor`] is the classic second-chance (CLOCK) approximation of
+//! LRU that 2.4-era Linux used: resident pages sit on a ring with a
+//! reference bit; the hand sweeps, clearing bits, and evicts the first
+//! page found with its bit already clear.
+
+use crate::page::PageId;
+
+/// Sentinel for "not on the ring".
+const NOT_RESIDENT: u32 = u32::MAX;
+
+/// A CLOCK (second-chance) eviction policy over a bounded resident set.
+#[derive(Debug)]
+pub struct ClockEvictor {
+    /// Maximum pages allowed resident.
+    limit: u64,
+    /// Resident pages in ring order.
+    ring: Vec<PageId>,
+    /// Ring position of each page (dense, indexed by page number).
+    pos: Vec<u32>,
+    /// Reference bit per page (dense).
+    referenced: Vec<bool>,
+    /// The clock hand.
+    hand: usize,
+}
+
+impl ClockEvictor {
+    /// Creates an evictor for an address space of `total_pages`, allowing
+    /// at most `limit` resident pages.
+    ///
+    /// # Panics
+    /// Panics if `limit` is zero.
+    pub fn new(total_pages: u64, limit: u64) -> Self {
+        assert!(limit > 0, "resident limit must be positive");
+        ClockEvictor {
+            limit,
+            ring: Vec::with_capacity(limit as usize),
+            pos: vec![NOT_RESIDENT; total_pages as usize],
+            referenced: vec![false; total_pages as usize],
+            hand: 0,
+        }
+    }
+
+    /// The resident-set limit.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Number of pages currently tracked as resident.
+    pub fn resident(&self) -> u64 {
+        self.ring.len() as u64
+    }
+
+    /// True if installing one more page would exceed the limit.
+    pub fn at_capacity(&self) -> bool {
+        self.ring.len() as u64 >= self.limit
+    }
+
+    /// Registers a page that just became resident, with its reference bit
+    /// set (it is being touched right now).
+    ///
+    /// # Panics
+    /// Panics if the page is already tracked.
+    pub fn on_install(&mut self, page: PageId) {
+        let i = page.index() as usize;
+        assert_eq!(self.pos[i], NOT_RESIDENT, "double install of {page}");
+        self.pos[i] = self.ring.len() as u32;
+        self.ring.push(page);
+        self.referenced[i] = true;
+    }
+
+    /// Marks a touch (sets the reference bit). O(1); safe to call on every
+    /// memory reference.
+    #[inline]
+    pub fn on_touch(&mut self, page: PageId) {
+        self.referenced[page.index() as usize] = true;
+    }
+
+    /// Chooses and removes a victim by the CLOCK sweep, never choosing
+    /// `protect` (the page being faulted in). Returns the victim.
+    ///
+    /// # Panics
+    /// Panics if the ring is empty or holds only the protected page.
+    pub fn evict(&mut self, protect: PageId) -> PageId {
+        assert!(
+            !self.ring.is_empty() && (self.ring.len() > 1 || self.ring[0] != protect),
+            "nothing evictable"
+        );
+        loop {
+            if self.hand >= self.ring.len() {
+                self.hand = 0;
+            }
+            let candidate = self.ring[self.hand];
+            let ci = candidate.index() as usize;
+            if candidate == protect {
+                self.hand += 1;
+                continue;
+            }
+            if self.referenced[ci] {
+                // Second chance.
+                self.referenced[ci] = false;
+                self.hand += 1;
+                continue;
+            }
+            // Evict: swap-remove keeps the ring dense.
+            let last = *self.ring.last().expect("non-empty");
+            self.ring.swap_remove(self.hand);
+            self.pos[ci] = NOT_RESIDENT;
+            if last != candidate {
+                self.pos[last.index() as usize] = self.hand as u32;
+            }
+            return candidate;
+        }
+    }
+
+    /// Removes a page that left residency by other means (e.g. unmap).
+    /// No-op if the page is not tracked.
+    pub fn remove(&mut self, page: PageId) {
+        let i = page.index() as usize;
+        let p = self.pos[i];
+        if p == NOT_RESIDENT {
+            return;
+        }
+        let p = p as usize;
+        let last = *self.ring.last().expect("tracked page implies non-empty ring");
+        self.ring.swap_remove(p);
+        self.pos[i] = NOT_RESIDENT;
+        if last != page {
+            self.pos[last.index() as usize] = p as u32;
+        }
+    }
+
+    /// True if the page is currently tracked as resident.
+    pub fn contains(&self, page: PageId) -> bool {
+        self.pos[page.index() as usize] != NOT_RESIDENT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn installs_and_tracks_residency() {
+        let mut e = ClockEvictor::new(16, 4);
+        e.on_install(PageId(1));
+        e.on_install(PageId(2));
+        assert_eq!(e.resident(), 2);
+        assert!(e.contains(PageId(1)));
+        assert!(!e.contains(PageId(3)));
+        assert!(!e.at_capacity());
+        e.on_install(PageId(3));
+        e.on_install(PageId(4));
+        assert!(e.at_capacity());
+    }
+
+    #[test]
+    fn clock_gives_second_chances() {
+        let mut e = ClockEvictor::new(16, 3);
+        for p in [1u64, 2, 3] {
+            e.on_install(PageId(p));
+        }
+        // All bits set at install; the first sweep clears 1, 2, 3 and the
+        // second sweep evicts page 1 (first with a clear bit).
+        let victim = e.evict(PageId(99));
+        assert_eq!(victim, PageId(1));
+        assert!(!e.contains(PageId(1)));
+        assert_eq!(e.resident(), 2);
+    }
+
+    #[test]
+    fn touched_pages_survive_longer() {
+        let mut e = ClockEvictor::new(16, 3);
+        for p in [1u64, 2, 3] {
+            e.on_install(PageId(p));
+        }
+        let first = e.evict(PageId(99)); // clears all bits, evicts 1
+        assert_eq!(first, PageId(1));
+        // Re-touch page 2; page 3's bit stays clear.
+        e.on_touch(PageId(2));
+        let second = e.evict(PageId(99));
+        assert_eq!(second, PageId(3), "recently touched page 2 survives");
+    }
+
+    #[test]
+    fn protected_page_is_never_chosen() {
+        let mut e = ClockEvictor::new(16, 2);
+        e.on_install(PageId(5));
+        e.on_install(PageId(6));
+        for _ in 0..4 {
+            let v = e.evict(PageId(5));
+            assert_ne!(v, PageId(5));
+            e.on_install(v); // put it back for the next round
+        }
+    }
+
+    #[test]
+    fn remove_is_idempotent_and_unlinks() {
+        let mut e = ClockEvictor::new(16, 4);
+        e.on_install(PageId(7));
+        e.on_install(PageId(8));
+        e.remove(PageId(7));
+        assert!(!e.contains(PageId(7)));
+        e.remove(PageId(7));
+        assert_eq!(e.resident(), 1);
+        // The survivor is still evictable.
+        assert_eq!(e.evict(PageId(99)), PageId(8));
+    }
+
+    #[test]
+    fn eviction_cycles_through_everything() {
+        let mut e = ClockEvictor::new(64, 8);
+        for p in 0..8u64 {
+            e.on_install(PageId(p));
+        }
+        let mut victims = std::collections::HashSet::new();
+        for _ in 0..8 {
+            victims.insert(e.evict(PageId(999)));
+        }
+        assert_eq!(victims.len(), 8, "all pages eventually evicted");
+        assert_eq!(e.resident(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "double install")]
+    fn double_install_panics() {
+        let mut e = ClockEvictor::new(8, 2);
+        e.on_install(PageId(1));
+        e.on_install(PageId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing evictable")]
+    fn empty_ring_panics() {
+        let mut e = ClockEvictor::new(8, 2);
+        let _ = e.evict(PageId(0));
+    }
+}

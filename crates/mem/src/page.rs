@@ -1,0 +1,176 @@
+//! Page-granular addressing.
+//!
+//! AMPoM's entire analysis operates on page numbers: the lookback window
+//! stores "addresses of recently-accessed memory pages", strides are
+//! distances between page numbers, and prefetch pivots are `page + 1`.
+//! [`PageId`] is that page number — a `u64` newtype with the successor /
+//! distance arithmetic the algorithm needs spelled out safely.
+
+use std::fmt;
+use std::ops::Range;
+
+/// Size of one page in bytes (x86 Linux 2.4: 4 KB).
+pub const PAGE_SIZE: u64 = 4096;
+
+/// A virtual page number within one process's address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// The page containing byte offset `addr`.
+    pub const fn containing(addr: u64) -> PageId {
+        PageId(addr / PAGE_SIZE)
+    }
+
+    /// The raw page number.
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// First byte offset of this page.
+    pub const fn base_addr(self) -> u64 {
+        self.0 * PAGE_SIZE
+    }
+
+    /// The next page (`r + 1` in the paper's pivot rule).
+    pub const fn succ(self) -> PageId {
+        PageId(self.0 + 1)
+    }
+
+    /// The page `n` after this one.
+    pub const fn offset(self, n: u64) -> PageId {
+        PageId(self.0 + n)
+    }
+
+    /// `true` if `other` is exactly this page's successor — the condition
+    /// `r_{p+d} = r_p + 1` that closes a stride-d reference stream.
+    pub const fn is_succ_of(self, other: PageId) -> bool {
+        self.0 == other.0 + 1
+    }
+
+    /// Absolute distance in pages between two addresses.
+    pub const fn distance(self, other: PageId) -> u64 {
+        self.0.abs_diff(other.0)
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u64> for PageId {
+    fn from(v: u64) -> Self {
+        PageId(v)
+    }
+}
+
+/// A half-open range of pages `[start, end)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PageRange {
+    /// First page in the range.
+    pub start: PageId,
+    /// One past the last page.
+    pub end: PageId,
+}
+
+impl PageRange {
+    /// Builds a range; `start` must not exceed `end`.
+    pub fn new(start: PageId, end: PageId) -> Self {
+        assert!(start <= end, "inverted page range {start}..{end}");
+        PageRange { start, end }
+    }
+
+    /// Number of pages covered.
+    pub fn len(&self) -> u64 {
+        self.end.0 - self.start.0
+    }
+
+    /// True if the range covers no pages.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// True if `page` lies inside the range.
+    pub fn contains(&self, page: PageId) -> bool {
+        self.start <= page && page < self.end
+    }
+
+    /// Iterator over every page in the range.
+    pub fn iter(&self) -> impl Iterator<Item = PageId> {
+        (self.start.0..self.end.0).map(PageId)
+    }
+
+    /// Total bytes covered.
+    pub fn bytes(&self) -> u64 {
+        self.len() * PAGE_SIZE
+    }
+
+    /// The underlying index range.
+    pub fn as_indices(&self) -> Range<u64> {
+        self.start.0..self.end.0
+    }
+}
+
+/// Number of whole pages needed to hold `bytes` (rounds up).
+pub const fn pages_for_bytes(bytes: u64) -> u64 {
+    bytes.div_ceil(PAGE_SIZE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn containing_and_base() {
+        assert_eq!(PageId::containing(0), PageId(0));
+        assert_eq!(PageId::containing(4095), PageId(0));
+        assert_eq!(PageId::containing(4096), PageId(1));
+        assert_eq!(PageId(3).base_addr(), 12288);
+    }
+
+    #[test]
+    fn successor_arithmetic() {
+        let p = PageId(10);
+        assert_eq!(p.succ(), PageId(11));
+        assert!(PageId(11).is_succ_of(p));
+        assert!(!PageId(12).is_succ_of(p));
+        assert_eq!(p.offset(5), PageId(15));
+        assert_eq!(p.distance(PageId(3)), 7);
+        assert_eq!(PageId(3).distance(p), 7);
+    }
+
+    #[test]
+    fn range_membership_and_len() {
+        let r = PageRange::new(PageId(2), PageId(6));
+        assert_eq!(r.len(), 4);
+        assert!(!r.is_empty());
+        assert!(r.contains(PageId(2)));
+        assert!(r.contains(PageId(5)));
+        assert!(!r.contains(PageId(6)));
+        assert_eq!(r.bytes(), 4 * PAGE_SIZE);
+        let pages: Vec<_> = r.iter().collect();
+        assert_eq!(pages, vec![PageId(2), PageId(3), PageId(4), PageId(5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_range_panics() {
+        let _ = PageRange::new(PageId(5), PageId(2));
+    }
+
+    #[test]
+    fn pages_for_bytes_rounds_up() {
+        assert_eq!(pages_for_bytes(0), 0);
+        assert_eq!(pages_for_bytes(1), 1);
+        assert_eq!(pages_for_bytes(PAGE_SIZE), 1);
+        assert_eq!(pages_for_bytes(PAGE_SIZE + 1), 2);
+        assert_eq!(pages_for_bytes(575 * 1024 * 1024), 147_200);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(PageId(42).to_string(), "p42");
+    }
+}

@@ -1,0 +1,237 @@
+//! A two-level (x86 Linux 2.4 style) radix page table.
+//!
+//! The openMosix migration code walks the real kernel page table to build
+//! the wire-format MPT (6 bytes per present page, §5.2). This module is
+//! that structural substrate: a page *directory* of 1024 entries, each
+//! pointing to a 1024-entry page *table*, exactly the 32-bit x86 layout
+//! the paper's kernel used. It provides:
+//!
+//! * present-bit bookkeeping with sparse second-level allocation,
+//! * walk-cost accounting (how many directory + table loads a scan
+//!   performs — the physical basis of the calibrated per-MPT-entry
+//!   freeze cost),
+//! * [`RadixPageTable::pack_mpt`] — producing the 6-byte-per-page wire
+//!   image whose size must agree with the flat
+//!   [`crate::table::PageTablePair::mpt_bytes`] accounting.
+
+use crate::page::PageId;
+
+/// Entries per level (x86: 1024 PDEs × 1024 PTEs covering 4 GB).
+pub const FANOUT: usize = 1024;
+
+/// One second-level table: a present bitmap plus the entry payloads.
+struct Leaf {
+    present: [bool; FANOUT],
+    present_count: u32,
+}
+
+impl Leaf {
+    fn new() -> Box<Leaf> {
+        Box::new(Leaf {
+            present: [false; FANOUT],
+            present_count: 0,
+        })
+    }
+}
+
+/// A two-level page table over a 22-bit page-number space (4 GB of 4 KB
+/// pages), with sparse leaf allocation.
+pub struct RadixPageTable {
+    directory: Vec<Option<Box<Leaf>>>,
+    present_total: u64,
+}
+
+impl Default for RadixPageTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RadixPageTable {
+    /// An empty table (no leaves allocated).
+    pub fn new() -> Self {
+        RadixPageTable {
+            directory: (0..FANOUT).map(|_| None).collect(),
+            present_total: 0,
+        }
+    }
+
+    fn split(page: PageId) -> (usize, usize) {
+        let idx = page.index() as usize;
+        assert!(idx < FANOUT * FANOUT, "page {page} beyond 4 GB");
+        (idx / FANOUT, idx % FANOUT)
+    }
+
+    /// Maps a page (sets its present bit), allocating the leaf on demand.
+    /// Returns `true` if the page was newly mapped.
+    pub fn map(&mut self, page: PageId) -> bool {
+        let (d, t) = Self::split(page);
+        let leaf = self.directory[d].get_or_insert_with(Leaf::new);
+        if leaf.present[t] {
+            return false;
+        }
+        leaf.present[t] = true;
+        leaf.present_count += 1;
+        self.present_total += 1;
+        true
+    }
+
+    /// Unmaps a page. Returns `true` if it was mapped. Empty leaves are
+    /// freed (as the kernel frees empty page tables).
+    pub fn unmap(&mut self, page: PageId) -> bool {
+        let (d, t) = Self::split(page);
+        let Some(leaf) = self.directory[d].as_mut() else {
+            return false;
+        };
+        if !leaf.present[t] {
+            return false;
+        }
+        leaf.present[t] = false;
+        leaf.present_count -= 1;
+        self.present_total -= 1;
+        if leaf.present_count == 0 {
+            self.directory[d] = None;
+        }
+        true
+    }
+
+    /// True if the page is mapped.
+    pub fn is_mapped(&self, page: PageId) -> bool {
+        let (d, t) = Self::split(page);
+        self.directory[d]
+            .as_ref()
+            .is_some_and(|leaf| leaf.present[t])
+    }
+
+    /// Number of mapped pages.
+    pub fn mapped_pages(&self) -> u64 {
+        self.present_total
+    }
+
+    /// Number of allocated second-level tables.
+    pub fn allocated_leaves(&self) -> u64 {
+        self.directory.iter().filter(|l| l.is_some()).count() as u64
+    }
+
+    /// Kernel memory the table structures occupy (4 KB per allocated leaf
+    /// plus the 4 KB directory) — the overhead a real migration must also
+    /// recreate on the destination.
+    pub fn structure_bytes(&self) -> u64 {
+        (1 + self.allocated_leaves()) * 4096
+    }
+
+    /// Scans the whole table and packs the wire-format MPT: 6 bytes per
+    /// present page (§5.2). Returns `(mpt_bytes, walk_loads)` where
+    /// `walk_loads` counts directory-entry and table-entry loads — the
+    /// work the freeze-time walk performs.
+    pub fn pack_mpt(&self) -> (u64, u64) {
+        let mut loads = 0u64;
+        let mut entries = 0u64;
+        for leaf in &self.directory {
+            loads += 1; // the PDE
+            if let Some(leaf) = leaf {
+                loads += FANOUT as u64; // every PTE is inspected
+                entries += leaf.present_count as u64;
+            }
+        }
+        (entries * 6, loads)
+    }
+
+    /// Iterates over all mapped pages in address order.
+    pub fn mapped(&self) -> impl Iterator<Item = PageId> + '_ {
+        self.directory
+            .iter()
+            .enumerate()
+            .filter_map(|(d, leaf)| leaf.as_ref().map(|l| (d, l)))
+            .flat_map(|(d, leaf)| {
+                leaf.present
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &p)| p)
+                    .map(move |(t, _)| PageId((d * FANOUT + t) as u64))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::PageTablePair;
+
+    #[test]
+    fn map_unmap_round_trip() {
+        let mut t = RadixPageTable::new();
+        assert!(t.map(PageId(5)));
+        assert!(!t.map(PageId(5)), "double map is a no-op");
+        assert!(t.is_mapped(PageId(5)));
+        assert_eq!(t.mapped_pages(), 1);
+        assert!(t.unmap(PageId(5)));
+        assert!(!t.unmap(PageId(5)));
+        assert!(!t.is_mapped(PageId(5)));
+        assert_eq!(t.mapped_pages(), 0);
+    }
+
+    #[test]
+    fn leaves_allocate_sparsely_and_free_when_empty() {
+        let mut t = RadixPageTable::new();
+        assert_eq!(t.allocated_leaves(), 0);
+        t.map(PageId(0)); // leaf 0
+        t.map(PageId(FANOUT as u64 * 3)); // leaf 3
+        assert_eq!(t.allocated_leaves(), 2);
+        assert_eq!(t.structure_bytes(), 3 * 4096);
+        t.unmap(PageId(0));
+        assert_eq!(t.allocated_leaves(), 1);
+    }
+
+    #[test]
+    fn packed_mpt_agrees_with_flat_accounting() {
+        // The structural table and the flat MPT/HPT pair must report the
+        // same wire size for the same mapped set.
+        let pages: Vec<PageId> = (0..5000u64).map(|i| PageId(i * 7)).collect();
+        let mut radix = RadixPageTable::new();
+        for &p in &pages {
+            radix.map(p);
+        }
+        let pair = PageTablePair::at_migration(pages.iter().copied());
+        let (mpt_bytes, walk_loads) = radix.pack_mpt();
+        assert_eq!(mpt_bytes, pair.mpt_bytes());
+        // The walk inspects every PDE plus each allocated leaf in full.
+        assert_eq!(
+            walk_loads,
+            FANOUT as u64 + radix.allocated_leaves() * FANOUT as u64
+        );
+    }
+
+    #[test]
+    fn mapped_iteration_is_sorted_and_complete() {
+        let mut t = RadixPageTable::new();
+        let pages = [7u64, 1, 1029, 4096 * 100, 2];
+        for &p in &pages {
+            t.map(PageId(p));
+        }
+        let got: Vec<u64> = t.mapped().map(|p| p.index()).collect();
+        let mut want: Vec<u64> = pages.to_vec();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn dense_575mb_mapping_matches_paper_mpt_size() {
+        // 147 200 pages → 883 200 B of MPT, the Figure 5 slope.
+        let mut t = RadixPageTable::new();
+        for i in 0..147_200u64 {
+            t.map(PageId(i));
+        }
+        let (mpt, _) = t.pack_mpt();
+        assert_eq!(mpt, 147_200 * 6);
+        // Dense mapping needs ⌈147200/1024⌉ = 144 leaves.
+        assert_eq!(t.allocated_leaves(), 144);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond 4 GB")]
+    fn out_of_range_page_rejected() {
+        let mut t = RadixPageTable::new();
+        t.map(PageId((FANOUT * FANOUT) as u64));
+    }
+}

@@ -1,0 +1,234 @@
+//! Address-space layout.
+//!
+//! openMosix's lightweight migration (and the original Freeze Free
+//! Algorithm) transfers "the current data (heap), code, and stack pages"
+//! at freeze time — one page from each region. [`MemoryLayout`] carves a
+//! process's pages into those regions so the migration code can find them.
+//!
+//! The layout mirrors a classic 32-bit Linux process: code at the bottom,
+//! then the data/heap segment (which dominates — HPCC kernels put their
+//! matrices there), and a small stack at the top.
+
+use crate::page::{pages_for_bytes, PageId, PageRange};
+
+/// Which segment of the address space a page belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RegionKind {
+    /// Executable text.
+    Code,
+    /// Initialised data + heap (the paper treats "data (heap)" as one
+    /// region; HPCC's matrices live here).
+    Data,
+    /// The stack.
+    Stack,
+}
+
+impl RegionKind {
+    /// All region kinds, in address order.
+    pub const ALL: [RegionKind; 3] = [RegionKind::Code, RegionKind::Data, RegionKind::Stack];
+}
+
+/// One contiguous segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// The segment's role.
+    pub kind: RegionKind,
+    /// Pages it covers.
+    pub pages: PageRange,
+}
+
+/// The full layout of one process's address space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryLayout {
+    code: Region,
+    data: Region,
+    stack: Region,
+}
+
+impl MemoryLayout {
+    /// Default code size: HPCC binaries are well under 1 MB of text.
+    pub const DEFAULT_CODE_BYTES: u64 = 512 * 1024;
+    /// Default stack size: 128 KB covers the benchmark kernels.
+    pub const DEFAULT_STACK_BYTES: u64 = 128 * 1024;
+
+    /// Builds a layout whose data segment holds `data_bytes`, with default
+    /// code and stack sizes.
+    pub fn with_data_bytes(data_bytes: u64) -> Self {
+        MemoryLayout::new(
+            Self::DEFAULT_CODE_BYTES,
+            data_bytes,
+            Self::DEFAULT_STACK_BYTES,
+        )
+    }
+
+    /// Builds a layout with explicit segment sizes (each rounded up to
+    /// whole pages; every segment gets at least one page).
+    pub fn new(code_bytes: u64, data_bytes: u64, stack_bytes: u64) -> Self {
+        let code_pages = pages_for_bytes(code_bytes).max(1);
+        let data_pages = pages_for_bytes(data_bytes).max(1);
+        let stack_pages = pages_for_bytes(stack_bytes).max(1);
+        let code = Region {
+            kind: RegionKind::Code,
+            pages: PageRange::new(PageId(0), PageId(code_pages)),
+        };
+        let data = Region {
+            kind: RegionKind::Data,
+            pages: PageRange::new(PageId(code_pages), PageId(code_pages + data_pages)),
+        };
+        let stack = Region {
+            kind: RegionKind::Stack,
+            pages: PageRange::new(
+                PageId(code_pages + data_pages),
+                PageId(code_pages + data_pages + stack_pages),
+            ),
+        };
+        MemoryLayout { code, data, stack }
+    }
+
+    /// The region of the given kind.
+    pub fn region(&self, kind: RegionKind) -> &Region {
+        match kind {
+            RegionKind::Code => &self.code,
+            RegionKind::Data => &self.data,
+            RegionKind::Stack => &self.stack,
+        }
+    }
+
+    /// The region containing `page`, or `None` if the page is outside the
+    /// layout.
+    pub fn region_of(&self, page: PageId) -> Option<RegionKind> {
+        RegionKind::ALL
+            .into_iter()
+            .find(|&k| self.region(k).pages.contains(page))
+    }
+
+    /// Total pages across all regions.
+    pub fn total_pages(&self) -> u64 {
+        RegionKind::ALL
+            .into_iter()
+            .map(|k| self.region(k).pages.len())
+            .sum()
+    }
+
+    /// Total bytes across all regions.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_pages() * crate::page::PAGE_SIZE
+    }
+
+    /// Every page in the address space, in address order.
+    pub fn all_pages(&self) -> impl Iterator<Item = PageId> + '_ {
+        RegionKind::ALL
+            .into_iter()
+            .flat_map(|k| self.region(k).pages.iter())
+    }
+
+    /// First data page — where the HPCC generators start laying out arrays.
+    pub fn data_start(&self) -> PageId {
+        self.data.pages.start
+    }
+
+    /// The data region's page range.
+    pub fn data_pages(&self) -> &PageRange {
+        &self.data.pages
+    }
+
+    /// The "currently accessed" code, data, and stack pages that both FFA
+    /// and AMPoM ship at freeze time. We take the first code page (the hot
+    /// entry point), the given current data page, and the top-of-stack
+    /// page.
+    pub fn freeze_pages(&self, current_data: PageId) -> [PageId; 3] {
+        let data = if self.data.pages.contains(current_data) {
+            current_data
+        } else {
+            self.data.pages.start
+        };
+        [
+            self.code.pages.start,
+            data,
+            PageId(self.stack.pages.end.index() - 1),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::page::PAGE_SIZE;
+
+    #[test]
+    fn regions_are_contiguous_and_ordered() {
+        let l = MemoryLayout::new(8192, 40960, 4096);
+        assert_eq!(l.region(RegionKind::Code).pages.len(), 2);
+        assert_eq!(l.region(RegionKind::Data).pages.len(), 10);
+        assert_eq!(l.region(RegionKind::Stack).pages.len(), 1);
+        assert_eq!(
+            l.region(RegionKind::Code).pages.end,
+            l.region(RegionKind::Data).pages.start
+        );
+        assert_eq!(
+            l.region(RegionKind::Data).pages.end,
+            l.region(RegionKind::Stack).pages.start
+        );
+        assert_eq!(l.total_pages(), 13);
+        assert_eq!(l.total_bytes(), 13 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn region_of_classifies_pages() {
+        let l = MemoryLayout::new(4096, 8192, 4096);
+        assert_eq!(l.region_of(PageId(0)), Some(RegionKind::Code));
+        assert_eq!(l.region_of(PageId(1)), Some(RegionKind::Data));
+        assert_eq!(l.region_of(PageId(2)), Some(RegionKind::Data));
+        assert_eq!(l.region_of(PageId(3)), Some(RegionKind::Stack));
+        assert_eq!(l.region_of(PageId(4)), None);
+    }
+
+    #[test]
+    fn sizes_round_up_and_floor_at_one_page() {
+        let l = MemoryLayout::new(1, 0, PAGE_SIZE + 1);
+        assert_eq!(l.region(RegionKind::Code).pages.len(), 1);
+        assert_eq!(l.region(RegionKind::Data).pages.len(), 1);
+        assert_eq!(l.region(RegionKind::Stack).pages.len(), 2);
+    }
+
+    #[test]
+    fn freeze_pages_picks_one_per_region() {
+        let l = MemoryLayout::new(4096, 16384, 4096);
+        let current = PageId(2);
+        let [c, d, s] = l.freeze_pages(current);
+        assert_eq!(l.region_of(c), Some(RegionKind::Code));
+        assert_eq!(d, current);
+        assert_eq!(l.region_of(s), Some(RegionKind::Stack));
+    }
+
+    #[test]
+    fn freeze_pages_falls_back_when_current_outside_data() {
+        let l = MemoryLayout::new(4096, 16384, 4096);
+        let [_, d, _] = l.freeze_pages(PageId(999));
+        assert_eq!(d, l.data_start());
+    }
+
+    #[test]
+    fn all_pages_covers_everything_once() {
+        let l = MemoryLayout::new(4096, 12288, 4096);
+        let pages: Vec<_> = l.all_pages().collect();
+        assert_eq!(pages.len() as u64, l.total_pages());
+        let mut sorted = pages.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), pages.len());
+    }
+
+    #[test]
+    fn with_data_bytes_defaults() {
+        let l = MemoryLayout::with_data_bytes(115 * 1024 * 1024);
+        assert_eq!(
+            l.region(RegionKind::Data).pages.len(),
+            pages_for_bytes(115 * 1024 * 1024)
+        );
+        assert_eq!(
+            l.region(RegionKind::Code).pages.len(),
+            pages_for_bytes(MemoryLayout::DEFAULT_CODE_BYTES)
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Working-set tracking.
+//!
+//! Denning's working set `W(t, τ)` — the distinct pages referenced in the
+//! last `τ` time units — is the quantity behind the paper's Figure 10
+//! argument: migrants whose working set is smaller than their address
+//! space benefit most from lazy transfer. [`WorkingSetTracker`] measures
+//! both the cumulative footprint (distinct pages ever touched) and the
+//! windowed working set of a reference stream.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use ampom_sim::time::{SimDuration, SimTime};
+
+use crate::page::PageId;
+
+/// Tracks footprint and windowed working set over a page-reference stream.
+#[derive(Debug)]
+pub struct WorkingSetTracker {
+    window: SimDuration,
+    /// Recent references, oldest first.
+    recent: VecDeque<(SimTime, PageId)>,
+    /// Reference counts within the window.
+    in_window: HashMap<PageId, u32>,
+    /// Every page ever referenced.
+    footprint: HashSet<PageId>,
+    /// Total references observed.
+    touches: u64,
+    last_time: SimTime,
+}
+
+impl WorkingSetTracker {
+    /// Creates a tracker with working-set window `window` (the `τ`).
+    pub fn new(window: SimDuration) -> Self {
+        WorkingSetTracker {
+            window,
+            recent: VecDeque::new(),
+            in_window: HashMap::new(),
+            footprint: HashSet::new(),
+            touches: 0,
+            last_time: SimTime::ZERO,
+        }
+    }
+
+    /// Records a reference to `page` at time `now` (non-decreasing).
+    pub fn record(&mut self, now: SimTime, page: PageId) {
+        assert!(now >= self.last_time, "references must be time-ordered");
+        self.last_time = now;
+        self.touches += 1;
+        self.footprint.insert(page);
+        self.recent.push_back((now, page));
+        *self.in_window.entry(page).or_insert(0) += 1;
+        self.expire(now);
+    }
+
+    /// The working set size `|W(now, τ)|` using the most recent reference
+    /// time as `now`.
+    pub fn working_set_size(&self) -> u64 {
+        self.in_window.len() as u64
+    }
+
+    /// Distinct pages ever referenced.
+    pub fn footprint_pages(&self) -> u64 {
+        self.footprint.len() as u64
+    }
+
+    /// Total references observed.
+    pub fn touches(&self) -> u64 {
+        self.touches
+    }
+
+    /// Fraction of references that re-touched an already-seen page — a
+    /// cheap temporal-locality indicator (1 − footprint/touches).
+    pub fn reuse_fraction(&self) -> f64 {
+        if self.touches == 0 {
+            return 0.0;
+        }
+        1.0 - self.footprint.len() as f64 / self.touches as f64
+    }
+
+    fn expire(&mut self, now: SimTime) {
+        let cutoff = if now.as_nanos() > self.window.as_nanos() {
+            now - self.window
+        } else {
+            SimTime::ZERO
+        };
+        while let Some(&(t, page)) = self.recent.front() {
+            if t >= cutoff {
+                break;
+            }
+            self.recent.pop_front();
+            match self.in_window.get_mut(&page) {
+                Some(c) if *c > 1 => *c -= 1,
+                Some(_) => {
+                    self.in_window.remove(&page);
+                }
+                None => unreachable!("window count desync"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn footprint_counts_distinct_pages() {
+        let mut w = WorkingSetTracker::new(SimDuration::from_secs(1));
+        for (i, p) in [1u64, 2, 1, 3, 1].into_iter().enumerate() {
+            w.record(t(i as u64), PageId(p));
+        }
+        assert_eq!(w.footprint_pages(), 3);
+        assert_eq!(w.touches(), 5);
+        assert!((w.reuse_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_expires_old_references() {
+        let mut w = WorkingSetTracker::new(SimDuration::from_millis(10));
+        w.record(t(0), PageId(1));
+        w.record(t(5), PageId(2));
+        assert_eq!(w.working_set_size(), 2);
+        w.record(t(20), PageId(3));
+        // Pages 1 and 2 are older than now − 10 ms.
+        assert_eq!(w.working_set_size(), 1);
+        assert_eq!(w.footprint_pages(), 3);
+    }
+
+    #[test]
+    fn repeated_page_survives_partial_expiry() {
+        let mut w = WorkingSetTracker::new(SimDuration::from_millis(10));
+        w.record(t(0), PageId(7));
+        w.record(t(8), PageId(7));
+        w.record(t(15), PageId(8));
+        // The t=0 touch of page 7 expired but the t=8 touch is in-window.
+        assert_eq!(w.working_set_size(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn rejects_time_reversal() {
+        let mut w = WorkingSetTracker::new(SimDuration::from_secs(1));
+        w.record(t(10), PageId(0));
+        w.record(t(5), PageId(1));
+    }
+
+    #[test]
+    fn empty_tracker_reports_zeroes() {
+        let w = WorkingSetTracker::new(SimDuration::from_secs(1));
+        assert_eq!(w.working_set_size(), 0);
+        assert_eq!(w.footprint_pages(), 0);
+        assert_eq!(w.reuse_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Background (cross) traffic generation.
+//!
+//! AMPoM's Eq. 3 grows the dependent zone "when the network is busy" — the
+//! busier the link, the longer `2·t0 + td` and the more pages must be in
+//! flight to hide it. To exercise that adaptivity beyond the paper's static
+//! `tc` experiment, [`CrossTraffic`] injects Poisson-arriving bursts of
+//! foreign bytes onto a link, which both consumes capacity (delaying paging
+//! traffic) and shows up in the NIC counters the bandwidth estimator reads.
+
+use ampom_sim::rng::SimRng;
+use ampom_sim::time::{SimDuration, SimTime};
+
+/// One injected foreign message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrossMessage {
+    /// When the message is offered to the link.
+    pub at: SimTime,
+    /// Its size in bytes.
+    pub bytes: u64,
+}
+
+/// A Poisson cross-traffic source targeting a mean offered load.
+#[derive(Debug)]
+pub struct CrossTraffic {
+    rng: SimRng,
+    mean_interarrival: SimDuration,
+    burst_bytes: u64,
+    next_at: SimTime,
+}
+
+impl CrossTraffic {
+    /// Creates a source offering approximately `offered_bytes_per_sec` in
+    /// bursts of `burst_bytes`, with exponential inter-arrival times.
+    ///
+    /// # Panics
+    /// Panics if either argument is zero.
+    pub fn new(offered_bytes_per_sec: u64, burst_bytes: u64, rng: SimRng) -> Self {
+        assert!(offered_bytes_per_sec > 0 && burst_bytes > 0);
+        let mean_s = burst_bytes as f64 / offered_bytes_per_sec as f64;
+        CrossTraffic {
+            rng,
+            mean_interarrival: SimDuration::from_secs_f64(mean_s),
+            burst_bytes,
+            next_at: SimTime::ZERO,
+        }
+    }
+
+    /// A silent source (never emits). Useful as the default in experiment
+    /// configs.
+    pub fn silent() -> Self {
+        CrossTraffic {
+            rng: SimRng::seed_from_u64(0),
+            mean_interarrival: SimDuration::ZERO,
+            burst_bytes: 0,
+            next_at: SimTime::ZERO,
+        }
+    }
+
+    /// True if this source never emits traffic.
+    pub fn is_silent(&self) -> bool {
+        self.burst_bytes == 0
+    }
+
+    /// Returns every injection scheduled up to and including `until`,
+    /// advancing the source's internal clock.
+    pub fn drain_until(&mut self, until: SimTime) -> Vec<CrossMessage> {
+        let mut out = Vec::new();
+        if self.is_silent() {
+            return out;
+        }
+        while self.next_at <= until {
+            out.push(CrossMessage {
+                at: self.next_at,
+                bytes: self.burst_bytes,
+            });
+            let gap = self
+                .rng
+                .exponential(self.mean_interarrival.as_secs_f64())
+                .max(1e-9);
+            self.next_at += SimDuration::from_secs_f64(gap);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silent_source_emits_nothing() {
+        let mut c = CrossTraffic::silent();
+        assert!(c.is_silent());
+        assert!(c
+            .drain_until(SimTime::ZERO + SimDuration::from_secs(100))
+            .is_empty());
+    }
+
+    #[test]
+    fn offered_load_is_approximately_right() {
+        let rng = SimRng::seed_from_u64(77);
+        let mut c = CrossTraffic::new(1_000_000, 10_000, rng);
+        let horizon = SimTime::ZERO + SimDuration::from_secs(50);
+        let msgs = c.drain_until(horizon);
+        let total: u64 = msgs.iter().map(|m| m.bytes).sum();
+        let rate = total as f64 / 50.0;
+        assert!(
+            (rate - 1_000_000.0).abs() < 150_000.0,
+            "offered rate {rate} B/s"
+        );
+    }
+
+    #[test]
+    fn injections_are_time_ordered_and_monotone() {
+        let rng = SimRng::seed_from_u64(5);
+        let mut c = CrossTraffic::new(500_000, 4096, rng);
+        let a = c.drain_until(SimTime::ZERO + SimDuration::from_secs(1));
+        let b = c.drain_until(SimTime::ZERO + SimDuration::from_secs(2));
+        let all: Vec<_> = a.iter().chain(b.iter()).collect();
+        assert!(all.windows(2).all(|w| w[0].at <= w[1].at));
+        // Second drain only returns messages after the first horizon.
+        assert!(b
+            .iter()
+            .all(|m| m.at > SimTime::ZERO + SimDuration::from_secs(1) - SimDuration::from_nanos(1)));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mk = || CrossTraffic::new(1_000_000, 8192, SimRng::seed_from_u64(9));
+        let h = SimTime::ZERO + SimDuration::from_secs(3);
+        let a = mk().drain_until(h);
+        let b = mk().drain_until(h);
+        assert_eq!(a, b);
+    }
+}

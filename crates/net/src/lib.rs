@@ -1,0 +1,37 @@
+//! # ampom-net — the simulated cluster network
+//!
+//! Models the interconnect of the HKU Gideon 300 cluster (Fast Ethernet,
+//! star topology) that the AMPoM paper ran on, plus the `tc`-based broadband
+//! emulation used in its Figure 9 experiment.
+//!
+//! The model is a *store-and-forward FIFO link*: each directed node pair has
+//! a [`link::Link`] with a capacity (bytes/s) and a propagation latency.
+//! A message occupies the link for `size / capacity` (serialization) and is
+//! delivered `latency` later. Back-to-back messages queue behind each other,
+//! which is exactly the pipelining effect the paper credits for AMPoM's
+//! fault-latency hiding (§5.4: "AMPoM's prefetching scheme saves the round
+//! trip latency of inter-node page faults by pipelining effect").
+//!
+//! Components:
+//!
+//! * [`link::Link`] / [`link::LinkConfig`] — capacity + latency + FIFO queue,
+//! * [`nic::Nic`] — per-node RX/TX byte counters (the `/sbin/ifconfig`
+//!   fields the original oM_infoD samples),
+//! * [`shaper::TrafficShaper`] — `tc`/`netem`-style rate limit + added
+//!   delay, used to emulate the paper's 6 Mb/s / 2 ms broadband link,
+//! * [`probe::RttProber`] and [`probe::BandwidthEstimator`] — the
+//!   measurement algorithms of the modified oM_infoD (§4),
+//! * [`cross::CrossTraffic`] — Poisson background traffic for the
+//!   network-adaptivity experiments,
+//! * [`calibration`] — the physical constants (documented in DESIGN.md §7).
+
+pub mod calibration;
+pub mod cross;
+pub mod link;
+pub mod nic;
+pub mod probe;
+pub mod shaper;
+
+pub use link::{Link, LinkConfig, Transmission};
+pub use nic::Nic;
+pub use shaper::TrafficShaper;

@@ -1,0 +1,270 @@
+//! The store-and-forward FIFO link.
+//!
+//! A [`Link`] is a *directed* channel between two nodes with a fixed
+//! capacity and propagation latency. Transmissions serialize: a message of
+//! `size` bytes occupies the transmitter for `size / capacity`, and messages
+//! queue FIFO behind whatever is already in flight. Delivery happens one
+//! propagation latency after serialization completes.
+//!
+//! This is the level of detail the paper's results depend on: the freeze
+//! time of an eager migration is the serialization time of every dirty page;
+//! a NoPrefetch fault stall is one RTT plus one page serialization; AMPoM's
+//! benefit is that prefetched pages serialize back-to-back while the migrant
+//! computes (the "pipelining effect" of §5.4).
+
+use ampom_sim::time::{SimDuration, SimTime};
+
+/// Immutable parameters of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkConfig {
+    /// Usable capacity in bytes per second (goodput, not line rate).
+    pub capacity_bytes_per_sec: u64,
+    /// One-way propagation latency.
+    pub latency: SimDuration,
+}
+
+impl LinkConfig {
+    /// Time to clock `bytes` onto the wire at this link's capacity.
+    pub fn serialization_time(&self, bytes: u64) -> SimDuration {
+        assert!(self.capacity_bytes_per_sec > 0, "link with zero capacity");
+        // bytes * 1e9 / capacity, in u128 to avoid overflow for huge bursts.
+        let ns = (bytes as u128 * 1_000_000_000u128)
+            / self.capacity_bytes_per_sec as u128;
+        SimDuration::from_nanos(ns as u64)
+    }
+
+    /// Round-trip time of an empty probe (2 × latency); the `2·t0` of Eq. 3.
+    pub fn rtt(&self) -> SimDuration {
+        self.latency * 2
+    }
+}
+
+/// The outcome of enqueueing a message on a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transmission {
+    /// When the last byte left the transmitter (the link becomes free).
+    pub departs: SimTime,
+    /// When the message is delivered at the receiver.
+    pub arrives: SimTime,
+    /// How long the message waited behind earlier traffic before its first
+    /// byte hit the wire.
+    pub queued_for: SimDuration,
+}
+
+/// A directed FIFO link with serialization and queueing.
+#[derive(Debug, Clone)]
+pub struct Link {
+    config: LinkConfig,
+    /// Earliest time the transmitter is free.
+    free_at: SimTime,
+    /// Total bytes ever accepted.
+    bytes_carried: u64,
+    /// Cumulative time the link spent busy (for utilization reporting).
+    busy_time: SimDuration,
+}
+
+impl Link {
+    /// A new idle link.
+    pub fn new(config: LinkConfig) -> Self {
+        Link {
+            config,
+            free_at: SimTime::ZERO,
+            bytes_carried: 0,
+            busy_time: SimDuration::ZERO,
+        }
+    }
+
+    /// The link's configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.config
+    }
+
+    /// Replaces the link configuration (used by the traffic shaper to model
+    /// `tc` being applied to a live interface). In-flight traffic keeps its
+    /// old schedule; only subsequent transmissions see the new rate.
+    pub fn reconfigure(&mut self, config: LinkConfig) {
+        self.config = config;
+    }
+
+    /// Enqueues a `size`-byte message at time `now`, returning its
+    /// transmission schedule.
+    ///
+    /// # Panics
+    /// Panics if `now` precedes an earlier call's `now` by way of the
+    /// FIFO invariant being violated externally (the link itself only
+    /// requires `now` monotonicity per sender, which the event loop
+    /// guarantees).
+    pub fn transmit(&mut self, now: SimTime, size: u64) -> Transmission {
+        let start = now.max(self.free_at);
+        let ser = self.config.serialization_time(size);
+        let departs = start + ser;
+        self.free_at = departs;
+        self.bytes_carried += size;
+        self.busy_time += ser;
+        Transmission {
+            departs,
+            arrives: departs + self.config.latency,
+            queued_for: start.since(now),
+        }
+    }
+
+    /// When the transmitter next becomes idle.
+    pub fn free_at(&self) -> SimTime {
+        self.free_at
+    }
+
+    /// Total bytes accepted since creation.
+    pub fn bytes_carried(&self) -> u64 {
+        self.bytes_carried
+    }
+
+    /// Cumulative serialization (busy) time.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy_time
+    }
+
+    /// Fraction of `[0, now]` the link spent transmitting.
+    pub fn utilization(&self, now: SimTime) -> f64 {
+        let span = now.as_nanos();
+        if span == 0 {
+            return 0.0;
+        }
+        (self.busy_time.as_nanos() as f64 / span as f64).min(1.0)
+    }
+}
+
+/// A symmetric pair of directed links between two endpoints, as seen from
+/// one of them. `forward` carries this endpoint's requests; `reverse`
+/// carries the peer's replies.
+#[derive(Debug, Clone)]
+pub struct DuplexLink {
+    /// Local → remote direction.
+    pub forward: Link,
+    /// Remote → local direction.
+    pub reverse: Link,
+}
+
+impl DuplexLink {
+    /// Builds both directions from one configuration.
+    pub fn new(config: LinkConfig) -> Self {
+        DuplexLink {
+            forward: Link::new(config),
+            reverse: Link::new(config),
+        }
+    }
+
+    /// Applies a new configuration to both directions.
+    pub fn reconfigure(&mut self, config: LinkConfig) {
+        self.forward.reconfigure(config);
+        self.reverse.reconfigure(config);
+    }
+
+    /// The round-trip time of an empty probe.
+    pub fn rtt(&self) -> SimDuration {
+        self.forward.config().latency + self.reverse.config().latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_link() -> Link {
+        Link::new(LinkConfig {
+            capacity_bytes_per_sec: 1_000_000, // 1 MB/s: 1 byte = 1 µs
+            latency: SimDuration::from_micros(100),
+        })
+    }
+
+    #[test]
+    fn serialization_time_scales_with_size() {
+        let cfg = *test_link().config();
+        assert_eq!(cfg.serialization_time(0), SimDuration::ZERO);
+        assert_eq!(cfg.serialization_time(1), SimDuration::from_micros(1));
+        assert_eq!(cfg.serialization_time(1000), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn single_message_timing() {
+        let mut l = test_link();
+        let tx = l.transmit(SimTime::ZERO, 1000);
+        assert_eq!(tx.departs, SimTime::ZERO + SimDuration::from_millis(1));
+        assert_eq!(
+            tx.arrives,
+            SimTime::ZERO + SimDuration::from_millis(1) + SimDuration::from_micros(100)
+        );
+        assert_eq!(tx.queued_for, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn messages_queue_fifo() {
+        let mut l = test_link();
+        let a = l.transmit(SimTime::ZERO, 1000);
+        let b = l.transmit(SimTime::ZERO, 1000);
+        assert_eq!(b.queued_for, SimDuration::from_millis(1));
+        assert_eq!(b.departs, a.departs + SimDuration::from_millis(1));
+        // Arrivals are back-to-back: pipelining.
+        assert_eq!(b.arrives.since(a.arrives), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn idle_gap_resets_queue() {
+        let mut l = test_link();
+        l.transmit(SimTime::ZERO, 1000);
+        let later = SimTime::ZERO + SimDuration::from_secs(1);
+        let tx = l.transmit(later, 500);
+        assert_eq!(tx.queued_for, SimDuration::ZERO);
+        assert_eq!(tx.departs, later + SimDuration::from_micros(500));
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut l = test_link();
+        l.transmit(SimTime::ZERO, 300);
+        l.transmit(SimTime::ZERO, 700);
+        assert_eq!(l.bytes_carried(), 1000);
+        assert_eq!(l.busy_time(), SimDuration::from_millis(1));
+        let u = l.utilization(SimTime::ZERO + SimDuration::from_millis(2));
+        assert!((u - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reconfigure_affects_only_new_traffic() {
+        let mut l = test_link();
+        let a = l.transmit(SimTime::ZERO, 1000);
+        l.reconfigure(LinkConfig {
+            capacity_bytes_per_sec: 2_000_000,
+            latency: SimDuration::from_micros(50),
+        });
+        let b = l.transmit(SimTime::ZERO, 1000);
+        assert_eq!(a.departs, SimTime::ZERO + SimDuration::from_millis(1));
+        // b queues behind a, then serializes at the new (doubled) rate.
+        assert_eq!(b.departs, a.departs + SimDuration::from_micros(500));
+        assert_eq!(b.arrives, b.departs + SimDuration::from_micros(50));
+    }
+
+    #[test]
+    fn duplex_rtt() {
+        let d = DuplexLink::new(LinkConfig {
+            capacity_bytes_per_sec: 1_000_000,
+            latency: SimDuration::from_micros(150),
+        });
+        assert_eq!(d.rtt(), SimDuration::from_micros(300));
+    }
+
+    #[test]
+    fn utilization_zero_at_t0() {
+        let l = test_link();
+        assert_eq!(l.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero capacity")]
+    fn zero_capacity_rejected() {
+        let cfg = LinkConfig {
+            capacity_bytes_per_sec: 0,
+            latency: SimDuration::ZERO,
+        };
+        let _ = cfg.serialization_time(1);
+    }
+}

@@ -1,0 +1,237 @@
+//! oM_infoD measurement algorithms.
+//!
+//! The modified information daemon of §4 feeds two network quantities into
+//! Eq. 3:
+//!
+//! * **round-trip time** (`2·t0`) — "found by measuring how long it would
+//!   take to receive an acknowledgement from a remote node after a load
+//!   update is sent out from the oM_infoD" → [`RttProber`];
+//! * **available bandwidth** (behind `td`) — "determined by a comparison of
+//!   the current and past values of the 'RX/TX bytes' fields outputted by
+//!   the /sbin/ifconfig command … every time when the lookback window is
+//!   'looped' once" → [`BandwidthEstimator`].
+
+use ampom_sim::stats::OnlineStats;
+use ampom_sim::time::{SimDuration, SimTime};
+
+use crate::nic::NicSnapshot;
+
+/// Measures round-trip time from load-update/acknowledgement pairs,
+/// smoothing over recent probes with an exponentially weighted moving
+/// average (factor 1/8, as TCP's SRTT does — the daemon needs a stable
+/// value, not the last raw sample).
+#[derive(Debug, Clone)]
+pub struct RttProber {
+    srtt: Option<SimDuration>,
+    outstanding: Option<(u64, SimTime)>,
+    next_probe_id: u64,
+    history: OnlineStats,
+}
+
+impl Default for RttProber {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RttProber {
+    /// A prober with no measurements yet.
+    pub fn new() -> Self {
+        RttProber {
+            srtt: None,
+            outstanding: None,
+            next_probe_id: 0,
+            history: OnlineStats::new(),
+        }
+    }
+
+    /// Records that a load-update probe was sent at `now`. Returns the probe
+    /// id to correlate with the acknowledgement. Only one probe is tracked
+    /// at a time (matching the daemon's periodic load updates); issuing a
+    /// new probe abandons an unacknowledged one.
+    pub fn probe_sent(&mut self, now: SimTime) -> u64 {
+        let id = self.next_probe_id;
+        self.next_probe_id += 1;
+        self.outstanding = Some((id, now));
+        id
+    }
+
+    /// Records the acknowledgement for `probe_id` arriving at `now`.
+    /// Returns the raw sample if the id matched the outstanding probe.
+    pub fn ack_received(&mut self, probe_id: u64, now: SimTime) -> Option<SimDuration> {
+        let (id, sent) = self.outstanding?;
+        if id != probe_id {
+            return None;
+        }
+        self.outstanding = None;
+        let sample = now.since(sent);
+        self.history.record(sample.as_secs_f64());
+        self.srtt = Some(match self.srtt {
+            None => sample,
+            Some(prev) => {
+                // srtt = 7/8 prev + 1/8 sample, in nanoseconds.
+                SimDuration::from_nanos(
+                    (prev.as_nanos() / 8).saturating_mul(7) + sample.as_nanos() / 8,
+                )
+            }
+        });
+        Some(sample)
+    }
+
+    /// The smoothed round-trip estimate, if any probe has completed.
+    pub fn rtt(&self) -> Option<SimDuration> {
+        self.srtt
+    }
+
+    /// The one-way latency estimate `t0` (half the smoothed RTT).
+    pub fn t0(&self) -> Option<SimDuration> {
+        self.srtt.map(|r| r / 2)
+    }
+
+    /// Statistics over all raw samples (seconds).
+    pub fn sample_stats(&self) -> &OnlineStats {
+        &self.history
+    }
+}
+
+/// Estimates the bandwidth *available to the migrant* on its NIC.
+///
+/// Sampled like the original daemon: diff the interface byte counters over
+/// the elapsed interval to get the observed traffic rate, subtract the
+/// portion that is foreign (not remote-paging traffic), and report what is
+/// left of the link capacity. A floor of 2% of capacity keeps `td` finite
+/// when the link is saturated (the protocol always gets some share of a
+/// congested Ethernet).
+#[derive(Debug, Clone)]
+pub struct BandwidthEstimator {
+    capacity_bytes_per_sec: u64,
+    last: Option<(SimTime, NicSnapshot, u64)>,
+    estimate: u64,
+}
+
+impl BandwidthEstimator {
+    /// Creates an estimator for a NIC attached to a link of the given
+    /// capacity. Until the first sample the estimate is the full capacity.
+    pub fn new(capacity_bytes_per_sec: u64) -> Self {
+        assert!(capacity_bytes_per_sec > 0);
+        BandwidthEstimator {
+            capacity_bytes_per_sec,
+            last: None,
+            estimate: capacity_bytes_per_sec,
+        }
+    }
+
+    /// Feeds one sample: the counter snapshot at `now` plus how many of
+    /// those bytes were the migrant's own remote-paging traffic
+    /// (`own_bytes`, cumulative like the snapshot). Returns the updated
+    /// available-bandwidth estimate in bytes/s.
+    pub fn sample(&mut self, now: SimTime, snapshot: NicSnapshot, own_bytes: u64) -> u64 {
+        if let Some((prev_t, prev_snap, prev_own)) = self.last {
+            let dt = now.saturating_since(prev_t).as_secs_f64();
+            if dt > 0.0 {
+                let total = snapshot.delta_since(&prev_snap) as f64;
+                let own = own_bytes.saturating_sub(prev_own) as f64;
+                let foreign_rate = ((total - own).max(0.0)) / dt;
+                let avail = self.capacity_bytes_per_sec as f64 - foreign_rate;
+                let floor = self.capacity_bytes_per_sec as f64 * 0.02;
+                self.estimate = avail.max(floor) as u64;
+            }
+        }
+        self.last = Some((now, snapshot, own_bytes));
+        self.estimate
+    }
+
+    /// The current available-bandwidth estimate, bytes/s.
+    pub fn available(&self) -> u64 {
+        self.estimate
+    }
+
+    /// Estimated time to transfer `bytes` at the available bandwidth — this
+    /// is how the daemon derives `td` for Eq. 3.
+    pub fn transfer_time(&self, bytes: u64) -> SimDuration {
+        let secs = bytes as f64 / self.estimate.max(1) as f64;
+        SimDuration::from_secs_f64(secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtt_prober_measures_round_trip() {
+        let mut p = RttProber::new();
+        assert_eq!(p.rtt(), None);
+        let id = p.probe_sent(SimTime::ZERO);
+        let sample = p
+            .ack_received(id, SimTime::ZERO + SimDuration::from_micros(300))
+            .unwrap();
+        assert_eq!(sample, SimDuration::from_micros(300));
+        assert_eq!(p.rtt(), Some(SimDuration::from_micros(300)));
+        assert_eq!(p.t0(), Some(SimDuration::from_micros(150)));
+    }
+
+    #[test]
+    fn rtt_smoothing_converges() {
+        let mut p = RttProber::new();
+        let mut now = SimTime::ZERO;
+        // First sample 1000 µs, then a long run at 200 µs.
+        let id = p.probe_sent(now);
+        now += SimDuration::from_micros(1000);
+        p.ack_received(id, now);
+        for _ in 0..60 {
+            let id = p.probe_sent(now);
+            now += SimDuration::from_micros(200);
+            p.ack_received(id, now);
+            now += SimDuration::from_millis(10);
+        }
+        let rtt = p.rtt().unwrap();
+        assert!(rtt < SimDuration::from_micros(230), "srtt {rtt} too high");
+        assert!(rtt >= SimDuration::from_micros(190));
+    }
+
+    #[test]
+    fn mismatched_ack_ignored() {
+        let mut p = RttProber::new();
+        let _ = p.probe_sent(SimTime::ZERO);
+        assert!(p
+            .ack_received(999, SimTime::ZERO + SimDuration::from_micros(1))
+            .is_none());
+    }
+
+    #[test]
+    fn bandwidth_estimator_subtracts_foreign_traffic() {
+        let cap = 10_000_000;
+        let mut e = BandwidthEstimator::new(cap);
+        assert_eq!(e.available(), cap);
+        let t0 = SimTime::ZERO;
+        e.sample(t0, NicSnapshot::default(), 0);
+        // One second later: 4 MB foreign + 2 MB own moved.
+        let snap = NicSnapshot {
+            rx_bytes: 5_000_000,
+            tx_bytes: 1_000_000,
+        };
+        let avail = e.sample(t0 + SimDuration::from_secs(1), snap, 2_000_000);
+        assert_eq!(avail, cap - 4_000_000);
+    }
+
+    #[test]
+    fn bandwidth_estimator_floors_at_one_percent() {
+        let cap = 1_000_000;
+        let mut e = BandwidthEstimator::new(cap);
+        e.sample(SimTime::ZERO, NicSnapshot::default(), 0);
+        let snap = NicSnapshot {
+            rx_bytes: 50_000_000,
+            tx_bytes: 0,
+        };
+        let avail = e.sample(SimTime::ZERO + SimDuration::from_secs(1), snap, 0);
+        assert_eq!(avail, cap / 50);
+        assert!(e.transfer_time(4096) > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn transfer_time_uses_estimate() {
+        let e = BandwidthEstimator::new(1_000_000);
+        assert_eq!(e.transfer_time(1_000_000), SimDuration::from_secs(1));
+    }
+}

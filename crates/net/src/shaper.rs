@@ -1,0 +1,162 @@
+//! `tc`/`netem`-style traffic shaping.
+//!
+//! The paper's §5.5 experiment uses "Linux's iptables and the tc (traffic
+//! control) module to simulate a broadband network with available bandwidth
+//! of 6 Mb/s and latency of 2 ms". [`TrafficShaper`] reproduces that: it is
+//! a token-bucket rate limiter plus an additive delay that can be applied on
+//! top of any [`LinkConfig`].
+//!
+//! Two usage styles are supported:
+//!
+//! * [`TrafficShaper::shaped_config`] — derive a new [`LinkConfig`] with the
+//!   shaped rate and added latency (how the experiment harness emulates the
+//!   paper's setup: the shape is in force for the whole run), or
+//! * [`TrafficShaper::delay_for`] — compute the token-bucket delay for a
+//!   message, for callers that want burst-tolerant shaping on a live link.
+
+use ampom_sim::time::{SimDuration, SimTime};
+
+use crate::link::LinkConfig;
+
+/// A token-bucket traffic shaper with an additive delay stage.
+#[derive(Debug, Clone)]
+pub struct TrafficShaper {
+    /// Sustained rate limit, bytes/s.
+    rate_bytes_per_sec: u64,
+    /// Bucket depth: how many bytes may burst at line rate.
+    burst_bytes: u64,
+    /// Extra one-way delay added to every message (netem `delay`).
+    added_delay: SimDuration,
+    /// Current token level.
+    tokens: f64,
+    /// Last refill instant.
+    last_refill: SimTime,
+}
+
+impl TrafficShaper {
+    /// Creates a shaper with the given sustained rate, burst allowance and
+    /// added delay.
+    ///
+    /// # Panics
+    /// Panics if `rate_bytes_per_sec` is zero.
+    pub fn new(rate_bytes_per_sec: u64, burst_bytes: u64, added_delay: SimDuration) -> Self {
+        assert!(rate_bytes_per_sec > 0, "shaper rate must be positive");
+        TrafficShaper {
+            rate_bytes_per_sec,
+            burst_bytes,
+            added_delay,
+            tokens: burst_bytes as f64,
+            last_refill: SimTime::ZERO,
+        }
+    }
+
+    /// The paper's broadband emulation: 6 Mb/s with 2 ms one-way delay and a
+    /// 16 KB burst bucket.
+    pub fn broadband_6mbps() -> Self {
+        TrafficShaper::new(6_000_000 / 8, 16 * 1024, SimDuration::from_millis(2))
+    }
+
+    /// The sustained rate in bytes/s.
+    pub fn rate_bytes_per_sec(&self) -> u64 {
+        self.rate_bytes_per_sec
+    }
+
+    /// The additive delay stage.
+    pub fn added_delay(&self) -> SimDuration {
+        self.added_delay
+    }
+
+    /// Derives the [`LinkConfig`] a link shaped by this policy behaves as:
+    /// capacity clamped to the shaper rate, latency increased by the added
+    /// delay. This matches applying `tc tbf` + `netem delay` to an
+    /// interface for the duration of a run.
+    pub fn shaped_config(&self, base: &LinkConfig) -> LinkConfig {
+        LinkConfig {
+            capacity_bytes_per_sec: base
+                .capacity_bytes_per_sec
+                .min(self.rate_bytes_per_sec),
+            latency: base.latency + self.added_delay,
+        }
+    }
+
+    /// Token-bucket admission: returns how long a `size`-byte message must
+    /// be delayed at time `now` before it conforms, then charges the bucket.
+    /// Includes the additive delay stage.
+    pub fn delay_for(&mut self, now: SimTime, size: u64) -> SimDuration {
+        // Refill.
+        let elapsed = now.saturating_since(self.last_refill).as_secs_f64();
+        self.last_refill = self.last_refill.max(now);
+        self.tokens = (self.tokens + elapsed * self.rate_bytes_per_sec as f64)
+            .min(self.burst_bytes as f64);
+        let need = size as f64;
+        let shortfall = need - self.tokens;
+        self.tokens -= need; // may go negative: debt delays later traffic
+        let bucket_delay = if shortfall > 0.0 {
+            SimDuration::from_secs_f64(shortfall / self.rate_bytes_per_sec as f64)
+        } else {
+            SimDuration::ZERO
+        };
+        bucket_delay + self.added_delay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shaped_config_clamps_rate_and_adds_delay() {
+        let base = LinkConfig {
+            capacity_bytes_per_sec: 11_200_000,
+            latency: SimDuration::from_micros(150),
+        };
+        let s = TrafficShaper::broadband_6mbps();
+        let shaped = s.shaped_config(&base);
+        assert_eq!(shaped.capacity_bytes_per_sec, 750_000);
+        assert_eq!(
+            shaped.latency,
+            SimDuration::from_micros(150) + SimDuration::from_millis(2)
+        );
+    }
+
+    #[test]
+    fn shaping_never_raises_capacity() {
+        let slow = LinkConfig {
+            capacity_bytes_per_sec: 1000,
+            latency: SimDuration::ZERO,
+        };
+        let s = TrafficShaper::new(1_000_000, 0, SimDuration::ZERO);
+        assert_eq!(s.shaped_config(&slow).capacity_bytes_per_sec, 1000);
+    }
+
+    #[test]
+    fn bucket_admits_bursts_then_throttles() {
+        let mut s = TrafficShaper::new(1000, 500, SimDuration::ZERO);
+        // First 500 bytes ride the burst allowance.
+        assert_eq!(s.delay_for(SimTime::ZERO, 500), SimDuration::ZERO);
+        // The next 500 must wait for tokens: 500 bytes at 1000 B/s = 0.5 s.
+        let d = s.delay_for(SimTime::ZERO, 500);
+        assert_eq!(d, SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn bucket_refills_over_time() {
+        let mut s = TrafficShaper::new(1000, 500, SimDuration::ZERO);
+        assert_eq!(s.delay_for(SimTime::ZERO, 500), SimDuration::ZERO);
+        // After one second the bucket is full again (capped at burst).
+        let later = SimTime::ZERO + SimDuration::from_secs(1);
+        assert_eq!(s.delay_for(later, 500), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn added_delay_applies_to_conforming_traffic() {
+        let mut s = TrafficShaper::new(1_000_000, 1_000_000, SimDuration::from_millis(2));
+        assert_eq!(s.delay_for(SimTime::ZERO, 100), SimDuration::from_millis(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rate_rejected() {
+        let _ = TrafficShaper::new(0, 0, SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,43 @@
+//! # ampom-sim — discrete-event simulation engine
+//!
+//! The substrate every other crate in this workspace runs on. The AMPoM
+//! paper's results are entirely determined by *when* pages move across a
+//! network and *how long* a migrated process stalls waiting for them, so we
+//! reproduce the system as a deterministic discrete-event simulation (DES)
+//! instead of a Linux 2.4 kernel patch (see `DESIGN.md` §2).
+//!
+//! This crate provides the domain-agnostic pieces:
+//!
+//! * [`time::SimTime`] / [`time::SimDuration`] — nanosecond-resolution
+//!   simulated clock arithmetic,
+//! * [`event::EventQueue`] — a stable (FIFO within equal timestamps)
+//!   priority queue of future events,
+//! * [`rng::SimRng`] — a seeded random source so every experiment is
+//!   bit-for-bit reproducible,
+//! * [`stats`] — counters, online mean/variance, histograms and time series
+//!   used by the measurement harness,
+//! * [`trace`] — an optional event trace used to render the Figure 2
+//!   migration timelines.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use ampom_sim::event::EventQueue;
+//! use ampom_sim::time::{SimDuration, SimTime};
+//!
+//! let mut q: EventQueue<&str> = EventQueue::new();
+//! q.schedule(SimTime::ZERO + SimDuration::from_micros(5), "second");
+//! q.schedule(SimTime::ZERO, "first");
+//! let (t, e) = q.pop().unwrap();
+//! assert_eq!((t, e), (SimTime::ZERO, "first"));
+//! ```
+
+pub mod event;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use event::EventQueue;
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,185 @@
+//! Deterministic randomness for simulations.
+//!
+//! Every stochastic element of an experiment (RandomAccess update streams,
+//! cross-traffic arrivals, scheduler jitter) draws from a [`SimRng`] seeded
+//! from the experiment configuration, so any run can be replayed exactly.
+//! [`SimRng`] wraps a small, fast PRNG and adds the handful of distributions
+//! the simulator needs without pulling in heavyweight dependencies.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A seeded simulation random source.
+///
+/// Wraps [`rand::rngs::SmallRng`] (xoshiro-family, not cryptographic —
+/// exactly right for a simulator). Child generators derived with
+/// [`SimRng::fork`] are independent streams keyed by a label, so subsystems
+/// can draw randomness without perturbing each other's sequences.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: SmallRng,
+    base_seed: u64,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit experiment seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: SmallRng::seed_from_u64(seed),
+            base_seed: seed,
+        }
+    }
+
+    /// The seed this stream was created from.
+    pub fn base_seed(&self) -> u64 {
+        self.base_seed
+    }
+
+    /// Derives an independent child stream, keyed by `label`. The child's
+    /// sequence depends only on `(base_seed, label)` — not on how many draws
+    /// the parent has already made — so forking is order-insensitive.
+    pub fn fork(&self, label: u64) -> SimRng {
+        // splitmix64 over the (seed, label) pair.
+        let mut z = label
+            .wrapping_add(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(self.base_seed.rotate_left(17));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        SimRng::seed_from_u64(z ^ (z >> 31))
+    }
+
+    /// Uniform draw in `[0, bound)`.
+    ///
+    /// # Panics
+    /// Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "SimRng::below(0)");
+        self.inner.gen_range(0..bound)
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "SimRng::range: empty range");
+        self.inner.gen_range(lo..hi)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.unit_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Exponentially distributed draw with the given mean (used for Poisson
+    /// cross-traffic inter-arrival times). Returns `mean` unchanged for
+    /// degenerate (non-positive or non-finite) inputs.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        if mean.is_nan() || mean <= 0.0 || mean == f64::INFINITY {
+            return mean;
+        }
+        let u = 1.0 - self.unit_f64(); // in (0, 1]
+        -mean * u.ln()
+    }
+
+    /// Raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = SimRng::seed_from_u64(42);
+        let mut b = SimRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::seed_from_u64(1);
+        let mut b = SimRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "streams should be essentially disjoint");
+    }
+
+    #[test]
+    fn forks_are_independent_of_draw_position() {
+        let parent = SimRng::seed_from_u64(7);
+        let mut c1 = parent.fork(3);
+        let mut drained = SimRng::seed_from_u64(7);
+        for _ in 0..10 {
+            drained.next_u64();
+        }
+        let mut c2 = drained.fork(3);
+        for _ in 0..32 {
+            assert_eq!(c1.next_u64(), c2.next_u64());
+        }
+    }
+
+    #[test]
+    fn forks_with_different_labels_differ() {
+        let parent = SimRng::seed_from_u64(7);
+        let mut c1 = parent.fork(1);
+        let mut c2 = parent.fork(2);
+        let same = (0..64).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = SimRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            assert!(r.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn exponential_has_roughly_right_mean() {
+        let mut r = SimRng::seed_from_u64(11);
+        let n = 20_000;
+        let mean = 250.0;
+        let sum: f64 = (0..n).map(|_| r.exponential(mean)).sum();
+        let got = sum / n as f64;
+        assert!((got - mean).abs() < mean * 0.05, "mean {got} vs {mean}");
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::seed_from_u64(3);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-5.0));
+        assert!(r.chance(5.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SimRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 100-element shuffle virtually never fixes");
+    }
+}

@@ -1,0 +1,377 @@
+//! Measurement primitives.
+//!
+//! Everything the experiment harness reports — freeze times, fault counts,
+//! prefetch batch sizes, analysis overhead — flows through these types:
+//!
+//! * [`Counter`] — a monotonically increasing event count,
+//! * [`OnlineStats`] — streaming mean / variance / min / max (Welford),
+//! * [`Histogram`] — power-of-two bucketed distribution,
+//! * [`TimeSeries`] — `(SimTime, f64)` samples for plotting figures.
+
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// A fresh zero counter.
+    pub const fn new() -> Self {
+        Counter(0)
+    }
+
+    /// Increments by one.
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Increments by `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Streaming mean/variance/extrema via Welford's algorithm.
+///
+/// Numerically stable for long runs; no sample storage.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// A fresh, empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance, or 0.0 with fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.n as f64
+    }
+
+    /// Merges another accumulator into this one (parallel-friendly).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n = (self.n + other.n) as f64;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n;
+        let m2 =
+            self.m2 + other.m2 + delta * delta * self.n as f64 * other.n as f64 / n;
+        self.n += other.n;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A histogram with power-of-two buckets: bucket `k` covers `[2^k, 2^{k+1})`
+/// with a dedicated bucket for zero. Suited to latency-like quantities that
+/// span several orders of magnitude.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    zero: u64,
+    buckets: [u64; 64],
+    count: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            zero: 0,
+            buckets: [0; 64],
+            count: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        if value == 0 {
+            self.zero += 1;
+        } else {
+            self.buckets[63 - value.leading_zeros() as usize] += 1;
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// An upper bound on the `q`-quantile (`q` in `[0, 1]`): the exclusive
+    /// top of the bucket containing that rank. Returns `None` if empty.
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = self.zero;
+        if seen >= rank {
+            return Some(0);
+        }
+        for (k, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(if k >= 63 { u64::MAX } else { 1 << (k + 1) });
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// Iterator over `(bucket_lower_bound, count)` for non-empty buckets.
+    pub fn nonempty_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        std::iter::once((0, self.zero))
+            .chain(
+                self.buckets
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &c)| (1u64 << k, c)),
+            )
+            .filter(|&(_, c)| c > 0)
+    }
+}
+
+/// A `(time, value)` series for plotting paper figures.
+#[derive(Debug, Default, Clone)]
+pub struct TimeSeries {
+    samples: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// An empty series.
+    pub fn new() -> Self {
+        TimeSeries::default()
+    }
+
+    /// Appends a sample. Timestamps must be non-decreasing.
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        if let Some(&(last, _)) = self.samples.last() {
+            assert!(t >= last, "TimeSeries timestamps must be non-decreasing");
+        }
+        self.samples.push((t, v));
+    }
+
+    /// All samples in order.
+    pub fn samples(&self) -> &[(SimTime, f64)] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The final value, if any.
+    pub fn last_value(&self) -> Option<f64> {
+        self.samples.last().map(|&(_, v)| v)
+    }
+
+    /// Time-weighted average of the series over its recorded span, treating
+    /// each value as holding until the next sample. Returns `None` with
+    /// fewer than two samples.
+    pub fn time_weighted_mean(&self) -> Option<f64> {
+        if self.samples.len() < 2 {
+            return None;
+        }
+        let mut area = 0.0;
+        for w in self.samples.windows(2) {
+            let dt = w[1].0.since(w[0].0).as_secs_f64();
+            area += w[0].1 * dt;
+        }
+        let span = self
+            .samples
+            .last()
+            .unwrap()
+            .0
+            .since(self.samples[0].0)
+            .as_secs_f64();
+        (span > 0.0).then(|| area / span)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn counter_counts() {
+        let mut c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.to_string(), "5");
+    }
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert!((s.sum() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn online_stats_empty() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+    }
+
+    #[test]
+    fn online_stats_merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        xs.iter().for_each(|&x| whole.record(x));
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        xs[..37].iter().for_each(|&x| a.record(x));
+        xs[37..].iter().for_each(|&x| b.record(x));
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 1, 2, 3, 7, 8, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 8);
+        // zero bucket holds rank 1.
+        assert_eq!(h.quantile_upper_bound(0.0), Some(0));
+        // the 100 lands in [64,128): upper bound 128.
+        assert_eq!(h.quantile_upper_bound(1.0), Some(128));
+        let total: u64 = h.nonempty_buckets().map(|(_, c)| c).sum();
+        assert_eq!(total, 8);
+    }
+
+    #[test]
+    fn histogram_empty_quantile() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile_upper_bound(0.5), None);
+    }
+
+    #[test]
+    fn time_series_time_weighted_mean() {
+        let mut ts = TimeSeries::new();
+        let t0 = SimTime::ZERO;
+        ts.push(t0, 10.0);
+        ts.push(t0 + SimDuration::from_secs(1), 20.0);
+        ts.push(t0 + SimDuration::from_secs(2), 20.0);
+        // 10 held for 1s, 20 held for 1s => 15.
+        assert!((ts.time_weighted_mean().unwrap() - 15.0).abs() < 1e-12);
+        assert_eq!(ts.last_value(), Some(20.0));
+        assert_eq!(ts.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn time_series_rejects_time_reversal() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_nanos(10), 1.0);
+        ts.push(SimTime::from_nanos(5), 2.0);
+    }
+}

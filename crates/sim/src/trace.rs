@@ -1,0 +1,224 @@
+//! Event tracing.
+//!
+//! A [`Trace`] records timestamped, labelled events from a simulation run.
+//! It backs the Figure 2 migration-timeline reproduction (`hpcc-repro fig2`)
+//! and is invaluable when debugging protocol interleavings. Tracing is off
+//! by default ([`Trace::disabled`]) and costs one branch per event when off.
+
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Category of a traced event, mirroring the phases drawn in the paper's
+/// Figure 2 timelines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceKind {
+    /// Migration initiated; process frozen on the original node.
+    FreezeBegin,
+    /// Process state + initial pages fully transferred; execution resumes.
+    FreezeEnd,
+    /// A batch of pages sent from the original node.
+    PagesSent,
+    /// A batch of pages arrived at the destination.
+    PagesArrived,
+    /// The migrant took a page fault.
+    PageFault,
+    /// A remote paging / prefetch request was issued.
+    PagingRequest,
+    /// The migrant resumed after a fault stall.
+    FaultResolved,
+    /// FFA only: dirty pages flushed to the file server.
+    FileServerFlush,
+    /// A system call was forwarded to the home node.
+    SyscallForwarded,
+    /// The workload ran to completion.
+    WorkloadDone,
+    /// Free-form annotation.
+    Note,
+}
+
+impl fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceKind::FreezeBegin => "freeze-begin",
+            TraceKind::FreezeEnd => "freeze-end",
+            TraceKind::PagesSent => "pages-sent",
+            TraceKind::PagesArrived => "pages-arrived",
+            TraceKind::PageFault => "page-fault",
+            TraceKind::PagingRequest => "paging-request",
+            TraceKind::FaultResolved => "fault-resolved",
+            TraceKind::FileServerFlush => "file-server-flush",
+            TraceKind::SyscallForwarded => "syscall-forwarded",
+            TraceKind::WorkloadDone => "workload-done",
+            TraceKind::Note => "note",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One recorded event.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// When the event happened on the simulated clock.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+    /// Human-readable detail (page ranges, byte counts, …).
+    pub detail: String,
+}
+
+/// A bounded, optionally-disabled event recorder.
+#[derive(Debug)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Default cap on retained events; enough for any single migration
+    /// timeline while bounding memory on multi-minute runs.
+    pub const DEFAULT_CAPACITY: usize = 100_000;
+
+    /// An enabled trace with the default capacity.
+    pub fn enabled() -> Self {
+        Trace {
+            events: Vec::new(),
+            enabled: true,
+            capacity: Self::DEFAULT_CAPACITY,
+            dropped: 0,
+        }
+    }
+
+    /// An enabled trace retaining at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            events: Vec::new(),
+            enabled: true,
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// A disabled trace: `record` is a no-op.
+    pub fn disabled() -> Self {
+        Trace {
+            events: Vec::new(),
+            enabled: false,
+            capacity: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event (no-op when disabled; drops when at capacity).
+    pub fn record(&mut self, at: SimTime, kind: TraceKind, detail: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() >= self.capacity {
+            self.dropped += 1;
+            return;
+        }
+        self.events.push(TraceEvent {
+            at,
+            kind,
+            detail: detail.into(),
+        });
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events of one kind, in order.
+    pub fn of_kind(&self, kind: TraceKind) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.kind == kind)
+    }
+
+    /// The first event of `kind`, if any.
+    pub fn first_of(&self, kind: TraceKind) -> Option<&TraceEvent> {
+        self.of_kind(kind).next()
+    }
+
+    /// Number of events dropped after hitting capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders the trace as an aligned text timeline (Figure 2 style).
+    pub fn render_timeline(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&format!(
+                "{:>14}  {:<18} {}\n",
+                format!("{:.6}s", e.at.as_secs_f64()),
+                e.kind.to_string(),
+                e.detail
+            ));
+        }
+        if self.dropped > 0 {
+            out.push_str(&format!("... ({} events dropped)\n", self.dropped));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn records_in_order_and_filters() {
+        let mut tr = Trace::enabled();
+        let t0 = SimTime::ZERO;
+        tr.record(t0, TraceKind::FreezeBegin, "pid 1");
+        tr.record(t0 + SimDuration::from_millis(1), TraceKind::PagesSent, "3 pages");
+        tr.record(t0 + SimDuration::from_millis(2), TraceKind::FreezeEnd, "");
+        assert_eq!(tr.events().len(), 3);
+        assert_eq!(tr.of_kind(TraceKind::PagesSent).count(), 1);
+        assert_eq!(tr.first_of(TraceKind::FreezeBegin).unwrap().detail, "pid 1");
+        assert!(tr.first_of(TraceKind::PageFault).is_none());
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut tr = Trace::disabled();
+        tr.record(SimTime::ZERO, TraceKind::Note, "ignored");
+        assert!(tr.events().is_empty());
+        assert!(!tr.is_enabled());
+    }
+
+    #[test]
+    fn capacity_bounds_memory() {
+        let mut tr = Trace::with_capacity(2);
+        for i in 0..5 {
+            tr.record(SimTime::from_nanos(i), TraceKind::Note, "x");
+        }
+        assert_eq!(tr.events().len(), 2);
+        assert_eq!(tr.dropped(), 3);
+        assert!(tr.render_timeline().contains("3 events dropped"));
+    }
+
+    #[test]
+    fn timeline_renders_every_event() {
+        let mut tr = Trace::enabled();
+        tr.record(SimTime::ZERO, TraceKind::FreezeBegin, "start");
+        tr.record(
+            SimTime::ZERO + SimDuration::from_secs(1),
+            TraceKind::WorkloadDone,
+            "done",
+        );
+        let text = tr.render_timeline();
+        assert!(text.contains("freeze-begin"));
+        assert!(text.contains("workload-done"));
+        assert!(text.contains("1.000000s"));
+    }
+}

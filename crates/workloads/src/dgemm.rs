@@ -1,0 +1,331 @@
+//! The DGEMM kernel (dense matrix–matrix multiply) and the Figure 10
+//! small-working-set variant.
+//!
+//! DGEMM sits at **high spatial and high temporal** locality in the
+//! paper's Figure 4 quadrant: a blocked `C = A·B` sweeps tiles of `A`, `B`
+//! and `C` sequentially and revisits the same tiles many times. It also has
+//! the highest compute-per-byte of the four kernels (O(n³) flops over O(n²)
+//! data), giving it the *lowest paging rate* — the property behind the
+//! paper's observation that "DGEMM and FFT have more computation (per data
+//! item) and hence lower paging rate than STREAM", which lets AMPoM
+//! prefetch less aggressively yet still hide the network (§5.4, Figure 8).
+//!
+//! ## Model
+//!
+//! The data region holds three equal matrices. We iterate a blocked
+//! product with [`Dgemm::N_TILES`] tiles per matrix: for each `(j, k)` tile
+//! pair, walk the A(k)-, B(k)- and C(j)-tiles **in lockstep**, one page
+//! from each per step — the page-level shadow of the inner loops touching
+//! all three operands. Every matrix is swept [`Dgemm::N_TILES`] times
+//! (temporal reuse), and the fault stream seen after a migration is three
+//! interleaved sequential lanes (spatial locality), like STREAM's but at a
+//! much lower paging rate because of the higher compute per touch — which
+//! is exactly the distinction the paper draws in §5.4. Touches scale
+//! linearly with memory and compute-per-touch scales with √memory,
+//! reproducing DGEMM's O(MB^1.5) total-flops growth.
+//!
+//! ## Calibration
+//!
+//! CPU per touch is set so the 575 MB problem costs ≈ 85 s of pure compute,
+//! matching the ≈ 140 s openMosix total of Figure 6(a) after the ≈ 54 s
+//! eager copy.
+
+use ampom_mem::page::PageId;
+use ampom_mem::region::MemoryLayout;
+use ampom_sim::time::SimDuration;
+
+use crate::memref::{MemRef, Workload};
+
+/// Blocked DGEMM at page granularity.
+#[derive(Debug)]
+pub struct Dgemm {
+    layout: MemoryLayout,
+    data_bytes: u64,
+    /// Pages per matrix.
+    matrix_pages: u64,
+    /// Pages per tile.
+    tile_pages: u64,
+    base: PageId,
+    cpu_per_touch: SimDuration,
+    // Iteration state: tile indices and position within the current sweep.
+    j_tile: u64,
+    k_tile: u64,
+    phase: u8, // 0 = A tile, 1 = B tile, 2 = C tile
+    offset: u64,
+    done: bool,
+}
+
+impl Dgemm {
+    /// Tiles per matrix dimension in the blocked product.
+    pub const N_TILES: u64 = 24;
+
+    /// CPU per page-touch at the 575 MB reference size.
+    pub const CPU_PER_TOUCH_AT_575MB: SimDuration = SimDuration::from_nanos(24_000);
+
+    /// Reference size for the compute-per-touch scaling.
+    const REFERENCE_BYTES: u64 = 575 * 1024 * 1024;
+
+    /// Builds a DGEMM instance over `data_bytes` of memory (three equal
+    /// matrices).
+    pub fn new(data_bytes: u64) -> Self {
+        Self::with_layout(MemoryLayout::with_data_bytes(data_bytes), data_bytes)
+    }
+
+    /// Builds a DGEMM whose *arithmetic* covers `work_bytes` inside a
+    /// possibly larger `layout` (the Figure 10 small-working-set variant
+    /// passes a 575 MB layout with a smaller working set).
+    fn with_layout(layout: MemoryLayout, work_bytes: u64) -> Self {
+        let work_pages = work_bytes.div_ceil(ampom_mem::PAGE_SIZE);
+        assert!(
+            work_pages <= layout.data_pages().len(),
+            "working set exceeds data region"
+        );
+        let matrix_pages = (work_pages / 3).max(1);
+        let tile_pages = (matrix_pages / Self::N_TILES).max(1);
+        // Flops grow as MB^1.5 while touches grow as MB: put the extra
+        // factor of sqrt(MB) into the per-touch cost.
+        let scale = (work_bytes as f64 / Self::REFERENCE_BYTES as f64).sqrt();
+        let cpu = SimDuration::from_nanos(
+            ((Self::CPU_PER_TOUCH_AT_575MB.as_nanos() as f64 * scale) as u64).max(100),
+        );
+        Dgemm {
+            base: layout.data_start(),
+            layout,
+            data_bytes: work_bytes,
+            matrix_pages,
+            tile_pages,
+            cpu_per_touch: cpu,
+            j_tile: 0,
+            k_tile: 0,
+            phase: 0,
+            offset: 0,
+            done: false,
+        }
+    }
+
+    fn n_tiles(&self) -> u64 {
+        (self.matrix_pages / self.tile_pages).max(1)
+    }
+
+    /// Matrix bases: A at 0, B at `matrix_pages`, C at `2·matrix_pages`.
+    fn page_for(&self) -> PageId {
+        let (matrix, tile) = match self.phase {
+            0 => (0, self.k_tile),
+            1 => (1, self.k_tile), // B tile indexed by k (column block of j)
+            _ => (2, self.j_tile),
+        };
+        self.base
+            .offset(matrix * self.matrix_pages)
+            .offset(tile * self.tile_pages + self.offset)
+    }
+}
+
+impl Iterator for Dgemm {
+    type Item = MemRef;
+
+    fn next(&mut self) -> Option<MemRef> {
+        if self.done {
+            return None;
+        }
+        let page = self.page_for();
+        let write = self.phase == 2;
+        let r = MemRef {
+            page,
+            write,
+            cpu: self.cpu_per_touch,
+        };
+        // Advance: lane (A/B/C) → offset within tile → k tile → j tile.
+        self.phase += 1;
+        if self.phase == 3 {
+            self.phase = 0;
+            self.offset += 1;
+            if self.offset == self.tile_pages {
+                self.offset = 0;
+                self.k_tile += 1;
+                if self.k_tile == self.n_tiles() {
+                    self.k_tile = 0;
+                    self.j_tile += 1;
+                    if self.j_tile == self.n_tiles() {
+                        self.done = true;
+                    }
+                }
+            }
+        }
+        Some(r)
+    }
+}
+
+impl Workload for Dgemm {
+    fn name(&self) -> &'static str {
+        "DGEMM"
+    }
+
+    fn layout(&self) -> &MemoryLayout {
+        &self.layout
+    }
+
+    fn data_bytes(&self) -> u64 {
+        self.data_bytes
+    }
+
+    fn total_refs_hint(&self) -> u64 {
+        self.n_tiles() * self.n_tiles() * 3 * self.tile_pages
+    }
+}
+
+/// The Figure 10 variant: "we modified the source code of DGEMM so that it
+/// allocates 575MB of memory, but works on matrices of 115MB, 230MB, 345MB,
+/// 460MB, and 575MB large."
+///
+/// The allocation phase dirties the *whole* region (so eager openMosix must
+/// move all of it), while the compute stream touches only the working set.
+#[derive(Debug)]
+pub struct DgemmSmallWs {
+    inner: Dgemm,
+    alloc_bytes: u64,
+}
+
+impl DgemmSmallWs {
+    /// Allocates `alloc_bytes` but computes on the first `working_bytes`.
+    ///
+    /// # Panics
+    /// Panics if the working set exceeds the allocation.
+    pub fn new(alloc_bytes: u64, working_bytes: u64) -> Self {
+        assert!(working_bytes <= alloc_bytes);
+        let layout = MemoryLayout::with_data_bytes(alloc_bytes);
+        DgemmSmallWs {
+            inner: Dgemm::with_layout(layout, working_bytes),
+            alloc_bytes,
+        }
+    }
+
+    /// Bytes allocated (and dirtied) before migration.
+    pub fn alloc_bytes(&self) -> u64 {
+        self.alloc_bytes
+    }
+
+    /// Bytes the compute stream actually touches.
+    pub fn working_bytes(&self) -> u64 {
+        self.inner.data_bytes
+    }
+}
+
+impl Iterator for DgemmSmallWs {
+    type Item = MemRef;
+
+    fn next(&mut self) -> Option<MemRef> {
+        self.inner.next()
+    }
+}
+
+impl Workload for DgemmSmallWs {
+    fn name(&self) -> &'static str {
+        "DGEMM-WS"
+    }
+
+    fn layout(&self) -> &MemoryLayout {
+        self.inner.layout()
+    }
+
+    /// The working set only — callers asking "how much data does the
+    /// computation cover" get the honest answer; the allocation size is
+    /// exposed via [`DgemmSmallWs::alloc_bytes`].
+    fn data_bytes(&self) -> u64 {
+        self.inner.data_bytes()
+    }
+
+    fn total_refs_hint(&self) -> u64 {
+        self.inner.total_refs_hint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memref::testutil::check_stream_invariants;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn dgemm_invariants_hold() {
+        check_stream_invariants(Dgemm::new(3 * 1024 * 1024));
+    }
+
+    #[test]
+    fn lanes_interleave_and_advance_sequentially() {
+        let mut d = Dgemm::new(4096 * Dgemm::N_TILES * 3 * 4); // 4 pages/tile
+        assert_eq!(d.tile_pages, 4);
+        let refs: Vec<_> = d.by_ref().take(6).collect();
+        // Step 0: A0, B0, C0; step 1: A1, B1, C1 — each lane sequential.
+        assert!(refs[3].page.is_succ_of(refs[0].page));
+        assert!(refs[4].page.is_succ_of(refs[1].page));
+        assert!(refs[5].page.is_succ_of(refs[2].page));
+        // Lanes live in different matrices.
+        assert!(refs[1].page.distance(refs[0].page) >= d.matrix_pages);
+    }
+
+    #[test]
+    fn only_c_lane_writes() {
+        let d = Dgemm::new(4096 * Dgemm::N_TILES * 3 * 2);
+        for (i, r) in d.take(60).enumerate() {
+            assert_eq!(r.write, i % 3 == 2, "ref {i}");
+        }
+    }
+
+    #[test]
+    fn every_matrix_page_is_revisited() {
+        let d = Dgemm::new(4096 * Dgemm::N_TILES * 3);
+        let refs: Vec<_> = d.collect();
+        let mut counts = std::collections::HashMap::new();
+        for r in &refs {
+            *counts.entry(r.page).or_insert(0u64) += 1;
+        }
+        // Each A/B page is touched once per j_tile (N_TILES times); C pages
+        // once per k_tile.
+        assert!(counts.values().all(|&c| c >= 2), "temporal reuse present");
+    }
+
+    #[test]
+    fn compute_calibration_575mb() {
+        let d = Dgemm::new(575 * 1024 * 1024);
+        let total = d.total_refs_hint() as f64 * d.cpu_per_touch.as_secs_f64();
+        assert!((70.0..100.0).contains(&total), "575MB DGEMM compute {total}s");
+    }
+
+    #[test]
+    fn compute_scales_superlinearly() {
+        let small = Dgemm::new(115 * 1024 * 1024);
+        let large = Dgemm::new(575 * 1024 * 1024);
+        let c_small = small.total_refs_hint() as f64 * small.cpu_per_touch.as_secs_f64();
+        let c_large = large.total_refs_hint() as f64 * large.cpu_per_touch.as_secs_f64();
+        let ratio = c_large / c_small;
+        // Memory ratio is 5; flops ratio should be ≈ 5^1.5 ≈ 11.2.
+        assert!((8.0..14.0).contains(&ratio), "scaling ratio {ratio}");
+    }
+
+    #[test]
+    fn small_ws_touches_only_working_set() {
+        let w = DgemmSmallWs::new(64 * 1024 * 1024, 16 * 1024 * 1024);
+        let layout = w.layout().clone();
+        let ws_pages = 16 * 1024 * 1024 / ampom_mem::PAGE_SIZE;
+        let touched: BTreeSet<_> = w.map(|r| r.page).collect();
+        let max = touched.iter().max().unwrap();
+        assert!(max.index() < layout.data_start().index() + ws_pages);
+        // Footprint covers most of the working set but none of the rest.
+        assert!(touched.len() as u64 > ws_pages / 2);
+    }
+
+    #[test]
+    fn small_ws_allocates_full_region() {
+        let w = DgemmSmallWs::new(64 * 1024 * 1024, 16 * 1024 * 1024);
+        let alloc = w.allocation_pages();
+        assert_eq!(alloc.len() as u64, w.layout().data_pages().len());
+        assert_eq!(w.alloc_bytes(), 64 * 1024 * 1024);
+        assert_eq!(w.working_bytes(), 16 * 1024 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "working_bytes <= alloc_bytes")]
+    fn ws_larger_than_alloc_panics() {
+        let _ = DgemmSmallWs::new(1024, 4096 * 100);
+    }
+}

@@ -1,0 +1,253 @@
+//! The FFT kernel (1-D complex transform).
+//!
+//! FFT sits between the extremes in the paper's Figure 4 quadrant: its
+//! butterfly passes read two sequential streams offset by the butterfly
+//! distance (good spatial locality, detectable as interleaved stride
+//! streams), while the bit-reversal reordering pass scatters accesses
+//! almost randomly. The paper reports a 97% fault-prevention rate and a
+//! prefetch aggressiveness well below STREAM's (Figures 7–8), which this
+//! access structure reproduces: the analyzer sees *two* outstanding
+//! streams during butterflies (splitting the prefetch quota) and nearly
+//! none during bit-reversal.
+//!
+//! ## Model and down-scaling
+//!
+//! A real radix-2 FFT over a 513 MB array runs ~26 passes; per-page the
+//! later passes are indistinguishable (two interleaved sequential sweeps),
+//! so we model `log2(pages)/2` representative butterfly passes plus one
+//! bit-reversal pass, and fold the remaining passes' arithmetic into the
+//! per-touch CPU cost — calibrated so the 513 MB run costs ≈ 40 s of pure
+//! compute, matching the ≈ 85 s openMosix total of Figure 6(d).
+//!
+//! The pass order is decimation-in-frequency (as in FFTW and HPCC's FFTE):
+//! butterfly passes first, the reordering pass last. The post-migration
+//! *fault* stream is therefore the first butterfly pass — two interleaved
+//! sequential lanes the prefetcher can latch onto — while the scattered
+//! reordering runs against already-local pages.
+
+use ampom_mem::page::PageId;
+use ampom_mem::region::MemoryLayout;
+use ampom_sim::rng::SimRng;
+use ampom_sim::time::SimDuration;
+
+use crate::memref::{MemRef, Workload};
+
+/// Radix-2 FFT at page granularity: a bit-reversal permutation pass
+/// followed by butterfly passes of decreasing distance.
+#[derive(Debug)]
+pub struct Fft {
+    layout: MemoryLayout,
+    data_bytes: u64,
+    pages: u64,
+    base: PageId,
+    cpu_per_touch: SimDuration,
+    /// The bit-reversal visit order (a seeded pseudo-random permutation —
+    /// true bit-reversal at page granularity is statistically equivalent).
+    reversal_order: Vec<u64>,
+    butterfly_passes: u64,
+    // Iteration state.
+    phase: Phase,
+    pass: u64,
+    i: u64,
+    half: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Reversal,
+    Butterfly,
+    Done,
+}
+
+impl Fft {
+    /// CPU per page-touch, folding in the unmodelled passes' arithmetic.
+    pub const CPU_PER_TOUCH: SimDuration = SimDuration::from_nanos(35_000);
+
+    /// Builds an FFT instance over a `data_bytes` array.
+    pub fn new(data_bytes: u64, mut rng: SimRng) -> Self {
+        let layout = MemoryLayout::with_data_bytes(data_bytes);
+        let pages = layout.data_pages().len();
+        let mut reversal_order: Vec<u64> = (0..pages).collect();
+        rng.shuffle(&mut reversal_order);
+        let butterfly_passes = ((64 - pages.leading_zeros() as u64) / 2).max(2);
+        Fft {
+            base: layout.data_start(),
+            layout,
+            data_bytes,
+            pages,
+            cpu_per_touch: Self::CPU_PER_TOUCH,
+            reversal_order,
+            butterfly_passes,
+            phase: Phase::Butterfly,
+            pass: 0,
+            i: 0,
+            half: false,
+        }
+    }
+
+    /// Butterfly distance for a pass: halves each pass, floored at one
+    /// page (later real passes fall inside a single page).
+    fn distance(&self, pass: u64) -> u64 {
+        (self.pages >> (pass + 1)).max(1)
+    }
+
+    /// Number of butterfly passes modelled.
+    pub fn butterfly_passes(&self) -> u64 {
+        self.butterfly_passes
+    }
+}
+
+impl Iterator for Fft {
+    type Item = MemRef;
+
+    fn next(&mut self) -> Option<MemRef> {
+        match self.phase {
+            Phase::Reversal => {
+                let page = self.base.offset(self.reversal_order[self.i as usize]);
+                self.i += 1;
+                if self.i == self.pages {
+                    self.phase = Phase::Done;
+                    self.i = 0;
+                }
+                Some(MemRef {
+                    page,
+                    write: true,
+                    cpu: self.cpu_per_touch,
+                })
+            }
+            Phase::Butterfly => {
+                let d = self.distance(self.pass);
+                // Visit pairs (i, i+d) where i walks each 2d-aligned block's
+                // lower half; both halves are written (in-place butterfly).
+                let block = self.i / d;
+                let within = self.i % d;
+                let lo = block * 2 * d + within;
+                let page_idx = if self.half { (lo + d).min(self.pages - 1) } else { lo };
+                let r = MemRef {
+                    page: self.base.offset(page_idx),
+                    write: true,
+                    cpu: self.cpu_per_touch,
+                };
+                if self.half {
+                    self.half = false;
+                    self.i += 1;
+                    if self.i >= self.pages / 2 {
+                        self.i = 0;
+                        self.pass += 1;
+                        if self.pass == self.butterfly_passes {
+                            self.phase = Phase::Reversal;
+                        }
+                    }
+                } else {
+                    self.half = true;
+                }
+                Some(r)
+            }
+            Phase::Done => None,
+        }
+    }
+}
+
+impl Workload for Fft {
+    fn name(&self) -> &'static str {
+        "FFT"
+    }
+
+    fn layout(&self) -> &MemoryLayout {
+        &self.layout
+    }
+
+    fn data_bytes(&self) -> u64 {
+        self.data_bytes
+    }
+
+    fn total_refs_hint(&self) -> u64 {
+        // One reversal pass + butterfly passes of 2·(pages/2) touches each.
+        self.pages + self.butterfly_passes * (self.pages / 2) * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memref::testutil::check_stream_invariants;
+    use std::collections::HashSet;
+
+    fn build(bytes: u64, seed: u64) -> Fft {
+        Fft::new(bytes, SimRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn invariants_hold() {
+        check_stream_invariants(build(2 * 1024 * 1024, 1));
+    }
+
+    #[test]
+    fn first_butterfly_pass_touches_every_page_once() {
+        let f = build(1024 * 1024, 2);
+        let pages = f.pages;
+        let first: Vec<_> = f.take(pages as usize).collect();
+        let distinct: HashSet<_> = first.iter().map(|r| r.page).collect();
+        assert_eq!(distinct.len() as u64, pages);
+    }
+
+    #[test]
+    fn reversal_pass_comes_last_and_permutes_all_pages() {
+        let f = build(1024 * 1024, 2);
+        let pages = f.pages as usize;
+        let refs: Vec<_> = f.collect();
+        let last: Vec<_> = refs[refs.len() - pages..].to_vec();
+        let distinct: HashSet<_> = last.iter().map(|r| r.page).collect();
+        assert_eq!(distinct.len(), pages);
+        // Scattered, not sequential: successor pairs are rare.
+        let succ = last
+            .windows(2)
+            .filter(|w| w[1].page.is_succ_of(w[0].page))
+            .count();
+        assert!(succ < pages / 10, "reversal must look random: {succ}");
+    }
+
+    #[test]
+    fn butterfly_pairs_are_offset_by_distance() {
+        let mut f = build(64 * 4096, 3);
+        let d = f.distance(0);
+        let refs: Vec<_> = f.by_ref().take(8).collect();
+        for pair in refs.chunks(2) {
+            let delta = pair[1].page.distance(pair[0].page);
+            assert_eq!(delta, d, "butterfly pair distance");
+        }
+    }
+
+    #[test]
+    fn butterfly_low_halves_are_sequential_across_pairs() {
+        let mut f = build(64 * 4096, 3);
+        let refs: Vec<_> = f.by_ref().take(10).collect();
+        // Even-indexed refs are the "low" stream: must advance by one page.
+        let lows: Vec<_> = refs.iter().step_by(2).map(|r| r.page).collect();
+        for w in lows.windows(2) {
+            assert!(w[1].is_succ_of(w[0]), "low stream sequential");
+        }
+    }
+
+    #[test]
+    fn pass_count_scales_logarithmically() {
+        let small = build(1024 * 1024, 4);
+        let large = build(256 * 1024 * 1024, 4);
+        assert!(large.butterfly_passes() > small.butterfly_passes());
+        assert!(large.butterfly_passes() < 16);
+    }
+
+    #[test]
+    fn compute_calibration_513mb() {
+        let f = build(513 * 1024 * 1024, 5);
+        let total = f.total_refs_hint() as f64 * Fft::CPU_PER_TOUCH.as_secs_f64();
+        assert!((30.0..55.0).contains(&total), "513MB FFT compute {total}s");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a: Vec<_> = build(1024 * 1024, 7).collect();
+        let b: Vec<_> = build(1024 * 1024, 7).collect();
+        assert_eq!(a, b);
+    }
+}

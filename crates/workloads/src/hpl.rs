@@ -1,0 +1,212 @@
+//! HPL (high-performance Linpack: LU factorisation) — an extension
+//! workload.
+//!
+//! The paper skips HPL ("network communication performance in parallel
+//! programs is not the focus", §5.1), but its single-node memory pattern
+//! is distinctive and worth exercising: right-looking LU factors a panel
+//! of columns (narrow, revisited several times) and then sweeps the
+//! *shrinking* trailing submatrix once per step. Early pages go cold as
+//! the factorisation advances — a drifting working set that neither
+//! STREAM (uniform sweeps) nor DGEMM (uniform tiles) produces. AMPoM's
+//! window only ever sees the live frontier, so prefetching should track
+//! the shrinking trailing region naturally.
+//!
+//! ## Model
+//!
+//! A matrix of `P` pages in panels of [`Hpl::PANEL_PAGES`]. Step `k`:
+//! the panel `[kB, (k+1)B)` is swept [`Hpl::PANEL_PASSES`] times
+//! (factorisation + pivoting), then the trailing region `[(k+1)B, P)` is
+//! swept once (the rank-`nb` update). Compute per touch is DGEMM-class.
+
+use ampom_mem::page::PageId;
+use ampom_mem::region::MemoryLayout;
+use ampom_sim::time::SimDuration;
+
+use crate::memref::{MemRef, Workload};
+
+/// Right-looking LU factorisation at page granularity.
+#[derive(Debug)]
+pub struct Hpl {
+    layout: MemoryLayout,
+    data_bytes: u64,
+    pages: u64,
+    base: PageId,
+    cpu_per_touch: SimDuration,
+    // Iteration state.
+    step: u64,
+    phase: Phase,
+    offset: u64,
+    pass: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Panel,
+    Trailing,
+    Done,
+}
+
+impl Hpl {
+    /// Pages per panel.
+    pub const PANEL_PAGES: u64 = 32;
+
+    /// Sweeps over each panel (factor + pivot search + swap).
+    pub const PANEL_PASSES: u32 = 3;
+
+    /// CPU per page-touch (BLAS-3 update work).
+    pub const CPU_PER_TOUCH: SimDuration = SimDuration::from_nanos(22_000);
+
+    /// Builds an HPL instance over `data_bytes` of matrix.
+    pub fn new(data_bytes: u64) -> Self {
+        let layout = MemoryLayout::with_data_bytes(data_bytes);
+        let pages = layout.data_pages().len();
+        Hpl {
+            base: layout.data_start(),
+            layout,
+            data_bytes,
+            pages,
+            cpu_per_touch: Self::CPU_PER_TOUCH,
+            step: 0,
+            phase: Phase::Panel,
+            offset: 0,
+            pass: 0,
+        }
+    }
+
+    fn steps(&self) -> u64 {
+        self.pages.div_ceil(Self::PANEL_PAGES)
+    }
+
+    fn panel_start(&self) -> u64 {
+        self.step * Self::PANEL_PAGES
+    }
+
+    fn panel_len(&self) -> u64 {
+        Self::PANEL_PAGES.min(self.pages - self.panel_start())
+    }
+}
+
+impl Iterator for Hpl {
+    type Item = MemRef;
+
+    fn next(&mut self) -> Option<MemRef> {
+        loop {
+            match self.phase {
+                Phase::Done => return None,
+                Phase::Panel => {
+                    let len = self.panel_len();
+                    if self.offset < len {
+                        let page = self.base.offset(self.panel_start() + self.offset);
+                        self.offset += 1;
+                        return Some(MemRef::write(page, self.cpu_per_touch));
+                    }
+                    self.offset = 0;
+                    self.pass += 1;
+                    if self.pass >= Self::PANEL_PASSES {
+                        self.pass = 0;
+                        self.phase = Phase::Trailing;
+                    }
+                }
+                Phase::Trailing => {
+                    let trailing_start = self.panel_start() + self.panel_len();
+                    if trailing_start + self.offset < self.pages {
+                        let page = self.base.offset(trailing_start + self.offset);
+                        self.offset += 1;
+                        return Some(MemRef::write(page, self.cpu_per_touch));
+                    }
+                    self.offset = 0;
+                    self.step += 1;
+                    self.phase = if self.step >= self.steps() {
+                        Phase::Done
+                    } else {
+                        Phase::Panel
+                    };
+                }
+            }
+        }
+    }
+}
+
+impl Workload for Hpl {
+    fn name(&self) -> &'static str {
+        "HPL"
+    }
+
+    fn layout(&self) -> &MemoryLayout {
+        &self.layout
+    }
+
+    fn data_bytes(&self) -> u64 {
+        self.data_bytes
+    }
+
+    fn total_refs_hint(&self) -> u64 {
+        // Per step k: PANEL_PASSES × panel + trailing.
+        let steps = self.steps();
+        let mut total = 0;
+        for k in 0..steps {
+            let start = k * Self::PANEL_PAGES;
+            let panel = Self::PANEL_PAGES.min(self.pages - start);
+            let trailing = self.pages - (start + panel);
+            total += u64::from(Self::PANEL_PASSES) * panel + trailing;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memref::testutil::check_stream_invariants;
+
+    #[test]
+    fn invariants_hold() {
+        check_stream_invariants(Hpl::new(2 * 1024 * 1024));
+    }
+
+    #[test]
+    fn panel_is_swept_three_times_then_trailing_once() {
+        let h = Hpl::new(4096 * 128);
+        let refs: Vec<_> = h.collect();
+        // First 3×32 touches are the first panel, repeated.
+        let first_pass: Vec<_> = refs[..32].iter().map(|r| r.page).collect();
+        let second_pass: Vec<_> = refs[32..64].iter().map(|r| r.page).collect();
+        assert_eq!(first_pass, second_pass);
+        // Then the trailing sweep starts right after the panel.
+        assert!(refs[96].page.is_succ_of(refs[31].page));
+    }
+
+    #[test]
+    fn working_set_shrinks_as_factorisation_advances() {
+        let h = Hpl::new(4096 * 256);
+        let refs: Vec<_> = h.collect();
+        let quarter = refs.len() / 4;
+        let early: std::collections::HashSet<_> =
+            refs[..quarter].iter().map(|r| r.page).collect();
+        let late: std::collections::HashSet<_> =
+            refs[refs.len() - quarter..].iter().map(|r| r.page).collect();
+        assert!(
+            late.len() < early.len(),
+            "late working set {} < early {}",
+            late.len(),
+            early.len()
+        );
+        // The final touches never revisit the first panel.
+        let first_panel_max = refs[0].page.offset(Hpl::PANEL_PAGES);
+        assert!(refs.last().unwrap().page > first_panel_max);
+    }
+
+    #[test]
+    fn hint_matches_actual_length() {
+        let h = Hpl::new(4096 * 300);
+        let hint = h.total_refs_hint();
+        assert_eq!(Hpl::new(4096 * 300).count() as u64, hint);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a: Vec<_> = Hpl::new(1024 * 1024).collect();
+        let b: Vec<_> = Hpl::new(1024 * 1024).collect();
+        assert_eq!(a, b);
+    }
+}

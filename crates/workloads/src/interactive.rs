@@ -1,0 +1,183 @@
+//! An interactive-application workload — the paper's §5.6 motivation.
+//!
+//! "Interactive applications which need to wait for user's input are often
+//! large in size (e.g., those with graphical user interfaces), but might
+//! not require to perform all functions at one time."
+//!
+//! [`Interactive`] models such a process: a large allocated address space
+//! of which each user action ("burst") touches only one small, contiguous
+//! feature region, with think time between bursts. After a migration,
+//! eager openMosix must move the whole dirty space; AMPoM moves only the
+//! regions the user actually exercises. Think time is modelled as CPU
+//! attached to the burst's last touch — for scheme comparisons only wall
+//! time matters.
+
+use ampom_mem::page::PageId;
+use ampom_mem::region::MemoryLayout;
+use ampom_sim::rng::SimRng;
+use ampom_sim::time::SimDuration;
+
+use crate::memref::{MemRef, Workload};
+
+/// A bursty, large-footprint, small-working-set application.
+#[derive(Debug)]
+pub struct Interactive {
+    layout: MemoryLayout,
+    data_bytes: u64,
+    total_pages: u64,
+    base: PageId,
+    bursts: u32,
+    burst_pages: u64,
+    think_time: SimDuration,
+    cpu_per_touch: SimDuration,
+    rng: SimRng,
+    // Iteration state.
+    burst: u32,
+    within: u64,
+    region_start: u64,
+}
+
+impl Interactive {
+    /// CPU per touch during a burst (UI-level work).
+    pub const CPU_PER_TOUCH: SimDuration = SimDuration::from_micros(30);
+
+    /// Builds an interactive app over `data_bytes` of allocated memory,
+    /// performing `bursts` user actions of `burst_pages` pages each, with
+    /// `think_time` between actions.
+    pub fn new(
+        data_bytes: u64,
+        bursts: u32,
+        burst_pages: u64,
+        think_time: SimDuration,
+        mut rng: SimRng,
+    ) -> Self {
+        assert!(bursts > 0 && burst_pages > 0);
+        let layout = MemoryLayout::with_data_bytes(data_bytes);
+        let total_pages = layout.data_pages().len();
+        assert!(burst_pages <= total_pages, "burst larger than the heap");
+        let region_start = rng.below(total_pages - burst_pages + 1);
+        Interactive {
+            base: layout.data_start(),
+            layout,
+            data_bytes,
+            total_pages,
+            bursts,
+            burst_pages,
+            think_time,
+            cpu_per_touch: Self::CPU_PER_TOUCH,
+            rng,
+            burst: 0,
+            within: 0,
+            region_start,
+        }
+    }
+
+    /// Upper bound on the pages this run can touch.
+    pub fn max_working_set(&self) -> u64 {
+        (self.bursts as u64 * self.burst_pages).min(self.total_pages)
+    }
+}
+
+impl Iterator for Interactive {
+    type Item = MemRef;
+
+    fn next(&mut self) -> Option<MemRef> {
+        if self.burst >= self.bursts {
+            return None;
+        }
+        let page = self.base.offset(self.region_start + self.within);
+        let last_of_burst = self.within + 1 == self.burst_pages;
+        let cpu = if last_of_burst {
+            // Think time charged at the end of each user action.
+            self.cpu_per_touch + self.think_time
+        } else {
+            self.cpu_per_touch
+        };
+        let r = MemRef::write(page, cpu);
+        self.within += 1;
+        if last_of_burst {
+            self.within = 0;
+            self.burst += 1;
+            if self.burst < self.bursts {
+                self.region_start = self.rng.below(self.total_pages - self.burst_pages + 1);
+            }
+        }
+        Some(r)
+    }
+}
+
+impl Workload for Interactive {
+    fn name(&self) -> &'static str {
+        "Interactive"
+    }
+
+    fn layout(&self) -> &MemoryLayout {
+        &self.layout
+    }
+
+    fn data_bytes(&self) -> u64 {
+        self.data_bytes
+    }
+
+    fn total_refs_hint(&self) -> u64 {
+        self.bursts as u64 * self.burst_pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memref::testutil::check_stream_invariants;
+
+    fn build(mb: u64, bursts: u32, pages: u64) -> Interactive {
+        Interactive::new(
+            mb * 1024 * 1024,
+            bursts,
+            pages,
+            SimDuration::from_millis(200),
+            SimRng::seed_from_u64(5),
+        )
+    }
+
+    #[test]
+    fn invariants_hold() {
+        check_stream_invariants(build(4, 6, 32));
+    }
+
+    #[test]
+    fn bursts_are_contiguous_sweeps() {
+        let w = build(8, 3, 16);
+        let refs: Vec<_> = w.collect();
+        for burst in refs.chunks(16) {
+            for pair in burst.windows(2) {
+                assert!(pair[1].page.is_succ_of(pair[0].page));
+            }
+        }
+    }
+
+    #[test]
+    fn think_time_lands_on_burst_boundaries() {
+        let w = build(8, 2, 8);
+        let refs: Vec<_> = w.collect();
+        assert!(refs[7].cpu > SimDuration::from_millis(100));
+        assert!(refs[6].cpu < SimDuration::from_millis(1));
+        assert!(refs[15].cpu > SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn working_set_is_a_small_fraction_of_footprint() {
+        let w = build(64, 4, 64);
+        let total = w.layout().data_pages().len();
+        let max_ws = w.max_working_set();
+        let touched: std::collections::HashSet<_> = w.map(|r| r.page).collect();
+        assert!(touched.len() as u64 <= max_ws);
+        assert!((touched.len() as u64) < total / 10);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<_> = build(4, 5, 16).collect();
+        let b: Vec<_> = build(4, 5, 16).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,63 @@
+//! # ampom-workloads — HPC Challenge kernel models
+//!
+//! The paper evaluates AMPoM on four HPCC kernels — DGEMM, STREAM,
+//! RandomAccess, and FFT — chosen because "they represent different degrees
+//! of spatial and temporal localities that bound the behavior and
+//! performance of most applications" (§5.1, Figure 4).
+//!
+//! AMPoM never sees a kernel's arithmetic; it sees the kernel's **page-fault
+//! stream and its timing**. Each workload here is therefore a deterministic
+//! generator of page-granular references ([`memref::MemRef`]): which page,
+//! read or write, and how much CPU time the kernel spends on that touch.
+//! The access *patterns* mirror the real kernels (sequential triad sweeps,
+//! blocked matrix multiply, GUPS-style random updates, FFT butterflies and
+//! bit-reversal); the compute-per-touch constants are calibrated to the
+//! paper's P4-2GHz testbed and documented in each module.
+//!
+//! * [`sizes`] — the paper's Table 1 problem-size ↔ memory-size map,
+//! * [`stream_kernel`] — STREAM (high spatial, low temporal locality),
+//! * [`dgemm`] — DGEMM (high spatial *and* temporal locality) plus the
+//!   small-working-set variant of the Figure 10 experiment,
+//! * [`random_access`] — RandomAccess / GUPS (no locality of either kind),
+//! * [`fft`] — FFT (middling locality: strided butterflies + bit-reversal),
+//! * [`synthetic`] — elementary streams for unit tests and ablations,
+//! * [`locality`] — offline locality analytics over any reference stream,
+//! * [`ptrans`] — extension: the transpose pattern that defeats a
+//!   stride-dmax window (not part of the paper's evaluation),
+//! * [`interactive`] — extension: the §5.6 bursty interactive application
+//!   with a small per-action working set.
+
+pub mod compose;
+pub mod dgemm;
+pub mod fft;
+pub mod hpl;
+pub mod interactive;
+pub mod locality;
+pub mod memref;
+pub mod ptrans;
+pub mod random_access;
+pub mod sizes;
+pub mod stream_kernel;
+pub mod synthetic;
+pub mod trace_io;
+
+pub use memref::{MemRef, Workload};
+pub use sizes::{Kernel, ProblemSize};
+
+use ampom_sim::rng::SimRng;
+
+/// Instantiates the named kernel at one of its Table 1 problem sizes.
+///
+/// `seed` controls the stochastic kernels (RandomAccess's update sequence,
+/// FFT's bit-reversal shuffle); the sequential kernels ignore it.
+pub fn build_kernel(kernel: Kernel, size: &ProblemSize, seed: u64) -> Box<dyn Workload> {
+    let rng = SimRng::seed_from_u64(seed);
+    match kernel {
+        Kernel::Dgemm => Box::new(dgemm::Dgemm::new(size.memory_bytes())),
+        Kernel::Stream => Box::new(stream_kernel::StreamKernel::new(size.memory_bytes())),
+        Kernel::RandomAccess => {
+            Box::new(random_access::RandomAccess::new(size.memory_bytes(), rng))
+        }
+        Kernel::Fft => Box::new(fft::Fft::new(size.memory_bytes(), rng)),
+    }
+}

@@ -1,0 +1,172 @@
+//! PTRANS (parallel matrix transpose) — an extension workload.
+//!
+//! The paper skips PTRANS ("network communication performance in parallel
+//! programs is not the focus of AMPoM", §5.1), but its *memory* pattern is
+//! the most adversarial of all HPCC kernels for a stride-window prefetcher:
+//! `A = A + Bᵀ` reads `B` row-major (sequential pages) while writing `A`
+//! column-major — consecutive writes land `row_pages` apart, a stride far
+//! beyond `dmax = 4`. AMPoM can latch onto the read lane but is blind to
+//! the write lane, so it should land *between* STREAM and RandomAccess in
+//! fault prevention. The `ext-ptrans` experiment quantifies exactly that
+//! limitation; it is the kind of pattern the paper's §6 "prefetching based
+//! on spatial locality" discussion implicitly concedes.
+//!
+//! ## Model
+//!
+//! Two equal matrices of `n × n` pages (one page per block row segment).
+//! The trace interleaves, per element-block: a read of `B[i][j]` (row
+//! major: page `i·n + j`) and a write of `A[j][i]` (column major walk:
+//! page `j·n + i`), sweeping `j` innermost. CPU per touch is STREAM-class
+//! (a transpose is pure data movement).
+
+use ampom_mem::page::PageId;
+use ampom_mem::region::MemoryLayout;
+use ampom_sim::time::SimDuration;
+
+use crate::memref::{MemRef, Workload};
+
+/// Blocked matrix transpose at page granularity.
+#[derive(Debug)]
+pub struct Ptrans {
+    layout: MemoryLayout,
+    data_bytes: u64,
+    /// Matrix side length in pages.
+    n: u64,
+    base: PageId,
+    cpu_per_touch: SimDuration,
+    // Iteration state.
+    i: u64,
+    j: u64,
+    reading: bool,
+    done: bool,
+}
+
+impl Ptrans {
+    /// CPU per page-touch (data movement, STREAM-class).
+    pub const CPU_PER_TOUCH: SimDuration = SimDuration::from_nanos(14_000);
+
+    /// Builds a PTRANS over `data_bytes` (two equal square matrices).
+    pub fn new(data_bytes: u64) -> Self {
+        let layout = MemoryLayout::with_data_bytes(data_bytes);
+        let total = layout.data_pages().len();
+        let per_matrix = (total / 2).max(1);
+        let n = (per_matrix as f64).sqrt().floor() as u64;
+        let n = n.max(1);
+        Ptrans {
+            base: layout.data_start(),
+            layout,
+            data_bytes,
+            n,
+            cpu_per_touch: Self::CPU_PER_TOUCH,
+            i: 0,
+            j: 0,
+            reading: true,
+            done: false,
+        }
+    }
+
+    /// Matrix side in pages.
+    pub fn side_pages(&self) -> u64 {
+        self.n
+    }
+
+    fn b_base(&self) -> PageId {
+        // B occupies the second half of the data region.
+        self.base.offset(self.n * self.n)
+    }
+}
+
+impl Iterator for Ptrans {
+    type Item = MemRef;
+
+    fn next(&mut self) -> Option<MemRef> {
+        if self.done {
+            return None;
+        }
+        let r = if self.reading {
+            // Read B row-major: page i·n + j — sequential as j sweeps.
+            MemRef::read(
+                self.b_base().offset(self.i * self.n + self.j),
+                self.cpu_per_touch,
+            )
+        } else {
+            // Write A column-major: page j·n + i — stride-n as j sweeps.
+            MemRef::write(
+                self.base.offset(self.j * self.n + self.i),
+                self.cpu_per_touch,
+            )
+        };
+        if self.reading {
+            self.reading = false;
+        } else {
+            self.reading = true;
+            self.j += 1;
+            if self.j == self.n {
+                self.j = 0;
+                self.i += 1;
+                if self.i == self.n {
+                    self.done = true;
+                }
+            }
+        }
+        Some(r)
+    }
+}
+
+impl Workload for Ptrans {
+    fn name(&self) -> &'static str {
+        "PTRANS"
+    }
+
+    fn layout(&self) -> &MemoryLayout {
+        &self.layout
+    }
+
+    fn data_bytes(&self) -> u64 {
+        self.data_bytes
+    }
+
+    fn total_refs_hint(&self) -> u64 {
+        2 * self.n * self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memref::testutil::check_stream_invariants;
+
+    #[test]
+    fn invariants_hold() {
+        check_stream_invariants(Ptrans::new(2 * 1024 * 1024));
+    }
+
+    #[test]
+    fn read_lane_is_sequential_write_lane_is_strided() {
+        let p = Ptrans::new(4096 * 2 * 64); // n = 8
+        let n = p.side_pages();
+        assert_eq!(n, 8);
+        let refs: Vec<_> = p.take(8).collect();
+        // Alternating read/write.
+        assert!(refs.iter().step_by(2).all(|r| !r.write));
+        assert!(refs.iter().skip(1).step_by(2).all(|r| r.write));
+        // Reads advance by one page; writes by n pages.
+        assert!(refs[2].page.is_succ_of(refs[0].page));
+        assert_eq!(refs[3].page.distance(refs[1].page), n);
+    }
+
+    #[test]
+    fn touches_every_page_of_both_matrices() {
+        let p = Ptrans::new(4096 * 2 * 36); // n = 6
+        let n = p.side_pages();
+        let pages: std::collections::HashSet<_> = p.map(|r| r.page).collect();
+        assert_eq!(pages.len() as u64, 2 * n * n);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a: Vec<_> = Ptrans::new(1024 * 1024).collect();
+        let b: Vec<_> = Ptrans::new(1024 * 1024).collect();
+        assert_eq!(a, b);
+    }
+}

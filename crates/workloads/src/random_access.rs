@@ -1,0 +1,171 @@
+//! The RandomAccess kernel (GUPS — giga-updates per second).
+//!
+//! RandomAccess sits at **low spatial, low temporal** locality in the
+//! paper's Figure 4 quadrant: it XOR-updates uniformly random words of a
+//! huge table, so consecutive touches land on unrelated pages and pages are
+//! revisited only by coincidence. It is the adversarial case for AMPoM —
+//! "the prefetching scheme, which relies on spatial locality of memory
+//! access, fails to enhance the performance" — yet the paper still measures
+//! an 85% fault-prevention rate (Figure 7) because random streams
+//! occasionally contain short sequential runs that trigger baseline
+//! read-ahead-like prefetching (§5.3).
+//!
+//! ## Model and down-scaling
+//!
+//! Real GUPS performs billions of word updates. Simulating each one as an
+//! event is pointless at page granularity: what AMPoM observes is *which
+//! page* each update hits and *how much compute* happens between faults.
+//! We therefore aggregate [`RandomAccess::UPDATES_PER_TOUCH`] consecutive
+//! word-updates into one simulated touch of a uniformly random page, and
+//! emit [`RandomAccess::TOUCH_FACTOR`] × table-pages touches so each page
+//! is hit ~8 times on average. The aggregation is identical across all
+//! three migration schemes, so every comparison the paper makes is
+//! preserved (DESIGN.md §7). CPU per touch is calibrated so the 513 MB run
+//! costs ≈ 150 s of pure compute, matching the ≈ 200 s openMosix total of
+//! Figure 6(c).
+
+use ampom_mem::page::PageId;
+use ampom_mem::region::MemoryLayout;
+use ampom_sim::rng::SimRng;
+use ampom_sim::time::SimDuration;
+
+use crate::memref::{MemRef, Workload};
+
+/// GUPS at page granularity: uniformly random page updates.
+#[derive(Debug)]
+pub struct RandomAccess {
+    layout: MemoryLayout,
+    data_bytes: u64,
+    table_pages: u64,
+    base: PageId,
+    total_touches: u64,
+    emitted: u64,
+    rng: SimRng,
+}
+
+impl RandomAccess {
+    /// Average times each table page is touched over the run (HPCC
+    /// performs 4 × table-size updates; at ~2 pages of stride per update
+    /// burst this lands each page a handful of times).
+    pub const TOUCH_FACTOR: u64 = 8;
+
+    /// Word-updates aggregated into one simulated page touch (down-scaling
+    /// knob; see module docs).
+    pub const UPDATES_PER_TOUCH: u64 = 1024;
+
+    /// CPU per simulated touch: `UPDATES_PER_TOUCH` dependent random DRAM
+    /// round trips on a P4 2 GHz (≈ 140 ns each).
+    pub const CPU_PER_TOUCH: SimDuration = SimDuration::from_nanos(143_000);
+
+    /// Builds a RandomAccess instance over a `data_bytes` table.
+    pub fn new(data_bytes: u64, rng: SimRng) -> Self {
+        let layout = MemoryLayout::with_data_bytes(data_bytes);
+        let table_pages = layout.data_pages().len();
+        RandomAccess {
+            base: layout.data_start(),
+            layout,
+            data_bytes,
+            table_pages,
+            total_touches: table_pages * Self::TOUCH_FACTOR,
+            emitted: 0,
+            rng,
+        }
+    }
+}
+
+impl Iterator for RandomAccess {
+    type Item = MemRef;
+
+    fn next(&mut self) -> Option<MemRef> {
+        if self.emitted >= self.total_touches {
+            return None;
+        }
+        self.emitted += 1;
+        let page = self.base.offset(self.rng.below(self.table_pages));
+        // GUPS is read-modify-write: every touch dirties its page.
+        Some(MemRef {
+            page,
+            write: true,
+            cpu: Self::CPU_PER_TOUCH,
+        })
+    }
+}
+
+impl Workload for RandomAccess {
+    fn name(&self) -> &'static str {
+        "RandomAccess"
+    }
+
+    fn layout(&self) -> &MemoryLayout {
+        &self.layout
+    }
+
+    fn data_bytes(&self) -> u64 {
+        self.data_bytes
+    }
+
+    fn total_refs_hint(&self) -> u64 {
+        self.total_touches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memref::testutil::check_stream_invariants;
+    use std::collections::HashSet;
+
+    fn build(bytes: u64, seed: u64) -> RandomAccess {
+        RandomAccess::new(bytes, SimRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn invariants_hold() {
+        check_stream_invariants(build(2 * 1024 * 1024, 1));
+    }
+
+    #[test]
+    fn touches_are_all_writes() {
+        assert!(build(1024 * 1024, 2).take(100).all(|r| r.write));
+    }
+
+    #[test]
+    fn coverage_is_near_complete() {
+        // With TOUCH_FACTOR=8, the fraction of never-touched pages should
+        // be ≈ e^-8 ≈ 0.03%.
+        let w = build(8 * 1024 * 1024, 3);
+        let total = w.layout().data_pages().len();
+        let touched: HashSet<_> = w.map(|r| r.page).collect();
+        let coverage = touched.len() as f64 / total as f64;
+        assert!(coverage > 0.99, "coverage {coverage}");
+    }
+
+    #[test]
+    fn stream_has_no_spatial_locality() {
+        // Count successor-pairs in the stream: for uniform random pages the
+        // expected fraction is ~1/pages, i.e. essentially zero.
+        let refs: Vec<_> = build(8 * 1024 * 1024, 4).collect();
+        let succ = refs
+            .windows(2)
+            .filter(|w| w[1].page.is_succ_of(w[0].page))
+            .count();
+        let frac = succ as f64 / refs.len() as f64;
+        assert!(frac < 0.01, "successor fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a: Vec<_> = build(1024 * 1024, 9).collect();
+        let b: Vec<_> = build(1024 * 1024, 9).collect();
+        assert_eq!(a, b);
+        let c: Vec<_> = build(1024 * 1024, 10).collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn compute_calibration_513mb() {
+        let w = build(513 * 1024 * 1024, 5);
+        let total = w.total_refs_hint() as f64 * RandomAccess::CPU_PER_TOUCH.as_secs_f64();
+        assert!((120.0..180.0).contains(&total), "513MB GUPS compute {total}s");
+    }
+}

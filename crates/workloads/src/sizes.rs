@@ -1,0 +1,144 @@
+//! The paper's Table 1: problem sizes and memory sizes.
+//!
+//! "Table 1 lists the problem sizes specified in the configuration file of
+//! HPCC and the corresponding memory sizes. The intention of these
+//! configurations is to cover the program sizes about evenly in the range
+//! of 100MB to 500MB."
+
+use std::fmt;
+
+/// The four HPCC kernels the paper evaluates (HPL, PTRANS and b_eff are
+/// skipped, §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    /// Dense matrix–matrix multiply: high spatial and temporal locality.
+    Dgemm,
+    /// McCalpin STREAM: high spatial, low temporal locality.
+    Stream,
+    /// GUPS random updates: low spatial and temporal locality.
+    RandomAccess,
+    /// 1-D FFT: middling spatial and temporal locality.
+    Fft,
+}
+
+impl Kernel {
+    /// All four kernels in the paper's presentation order.
+    pub const ALL: [Kernel; 4] = [
+        Kernel::Dgemm,
+        Kernel::Stream,
+        Kernel::RandomAccess,
+        Kernel::Fft,
+    ];
+
+    /// The kernel's name as the paper spells it.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::Dgemm => "DGEMM",
+            Kernel::Stream => "STREAM",
+            Kernel::RandomAccess => "RandomAccess",
+            Kernel::Fft => "FFT",
+        }
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One row cell of Table 1: an HPCC problem-size parameter and the memory
+/// it makes the kernel allocate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProblemSize {
+    /// The HPCC configuration parameter (matrix order, vector length, …).
+    pub problem: u64,
+    /// Allocated memory in MB (the paper reports MB).
+    pub memory_mb: u64,
+}
+
+impl ProblemSize {
+    /// Allocated memory in bytes.
+    pub fn memory_bytes(&self) -> u64 {
+        self.memory_mb * 1024 * 1024
+    }
+}
+
+/// Table 1, DGEMM row.
+pub const DGEMM_SIZES: [ProblemSize; 5] = [
+    ProblemSize { problem: 7600, memory_mb: 115 },
+    ProblemSize { problem: 10850, memory_mb: 230 },
+    ProblemSize { problem: 13350, memory_mb: 345 },
+    ProblemSize { problem: 15450, memory_mb: 460 },
+    ProblemSize { problem: 17350, memory_mb: 575 },
+];
+
+/// Table 1, STREAM row.
+pub const STREAM_SIZES: [ProblemSize; 5] = [
+    ProblemSize { problem: 7750, memory_mb: 115 },
+    ProblemSize { problem: 11000, memory_mb: 230 },
+    ProblemSize { problem: 13450, memory_mb: 345 },
+    ProblemSize { problem: 15520, memory_mb: 460 },
+    ProblemSize { problem: 17400, memory_mb: 575 },
+];
+
+/// Table 1, RandomAccess & FFT row (the two kernels share sizes).
+pub const RANDOM_ACCESS_FFT_SIZES: [ProblemSize; 4] = [
+    ProblemSize { problem: 8000, memory_mb: 65 },
+    ProblemSize { problem: 11000, memory_mb: 129 },
+    ProblemSize { problem: 16000, memory_mb: 260 },
+    ProblemSize { problem: 23000, memory_mb: 513 },
+];
+
+/// The Table 1 sizes for a kernel.
+pub fn sizes_for(kernel: Kernel) -> &'static [ProblemSize] {
+    match kernel {
+        Kernel::Dgemm => &DGEMM_SIZES,
+        Kernel::Stream => &STREAM_SIZES,
+        Kernel::RandomAccess | Kernel::Fft => &RANDOM_ACCESS_FFT_SIZES,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_exactly() {
+        assert_eq!(DGEMM_SIZES[0].problem, 7600);
+        assert_eq!(DGEMM_SIZES[4].memory_mb, 575);
+        assert_eq!(STREAM_SIZES[2].problem, 13450);
+        assert_eq!(STREAM_SIZES[4].memory_mb, 575);
+        assert_eq!(RANDOM_ACCESS_FFT_SIZES[0].memory_mb, 65);
+        assert_eq!(RANDOM_ACCESS_FFT_SIZES[3], ProblemSize { problem: 23000, memory_mb: 513 });
+    }
+
+    #[test]
+    fn sizes_cover_the_paper_range() {
+        for k in Kernel::ALL {
+            let sizes = sizes_for(k);
+            assert!(sizes.len() >= 4);
+            assert!(sizes.first().unwrap().memory_mb <= 115);
+            assert!(sizes.last().unwrap().memory_mb >= 500);
+            // Monotonically increasing in both columns.
+            assert!(sizes.windows(2).all(|w| w[0].problem < w[1].problem
+                && w[0].memory_mb < w[1].memory_mb));
+        }
+    }
+
+    #[test]
+    fn memory_bytes_conversion() {
+        assert_eq!(
+            ProblemSize { problem: 1, memory_mb: 2 }.memory_bytes(),
+            2 * 1024 * 1024
+        );
+    }
+
+    #[test]
+    fn kernel_names_match_paper() {
+        assert_eq!(Kernel::Dgemm.to_string(), "DGEMM");
+        assert_eq!(Kernel::Stream.to_string(), "STREAM");
+        assert_eq!(Kernel::RandomAccess.to_string(), "RandomAccess");
+        assert_eq!(Kernel::Fft.to_string(), "FFT");
+    }
+}

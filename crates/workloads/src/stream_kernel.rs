@@ -1,0 +1,183 @@
+//! The STREAM kernel (McCalpin memory-bandwidth benchmark).
+//!
+//! STREAM sits in the paper's Figure 4 quadrant at **high spatial, low
+//! temporal** locality: it sweeps three large arrays (`c[i] = a[i] + s·b[i]`
+//! and friends) sequentially, touching every element exactly once per pass
+//! and never revisiting until the next pass. At page granularity that is
+//! three interleaved stride-1 reference streams — exactly the multi-stream
+//! pattern AMPoM's outstanding-stream/pivot machinery is built to detect,
+//! and the workload on which the paper reports the most aggressive
+//! prefetching (Figure 8) and a 99% fault-prevention rate (Figure 7).
+//!
+//! ## Calibration
+//!
+//! HPCC runs each STREAM operation `NTIMES` times; we model
+//! [`StreamKernel::PASSES`] full sweeps. CPU per page-touch is set so a
+//! 575 MB run costs ≈ 20 s of pure compute on the P4-2GHz testbed, which
+//! together with the ≈ 51 s eager-copy wire time reproduces the ≈ 75 s
+//! openMosix total of Figure 6(b). STREAM is the paper's clearest
+//! "memory-intensive, high paging rate" case: compute per page (≈ 13.5 µs)
+//! is far below the page wire time (≈ 360 µs), so execution is
+//! network-bound after migration and the pipelining effect dominates.
+
+use ampom_mem::page::PageId;
+use ampom_mem::region::MemoryLayout;
+use ampom_sim::time::SimDuration;
+
+use crate::memref::{MemRef, Workload};
+
+/// The STREAM triad at page granularity: three interleaved sequential
+/// array sweeps, repeated for a fixed number of passes.
+#[derive(Debug)]
+pub struct StreamKernel {
+    layout: MemoryLayout,
+    data_bytes: u64,
+    /// Pages per array (the data region holds three equal arrays).
+    array_pages: u64,
+    /// First data page.
+    base: PageId,
+    cpu_per_touch: SimDuration,
+    // Iteration state.
+    pass: u64,
+    index: u64,
+    lane: u8,
+}
+
+impl StreamKernel {
+    /// Number of full sweeps over the three arrays (HPCC `NTIMES`).
+    pub const PASSES: u64 = 10;
+
+    /// CPU per page-touch: 4 KB of triad arithmetic on a P4 2 GHz.
+    pub const CPU_PER_TOUCH: SimDuration = SimDuration::from_nanos(13_500);
+
+    /// Builds a STREAM instance over `data_bytes` of memory.
+    pub fn new(data_bytes: u64) -> Self {
+        let layout = MemoryLayout::with_data_bytes(data_bytes);
+        let total = layout.data_pages().len();
+        let array_pages = (total / 3).max(1);
+        StreamKernel {
+            base: layout.data_start(),
+            layout,
+            data_bytes,
+            array_pages,
+            cpu_per_touch: Self::CPU_PER_TOUCH,
+            pass: 0,
+            index: 0,
+            lane: 0,
+        }
+    }
+
+    fn lane_base(&self, lane: u8) -> PageId {
+        self.base.offset(self.array_pages * lane as u64)
+    }
+}
+
+impl Iterator for StreamKernel {
+    type Item = MemRef;
+
+    fn next(&mut self) -> Option<MemRef> {
+        if self.pass >= Self::PASSES {
+            return None;
+        }
+        let page = self.lane_base(self.lane).offset(self.index);
+        // Lane 2 is the destination array `c`: writes; lanes 0/1 read.
+        let write = self.lane == 2;
+        let r = MemRef {
+            page,
+            write,
+            cpu: self.cpu_per_touch,
+        };
+        self.lane += 1;
+        if self.lane == 3 {
+            self.lane = 0;
+            self.index += 1;
+            if self.index == self.array_pages {
+                self.index = 0;
+                self.pass += 1;
+            }
+        }
+        Some(r)
+    }
+}
+
+impl Workload for StreamKernel {
+    fn name(&self) -> &'static str {
+        "STREAM"
+    }
+
+    fn layout(&self) -> &MemoryLayout {
+        &self.layout
+    }
+
+    fn data_bytes(&self) -> u64 {
+        self.data_bytes
+    }
+
+    fn total_refs_hint(&self) -> u64 {
+        Self::PASSES * self.array_pages * 3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memref::testutil::check_stream_invariants;
+
+    #[test]
+    fn stream_invariants_hold() {
+        let refs = check_stream_invariants(StreamKernel::new(2 * 1024 * 1024));
+        assert!(!refs.is_empty());
+    }
+
+    #[test]
+    fn three_interleaved_sequential_lanes() {
+        let mut k = StreamKernel::new(12 * 4096 * 3);
+        let base = k.layout().data_start();
+        let ap = 12; // 36 data pages split into 3 arrays of 12
+        let refs: Vec<_> = k.by_ref().take(6).collect();
+        assert_eq!(refs[0].page, base);
+        assert_eq!(refs[1].page, base.offset(ap));
+        assert_eq!(refs[2].page, base.offset(2 * ap));
+        assert_eq!(refs[3].page, base.offset(1));
+        assert_eq!(refs[4].page, base.offset(ap + 1));
+        assert_eq!(refs[5].page, base.offset(2 * ap + 1));
+    }
+
+    #[test]
+    fn only_lane_c_writes() {
+        let k = StreamKernel::new(4096 * 9);
+        for (i, r) in k.take(30).enumerate() {
+            assert_eq!(r.write, i % 3 == 2, "ref {i}");
+        }
+    }
+
+    #[test]
+    fn touches_every_array_page_each_pass() {
+        let mut k = StreamKernel::new(4096 * 30);
+        let hint = k.total_refs_hint();
+        let per_pass = hint / StreamKernel::PASSES;
+        let first_pass: Vec<_> = k.by_ref().take(per_pass as usize).collect();
+        let mut pages: Vec<_> = first_pass.iter().map(|r| r.page).collect();
+        pages.sort();
+        pages.dedup();
+        assert_eq!(pages.len() as u64, per_pass, "each page touched once per pass");
+    }
+
+    #[test]
+    fn compute_time_calibration_575mb() {
+        let k = StreamKernel::new(575 * 1024 * 1024);
+        let total_cpu =
+            k.total_refs_hint() as f64 * StreamKernel::CPU_PER_TOUCH.as_secs_f64();
+        assert!(
+            (15.0..25.0).contains(&total_cpu),
+            "575MB STREAM compute = {total_cpu}s"
+        );
+    }
+
+    #[test]
+    fn deterministic_stream() {
+        let a: Vec<_> = StreamKernel::new(4096 * 40).collect();
+        let b: Vec<_> = StreamKernel::new(4096 * 40).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,366 @@
+//! Elementary synthetic reference streams.
+//!
+//! These are not HPCC kernels; they are the minimal access patterns the
+//! paper uses in its worked examples (§3.2's `{1,2,3,4,…}` sequential
+//! stream, `{10,99,11,34,12,85}` interleaved stream) and the building
+//! blocks for unit tests, property tests and ablation benches of the
+//! AMPoM algorithm itself.
+
+use ampom_mem::page::PageId;
+use ampom_mem::region::MemoryLayout;
+use ampom_sim::rng::SimRng;
+use ampom_sim::time::SimDuration;
+
+use crate::memref::{MemRef, Workload};
+
+/// A purely sequential sweep: pages `0, 1, 2, …` of the data region —
+/// spatial locality score 1 by the paper's definition.
+#[derive(Debug)]
+pub struct Sequential {
+    layout: MemoryLayout,
+    pages: u64,
+    cpu: SimDuration,
+    next: u64,
+}
+
+impl Sequential {
+    /// Sweeps `pages` pages once, spending `cpu` per touch.
+    pub fn new(pages: u64, cpu: SimDuration) -> Self {
+        assert!(pages > 0);
+        Sequential {
+            layout: MemoryLayout::with_data_bytes(pages * ampom_mem::PAGE_SIZE),
+            pages,
+            cpu,
+            next: 0,
+        }
+    }
+}
+
+impl Iterator for Sequential {
+    type Item = MemRef;
+    fn next(&mut self) -> Option<MemRef> {
+        if self.next >= self.pages {
+            return None;
+        }
+        let page = self.layout.data_start().offset(self.next);
+        self.next += 1;
+        Some(MemRef::read(page, self.cpu))
+    }
+}
+
+impl Workload for Sequential {
+    fn name(&self) -> &'static str {
+        "Sequential"
+    }
+    fn layout(&self) -> &MemoryLayout {
+        &self.layout
+    }
+    fn data_bytes(&self) -> u64 {
+        self.pages * ampom_mem::PAGE_SIZE
+    }
+    fn total_refs_hint(&self) -> u64 {
+        self.pages
+    }
+}
+
+/// `k` interleaved sequential streams at distant bases — the pattern of
+/// STREAM's arrays and the §3.2 worked example `{10,99,11,34,12,85}`.
+#[derive(Debug)]
+pub struct Interleaved {
+    layout: MemoryLayout,
+    streams: u64,
+    stream_pages: u64,
+    cpu: SimDuration,
+    emitted: u64,
+}
+
+impl Interleaved {
+    /// `streams` sequential streams of `stream_pages` pages each,
+    /// round-robin interleaved.
+    pub fn new(streams: u64, stream_pages: u64, cpu: SimDuration) -> Self {
+        assert!(streams > 0 && stream_pages > 0);
+        Interleaved {
+            layout: MemoryLayout::with_data_bytes(
+                streams * stream_pages * ampom_mem::PAGE_SIZE,
+            ),
+            streams,
+            stream_pages,
+            cpu,
+            emitted: 0,
+        }
+    }
+}
+
+impl Iterator for Interleaved {
+    type Item = MemRef;
+    fn next(&mut self) -> Option<MemRef> {
+        if self.emitted >= self.streams * self.stream_pages {
+            return None;
+        }
+        let lane = self.emitted % self.streams;
+        let idx = self.emitted / self.streams;
+        self.emitted += 1;
+        let page = self
+            .layout
+            .data_start()
+            .offset(lane * self.stream_pages + idx);
+        Some(MemRef::read(page, self.cpu))
+    }
+}
+
+impl Workload for Interleaved {
+    fn name(&self) -> &'static str {
+        "Interleaved"
+    }
+    fn layout(&self) -> &MemoryLayout {
+        &self.layout
+    }
+    fn data_bytes(&self) -> u64 {
+        self.streams * self.stream_pages * ampom_mem::PAGE_SIZE
+    }
+    fn total_refs_hint(&self) -> u64 {
+        self.streams * self.stream_pages
+    }
+}
+
+/// A value-strided sweep: pages `0, k, 2k, …` then `1, k+1, …`, covering
+/// every page once. Note the subtlety: AMPoM's census detects *positional*
+/// strides (a page's successor appearing `d` window slots later, as in
+/// [`Interleaved`]); this sweep's successor pages are a whole lane apart,
+/// so it is **invisible to the census at any `dmax`** — an adversarial
+/// pattern (like a column-major matrix walk) that only the read-ahead
+/// fallback can help with. The dmax knife edge itself is exercised with
+/// [`Interleaved`] streams.
+#[derive(Debug)]
+pub struct Strided {
+    layout: MemoryLayout,
+    pages: u64,
+    stride: u64,
+    cpu: SimDuration,
+    emitted: u64,
+}
+
+impl Strided {
+    /// Sweeps `pages` pages in stride-`stride` order.
+    ///
+    /// # Panics
+    /// Panics unless `0 < stride ≤ pages`.
+    pub fn new(pages: u64, stride: u64, cpu: SimDuration) -> Self {
+        assert!(stride > 0 && stride <= pages);
+        Strided {
+            layout: MemoryLayout::with_data_bytes(pages * ampom_mem::PAGE_SIZE),
+            pages,
+            stride,
+            cpu,
+            emitted: 0,
+        }
+    }
+}
+
+impl Iterator for Strided {
+    type Item = MemRef;
+    fn next(&mut self) -> Option<MemRef> {
+        if self.emitted >= self.pages {
+            return None;
+        }
+        let i = self.emitted;
+        self.emitted += 1;
+        // Column-major walk of a (stride × ceil(pages/stride)) grid,
+        // skipping the ragged tail.
+        let per_lane = self.pages / self.stride;
+        let lane = i / per_lane;
+        let idx = i % per_lane;
+        let page_idx = (idx * self.stride + lane).min(self.pages - 1);
+        Some(MemRef::read(
+            self.layout.data_start().offset(page_idx),
+            self.cpu,
+        ))
+    }
+}
+
+impl Workload for Strided {
+    fn name(&self) -> &'static str {
+        "Strided"
+    }
+    fn layout(&self) -> &MemoryLayout {
+        &self.layout
+    }
+    fn data_bytes(&self) -> u64 {
+        self.pages * ampom_mem::PAGE_SIZE
+    }
+    fn total_refs_hint(&self) -> u64 {
+        self.pages
+    }
+}
+
+/// Uniformly random page touches — spatial locality score ≈ 0.
+#[derive(Debug)]
+pub struct UniformRandom {
+    layout: MemoryLayout,
+    pages: u64,
+    touches: u64,
+    cpu: SimDuration,
+    emitted: u64,
+    rng: SimRng,
+}
+
+impl UniformRandom {
+    /// `touches` uniform touches over `pages` pages.
+    pub fn new(pages: u64, touches: u64, cpu: SimDuration, rng: SimRng) -> Self {
+        assert!(pages > 0);
+        UniformRandom {
+            layout: MemoryLayout::with_data_bytes(pages * ampom_mem::PAGE_SIZE),
+            pages,
+            touches,
+            cpu,
+            emitted: 0,
+            rng,
+        }
+    }
+}
+
+impl Iterator for UniformRandom {
+    type Item = MemRef;
+    fn next(&mut self) -> Option<MemRef> {
+        if self.emitted >= self.touches {
+            return None;
+        }
+        self.emitted += 1;
+        let page = self.layout.data_start().offset(self.rng.below(self.pages));
+        Some(MemRef::write(page, self.cpu))
+    }
+}
+
+impl Workload for UniformRandom {
+    fn name(&self) -> &'static str {
+        "UniformRandom"
+    }
+    fn layout(&self) -> &MemoryLayout {
+        &self.layout
+    }
+    fn data_bytes(&self) -> u64 {
+        self.pages * ampom_mem::PAGE_SIZE
+    }
+    fn total_refs_hint(&self) -> u64 {
+        self.touches
+    }
+}
+
+/// A fixed, explicit reference list over a given page count — used to feed
+/// the paper's literal worked examples through the real machinery.
+#[derive(Debug)]
+pub struct Scripted {
+    layout: MemoryLayout,
+    refs: std::vec::IntoIter<MemRef>,
+    total: u64,
+}
+
+impl Scripted {
+    /// Wraps an explicit page-number sequence; `pages` sizes the address
+    /// space and must exceed every listed page.
+    pub fn new(pages: u64, sequence: &[u64], cpu: SimDuration) -> Self {
+        let layout = MemoryLayout::with_data_bytes(pages * ampom_mem::PAGE_SIZE);
+        let base = layout.data_start();
+        let refs: Vec<MemRef> = sequence
+            .iter()
+            .map(|&p| {
+                assert!(p < pages, "scripted page {p} out of range");
+                MemRef::read(base.offset(p), cpu)
+            })
+            .collect();
+        let total = refs.len() as u64;
+        Scripted {
+            layout,
+            refs: refs.into_iter(),
+            total,
+        }
+    }
+}
+
+impl Iterator for Scripted {
+    type Item = MemRef;
+    fn next(&mut self) -> Option<MemRef> {
+        self.refs.next()
+    }
+}
+
+impl Workload for Scripted {
+    fn name(&self) -> &'static str {
+        "Scripted"
+    }
+    fn layout(&self) -> &MemoryLayout {
+        &self.layout
+    }
+    fn data_bytes(&self) -> u64 {
+        self.layout.data_pages().len() * ampom_mem::PAGE_SIZE
+    }
+    fn total_refs_hint(&self) -> u64 {
+        self.total
+    }
+}
+
+/// Convenience: the data-region page for index `i` of a workload.
+pub fn data_page(w: &dyn Workload, i: u64) -> PageId {
+    w.layout().data_start().offset(i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memref::testutil::check_stream_invariants;
+
+    const CPU: SimDuration = SimDuration::from_micros(10);
+
+    #[test]
+    fn sequential_is_successive() {
+        let refs = check_stream_invariants(Sequential::new(16, CPU));
+        for w in refs.windows(2) {
+            assert!(w[1].page.is_succ_of(w[0].page));
+        }
+    }
+
+    #[test]
+    fn interleaved_round_robins() {
+        let w = Interleaved::new(3, 4, CPU);
+        let base = w.layout().data_start();
+        let refs: Vec<_> = w.collect();
+        assert_eq!(refs[0].page, base);
+        assert_eq!(refs[1].page, base.offset(4));
+        assert_eq!(refs[2].page, base.offset(8));
+        assert_eq!(refs[3].page, base.offset(1));
+        assert_eq!(refs.len(), 12);
+    }
+
+    #[test]
+    fn strided_sweep_has_the_declared_stride() {
+        let w = Strided::new(64, 4, CPU);
+        let refs: Vec<_> = w.collect();
+        assert_eq!(refs.len(), 64);
+        // Within a lane, consecutive refs are `stride` pages apart.
+        assert_eq!(refs[1].page.distance(refs[0].page), 4);
+        // A page's successor appears `stride` refs later.
+        assert!(refs[4].page.index() > refs[0].page.index());
+    }
+
+    #[test]
+    fn uniform_random_stays_in_range() {
+        let w = UniformRandom::new(10, 1000, CPU, SimRng::seed_from_u64(1));
+        check_stream_invariants(w);
+    }
+
+    #[test]
+    fn scripted_reproduces_paper_example() {
+        // §3.2: {10,99,11,34,12,85}
+        let seq = [10u64, 99, 11, 34, 12, 85];
+        let w = Scripted::new(100, &seq, CPU);
+        let base = w.layout().data_start();
+        let got: Vec<_> = w.map(|r| r.page.index() - base.index()).collect();
+        assert_eq!(got, seq);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn scripted_range_checked() {
+        let _ = Scripted::new(10, &[11], CPU);
+    }
+}

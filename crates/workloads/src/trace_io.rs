@@ -1,0 +1,235 @@
+//! Reference-trace recording and replay.
+//!
+//! The AMPoM evaluation is driven by synthetic kernel models, but the
+//! system itself only needs a page-reference stream — so any trace
+//! captured elsewhere (a real application under instrumentation, another
+//! simulator, a hand-written scenario) can drive it. This module defines
+//! a minimal line-oriented text format and a [`Replay`] workload:
+//!
+//! ```text
+//! ampom-trace v1 data_bytes=8388608
+//! # page  rw  cpu_ns
+//! 128 r 13500
+//! 129 w 13500
+//! ```
+//!
+//! Round-tripping any workload through [`write_trace`]/[`read_trace`]
+//! reproduces it exactly, which the tests assert property-style.
+
+use std::io::{self, BufRead, Write};
+
+use ampom_mem::page::PageId;
+use ampom_mem::region::MemoryLayout;
+use ampom_sim::time::SimDuration;
+
+use crate::memref::{MemRef, Workload};
+
+/// Magic first-line prefix of the trace format.
+pub const MAGIC: &str = "ampom-trace v1";
+
+/// Serialises a reference stream. Returns the number of references
+/// written.
+pub fn write_trace<W: Write>(
+    data_bytes: u64,
+    refs: impl Iterator<Item = MemRef>,
+    out: &mut W,
+) -> io::Result<u64> {
+    writeln!(out, "{MAGIC} data_bytes={data_bytes}")?;
+    writeln!(out, "# page  rw  cpu_ns")?;
+    let mut n = 0;
+    for r in refs {
+        writeln!(
+            out,
+            "{} {} {}",
+            r.page.index(),
+            if r.write { 'w' } else { 'r' },
+            r.cpu.as_nanos()
+        )?;
+        n += 1;
+    }
+    Ok(n)
+}
+
+/// Parses a trace. Returns the declared data size and the references.
+pub fn read_trace<R: BufRead>(input: R) -> io::Result<(u64, Vec<MemRef>)> {
+    let mut lines = input.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| bad("empty trace"))??;
+    let rest = header
+        .strip_prefix(MAGIC)
+        .ok_or_else(|| bad("missing magic header"))?;
+    let data_bytes: u64 = rest
+        .trim()
+        .strip_prefix("data_bytes=")
+        .ok_or_else(|| bad("missing data_bytes"))?
+        .parse()
+        .map_err(|_| bad("bad data_bytes"))?;
+
+    let mut refs = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let page: u64 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad_at("page", lineno))?;
+        let rw = parts.next().ok_or_else(|| bad_at("rw", lineno))?;
+        let write = match rw {
+            "r" => false,
+            "w" => true,
+            _ => return Err(bad_at("rw flag", lineno)),
+        };
+        let cpu_ns: u64 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad_at("cpu_ns", lineno))?;
+        if parts.next().is_some() {
+            return Err(bad_at("trailing fields", lineno));
+        }
+        refs.push(MemRef {
+            page: PageId(page),
+            write,
+            cpu: SimDuration::from_nanos(cpu_ns),
+        });
+    }
+    Ok((data_bytes, refs))
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("trace: {msg}"))
+}
+
+fn bad_at(what: &str, line: usize) -> io::Error {
+    bad(&format!("invalid {what} at data line {line}"))
+}
+
+/// A workload replaying a previously recorded trace.
+#[derive(Debug)]
+pub struct Replay {
+    layout: MemoryLayout,
+    data_bytes: u64,
+    refs: std::vec::IntoIter<MemRef>,
+    total: u64,
+}
+
+impl Replay {
+    /// Builds a replay workload from parsed trace contents.
+    ///
+    /// # Panics
+    /// Panics if any reference falls outside the layout implied by
+    /// `data_bytes`.
+    pub fn new(data_bytes: u64, refs: Vec<MemRef>) -> Self {
+        let layout = MemoryLayout::with_data_bytes(data_bytes);
+        for r in &refs {
+            assert!(
+                layout.data_pages().contains(r.page),
+                "trace reference {} outside the declared data region",
+                r.page
+            );
+        }
+        let total = refs.len() as u64;
+        Replay {
+            layout,
+            data_bytes,
+            refs: refs.into_iter(),
+            total,
+        }
+    }
+
+    /// Parses and wraps a trace in one step.
+    pub fn from_reader<R: BufRead>(input: R) -> io::Result<Self> {
+        let (data_bytes, refs) = read_trace(input)?;
+        Ok(Replay::new(data_bytes, refs))
+    }
+}
+
+impl Iterator for Replay {
+    type Item = MemRef;
+    fn next(&mut self) -> Option<MemRef> {
+        self.refs.next()
+    }
+}
+
+impl Workload for Replay {
+    fn name(&self) -> &'static str {
+        "Replay"
+    }
+    fn layout(&self) -> &MemoryLayout {
+        &self.layout
+    }
+    fn data_bytes(&self) -> u64 {
+        self.data_bytes
+    }
+    fn total_refs_hint(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream_kernel::StreamKernel;
+    use std::io::BufReader;
+
+    #[test]
+    fn round_trip_preserves_the_stream() {
+        let data_bytes = 2 * 1024 * 1024;
+        let original: Vec<MemRef> = StreamKernel::new(data_bytes).collect();
+        let mut buf = Vec::new();
+        let n = write_trace(data_bytes, original.iter().copied(), &mut buf).unwrap();
+        assert_eq!(n as usize, original.len());
+        let (parsed_bytes, parsed) = read_trace(BufReader::new(&buf[..])).unwrap();
+        assert_eq!(parsed_bytes, data_bytes);
+        assert_eq!(parsed, original);
+    }
+
+    #[test]
+    fn replay_behaves_like_the_source_workload() {
+        let data_bytes = 1024 * 1024;
+        let original: Vec<MemRef> = StreamKernel::new(data_bytes).collect();
+        let mut buf = Vec::new();
+        write_trace(data_bytes, original.iter().copied(), &mut buf).unwrap();
+        let replay = Replay::from_reader(BufReader::new(&buf[..])).unwrap();
+        assert_eq!(replay.total_refs_hint() as usize, original.len());
+        let replayed: Vec<MemRef> = replay.collect();
+        assert_eq!(replayed, original);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = format!("{MAGIC} data_bytes=4096\n# c\n\n0 r 100\n# more\n0 w 200\n");
+        let (_, refs) = read_trace(BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(refs.len(), 2);
+        assert!(!refs[0].write);
+        assert!(refs[1].write);
+    }
+
+    #[test]
+    fn malformed_traces_are_rejected() {
+        for bad in [
+            "".to_string(),
+            "wrong header\n".to_string(),
+            format!("{MAGIC} data_bytes=nope\n"),
+            format!("{MAGIC} data_bytes=4096\nx r 1\n"),
+            format!("{MAGIC} data_bytes=4096\n0 q 1\n"),
+            format!("{MAGIC} data_bytes=4096\n0 r 1 extra\n"),
+        ] {
+            assert!(
+                read_trace(BufReader::new(bad.as_bytes())).is_err(),
+                "accepted: {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the declared data region")]
+    fn out_of_range_reference_panics() {
+        let r = MemRef::read(PageId(10_000_000), SimDuration::from_nanos(1));
+        let _ = Replay::new(4096, vec![r]);
+    }
+}

@@ -1,0 +1,85 @@
+//! Migration over a slow wide-area link (the §5.5 / Figure 9 scenario).
+//!
+//! ```sh
+//! cargo run --release --example broadband_migration
+//! ```
+//!
+//! The paper motivates process migration partly by "the widening gap
+//! between CPU and wide-area network speeds" (§1). This example migrates
+//! the same process over the cluster LAN (100 Mb/s), an emulated
+//! broadband link (6 Mb/s, 2 ms — the paper's `tc` setup), and the LAN
+//! with heavy competing cross traffic, showing how AMPoM's Eq. 3 adapts:
+//! its monitor daemon sees the longer round trips and reduced available
+//! bandwidth and sizes the dependent zone accordingly.
+
+use ampom::core::migration::Scheme;
+use ampom::core::runner::{run_workload, CrossTrafficSpec, RunConfig};
+use ampom::net::calibration::{broadband, fast_ethernet};
+use ampom::workloads::sizes::ProblemSize;
+use ampom::workloads::{build_kernel, Kernel};
+
+fn main() {
+    let size = ProblemSize {
+        problem: 0,
+        memory_mb: 32,
+    };
+
+    println!(
+        "Migrating a {} MB DGEMM kernel across different networks:\n",
+        size.memory_mb
+    );
+    println!(
+        "{:<26} {:>10} {:>12} {:>14} {:>18}",
+        "network", "scheme", "total (s)", "requests", "mean zone budget"
+    );
+
+    let scenarios: Vec<(&str, RunConfig)> = vec![
+        (
+            "Fast Ethernet (100 Mb/s)",
+            RunConfig::new(Scheme::Ampom).with_link(fast_ethernet()),
+        ),
+        (
+            "broadband (6 Mb/s, 2 ms)",
+            RunConfig::new(Scheme::Ampom).with_link(broadband()),
+        ),
+        ("LAN + 8 MB/s cross traffic", {
+            let mut cfg = RunConfig::new(Scheme::Ampom);
+            cfg.cross_traffic = Some(CrossTrafficSpec {
+                bytes_per_sec: 8_000_000,
+                burst_bytes: 64 * 1024,
+            });
+            cfg
+        }),
+    ];
+
+    for (label, cfg) in &scenarios {
+        let mut w = build_kernel(Kernel::Dgemm, &size, 42);
+        let r = run_workload(w.as_mut(), cfg);
+        println!(
+            "{:<26} {:>10} {:>12.2} {:>14} {:>18.1}",
+            label,
+            "AMPoM",
+            r.total_time.as_secs_f64(),
+            r.fault_requests,
+            r.prefetch_stats.budgets.mean(),
+        );
+        // NoPrefetch comparison on the same network.
+        let mut w = build_kernel(Kernel::Dgemm, &size, 42);
+        let mut nopf = cfg.clone();
+        nopf.scheme = Scheme::NoPrefetch;
+        let rn = run_workload(w.as_mut(), &nopf);
+        println!(
+            "{:<26} {:>10} {:>12.2} {:>14} {:>18}",
+            "",
+            "NoPrefetch",
+            rn.total_time.as_secs_f64(),
+            rn.fault_requests,
+            "-",
+        );
+    }
+
+    println!(
+        "\nOn slower or busier links the per-fault round trip grows, so Eq. 3\n\
+         raises the dependent-zone size — AMPoM keeps far ahead of NoPrefetch."
+    );
+}

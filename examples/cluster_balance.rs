@@ -1,0 +1,52 @@
+//! Cluster-wide load balancing on gossip information (paper §1 + §7).
+//!
+//! ```sh
+//! cargo run --release --example cluster_balance
+//! ```
+//!
+//! Sixteen nodes, Poisson job arrivals skewed onto a quarter of them (jobs
+//! start on their users' home nodes), MOSIX-style gossip for load
+//! information, and greedy push migration. The experiment crosses two
+//! balancing policies with two migration mechanisms and reports job
+//! slowdowns — quantifying the paper's §7 claim that cheap freezes make
+//! aggressive migration policies viable.
+
+use ampom::cluster::{simulate, BalancePolicy, ClusterConfig};
+use ampom::core::Scheme;
+use ampom::sim::time::SimDuration;
+
+fn main() {
+    println!(
+        "16 nodes, 120 jobs (mean 90 s CPU, 230 MB), arrivals on 4 nodes,\n\
+         gossip-based load views:\n"
+    );
+    println!(
+        "{:<22} {:<12} {:>10} {:>12} {:>12} {:>14} {:>12}",
+        "policy", "migration", "makespan", "mean slowdn", "max slowdn", "migrations", "freeze paid"
+    );
+
+    let threshold = BalancePolicy::LifetimeThreshold(SimDuration::from_secs(30));
+    for policy in [threshold, BalancePolicy::Aggressive] {
+        for scheme in [Scheme::OpenMosix, Scheme::Ampom] {
+            let cfg = ClusterConfig::standard(policy, scheme);
+            let out = simulate(&cfg);
+            println!(
+                "{:<22} {:<12} {:>9.0}s {:>12.2} {:>12.1} {:>14} {:>11.1}s",
+                policy.name(),
+                scheme.name(),
+                out.makespan.as_secs_f64(),
+                out.slowdown.mean(),
+                out.slowdown.max().unwrap_or(0.0),
+                out.migrations,
+                out.freeze_paid.as_secs_f64(),
+            );
+        }
+    }
+
+    println!(
+        "\nEager (openMosix) migration pays ~20 s of freeze per 230 MB move, so each\n\
+         balancing decision is expensive; AMPoM's ~0.3 s freezes turn the same\n\
+         decisions nearly free, improving slowdowns — especially under the\n\
+         aggressive policy."
+    );
+}

@@ -1,0 +1,64 @@
+//! Quickstart: migrate one process under each scheme and compare.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a 64 MB STREAM-like kernel, migrates it right after allocation
+//! (the paper's §5.1 protocol) under openMosix (eager), NoPrefetch
+//! (demand paging) and AMPoM (demand paging + adaptive prefetching), and
+//! prints the headline numbers of the paper: freeze time, total execution
+//! time, and how many page-fault requests prefetching avoided.
+
+use ampom::core::migration::Scheme;
+use ampom::core::runner::{run_workload, RunConfig};
+use ampom::workloads::sizes::ProblemSize;
+use ampom::workloads::{build_kernel, Kernel};
+
+fn main() {
+    let size = ProblemSize {
+        problem: 0,
+        memory_mb: 64,
+    };
+
+    println!("Migrating a {} MB STREAM kernel under three schemes:\n", size.memory_mb);
+    println!(
+        "{:<12} {:>12} {:>12} {:>16} {:>14}",
+        "scheme", "freeze (s)", "total (s)", "fault requests", "prefetched"
+    );
+
+    let mut baseline_faults = None;
+    for scheme in [Scheme::OpenMosix, Scheme::NoPrefetch, Scheme::Ampom] {
+        let mut workload = build_kernel(Kernel::Stream, &size, 42);
+        let report = run_workload(workload.as_mut(), &RunConfig::new(scheme));
+        println!(
+            "{:<12} {:>12.3} {:>12.2} {:>16} {:>14}",
+            scheme.name(),
+            report.freeze_time.as_secs_f64(),
+            report.total_time.as_secs_f64(),
+            report.fault_requests,
+            report.pages_prefetched,
+        );
+        if scheme == Scheme::NoPrefetch {
+            baseline_faults = Some(report.fault_requests);
+        } else if scheme == Scheme::Ampom {
+            if let Some(base) = baseline_faults {
+                let prevented = 100.0 * (1.0 - report.fault_requests as f64 / base as f64);
+                println!(
+                    "\nAMPoM avoided {prevented:.1}% of NoPrefetch's page-fault requests \
+                     and {:.1}% of openMosix's freeze time.",
+                    100.0 * (1.0 - report.freeze_time.as_secs_f64() / eager_freeze(&size))
+                );
+            }
+        }
+    }
+}
+
+/// The eager freeze time for the same workload (recomputed for the
+/// closing summary line).
+fn eager_freeze(size: &ProblemSize) -> f64 {
+    let mut w = build_kernel(Kernel::Stream, size, 42);
+    run_workload(w.as_mut(), &RunConfig::new(Scheme::OpenMosix))
+        .freeze_time
+        .as_secs_f64()
+}

@@ -1,0 +1,56 @@
+//! The "home dependency": forwarded system calls (paper §2.2, §7).
+//!
+//! ```sh
+//! cargo run --release --example syscall_forwarding
+//! ```
+//!
+//! After migration "the original process instance will be switched to a
+//! 'deputy' process which only answers remote paging requests and executes
+//! system calls on behalf of the migrant". The paper's §7 notes this home
+//! dependency "significantly affects the performance of I/O-intensive
+//! applications". This example measures it directly: a migrant issues a
+//! stream of forwarded system calls over the LAN and over broadband, with
+//! and without per-call I/O work at the home node.
+
+use ampom::core::cluster::NetPath;
+use ampom::core::deputy::Deputy;
+use ampom::net::calibration::{broadband, fast_ethernet};
+use ampom::sim::time::{SimDuration, SimTime};
+
+fn main() {
+    println!("Cost of the home dependency: 1000 forwarded system calls.\n");
+    println!(
+        "{:<26} {:>16} {:>18} {:>16}",
+        "network", "per-call work", "total elapsed", "per call"
+    );
+
+    for (label, link) in [
+        ("Fast Ethernet (100 Mb/s)", fast_ethernet()),
+        ("broadband (6 Mb/s, 2 ms)", broadband()),
+    ] {
+        for (work_label, work) in [
+            ("getpid-class", SimDuration::ZERO),
+            ("1 ms of disk I/O", SimDuration::from_millis(1)),
+        ] {
+            let mut path = NetPath::new(link);
+            let mut deputy = Deputy::new();
+            let mut now = SimTime::ZERO;
+            for _ in 0..1000 {
+                now = deputy.forward_syscall(now, work, &mut path);
+            }
+            let total = now.as_secs_f64();
+            println!(
+                "{:<26} {:>16} {:>17.3}s {:>13.0} us",
+                label,
+                work_label,
+                total,
+                total * 1e3,
+            );
+        }
+    }
+
+    println!(
+        "\nEvery call pays a full network round trip to the home node — the overhead\n\
+         the paper suggests removing with Zap-style virtualisation (its §7 future work)."
+    );
+}

@@ -1,0 +1,73 @@
+//! Migrating a virtual machine: multi-process access streams (paper §7).
+//!
+//! ```sh
+//! cargo run --release --example vm_migration
+//! ```
+//!
+//! The paper's final future-work item: "a tailored AMPoM for migrating
+//! virtual machines whose memory references are consisted of access
+//! streams from multiple processes." A VM's fault stream interleaves its
+//! guests' streams; with `k` busy guests a per-guest sequential pattern
+//! appears as stride-`k` in a single shared lookback window — invisible
+//! beyond `dmax = 4`. The tailored design keeps one window per guest
+//! process. This example migrates VMs with 2–8 guests and compares the
+//! naive and tailored analyses with the pure Eq. 3 algorithm.
+
+use ampom::core::prefetcher::AmpomConfig;
+use ampom::core::runner::RunConfig;
+use ampom::core::vm::{run_vm, VmAnalysis, VmWorkload};
+use ampom::core::Scheme;
+use ampom::sim::time::SimDuration;
+use ampom::workloads::synthetic::Sequential;
+use ampom::workloads::Workload;
+
+fn build_vm(guests: usize) -> VmWorkload {
+    let procs: Vec<Box<dyn Workload>> = (0..guests)
+        .map(|_| {
+            Box::new(Sequential::new(1500, SimDuration::from_micros(15)))
+                as Box<dyn Workload>
+        })
+        .collect();
+    VmWorkload::new(procs, 1)
+}
+
+fn main() {
+    println!("Migrating a VM whose guests each sweep memory sequentially.");
+    println!("(pure Eq. 3 analysis — no baseline read-ahead)\n");
+    println!(
+        "{:>7} {:<16} {:>14} {:>12} {:>10} {:>10}",
+        "guests", "analysis", "fault reqs", "prefetched", "mean S", "total (s)"
+    );
+
+    for guests in [2usize, 4, 6, 8] {
+        for mode in [
+            VmAnalysis::SharedWindow,
+            VmAnalysis::PerProcess,
+            VmAnalysis::NoPrefetch,
+        ] {
+            let mut cfg = RunConfig::new(Scheme::Ampom);
+            cfg.ampom = AmpomConfig {
+                baseline_readahead: 0,
+                ..AmpomConfig::default()
+            };
+            let out = run_vm(build_vm(guests), &cfg, mode);
+            println!(
+                "{:>7} {:<16} {:>14} {:>12} {:>10.3} {:>10.2}",
+                guests,
+                mode.name(),
+                out.report.fault_requests,
+                out.report.pages_prefetched,
+                out.mean_score,
+                out.report.total_time.as_secs_f64(),
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "With 2 guests the shared window still sees stride-2 patterns (within\n\
+         dmax = 4). From ~5 guests on, the naive analysis scores S ≈ 0 and stops\n\
+         prefetching, while the per-process windows keep S ≈ 1 per guest — the\n\
+         tailored design the paper proposes."
+    );
+}

@@ -1,0 +1,7 @@
+//! Facade crate re-exporting the AMPoM workspace.
+pub use ampom_cluster as cluster;
+pub use ampom_core as core;
+pub use ampom_mem as mem;
+pub use ampom_net as net;
+pub use ampom_sim as sim;
+pub use ampom_workloads as workloads;

@@ -1,0 +1,208 @@
+//! End-to-end integration tests: the paper's headline claims, asserted
+//! against full runs of the public API at reduced problem sizes.
+
+use ampom::core::migration::Scheme;
+use ampom::core::runner::{run_workload, RunConfig};
+use ampom::core::RunReport;
+use ampom::net::calibration::broadband;
+use ampom::workloads::dgemm::DgemmSmallWs;
+use ampom::workloads::sizes::ProblemSize;
+use ampom::workloads::{build_kernel, Kernel};
+
+const MB: u64 = 1024 * 1024;
+
+fn run(kernel: Kernel, memory_mb: u64, scheme: Scheme) -> RunReport {
+    let size = ProblemSize {
+        problem: 0,
+        memory_mb,
+    };
+    let mut w = build_kernel(kernel, &size, 7);
+    run_workload(w.as_mut(), &RunConfig::new(scheme))
+}
+
+#[test]
+fn freeze_time_ordering_all_kernels() {
+    // Figure 5: NoPrefetch < AMPoM << openMosix at every size.
+    for kernel in Kernel::ALL {
+        let eager = run(kernel, 8, Scheme::OpenMosix);
+        let ampom = run(kernel, 8, Scheme::Ampom);
+        let nopf = run(kernel, 8, Scheme::NoPrefetch);
+        assert!(nopf.freeze_time < ampom.freeze_time, "{kernel:?}");
+        assert!(ampom.freeze_time < eager.freeze_time, "{kernel:?}");
+        // AMPoM avoids the overwhelming majority of the eager freeze.
+        assert!(
+            ampom.freeze_time.as_secs_f64() < 0.2 * eager.freeze_time.as_secs_f64(),
+            "{kernel:?}: {} vs {}",
+            ampom.freeze_time,
+            eager.freeze_time
+        );
+    }
+}
+
+#[test]
+fn ampom_execution_close_to_openmosix_on_sequential_kernels() {
+    // Figure 6: AMPoM within a few percent of openMosix.
+    for kernel in [Kernel::Dgemm, Kernel::Stream, Kernel::Fft] {
+        let eager = run(kernel, 8, Scheme::OpenMosix);
+        let ampom = run(kernel, 8, Scheme::Ampom);
+        let increase = ampom.exec_increase_vs(&eager);
+        assert!(
+            increase.abs() < 20.0,
+            "{kernel:?}: AMPoM {increase:+.1}% vs openMosix"
+        );
+    }
+}
+
+#[test]
+fn noprefetch_lags_behind_everywhere() {
+    // Figure 6: "the performance of NoPrefetch clearly lags behind."
+    for kernel in Kernel::ALL {
+        let eager = run(kernel, 8, Scheme::OpenMosix);
+        let ampom = run(kernel, 8, Scheme::Ampom);
+        let nopf = run(kernel, 8, Scheme::NoPrefetch);
+        assert!(nopf.total_time > ampom.total_time, "{kernel:?}");
+        assert!(
+            nopf.exec_increase_vs(&eager) > 10.0,
+            "{kernel:?}: NoPrefetch only {:+.1}%",
+            nopf.exec_increase_vs(&eager)
+        );
+    }
+}
+
+#[test]
+fn fault_prevention_matches_paper_bands() {
+    // Figure 7: AMPoM prevents 98/99/85/97% of fault requests for
+    // DGEMM/STREAM/RandomAccess/FFT. Assert conservative lower bounds.
+    let bands = [
+        (Kernel::Dgemm, 0.95),
+        (Kernel::Stream, 0.95),
+        (Kernel::RandomAccess, 0.75),
+        (Kernel::Fft, 0.95),
+    ];
+    for (kernel, floor) in bands {
+        let ampom = run(kernel, 16, Scheme::Ampom);
+        let nopf = run(kernel, 16, Scheme::NoPrefetch);
+        let prevented = ampom.fault_prevention_vs(&nopf);
+        assert!(
+            prevented >= floor,
+            "{kernel:?}: prevented {:.1}% < {:.0}%",
+            prevented * 100.0,
+            floor * 100.0
+        );
+    }
+}
+
+#[test]
+fn prefetch_aggressiveness_adapts_to_pattern() {
+    // Figure 8: sequential kernels prefetch aggressively; RandomAccess
+    // stays at the conservative baseline.
+    let stream = run(Kernel::Stream, 16, Scheme::Ampom);
+    let ra = run(Kernel::RandomAccess, 16, Scheme::Ampom);
+    let stream_budget = stream.prefetch_stats.budgets.mean();
+    let ra_budget = ra.prefetch_stats.budgets.mean();
+    assert!(
+        stream_budget > 5.0 * ra_budget,
+        "STREAM {stream_budget:.1} vs RandomAccess {ra_budget:.1}"
+    );
+    // And the spatial score distinguishes them sharply.
+    assert!(stream.prefetch_stats.scores.mean() > 0.8);
+    assert!(ra.prefetch_stats.scores.mean() < 0.1);
+}
+
+#[test]
+fn broadband_hurts_noprefetch_more_than_ampom() {
+    // Figure 9 direction: at 6 Mb/s the gap between NoPrefetch and AMPoM
+    // widens relative to openMosix.
+    for kernel in [Kernel::Dgemm, Kernel::RandomAccess] {
+        let mk = |scheme, link| {
+            let size = ProblemSize { problem: 0, memory_mb: 8 };
+            let mut w = build_kernel(kernel, &size, 7);
+            run_workload(w.as_mut(), &RunConfig::new(scheme).with_link(link))
+        };
+        let lan = ampom::net::calibration::fast_ethernet();
+        let eager_bb = mk(Scheme::OpenMosix, broadband());
+        let nopf_bb = mk(Scheme::NoPrefetch, broadband());
+        let ampom_bb = mk(Scheme::Ampom, broadband());
+        let eager_lan = mk(Scheme::OpenMosix, lan);
+        let nopf_lan = mk(Scheme::NoPrefetch, lan);
+        // NoPrefetch's penalty grows when the network slows.
+        assert!(
+            nopf_bb.exec_increase_vs(&eager_bb) > nopf_lan.exec_increase_vs(&eager_lan),
+            "{kernel:?}"
+        );
+        // AMPoM still beats NoPrefetch on broadband.
+        assert!(ampom_bb.total_time < nopf_bb.total_time, "{kernel:?}");
+    }
+}
+
+#[test]
+fn small_working_sets_favour_ampom() {
+    // Figure 10: the smaller the working set, the bigger AMPoM's win; the
+    // two schemes converge at full-footprint.
+    let alloc = 32 * MB;
+    let mut gaps = Vec::new();
+    for ws_mb in [4u64, 16, 32] {
+        let mut w = DgemmSmallWs::new(alloc, ws_mb * MB);
+        let eager = run_workload(&mut w, &RunConfig::new(Scheme::OpenMosix));
+        let mut w = DgemmSmallWs::new(alloc, ws_mb * MB);
+        let ampom = run_workload(&mut w, &RunConfig::new(Scheme::Ampom));
+        assert!(
+            ampom.total_time < eager.total_time,
+            "ws={ws_mb}MB: AMPoM must win"
+        );
+        gaps.push(eager.total_time.as_secs_f64() - ampom.total_time.as_secs_f64());
+    }
+    assert!(
+        gaps[0] > gaps[2],
+        "gap must shrink as the working set grows: {gaps:?}"
+    );
+}
+
+#[test]
+fn analysis_overhead_under_paper_ceiling() {
+    // Figure 11: "AMPoM consumes less than 0.6% of execution time in
+    // finding the dependent zone in all test cases."
+    for kernel in Kernel::ALL {
+        let r = run(kernel, 16, Scheme::Ampom);
+        assert!(
+            r.analysis_overhead_fraction() < 0.006,
+            "{kernel:?}: {:.3}%",
+            r.analysis_overhead_fraction() * 100.0
+        );
+    }
+}
+
+#[test]
+fn compute_time_is_scheme_independent() {
+    // The same reference stream runs under every scheme; only the fault
+    // handling differs.
+    for kernel in Kernel::ALL {
+        let a = run(kernel, 8, Scheme::OpenMosix).compute_time;
+        let b = run(kernel, 8, Scheme::NoPrefetch).compute_time;
+        let c = run(kernel, 8, Scheme::Ampom).compute_time;
+        assert_eq!(a, b, "{kernel:?}");
+        assert_eq!(b, c, "{kernel:?}");
+    }
+}
+
+#[test]
+fn mpt_shipped_only_by_ampom_and_sized_correctly() {
+    let ampom = run(Kernel::Stream, 8, Scheme::Ampom);
+    let nopf = run(Kernel::Stream, 8, Scheme::NoPrefetch);
+    let eager = run(Kernel::Stream, 8, Scheme::OpenMosix);
+    assert_eq!(nopf.mpt_bytes, 0);
+    assert_eq!(eager.mpt_bytes, 0);
+    // 6 bytes per mapped page; 8 MB of data plus code and stack.
+    assert!(ampom.mpt_bytes >= 6 * (8 * MB / 4096));
+}
+
+#[test]
+fn every_touched_page_arrives_exactly_once() {
+    // Conservation: demanded + prefetched-used + freeze pages covers the
+    // footprint; nothing is fetched twice (the deputy panics on double
+    // transfer, so completing at all proves it).
+    let r = run(Kernel::Stream, 8, Scheme::Ampom);
+    let footprint = 8 * MB / 4096;
+    assert!(r.pages_demand_fetched + r.prefetched_pages_used + 3 >= footprint);
+    assert!(r.pages_demand_fetched + r.pages_prefetched <= footprint + 2048);
+}
