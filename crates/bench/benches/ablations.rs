@@ -2,15 +2,15 @@
 //!
 //! Each group varies exactly one AMPoM knob and reports the resulting run
 //! (the interesting output is the measured fault/prefetch counts, printed
-//! once per configuration before timing).
+//! once per configuration before timing). All runs are composed through
+//! the [`Experiment`] builder.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use ampom_bench::{Harness, BENCH_SEED};
+use ampom_core::experiment::{Experiment, WorkloadSpec};
 use ampom_core::migration::Scheme;
 use ampom_core::prefetcher::AmpomConfig;
-use ampom_core::runner::{run_workload, RunConfig};
 use ampom_workloads::sizes::ProblemSize;
-use ampom_workloads::{build_kernel, Kernel};
+use ampom_workloads::Kernel;
 
 const BENCH_MB: u64 = 4;
 
@@ -19,16 +19,18 @@ fn run_with(kernel: Kernel, ampom: AmpomConfig) -> ampom_core::RunReport {
         problem: 0,
         memory_mb: BENCH_MB,
     };
-    let mut w = build_kernel(kernel, &size, 42);
-    let mut cfg = RunConfig::new(Scheme::Ampom);
-    cfg.ampom = ampom;
-    run_workload(w.as_mut(), &cfg)
+    Experiment::new(Scheme::Ampom)
+        .kernel(kernel, size)
+        .workload_seed(BENCH_SEED)
+        .ampom(ampom)
+        .run()
+        .expect("ablation experiment is valid")
 }
 
 /// Baseline read-ahead on/off: the knob that gives RandomAccess its 85%+
 /// fault prevention (paper §5.3's "baseline of prefetching aggressiveness").
-fn ablate_baseline_readahead(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablate_baseline_readahead");
+fn ablate_baseline_readahead(h: &mut Harness) {
+    let mut g = h.group("ablate_baseline_readahead");
     g.sample_size(10);
     for baseline in [0u64, 8, 16, 32] {
         let cfg = AmpomConfig {
@@ -40,20 +42,16 @@ fn ablate_baseline_readahead(c: &mut Criterion) {
             "RandomAccess baseline={baseline}: {} fault requests, {} prefetched",
             r.fault_requests, r.pages_prefetched
         );
-        g.bench_with_input(
-            BenchmarkId::from_parameter(baseline),
-            &cfg,
-            |b, cfg| {
-                b.iter(|| run_with(Kernel::RandomAccess, cfg.clone()).fault_requests)
-            },
-        );
+        g.bench(&baseline.to_string(), || {
+            run_with(Kernel::RandomAccess, cfg.clone()).fault_requests
+        });
     }
     g.finish();
 }
 
 /// Lookback window length `l` (paper uses 20 and admits it is arbitrary).
-fn ablate_window_length(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablate_window_length");
+fn ablate_window_length(h: &mut Harness) {
+    let mut g = h.group("ablate_window_length");
     g.sample_size(10);
     for l in [8usize, 20, 40, 80] {
         let cfg = AmpomConfig {
@@ -66,8 +64,8 @@ fn ablate_window_length(c: &mut Criterion) {
             r.fault_requests,
             r.analysis_overhead_fraction() * 100.0
         );
-        g.bench_with_input(BenchmarkId::from_parameter(l), &cfg, |b, cfg| {
-            b.iter(|| run_with(Kernel::Stream, cfg.clone()).total_time)
+        g.bench(&l.to_string(), || {
+            run_with(Kernel::Stream, cfg.clone()).total_time
         });
     }
     g.finish();
@@ -77,20 +75,23 @@ fn ablate_window_length(c: &mut Criterion) {
 /// programs rarely exceed two-level indirection). Uses three interleaved
 /// sequential lanes (positional stride 3): detectable iff dmax ≥ 3, so
 /// the knife edge is visible.
-fn ablate_dmax(c: &mut Criterion) {
-    use ampom_workloads::synthetic::Interleaved;
-    let mut g = c.benchmark_group("ablate_dmax");
+fn ablate_dmax(h: &mut Harness) {
+    let mut g = h.group("ablate_dmax");
     g.sample_size(10);
     let run_interleaved = |dmax: usize| {
-        let mut w =
-            Interleaved::new(3, 340, ampom_sim::time::SimDuration::from_micros(15));
-        let mut cfg = RunConfig::new(Scheme::Ampom);
-        cfg.ampom = AmpomConfig {
-            dmax,
-            baseline_readahead: 0,
-            ..AmpomConfig::default()
-        };
-        run_workload(&mut w, &cfg)
+        Experiment::new(Scheme::Ampom)
+            .workload(WorkloadSpec::Interleaved {
+                streams: 3,
+                stream_pages: 340,
+                cpu: ampom_sim::time::SimDuration::from_micros(15),
+            })
+            .ampom(AmpomConfig {
+                dmax,
+                baseline_readahead: 0,
+                ..AmpomConfig::default()
+            })
+            .run()
+            .expect("dmax ablation experiment is valid")
     };
     for dmax in [1usize, 2, 4, 8] {
         let r = run_interleaved(dmax);
@@ -99,16 +100,14 @@ fn ablate_dmax(c: &mut Criterion) {
             r.fault_requests,
             r.prefetch_stats.scores.mean()
         );
-        g.bench_with_input(BenchmarkId::from_parameter(dmax), &dmax, |b, &dmax| {
-            b.iter(|| run_interleaved(dmax).fault_requests)
-        });
+        g.bench(&dmax.to_string(), || run_interleaved(dmax).fault_requests);
     }
     g.finish();
 }
 
 /// Zone cap: how far the congestion feedback may inflate one request.
-fn ablate_zone_cap(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablate_zone_cap");
+fn ablate_zone_cap(h: &mut Harness) {
+    let mut g = h.group("ablate_zone_cap");
     g.sample_size(10);
     for cap in [32u64, 128, 512, 2048] {
         let cfg = AmpomConfig {
@@ -121,18 +120,18 @@ fn ablate_zone_cap(c: &mut Criterion) {
             r.fault_requests,
             r.total_time.as_secs_f64()
         );
-        g.bench_with_input(BenchmarkId::from_parameter(cap), &cfg, |b, cfg| {
-            b.iter(|| run_with(Kernel::Stream, cfg.clone()).total_time)
+        g.bench(&cap.to_string(), || {
+            run_with(Kernel::Stream, cfg.clone()).total_time
         });
     }
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    ablate_baseline_readahead,
-    ablate_window_length,
-    ablate_dmax,
-    ablate_zone_cap
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    ablate_baseline_readahead(&mut h);
+    ablate_window_length(&mut h);
+    ablate_dmax(&mut h);
+    ablate_zone_cap(&mut h);
+    h.finish();
+}

@@ -7,8 +7,7 @@
 //! be sanity-checked (it comes out in the hundreds of nanoseconds on a
 //! modern core, i.e. the 2 µs P4-era charge is conservative).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-
+use ampom_bench::{black_box, Harness};
 use ampom_core::census::census;
 use ampom_core::prefetcher::{AmpomConfig, AmpomPrefetcher, NetEstimates};
 use ampom_core::score::spatial_score;
@@ -17,44 +16,44 @@ use ampom_core::zone::{dependent_zone_size, select_zone, ZoneSizeInputs};
 use ampom_mem::page::PageId;
 use ampom_sim::time::{SimDuration, SimTime};
 
-fn bench_window_record(c: &mut Criterion) {
-    c.bench_function("window/record", |b| {
-        let mut w = LookbackWindow::new(20);
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            w.record(
-                PageId(black_box(i)),
-                SimTime::from_nanos(i * 1000),
-                1.0,
-            )
-        });
+fn bench_window_record(h: &mut Harness) {
+    let mut g = h.group("window");
+    let mut w = LookbackWindow::new(20);
+    let mut i = 0u64;
+    g.bench("record", || {
+        i += 1;
+        w.record(PageId(black_box(i)), SimTime::from_nanos(i * 1000), 1.0)
     });
-}
-
-fn bench_census(c: &mut Criterion) {
-    // Three representative window contents.
-    let sequential: Vec<u64> = (100..120).collect();
-    let interleaved: Vec<u64> = (0..20)
-        .map(|i| if i % 2 == 0 { 1000 + i / 2 } else { 5000 + i / 2 })
-        .collect();
-    let random: Vec<u64> = (0..20).map(|i| (i * 104_729 + 13) % 1_000_000).collect();
-
-    let mut g = c.benchmark_group("census");
-    g.bench_function("sequential", |b| {
-        b.iter(|| census(black_box(&sequential), 4))
-    });
-    g.bench_function("interleaved", |b| {
-        b.iter(|| census(black_box(&interleaved), 4))
-    });
-    g.bench_function("random", |b| b.iter(|| census(black_box(&random), 4)));
     g.finish();
 }
 
-fn bench_score_and_zone(c: &mut Criterion) {
+fn bench_census(h: &mut Harness) {
+    // Three representative window contents.
+    let sequential: Vec<u64> = (100..120).collect();
+    let interleaved: Vec<u64> = (0..20)
+        .map(|i| {
+            if i % 2 == 0 {
+                1000 + i / 2
+            } else {
+                5000 + i / 2
+            }
+        })
+        .collect();
+    let random: Vec<u64> = (0..20).map(|i| (i * 104_729 + 13) % 1_000_000).collect();
+
+    let mut g = h.group("census");
+    g.bench("sequential", || census(black_box(&sequential), 4));
+    g.bench("interleaved", || census(black_box(&interleaved), 4));
+    g.bench("random", || census(black_box(&random), 4));
+    g.finish();
+}
+
+fn bench_score_and_zone(h: &mut Harness) {
     let pages: Vec<u64> = (100..120).collect();
     let cen = census(&pages, 4);
-    c.bench_function("score/eq1", |b| b.iter(|| spatial_score(black_box(&cen))));
+    let mut g = h.group("score");
+    g.bench("eq1", || spatial_score(black_box(&cen)));
+    g.finish();
 
     let inputs = ZoneSizeInputs {
         spatial_score: 0.33,
@@ -64,50 +63,48 @@ fn bench_score_and_zone(c: &mut Criterion) {
         t0: SimDuration::from_micros(120),
         td: SimDuration::from_micros(392),
     };
-    c.bench_function("zone/eq3", |b| {
-        b.iter(|| dependent_zone_size(black_box(&inputs)))
+    let mut g = h.group("zone");
+    g.bench("eq3", || dependent_zone_size(black_box(&inputs)));
+    g.bench("select_128", || {
+        select_zone(
+            black_box(&cen.outstanding),
+            128,
+            PageId(119),
+            PageId(1_000_000),
+        )
     });
-    c.bench_function("zone/select_128", |b| {
-        b.iter(|| {
-            select_zone(
-                black_box(&cen.outstanding),
-                128,
-                PageId(119),
-                PageId(1_000_000),
-            )
-        })
-    });
+    g.finish();
 }
 
-fn bench_full_analysis(c: &mut Criterion) {
+fn bench_full_analysis(h: &mut Harness) {
     // The complete per-fault path of Algorithm 1's analysis lines — the
     // quantity AMPOM_ANALYSIS_COST models.
-    c.bench_function("prefetcher/on_fault", |b| {
-        let mut pf = AmpomPrefetcher::new(AmpomConfig::default());
-        let net = NetEstimates {
-            t0: SimDuration::from_micros(120),
-            td: SimDuration::from_micros(392),
-        };
-        let mut i = 0u64;
-        b.iter(|| {
-            i += 1;
-            pf.on_fault(
-                PageId(black_box(i)),
-                SimTime::from_nanos(i * 20_000),
-                0.9,
-                net,
-                PageId(10_000_000),
-                |_| true,
-            )
-        });
+    let mut g = h.group("prefetcher");
+    let mut pf = AmpomPrefetcher::new(AmpomConfig::default());
+    let net = NetEstimates {
+        t0: SimDuration::from_micros(120),
+        td: SimDuration::from_micros(392),
+    };
+    let mut i = 0u64;
+    g.bench("on_fault", || {
+        i += 1;
+        pf.on_fault(
+            PageId(black_box(i)),
+            SimTime::from_nanos(i * 20_000),
+            0.9,
+            net,
+            PageId(10_000_000),
+            |_| true,
+        )
     });
+    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_window_record,
-    bench_census,
-    bench_score_and_zone,
-    bench_full_analysis
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    bench_window_record(&mut h);
+    bench_census(&mut h);
+    bench_score_and_zone(&mut h);
+    bench_full_analysis(&mut h);
+    h.finish();
+}

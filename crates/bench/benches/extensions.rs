@@ -1,101 +1,88 @@
 //! Benchmarks of the extension subsystems: VM migration, the cluster
 //! balancer, round-trip migration and memory pressure.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
+use ampom_bench::Harness;
 use ampom_cluster::{simulate, BalancePolicy, ClusterConfig};
+use ampom_core::experiment::Experiment;
 use ampom_core::migration::Scheme;
 use ampom_core::remigration::run_round_trip;
-use ampom_core::runner::{run_workload, RunConfig};
 use ampom_core::vm::{run_vm, VmAnalysis, VmWorkload};
 use ampom_sim::time::SimDuration;
 use ampom_workloads::synthetic::Sequential;
 use ampom_workloads::Workload;
 
-fn vm_bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ext_vm");
+fn vm_bench(h: &mut Harness) {
+    let mut g = h.group("ext_vm");
     g.sample_size(10);
+    let cfg = Experiment::new(Scheme::Ampom).config().clone();
     for guests in [2usize, 6] {
         for mode in [VmAnalysis::SharedWindow, VmAnalysis::PerProcess] {
             let id = format!("{}guests/{}", guests, mode.name());
-            g.bench_with_input(
-                BenchmarkId::from_parameter(id),
-                &(guests, mode),
-                |b, &(guests, mode)| {
-                    b.iter(|| {
-                        let procs: Vec<Box<dyn Workload>> = (0..guests)
-                            .map(|_| {
-                                Box::new(Sequential::new(200, SimDuration::from_micros(15)))
-                                    as Box<dyn Workload>
-                            })
-                            .collect();
-                        let vm = VmWorkload::new(procs, 1);
-                        run_vm(vm, &RunConfig::new(Scheme::Ampom), mode)
-                            .report
-                            .total_time
-                    });
-                },
-            );
+            g.bench(&id, || {
+                let procs: Vec<Box<dyn Workload>> = (0..guests)
+                    .map(|_| {
+                        Box::new(Sequential::new(200, SimDuration::from_micros(15)))
+                            as Box<dyn Workload>
+                    })
+                    .collect();
+                let vm = VmWorkload::new(procs, 1);
+                run_vm(vm, &cfg, mode).report.total_time
+            });
         }
     }
     g.finish();
 }
 
-fn cluster_bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ext_cluster");
+fn cluster_bench(h: &mut Harness) {
+    let mut g = h.group("ext_cluster");
     g.sample_size(10);
     for scheme in [Scheme::OpenMosix, Scheme::Ampom] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(scheme.name()),
-            &scheme,
-            |b, &scheme| {
-                b.iter(|| {
-                    let mut cfg =
-                        ClusterConfig::standard(BalancePolicy::Aggressive, scheme);
-                    cfg.nodes = 8;
-                    cfg.jobs = 20;
-                    simulate(&cfg).makespan
-                });
-            },
-        );
-    }
-    g.finish();
-}
-
-fn roundtrip_bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ext_roundtrip");
-    g.sample_size(10);
-    for scheme in [Scheme::OpenMosix, Scheme::Ampom] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(scheme.name()),
-            &scheme,
-            |b, &scheme| {
-                b.iter(|| {
-                    let mut w = Sequential::new(1024, SimDuration::from_micros(15));
-                    run_round_trip(&mut w, &RunConfig::new(scheme), 0.5).total_time
-                });
-            },
-        );
-    }
-    g.finish();
-}
-
-fn pressure_bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ext_pressure");
-    g.sample_size(10);
-    for limit in [None, Some(1u64)] {
-        let id = limit.map_or("unlimited".to_string(), |l| format!("{l}MB"));
-        g.bench_with_input(BenchmarkId::from_parameter(id), &limit, |b, &limit| {
-            b.iter(|| {
-                let mut w = Sequential::new(1024, SimDuration::from_micros(15));
-                let mut cfg = RunConfig::new(Scheme::Ampom);
-                cfg.resident_limit_mb = limit;
-                run_workload(&mut w, &cfg).pages_evicted
-            });
+        g.bench(scheme.name(), || {
+            let mut cfg = ClusterConfig::standard(BalancePolicy::Aggressive, scheme);
+            cfg.nodes = 8;
+            cfg.jobs = 20;
+            simulate(&cfg).makespan
         });
     }
     g.finish();
 }
 
-criterion_group!(benches, vm_bench, cluster_bench, roundtrip_bench, pressure_bench);
-criterion_main!(benches);
+fn roundtrip_bench(h: &mut Harness) {
+    let mut g = h.group("ext_roundtrip");
+    g.sample_size(10);
+    for scheme in [Scheme::OpenMosix, Scheme::Ampom] {
+        let cfg = Experiment::new(scheme).config().clone();
+        g.bench(scheme.name(), || {
+            let mut w = Sequential::new(1024, SimDuration::from_micros(15));
+            run_round_trip(&mut w, &cfg, 0.5).total_time
+        });
+    }
+    g.finish();
+}
+
+fn pressure_bench(h: &mut Harness) {
+    let mut g = h.group("ext_pressure");
+    g.sample_size(10);
+    for limit in [None, Some(1u64)] {
+        let id = limit.map_or("unlimited".to_string(), |l| format!("{l}MB"));
+        let mut exp = Experiment::new(Scheme::Ampom).sequential(1024, SimDuration::from_micros(15));
+        if let Some(l) = limit {
+            exp = exp.resident_limit_mb(l);
+        }
+        g.bench(&id, || {
+            exp.run()
+                .expect("pressure bench experiment is valid")
+                .pages_evicted
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    let mut h = Harness::from_args();
+    vm_bench(&mut h);
+    cluster_bench(&mut h);
+    roundtrip_bench(&mut h);
+    pressure_bench(&mut h);
+    h.finish();
+}

@@ -1,165 +1,132 @@
-//! One Criterion group per paper figure.
+//! One bench group per paper figure.
 //!
 //! Each group runs the same code path as the `hpcc-repro` harness at a
 //! reduced problem size (the full Table 1 sizes take ~40 s per sweep; a
 //! benchmark iteration must be milliseconds). Throughput ratios between
 //! schemes — who wins and by what factor — match the full-size runs; the
-//! absolute simulated times are printed by `hpcc-repro`.
+//! absolute simulated times are printed by `hpcc-repro`. Every workload
+//! run goes through the [`Experiment`] API, same as the harness.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-
-use ampom_bench::bench_cell;
+use ampom_bench::{bench_cell, Harness, BENCH_SEED};
+use ampom_core::experiment::{Experiment, WorkloadSpec};
 use ampom_core::migration::{perform_freeze, PreMigrationState, Scheme};
-use ampom_core::runner::{run_workload, RunConfig};
 use ampom_mem::page::PageId;
 use ampom_mem::region::MemoryLayout;
 use ampom_net::calibration::{broadband, fast_ethernet};
 use ampom_sim::trace::Trace;
-use ampom_workloads::dgemm::DgemmSmallWs;
+use ampom_workloads::sizes::ProblemSize;
 use ampom_workloads::Kernel;
 
 const BENCH_MB: u64 = 4;
 
 /// Figure 5: the freeze phase alone, per scheme.
-fn fig5_freeze(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig5_freeze");
+fn fig5_freeze(h: &mut Harness) {
+    let mut g = h.group("fig5_freeze");
     for scheme in Scheme::EVALUATED {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(scheme.name()),
-            &scheme,
-            |b, &scheme| {
-                let layout = MemoryLayout::with_data_bytes(BENCH_MB * 1024 * 1024);
-                let allocated: Vec<PageId> = layout.data_pages().iter().collect();
-                b.iter(|| {
-                    let pre = PreMigrationState::new(layout.clone(), allocated.clone());
-                    let mut path = ampom_core::cluster::NetPath::new(fast_ethernet());
-                    let mut trace = Trace::disabled();
-                    perform_freeze(scheme, &pre, &mut path, &mut trace).freeze_time
-                });
-            },
-        );
+        let layout = MemoryLayout::with_data_bytes(BENCH_MB * 1024 * 1024);
+        let allocated: Vec<PageId> = layout.data_pages().iter().collect();
+        g.bench(scheme.name(), || {
+            let pre = PreMigrationState::new(layout.clone(), allocated.clone());
+            let mut path = ampom_core::cluster::NetPath::new(fast_ethernet());
+            let mut trace = Trace::disabled();
+            perform_freeze(scheme, &pre, &mut path, &mut trace).freeze_time
+        });
     }
     g.finish();
 }
 
 /// Figures 6 and 7: a full run per (kernel, scheme); total time and fault
 /// counts come from the same execution.
-fn fig6_fig7_execution(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig6_fig7_execution");
+fn fig6_fig7_execution(h: &mut Harness) {
+    let mut g = h.group("fig6_fig7_execution");
     g.sample_size(10);
     for kernel in Kernel::ALL {
         for scheme in Scheme::EVALUATED {
             let id = format!("{}/{}", kernel.name(), scheme.name());
-            g.bench_with_input(
-                BenchmarkId::from_parameter(id),
-                &(kernel, scheme),
-                |b, &(kernel, scheme)| {
-                    b.iter(|| bench_cell(kernel, BENCH_MB, scheme).total_time);
-                },
-            );
+            g.bench(&id, || bench_cell(kernel, BENCH_MB, scheme).total_time);
         }
     }
     g.finish();
 }
 
 /// Figure 8: the AMPoM run per kernel (prefetch statistics).
-fn fig8_prefetch(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig8_prefetch");
+fn fig8_prefetch(h: &mut Harness) {
+    let mut g = h.group("fig8_prefetch");
     g.sample_size(10);
     for kernel in Kernel::ALL {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(kernel.name()),
-            &kernel,
-            |b, &kernel| {
-                b.iter(|| {
-                    let r = bench_cell(kernel, BENCH_MB, Scheme::Ampom);
-                    (r.pages_prefetched, r.fault_requests)
-                });
-            },
-        );
+        g.bench(kernel.name(), || {
+            let r = bench_cell(kernel, BENCH_MB, Scheme::Ampom);
+            (r.pages_prefetched, r.fault_requests)
+        });
     }
     g.finish();
 }
 
 /// Figure 9: AMPoM on the LAN vs the shaped broadband link.
-fn fig9_network(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig9_network");
+fn fig9_network(h: &mut Harness) {
+    let mut g = h.group("fig9_network");
     g.sample_size(10);
     for (label, link) in [("100Mbps", fast_ethernet()), ("6Mbps", broadband())] {
         for kernel in [Kernel::Dgemm, Kernel::RandomAccess] {
             let id = format!("{}/{}", kernel.name(), label);
-            g.bench_with_input(
-                BenchmarkId::from_parameter(id),
-                &(kernel, link),
-                |b, &(kernel, link)| {
-                    b.iter(|| {
-                        let size = ampom_workloads::sizes::ProblemSize {
-                            problem: 0,
-                            memory_mb: BENCH_MB,
-                        };
-                        let mut w = ampom_workloads::build_kernel(kernel, &size, 42);
-                        run_workload(
-                            w.as_mut(),
-                            &RunConfig::new(Scheme::Ampom).with_link(link),
-                        )
-                        .total_time
-                    });
-                },
-            );
+            let size = ProblemSize {
+                problem: 0,
+                memory_mb: BENCH_MB,
+            };
+            let exp = Experiment::new(Scheme::Ampom)
+                .kernel(kernel, size)
+                .link(link)
+                .workload_seed(BENCH_SEED);
+            g.bench(&id, || {
+                exp.run()
+                    .expect("fig9 bench experiment is valid")
+                    .total_time
+            });
         }
     }
     g.finish();
 }
 
 /// Figure 10: small working sets, openMosix vs AMPoM.
-fn fig10_working_set(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig10_working_set");
+fn fig10_working_set(h: &mut Harness) {
+    let mut g = h.group("fig10_working_set");
     g.sample_size(10);
     for scheme in [Scheme::OpenMosix, Scheme::Ampom] {
         for ws_mb in [1u64, 2, 4] {
             let id = format!("{}/ws{}MB", scheme.name(), ws_mb);
-            g.bench_with_input(
-                BenchmarkId::from_parameter(id),
-                &(scheme, ws_mb),
-                |b, &(scheme, ws_mb)| {
-                    b.iter(|| {
-                        let mut w =
-                            DgemmSmallWs::new(4 * 1024 * 1024, ws_mb * 1024 * 1024);
-                        run_workload(&mut w, &RunConfig::new(scheme)).total_time
-                    });
-                },
-            );
+            let exp = Experiment::new(scheme).workload(WorkloadSpec::DgemmSmallWs {
+                alloc_bytes: 4 * 1024 * 1024,
+                working_bytes: ws_mb * 1024 * 1024,
+            });
+            g.bench(&id, || {
+                exp.run()
+                    .expect("fig10 bench experiment is valid")
+                    .total_time
+            });
         }
     }
     g.finish();
 }
 
 /// Figure 11: the AMPoM run's analysis overhead accounting.
-fn fig11_overhead(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig11_overhead");
+fn fig11_overhead(h: &mut Harness) {
+    let mut g = h.group("fig11_overhead");
     g.sample_size(10);
     for kernel in Kernel::ALL {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(kernel.name()),
-            &kernel,
-            |b, &kernel| {
-                b.iter(|| {
-                    bench_cell(kernel, BENCH_MB, Scheme::Ampom)
-                        .analysis_overhead_fraction()
-                });
-            },
-        );
+        g.bench(kernel.name(), || {
+            bench_cell(kernel, BENCH_MB, Scheme::Ampom).analysis_overhead_fraction()
+        });
     }
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    fig5_freeze,
-    fig6_fig7_execution,
-    fig8_prefetch,
-    fig9_network,
-    fig10_working_set,
-    fig11_overhead
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    fig5_freeze(&mut h);
+    fig6_fig7_execution(&mut h);
+    fig8_prefetch(&mut h);
+    fig9_network(&mut h);
+    fig10_working_set(&mut h);
+    fig11_overhead(&mut h);
+    h.finish();
+}

@@ -112,8 +112,14 @@ mod tests {
     fn no_migration_without_imbalance() {
         let jobs = vec![job(1, 0, 10)];
         let now = SimTime::ZERO;
-        assert_eq!(BalancePolicy::Aggressive.pick_migrant(&jobs, now, 1.9), None);
-        assert_eq!(BalancePolicy::Aggressive.pick_migrant(&jobs, now, 0.5), None);
+        assert_eq!(
+            BalancePolicy::Aggressive.pick_migrant(&jobs, now, 1.9),
+            None
+        );
+        assert_eq!(
+            BalancePolicy::Aggressive.pick_migrant(&jobs, now, 0.5),
+            None
+        );
     }
 
     #[test]
@@ -123,10 +129,16 @@ mod tests {
         let jobs = vec![j];
         // 5 s after the move: still resting.
         let soon = SimTime::ZERO + SimDuration::from_secs(10);
-        assert_eq!(BalancePolicy::Aggressive.pick_migrant(&jobs, soon, 5.0), None);
+        assert_eq!(
+            BalancePolicy::Aggressive.pick_migrant(&jobs, soon, 5.0),
+            None
+        );
         // 15 s after: eligible again.
         let later = SimTime::ZERO + SimDuration::from_secs(20);
-        assert_eq!(BalancePolicy::Aggressive.pick_migrant(&jobs, later, 5.0), Some(0));
+        assert_eq!(
+            BalancePolicy::Aggressive.pick_migrant(&jobs, later, 5.0),
+            Some(0)
+        );
     }
 
     #[test]
@@ -143,8 +155,12 @@ mod tests {
 
     #[test]
     fn migration_model_costs_track_scheme() {
-        let eager = MigrationModel { scheme: Scheme::OpenMosix };
-        let ampom = MigrationModel { scheme: Scheme::Ampom };
+        let eager = MigrationModel {
+            scheme: Scheme::OpenMosix,
+        };
+        let ampom = MigrationModel {
+            scheme: Scheme::Ampom,
+        };
         let j = job(1, 0, 100);
         assert!(eager.freeze(&j) > ampom.freeze(&j) * 10);
         assert_eq!(eager.slowdown(), 0.0);

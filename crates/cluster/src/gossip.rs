@@ -73,7 +73,11 @@ impl LoadView {
 
     /// The least-loaded node this view knows of (other than `me`),
     /// ignoring entries older than `max_age` relative to `now`.
-    pub fn least_loaded_peer(&self, now: SimTime, max_age: ampom_sim::time::SimDuration) -> Option<(usize, f64)> {
+    pub fn least_loaded_peer(
+        &self,
+        now: SimTime,
+        max_age: ampom_sim::time::SimDuration,
+    ) -> Option<(usize, f64)> {
         self.entries
             .iter()
             .enumerate()
@@ -163,18 +167,48 @@ mod tests {
     #[test]
     fn merge_keeps_fresher_entry() {
         let mut v = LoadView::new(4, 0);
-        v.merge(1, LoadEntry { load: 5.0, measured_at: t(10) });
-        v.merge(1, LoadEntry { load: 9.0, measured_at: t(5) }); // staler
+        v.merge(
+            1,
+            LoadEntry {
+                load: 5.0,
+                measured_at: t(10),
+            },
+        );
+        v.merge(
+            1,
+            LoadEntry {
+                load: 9.0,
+                measured_at: t(5),
+            },
+        ); // staler
         assert_eq!(v.entry(1).unwrap().load, 5.0);
-        v.merge(1, LoadEntry { load: 2.0, measured_at: t(20) }); // fresher
+        v.merge(
+            1,
+            LoadEntry {
+                load: 2.0,
+                measured_at: t(20),
+            },
+        ); // fresher
         assert_eq!(v.entry(1).unwrap().load, 2.0);
     }
 
     #[test]
     fn least_loaded_respects_staleness() {
         let mut v = LoadView::new(4, 0);
-        v.merge(1, LoadEntry { load: 1.0, measured_at: t(0) });
-        v.merge(2, LoadEntry { load: 3.0, measured_at: t(9) });
+        v.merge(
+            1,
+            LoadEntry {
+                load: 1.0,
+                measured_at: t(0),
+            },
+        );
+        v.merge(
+            2,
+            LoadEntry {
+                load: 3.0,
+                measured_at: t(9),
+            },
+        );
         let now = t(10);
         // Node 1 is cheaper but its entry is 10 s old; with max_age 8 s it
         // is distrusted.
@@ -198,8 +232,7 @@ mod tests {
         }
         // After 20 rounds of push gossip every node should know most of
         // the cluster.
-        let avg_known: f64 =
-            views.iter().map(|v| v.known_peers() as f64).sum::<f64>() / n as f64;
+        let avg_known: f64 = views.iter().map(|v| v.known_peers() as f64).sum::<f64>() / n as f64;
         assert!(avg_known > (n - 1) as f64 * 0.7, "avg known {avg_known}");
     }
 
@@ -207,8 +240,20 @@ mod tests {
     fn gossip_payload_contains_self_first() {
         let mut v = LoadView::new(8, 2);
         v.set_own(4.0, t(1));
-        v.merge(0, LoadEntry { load: 1.0, measured_at: t(1) });
-        v.merge(5, LoadEntry { load: 2.0, measured_at: t(1) });
+        v.merge(
+            0,
+            LoadEntry {
+                load: 1.0,
+                measured_at: t(1),
+            },
+        );
+        v.merge(
+            5,
+            LoadEntry {
+                load: 2.0,
+                measured_at: t(1),
+            },
+        );
         let mut rng = SimRng::seed_from_u64(3);
         let payload = v.gossip_payload(&mut rng);
         assert_eq!(payload[0].0, 2);

@@ -86,7 +86,10 @@ mod tests {
         let t0 = SimTime::ZERO;
         let mut j = Job::new(JobId(1), t0, SimDuration::from_secs(10), 115);
         assert!(!j.is_done());
-        assert_eq!(j.age(t0 + SimDuration::from_secs(3)), SimDuration::from_secs(3));
+        assert_eq!(
+            j.age(t0 + SimDuration::from_secs(3)),
+            SimDuration::from_secs(3)
+        );
         j.remaining = SimDuration::ZERO;
         assert!(j.is_done());
     }

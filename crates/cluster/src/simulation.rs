@@ -127,8 +127,8 @@ pub fn simulate(cfg: &ClusterConfig) -> ClusterOutcome {
     let mut gossip_rng = rng.fork(2);
 
     // Pre-generate the arrival schedule.
-    let arrival_nodes = ((cfg.nodes as f64 * cfg.arrival_node_fraction).ceil() as usize)
-        .clamp(1, cfg.nodes);
+    let arrival_nodes =
+        ((cfg.nodes as f64 * cfg.arrival_node_fraction).ceil() as usize).clamp(1, cfg.nodes);
     let mut arrivals: Vec<(SimTime, Job)> = Vec::with_capacity(cfg.jobs);
     let mut t = SimTime::ZERO;
     for i in 0..cfg.jobs {
@@ -176,7 +176,9 @@ pub fn simulate(cfg: &ClusterConfig) -> ClusterOutcome {
     // configurations in tests.
     for _ in 0..200_000 {
         if next_arrival >= arrivals.len()
-            && nodes.iter().all(|n| n.queue.is_empty() && n.arriving.is_empty())
+            && nodes
+                .iter()
+                .all(|n| n.queue.is_empty() && n.arriving.is_empty())
         {
             break;
         }
@@ -207,8 +209,7 @@ pub fn simulate(cfg: &ClusterConfig) -> ClusterOutcome {
         //    peer it believes in.
         for i in 0..cfg.nodes {
             let my_load = nodes[i].queue.len() as f64;
-            let Some((target, believed)) =
-                views[i].least_loaded_peer(now, cfg.gossip.max_age)
+            let Some((target, believed)) = views[i].least_loaded_peer(now, cfg.gossip.max_age)
             else {
                 continue;
             };
@@ -257,12 +258,7 @@ pub fn simulate(cfg: &ClusterConfig) -> ClusterOutcome {
                 let used = share.min(job.remaining);
                 job.remaining -= used;
             }
-            let done: Vec<Job> = node
-                .queue
-                .iter()
-                .filter(|j| j.is_done())
-                .cloned()
-                .collect();
+            let done: Vec<Job> = node.queue.iter().filter(|j| j.is_done()).cloned().collect();
             node.queue.retain(|j| !j.is_done());
             for j in done {
                 completions.push(Completion {
@@ -360,19 +356,14 @@ mod tests {
     #[test]
     fn migrated_jobs_carry_their_count() {
         let out = outcome(BalancePolicy::Aggressive, Scheme::Ampom, 4);
-        let migrated: u64 = out
-            .completions
-            .iter()
-            .map(|c| c.migrations as u64)
-            .sum();
+        let migrated: u64 = out.completions.iter().map(|c| c.migrations as u64).sum();
         assert_eq!(migrated, out.migrations);
     }
 
     #[test]
     fn constrained_fabric_slows_concurrent_eager_migrations() {
         let run = |fabric_links| {
-            let mut cfg =
-                ClusterConfig::standard(BalancePolicy::Aggressive, Scheme::OpenMosix);
+            let mut cfg = ClusterConfig::standard(BalancePolicy::Aggressive, Scheme::OpenMosix);
             cfg.jobs = 40;
             cfg.fabric_capacity_links = fabric_links;
             simulate(&cfg)

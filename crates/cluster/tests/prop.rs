@@ -3,15 +3,15 @@
 use ampom_cluster::gossip::{gossip_round, LoadEntry, LoadView};
 use ampom_cluster::{simulate, BalancePolicy, ClusterConfig};
 use ampom_core::migration::Scheme;
+use ampom_sim::propcheck::forall;
 use ampom_sim::rng::SimRng;
 use ampom_sim::time::{SimDuration, SimTime};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn gossip_eventually_informs_everyone(n in 4usize..24, seed in 0u64..100) {
+#[test]
+fn gossip_eventually_informs_everyone() {
+    forall("gossip-informs", 16, |g| {
+        let n = g.usize(4..24);
+        let seed = g.u64(0..100);
         let mut views: Vec<LoadView> = (0..n).map(|i| LoadView::new(n, i)).collect();
         let mut rng = SimRng::seed_from_u64(seed);
         for (i, v) in views.iter_mut().enumerate() {
@@ -27,21 +27,22 @@ proptest! {
             );
         }
         for v in &views {
-            prop_assert!(
+            assert!(
                 v.known_peers() >= (n - 1) / 2,
                 "a node knows only {} of {} peers",
                 v.known_peers(),
                 n - 1
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn gossip_never_invents_or_ages_entries(
-        n in 3usize..12,
-        rounds in 1u64..30,
-        seed in 0u64..50,
-    ) {
+#[test]
+fn gossip_never_invents_or_ages_entries() {
+    forall("gossip-no-corruption", 16, |g| {
+        let n = g.usize(3..12);
+        let rounds = g.u64(1..30);
+        let seed = g.u64(0..50);
         let mut views: Vec<LoadView> = (0..n).map(|i| LoadView::new(n, i)).collect();
         let mut rng = SimRng::seed_from_u64(seed);
         for (i, v) in views.iter_mut().enumerate() {
@@ -59,21 +60,28 @@ proptest! {
         for v in &views {
             for node in 0..n {
                 if let Some(e) = v.entry(node) {
-                    prop_assert_eq!(e.load, 10.0 + node as f64);
+                    assert_eq!(e.load, 10.0 + node as f64);
                 }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn merge_never_regresses_freshness(
-        loads in prop::collection::vec((0f64..100.0, 0u64..1000), 1..40),
-    ) {
+#[test]
+fn merge_never_regresses_freshness() {
+    forall("merge-freshness", 64, |g| {
+        let loads = g.vec(1..40, |g| (g.unit_f64() * 100.0, g.u64(0..1000)));
         let mut v = LoadView::new(4, 0);
         let mut freshest = None;
         for &(load, at_s) in &loads {
             let at = SimTime::ZERO + SimDuration::from_secs(at_s);
-            v.merge(1, LoadEntry { load, measured_at: at });
+            v.merge(
+                1,
+                LoadEntry {
+                    load,
+                    measured_at: at,
+                },
+            );
             match freshest {
                 None => freshest = Some((at, load)),
                 Some((best, _)) if at > best => freshest = Some((at, load)),
@@ -81,28 +89,35 @@ proptest! {
             }
             let entry = v.entry(1).unwrap();
             let (best_at, best_load) = freshest.unwrap();
-            prop_assert_eq!(entry.measured_at, best_at);
-            prop_assert_eq!(entry.load, best_load);
+            assert_eq!(entry.measured_at, best_at);
+            assert_eq!(entry.load, best_load);
         }
-    }
+    });
+}
 
-    #[test]
-    fn cluster_conserves_jobs(jobs in 5usize..40, seed in 0u64..20) {
+#[test]
+fn cluster_conserves_jobs() {
+    forall("cluster-conserves-jobs", 8, |g| {
+        let jobs = g.usize(5..40);
+        let seed = g.u64(0..20);
         let mut cfg = ClusterConfig::standard(BalancePolicy::Aggressive, Scheme::Ampom);
         cfg.nodes = 6;
         cfg.jobs = jobs;
         cfg.seed = seed;
         let out = simulate(&cfg);
-        prop_assert_eq!(out.completions.len(), jobs);
+        assert_eq!(out.completions.len(), jobs);
         // Every job's slowdown is at least ~1 (it cannot finish faster
         // than its demand).
         for c in &out.completions {
-            prop_assert!(c.slowdown() > 0.99, "slowdown {}", c.slowdown());
+            assert!(c.slowdown() > 0.99, "slowdown {}", c.slowdown());
         }
-    }
+    });
+}
 
-    #[test]
-    fn ampom_cluster_never_pays_more_freeze_than_eager(seed in 0u64..10) {
+#[test]
+fn ampom_cluster_never_pays_more_freeze_than_eager() {
+    forall("ampom-freeze-cheaper", 6, |g| {
+        let seed = g.u64(0..10);
         let mk = |scheme| {
             let mut cfg = ClusterConfig::standard(BalancePolicy::Aggressive, scheme);
             cfg.nodes = 6;
@@ -115,7 +130,7 @@ proptest! {
         if ampom.migrations > 0 && eager.migrations > 0 {
             let ampom_per = ampom.freeze_paid.as_secs_f64() / ampom.migrations as f64;
             let eager_per = eager.freeze_paid.as_secs_f64() / eager.migrations as f64;
-            prop_assert!(ampom_per < eager_per);
+            assert!(ampom_per < eager_per);
         }
-    }
+    });
 }

@@ -140,8 +140,7 @@ mod tests {
         // {14,15} (stride-3), {3,4} (stride-2), {4,5} (stride-1); pivots
         // 16, 5, 6. {7,8} is not outstanding.
         let c = census(&[13, 27, 7, 8, 14, 8, 3, 15, 4, 5], 4);
-        let mut pivots: Vec<(u64, usize)> =
-            c.outstanding.iter().map(|o| (o.pivot, o.d)).collect();
+        let mut pivots: Vec<(u64, usize)> = c.outstanding.iter().map(|o| (o.pivot, o.d)).collect();
         pivots.sort();
         assert_eq!(pivots, vec![(5, 2), (6, 1), (16, 3)]);
         // The {7,8} stride-1 link exists but is not outstanding.

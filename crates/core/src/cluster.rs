@@ -65,7 +65,8 @@ impl NetPath {
             return;
         }
         for msg in self.cross.drain_until(now) {
-            self.home_to_dest.transmit(msg.at.max(SimTime::ZERO), msg.bytes);
+            self.home_to_dest
+                .transmit(msg.at.max(SimTime::ZERO), msg.bytes);
             self.home_nic.on_transmit(msg.bytes);
             self.dest_nic.on_receive(msg.bytes);
         }
@@ -124,7 +125,9 @@ impl NetPath {
     /// load updates). Returns its arrival time.
     pub fn send_control_to_home(&mut self, now: SimTime, bytes: u64) -> SimTime {
         self.advance(now);
-        let tx = self.dest_to_home.transmit(now + PER_MESSAGE_OVERHEAD, bytes);
+        let tx = self
+            .dest_to_home
+            .transmit(now + PER_MESSAGE_OVERHEAD, bytes);
         self.dest_nic.on_transmit(bytes);
         self.home_nic.on_receive(bytes);
         self.own_bytes += bytes;

@@ -191,11 +191,9 @@ mod tests {
         let (mut d, _t, mut p) = setup(1);
         let quick = d.forward_syscall(SimTime::ZERO, SimDuration::ZERO, &mut p);
         let (mut d2, _t2, mut p2) = setup(1);
-        let slow = d2.forward_syscall(
-            SimTime::ZERO,
-            SimDuration::from_millis(5),
-            &mut p2,
+        let slow = d2.forward_syscall(SimTime::ZERO, SimDuration::from_millis(5), &mut p2);
+        assert!(
+            slow.since(SimTime::ZERO) > quick.since(SimTime::ZERO) + SimDuration::from_millis(4)
         );
-        assert!(slow.since(SimTime::ZERO) > quick.since(SimTime::ZERO) + SimDuration::from_millis(4));
     }
 }

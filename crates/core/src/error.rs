@@ -1,0 +1,75 @@
+//! Typed errors for the experiment API.
+//!
+//! Misconfiguration used to panic deep inside the runner (`assert!` in
+//! [`crate::prefetcher::AmpomPrefetcher::new`], arithmetic on a
+//! zero-capacity link). The [`crate::experiment::Experiment`] and
+//! [`crate::sweep`] entry points validate up front and surface these
+//! variants instead, so a sweep over user-supplied grids degrades into a
+//! reportable error rather than tearing down the whole harness.
+
+use std::fmt;
+
+/// Everything that can go wrong constructing or running an experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AmpomError {
+    /// A tunable is out of its documented domain (bad `dmax`/window
+    /// relationship, zero sampling interval, empty repeat count, ...).
+    /// The payload names the offending knob and constraint.
+    InvalidConfig(String),
+    /// A workload specification cannot produce any references (zero
+    /// pages, zero touches, an empty script).
+    WorkloadExhausted(String),
+    /// The configured link cannot move bytes (zero capacity or goodput),
+    /// so no remote page could ever be served.
+    LinkDown(String),
+    /// An [`crate::experiment::Experiment`] was asked to run without a
+    /// workload specification (use `.workload(..)`, `.kernel(..)`, or
+    /// `run_on` with a concrete workload object).
+    MissingWorkload,
+    /// A sweep grid has an empty axis, so the cartesian product contains
+    /// no cells. The payload names the empty axis.
+    EmptySweep(String),
+}
+
+impl fmt::Display for AmpomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AmpomError::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
+            AmpomError::WorkloadExhausted(why) => {
+                write!(f, "workload cannot produce references: {why}")
+            }
+            AmpomError::LinkDown(why) => write!(f, "link cannot move bytes: {why}"),
+            AmpomError::MissingWorkload => {
+                write!(
+                    f,
+                    "experiment has no workload; call .workload(..) or use run_on"
+                )
+            }
+            AmpomError::EmptySweep(axis) => write!(f, "sweep grid axis is empty: {axis}"),
+        }
+    }
+}
+
+impl std::error::Error for AmpomError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_problem() {
+        let e = AmpomError::InvalidConfig("dmax must satisfy 1 <= dmax < window_len".into());
+        assert!(e.to_string().contains("dmax"));
+        assert!(AmpomError::MissingWorkload.to_string().contains("workload"));
+        assert!(AmpomError::EmptySweep("schemes".into())
+            .to_string()
+            .contains("schemes"));
+    }
+
+    #[test]
+    fn is_a_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&AmpomError::LinkDown("capacity 0".into()));
+    }
+}

@@ -41,21 +41,53 @@
 //!
 //! ## Quick start
 //!
-//! ```
-//! use ampom_core::migration::Scheme;
-//! use ampom_core::runner::{run_workload, RunConfig};
-//! use ampom_sim::time::SimDuration;
-//! use ampom_workloads::synthetic::Sequential;
+//! [`experiment::Experiment`] is the single entry point: describe the
+//! run declaratively, `build()` validates it into a typed
+//! [`error::AmpomError`] instead of panicking, `run()` yields a
+//! [`metrics::RunReport`].
 //!
-//! let mut workload = Sequential::new(512, SimDuration::from_micros(10));
-//! let report = run_workload(&mut workload, &RunConfig::new(Scheme::Ampom));
+//! ```
+//! use ampom_core::{Experiment, Scheme};
+//! use ampom_sim::time::SimDuration;
+//!
+//! let report = Experiment::new(Scheme::Ampom)
+//!     .sequential(512, SimDuration::from_micros(10))
+//!     .seed(7)
+//!     .build()
+//!     .expect("valid experiment")
+//!     .run()
+//!     .expect("run succeeds");
 //! assert!(report.pages_prefetched > 0);
 //! assert!(report.freeze_time < SimDuration::from_millis(200));
+//! ```
+//!
+//! To reproduce a whole figure-grid in one call, describe it as a
+//! [`sweep::SweepSpec`] — the sweep engine shards the cartesian product
+//! of schemes × workloads × links across a thread pool with per-cell
+//! deterministic seeds, so the parallel result is bit-identical to a
+//! serial run:
+//!
+//! ```
+//! use ampom_core::sweep::SweepSpec;
+//! use ampom_core::WorkloadSpec;
+//! use ampom_sim::time::SimDuration;
+//!
+//! let report = SweepSpec::new()
+//!     .workload(WorkloadSpec::Sequential {
+//!         pages: 256,
+//!         cpu: SimDuration::from_micros(10),
+//!     })
+//!     .repeats(2)
+//!     .run()
+//!     .expect("valid sweep");
+//! assert_eq!(report.cells.len(), 3); // openMosix, NoPrefetch, AMPoM
 //! ```
 
 pub mod census;
 pub mod cluster;
 pub mod deputy;
+pub mod error;
+pub mod experiment;
 pub mod metrics;
 pub mod migration;
 pub mod monitor;
@@ -63,13 +95,17 @@ pub mod prefetcher;
 pub mod remigration;
 pub mod runner;
 pub mod scheduler;
-pub mod validate;
 pub mod score;
+pub mod sweep;
+pub mod validate;
 pub mod vm;
 pub mod window;
 pub mod zone;
 
+pub use error::AmpomError;
+pub use experiment::{Experiment, WorkloadSpec};
 pub use metrics::RunReport;
 pub use migration::Scheme;
 pub use prefetcher::{AmpomConfig, AmpomPrefetcher};
-pub use runner::{run_workload, RunConfig};
+pub use runner::{run_workload, try_run_workload, RunConfig};
+pub use sweep::{SweepReport, SweepSpec};

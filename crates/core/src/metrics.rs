@@ -87,6 +87,53 @@ pub struct RunSeries {
 }
 
 impl RunReport {
+    /// A stable 64-bit digest of every exact measurement in the report
+    /// (times in nanoseconds, all counters, byte totals). Two runs with
+    /// identical simulated behaviour produce identical fingerprints, so
+    /// parallel-vs-serial sweep determinism reduces to an integer
+    /// comparison. Floating-point derived stats, the trace, and sampled
+    /// series are deliberately excluded: they are projections of the
+    /// fields already digested.
+    pub fn fingerprint(&self) -> u64 {
+        fn mix(h: u64, v: u64) -> u64 {
+            // splitmix64 finalizer over the running state.
+            let mut z = h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        let mut h = 0xA3_70_4D_u64;
+        h = mix(h, self.scheme as u64);
+        for b in self.workload.as_bytes() {
+            h = mix(h, u64::from(*b));
+        }
+        for v in [
+            self.program_mb,
+            self.freeze_time.as_nanos(),
+            self.total_time.as_nanos(),
+            self.compute_time.as_nanos(),
+            self.stall_time.as_nanos(),
+            self.faults_total,
+            self.fault_requests,
+            self.prefetch_only_requests,
+            self.pages_demand_fetched,
+            self.pages_prefetched,
+            self.prefetched_pages_used,
+            self.pages_local_alloc,
+            self.syscalls_forwarded,
+            self.syscall_time.as_nanos(),
+            self.pages_evicted,
+            self.bytes_to_dest,
+            self.bytes_from_dest,
+            self.mpt_bytes,
+            self.analysis_time.as_nanos(),
+            self.analysis_count,
+        ] {
+            h = mix(h, v);
+        }
+        h
+    }
+
     /// Prefetched pages per page-fault request — the Figure 8 metric.
     pub fn prefetched_per_fault(&self) -> f64 {
         if self.fault_requests == 0 {
@@ -185,6 +232,19 @@ mod tests {
         let nopf = report(1000, 50);
         assert!((ampom.fault_prevention_vs(&nopf) - 0.9).abs() < 1e-12);
         assert!((ampom.exec_increase_vs(&nopf) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let a = report(100, 50);
+        let b = report(100, 50);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let mut c = report(100, 50);
+        c.pages_prefetched += 1;
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let mut d = report(100, 50);
+        d.workload = "OTHER".into();
+        assert_ne!(a.fingerprint(), d.fingerprint());
     }
 
     #[test]

@@ -205,7 +205,11 @@ pub fn perform_freeze(
     }
 
     let freeze_time = resume_at.since(t0);
-    trace.record(resume_at, TraceKind::FreezeEnd, format!("freeze={freeze_time}"));
+    trace.record(
+        resume_at,
+        TraceKind::FreezeEnd,
+        format!("freeze={freeze_time}"),
+    );
 
     FreezeOutcome {
         freeze_time,
@@ -238,9 +242,15 @@ mod tests {
     fn openmosix_freeze_matches_paper_at_575mb() {
         let out = freeze(Scheme::OpenMosix, 575);
         let s = out.freeze_time.as_secs_f64();
-        assert!((50.0..60.0).contains(&s), "eager freeze {s}s vs paper 53.9s");
+        assert!(
+            (50.0..60.0).contains(&s),
+            "eager freeze {s}s vs paper 53.9s"
+        );
         // Everything dirty is now resident on the destination.
-        assert_eq!(out.space.remote_pages(), out.table.mapped_pages() - out.space.resident_pages());
+        assert_eq!(
+            out.space.remote_pages(),
+            out.table.mapped_pages() - out.space.resident_pages()
+        );
         assert!(out.space.resident_pages() > 147_000);
     }
 
@@ -258,7 +268,10 @@ mod tests {
     fn noprefetch_freeze_matches_paper() {
         let out = freeze(Scheme::NoPrefetch, 575);
         let s = out.freeze_time.as_secs_f64();
-        assert!((0.05..0.1).contains(&s), "NoPrefetch freeze {s}s vs paper 0.07s");
+        assert!(
+            (0.05..0.1).contains(&s),
+            "NoPrefetch freeze {s}s vs paper 0.07s"
+        );
         assert_eq!(out.space.resident_pages(), 3);
     }
 
@@ -283,7 +296,10 @@ mod tests {
         let f575 = freeze(Scheme::Ampom, 575).freeze_time.as_secs_f64();
         // Linear in MPT size modulo the fixed base cost.
         let ratio = (f575 - 0.068) / (f115 - 0.068);
-        assert!((4.0..6.0).contains(&ratio), "MPT-driven growth ratio {ratio}");
+        assert!(
+            (4.0..6.0).contains(&ratio),
+            "MPT-driven growth ratio {ratio}"
+        );
     }
 
     #[test]

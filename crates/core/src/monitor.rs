@@ -148,7 +148,7 @@ mod tests {
         let mut m = MonitorDaemon::new(&path);
         let t0 = SimTime::ZERO;
         m.on_window_wrap(t0, 1, &path); // first sample (baseline)
-        // Saturate the reply link for one second.
+                                        // Saturate the reply link for one second.
         let mut at = t0;
         for _ in 0..2800 {
             at = path.send_page(at.min(t0 + SimDuration::from_secs(1)));

@@ -60,6 +60,37 @@ impl Default for AmpomConfig {
     }
 }
 
+impl AmpomConfig {
+    /// Checks the tunables against their documented domains.
+    pub fn validate(&self) -> Result<(), crate::error::AmpomError> {
+        use crate::error::AmpomError;
+        if self.window_len < 2 {
+            return Err(AmpomError::InvalidConfig(format!(
+                "window_len must be at least 2, got {}",
+                self.window_len
+            )));
+        }
+        if self.dmax < 1 || self.dmax >= self.window_len {
+            return Err(AmpomError::InvalidConfig(format!(
+                "dmax must satisfy 1 <= dmax < window_len ({}), got {}",
+                self.window_len, self.dmax
+            )));
+        }
+        if self.max_zone == 0 {
+            return Err(AmpomError::InvalidConfig(
+                "max_zone must be positive (it caps every request)".into(),
+            ));
+        }
+        if self.baseline_readahead > self.max_zone {
+            return Err(AmpomError::InvalidConfig(format!(
+                "baseline_readahead ({}) exceeds max_zone ({})",
+                self.baseline_readahead, self.max_zone
+            )));
+        }
+        Ok(())
+    }
+}
+
 /// Network estimates the monitor daemon feeds into Eq. 3.
 #[derive(Debug, Clone, Copy)]
 pub struct NetEstimates {
@@ -114,14 +145,24 @@ pub struct AmpomPrefetcher {
 
 impl AmpomPrefetcher {
     /// Creates a prefetcher with the given configuration.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration; prefer [`Self::try_new`] when
+    /// the configuration comes from user input.
     pub fn new(config: AmpomConfig) -> Self {
-        assert!(config.dmax >= 1 && config.dmax < config.window_len);
-        AmpomPrefetcher {
+        Self::try_new(config).expect("invalid AmpomConfig")
+    }
+
+    /// Fallible constructor: validates the tunables and returns
+    /// [`crate::error::AmpomError::InvalidConfig`] instead of panicking.
+    pub fn try_new(config: AmpomConfig) -> Result<Self, crate::error::AmpomError> {
+        config.validate()?;
+        Ok(AmpomPrefetcher {
             window: LookbackWindow::new(config.window_len),
             config,
             stats: PrefetchStats::default(),
             last_census: None,
-        }
+        })
     }
 
     /// The active configuration.
@@ -253,9 +294,8 @@ mod tests {
         let mut p = prefetcher();
         let limit = PageId(10_000_000);
         let pages = [
-            90_001u64, 5, 777_003, 42_000, 1_234, 990_011, 333, 806_202, 55_555, 7,
-            123_456, 98, 700_001, 3_141, 59_265, 35_897, 932_384, 626_433, 83_279, 502_884,
-            197_169, 399_375,
+            90_001u64, 5, 777_003, 42_000, 1_234, 990_011, 333, 806_202, 55_555, 7, 123_456, 98,
+            700_001, 3_141, 59_265, 35_897, 932_384, 626_433, 83_279, 502_884, 197_169, 399_375,
         ];
         let mut last_decision = None;
         for (i, &pg) in pages.iter().enumerate() {
@@ -347,17 +387,32 @@ mod tests {
     #[test]
     fn no_zone_before_window_fills_beyond_baseline() {
         let mut p = prefetcher();
-        let d = p.on_fault(
-            PageId(5),
-            t(0),
-            1.0,
-            net(),
-            PageId(1_000),
-            |_| true,
-        );
+        let d = p.on_fault(PageId(5), t(0), 1.0, net(), PageId(1_000), |_| true);
         // Window not full → N = 0 → budget = baseline.
         assert_eq!(d.n_raw, 0.0);
         assert_eq!(d.budget, 16);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_configs() {
+        let bad_dmax = AmpomConfig {
+            dmax: 0,
+            ..AmpomConfig::default()
+        };
+        assert!(AmpomPrefetcher::try_new(bad_dmax).is_err());
+        let dmax_ge_window = AmpomConfig {
+            dmax: 20,
+            window_len: 20,
+            ..AmpomConfig::default()
+        };
+        assert!(AmpomPrefetcher::try_new(dmax_ge_window).is_err());
+        let floor_above_cap = AmpomConfig {
+            baseline_readahead: 1024,
+            max_zone: 512,
+            ..AmpomConfig::default()
+        };
+        assert!(AmpomPrefetcher::try_new(floor_above_cap).is_err());
+        assert!(AmpomPrefetcher::try_new(AmpomConfig::default()).is_ok());
     }
 
     #[test]

@@ -173,9 +173,8 @@ pub fn run_round_trip<W: Workload + ?Sized>(
         Scheme::Ampom => {
             // Three pages + MPT, as always.
             let mpt = table.mpt_bytes();
-            let start = now
-                + MIGRATION_BASE_COST
-                + MPT_ENTRY_COST.saturating_mul(table.mapped_pages());
+            let start =
+                now + MIGRATION_BASE_COST + MPT_ENTRY_COST.saturating_mul(table.mapped_pages());
             let done = path.bulk_transfer(start, 3 * PAGE_SIZE + mpt);
             done.since(now)
         }
@@ -198,9 +197,7 @@ pub fn run_round_trip<W: Workload + ?Sized>(
         // Pages still at the origin are local at home now.
         let at_origin: Vec<_> = space
             .pages_where(|s| s == PageState::Remote)
-            .filter(|p| {
-                table.lookup(*p) == Some(ampom_mem::table::PageLocation::Origin)
-            })
+            .filter(|p| table.lookup(*p) == Some(ampom_mem::table::PageLocation::Origin))
             .collect();
         for p in at_origin {
             space.install(p);
@@ -314,7 +311,11 @@ mod tests {
         let r = round_trip(Scheme::Ampom, 0.2);
         // ~20% of the sweep was fetched remotely; only that much can come
         // back.
-        assert!(r.pages_fetched_remotely < 1000, "{}", r.pages_fetched_remotely);
+        assert!(
+            r.pages_fetched_remotely < 1000,
+            "{}",
+            r.pages_fetched_remotely
+        );
         assert!(r.return_freeze < SimDuration::from_millis(200));
     }
 

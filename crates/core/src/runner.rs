@@ -24,8 +24,8 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use ampom_mem::page::{PageId, PAGE_SIZE};
 use ampom_mem::eviction::ClockEvictor;
+use ampom_mem::page::{PageId, PAGE_SIZE};
 use ampom_mem::space::TouchOutcome;
 use ampom_net::calibration::{AMPOM_ANALYSIS_COST, PER_MESSAGE_OVERHEAD};
 use ampom_net::cross::CrossTraffic;
@@ -37,6 +37,7 @@ use ampom_workloads::memref::Workload;
 
 use crate::cluster::NetPath;
 use crate::deputy::Deputy;
+use crate::error::AmpomError;
 use crate::metrics::{RunReport, RunSeries};
 use crate::migration::{perform_freeze, PreMigrationState, Scheme};
 use crate::monitor::MonitorDaemon;
@@ -70,6 +71,13 @@ pub struct CrossTrafficSpec {
 }
 
 /// Configuration of one run.
+///
+/// Construct with [`RunConfig::new`] and the `with_*` builder methods —
+/// or, preferably, through the [`crate::experiment::Experiment`] builder,
+/// which validates the configuration and returns
+/// [`crate::error::AmpomError`] on misuse. Poking fields directly is
+/// discouraged: it bypasses validation and new fields may change the
+/// struct shape between releases.
 #[derive(Debug, Clone)]
 pub struct RunConfig {
     /// Migration scheme under test.
@@ -124,10 +132,96 @@ impl RunConfig {
         self.trace = true;
         self
     }
+
+    /// Replaces the AMPoM tunables (ignored by the other schemes).
+    pub fn with_ampom(mut self, ampom: AmpomConfig) -> Self {
+        self.ampom = ampom;
+        self
+    }
+
+    /// Adds foreign traffic on the reply link.
+    pub fn with_cross_traffic(mut self, spec: CrossTrafficSpec) -> Self {
+        self.cross_traffic = Some(spec);
+        self
+    }
+
+    /// Adds a forwarded-system-call workload (the home dependency).
+    pub fn with_syscalls(mut self, profile: SyscallProfile) -> Self {
+        self.syscalls = Some(profile);
+        self
+    }
+
+    /// Samples the run's time series every `every_faults` faults.
+    pub fn with_sample_series(mut self, every_faults: u64) -> Self {
+        self.sample_series_every = Some(every_faults);
+        self
+    }
+
+    /// Caps destination-node RAM, enabling swap-over-network eviction.
+    pub fn with_resident_limit_mb(mut self, mb: u64) -> Self {
+        self.resident_limit_mb = Some(mb);
+        self
+    }
+
+    /// Sets the seed for the run's stochastic elements (cross traffic).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Checks every knob against its documented domain.
+    pub fn validate(&self) -> Result<(), AmpomError> {
+        if self.link.capacity_bytes_per_sec == 0 {
+            return Err(AmpomError::LinkDown(
+                "link capacity is 0 bytes/s; no page could ever be served".into(),
+            ));
+        }
+        if self.scheme == Scheme::Ampom {
+            self.ampom.validate()?;
+        }
+        if let Some(profile) = self.syscalls {
+            if profile.every_refs == 0 {
+                return Err(AmpomError::InvalidConfig(
+                    "syscalls.every_refs must be positive".into(),
+                ));
+            }
+        }
+        if let Some(spec) = self.cross_traffic {
+            if spec.bytes_per_sec > 0 && spec.burst_bytes == 0 {
+                return Err(AmpomError::InvalidConfig(
+                    "cross_traffic.burst_bytes must be positive when load is offered".into(),
+                ));
+            }
+        }
+        if self.sample_series_every == Some(0) {
+            return Err(AmpomError::InvalidConfig(
+                "sample_series_every must be positive (or None to disable)".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Executes `workload` under `cfg`, validating the configuration first.
+///
+/// This is the fallible entry point the [`crate::experiment::Experiment`]
+/// builder and the [`crate::sweep`] engine call; misconfiguration comes
+/// back as [`AmpomError`] instead of a panic inside the simulation.
+pub fn try_run_workload<W: Workload + ?Sized>(
+    workload: &mut W,
+    cfg: &RunConfig,
+) -> Result<RunReport, AmpomError> {
+    cfg.validate()?;
+    Ok(run_workload(workload, cfg))
 }
 
 /// Executes `workload` under `cfg` and returns the full measurement
 /// record.
+///
+/// # Panics
+/// May panic on an invalid configuration (e.g. a bad [`AmpomConfig`]);
+/// prefer [`try_run_workload`] or the [`crate::experiment::Experiment`]
+/// builder for user-supplied configurations.
 pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> RunReport {
     let layout = workload.layout().clone();
     let pre = PreMigrationState::new(layout.clone(), workload.allocation_pages());
@@ -152,8 +246,8 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
     let mut table = freeze.table;
     let mut now = SimTime::ZERO + freeze.freeze_time;
 
-    let mut prefetcher = (cfg.scheme == Scheme::Ampom)
-        .then(|| AmpomPrefetcher::new(cfg.ampom.clone()));
+    let mut prefetcher =
+        (cfg.scheme == Scheme::Ampom).then(|| AmpomPrefetcher::new(cfg.ampom.clone()));
     let mut monitor = MonitorDaemon::new(&path);
     let mut deputy = Deputy::new();
 
@@ -162,9 +256,7 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
     // background; faults are then served by the file server. We model the
     // flush schedule analytically (the flush uses the home↔file-server
     // link, which does not contend with our path).
-    let ffa = (cfg.scheme == Scheme::Ffa).then(|| {
-        FfaState::new(&pre, now, cfg.link)
-    });
+    let ffa = (cfg.scheme == Scheme::Ffa).then(|| FfaState::new(&pre, now, cfg.link));
 
     // In-flight pages and the staging buffer of arrived-but-uninstalled
     // pages. The reply link is FIFO, so arrivals are monotone and the
@@ -263,7 +355,15 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                     table.create_at_destination(r.page);
                 }
                 if let Some(ev) = evictor.as_mut() {
-                    make_room(ev, r.page, now, &mut path, &mut table, &mut space, &mut pages_evicted);
+                    make_room(
+                        ev,
+                        r.page,
+                        now,
+                        &mut path,
+                        &mut table,
+                        &mut space,
+                        &mut pages_evicted,
+                    );
                     ev.on_install(r.page);
                 }
                 let util = utilization(cpu_since_fault, now, last_fault_at);
@@ -271,14 +371,29 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                 cpu_since_fault = SimDuration::ZERO;
                 if let Some(pf) = prefetcher.as_mut() {
                     let prefetch = analyze(
-                        pf, r.page, &mut now, util, &mut monitor, &mut path, page_limit,
-                        &space, &in_flight, &mut analysis_time,
+                        pf,
+                        r.page,
+                        &mut now,
+                        util,
+                        &mut monitor,
+                        &mut path,
+                        page_limit,
+                        &space,
+                        &in_flight,
+                        &mut analysis_time,
                     );
                     if !prefetch.is_empty() {
                         prefetch_only_requests += 1;
                         send_request(
-                            &prefetch, None, now, &mut path, &mut deputy, &mut table,
-                            &mut in_flight, &mut staged, &mut was_prefetched,
+                            &prefetch,
+                            None,
+                            now,
+                            &mut path,
+                            &mut deputy,
+                            &mut table,
+                            &mut in_flight,
+                            &mut staged,
+                            &mut was_prefetched,
                             &mut pages_prefetched,
                         );
                     }
@@ -292,8 +407,15 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                 let fault_at = now;
                 trace.record(now, TraceKind::PageFault, format!("{}", r.page));
                 install_arrived_pressured(
-                    &mut staged, &mut in_flight, &mut space, &mut now,
-                    evictor.as_mut(), r.page, &mut path, &mut table, &mut pages_evicted,
+                    &mut staged,
+                    &mut in_flight,
+                    &mut space,
+                    &mut now,
+                    evictor.as_mut(),
+                    r.page,
+                    &mut path,
+                    &mut table,
+                    &mut pages_evicted,
                 );
 
                 let util = utilization(cpu_since_fault, fault_at, last_fault_at);
@@ -303,8 +425,16 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                 // AMPoM analysis (every fault, per Algorithm 1).
                 let prefetch = match prefetcher.as_mut() {
                     Some(pf) => analyze(
-                        pf, r.page, &mut now, util, &mut monitor, &mut path, page_limit,
-                        &space, &in_flight, &mut analysis_time,
+                        pf,
+                        r.page,
+                        &mut now,
+                        util,
+                        &mut monitor,
+                        &mut path,
+                        page_limit,
+                        &space,
+                        &in_flight,
+                        &mut analysis_time,
                     ),
                     None => Vec::new(),
                 };
@@ -316,9 +446,7 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                         series.in_flight.push(now, in_flight.len() as f64);
                         series.resident.push(now, space.resident_pages() as f64);
                         if let Some(pf) = prefetcher.as_ref() {
-                            series
-                                .zone_budget
-                                .push(now, pf.stats().budgets.mean());
+                            series.zone_budget.push(now, pf.stats().budgets.mean());
                         }
                         series
                             .link_utilization
@@ -332,8 +460,15 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                     if !prefetch.is_empty() {
                         prefetch_only_requests += 1;
                         send_request(
-                            &prefetch, None, now, &mut path, &mut deputy, &mut table,
-                            &mut in_flight, &mut staged, &mut was_prefetched,
+                            &prefetch,
+                            None,
+                            now,
+                            &mut path,
+                            &mut deputy,
+                            &mut table,
+                            &mut in_flight,
+                            &mut staged,
+                            &mut was_prefetched,
                             &mut pages_prefetched,
                         );
                     }
@@ -343,8 +478,15 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                     if !prefetch.is_empty() {
                         prefetch_only_requests += 1;
                         send_request(
-                            &prefetch, None, now, &mut path, &mut deputy, &mut table,
-                            &mut in_flight, &mut staged, &mut was_prefetched,
+                            &prefetch,
+                            None,
+                            now,
+                            &mut path,
+                            &mut deputy,
+                            &mut table,
+                            &mut in_flight,
+                            &mut staged,
+                            &mut was_prefetched,
                             &mut pages_prefetched,
                         );
                     }
@@ -353,10 +495,21 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                         now = arrival;
                     }
                     install_arrived_pressured(
-                        &mut staged, &mut in_flight, &mut space, &mut now,
-                        evictor.as_mut(), r.page, &mut path, &mut table, &mut pages_evicted,
+                        &mut staged,
+                        &mut in_flight,
+                        &mut space,
+                        &mut now,
+                        evictor.as_mut(),
+                        r.page,
+                        &mut path,
+                        &mut table,
+                        &mut pages_evicted,
                     );
-                    trace.record(now, TraceKind::FaultResolved, format!("{} (pipelined)", r.page));
+                    trace.record(
+                        now,
+                        TraceKind::FaultResolved,
+                        format!("{} (pipelined)", r.page),
+                    );
                 } else if let Some(ffa_state) = ffa.as_ref() {
                     // FFA: demand-fetch from the file server.
                     fault_requests += 1;
@@ -376,8 +529,15 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                         format!("demand {} (+{} prefetch)", r.page, prefetch.len()),
                     );
                     send_request(
-                        &prefetch, Some(r.page), now, &mut path, &mut deputy, &mut table,
-                        &mut in_flight, &mut staged, &mut was_prefetched,
+                        &prefetch,
+                        Some(r.page),
+                        now,
+                        &mut path,
+                        &mut deputy,
+                        &mut table,
+                        &mut in_flight,
+                        &mut staged,
+                        &mut was_prefetched,
                         &mut pages_prefetched,
                     );
                     let arrival = in_flight
@@ -387,8 +547,15 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                     stall_time += arrival.since(now);
                     now = arrival;
                     install_arrived_pressured(
-                        &mut staged, &mut in_flight, &mut space, &mut now,
-                        evictor.as_mut(), r.page, &mut path, &mut table, &mut pages_evicted,
+                        &mut staged,
+                        &mut in_flight,
+                        &mut space,
+                        &mut now,
+                        evictor.as_mut(),
+                        r.page,
+                        &mut path,
+                        &mut table,
+                        &mut pages_evicted,
                     );
                     trace.record(now, TraceKind::FaultResolved, format!("{}", r.page));
                 }
@@ -618,10 +785,7 @@ impl FfaState {
             t += per_page;
             flush_done.insert(p, t + link.latency);
         }
-        FfaState {
-            flush_done,
-            link,
-        }
+        FfaState { flush_done, link }
     }
 
     /// When the whole flush completes.
@@ -644,9 +808,7 @@ impl FfaState {
             .copied()
             .unwrap_or(request_arrives);
         let served = request_arrives.max(available);
-        let reply = served
-            + self.link.serialization_time(PAGE_SIZE + 32)
-            + self.link.latency;
+        let reply = served + self.link.serialization_time(PAGE_SIZE + 32) + self.link.latency;
         trace.record(
             reply,
             TraceKind::FileServerFlush,
@@ -724,17 +886,16 @@ mod tests {
         // Prefetched pages on a pure sequential sweep are nearly all used;
         // the only waste is the final read-ahead overshooting the sweep's
         // end into the (remote, mapped) stack region.
-        assert!(r.prefetch_accuracy() > 0.9, "accuracy {}", r.prefetch_accuracy());
+        assert!(
+            r.prefetch_accuracy() > 0.9,
+            "accuracy {}",
+            r.prefetch_accuracy()
+        );
     }
 
     #[test]
     fn random_workload_still_completes_under_ampom() {
-        let mut w = UniformRandom::new(
-            512,
-            2048,
-            CPU,
-            ampom_sim::rng::SimRng::seed_from_u64(7),
-        );
+        let mut w = UniformRandom::new(512, 2048, CPU, ampom_sim::rng::SimRng::seed_from_u64(7));
         let r = run(Scheme::Ampom, &mut w);
         assert!(r.faults_total > 0);
         assert!(r.fault_requests > 0);
@@ -837,7 +998,11 @@ mod tests {
         let resident = series.resident.samples();
         assert!(resident.last().unwrap().1 >= resident.first().unwrap().1);
         // The reply link sees real utilisation during the transfer phase.
-        assert!(series.link_utilization.samples().iter().any(|&(_, u)| u > 0.3));
+        assert!(series
+            .link_utilization
+            .samples()
+            .iter()
+            .any(|&(_, u)| u > 0.3));
     }
 
     #[test]

@@ -52,15 +52,11 @@ pub struct BalanceOutcome {
 
 /// Freeze-time model per scheme (the Figure 5 calibration, closed-form).
 pub fn freeze_time(scheme: Scheme, memory_mb: u64) -> SimDuration {
-    use ampom_net::calibration::{
-        fast_ethernet, MIGRATION_BASE_COST, MPT_ENTRY_COST,
-    };
+    use ampom_net::calibration::{fast_ethernet, MIGRATION_BASE_COST, MPT_ENTRY_COST};
     let bytes = memory_mb * 1024 * 1024;
     let pages = bytes / ampom_mem::PAGE_SIZE;
     match scheme {
-        Scheme::OpenMosix => {
-            MIGRATION_BASE_COST + fast_ethernet().serialization_time(bytes)
-        }
+        Scheme::OpenMosix => MIGRATION_BASE_COST + fast_ethernet().serialization_time(bytes),
         Scheme::Ampom => {
             MIGRATION_BASE_COST
                 + MPT_ENTRY_COST.saturating_mul(pages)
@@ -90,11 +86,7 @@ pub fn post_migration_slowdown(scheme: Scheme) -> f64 {
 ///
 /// The model is deliberately coarse — it isolates the question the paper
 /// poses in §7: *given cheaper freezes, does aggressive migration win?*
-pub fn simulate_two_nodes(
-    jobs: &[Job],
-    policy: Policy,
-    scheme: Scheme,
-) -> BalanceOutcome {
+pub fn simulate_two_nodes(jobs: &[Job], policy: Policy, scheme: Scheme) -> BalanceOutcome {
     let epoch = SimDuration::from_secs(1);
     let mut node_a: Vec<(Job, SimDuration)> =
         jobs.iter().map(|&j| (j, SimDuration::ZERO)).collect(); // (job, age)
@@ -126,9 +118,8 @@ pub fn simulate_two_nodes(
                 migrations += 1;
                 // The freeze suspends the job; the slowdown taxes the rest.
                 let slow = post_migration_slowdown(scheme);
-                job.remaining = SimDuration::from_secs_f64(
-                    job.remaining.as_secs_f64() * (1.0 + slow),
-                ) + f;
+                job.remaining =
+                    SimDuration::from_secs_f64(job.remaining.as_secs_f64() * (1.0 + slow)) + f;
                 node_b.push((job, age));
             }
         }
@@ -180,11 +171,7 @@ mod tests {
 
     #[test]
     fn balancing_beats_no_balancing() {
-        let out = simulate_two_nodes(
-            &jobs(8, 60, 100),
-            Policy::Aggressive,
-            Scheme::Ampom,
-        );
+        let out = simulate_two_nodes(&jobs(8, 60, 100), Policy::Aggressive, Scheme::Ampom);
         // Perfect split of 8×60 s across two nodes is 240 s; one node alone
         // needs 480 s.
         assert!(out.migrations >= 3);

@@ -1,0 +1,734 @@
+//! The parallel experiment sweep engine.
+//!
+//! The paper's evaluation (§5) is a grid — schemes × kernels × sizes ×
+//! network conditions — and every figure projects columns out of it.
+//! [`SweepSpec`] describes such a grid declaratively; [`SweepSpec::run`]
+//! shards the cartesian product across a self-scheduling thread pool
+//! (plain `std::thread` + channels, no external dependencies) and folds
+//! the per-run [`RunReport`]s into a [`SweepReport`] with per-cell
+//! percentiles and confidence intervals over repeats.
+//!
+//! ## Determinism
+//!
+//! Every run's seed is derived *from its grid coordinate*, not from
+//! scheduling order: workload index and repeat index feed
+//! [`ampom_sim::rng::SimRng::fork`] chains. Two consequences:
+//!
+//! * a parallel sweep is bit-identical to [`SweepSpec::run_serial`] on
+//!   the same spec — the determinism tests compare
+//!   [`RunReport::fingerprint`]s across thread counts;
+//! * the seed deliberately ignores scheme and link, so every scheme sees
+//!   the same reference stream in a cell row (the paper's comparisons
+//!   require it — same reason `hpcc`'s matrix pins one seed per kernel).
+//!
+//! [`SeedMode::Fixed`] pins one seed for the whole grid instead, which is
+//! what the historical `hpcc` matrix (seed 42) uses.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+
+use ampom_net::link::LinkConfig;
+use ampom_sim::rng::SimRng;
+
+use crate::error::AmpomError;
+use crate::experiment::{Experiment, WorkloadSpec};
+use crate::metrics::RunReport;
+use crate::migration::Scheme;
+use crate::prefetcher::AmpomConfig;
+use crate::runner::CrossTrafficSpec;
+
+/// Worker threads to use when the caller does not pin a count.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Order-preserving parallel map over a work list, one worker per
+/// available core. See [`par_map_with`].
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    par_map_with(None, items, f)
+}
+
+/// Order-preserving parallel map with an explicit worker count.
+///
+/// Work is self-scheduling: each worker claims the next unclaimed index
+/// with an atomic counter, so an expensive item never stalls the queue
+/// behind it (the work-stealing effect without per-worker deques —
+/// there is one shared queue and idle workers drain it). Results are
+/// returned in input order regardless of completion order. Falls back to
+/// a plain sequential map when one worker (or one item) makes spawning
+/// pointless.
+pub fn par_map_with<T, R, F>(threads: Option<usize>, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads.unwrap_or_else(default_threads).clamp(1, n.max(1));
+    if workers <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let f = &f;
+            let slots = &slots;
+            let next = &next;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = slots[i]
+                    .lock()
+                    .expect("slot lock")
+                    .take()
+                    .expect("each slot claimed once");
+                if tx.send((i, f(item))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            .map(|r| r.expect("every index produced"))
+            .collect()
+    })
+}
+
+/// How per-cell seeds are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeedMode {
+    /// Derive a seed per (workload, repeat) coordinate from a base seed.
+    /// Schemes and links in the same row share the reference stream.
+    Grid {
+        /// The root of the derivation chain.
+        base_seed: u64,
+    },
+    /// One seed for every cell (the historical `hpcc` matrix behaviour).
+    Fixed(u64),
+}
+
+/// A labelled link axis entry.
+pub type LinkAxis = (String, LinkConfig);
+
+/// A labelled cross-traffic axis entry (`None` = quiet network).
+pub type CrossAxis = (String, Option<CrossTrafficSpec>);
+
+/// Declarative description of an experiment grid.
+///
+/// ```
+/// use ampom_core::sweep::SweepSpec;
+/// use ampom_core::experiment::WorkloadSpec;
+/// use ampom_sim::time::SimDuration;
+///
+/// let report = SweepSpec::new()
+///     .workload(WorkloadSpec::Sequential {
+///         pages: 256,
+///         cpu: SimDuration::from_micros(10),
+///     })
+///     .repeats(2)
+///     .run()
+///     .unwrap();
+/// assert_eq!(report.cells.len(), 3); // the three evaluated schemes
+/// ```
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    schemes: Vec<Scheme>,
+    workloads: Vec<WorkloadSpec>,
+    links: Vec<LinkAxis>,
+    cross: Vec<CrossAxis>,
+    repeats: u32,
+    threads: Option<usize>,
+    seed_mode: SeedMode,
+    ampom: AmpomConfig,
+}
+
+impl Default for SweepSpec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepSpec {
+    /// An empty grid over the paper's three evaluated schemes, the
+    /// standard cluster LAN, and a quiet network. Add workloads before
+    /// running.
+    pub fn new() -> Self {
+        SweepSpec {
+            schemes: Scheme::EVALUATED.to_vec(),
+            workloads: Vec::new(),
+            links: vec![(
+                "fast-ethernet".into(),
+                ampom_net::calibration::fast_ethernet(),
+            )],
+            cross: vec![("quiet".into(), None)],
+            repeats: 1,
+            threads: None,
+            seed_mode: SeedMode::Grid { base_seed: 0x5EED },
+            ampom: AmpomConfig::default(),
+        }
+    }
+
+    /// Replaces the scheme axis.
+    pub fn schemes(mut self, schemes: impl Into<Vec<Scheme>>) -> Self {
+        self.schemes = schemes.into();
+        self
+    }
+
+    /// Appends one workload to the workload axis.
+    pub fn workload(mut self, spec: WorkloadSpec) -> Self {
+        self.workloads.push(spec);
+        self
+    }
+
+    /// Replaces the workload axis.
+    pub fn workloads(mut self, specs: impl Into<Vec<WorkloadSpec>>) -> Self {
+        self.workloads = specs.into();
+        self
+    }
+
+    /// Replaces the link axis (first call with a real axis should clear
+    /// the default by passing the full set).
+    pub fn links(mut self, links: impl Into<Vec<LinkAxis>>) -> Self {
+        self.links = links.into();
+        self
+    }
+
+    /// Appends one labelled link to the link axis.
+    pub fn link(mut self, label: impl Into<String>, link: LinkConfig) -> Self {
+        self.links.push((label.into(), link));
+        self
+    }
+
+    /// Replaces the cross-traffic axis.
+    pub fn cross_traffic(mut self, cross: impl Into<Vec<CrossAxis>>) -> Self {
+        self.cross = cross.into();
+        self
+    }
+
+    /// Repeats per cell (confidence intervals need ≥ 2).
+    pub fn repeats(mut self, n: u32) -> Self {
+        self.repeats = n;
+        self
+    }
+
+    /// Pins the worker-thread count (default: one per core).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = Some(n);
+        self
+    }
+
+    /// Grid-derived seeding from `base_seed` (the default mode).
+    pub fn seed(mut self, base_seed: u64) -> Self {
+        self.seed_mode = SeedMode::Grid { base_seed };
+        self
+    }
+
+    /// One fixed seed for every cell.
+    pub fn fixed_seed(mut self, seed: u64) -> Self {
+        self.seed_mode = SeedMode::Fixed(seed);
+        self
+    }
+
+    /// AMPoM tunables applied to every AMPoM cell.
+    pub fn ampom(mut self, ampom: AmpomConfig) -> Self {
+        self.ampom = ampom;
+        self
+    }
+
+    /// Checks every axis and knob; called by the run entry points.
+    pub fn validate(&self) -> Result<(), AmpomError> {
+        for (axis, empty) in [
+            ("schemes", self.schemes.is_empty()),
+            ("workloads", self.workloads.is_empty()),
+            ("links", self.links.is_empty()),
+            ("cross_traffic", self.cross.is_empty()),
+        ] {
+            if empty {
+                return Err(AmpomError::EmptySweep(axis.into()));
+            }
+        }
+        if self.repeats == 0 {
+            return Err(AmpomError::InvalidConfig(
+                "repeats must be at least 1".into(),
+            ));
+        }
+        if self.threads == Some(0) {
+            return Err(AmpomError::InvalidConfig(
+                "threads must be at least 1 (or unset for auto)".into(),
+            ));
+        }
+        self.ampom.validate()?;
+        for spec in &self.workloads {
+            spec.validate()?;
+        }
+        for (label, link) in &self.links {
+            if link.capacity_bytes_per_sec == 0 {
+                return Err(AmpomError::LinkDown(format!(
+                    "link axis entry '{label}' has 0 capacity"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of cells in the grid.
+    pub fn cell_count(&self) -> usize {
+        self.workloads.len() * self.links.len() * self.cross.len() * self.schemes.len()
+    }
+
+    /// Number of individual runs (cells × repeats).
+    pub fn run_count(&self) -> usize {
+        self.cell_count() * self.repeats as usize
+    }
+
+    /// The seed for a given (workload index, repeat) coordinate.
+    pub fn seed_for(&self, workload_idx: usize, repeat: u32) -> u64 {
+        match self.seed_mode {
+            SeedMode::Fixed(s) => s,
+            SeedMode::Grid { base_seed } => SimRng::seed_from_u64(base_seed)
+                .fork(workload_idx as u64)
+                .fork(u64::from(repeat))
+                .base_seed(),
+        }
+    }
+
+    /// Enumerates the grid in deterministic (workload, link, cross,
+    /// scheme) order as ready-to-run experiments, one per cell.
+    fn cells(&self) -> Vec<CellCoord> {
+        let mut out = Vec::with_capacity(self.cell_count());
+        for (w_idx, spec) in self.workloads.iter().enumerate() {
+            for (link_label, link) in &self.links {
+                for (cross_label, cross) in &self.cross {
+                    for &scheme in &self.schemes {
+                        let mut exp = Experiment::new(scheme)
+                            .workload(spec.clone())
+                            .link(*link)
+                            .ampom(self.ampom.clone())
+                            .repeats(self.repeats);
+                        if let Some(ct) = cross {
+                            exp = exp.cross_traffic(*ct);
+                        }
+                        out.push(CellCoord {
+                            scheme,
+                            workload: spec.label(),
+                            workload_idx: w_idx,
+                            link: link_label.clone(),
+                            cross: cross_label.clone(),
+                            exp,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Runs the grid on the default thread count with no progress hook.
+    pub fn run(&self) -> Result<SweepReport, AmpomError> {
+        self.run_with_progress(|_| {})
+    }
+
+    /// Runs the grid strictly serially on the calling thread — the
+    /// reference for the determinism guarantee.
+    pub fn run_serial(&self) -> Result<SweepReport, AmpomError> {
+        self.validate()?;
+        let cells = self.cells();
+        let jobs = self.jobs(&cells);
+        let results: Vec<Result<RunReport, AmpomError>> = jobs
+            .into_iter()
+            .map(|job| self.execute(&cells, job))
+            .collect();
+        self.assemble(cells, results, 1)
+    }
+
+    /// Runs the grid in parallel, invoking `progress` after every
+    /// completed run (from worker threads; the hook must be `Sync`).
+    pub fn run_with_progress(
+        &self,
+        progress: impl Fn(Progress) + Sync,
+    ) -> Result<SweepReport, AmpomError> {
+        self.validate()?;
+        let cells = self.cells();
+        let jobs = self.jobs(&cells);
+        let total = jobs.len();
+        let threads = self
+            .threads
+            .unwrap_or_else(default_threads)
+            .clamp(1, total.max(1));
+        let completed = AtomicUsize::new(0);
+        let results = par_map_with(Some(threads), jobs, |job| {
+            let report = self.execute(&cells, job);
+            let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+            let cell = &cells[job.cell_idx];
+            progress(Progress {
+                completed: done,
+                total,
+                scheme: cell.scheme,
+                workload: &cell.workload,
+                link: &cell.link,
+                repeat: job.repeat,
+            });
+            report
+        });
+        self.assemble(cells, results, threads)
+    }
+
+    fn jobs(&self, cells: &[CellCoord]) -> Vec<Job> {
+        let mut jobs = Vec::with_capacity(cells.len() * self.repeats as usize);
+        for (cell_idx, _) in cells.iter().enumerate() {
+            for repeat in 0..self.repeats {
+                jobs.push(Job { cell_idx, repeat });
+            }
+        }
+        jobs
+    }
+
+    fn execute(&self, cells: &[CellCoord], job: Job) -> Result<RunReport, AmpomError> {
+        let cell = &cells[job.cell_idx];
+        let seed = self.seed_for(cell.workload_idx, job.repeat);
+        // The coordinate seed covers both the workload build and the
+        // run's stochastic elements; `run_repeat` would re-derive from
+        // the repeat index, so pin the final seed directly.
+        cell.exp.clone().seed(seed).run()
+    }
+
+    fn assemble(
+        &self,
+        cells: Vec<CellCoord>,
+        results: Vec<Result<RunReport, AmpomError>>,
+        threads_used: usize,
+    ) -> Result<SweepReport, AmpomError> {
+        let repeats = self.repeats as usize;
+        let mut iter = results.into_iter();
+        let mut out = Vec::with_capacity(cells.len());
+        for cell in cells {
+            let mut reports = Vec::with_capacity(repeats);
+            for _ in 0..repeats {
+                reports.push(iter.next().expect("one result per job")?);
+            }
+            let summary = CellSummary::from_reports(&reports);
+            out.push(SweepCell {
+                scheme: cell.scheme,
+                workload: cell.workload,
+                link: cell.link,
+                cross: cell.cross,
+                reports,
+                summary,
+            });
+        }
+        Ok(SweepReport {
+            cells: out,
+            threads_used,
+            repeats: self.repeats,
+        })
+    }
+}
+
+/// One enumerated grid cell (pre-seeding).
+#[derive(Debug, Clone)]
+struct CellCoord {
+    scheme: Scheme,
+    workload: String,
+    workload_idx: usize,
+    link: String,
+    cross: String,
+    exp: Experiment,
+}
+
+/// One unit of work: a cell coordinate plus a repeat index.
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    cell_idx: usize,
+    repeat: u32,
+}
+
+/// Progress callback payload: one completed run out of the grid total.
+#[derive(Debug, Clone, Copy)]
+pub struct Progress<'a> {
+    /// Runs completed so far (including this one).
+    pub completed: usize,
+    /// Total runs in the sweep.
+    pub total: usize,
+    /// Scheme of the completed run.
+    pub scheme: Scheme,
+    /// Workload label of the completed run.
+    pub workload: &'a str,
+    /// Link label of the completed run.
+    pub link: &'a str,
+    /// Repeat index of the completed run.
+    pub repeat: u32,
+}
+
+/// Aggregate statistics over one cell's repeats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSummary {
+    /// Number of repeats aggregated.
+    pub runs: usize,
+    /// Mean total execution time, seconds.
+    pub mean_total_s: f64,
+    /// Median (p50) total time, seconds.
+    pub p50_total_s: f64,
+    /// 90th-percentile total time, seconds.
+    pub p90_total_s: f64,
+    /// 99th-percentile total time, seconds.
+    pub p99_total_s: f64,
+    /// Half-width of the 95% confidence interval on the mean total time
+    /// (normal approximation); 0 with fewer than two repeats.
+    pub ci95_total_s: f64,
+    /// Mean page-fault requests (the Figure 7 metric).
+    pub mean_fault_requests: f64,
+    /// Mean pages prefetched.
+    pub mean_pages_prefetched: f64,
+    /// Mean freeze time, seconds (the Figure 5 metric).
+    pub mean_freeze_s: f64,
+}
+
+impl CellSummary {
+    fn from_reports(reports: &[RunReport]) -> Self {
+        let n = reports.len().max(1) as f64;
+        let totals: Vec<f64> = reports.iter().map(|r| r.total_time.as_secs_f64()).collect();
+        let mean = totals.iter().sum::<f64>() / n;
+        let var = if totals.len() > 1 {
+            totals.iter().map(|t| (t - mean).powi(2)).sum::<f64>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        let ci95 = if totals.len() > 1 {
+            1.96 * (var / n).sqrt()
+        } else {
+            0.0
+        };
+        CellSummary {
+            runs: reports.len(),
+            mean_total_s: mean,
+            p50_total_s: percentile(&totals, 0.50),
+            p90_total_s: percentile(&totals, 0.90),
+            p99_total_s: percentile(&totals, 0.99),
+            ci95_total_s: ci95,
+            mean_fault_requests: reports.iter().map(|r| r.fault_requests as f64).sum::<f64>() / n,
+            mean_pages_prefetched: reports
+                .iter()
+                .map(|r| r.pages_prefetched as f64)
+                .sum::<f64>()
+                / n,
+            mean_freeze_s: reports
+                .iter()
+                .map(|r| r.freeze_time.as_secs_f64())
+                .sum::<f64>()
+                / n,
+        }
+    }
+}
+
+/// Nearest-rank percentile of a sample (q in [0, 1]); 0 for an empty
+/// sample.
+pub fn percentile(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let rank = (q.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// One aggregated cell of a completed sweep.
+#[derive(Debug)]
+pub struct SweepCell {
+    /// Scheme of this cell.
+    pub scheme: Scheme,
+    /// Workload label.
+    pub workload: String,
+    /// Link label.
+    pub link: String,
+    /// Cross-traffic label.
+    pub cross: String,
+    /// Every repeat's full report, in repeat order.
+    pub reports: Vec<RunReport>,
+    /// Aggregates over the repeats.
+    pub summary: CellSummary,
+}
+
+/// The result of a completed sweep.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// Cells in deterministic (workload, link, cross, scheme) order.
+    pub cells: Vec<SweepCell>,
+    /// Worker threads the sweep ran on (1 for [`SweepSpec::run_serial`]).
+    pub threads_used: usize,
+    /// Repeats per cell.
+    pub repeats: u32,
+}
+
+impl SweepReport {
+    /// Digest over every run's [`RunReport::fingerprint`] in grid order.
+    /// Equal fingerprints ⇔ bit-identical sweep results.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = 0x5EED_u64;
+        for cell in &self.cells {
+            for report in &cell.reports {
+                let mut z = h ^ report.fingerprint().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                h = z ^ (z >> 31);
+            }
+        }
+        h
+    }
+
+    /// Finds a cell by scheme and workload label (first match across
+    /// links/cross axes).
+    pub fn find(&self, scheme: Scheme, workload: &str) -> Option<&SweepCell> {
+        self.cells
+            .iter()
+            .find(|c| c.scheme == scheme && c.workload == workload)
+    }
+
+    /// Total runs executed.
+    pub fn total_runs(&self) -> usize {
+        self.cells.iter().map(|c| c.reports.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampom_sim::time::SimDuration;
+
+    const CPU: SimDuration = SimDuration::from_micros(10);
+
+    fn small_spec() -> SweepSpec {
+        SweepSpec::new()
+            .workload(WorkloadSpec::Sequential {
+                pages: 128,
+                cpu: CPU,
+            })
+            .workload(WorkloadSpec::UniformRandom {
+                pages: 128,
+                touches: 512,
+                cpu: CPU,
+            })
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let out = par_map((0..100u64).collect::<Vec<_>>(), |x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_with_forced_threads_matches_serial() {
+        let items: Vec<u64> = (0..50).collect();
+        let serial = par_map_with(Some(1), items.clone(), |x| x * x);
+        let parallel = par_map_with(Some(4), items, |x| x * x);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn sweep_covers_the_full_grid() {
+        let report = small_spec().run().unwrap();
+        // 2 workloads × 1 link × 1 cross × 3 schemes.
+        assert_eq!(report.cells.len(), 6);
+        assert_eq!(report.total_runs(), 6);
+        assert!(report.find(Scheme::Ampom, "Sequential(128)").is_some());
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_serial() {
+        let spec = small_spec().repeats(2).threads(4);
+        let parallel = spec.run().unwrap();
+        let serial = spec.run_serial().unwrap();
+        assert_eq!(parallel.fingerprint(), serial.fingerprint());
+        assert_eq!(serial.threads_used, 1);
+    }
+
+    #[test]
+    fn schemes_share_the_reference_stream() {
+        // Grid seeding keys on (workload, repeat) only, so the stochastic
+        // workload must present the same stream to every scheme: the
+        // fault counts of NoPrefetch and AMPoM are comparable.
+        let report = small_spec().run().unwrap();
+        let nopf = report
+            .find(Scheme::NoPrefetch, "UniformRandom(128,512)")
+            .unwrap();
+        let ampom = report
+            .find(Scheme::Ampom, "UniformRandom(128,512)")
+            .unwrap();
+        assert_eq!(
+            nopf.reports[0].compute_time, ampom.reports[0].compute_time,
+            "same stream → same compute time"
+        );
+    }
+
+    #[test]
+    fn repeats_feed_percentiles_and_ci() {
+        let report = small_spec().repeats(3).run().unwrap();
+        let cell = report
+            .find(Scheme::Ampom, "UniformRandom(128,512)")
+            .unwrap();
+        assert_eq!(cell.summary.runs, 3);
+        assert!(cell.summary.p50_total_s > 0.0);
+        assert!(cell.summary.p99_total_s >= cell.summary.p50_total_s);
+        // Distinct repeat seeds → some spread → a non-zero interval.
+        assert!(cell.summary.ci95_total_s > 0.0);
+    }
+
+    #[test]
+    fn fixed_seed_repeats_are_identical() {
+        let report = small_spec().fixed_seed(42).repeats(2).run().unwrap();
+        let cell = report
+            .find(Scheme::Ampom, "UniformRandom(128,512)")
+            .unwrap();
+        assert_eq!(cell.reports[0].fingerprint(), cell.reports[1].fingerprint());
+        assert_eq!(cell.summary.ci95_total_s, 0.0);
+    }
+
+    #[test]
+    fn progress_hook_sees_every_run() {
+        let spec = small_spec().repeats(2).threads(3);
+        let seen = AtomicUsize::new(0);
+        let report = spec
+            .run_with_progress(|p| {
+                seen.fetch_add(1, Ordering::Relaxed);
+                assert!(p.completed <= p.total);
+                assert_eq!(p.total, 12);
+            })
+            .unwrap();
+        assert_eq!(seen.load(Ordering::Relaxed), report.total_runs());
+    }
+
+    #[test]
+    fn empty_axes_are_typed_errors() {
+        let err = SweepSpec::new().run().unwrap_err();
+        assert_eq!(err, AmpomError::EmptySweep("workloads".into()));
+        let err = small_spec().schemes(Vec::new()).run().unwrap_err();
+        assert_eq!(err, AmpomError::EmptySweep("schemes".into()));
+        let err = small_spec().repeats(0).run().unwrap_err();
+        assert!(matches!(err, AmpomError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.50), 2.0);
+        assert_eq!(percentile(&v, 0.99), 4.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+}

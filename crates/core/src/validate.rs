@@ -35,9 +35,9 @@ use ampom_workloads::memref::Workload;
 
 use crate::cluster::NetPath;
 use crate::deputy::{PAGE_SERVICE_COST, REQUEST_PARSE_COST};
-use crate::runner::PAGE_INSTALL_COST;
 use crate::migration::{perform_freeze, PreMigrationState, Scheme};
 use crate::runner::MINOR_FAULT_COST;
+use crate::runner::PAGE_INSTALL_COST;
 
 /// Result of an event-driven NoPrefetch run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,13 +62,27 @@ enum Ev {
     ReplyArrived { page: PageId },
 }
 
+/// Checks a link is usable for cross-validation; mirrors
+/// [`crate::runner::RunConfig::validate`]'s link rule.
+fn validate_link(link: &LinkConfig) -> Result<(), crate::error::AmpomError> {
+    if link.capacity_bytes_per_sec == 0 {
+        return Err(crate::error::AmpomError::LinkDown(
+            "link capacity is 0 bytes/s; no page could ever be served".into(),
+        ));
+    }
+    Ok(())
+}
+
 /// Runs `workload` under NoPrefetch with a from-scratch event-driven
 /// engine. Uses the same freeze mechanism (the freeze is closed-form in
-/// both implementations) but an independent execution phase.
+/// both implementations) but an independent execution phase. Returns
+/// [`crate::error::AmpomError::LinkDown`] for a zero-capacity link
+/// instead of dividing by zero inside the serialization arithmetic.
 pub fn run_noprefetch_event_driven<W: Workload + ?Sized>(
     workload: &mut W,
     link: LinkConfig,
-) -> ValidationReport {
+) -> Result<ValidationReport, crate::error::AmpomError> {
+    validate_link(&link)?;
     let layout = workload.layout().clone();
     let pre = PreMigrationState::new(layout.clone(), workload.allocation_pages());
     let mut path = NetPath::new(link);
@@ -144,18 +158,15 @@ pub fn run_noprefetch_event_driven<W: Workload + ?Sized>(
                 table.transfer_to_destination(page);
                 space.install(page);
                 // Install cost, then retry the faulted reference.
-                q.schedule(
-                    now + crate::runner::PAGE_INSTALL_COST,
-                    Ev::Advance,
-                );
+                q.schedule(now + crate::runner::PAGE_INSTALL_COST, Ev::Advance);
             }
         }
     }
 
-    ValidationReport {
+    Ok(ValidationReport {
         total_time: done_at.since(SimTime::ZERO),
         fault_requests,
-    }
+    })
 }
 
 /// Events of the AMPoM protocol.
@@ -268,11 +279,13 @@ pub fn run_ampom_event_driven<W: Workload + ?Sized>(
     workload: &mut W,
     link: LinkConfig,
     ampom: crate::prefetcher::AmpomConfig,
-) -> (SimDuration, u64, u64) {
+) -> Result<(SimDuration, u64, u64), crate::error::AmpomError> {
     use crate::prefetcher::AmpomPrefetcher;
     use ampom_net::calibration::AMPOM_ANALYSIS_COST;
     use std::collections::HashMap;
 
+    validate_link(&link)?;
+    let mut pf = AmpomPrefetcher::try_new(ampom)?;
     let layout = workload.layout().clone();
     let pre = PreMigrationState::new(layout.clone(), workload.allocation_pages());
     let mut path = NetPath::new(link);
@@ -293,7 +306,6 @@ pub fn run_ampom_event_driven<W: Workload + ?Sized>(
         dest_tx: 0,
     };
     let mut monitor = IndepMonitor::new(link);
-    let mut pf = AmpomPrefetcher::new(ampom);
     let mut deputy_free = SimTime::ZERO;
 
     let mut q: EventQueue<AmpomEv> = EventQueue::new();
@@ -334,8 +346,7 @@ pub fn run_ampom_event_driven<W: Workload + ?Sized>(
                     debug_assert_eq!(page, r.page);
                     debug_assert!(now >= until);
                     wait_until = None;
-                    let installed =
-                        install_staged(&mut staged, &mut in_flight, &mut space, now);
+                    let installed = install_staged(&mut staged, &mut in_flight, &mut space, now);
                     let t = now + PAGE_INSTALL_COST.saturating_mul(installed);
                     let hit = space.touch(r.page, r.write);
                     debug_assert_eq!(hit, TouchOutcome::Hit);
@@ -372,7 +383,9 @@ pub fn run_ampom_event_driven<W: Workload + ?Sized>(
                                 net.send_to_home(t1, NetPath::request_bytes(d.prefetch.len()));
                             q.schedule(
                                 arrive,
-                                AmpomEv::RequestAtHome { pages: d.prefetch.clone() },
+                                AmpomEv::RequestAtHome {
+                                    pages: d.prefetch.clone(),
+                                },
                             );
                             pages_prefetched += d.prefetch.len() as u64;
                         }
@@ -405,11 +418,13 @@ pub fn run_ampom_event_driven<W: Workload + ?Sized>(
                                 for p in &d.prefetch {
                                     in_flight.insert(*p, None);
                                 }
-                                let arrive = net
-                                    .send_to_home(t1, NetPath::request_bytes(d.prefetch.len()));
+                                let arrive =
+                                    net.send_to_home(t1, NetPath::request_bytes(d.prefetch.len()));
                                 q.schedule(
                                     arrive,
-                                    AmpomEv::RequestAtHome { pages: d.prefetch.clone() },
+                                    AmpomEv::RequestAtHome {
+                                        pages: d.prefetch.clone(),
+                                    },
                                 );
                                 pages_prefetched += d.prefetch.len() as u64;
                             }
@@ -420,11 +435,13 @@ pub fn run_ampom_event_driven<W: Workload + ?Sized>(
                                 for p in &d.prefetch {
                                     in_flight.insert(*p, None);
                                 }
-                                let arrive = net
-                                    .send_to_home(t1, NetPath::request_bytes(d.prefetch.len()));
+                                let arrive =
+                                    net.send_to_home(t1, NetPath::request_bytes(d.prefetch.len()));
                                 q.schedule(
                                     arrive,
-                                    AmpomEv::RequestAtHome { pages: d.prefetch.clone() },
+                                    AmpomEv::RequestAtHome {
+                                        pages: d.prefetch.clone(),
+                                    },
                                 );
                                 pages_prefetched += d.prefetch.len() as u64;
                             }
@@ -443,8 +460,7 @@ pub fn run_ampom_event_driven<W: Workload + ?Sized>(
                             }
                         } else {
                             fault_requests += 1;
-                            let mut pages: Vec<PageId> =
-                                Vec::with_capacity(d.prefetch.len() + 1);
+                            let mut pages: Vec<PageId> = Vec::with_capacity(d.prefetch.len() + 1);
                             pages.push(r.page);
                             pages.extend_from_slice(&d.prefetch);
                             for p in &pages {
@@ -464,9 +480,7 @@ pub fn run_ampom_event_driven<W: Workload + ?Sized>(
             AmpomEv::RequestAtHome { pages } => {
                 let mut start = now.max(deputy_free) + REQUEST_PARSE_COST;
                 for page in pages {
-                    if table.lookup(page)
-                        != Some(ampom_mem::table::PageLocation::Origin)
-                    {
+                    if table.lookup(page) != Some(ampom_mem::table::PageLocation::Origin) {
                         continue;
                     }
                     start += PAGE_SERVICE_COST;
@@ -491,7 +505,11 @@ pub fn run_ampom_event_driven<W: Workload + ?Sized>(
         }
     }
 
-    (done_at.since(SimTime::ZERO), fault_requests, pages_prefetched)
+    Ok((
+        done_at.since(SimTime::ZERO),
+        fault_requests,
+        pages_prefetched,
+    ))
 }
 
 fn utilization(cpu: SimDuration, now: SimTime, last_fault: SimTime) -> f64 {
@@ -528,6 +546,7 @@ fn install_staged(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::prefetcher::AmpomConfig;
     use crate::runner::{run_workload, RunConfig};
     use ampom_net::calibration::{broadband, fast_ethernet};
     use ampom_sim::rng::SimRng;
@@ -537,7 +556,7 @@ mod tests {
 
     fn cross_check(build: impl Fn() -> Box<dyn Workload>, link: LinkConfig) {
         let mut a = build();
-        let event_driven = run_noprefetch_event_driven(a.as_mut(), link);
+        let event_driven = run_noprefetch_event_driven(a.as_mut(), link).expect("valid link");
         let mut b = build();
         let cfg = RunConfig::new(Scheme::NoPrefetch).with_link(link);
         let process_centric = run_workload(b.as_mut(), &cfg);
@@ -559,14 +578,7 @@ mod tests {
     #[test]
     fn agrees_on_random_touches() {
         cross_check(
-            || {
-                Box::new(UniformRandom::new(
-                    128,
-                    700,
-                    CPU,
-                    SimRng::seed_from_u64(3),
-                ))
-            },
+            || Box::new(UniformRandom::new(128, 700, CPU, SimRng::seed_from_u64(3))),
             fast_ethernet(),
         );
     }
@@ -597,12 +609,16 @@ mod tests {
         use crate::prefetcher::AmpomConfig;
         let mut a = build();
         let (ed_total, ed_requests, ed_prefetched) =
-            super::run_ampom_event_driven(a.as_mut(), link, AmpomConfig::default());
+            super::run_ampom_event_driven(a.as_mut(), link, AmpomConfig::default())
+                .expect("valid link and config");
         let mut b = build();
         let cfg = RunConfig::new(Scheme::Ampom).with_link(link);
         let pc = run_workload(b.as_mut(), &cfg);
         assert_eq!(ed_requests, pc.fault_requests, "fault requests diverge");
-        assert_eq!(ed_prefetched, pc.pages_prefetched, "prefetch counts diverge");
+        assert_eq!(
+            ed_prefetched, pc.pages_prefetched,
+            "prefetch counts diverge"
+        );
         assert_eq!(ed_total, pc.total_time, "simulated clocks diverge");
     }
 
@@ -614,14 +630,7 @@ mod tests {
     #[test]
     fn ampom_agrees_on_random_touches() {
         cross_check_ampom(
-            || {
-                Box::new(UniformRandom::new(
-                    128,
-                    700,
-                    CPU,
-                    SimRng::seed_from_u64(3),
-                ))
-            },
+            || Box::new(UniformRandom::new(128, 700, CPU, SimRng::seed_from_u64(3))),
             fast_ethernet(),
         );
     }
@@ -638,5 +647,26 @@ mod tests {
     #[test]
     fn ampom_agrees_on_broadband() {
         cross_check_ampom(|| Box::new(Sequential::new(128, CPU)), broadband());
+    }
+
+    #[test]
+    fn dead_link_and_bad_config_return_errors() {
+        use crate::error::AmpomError;
+        let mut dead = fast_ethernet();
+        dead.capacity_bytes_per_sec = 0;
+        let mut w = Sequential::new(16, CPU);
+        assert!(matches!(
+            run_noprefetch_event_driven(&mut w, dead),
+            Err(AmpomError::LinkDown(_))
+        ));
+        let bad = AmpomConfig {
+            dmax: 0,
+            ..AmpomConfig::default()
+        };
+        let mut w2 = Sequential::new(16, CPU);
+        assert!(matches!(
+            run_ampom_event_driven(&mut w2, fast_ethernet(), bad),
+            Err(AmpomError::InvalidConfig(_))
+        ));
     }
 }

@@ -115,7 +115,12 @@ impl VmWorkload {
                 done: false,
                 workload: w,
             });
-            offset += procs.last().unwrap().workload.data_bytes().div_ceil(ampom_mem::PAGE_SIZE);
+            offset += procs
+                .last()
+                .unwrap()
+                .workload
+                .data_bytes()
+                .div_ceil(ampom_mem::PAGE_SIZE);
         }
         VmWorkload {
             layout,
@@ -294,14 +299,32 @@ pub fn run_vm(mut vm: VmWorkload, cfg: &RunConfig, analysis: VmAnalysis) -> VmRe
                 if space.is_resident(r.page) {
                     if !prefetch.is_empty() {
                         prefetch_only_requests += 1;
-                        send(&prefetch, None, now, &mut path, &mut deputy, &mut table,
-                             &mut in_flight, &mut staged, &mut pages_prefetched);
+                        send(
+                            &prefetch,
+                            None,
+                            now,
+                            &mut path,
+                            &mut deputy,
+                            &mut table,
+                            &mut in_flight,
+                            &mut staged,
+                            &mut pages_prefetched,
+                        );
                     }
                 } else if let Some(&arrival) = in_flight.get(&r.page) {
                     if !prefetch.is_empty() {
                         prefetch_only_requests += 1;
-                        send(&prefetch, None, now, &mut path, &mut deputy, &mut table,
-                             &mut in_flight, &mut staged, &mut pages_prefetched);
+                        send(
+                            &prefetch,
+                            None,
+                            now,
+                            &mut path,
+                            &mut deputy,
+                            &mut table,
+                            &mut in_flight,
+                            &mut staged,
+                            &mut pages_prefetched,
+                        );
                     }
                     if arrival > now {
                         stall_time += arrival.since(now);
@@ -311,8 +334,17 @@ pub fn run_vm(mut vm: VmWorkload, cfg: &RunConfig, analysis: VmAnalysis) -> VmRe
                 } else {
                     fault_requests += 1;
                     pages_demand += 1;
-                    send(&prefetch, Some(r.page), now, &mut path, &mut deputy, &mut table,
-                         &mut in_flight, &mut staged, &mut pages_prefetched);
+                    send(
+                        &prefetch,
+                        Some(r.page),
+                        now,
+                        &mut path,
+                        &mut deputy,
+                        &mut table,
+                        &mut in_flight,
+                        &mut staged,
+                        &mut pages_prefetched,
+                    );
                     let arrival = in_flight[&r.page];
                     stall_time += arrival.since(now);
                     now = arrival;
@@ -345,7 +377,11 @@ pub fn run_vm(mut vm: VmWorkload, cfg: &RunConfig, analysis: VmAnalysis) -> VmRe
             score_sum += s.scores.mean() * s.scores.count() as f64;
             score_n += s.scores.count();
         }
-        let mean = if score_n == 0 { 0.0 } else { score_sum / score_n as f64 };
+        let mean = if score_n == 0 {
+            0.0
+        } else {
+            score_sum / score_n as f64
+        };
         (merged.analyses, merged, mean)
     };
 
@@ -503,9 +539,7 @@ mod tests {
         );
         assert!(per_proc.mean_score > shared.mean_score + 0.3);
         // The blind shared window degenerates to demand paging.
-        assert!(
-            shared.report.fault_requests as f64 > 0.9 * nopf.report.fault_requests as f64
-        );
+        assert!(shared.report.fault_requests as f64 > 0.9 * nopf.report.fault_requests as f64);
         assert!(per_proc.report.total_time < nopf.report.total_time);
     }
 
@@ -552,7 +586,11 @@ mod tests {
 
     #[test]
     fn vm_freeze_is_lightweight() {
-        let r = run_vm(vm_of(4, 100, 2), &RunConfig::new(Scheme::Ampom), VmAnalysis::PerProcess);
+        let r = run_vm(
+            vm_of(4, 100, 2),
+            &RunConfig::new(Scheme::Ampom),
+            VmAnalysis::PerProcess,
+        );
         assert!(r.report.freeze_time < SimDuration::from_millis(200));
         assert!(r.report.mpt_bytes > 0);
     }

@@ -134,11 +134,7 @@ impl LookbackWindow {
         if !self.is_full() {
             return None;
         }
-        let span = self
-            .newest()?
-            .time
-            .since(self.oldest()?.time)
-            .as_secs_f64();
+        let span = self.newest()?.time.since(self.oldest()?.time).as_secs_f64();
         (span > 0.0).then(|| self.capacity as f64 / span)
     }
 

@@ -203,14 +203,19 @@ mod tests {
         // quota is spent on pages beyond the overlap.
         use crate::census::OutstandingStream;
         let streams = [
-            OutstandingStream { end_page: 9, d: 1, pivot: 10 },
-            OutstandingStream { end_page: 9, d: 2, pivot: 10 },
+            OutstandingStream {
+                end_page: 9,
+                d: 1,
+                pivot: 10,
+            },
+            OutstandingStream {
+                end_page: 9,
+                d: 2,
+                pivot: 10,
+            },
         ];
         let zone = select_zone(&streams, 4, PageId(9), PageId(1_000));
-        assert_eq!(
-            zone,
-            vec![PageId(10), PageId(11), PageId(12), PageId(13)]
-        );
+        assert_eq!(zone, vec![PageId(10), PageId(11), PageId(12), PageId(13)]);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! production implementation against it on random windows.
 
 use ampom_core::census::{census, Census};
-use proptest::prelude::*;
+use ampom_sim::propcheck::{forall, Gen};
 
 /// Reference: for each position p (0-based), the minimal d ≥ 1 with
 /// `pages[p + d] == pages[p] + 1`, capped at `dmax`.
@@ -55,82 +55,111 @@ fn reference_outstanding(pages: &[u64], dmax: usize) -> Vec<u64> {
         .collect()
 }
 
-fn window_strategy() -> impl Strategy<Value = Vec<u64>> {
-    // Small page universe to force collisions, stride chains and
-    // duplicates; windows up to 24 entries (the paper uses 20).
-    prop::collection::vec(0u64..40, 0..24)
+/// Small page universe to force collisions, stride chains and
+/// duplicates; windows up to 24 entries (the paper uses 20).
+fn random_window(g: &mut Gen) -> Vec<u64> {
+    g.vec_u64(0..24, 0..40)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
+fn random_dmax(g: &mut Gen) -> usize {
+    g.usize(1..6)
+}
 
-    #[test]
-    fn stride_counts_match_reference(pages in window_strategy(), dmax in 1usize..6) {
+#[test]
+fn stride_counts_match_reference() {
+    forall("stride-counts", 512, |g| {
+        let pages = random_window(g);
+        let dmax = random_dmax(g);
         let got: Census = census(&pages, dmax);
         let want = reference_stride_counts(&pages, dmax);
-        prop_assert_eq!(got.stride_counts, want);
-    }
+        assert_eq!(got.stride_counts, want);
+    });
+}
 
-    #[test]
-    fn outstanding_pivots_match_reference(pages in window_strategy(), dmax in 1usize..6) {
+#[test]
+fn outstanding_pivots_match_reference() {
+    forall("outstanding-pivots", 512, |g| {
+        let pages = random_window(g);
+        let dmax = random_dmax(g);
         let got = census(&pages, dmax);
         let mut got_pivots: Vec<u64> = got.outstanding.iter().map(|o| o.pivot).collect();
         let mut want = reference_outstanding(&pages, dmax);
         got_pivots.sort_unstable();
         want.sort_unstable();
-        prop_assert_eq!(got_pivots, want);
-    }
+        assert_eq!(got_pivots, want);
+    });
+}
 
-    #[test]
-    fn links_are_minimal_distance(pages in window_strategy(), dmax in 1usize..6) {
+#[test]
+fn links_are_minimal_distance() {
+    forall("minimal-links", 512, |g| {
+        let pages = random_window(g);
+        let dmax = random_dmax(g);
         let got = census(&pages, dmax);
         for link in &got.links {
             // The link target really is the successor page.
-            prop_assert_eq!(pages[link.end], pages[link.start] + 1);
-            prop_assert_eq!(link.d, link.end - link.start);
+            assert_eq!(pages[link.end], pages[link.start] + 1);
+            assert_eq!(link.d, link.end - link.start);
             // No closer occurrence of the successor exists.
             for between in (link.start + 1)..link.end {
-                prop_assert_ne!(pages[between], pages[link.start] + 1);
+                assert_ne!(pages[between], pages[link.start] + 1);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn score_is_always_in_unit_interval(pages in window_strategy(), dmax in 1usize..6) {
+#[test]
+fn score_is_always_in_unit_interval() {
+    forall("score-unit-interval", 512, |g| {
+        let pages = random_window(g);
+        let dmax = random_dmax(g);
         let got = census(&pages, dmax);
         let s = ampom_core::score::spatial_score(&got);
-        prop_assert!((0.0..=1.0).contains(&s));
-    }
+        assert!((0.0..=1.0).contains(&s));
+    });
+}
 
-    #[test]
-    fn sequential_windows_score_one(start in 0u64..1000, len in 2usize..24) {
+#[test]
+fn sequential_windows_score_one() {
+    forall("sequential-score-one", 256, |g| {
+        let start = g.u64(0..1000);
+        let len = g.usize(2..24);
         let pages: Vec<u64> = (start..start + len as u64).collect();
         let got = census(&pages, 4);
         let s = ampom_core::score::spatial_score(&got);
-        prop_assert!((s - 1.0).abs() < 1e-12);
+        assert!((s - 1.0).abs() < 1e-12);
         // Exactly one outstanding stream: the live run.
-        prop_assert_eq!(got.outstanding.len(), 1);
-        prop_assert_eq!(got.outstanding[0].pivot, start + len as u64);
-    }
+        assert_eq!(got.outstanding.len(), 1);
+        assert_eq!(got.outstanding[0].pivot, start + len as u64);
+    });
+}
 
-    #[test]
-    fn reversed_sequential_scores_zero(start in 100u64..1000, len in 2usize..24) {
+#[test]
+fn reversed_sequential_scores_zero() {
+    forall("reversed-score-zero", 256, |g| {
+        let start = g.u64(100..1000);
+        let len = g.usize(2..24);
         // Descending pages have no successor links at all.
         let pages: Vec<u64> = (start..start + len as u64).rev().collect();
         let got = census(&pages, 4);
-        prop_assert!(got.links.is_empty());
-        prop_assert_eq!(ampom_core::score::spatial_score(&got), 0.0);
-    }
+        assert!(got.links.is_empty());
+        assert_eq!(ampom_core::score::spatial_score(&got), 0.0);
+    });
+}
 
-    #[test]
-    fn census_is_translation_invariant(pages in window_strategy(), offset in 0u64..100_000, dmax in 1usize..6) {
+#[test]
+fn census_is_translation_invariant() {
+    forall("translation-invariant", 512, |g| {
+        let pages = random_window(g);
+        let offset = g.u64(0..100_000);
+        let dmax = random_dmax(g);
         let shifted: Vec<u64> = pages.iter().map(|p| p + offset).collect();
         let a = census(&pages, dmax);
         let b = census(&shifted, dmax);
-        prop_assert_eq!(a.stride_counts, b.stride_counts);
-        prop_assert_eq!(a.links.len(), b.links.len());
+        assert_eq!(a.stride_counts, b.stride_counts);
+        assert_eq!(a.links.len(), b.links.len());
         let pa: Vec<u64> = a.outstanding.iter().map(|o| o.pivot + offset).collect();
         let pb: Vec<u64> = b.outstanding.iter().map(|o| o.pivot).collect();
-        prop_assert_eq!(pa, pb);
-    }
+        assert_eq!(pa, pb);
+    });
 }

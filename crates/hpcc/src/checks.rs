@@ -6,11 +6,10 @@
 //! are deliberately loose (this is a simulator, not the authors'
 //! testbed); each band is justified in EXPERIMENTS.md.
 
+use ampom_core::experiment::{Experiment, WorkloadSpec};
 use ampom_core::migration::Scheme;
-use ampom_core::runner::{run_workload, RunConfig};
-use ampom_workloads::dgemm::DgemmSmallWs;
 use ampom_workloads::sizes::ProblemSize;
-use ampom_workloads::{build_kernel, Kernel};
+use ampom_workloads::Kernel;
 
 use crate::matrix::{par_map, MATRIX_SEED};
 use crate::report::AsciiTable;
@@ -45,9 +44,16 @@ pub fn run_checklist(quick: bool) -> Vec<Claim> {
             (Kernel::RandomAccess, ra_mb, Scheme::NoPrefetch),
         ],
         |(kernel, mb, scheme)| {
-            let size = ProblemSize { problem: 0, memory_mb: mb };
-            let mut w = build_kernel(kernel, &size, MATRIX_SEED);
-            (kernel, scheme, run_workload(w.as_mut(), &RunConfig::new(scheme)))
+            let size = ProblemSize {
+                problem: 0,
+                memory_mb: mb,
+            };
+            let r = Experiment::new(scheme)
+                .kernel(kernel, size)
+                .workload_seed(MATRIX_SEED)
+                .run()
+                .expect("checklist experiment is valid");
+            (kernel, scheme, r)
         },
     );
     let get = |kernel, scheme| {
@@ -63,8 +69,7 @@ pub fn run_checklist(quick: bool) -> Vec<Claim> {
     let nopf = get(Kernel::Dgemm, Scheme::NoPrefetch);
 
     // §Abstract: "AMPoM can avoid 98% of migration freeze time".
-    let freeze_avoided =
-        1.0 - ampom.freeze_time.as_secs_f64() / eager.freeze_time.as_secs_f64();
+    let freeze_avoided = 1.0 - ampom.freeze_time.as_secs_f64() / eager.freeze_time.as_secs_f64();
     claims.push(Claim {
         source: "abstract",
         statement: "AMPoM avoids ~98% of openMosix's freeze time".into(),
@@ -142,14 +147,21 @@ pub fn run_checklist(quick: bool) -> Vec<Claim> {
 
     // Fig 10: small working sets favour AMPoM.
     let (alloc, ws) = if quick { (16u64, 4u64) } else { (575, 115) };
-    let fig10 = par_map(
-        vec![Scheme::OpenMosix, Scheme::Ampom],
-        move |scheme| {
-            let mut w = DgemmSmallWs::new(alloc * 1024 * 1024, ws * 1024 * 1024);
-            (scheme, run_workload(&mut w, &RunConfig::new(scheme)))
-        },
-    );
-    let small_eager = &fig10.iter().find(|(s, _)| *s == Scheme::OpenMosix).unwrap().1;
+    let fig10 = par_map(vec![Scheme::OpenMosix, Scheme::Ampom], move |scheme| {
+        let r = Experiment::new(scheme)
+            .workload(WorkloadSpec::DgemmSmallWs {
+                alloc_bytes: alloc * 1024 * 1024,
+                working_bytes: ws * 1024 * 1024,
+            })
+            .run()
+            .expect("fig10 checklist experiment is valid");
+        (scheme, r)
+    });
+    let small_eager = &fig10
+        .iter()
+        .find(|(s, _)| *s == Scheme::OpenMosix)
+        .unwrap()
+        .1;
     let small_ampom = &fig10.iter().find(|(s, _)| *s == Scheme::Ampom).unwrap().1;
     let saved = -small_ampom.exec_increase_vs(small_eager);
     claims.push(Claim {

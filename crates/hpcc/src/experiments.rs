@@ -1,16 +1,12 @@
 //! One function per paper table/figure, each returning the ASCII tables
 //! that regenerate it.
 
+use ampom_core::experiment::{Experiment, WorkloadSpec};
 use ampom_core::migration::Scheme;
-use ampom_core::runner::{run_workload, RunConfig};
 use ampom_net::calibration::{broadband, fast_ethernet};
 use ampom_sim::trace::TraceKind;
-use ampom_workloads::dgemm::DgemmSmallWs;
 use ampom_workloads::locality::analyze;
-use ampom_workloads::sizes::{
-    ProblemSize, DGEMM_SIZES, RANDOM_ACCESS_FFT_SIZES, STREAM_SIZES,
-};
-use ampom_workloads::synthetic::Sequential;
+use ampom_workloads::sizes::{ProblemSize, DGEMM_SIZES, RANDOM_ACCESS_FFT_SIZES, STREAM_SIZES};
 use ampom_workloads::{build_kernel, Kernel};
 
 use crate::matrix::{find, par_map, Cell, MATRIX_SEED};
@@ -50,15 +46,23 @@ pub fn table1() -> AsciiTable {
 pub fn fig2() -> (AsciiTable, Vec<(String, String)>) {
     let schemes = [Scheme::OpenMosix, Scheme::Ffa, Scheme::Ampom];
     let results = par_map(schemes.to_vec(), |scheme| {
-        let mut w = Sequential::new(2048, ampom_sim::time::SimDuration::from_micros(20));
-        let cfg = RunConfig::new(scheme).with_trace();
-        let r = run_workload(&mut w, &cfg);
+        let r = Experiment::new(scheme)
+            .sequential(2048, ampom_sim::time::SimDuration::from_micros(20))
+            .trace()
+            .run()
+            .expect("fig2 experiment is valid");
         (scheme, r)
     });
 
     let mut t = AsciiTable::new(
         "Figure 2: migration mechanisms (2048-page sequential migrant)",
-        &["scheme", "freeze (s)", "resume at (s)", "first fault (s)", "done (s)"],
+        &[
+            "scheme",
+            "freeze (s)",
+            "resume at (s)",
+            "first fault (s)",
+            "done (s)",
+        ],
     );
     let mut timelines = Vec::new();
     for (scheme, r) in &results {
@@ -99,7 +103,10 @@ pub fn fig2() -> (AsciiTable, Vec<(String, String)>) {
 /// reference stream; temporal axis: reuse fraction.
 pub fn fig4(quick: bool) -> AsciiTable {
     let mb = if quick { 4 } else { 64 };
-    let size = ProblemSize { problem: 0, memory_mb: mb };
+    let size = ProblemSize {
+        problem: 0,
+        memory_mb: mb,
+    };
     let rows = par_map(Kernel::ALL.to_vec(), |kernel| {
         let w = build_kernel(kernel, &size, MATRIX_SEED);
         let a = analyze(w);
@@ -107,7 +114,12 @@ pub fn fig4(quick: bool) -> AsciiTable {
     });
     let mut t = AsciiTable::new(
         format!("Figure 4: measured kernel localities ({mb} MB streams)"),
-        &["kernel", "spatial (successor frac)", "temporal (reuse frac)", "quadrant (relative)"],
+        &[
+            "kernel",
+            "spatial (successor frac)",
+            "temporal (reuse frac)",
+            "quadrant (relative)",
+        ],
     );
     // The paper's quadrant is relative: it ranks the four kernels against
     // each other, so the thresholds are the medians of the measured set.
@@ -188,7 +200,13 @@ pub fn fig7(cells: &[Cell]) -> Vec<AsciiTable> {
 pub fn fig8(cells: &[Cell]) -> AsciiTable {
     let mut t = AsciiTable::new(
         "Figure 8: prefetched pages per page fault (AMPoM)",
-        &["kernel", "MB", "mean zone budget", "prefetched/request", "mean S"],
+        &[
+            "kernel",
+            "MB",
+            "mean zone budget",
+            "prefetched/request",
+            "mean S",
+        ],
     );
     for kernel in Kernel::ALL {
         for c in cells
@@ -220,9 +238,16 @@ pub fn fig9(quick: bool) -> AsciiTable {
         }
     }
     let results = par_map(specs, |(kernel, mb, label, link, scheme)| {
-        let size = ProblemSize { problem: 0, memory_mb: mb };
-        let mut w = build_kernel(kernel, &size, MATRIX_SEED);
-        let r = run_workload(w.as_mut(), &RunConfig::new(scheme).with_link(link));
+        let size = ProblemSize {
+            problem: 0,
+            memory_mb: mb,
+        };
+        let r = Experiment::new(scheme)
+            .kernel(kernel, size)
+            .link(link)
+            .workload_seed(MATRIX_SEED)
+            .run()
+            .expect("fig9 experiment is valid");
         (kernel, mb, label, scheme, r)
     });
     let mut t = AsciiTable::new(
@@ -234,9 +259,7 @@ pub fn fig9(quick: bool) -> AsciiTable {
             let pick = |scheme: Scheme| {
                 &results
                     .iter()
-                    .find(|(k, m, l, s, _)| {
-                        *k == kernel && *m == mb && *l == label && *s == scheme
-                    })
+                    .find(|(k, m, l, s, _)| *k == kernel && *m == mb && *l == label && *s == scheme)
                     .expect("run present")
                     .4
             };
@@ -268,13 +291,23 @@ pub fn fig10(quick: bool) -> AsciiTable {
         }
     }
     let results = par_map(specs, |(ws, scheme)| {
-        let mut w = DgemmSmallWs::new(alloc_mb * 1024 * 1024, ws * 1024 * 1024);
-        let r = run_workload(&mut w, &RunConfig::new(scheme));
+        let r = Experiment::new(scheme)
+            .workload(WorkloadSpec::DgemmSmallWs {
+                alloc_bytes: alloc_mb * 1024 * 1024,
+                working_bytes: ws * 1024 * 1024,
+            })
+            .run()
+            .expect("fig10 experiment is valid");
         (ws, scheme, r)
     });
     let mut t = AsciiTable::new(
         format!("Figure 10: small working sets ({alloc_mb} MB allocated DGEMM)"),
-        &["working set (MB)", "openMosix (s)", "AMPoM (s)", "AMPoM saves"],
+        &[
+            "working set (MB)",
+            "openMosix (s)",
+            "AMPoM (s)",
+            "AMPoM saves",
+        ],
     );
     for &ws in &ws_list {
         let pick = |scheme: Scheme| {
@@ -318,6 +351,98 @@ pub fn fig11(cells: &[Cell]) -> AsciiTable {
         }
     }
     t
+}
+
+/// The parallel sweep demo: the paper's full scheme × kernel × size grid
+/// expressed as one [`SweepSpec`](ampom_core::sweep::SweepSpec), executed
+/// serially and in parallel, with the bit-identical-results check and the
+/// wall-clock speedup reported. Returns `(grid table, engine table)`.
+pub fn parsweep(quick: bool) -> (AsciiTable, AsciiTable) {
+    use ampom_core::sweep::SweepSpec;
+    use std::time::Instant;
+
+    let sizes: Vec<u64> = if quick {
+        vec![2, 4, 8]
+    } else {
+        vec![16, 32, 64]
+    };
+    let mut workloads = Vec::new();
+    for kernel in Kernel::ALL {
+        for &mb in &sizes {
+            workloads.push(WorkloadSpec::kernel(
+                kernel,
+                ProblemSize {
+                    problem: 0,
+                    memory_mb: mb,
+                },
+            ));
+        }
+    }
+    let spec = SweepSpec::new()
+        .workloads(workloads)
+        .fixed_seed(MATRIX_SEED);
+
+    let t0 = Instant::now();
+    let parallel = spec.run().expect("sweep spec is valid");
+    let parallel_wall = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let serial = spec.run_serial().expect("sweep spec is valid");
+    let serial_wall = t0.elapsed().as_secs_f64();
+    let identical = parallel.fingerprint() == serial.fingerprint();
+
+    let mut grid = AsciiTable::new(
+        format!(
+            "Parallel sweep: {} cells (schemes x kernels x sizes), {} threads",
+            parallel.cells.len(),
+            parallel.threads_used
+        ),
+        &[
+            "workload",
+            "scheme",
+            "total (s)",
+            "freeze (s)",
+            "fault requests",
+        ],
+    );
+    for cell in &parallel.cells {
+        grid.row(vec![
+            cell.workload.clone(),
+            cell.scheme.name().into(),
+            secs(cell.summary.mean_total_s),
+            secs(cell.summary.mean_freeze_s),
+            format!("{:.0}", cell.summary.mean_fault_requests),
+        ]);
+    }
+
+    let mut engine = AsciiTable::new("Sweep engine: parallel vs serial", &["metric", "value"]);
+    engine.row(vec!["runs".into(), parallel.total_runs().to_string()]);
+    engine.row(vec![
+        "worker threads".into(),
+        parallel.threads_used.to_string(),
+    ]);
+    engine.row(vec![
+        "parallel wall (s)".into(),
+        format!("{parallel_wall:.2}"),
+    ]);
+    engine.row(vec!["serial wall (s)".into(), format!("{serial_wall:.2}")]);
+    engine.row(vec![
+        "speedup".into(),
+        if parallel_wall > 0.0 {
+            format!("{:.2}x", serial_wall / parallel_wall)
+        } else {
+            "-".into()
+        },
+    ]);
+    engine.row(vec![
+        "bit-identical".into(),
+        if identical {
+            "yes".into()
+        } else {
+            "NO (BUG)".into()
+        },
+    ]);
+    assert!(identical, "parallel sweep diverged from serial reference");
+    (grid, engine)
 }
 
 /// Builds one table per kernel with a `MB | AMPoM | openMosix | NoPrefetch`
@@ -402,8 +527,14 @@ RandomAccess & FFT,8000 11000 16000 23000,65 129 260 513
         // high/high corner (the paper's Figure 4 placement).
         let ra_line = s.lines().find(|l| l.contains("RandomAccess")).unwrap();
         assert!(ra_line.contains("spatial:low"), "{ra_line}");
-        let dgemm_line = s.lines().find(|l| l.starts_with("DGEMM") || l.contains(" DGEMM ")).unwrap();
-        assert!(dgemm_line.contains("spatial:high temporal:high"), "{dgemm_line}");
+        let dgemm_line = s
+            .lines()
+            .find(|l| l.starts_with("DGEMM") || l.contains(" DGEMM "))
+            .unwrap();
+        assert!(
+            dgemm_line.contains("spatial:high temporal:high"),
+            "{dgemm_line}"
+        );
     }
 
     #[test]

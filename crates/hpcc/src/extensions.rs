@@ -10,12 +10,13 @@
 //! * [`ext_accuracy`] — prefetch accuracy (wasted-prefetch check),
 //! * [`sweep`] — sensitivity of AMPoM's knobs on STREAM and RandomAccess.
 
+use ampom_cluster::{simulate, BalancePolicy, ClusterConfig};
+use ampom_core::experiment::Experiment;
 use ampom_core::migration::Scheme;
 use ampom_core::prefetcher::AmpomConfig;
 use ampom_core::remigration::run_round_trip;
-use ampom_core::runner::{run_workload, RunConfig, SyscallProfile};
+use ampom_core::runner::SyscallProfile;
 use ampom_core::vm::{run_vm, VmAnalysis, VmWorkload};
-use ampom_cluster::{simulate, BalancePolicy, ClusterConfig};
 use ampom_sim::rng::SimRng;
 use ampom_sim::time::SimDuration;
 use ampom_workloads::hpl::Hpl;
@@ -54,18 +55,27 @@ pub fn ext_vm(quick: bool) -> AsciiTable {
             })
             .collect();
         let vm = VmWorkload::new(procs, 1);
-        let mut cfg = RunConfig::new(Scheme::Ampom);
         // Pure Eq. 3 (no read-ahead floor) isolates the windowing effect.
-        cfg.ampom = AmpomConfig {
-            baseline_readahead: 0,
-            ..AmpomConfig::default()
-        };
+        let cfg = Experiment::new(Scheme::Ampom)
+            .ampom(AmpomConfig {
+                baseline_readahead: 0,
+                ..AmpomConfig::default()
+            })
+            .config()
+            .clone();
         let out = run_vm(vm, &cfg, mode);
         (guests, mode, out)
     });
     let mut t = AsciiTable::new(
         "Extension: VM migration — shared vs per-process windows (pure Eq. 3)",
-        &["guests", "analysis", "fault requests", "prefetched", "mean S", "total (s)"],
+        &[
+            "guests",
+            "analysis",
+            "fault requests",
+            "prefetched",
+            "mean S",
+            "total (s)",
+        ],
     );
     for (guests, mode, out) in &results {
         t.row(vec![
@@ -99,7 +109,15 @@ pub fn ext_cluster(quick: bool) -> AsciiTable {
     });
     let mut t = AsciiTable::new(
         "Extension: gossip-based cluster load balancing",
-        &["policy", "migration", "makespan (s)", "mean slowdown", "max slowdown", "migrations", "freeze paid (s)"],
+        &[
+            "policy",
+            "migration",
+            "makespan (s)",
+            "mean slowdown",
+            "max slowdown",
+            "migrations",
+            "freeze paid (s)",
+        ],
     );
     for (policy, scheme, out) in &results {
         t.row(vec![
@@ -122,20 +140,33 @@ pub fn ext_ptrans(quick: bool) -> AsciiTable {
         vec![Scheme::OpenMosix, Scheme::NoPrefetch, Scheme::Ampom],
         move |scheme| {
             let mut w = Ptrans::new(mb * 1024 * 1024);
-            (scheme, run_workload(&mut w, &RunConfig::new(scheme)))
+            let r = Experiment::new(scheme)
+                .run_on(&mut w)
+                .expect("ptrans experiment is valid");
+            (scheme, r)
         },
     );
     // Reference: STREAM at the same size (fully detectable pattern).
     let stream_ref = {
         let mut w = StreamKernel::new(mb * 1024 * 1024);
-        let ampom = run_workload(&mut w, &RunConfig::new(Scheme::Ampom));
+        let ampom = Experiment::new(Scheme::Ampom)
+            .run_on(&mut w)
+            .expect("stream reference is valid");
         let mut w = StreamKernel::new(mb * 1024 * 1024);
-        let nopf = run_workload(&mut w, &RunConfig::new(Scheme::NoPrefetch));
+        let nopf = Experiment::new(Scheme::NoPrefetch)
+            .run_on(&mut w)
+            .expect("stream reference is valid");
         ampom.fault_prevention_vs(&nopf)
     };
     let mut t = AsciiTable::new(
         format!("Extension: PTRANS {mb} MB — a write lane with stride > dmax"),
-        &["scheme", "total (s)", "fault requests", "prevented", "mean S"],
+        &[
+            "scheme",
+            "total (s)",
+            "fault requests",
+            "prevented",
+            "mean S",
+        ],
     );
     let nopf_requests = results
         .iter()
@@ -177,7 +208,10 @@ pub fn ext_interactive(quick: bool) -> AsciiTable {
             SimDuration::from_millis(300),
             SimRng::seed_from_u64(MATRIX_SEED),
         );
-        (scheme, run_workload(&mut w, &RunConfig::new(scheme)))
+        let r = Experiment::new(scheme)
+            .run_on(&mut w)
+            .expect("interactive experiment is valid");
+        (scheme, r)
     });
     let mut t = AsciiTable::new(
         format!("Extension: interactive app ({mb} MB allocated, {bursts} bursts of 64 pages)"),
@@ -198,9 +232,16 @@ pub fn ext_interactive(quick: bool) -> AsciiTable {
 pub fn ext_accuracy(quick: bool) -> AsciiTable {
     let mb = if quick { 4 } else { 32 };
     let results = par_map(Kernel::ALL.to_vec(), move |kernel| {
-        let size = ProblemSize { problem: 0, memory_mb: mb };
-        let mut w = build_kernel(kernel, &size, MATRIX_SEED);
-        (kernel, run_workload(w.as_mut(), &RunConfig::new(Scheme::Ampom)))
+        let size = ProblemSize {
+            problem: 0,
+            memory_mb: mb,
+        };
+        let r = Experiment::new(Scheme::Ampom)
+            .kernel(kernel, size)
+            .workload_seed(MATRIX_SEED)
+            .run()
+            .expect("accuracy experiment is valid");
+        (kernel, r)
     });
     let mut t = AsciiTable::new(
         format!("Extension: prefetch accuracy at {mb} MB (used / prefetched)"),
@@ -229,11 +270,19 @@ pub fn ext_roundtrip(quick: bool) -> AsciiTable {
     }
     let results = par_map(specs, move |(frac, scheme)| {
         let mut w = Sequential::new(pages, SimDuration::from_micros(15));
-        (frac, scheme, run_round_trip(&mut w, &RunConfig::new(scheme), frac))
+        let cfg = Experiment::new(scheme).config().clone();
+        (frac, scheme, run_round_trip(&mut w, &cfg, frac))
     });
     let mut t = AsciiTable::new(
         format!("Extension: round-trip migration ({pages}-page sequential migrant)"),
-        &["time away", "scheme", "outbound freeze", "return freeze", "pages returned", "total (s)"],
+        &[
+            "time away",
+            "scheme",
+            "outbound freeze",
+            "return freeze",
+            "pages returned",
+            "total (s)",
+        ],
     );
     for (frac, scheme, r) in &results {
         t.row(vec![
@@ -258,24 +307,42 @@ pub fn ext_syscall(quick: bool) -> AsciiTable {
         }
     }
     let results = par_map(specs, move |(every, scheme)| {
-        let size = ProblemSize { problem: 0, memory_mb: mb };
-        let mut w = build_kernel(Kernel::Stream, &size, MATRIX_SEED);
-        let mut cfg = RunConfig::new(scheme);
+        let size = ProblemSize {
+            problem: 0,
+            memory_mb: mb,
+        };
+        let mut exp = Experiment::new(scheme)
+            .kernel(Kernel::Stream, size)
+            .workload_seed(MATRIX_SEED);
         if every > 0 {
-            cfg.syscalls = Some(SyscallProfile {
+            exp = exp.syscalls(SyscallProfile {
                 every_refs: every,
                 work: SimDuration::from_micros(50),
             });
         }
-        (every, scheme, run_workload(w.as_mut(), &cfg))
+        (
+            every,
+            scheme,
+            exp.run().expect("syscall experiment is valid"),
+        )
     });
     let mut t = AsciiTable::new(
         format!("Extension: home dependency — forwarded syscalls (STREAM {mb} MB)"),
-        &["syscall every", "scheme", "syscalls", "syscall time (s)", "total (s)"],
+        &[
+            "syscall every",
+            "scheme",
+            "syscalls",
+            "syscall time (s)",
+            "total (s)",
+        ],
     );
     for (every, scheme, r) in &results {
         t.row(vec![
-            if *every == 0 { "never".into() } else { format!("{every} refs") },
+            if *every == 0 {
+                "never".into()
+            } else {
+                format!("{every} refs")
+            },
             scheme.name().into(),
             r.syscalls_forwarded.to_string(),
             secs(r.syscall_time.as_secs_f64()),
@@ -300,19 +367,35 @@ pub fn ext_pressure(quick: bool) -> AsciiTable {
         }
     }
     let results = par_map(specs, move |(limit, scheme)| {
-        let size = ProblemSize { problem: 0, memory_mb: mb };
-        let mut w = build_kernel(Kernel::Dgemm, &size, MATRIX_SEED);
-        let mut cfg = RunConfig::new(scheme);
-        cfg.resident_limit_mb = limit;
-        (limit, scheme, run_workload(w.as_mut(), &cfg))
+        let size = ProblemSize {
+            problem: 0,
+            memory_mb: mb,
+        };
+        let mut exp = Experiment::new(scheme)
+            .kernel(Kernel::Dgemm, size)
+            .workload_seed(MATRIX_SEED);
+        if let Some(l) = limit {
+            exp = exp.resident_limit_mb(l);
+        }
+        (
+            limit,
+            scheme,
+            exp.run().expect("pressure experiment is valid"),
+        )
     });
     let mut t = AsciiTable::new(
         format!("Extension: memory pressure (DGEMM {mb} MB migrant)"),
-        &["node RAM", "scheme", "total (s)", "evictions", "pages re-fetched"],
+        &[
+            "node RAM",
+            "scheme",
+            "total (s)",
+            "evictions",
+            "pages re-fetched",
+        ],
     );
     for (limit, scheme, r) in &results {
-        let refetch = (r.pages_demand_fetched + r.pages_prefetched)
-            .saturating_sub(mb * 1024 * 1024 / 4096);
+        let refetch =
+            (r.pages_demand_fetched + r.pages_prefetched).saturating_sub(mb * 1024 * 1024 / 4096);
         t.row(vec![
             limit.map_or("unlimited".into(), |l| format!("{l} MB")),
             scheme.name().into(),
@@ -345,7 +428,12 @@ pub fn ext_gossip(quick: bool) -> AsciiTable {
     });
     let mut t = AsciiTable::new(
         "Extension: gossip staleness (AMPoM migration, aggressive policy)",
-        &["max entry age (s)", "mean slowdown", "migrations", "load stddev"],
+        &[
+            "max entry age (s)",
+            "mean slowdown",
+            "migrations",
+            "load stddev",
+        ],
     );
     for (age, out) in &results {
         t.row(vec![
@@ -379,12 +467,20 @@ pub fn ext_timing(quick: bool) -> AsciiTable {
         let skip = (inner.total_refs_hint() as f64 * frac) as u64;
         let mut w = Skip::new(inner, skip);
         let home_time = w.skipped_cpu();
-        let r = run_workload(&mut w, &RunConfig::new(scheme));
+        let r = Experiment::new(scheme)
+            .run_on(&mut w)
+            .expect("timing experiment is valid");
         (frac, scheme, home_time + r.total_time, r.freeze_time)
     });
     let mut t = AsciiTable::new(
         format!("Extension: migration timing (STREAM {mb} MB, migrate mid-run)"),
-        &["migrate at", "scheme", "freeze (s)", "job total (s)", "freeze/remaining"],
+        &[
+            "migrate at",
+            "scheme",
+            "freeze (s)",
+            "job total (s)",
+            "freeze/remaining",
+        ],
     );
     for (frac, scheme, total, freeze) in &results {
         // How much of the job's post-migration wall time the freeze eats —
@@ -417,7 +513,10 @@ pub fn ext_locality(quick: bool) -> AsciiTable {
     type Named = (&'static str, Box<dyn Workload>);
     let mut workloads: Vec<Named> = Vec::new();
     for kernel in Kernel::ALL {
-        let size = ProblemSize { problem: 0, memory_mb: mb };
+        let size = ProblemSize {
+            problem: 0,
+            memory_mb: mb,
+        };
         workloads.push((kernel.name(), build_kernel(kernel, &size, MATRIX_SEED)));
     }
     workloads.push(("PTRANS", Box::new(Ptrans::new(bytes))));
@@ -439,7 +538,12 @@ pub fn ext_locality(quick: bool) -> AsciiTable {
         .collect();
     let mut t = AsciiTable::new(
         format!("Extension: measured locality of all workloads ({mb} MB)"),
-        &["workload", "spatial (successor)", "temporal (reuse)", "mean seq run"],
+        &[
+            "workload",
+            "spatial (successor)",
+            "temporal (reuse)",
+            "mean seq run",
+        ],
     );
     for (name, a) in rows {
         t.row(vec![
@@ -460,7 +564,10 @@ pub fn ext_hpl(quick: bool) -> AsciiTable {
         vec![Scheme::OpenMosix, Scheme::NoPrefetch, Scheme::Ampom],
         move |scheme| {
             let mut w = Hpl::new(mb * 1024 * 1024);
-            (scheme, run_workload(&mut w, &RunConfig::new(scheme)))
+            let r = Experiment::new(scheme)
+                .run_on(&mut w)
+                .expect("hpl experiment is valid");
+            (scheme, r)
         },
     );
     let nopf_requests = results
@@ -470,7 +577,13 @@ pub fn ext_hpl(quick: bool) -> AsciiTable {
         .unwrap_or(0);
     let mut t = AsciiTable::new(
         format!("Extension: HPL {mb} MB — LU factorisation, shrinking working set"),
-        &["scheme", "freeze (s)", "total (s)", "fault requests", "prevented"],
+        &[
+            "scheme",
+            "freeze (s)",
+            "total (s)",
+            "fault requests",
+            "prevented",
+        ],
     );
     for (scheme, r) in &results {
         let prevented = if *scheme == Scheme::Ampom && nopf_requests > 0 {
@@ -495,11 +608,16 @@ pub fn ext_hpl(quick: bool) -> AsciiTable {
 /// phase vs the compute phase.
 pub fn timeline(quick: bool) -> AsciiTable {
     let mb = if quick { 4 } else { 64 };
-    let size = ProblemSize { problem: 0, memory_mb: mb };
-    let mut w = build_kernel(Kernel::Stream, &size, MATRIX_SEED);
-    let mut cfg = RunConfig::new(Scheme::Ampom);
-    cfg.sample_series_every = Some(if quick { 20 } else { 500 });
-    let r = run_workload(w.as_mut(), &cfg);
+    let size = ProblemSize {
+        problem: 0,
+        memory_mb: mb,
+    };
+    let r = Experiment::new(Scheme::Ampom)
+        .kernel(Kernel::Stream, size)
+        .workload_seed(MATRIX_SEED)
+        .sample_series(if quick { 20 } else { 500 })
+        .run()
+        .expect("timeline experiment is valid");
     let series = r.series.expect("sampling enabled");
     let mut t = AsciiTable::new(
         format!("Timeline: STREAM {mb} MB under AMPoM (sampled at faults)"),
@@ -530,11 +648,16 @@ pub fn timeline(quick: bool) -> AsciiTable {
 pub fn sweep(quick: bool) -> Vec<AsciiTable> {
     let mb = if quick { 4 } else { 16 };
     let run = move |kernel: Kernel, ampom: AmpomConfig| {
-        let size = ProblemSize { problem: 0, memory_mb: mb };
-        let mut w = build_kernel(kernel, &size, MATRIX_SEED);
-        let mut cfg = RunConfig::new(Scheme::Ampom);
-        cfg.ampom = ampom;
-        run_workload(w.as_mut(), &cfg)
+        let size = ProblemSize {
+            problem: 0,
+            memory_mb: mb,
+        };
+        Experiment::new(Scheme::Ampom)
+            .kernel(kernel, size)
+            .workload_seed(MATRIX_SEED)
+            .ampom(ampom)
+            .run()
+            .expect("sweep experiment is valid")
     };
 
     let mut out = Vec::new();
@@ -544,7 +667,13 @@ pub fn sweep(quick: bool) -> Vec<AsciiTable> {
         &["l", "fault requests", "total (s)", "overhead"],
     );
     for l in [8usize, 12, 20, 40, 80] {
-        let r = run(Kernel::Stream, AmpomConfig { window_len: l, ..AmpomConfig::default() });
+        let r = run(
+            Kernel::Stream,
+            AmpomConfig {
+                window_len: l,
+                ..AmpomConfig::default()
+            },
+        );
         t.row(vec![
             l.to_string(),
             r.fault_requests.to_string(),
@@ -562,15 +691,20 @@ pub fn sweep(quick: bool) -> Vec<AsciiTable> {
         &["dmax", "fault requests", "prefetched", "mean S"],
     );
     for dmax in [1usize, 2, 3, 4, 6] {
-        use ampom_workloads::synthetic::Interleaved;
-        let mut w = Interleaved::new(3, if quick { 100 } else { 1000 }, SimDuration::from_micros(15));
-        let mut cfg = RunConfig::new(Scheme::Ampom);
-        cfg.ampom = AmpomConfig {
-            dmax,
-            baseline_readahead: 0,
-            ..AmpomConfig::default()
-        };
-        let r = run_workload(&mut w, &cfg);
+        use ampom_core::experiment::WorkloadSpec;
+        let r = Experiment::new(Scheme::Ampom)
+            .workload(WorkloadSpec::Interleaved {
+                streams: 3,
+                stream_pages: if quick { 100 } else { 1000 },
+                cpu: SimDuration::from_micros(15),
+            })
+            .ampom(AmpomConfig {
+                dmax,
+                baseline_readahead: 0,
+                ..AmpomConfig::default()
+            })
+            .run()
+            .expect("dmax sweep experiment is valid");
         t.row(vec![
             dmax.to_string(),
             r.fault_requests.to_string(),
@@ -582,12 +716,21 @@ pub fn sweep(quick: bool) -> Vec<AsciiTable> {
 
     let mut t = AsciiTable::new(
         format!("Sweep: baseline read-ahead (RandomAccess {mb} MB)"),
-        &["baseline", "fault requests", "prefetched", "accuracy", "total (s)"],
+        &[
+            "baseline",
+            "fault requests",
+            "prefetched",
+            "accuracy",
+            "total (s)",
+        ],
     );
     for baseline in [0u64, 4, 8, 16, 32, 64] {
         let r = run(
             Kernel::RandomAccess,
-            AmpomConfig { baseline_readahead: baseline, ..AmpomConfig::default() },
+            AmpomConfig {
+                baseline_readahead: baseline,
+                ..AmpomConfig::default()
+            },
         );
         t.row(vec![
             baseline.to_string(),

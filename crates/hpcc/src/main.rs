@@ -27,6 +27,7 @@
 //!   ext-timing    extension: migrate mid-run instead of post-allocation
 //!   ext-gossip    extension: gossip staleness vs balancing quality
 //!   ext-accuracy  extension: prefetch accuracy per kernel
+//!   parsweep  parallel sweep engine demo (grid, speedup, determinism)
 //!   timeline  sampled run dynamics (in-flight, resident, budget, link)
 //!   check     reproduction certificate: paper claims, PASS/FAIL
 //!   sweep     sensitivity of l, dmax and the baseline read-ahead
@@ -39,9 +40,9 @@
 use std::path::PathBuf;
 use std::time::Instant;
 
-use ampom_hpcc::{checks, experiments, extensions};
 use ampom_hpcc::matrix::{full_matrix, Cell};
 use ampom_hpcc::report::AsciiTable;
+use ampom_hpcc::{checks, experiments, extensions};
 
 struct Options {
     command: String,
@@ -65,7 +66,7 @@ fn parse_args() -> Options {
             "--help" | "-h" => {
                 println!(
                     "hpcc-repro [all|table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|\
-                     ext-vm|ext-cluster|ext-ptrans|ext-interactive|ext-roundtrip|ext-syscall|ext-pressure|ext-hpl|ext-locality|ext-timing|ext-gossip|ext-accuracy|timeline|check|sweep] \
+                     ext-vm|ext-cluster|ext-ptrans|ext-interactive|ext-roundtrip|ext-syscall|ext-pressure|ext-hpl|ext-locality|ext-timing|ext-gossip|ext-accuracy|parsweep|timeline|check|sweep] \
                      [--quick] [--csv DIR]"
                 );
                 std::process::exit(0);
@@ -195,11 +196,19 @@ fn main() {
         ran = true;
     }
     if wants("ext-interactive") {
-        emit(&extensions::ext_interactive(opts.quick), &opts, "ext_interactive");
+        emit(
+            &extensions::ext_interactive(opts.quick),
+            &opts,
+            "ext_interactive",
+        );
         ran = true;
     }
     if wants("ext-roundtrip") {
-        emit(&extensions::ext_roundtrip(opts.quick), &opts, "ext_roundtrip");
+        emit(
+            &extensions::ext_roundtrip(opts.quick),
+            &opts,
+            "ext_roundtrip",
+        );
         ran = true;
     }
     if wants("ext-syscall") {
@@ -228,6 +237,12 @@ fn main() {
     }
     if wants("ext-hpl") {
         emit(&extensions::ext_hpl(opts.quick), &opts, "ext_hpl");
+        ran = true;
+    }
+    if wants("parsweep") {
+        let (grid, engine) = experiments::parsweep(opts.quick);
+        emit(&grid, &opts, "parsweep_grid");
+        emit(&engine, &opts, "parsweep_engine");
         ran = true;
     }
     if wants("timeline") {

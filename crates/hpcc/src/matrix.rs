@@ -5,12 +5,11 @@
 //! harness executes that matrix once ([`full_matrix`]) and each figure
 //! projects the columns it needs.
 
+use ampom_core::experiment::Experiment;
 use ampom_core::migration::Scheme;
-use ampom_core::runner::{run_workload, RunConfig};
 use ampom_core::RunReport;
 use ampom_workloads::sizes::{sizes_for, ProblemSize};
-use ampom_workloads::{build_kernel, Kernel};
-use crossbeam::channel;
+use ampom_workloads::Kernel;
 
 /// One completed run in the matrix.
 #[derive(Debug)]
@@ -31,8 +30,11 @@ pub const MATRIX_SEED: u64 = 42;
 
 /// Runs one cell of the matrix on the standard cluster LAN.
 pub fn run_cell(kernel: Kernel, size: ProblemSize, scheme: Scheme) -> Cell {
-    let mut w = build_kernel(kernel, &size, MATRIX_SEED);
-    let report = run_workload(w.as_mut(), &RunConfig::new(scheme));
+    let report = Experiment::new(scheme)
+        .kernel(kernel, size)
+        .workload_seed(MATRIX_SEED)
+        .run()
+        .expect("matrix cell is a valid experiment");
     Cell {
         kernel,
         size,
@@ -46,8 +48,14 @@ pub fn run_cell(kernel: Kernel, size: ProblemSize, scheme: Scheme) -> Cell {
 pub fn matrix_sizes(kernel: Kernel, quick: bool) -> Vec<ProblemSize> {
     if quick {
         vec![
-            ProblemSize { problem: 0, memory_mb: 4 },
-            ProblemSize { problem: 0, memory_mb: 8 },
+            ProblemSize {
+                problem: 0,
+                memory_mb: 4,
+            },
+            ProblemSize {
+                problem: 0,
+                memory_mb: 8,
+            },
         ]
     } else {
         sizes_for(kernel).to_vec()
@@ -72,57 +80,19 @@ pub fn full_matrix(quick: bool) -> Vec<Cell> {
 }
 
 /// Order-preserving parallel map over a work list, using one worker per
-/// available core (minimum one). Falls back to sequential execution on a
-/// single-core machine without spawning.
+/// available core (minimum one). Delegates to the core sweep engine's
+/// self-scheduling pool so the whole harness shares one executor.
 pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
     F: Fn(T) -> R + Sync,
 {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(items.len().max(1));
-    if workers <= 1 {
-        return items.into_iter().map(f).collect();
-    }
-    let n = items.len();
-    let (work_tx, work_rx) = channel::unbounded::<(usize, T)>();
-    let (res_tx, res_rx) = channel::unbounded::<(usize, R)>();
-    for pair in items.into_iter().enumerate() {
-        work_tx.send(pair).expect("queue open");
-    }
-    drop(work_tx);
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            let work_rx = work_rx.clone();
-            let res_tx = res_tx.clone();
-            let f = &f;
-            s.spawn(move || {
-                while let Ok((i, item)) = work_rx.recv() {
-                    let _ = res_tx.send((i, f(item)));
-                }
-            });
-        }
-        drop(res_tx);
-        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        while let Ok((i, r)) = res_rx.recv() {
-            out[i] = Some(r);
-        }
-        out.into_iter()
-            .map(|r| r.expect("every index produced"))
-            .collect()
-    })
+    ampom_core::sweep::par_map(items, f)
 }
 
 /// Finds the cell for a given coordinate.
-pub fn find(
-    cells: &[Cell],
-    kernel: Kernel,
-    memory_mb: u64,
-    scheme: Scheme,
-) -> &Cell {
+pub fn find(cells: &[Cell], kernel: Kernel, memory_mb: u64, scheme: Scheme) -> &Cell {
     cells
         .iter()
         .find(|c| c.kernel == kernel && c.size.memory_mb == memory_mb && c.scheme == scheme)

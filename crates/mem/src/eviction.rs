@@ -129,7 +129,10 @@ impl ClockEvictor {
             return;
         }
         let p = p as usize;
-        let last = *self.ring.last().expect("tracked page implies non-empty ring");
+        let last = *self
+            .ring
+            .last()
+            .expect("tracked page implies non-empty ring");
         self.ring.swap_remove(p);
         self.pos[i] = NOT_RESIDENT;
         if last != page {

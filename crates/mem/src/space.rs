@@ -316,9 +316,7 @@ mod tests {
         let mut s = small_space();
         s.touch(PageId(0), true);
         s.mark_remote(PageId(4));
-        let remote: Vec<_> = s
-            .pages_where(|st| st == PageState::Remote)
-            .collect();
+        let remote: Vec<_> = s.pages_where(|st| st == PageState::Remote).collect();
         assert_eq!(remote, vec![PageId(4)]);
         let dirty: Vec<_> = s
             .pages_where(|st| matches!(st, PageState::Resident { dirty: true }))

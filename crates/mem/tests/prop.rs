@@ -4,7 +4,7 @@ use ampom_mem::page::PageId;
 use ampom_mem::region::MemoryLayout;
 use ampom_mem::space::{AddressSpace, PageState, TouchOutcome};
 use ampom_mem::table::{PageLocation, PageTablePair};
-use proptest::prelude::*;
+use ampom_sim::propcheck::{forall, Gen};
 
 /// A random operation against an address space.
 #[derive(Debug, Clone, Copy)]
@@ -15,21 +15,25 @@ enum SpaceOp {
     Clean { page: u64 },
 }
 
-fn space_ops(pages: u64) -> impl Strategy<Value = Vec<SpaceOp>> {
-    let op = (0u64..pages, 0u8..4, any::<bool>()).prop_map(|(page, kind, write)| match kind {
-        0 => SpaceOp::Touch { page, write },
-        1 => SpaceOp::MarkRemote { page },
-        2 => SpaceOp::Install { page },
-        _ => SpaceOp::Clean { page },
-    });
-    prop::collection::vec(op, 0..300)
+fn space_ops(g: &mut Gen, pages: u64) -> Vec<SpaceOp> {
+    g.vec(0..300, |g| {
+        let page = g.u64(0..pages);
+        match g.u64(0..4) {
+            0 => SpaceOp::Touch {
+                page,
+                write: g.bool(0.5),
+            },
+            1 => SpaceOp::MarkRemote { page },
+            2 => SpaceOp::Install { page },
+            _ => SpaceOp::Clean { page },
+        }
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn address_space_counters_never_drift(ops in space_ops(32)) {
+#[test]
+fn address_space_counters_never_drift() {
+    forall("space-counters", 256, |g| {
+        let ops = space_ops(g, 32);
         let layout = MemoryLayout::new(4096, 30 * 4096, 4096);
         let mut space = AddressSpace::new(layout);
         for op in ops {
@@ -46,13 +50,16 @@ proptest! {
                 SpaceOp::Clean { page } => space.clean(PageId(page)),
             }
             space.check_counters();
-            prop_assert!(space.resident_pages() + space.remote_pages() <= space.total_pages());
-            prop_assert!(space.dirty_pages() <= space.resident_pages());
+            assert!(space.resident_pages() + space.remote_pages() <= space.total_pages());
+            assert!(space.dirty_pages() <= space.resident_pages());
         }
-    }
+    });
+}
 
-    #[test]
-    fn touch_semantics_are_exact(ops in space_ops(32)) {
+#[test]
+fn touch_semantics_are_exact() {
+    forall("touch-semantics", 256, |g| {
+        let ops = space_ops(g, 32);
         let layout = MemoryLayout::new(4096, 30 * 4096, 4096);
         let mut space = AddressSpace::new(layout);
         for op in ops {
@@ -61,33 +68,39 @@ proptest! {
                 let outcome = space.touch(PageId(page), write);
                 match before {
                     PageState::Untouched => {
-                        prop_assert_eq!(outcome, TouchOutcome::LocalAllocate);
-                        prop_assert_eq!(space.state(PageId(page)), PageState::Resident { dirty: true });
+                        assert_eq!(outcome, TouchOutcome::LocalAllocate);
+                        assert_eq!(
+                            space.state(PageId(page)),
+                            PageState::Resident { dirty: true }
+                        );
                     }
                     PageState::Resident { dirty } => {
-                        prop_assert_eq!(outcome, TouchOutcome::Hit);
-                        prop_assert_eq!(
+                        assert_eq!(outcome, TouchOutcome::Hit);
+                        assert_eq!(
                             space.state(PageId(page)),
-                            PageState::Resident { dirty: dirty || write }
+                            PageState::Resident {
+                                dirty: dirty || write
+                            }
                         );
                     }
                     PageState::Remote => {
-                        prop_assert_eq!(outcome, TouchOutcome::RemoteFault);
-                        prop_assert_eq!(space.state(PageId(page)), PageState::Remote);
+                        assert_eq!(outcome, TouchOutcome::RemoteFault);
+                        assert_eq!(space.state(PageId(page)), PageState::Remote);
                     }
                 }
             } else if let SpaceOp::MarkRemote { page } = op {
                 space.mark_remote(PageId(page));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn page_table_partition_invariant(
-        mapped in 1u64..64,
-        transfers in prop::collection::vec(0u64..64, 0..100),
-        flushes in prop::collection::vec(0u64..64, 0..50),
-    ) {
+#[test]
+fn page_table_partition_invariant() {
+    forall("table-partition", 256, |g| {
+        let mapped = g.u64(1..64);
+        let transfers = g.vec_u64(0..100, 0..64);
+        let flushes = g.vec_u64(0..50, 0..64);
         let mut table = PageTablePair::at_migration((0..mapped).map(PageId));
         for &p in &flushes {
             if table.lookup(PageId(p)) == Some(PageLocation::Origin) {
@@ -105,17 +118,21 @@ proptest! {
         table.check_invariants();
         // HPT is exactly the origin-stored subset.
         let hpt: Vec<PageId> = table.hpt_pages().collect();
-        prop_assert_eq!(hpt.len() as u64, table.pages_at_origin());
+        assert_eq!(hpt.len() as u64, table.pages_at_origin());
         for p in hpt {
-            prop_assert_eq!(table.lookup(p), Some(PageLocation::Origin));
+            assert_eq!(table.lookup(p), Some(PageLocation::Origin));
         }
         // MPT byte size tracks the mapped count exactly.
-        prop_assert_eq!(table.mpt_bytes(), table.mapped_pages() * 6);
-    }
+        assert_eq!(table.mpt_bytes(), table.mapped_pages() * 6);
+    });
+}
 
-    #[test]
-    fn unmap_rule_matches_storage_location(mapped in 1u64..32, moves in prop::collection::vec(0u64..32, 0..32)) {
+#[test]
+fn unmap_rule_matches_storage_location() {
+    forall("unmap-rule", 256, |g| {
         use ampom_mem::table::TableUpdate;
+        let mapped = g.u64(1..32);
+        let moves = g.vec_u64(0..32, 0..32);
         let mut table = PageTablePair::at_migration((0..mapped).map(PageId));
         for &p in &moves {
             if table.lookup(PageId(p)) == Some(PageLocation::Origin) {
@@ -126,31 +143,42 @@ proptest! {
             let loc = table.lookup(PageId(p)).unwrap();
             let upd = table.unmap(PageId(p));
             // §2.2: both tables iff the page was stored at the origin.
-            prop_assert_eq!(upd == TableUpdate::Both, loc == PageLocation::Origin);
+            assert_eq!(upd == TableUpdate::Both, loc == PageLocation::Origin);
         }
-        prop_assert_eq!(table.mapped_pages(), 0);
-    }
+        assert_eq!(table.mapped_pages(), 0);
+    });
+}
 
-    #[test]
-    fn layout_regions_partition_the_space(code in 1u64..20, data in 1u64..500, stack in 1u64..20) {
+#[test]
+fn layout_regions_partition_the_space() {
+    forall("layout-partition", 256, |g| {
+        let code = g.u64(1..20);
+        let data = g.u64(1..500);
+        let stack = g.u64(1..20);
         let layout = MemoryLayout::new(code * 4096, data * 4096, stack * 4096);
         let all: Vec<PageId> = layout.all_pages().collect();
-        prop_assert_eq!(all.len() as u64, layout.total_pages());
+        assert_eq!(all.len() as u64, layout.total_pages());
         // Every page belongs to exactly one region, contiguously.
         for (i, p) in all.iter().enumerate() {
-            prop_assert_eq!(p.index(), i as u64);
-            prop_assert!(layout.region_of(*p).is_some());
+            assert_eq!(p.index(), i as u64);
+            assert!(layout.region_of(*p).is_some());
         }
-        prop_assert!(layout.region_of(PageId(layout.total_pages())).is_none());
-    }
+        assert!(layout.region_of(PageId(layout.total_pages())).is_none());
+    });
+}
 
-    #[test]
-    fn freeze_pages_always_valid(code in 1u64..8, data in 1u64..100, stack in 1u64..8, cur in 0u64..200) {
+#[test]
+fn freeze_pages_always_valid() {
+    forall("freeze-pages", 256, |g| {
+        let code = g.u64(1..8);
+        let data = g.u64(1..100);
+        let stack = g.u64(1..8);
+        let cur = g.u64(0..200);
         let layout = MemoryLayout::new(code * 4096, data * 4096, stack * 4096);
         let [c, d, s] = layout.freeze_pages(PageId(cur));
         use ampom_mem::region::RegionKind;
-        prop_assert_eq!(layout.region_of(c), Some(RegionKind::Code));
-        prop_assert_eq!(layout.region_of(d), Some(RegionKind::Data));
-        prop_assert_eq!(layout.region_of(s), Some(RegionKind::Stack));
-    }
+        assert_eq!(layout.region_of(c), Some(RegionKind::Code));
+        assert_eq!(layout.region_of(d), Some(RegionKind::Data));
+        assert_eq!(layout.region_of(s), Some(RegionKind::Stack));
+    });
 }

@@ -3,20 +3,16 @@
 use ampom_mem::eviction::ClockEvictor;
 use ampom_mem::page::PageId;
 use ampom_mem::radix::RadixPageTable;
-use proptest::prelude::*;
+use ampom_sim::propcheck::forall;
 use std::collections::HashSet;
 
-/// Random evictor workload: a sequence of installs/touches with forced
-/// evictions whenever capacity is hit.
-fn ops() -> impl Strategy<Value = Vec<(u8, u64)>> {
-    prop::collection::vec((0u8..3, 0u64..64), 1..400)
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn evictor_never_exceeds_its_limit(limit in 1u64..16, script in ops()) {
+#[test]
+fn evictor_never_exceeds_its_limit() {
+    forall("evictor-limit", 128, |g| {
+        let limit = g.u64(1..16);
+        // Random evictor workload: a sequence of installs/touches with
+        // forced evictions whenever capacity is hit.
+        let script = g.vec(1..400, |g| (g.u64(0..3), g.u64(0..64)));
         let mut ev = ClockEvictor::new(64, limit);
         let mut resident: HashSet<u64> = HashSet::new();
         for (op, page) in script {
@@ -26,7 +22,7 @@ proptest! {
                     if !ev.contains(PageId(page)) {
                         while ev.at_capacity() {
                             let v = ev.evict(PageId(page));
-                            prop_assert!(resident.remove(&v.index()));
+                            assert!(resident.remove(&v.index()));
                         }
                         ev.on_install(PageId(page));
                         resident.insert(page);
@@ -38,17 +34,21 @@ proptest! {
                     resident.remove(&page);
                 }
             }
-            prop_assert!(ev.resident() <= limit);
-            prop_assert_eq!(ev.resident(), resident.len() as u64);
+            assert!(ev.resident() <= limit);
+            assert_eq!(ev.resident(), resident.len() as u64);
             // Membership agrees with the model.
             for p in 0..64u64 {
-                prop_assert_eq!(ev.contains(PageId(p)), resident.contains(&p));
+                assert_eq!(ev.contains(PageId(p)), resident.contains(&p));
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn evictor_victims_are_always_resident(limit in 2u64..8, pages in prop::collection::vec(0u64..32, 2..100)) {
+#[test]
+fn evictor_victims_are_always_resident() {
+    forall("evictor-victims", 128, |g| {
+        let limit = g.u64(2..8);
+        let pages = g.vec_u64(2..100, 0..32);
         let mut ev = ClockEvictor::new(32, limit);
         let mut resident: HashSet<u64> = HashSet::new();
         for page in pages {
@@ -58,35 +58,38 @@ proptest! {
             }
             while ev.at_capacity() {
                 let v = ev.evict(PageId(page));
-                prop_assert!(resident.remove(&v.index()), "victim {v} was not resident");
-                prop_assert_ne!(v, PageId(page));
+                assert!(resident.remove(&v.index()), "victim {v} was not resident");
+                assert_ne!(v, PageId(page));
             }
             ev.on_install(PageId(page));
             resident.insert(page);
         }
-    }
+    });
+}
 
-    #[test]
-    fn radix_matches_a_set_model(script in prop::collection::vec((any::<bool>(), 0u64..100_000), 0..300)) {
+#[test]
+fn radix_matches_a_set_model() {
+    forall("radix-set-model", 128, |g| {
+        let script = g.vec(0..300, |g| (g.bool(0.5), g.u64(0..100_000)));
         let mut table = RadixPageTable::new();
         let mut model: HashSet<u64> = HashSet::new();
         for (map, page) in script {
             if map {
                 let newly = table.map(PageId(page));
-                prop_assert_eq!(newly, model.insert(page));
+                assert_eq!(newly, model.insert(page));
             } else {
                 let was = table.unmap(PageId(page));
-                prop_assert_eq!(was, model.remove(&page));
+                assert_eq!(was, model.remove(&page));
             }
-            prop_assert_eq!(table.mapped_pages(), model.len() as u64);
+            assert_eq!(table.mapped_pages(), model.len() as u64);
         }
         // Full iteration agrees with the model, sorted.
         let got: Vec<u64> = table.mapped().map(|p| p.index()).collect();
         let mut want: Vec<u64> = model.into_iter().collect();
         want.sort_unstable();
-        prop_assert_eq!(got, want);
+        assert_eq!(got, want);
         // And the packed MPT size is 6 bytes per mapped page.
         let (bytes, _) = table.pack_mpt();
-        prop_assert_eq!(bytes, table.mapped_pages() * 6);
-    }
+        assert_eq!(bytes, table.mapped_pages() * 6);
+    });
 }

@@ -119,9 +119,11 @@ mod tests {
         let all: Vec<_> = a.iter().chain(b.iter()).collect();
         assert!(all.windows(2).all(|w| w[0].at <= w[1].at));
         // Second drain only returns messages after the first horizon.
-        assert!(b
-            .iter()
-            .all(|m| m.at > SimTime::ZERO + SimDuration::from_secs(1) - SimDuration::from_nanos(1)));
+        assert!(
+            b.iter()
+                .all(|m| m.at
+                    > SimTime::ZERO + SimDuration::from_secs(1) - SimDuration::from_nanos(1))
+        );
     }
 
     #[test]

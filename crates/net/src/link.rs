@@ -28,8 +28,7 @@ impl LinkConfig {
     pub fn serialization_time(&self, bytes: u64) -> SimDuration {
         assert!(self.capacity_bytes_per_sec > 0, "link with zero capacity");
         // bytes * 1e9 / capacity, in u128 to avoid overflow for huge bursts.
-        let ns = (bytes as u128 * 1_000_000_000u128)
-            / self.capacity_bytes_per_sec as u128;
+        let ns = (bytes as u128 * 1_000_000_000u128) / self.capacity_bytes_per_sec as u128;
         SimDuration::from_nanos(ns as u64)
     }
 

@@ -72,9 +72,7 @@ impl TrafficShaper {
     /// interface for the duration of a run.
     pub fn shaped_config(&self, base: &LinkConfig) -> LinkConfig {
         LinkConfig {
-            capacity_bytes_per_sec: base
-                .capacity_bytes_per_sec
-                .min(self.rate_bytes_per_sec),
+            capacity_bytes_per_sec: base.capacity_bytes_per_sec.min(self.rate_bytes_per_sec),
             latency: base.latency + self.added_delay,
         }
     }
@@ -86,8 +84,8 @@ impl TrafficShaper {
         // Refill.
         let elapsed = now.saturating_since(self.last_refill).as_secs_f64();
         self.last_refill = self.last_refill.max(now);
-        self.tokens = (self.tokens + elapsed * self.rate_bytes_per_sec as f64)
-            .min(self.burst_bytes as f64);
+        self.tokens =
+            (self.tokens + elapsed * self.rate_bytes_per_sec as f64).min(self.burst_bytes as f64);
         let need = size as f64;
         let shortfall = need - self.tokens;
         self.tokens -= need; // may go negative: debt delays later traffic

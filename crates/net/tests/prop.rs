@@ -4,24 +4,21 @@ use ampom_net::link::{Link, LinkConfig};
 use ampom_net::nic::Nic;
 use ampom_net::probe::BandwidthEstimator;
 use ampom_net::shaper::TrafficShaper;
+use ampom_sim::propcheck::{forall, Gen};
 use ampom_sim::time::{SimDuration, SimTime};
-use proptest::prelude::*;
 
-fn link_config() -> impl Strategy<Value = LinkConfig> {
-    (1_000u64..100_000_000, 0u64..10_000).prop_map(|(cap, lat_us)| LinkConfig {
-        capacity_bytes_per_sec: cap,
-        latency: SimDuration::from_micros(lat_us),
-    })
+fn random_link(g: &mut Gen) -> LinkConfig {
+    LinkConfig {
+        capacity_bytes_per_sec: g.u64(1_000..100_000_000),
+        latency: SimDuration::from_micros(g.u64(0..10_000)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn link_is_fifo_and_work_conserving(
-        cfg in link_config(),
-        msgs in prop::collection::vec((0u64..1_000_000u64, 1u64..100_000), 1..100),
-    ) {
+#[test]
+fn link_is_fifo_and_work_conserving() {
+    forall("link-fifo", 256, |g| {
+        let cfg = random_link(g);
+        let msgs = g.vec(1..100, |g| (g.u64(0..1_000_000), g.u64(1..100_000)));
         let mut link = Link::new(cfg);
         let mut sends: Vec<(SimTime, u64)> = msgs
             .iter()
@@ -33,36 +30,45 @@ proptest! {
         for &(t, size) in &sends {
             let tx = link.transmit(t, size);
             // FIFO: departures never reorder.
-            prop_assert!(tx.departs >= last_depart);
+            assert!(tx.departs >= last_depart);
             // Arrival = departure + latency, exactly.
-            prop_assert_eq!(tx.arrives, tx.departs + cfg.latency);
+            assert_eq!(tx.arrives, tx.departs + cfg.latency);
             // Work conservation: the message departs no earlier than its
             // own serialization finishing from its send time.
-            prop_assert!(tx.departs >= t + cfg.serialization_time(size));
+            assert!(tx.departs >= t + cfg.serialization_time(size));
             last_depart = tx.departs;
             total_ser += cfg.serialization_time(size);
         }
         // Busy time is exactly the sum of serializations.
-        prop_assert_eq!(link.busy_time(), total_ser);
-        prop_assert_eq!(link.bytes_carried(), sends.iter().map(|&(_, s)| s).sum::<u64>());
-    }
+        assert_eq!(link.busy_time(), total_ser);
+        assert_eq!(
+            link.bytes_carried(),
+            sends.iter().map(|&(_, s)| s).sum::<u64>()
+        );
+    });
+}
 
-    #[test]
-    fn serialization_time_is_additive(cfg in link_config(), a in 0u64..1_000_000, b in 0u64..1_000_000) {
+#[test]
+fn serialization_time_is_additive() {
+    forall("serialization-additive", 256, |g| {
+        let cfg = random_link(g);
+        let a = g.u64(0..1_000_000);
+        let b = g.u64(0..1_000_000);
         let sa = cfg.serialization_time(a).as_nanos();
         let sb = cfg.serialization_time(b).as_nanos();
         let sab = cfg.serialization_time(a + b).as_nanos();
         // Integer division may lose at most 2 ns across the split.
-        prop_assert!(sab >= sa + sb);
-        prop_assert!(sab <= sa + sb + 2);
-    }
+        assert!(sab >= sa + sb);
+        assert!(sab <= sa + sb + 2);
+    });
+}
 
-    #[test]
-    fn shaper_long_run_rate_never_exceeds_limit(
-        rate in 1_000u64..10_000_000,
-        burst in 1u64..100_000,
-        msgs in prop::collection::vec(1u64..50_000, 1..100),
-    ) {
+#[test]
+fn shaper_long_run_rate_never_exceeds_limit() {
+    forall("shaper-rate-limit", 256, |g| {
+        let rate = g.u64(1_000..10_000_000);
+        let burst = g.u64(1..100_000);
+        let msgs = g.vec_u64(1..100, 1..50_000);
         let mut shaper = TrafficShaper::new(rate, burst, SimDuration::ZERO);
         // Offer everything at t=0 and measure when the last message
         // conforms: total bytes / elapsed must be ≤ rate once the burst
@@ -76,25 +82,35 @@ proptest! {
         let elapsed = conform_at.since(SimTime::ZERO).as_secs_f64();
         if total > burst {
             let expect = (total - burst) as f64 / rate as f64;
-            prop_assert!((elapsed - expect).abs() < expect * 0.01 + 1e-6,
-                "elapsed {elapsed} vs expected {expect}");
+            assert!(
+                (elapsed - expect).abs() < expect * 0.01 + 1e-6,
+                "elapsed {elapsed} vs expected {expect}"
+            );
         } else {
-            prop_assert_eq!(elapsed, 0.0);
+            assert_eq!(elapsed, 0.0);
         }
-    }
+    });
+}
 
-    #[test]
-    fn shaped_config_is_idempotent_and_never_faster(cfg in link_config(), rate in 1_000u64..10_000_000, delay_us in 0u64..10_000) {
+#[test]
+fn shaped_config_is_idempotent_and_never_faster() {
+    forall("shaper-idempotent", 256, |g| {
+        let cfg = random_link(g);
+        let rate = g.u64(1_000..10_000_000);
+        let delay_us = g.u64(0..10_000);
         let s = TrafficShaper::new(rate, 1024, SimDuration::from_micros(delay_us));
         let once = s.shaped_config(&cfg);
         let twice = s.shaped_config(&once);
-        prop_assert!(once.capacity_bytes_per_sec <= cfg.capacity_bytes_per_sec);
-        prop_assert!(once.latency >= cfg.latency);
-        prop_assert_eq!(twice.capacity_bytes_per_sec, once.capacity_bytes_per_sec);
-    }
+        assert!(once.capacity_bytes_per_sec <= cfg.capacity_bytes_per_sec);
+        assert!(once.latency >= cfg.latency);
+        assert_eq!(twice.capacity_bytes_per_sec, once.capacity_bytes_per_sec);
+    });
+}
 
-    #[test]
-    fn nic_counters_are_monotone(ops in prop::collection::vec((any::<bool>(), 0u64..1_000_000), 0..200)) {
+#[test]
+fn nic_counters_are_monotone() {
+    forall("nic-monotone", 256, |g| {
+        let ops = g.vec(0..200, |g| (g.bool(0.5), g.u64(0..1_000_000)));
         let mut nic = Nic::new();
         let mut prev = nic.snapshot();
         for &(tx, bytes) in &ops {
@@ -104,28 +120,32 @@ proptest! {
                 nic.on_receive(bytes);
             }
             let cur = nic.snapshot();
-            prop_assert!(cur.rx_bytes >= prev.rx_bytes);
-            prop_assert!(cur.tx_bytes >= prev.tx_bytes);
-            prop_assert_eq!(cur.delta_since(&prev), bytes);
+            assert!(cur.rx_bytes >= prev.rx_bytes);
+            assert!(cur.tx_bytes >= prev.tx_bytes);
+            assert_eq!(cur.delta_since(&prev), bytes);
             prev = cur;
         }
-    }
+    });
+}
 
-    #[test]
-    fn bandwidth_estimate_stays_in_physical_range(
-        cap in 1_000u64..100_000_000,
-        samples in prop::collection::vec((1u64..1_000_000, 0u64..10_000_000), 1..50),
-    ) {
+#[test]
+fn bandwidth_estimate_stays_in_physical_range() {
+    forall("bandwidth-range", 256, |g| {
+        let cap = g.u64(1_000..100_000_000);
+        let samples = g.vec(1..50, |g| (g.u64(1..1_000_000), g.u64(0..10_000_000)));
         let mut est = BandwidthEstimator::new(cap);
         let mut now = SimTime::ZERO;
         let mut rx = 0u64;
         for &(dt_us, bytes) in &samples {
             now += SimDuration::from_micros(dt_us);
             rx += bytes;
-            let snap = ampom_net::nic::NicSnapshot { rx_bytes: rx, tx_bytes: 0 };
+            let snap = ampom_net::nic::NicSnapshot {
+                rx_bytes: rx,
+                tx_bytes: 0,
+            };
             let avail = est.sample(now, snap, 0);
-            prop_assert!(avail <= cap);
-            prop_assert!(avail >= cap / 50, "floor is 2% of capacity");
+            assert!(avail <= cap);
+            assert!(avail >= cap / 50, "floor is 2% of capacity");
         }
-    }
+    });
 }

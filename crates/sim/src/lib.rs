@@ -17,7 +17,9 @@
 //! * [`stats`] — counters, online mean/variance, histograms and time series
 //!   used by the measurement harness,
 //! * [`trace`] — an optional event trace used to render the Figure 2
-//!   migration timelines.
+//!   migration timelines,
+//! * [`propcheck`] — a tiny in-tree property-check harness (seeded,
+//!   dependency-free) used by every crate's property suites.
 //!
 //! ## Quick example
 //!
@@ -33,6 +35,7 @@
 //! ```
 
 pub mod event;
+pub mod propcheck;
 pub mod rng;
 pub mod stats;
 pub mod time;

@@ -1,0 +1,153 @@
+//! A tiny, dependency-free property-check harness.
+//!
+//! The workspace builds offline, so instead of an external property
+//! testing crate the test suites use this: a [`Gen`] wrapper around
+//! [`SimRng`] plus [`forall`], a driver that runs a property
+//! over many cases with **per-case derived seeds**. Each case forks its
+//! RNG from `(suite label, case index)`, so a failure report's case
+//! number alone reproduces the inputs — no shrink files on disk, no
+//! global state.
+//!
+//! ```
+//! use ampom_sim::propcheck::{forall, Gen};
+//!
+//! forall("addition-commutes", 64, |g: &mut Gen| {
+//!     let a = g.u64(0..1000);
+//!     let b = g.u64(0..1000);
+//!     assert_eq!(a + b, b + a);
+//! });
+//! ```
+//!
+//! Properties signal failure by panicking (plain `assert!` family);
+//! `forall` catches the panic, reports the suite label, case index and
+//! seed, and re-raises so the test still fails.
+
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+use crate::rng::SimRng;
+
+/// Per-case input generator: a seeded [`SimRng`] with convenience
+/// samplers for the shapes the suites need.
+pub struct Gen {
+    rng: SimRng,
+}
+
+impl Gen {
+    /// A generator seeded directly (normally created by [`forall`]).
+    pub fn from_seed(seed: u64) -> Self {
+        Gen {
+            rng: SimRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The underlying RNG, for samplers not covered here.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// A uniform `u64` in `range` (half-open; panics on an empty range).
+    pub fn u64(&mut self, range: Range<u64>) -> u64 {
+        assert!(range.start < range.end, "empty range");
+        range.start + self.rng.below(range.end - range.start)
+    }
+
+    /// A uniform `usize` in `range` (half-open).
+    pub fn usize(&mut self, range: Range<usize>) -> usize {
+        self.u64(range.start as u64..range.end as u64) as usize
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.rng.unit_f64()
+    }
+
+    /// `true` with probability `p`.
+    pub fn bool(&mut self, p: f64) -> bool {
+        self.rng.chance(p)
+    }
+
+    /// A vector of `len ∈ len_range` elements drawn by `f`.
+    pub fn vec<T>(&mut self, len_range: Range<usize>, mut f: impl FnMut(&mut Gen) -> T) -> Vec<T> {
+        let len = self.usize(len_range);
+        (0..len).map(|_| f(self)).collect()
+    }
+
+    /// A vector of uniform `u64`s, the most common shape in the suites.
+    pub fn vec_u64(&mut self, len_range: Range<usize>, value_range: Range<u64>) -> Vec<u64> {
+        let r = value_range;
+        self.vec(len_range, move |g| g.u64(r.start..r.end))
+    }
+
+    /// One element of a non-empty slice, by reference.
+    pub fn choose<'a, T>(&mut self, options: &'a [T]) -> &'a T {
+        assert!(!options.is_empty(), "choose from empty slice");
+        &options[self.usize(0..options.len())]
+    }
+}
+
+/// The seed for `case` of the suite named `label` — stable across runs
+/// and platforms, so a reported case number is a full repro.
+pub fn case_seed(label: &str, case: u64) -> u64 {
+    let mut rng = SimRng::seed_from_u64(0x70_72_6F_70); // "prop"
+    for b in label.as_bytes() {
+        rng = rng.fork(u64::from(*b));
+    }
+    rng.fork(case).base_seed()
+}
+
+/// Runs `property` over `cases` independently seeded [`Gen`]s. On a
+/// panic, prints the suite label, case index and seed, then re-raises
+/// the panic so the enclosing `#[test]` fails with the original message.
+pub fn forall(label: &str, cases: u64, mut property: impl FnMut(&mut Gen)) {
+    for case in 0..cases {
+        let seed = case_seed(label, case);
+        let mut gen = Gen::from_seed(seed);
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| property(&mut gen))) {
+            eprintln!("propcheck failure: suite '{label}', case {case}/{cases}, seed {seed:#018x}");
+            resume_unwind(payload);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_differ_by_case_and_label() {
+        assert_ne!(case_seed("a", 0), case_seed("a", 1));
+        assert_ne!(case_seed("a", 0), case_seed("b", 0));
+        assert_eq!(case_seed("a", 3), case_seed("a", 3));
+    }
+
+    #[test]
+    fn generators_respect_ranges() {
+        forall("gen-ranges", 128, |g| {
+            let v = g.u64(10..20);
+            assert!((10..20).contains(&v));
+            let xs = g.vec_u64(0..24, 0..40);
+            assert!(xs.len() < 24);
+            assert!(xs.iter().all(|&x| x < 40));
+            let u = g.unit_f64();
+            assert!((0.0..1.0).contains(&u));
+        });
+    }
+
+    #[test]
+    fn failures_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            forall("always-fails", 8, |_| panic!("intended"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn cases_are_reproducible() {
+        let mut first = Vec::new();
+        forall("repro", 16, |g| first.push(g.u64(0..1_000_000)));
+        let mut second = Vec::new();
+        forall("repro", 16, |g| second.push(g.u64(0..1_000_000)));
+        assert_eq!(first, second);
+    }
+}

@@ -180,7 +180,11 @@ mod tests {
         let mut tr = Trace::enabled();
         let t0 = SimTime::ZERO;
         tr.record(t0, TraceKind::FreezeBegin, "pid 1");
-        tr.record(t0 + SimDuration::from_millis(1), TraceKind::PagesSent, "3 pages");
+        tr.record(
+            t0 + SimDuration::from_millis(1),
+            TraceKind::PagesSent,
+            "3 pages",
+        );
         tr.record(t0 + SimDuration::from_millis(2), TraceKind::FreezeEnd, "");
         assert_eq!(tr.events().len(), 3);
         assert_eq!(tr.of_kind(TraceKind::PagesSent).count(), 1);

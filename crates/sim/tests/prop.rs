@@ -1,15 +1,14 @@
 //! Property tests for the simulation substrate.
 
 use ampom_sim::event::EventQueue;
+use ampom_sim::propcheck::forall;
 use ampom_sim::stats::{Histogram, OnlineStats};
 use ampom_sim::time::{SimDuration, SimTime};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn event_queue_pops_sorted_and_stable(times in prop::collection::vec(0u64..1000, 0..200)) {
+#[test]
+fn event_queue_pops_sorted_and_stable() {
+    forall("queue-sorted-stable", 256, |g| {
+        let times = g.vec_u64(0..200, 0..1000);
         let mut q = EventQueue::new();
         for (i, &t) in times.iter().enumerate() {
             q.schedule(SimTime::from_nanos(t), i);
@@ -18,51 +17,60 @@ proptest! {
         while let Some(e) = q.pop() {
             popped.push(e);
         }
-        prop_assert_eq!(popped.len(), times.len());
+        assert_eq!(popped.len(), times.len());
         // Non-decreasing timestamps; FIFO (ascending payload index) among
         // equal timestamps.
         for w in popped.windows(2) {
-            prop_assert!(w[0].0 <= w[1].0);
+            assert!(w[0].0 <= w[1].0);
             if w[0].0 == w[1].0 {
-                prop_assert!(w[0].1 < w[1].1);
+                assert!(w[0].1 < w[1].1);
             }
         }
         // Every payload appears exactly once.
         let mut ids: Vec<usize> = popped.iter().map(|&(_, i)| i).collect();
         ids.sort_unstable();
-        prop_assert_eq!(ids, (0..times.len()).collect::<Vec<_>>());
-    }
+        assert_eq!(ids, (0..times.len()).collect::<Vec<_>>());
+    });
+}
 
-    #[test]
-    fn event_queue_clock_is_monotone(times in prop::collection::vec(0u64..1000, 1..100)) {
+#[test]
+fn event_queue_clock_is_monotone() {
+    forall("queue-clock-monotone", 256, |g| {
+        let times = g.vec_u64(1..100, 0..1000);
         let mut q = EventQueue::new();
         for &t in &times {
             q.schedule(SimTime::from_nanos(t), ());
         }
         let mut last = SimTime::ZERO;
         while let Some((t, ())) = q.pop() {
-            prop_assert!(t >= last);
-            prop_assert_eq!(q.now(), t);
+            assert!(t >= last);
+            assert_eq!(q.now(), t);
             last = t;
         }
-    }
+    });
+}
 
-    #[test]
-    fn online_stats_match_naive(xs in prop::collection::vec(-1e6f64..1e6, 1..500)) {
+#[test]
+fn online_stats_match_naive() {
+    forall("online-stats-naive", 256, |g| {
+        let xs = g.vec(1..500, |g| (g.unit_f64() - 0.5) * 2e6);
         let mut s = OnlineStats::new();
         xs.iter().for_each(|&x| s.record(x));
         let n = xs.len() as f64;
         let mean = xs.iter().sum::<f64>() / n;
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
-        prop_assert!((s.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
-        prop_assert!((s.variance() - var).abs() < 1e-5 * var.abs().max(1.0));
-        prop_assert_eq!(s.min(), xs.iter().copied().reduce(f64::min));
-        prop_assert_eq!(s.max(), xs.iter().copied().reduce(f64::max));
-    }
+        assert!((s.mean() - mean).abs() < 1e-6 * mean.abs().max(1.0));
+        assert!((s.variance() - var).abs() < 1e-5 * var.abs().max(1.0));
+        assert_eq!(s.min(), xs.iter().copied().reduce(f64::min));
+        assert_eq!(s.max(), xs.iter().copied().reduce(f64::max));
+    });
+}
 
-    #[test]
-    fn online_stats_merge_any_split(xs in prop::collection::vec(-1e3f64..1e3, 2..200), split in 0usize..200) {
-        let split = split % xs.len();
+#[test]
+fn online_stats_merge_any_split() {
+    forall("online-stats-merge", 256, |g| {
+        let xs = g.vec(2..200, |g| (g.unit_f64() - 0.5) * 2e3);
+        let split = g.usize(0..200) % xs.len();
         let mut whole = OnlineStats::new();
         xs.iter().for_each(|&x| whole.record(x));
         let mut a = OnlineStats::new();
@@ -70,18 +78,21 @@ proptest! {
         xs[..split].iter().for_each(|&x| a.record(x));
         xs[split..].iter().for_each(|&x| b.record(x));
         a.merge(&b);
-        prop_assert_eq!(a.count(), whole.count());
-        prop_assert!((a.mean() - whole.mean()).abs() < 1e-9);
-        prop_assert!((a.variance() - whole.variance()).abs() < 1e-6);
-    }
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-6);
+    });
+}
 
-    #[test]
-    fn histogram_counts_and_quantile_bounds(values in prop::collection::vec(0u64..1_000_000, 1..500)) {
+#[test]
+fn histogram_counts_and_quantile_bounds() {
+    forall("histogram-quantiles", 256, |g| {
+        let values = g.vec_u64(1..500, 0..1_000_000);
         let mut h = Histogram::new();
         values.iter().for_each(|&v| h.record(v));
-        prop_assert_eq!(h.count(), values.len() as u64);
+        assert_eq!(h.count(), values.len() as u64);
         let total: u64 = h.nonempty_buckets().map(|(_, c)| c).sum();
-        prop_assert_eq!(total, values.len() as u64);
+        assert_eq!(total, values.len() as u64);
         // The q-quantile upper bound really bounds the empirical quantile.
         let mut sorted = values.clone();
         sorted.sort_unstable();
@@ -89,28 +100,35 @@ proptest! {
             let bound = h.quantile_upper_bound(q).unwrap();
             let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
             let empirical = sorted[rank - 1];
-            prop_assert!(bound >= empirical, "q={q}: bound {bound} < {empirical}");
+            assert!(bound >= empirical, "q={q}: bound {bound} < {empirical}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn duration_arithmetic_is_consistent(a in 0u64..1_000_000_000, b in 0u64..1_000_000_000) {
+#[test]
+fn duration_arithmetic_is_consistent() {
+    forall("duration-arithmetic", 256, |g| {
+        let a = g.u64(0..1_000_000_000);
+        let b = g.u64(0..1_000_000_000);
         let da = SimDuration::from_nanos(a);
         let db = SimDuration::from_nanos(b);
-        prop_assert_eq!((da + db).as_nanos(), a + b);
-        prop_assert_eq!(da.max(db).as_nanos(), a.max(b));
-        prop_assert_eq!(da.min(db).as_nanos(), a.min(b));
+        assert_eq!((da + db).as_nanos(), a + b);
+        assert_eq!(da.max(db).as_nanos(), a.max(b));
+        assert_eq!(da.min(db).as_nanos(), a.min(b));
         let t = SimTime::ZERO + da;
-        prop_assert_eq!(t.since(SimTime::ZERO), da);
-        prop_assert_eq!((t + db).since(t), db);
-    }
+        assert_eq!(t.since(SimTime::ZERO), da);
+        assert_eq!((t + db).since(t), db);
+    });
+}
 
-    #[test]
-    fn from_secs_f64_round_trips(ns in 0u64..1_000_000_000_000) {
+#[test]
+fn from_secs_f64_round_trips() {
+    forall("secs-f64-round-trip", 256, |g| {
+        let ns = g.u64(0..1_000_000_000_000);
         let d = SimDuration::from_nanos(ns);
         let rt = SimDuration::from_secs_f64(d.as_secs_f64());
         // f64 has 52 mantissa bits; allow a proportional error.
         let err = (rt.as_nanos() as i128 - ns as i128).unsigned_abs();
-        prop_assert!(err <= 1 + ns as u128 / (1 << 40));
-    }
+        assert!(err <= 1 + ns as u128 / (1 << 40));
+    });
 }

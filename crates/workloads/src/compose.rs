@@ -332,8 +332,7 @@ mod tests {
     #[test]
     fn scaled_multiplies_cpu_only() {
         let plain: Vec<_> = Sequential::new(8, CPU).collect();
-        let scaled: Vec<_> =
-            Scaled::new(Box::new(Sequential::new(8, CPU)), 2.0).collect();
+        let scaled: Vec<_> = Scaled::new(Box::new(Sequential::new(8, CPU)), 2.0).collect();
         for (a, b) in plain.iter().zip(&scaled) {
             assert_eq!(a.page, b.page);
             assert_eq!(b.cpu, a.cpu * 2);

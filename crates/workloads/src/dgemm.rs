@@ -288,7 +288,10 @@ mod tests {
     fn compute_calibration_575mb() {
         let d = Dgemm::new(575 * 1024 * 1024);
         let total = d.total_refs_hint() as f64 * d.cpu_per_touch.as_secs_f64();
-        assert!((70.0..100.0).contains(&total), "575MB DGEMM compute {total}s");
+        assert!(
+            (70.0..100.0).contains(&total),
+            "575MB DGEMM compute {total}s"
+        );
     }
 
     #[test]

@@ -122,7 +122,11 @@ impl Iterator for Fft {
                 let block = self.i / d;
                 let within = self.i % d;
                 let lo = block * 2 * d + within;
-                let page_idx = if self.half { (lo + d).min(self.pages - 1) } else { lo };
+                let page_idx = if self.half {
+                    (lo + d).min(self.pages - 1)
+                } else {
+                    lo
+                };
                 let r = MemRef {
                     page: self.base.offset(page_idx),
                     write: true,

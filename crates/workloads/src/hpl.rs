@@ -181,10 +181,11 @@ mod tests {
         let h = Hpl::new(4096 * 256);
         let refs: Vec<_> = h.collect();
         let quarter = refs.len() / 4;
-        let early: std::collections::HashSet<_> =
-            refs[..quarter].iter().map(|r| r.page).collect();
-        let late: std::collections::HashSet<_> =
-            refs[refs.len() - quarter..].iter().map(|r| r.page).collect();
+        let early: std::collections::HashSet<_> = refs[..quarter].iter().map(|r| r.page).collect();
+        let late: std::collections::HashSet<_> = refs[refs.len() - quarter..]
+            .iter()
+            .map(|r| r.page)
+            .collect();
         assert!(
             late.len() < early.len(),
             "late working set {} < early {}",

@@ -122,7 +122,11 @@ mod tests {
             CPU,
             SimRng::seed_from_u64(3),
         ));
-        assert!(a.successor_fraction < 0.05, "spatial {}", a.successor_fraction);
+        assert!(
+            a.successor_fraction < 0.05,
+            "spatial {}",
+            a.successor_fraction
+        );
         // 5000 touches over 1000 pages: heavy incidental reuse, but that is
         // temporal coverage, not locality — still reported faithfully.
         assert!(a.reuse_fraction > 0.5);
@@ -158,7 +162,10 @@ mod tests {
     #[test]
     fn hpcc_kernels_land_in_their_figure4_quadrants() {
         use crate::{build_kernel, Kernel, ProblemSize};
-        let size = ProblemSize { problem: 0, memory_mb: 4 };
+        let size = ProblemSize {
+            problem: 0,
+            memory_mb: 4,
+        };
         let get = |k| analyze(build_kernel(k, &size, 42).by_ref());
         let dgemm = get(Kernel::Dgemm);
         let stream = get(Kernel::Stream);

@@ -166,6 +166,9 @@ mod tests {
     fn compute_calibration_513mb() {
         let w = build(513 * 1024 * 1024, 5);
         let total = w.total_refs_hint() as f64 * RandomAccess::CPU_PER_TOUCH.as_secs_f64();
-        assert!((120.0..180.0).contains(&total), "513MB GUPS compute {total}s");
+        assert!(
+            (120.0..180.0).contains(&total),
+            "513MB GUPS compute {total}s"
+        );
     }
 }

@@ -66,28 +66,70 @@ impl ProblemSize {
 
 /// Table 1, DGEMM row.
 pub const DGEMM_SIZES: [ProblemSize; 5] = [
-    ProblemSize { problem: 7600, memory_mb: 115 },
-    ProblemSize { problem: 10850, memory_mb: 230 },
-    ProblemSize { problem: 13350, memory_mb: 345 },
-    ProblemSize { problem: 15450, memory_mb: 460 },
-    ProblemSize { problem: 17350, memory_mb: 575 },
+    ProblemSize {
+        problem: 7600,
+        memory_mb: 115,
+    },
+    ProblemSize {
+        problem: 10850,
+        memory_mb: 230,
+    },
+    ProblemSize {
+        problem: 13350,
+        memory_mb: 345,
+    },
+    ProblemSize {
+        problem: 15450,
+        memory_mb: 460,
+    },
+    ProblemSize {
+        problem: 17350,
+        memory_mb: 575,
+    },
 ];
 
 /// Table 1, STREAM row.
 pub const STREAM_SIZES: [ProblemSize; 5] = [
-    ProblemSize { problem: 7750, memory_mb: 115 },
-    ProblemSize { problem: 11000, memory_mb: 230 },
-    ProblemSize { problem: 13450, memory_mb: 345 },
-    ProblemSize { problem: 15520, memory_mb: 460 },
-    ProblemSize { problem: 17400, memory_mb: 575 },
+    ProblemSize {
+        problem: 7750,
+        memory_mb: 115,
+    },
+    ProblemSize {
+        problem: 11000,
+        memory_mb: 230,
+    },
+    ProblemSize {
+        problem: 13450,
+        memory_mb: 345,
+    },
+    ProblemSize {
+        problem: 15520,
+        memory_mb: 460,
+    },
+    ProblemSize {
+        problem: 17400,
+        memory_mb: 575,
+    },
 ];
 
 /// Table 1, RandomAccess & FFT row (the two kernels share sizes).
 pub const RANDOM_ACCESS_FFT_SIZES: [ProblemSize; 4] = [
-    ProblemSize { problem: 8000, memory_mb: 65 },
-    ProblemSize { problem: 11000, memory_mb: 129 },
-    ProblemSize { problem: 16000, memory_mb: 260 },
-    ProblemSize { problem: 23000, memory_mb: 513 },
+    ProblemSize {
+        problem: 8000,
+        memory_mb: 65,
+    },
+    ProblemSize {
+        problem: 11000,
+        memory_mb: 129,
+    },
+    ProblemSize {
+        problem: 16000,
+        memory_mb: 260,
+    },
+    ProblemSize {
+        problem: 23000,
+        memory_mb: 513,
+    },
 ];
 
 /// The Table 1 sizes for a kernel.
@@ -110,7 +152,13 @@ mod tests {
         assert_eq!(STREAM_SIZES[2].problem, 13450);
         assert_eq!(STREAM_SIZES[4].memory_mb, 575);
         assert_eq!(RANDOM_ACCESS_FFT_SIZES[0].memory_mb, 65);
-        assert_eq!(RANDOM_ACCESS_FFT_SIZES[3], ProblemSize { problem: 23000, memory_mb: 513 });
+        assert_eq!(
+            RANDOM_ACCESS_FFT_SIZES[3],
+            ProblemSize {
+                problem: 23000,
+                memory_mb: 513
+            }
+        );
     }
 
     #[test]
@@ -121,15 +169,20 @@ mod tests {
             assert!(sizes.first().unwrap().memory_mb <= 115);
             assert!(sizes.last().unwrap().memory_mb >= 500);
             // Monotonically increasing in both columns.
-            assert!(sizes.windows(2).all(|w| w[0].problem < w[1].problem
-                && w[0].memory_mb < w[1].memory_mb));
+            assert!(sizes
+                .windows(2)
+                .all(|w| w[0].problem < w[1].problem && w[0].memory_mb < w[1].memory_mb));
         }
     }
 
     #[test]
     fn memory_bytes_conversion() {
         assert_eq!(
-            ProblemSize { problem: 1, memory_mb: 2 }.memory_bytes(),
+            ProblemSize {
+                problem: 1,
+                memory_mb: 2
+            }
+            .memory_bytes(),
             2 * 1024 * 1024
         );
     }

@@ -160,14 +160,17 @@ mod tests {
         let mut pages: Vec<_> = first_pass.iter().map(|r| r.page).collect();
         pages.sort();
         pages.dedup();
-        assert_eq!(pages.len() as u64, per_pass, "each page touched once per pass");
+        assert_eq!(
+            pages.len() as u64,
+            per_pass,
+            "each page touched once per pass"
+        );
     }
 
     #[test]
     fn compute_time_calibration_575mb() {
         let k = StreamKernel::new(575 * 1024 * 1024);
-        let total_cpu =
-            k.total_refs_hint() as f64 * StreamKernel::CPU_PER_TOUCH.as_secs_f64();
+        let total_cpu = k.total_refs_hint() as f64 * StreamKernel::CPU_PER_TOUCH.as_secs_f64();
         assert!(
             (15.0..25.0).contains(&total_cpu),
             "575MB STREAM compute = {total_cpu}s"

@@ -80,9 +80,7 @@ impl Interleaved {
     pub fn new(streams: u64, stream_pages: u64, cpu: SimDuration) -> Self {
         assert!(streams > 0 && stream_pages > 0);
         Interleaved {
-            layout: MemoryLayout::with_data_bytes(
-                streams * stream_pages * ampom_mem::PAGE_SIZE,
-            ),
+            layout: MemoryLayout::with_data_bytes(streams * stream_pages * ampom_mem::PAGE_SIZE),
             streams,
             stream_pages,
             cpu,

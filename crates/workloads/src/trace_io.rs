@@ -53,9 +53,7 @@ pub fn write_trace<W: Write>(
 /// Parses a trace. Returns the declared data size and the references.
 pub fn read_trace<R: BufRead>(input: R) -> io::Result<(u64, Vec<MemRef>)> {
     let mut lines = input.lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| bad("empty trace"))??;
+    let header = lines.next().ok_or_else(|| bad("empty trace"))??;
     let rest = header
         .strip_prefix(MAGIC)
         .ok_or_else(|| bad("missing magic header"))?;

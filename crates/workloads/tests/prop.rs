@@ -1,120 +1,186 @@
 //! Property tests for the workload generators.
 
+use ampom_sim::propcheck::{forall, Gen};
 use ampom_sim::rng::SimRng;
 use ampom_sim::time::SimDuration;
 use ampom_workloads::memref::Workload;
 use ampom_workloads::sizes::ProblemSize;
 use ampom_workloads::{build_kernel, Kernel};
-use proptest::prelude::*;
 
-fn kernels() -> impl Strategy<Value = Kernel> {
-    prop_oneof![
-        Just(Kernel::Dgemm),
-        Just(Kernel::Stream),
-        Just(Kernel::RandomAccess),
-        Just(Kernel::Fft),
-    ]
+fn random_kernel(g: &mut Gen) -> Kernel {
+    *g.choose(&[
+        Kernel::Dgemm,
+        Kernel::Stream,
+        Kernel::RandomAccess,
+        Kernel::Fft,
+    ])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn every_kernel_stream_is_wellformed(kernel in kernels(), mb in 1u64..8, seed in 0u64..100) {
-        let size = ProblemSize { problem: 0, memory_mb: mb };
+#[test]
+fn every_kernel_stream_is_wellformed() {
+    forall("kernel-wellformed", 48, |g| {
+        let kernel = random_kernel(g);
+        let mb = g.u64(1..8);
+        let seed = g.u64(0..100);
+        let size = ProblemSize {
+            problem: 0,
+            memory_mb: mb,
+        };
         let mut w = build_kernel(kernel, &size, seed);
         let hint = w.total_refs_hint();
         let layout = w.layout().clone();
         let mut count = 0u64;
         for r in w.by_ref() {
-            prop_assert!(layout.data_pages().contains(r.page), "{kernel:?} ref outside data");
-            prop_assert!(r.cpu > SimDuration::ZERO);
+            assert!(
+                layout.data_pages().contains(r.page),
+                "{kernel:?} ref outside data"
+            );
+            assert!(r.cpu > SimDuration::ZERO);
             count += 1;
-            prop_assert!(count <= hint, "{kernel:?} exceeded its hint");
+            assert!(count <= hint, "{kernel:?} exceeded its hint");
         }
-        prop_assert_eq!(count, hint, "{:?} hint mismatch", kernel);
-    }
+        assert_eq!(count, hint, "{kernel:?} hint mismatch");
+    });
+}
 
-    #[test]
-    fn kernels_are_deterministic_per_seed(kernel in kernels(), mb in 1u64..4, seed in 0u64..100) {
-        let size = ProblemSize { problem: 0, memory_mb: mb };
+#[test]
+fn kernels_are_deterministic_per_seed() {
+    forall("kernel-deterministic", 48, |g| {
+        let kernel = random_kernel(g);
+        let mb = g.u64(1..4);
+        let seed = g.u64(0..100);
+        let size = ProblemSize {
+            problem: 0,
+            memory_mb: mb,
+        };
         let a: Vec<_> = build_kernel(kernel, &size, seed).by_ref().collect();
         let b: Vec<_> = build_kernel(kernel, &size, seed).by_ref().collect();
-        prop_assert_eq!(a, b);
-    }
+        assert_eq!(a, b);
+    });
+}
 
-    #[test]
-    fn allocation_covers_every_touched_page(kernel in kernels(), mb in 1u64..4, seed in 0u64..50) {
-        let size = ProblemSize { problem: 0, memory_mb: mb };
+#[test]
+fn allocation_covers_every_touched_page() {
+    forall("allocation-covers", 48, |g| {
+        let kernel = random_kernel(g);
+        let mb = g.u64(1..4);
+        let seed = g.u64(0..50);
+        let size = ProblemSize {
+            problem: 0,
+            memory_mb: mb,
+        };
         let mut w = build_kernel(kernel, &size, seed);
-        let allocated: std::collections::HashSet<_> =
-            w.allocation_pages().into_iter().collect();
+        let allocated: std::collections::HashSet<_> = w.allocation_pages().into_iter().collect();
         for r in w.by_ref() {
-            prop_assert!(
+            assert!(
                 allocated.contains(&r.page),
-                "{kernel:?} touched unallocated {}", r.page
+                "{kernel:?} touched unallocated {}",
+                r.page
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn sequential_kernels_cover_their_footprint(mb in 1u64..6, seed in 0u64..20) {
+#[test]
+fn sequential_kernels_cover_their_footprint() {
+    forall("sequential-coverage", 24, |g| {
+        let mb = g.u64(1..6);
+        let seed = g.u64(0..20);
         // STREAM and FFT touch (almost) every allocated data page.
         for kernel in [Kernel::Stream, Kernel::Fft] {
-            let size = ProblemSize { problem: 0, memory_mb: mb };
+            let size = ProblemSize {
+                problem: 0,
+                memory_mb: mb,
+            };
             let mut w = build_kernel(kernel, &size, seed);
             let data_pages = w.layout().data_pages().len();
             let touched: std::collections::HashSet<_> = w.by_ref().map(|r| r.page).collect();
-            prop_assert!(
+            assert!(
                 touched.len() as u64 >= data_pages * 95 / 100,
-                "{kernel:?}: {} of {}", touched.len(), data_pages
+                "{kernel:?}: {} of {}",
+                touched.len(),
+                data_pages
             );
         }
-    }
+    });
+}
 
-    #[test]
-    fn small_ws_dgemm_respects_bounds(alloc_mb in 4u64..16, frac in 1u64..=4) {
+#[test]
+fn small_ws_dgemm_respects_bounds() {
+    forall("small-ws-bounds", 48, |g| {
         use ampom_workloads::dgemm::DgemmSmallWs;
+        let alloc_mb = g.u64(4..16);
+        let frac = g.u64(1..5);
         let ws_mb = (alloc_mb * frac / 4).max(1);
         let mut w = DgemmSmallWs::new(alloc_mb * 1024 * 1024, ws_mb * 1024 * 1024);
         let ws_pages = ws_mb * 1024 * 1024 / 4096;
         let start = w.layout().data_start();
         for r in w.by_ref() {
-            prop_assert!(r.page.index() < start.index() + ws_pages + 3);
+            assert!(r.page.index() < start.index() + ws_pages + 3);
         }
-    }
+    });
+}
 
-    #[test]
-    fn random_access_is_seed_sensitive(mb in 1u64..4) {
-        let size = ProblemSize { problem: 0, memory_mb: mb };
-        let a: Vec<_> = build_kernel(Kernel::RandomAccess, &size, 1).by_ref().take(100).collect();
-        let b: Vec<_> = build_kernel(Kernel::RandomAccess, &size, 2).by_ref().take(100).collect();
-        prop_assert_ne!(a, b);
-    }
+#[test]
+fn random_access_is_seed_sensitive() {
+    forall("randomaccess-seeds", 12, |g| {
+        let mb = g.u64(1..4);
+        let size = ProblemSize {
+            problem: 0,
+            memory_mb: mb,
+        };
+        let a: Vec<_> = build_kernel(Kernel::RandomAccess, &size, 1)
+            .by_ref()
+            .take(100)
+            .collect();
+        let b: Vec<_> = build_kernel(Kernel::RandomAccess, &size, 2)
+            .by_ref()
+            .take(100)
+            .collect();
+        assert_ne!(a, b);
+    });
+}
 
-    #[test]
-    fn locality_analysis_bounds(kernel in kernels(), mb in 1u64..4, seed in 0u64..20) {
+#[test]
+fn locality_analysis_bounds() {
+    forall("locality-bounds", 48, |g| {
         use ampom_workloads::locality::analyze;
-        let size = ProblemSize { problem: 0, memory_mb: mb };
+        let kernel = random_kernel(g);
+        let mb = g.u64(1..4);
+        let seed = g.u64(0..20);
+        let size = ProblemSize {
+            problem: 0,
+            memory_mb: mb,
+        };
         let w = build_kernel(kernel, &size, seed);
         let a = analyze(w);
-        prop_assert!((0.0..=1.0).contains(&a.successor_fraction));
-        prop_assert!((0.0..=1.0).contains(&a.reuse_fraction));
-        prop_assert!(a.footprint_pages <= a.touches);
-        prop_assert!(a.mean_sequential_run >= 1.0 || a.touches == 0);
-    }
+        assert!((0.0..=1.0).contains(&a.successor_fraction));
+        assert!((0.0..=1.0).contains(&a.reuse_fraction));
+        assert!(a.footprint_pages <= a.touches);
+        assert!(a.mean_sequential_run >= 1.0 || a.touches == 0);
+    });
+}
 
-    #[test]
-    fn synthetic_uniform_random_touches_in_range(pages in 1u64..512, touches in 1u64..1000, seed in 0u64..50) {
+#[test]
+fn synthetic_uniform_random_touches_in_range() {
+    forall("uniform-random-range", 48, |g| {
         use ampom_workloads::synthetic::UniformRandom;
-        let mut w = UniformRandom::new(pages, touches, SimDuration::from_micros(1), SimRng::seed_from_u64(seed));
+        let pages = g.u64(1..512);
+        let touches = g.u64(1..1000);
+        let seed = g.u64(0..50);
+        let mut w = UniformRandom::new(
+            pages,
+            touches,
+            SimDuration::from_micros(1),
+            SimRng::seed_from_u64(seed),
+        );
         let start = w.layout().data_start();
         let mut n = 0;
         for r in w.by_ref() {
-            prop_assert!(r.page >= start);
-            prop_assert!(r.page.index() < start.index() + pages);
+            assert!(r.page >= start);
+            assert!(r.page.index() < start.index() + pages);
             n += 1;
         }
-        prop_assert_eq!(n, touches);
-    }
+        assert_eq!(n, touches);
+    });
 }

@@ -12,11 +12,12 @@
 //! its monitor daemon sees the longer round trips and reduced available
 //! bandwidth and sizes the dependent zone accordingly.
 
-use ampom::core::migration::Scheme;
-use ampom::core::runner::{run_workload, CrossTrafficSpec, RunConfig};
+use ampom::core::runner::CrossTrafficSpec;
+use ampom::core::{Experiment, Scheme};
 use ampom::net::calibration::{broadband, fast_ethernet};
+use ampom::net::link::LinkConfig;
 use ampom::workloads::sizes::ProblemSize;
-use ampom::workloads::{build_kernel, Kernel};
+use ampom::workloads::Kernel;
 
 fn main() {
     let size = ProblemSize {
@@ -33,28 +34,31 @@ fn main() {
         "network", "scheme", "total (s)", "requests", "mean zone budget"
     );
 
-    let scenarios: Vec<(&str, RunConfig)> = vec![
+    let scenarios: Vec<(&str, LinkConfig, Option<CrossTrafficSpec>)> = vec![
+        ("Fast Ethernet (100 Mb/s)", fast_ethernet(), None),
+        ("broadband (6 Mb/s, 2 ms)", broadband(), None),
         (
-            "Fast Ethernet (100 Mb/s)",
-            RunConfig::new(Scheme::Ampom).with_link(fast_ethernet()),
-        ),
-        (
-            "broadband (6 Mb/s, 2 ms)",
-            RunConfig::new(Scheme::Ampom).with_link(broadband()),
-        ),
-        ("LAN + 8 MB/s cross traffic", {
-            let mut cfg = RunConfig::new(Scheme::Ampom);
-            cfg.cross_traffic = Some(CrossTrafficSpec {
+            "LAN + 8 MB/s cross traffic",
+            fast_ethernet(),
+            Some(CrossTrafficSpec {
                 bytes_per_sec: 8_000_000,
                 burst_bytes: 64 * 1024,
-            });
-            cfg
-        }),
+            }),
+        ),
     ];
 
-    for (label, cfg) in &scenarios {
-        let mut w = build_kernel(Kernel::Dgemm, &size, 42);
-        let r = run_workload(w.as_mut(), cfg);
+    for (label, link, cross) in &scenarios {
+        let run = |scheme: Scheme| {
+            let mut exp = Experiment::new(scheme)
+                .kernel(Kernel::Dgemm, size)
+                .link(*link)
+                .workload_seed(42);
+            if let Some(spec) = cross {
+                exp = exp.cross_traffic(*spec);
+            }
+            exp.run().expect("broadband experiment is valid")
+        };
+        let r = run(Scheme::Ampom);
         println!(
             "{:<26} {:>10} {:>12.2} {:>14} {:>18.1}",
             label,
@@ -64,10 +68,7 @@ fn main() {
             r.prefetch_stats.budgets.mean(),
         );
         // NoPrefetch comparison on the same network.
-        let mut w = build_kernel(Kernel::Dgemm, &size, 42);
-        let mut nopf = cfg.clone();
-        nopf.scheme = Scheme::NoPrefetch;
-        let rn = run_workload(w.as_mut(), &nopf);
+        let rn = run(Scheme::NoPrefetch);
         println!(
             "{:<26} {:>10} {:>12.2} {:>14} {:>18}",
             "",

@@ -14,10 +14,9 @@
 //! working set and degrades gracefully until the RAM no longer holds
 //! even that.
 
-use ampom::core::runner::{run_workload, RunConfig};
-use ampom::core::Scheme;
+use ampom::core::{Experiment, Scheme};
 use ampom::workloads::sizes::ProblemSize;
-use ampom::workloads::{build_kernel, Kernel};
+use ampom::workloads::Kernel;
 
 fn main() {
     const MB: u64 = 64;
@@ -29,11 +28,17 @@ fn main() {
 
     for limit in [None, Some(48u64), Some(32), Some(16)] {
         for scheme in [Scheme::OpenMosix, Scheme::Ampom] {
-            let size = ProblemSize { problem: 0, memory_mb: MB };
-            let mut w = build_kernel(Kernel::Dgemm, &size, 42);
-            let mut cfg = RunConfig::new(scheme);
-            cfg.resident_limit_mb = limit;
-            let r = run_workload(w.as_mut(), &cfg);
+            let size = ProblemSize {
+                problem: 0,
+                memory_mb: MB,
+            };
+            let mut exp = Experiment::new(scheme)
+                .kernel(Kernel::Dgemm, size)
+                .workload_seed(42);
+            if let Some(l) = limit {
+                exp = exp.resident_limit_mb(l);
+            }
+            let r = exp.run().expect("pressure experiment is valid");
             println!(
                 "{:>10} {:<12} {:>11.2} {:>12} {:>14.1}",
                 limit.map_or("unlimited".to_string(), |l| format!("{l} MB")),

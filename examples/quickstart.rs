@@ -10,10 +10,9 @@
 //! prints the headline numbers of the paper: freeze time, total execution
 //! time, and how many page-fault requests prefetching avoided.
 
-use ampom::core::migration::Scheme;
-use ampom::core::runner::{run_workload, RunConfig};
+use ampom::core::{Experiment, Scheme};
 use ampom::workloads::sizes::ProblemSize;
-use ampom::workloads::{build_kernel, Kernel};
+use ampom::workloads::Kernel;
 
 fn main() {
     let size = ProblemSize {
@@ -21,16 +20,23 @@ fn main() {
         memory_mb: 64,
     };
 
-    println!("Migrating a {} MB STREAM kernel under three schemes:\n", size.memory_mb);
+    println!(
+        "Migrating a {} MB STREAM kernel under three schemes:\n",
+        size.memory_mb
+    );
     println!(
         "{:<12} {:>12} {:>12} {:>16} {:>14}",
         "scheme", "freeze (s)", "total (s)", "fault requests", "prefetched"
     );
 
+    let mut eager_freeze = None;
     let mut baseline_faults = None;
     for scheme in [Scheme::OpenMosix, Scheme::NoPrefetch, Scheme::Ampom] {
-        let mut workload = build_kernel(Kernel::Stream, &size, 42);
-        let report = run_workload(workload.as_mut(), &RunConfig::new(scheme));
+        let report = Experiment::new(scheme)
+            .kernel(Kernel::Stream, size)
+            .workload_seed(42)
+            .run()
+            .expect("quickstart experiment is valid");
         println!(
             "{:<12} {:>12.3} {:>12.2} {:>16} {:>14}",
             scheme.name(),
@@ -39,26 +45,20 @@ fn main() {
             report.fault_requests,
             report.pages_prefetched,
         );
-        if scheme == Scheme::NoPrefetch {
-            baseline_faults = Some(report.fault_requests);
-        } else if scheme == Scheme::Ampom {
-            if let Some(base) = baseline_faults {
-                let prevented = 100.0 * (1.0 - report.fault_requests as f64 / base as f64);
-                println!(
-                    "\nAMPoM avoided {prevented:.1}% of NoPrefetch's page-fault requests \
-                     and {:.1}% of openMosix's freeze time.",
-                    100.0 * (1.0 - report.freeze_time.as_secs_f64() / eager_freeze(&size))
-                );
+        match scheme {
+            Scheme::OpenMosix => eager_freeze = Some(report.freeze_time.as_secs_f64()),
+            Scheme::NoPrefetch => baseline_faults = Some(report.fault_requests),
+            Scheme::Ampom => {
+                if let (Some(base), Some(eager)) = (baseline_faults, eager_freeze) {
+                    let prevented = 100.0 * (1.0 - report.fault_requests as f64 / base as f64);
+                    println!(
+                        "\nAMPoM avoided {prevented:.1}% of NoPrefetch's page-fault requests \
+                         and {:.1}% of openMosix's freeze time.",
+                        100.0 * (1.0 - report.freeze_time.as_secs_f64() / eager)
+                    );
+                }
             }
+            _ => {}
         }
     }
-}
-
-/// The eager freeze time for the same workload (recomputed for the
-/// closing summary line).
-fn eager_freeze(size: &ProblemSize) -> f64 {
-    let mut w = build_kernel(Kernel::Stream, size, 42);
-    run_workload(w.as_mut(), &RunConfig::new(Scheme::OpenMosix))
-        .freeze_time
-        .as_secs_f64()
 }

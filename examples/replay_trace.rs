@@ -12,8 +12,7 @@
 
 use std::io::BufReader;
 
-use ampom::core::runner::{run_workload, RunConfig};
-use ampom::core::Scheme;
+use ampom::core::{Experiment, Scheme};
 use ampom::workloads::stream_kernel::StreamKernel;
 use ampom::workloads::trace_io::{write_trace, Replay};
 
@@ -35,9 +34,10 @@ fn main() {
         "scheme", "total (s)", "fault requests", "prefetched"
     );
     for scheme in [Scheme::Ampom, Scheme::NoPrefetch] {
-        let mut replay =
-            Replay::from_reader(BufReader::new(&buf[..])).expect("trace parses");
-        let r = run_workload(&mut replay, &RunConfig::new(scheme));
+        let mut replay = Replay::from_reader(BufReader::new(&buf[..])).expect("trace parses");
+        let r = Experiment::new(scheme)
+            .run_on(&mut replay)
+            .expect("replay experiment is valid");
         println!(
             "{:<12} {:>12.2} {:>16} {:>14}",
             scheme.name(),
@@ -49,9 +49,10 @@ fn main() {
 
     // 3. Confirm the replay is behaviour-identical to the live workload.
     let mut original = StreamKernel::new(data_bytes);
-    let live = run_workload(&mut original, &RunConfig::new(Scheme::Ampom));
+    let ampom = Experiment::new(Scheme::Ampom);
+    let live = ampom.run_on(&mut original).expect("live run is valid");
     let mut replay = Replay::from_reader(BufReader::new(&buf[..])).expect("trace parses");
-    let replayed = run_workload(&mut replay, &RunConfig::new(Scheme::Ampom));
+    let replayed = ampom.run_on(&mut replay).expect("replay run is valid");
     assert_eq!(live.fault_requests, replayed.fault_requests);
     assert_eq!(live.total_time, replayed.total_time);
     println!("\nreplay is bit-identical to the live workload (same faults, same time).");

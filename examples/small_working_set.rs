@@ -12,15 +12,11 @@
 //! actually uses. This example sweeps the working-set fraction and shows
 //! the crossover.
 
-use ampom::core::migration::Scheme;
-use ampom::core::runner::{run_workload, RunConfig};
-use ampom::workloads::dgemm::DgemmSmallWs;
+use ampom::core::{Experiment, Scheme, WorkloadSpec};
 
 fn main() {
     const ALLOC_MB: u64 = 128;
-    println!(
-        "A {ALLOC_MB} MB process migrates, then computes on only part of its memory:\n"
-    );
+    println!("A {ALLOC_MB} MB process migrates, then computes on only part of its memory:\n");
     println!(
         "{:>8} {:>16} {:>12} {:>12}",
         "WS (MB)", "WS fraction", "openMosix", "AMPoM"
@@ -29,8 +25,13 @@ fn main() {
     for ws_mb in [16u64, 32, 64, 96, 128] {
         let mut times = Vec::new();
         for scheme in [Scheme::OpenMosix, Scheme::Ampom] {
-            let mut w = DgemmSmallWs::new(ALLOC_MB * 1024 * 1024, ws_mb * 1024 * 1024);
-            let r = run_workload(&mut w, &RunConfig::new(scheme));
+            let r = Experiment::new(scheme)
+                .workload(WorkloadSpec::DgemmSmallWs {
+                    alloc_bytes: ALLOC_MB * 1024 * 1024,
+                    working_bytes: ws_mb * 1024 * 1024,
+                })
+                .run()
+                .expect("working-set experiment is valid");
             times.push(r.total_time.as_secs_f64());
         }
         println!(
@@ -39,7 +40,11 @@ fn main() {
             100 * ws_mb / ALLOC_MB,
             times[0],
             times[1],
-            if times[1] < times[0] { "  <- AMPoM wins" } else { "" }
+            if times[1] < times[0] {
+                "  <- AMPoM wins"
+            } else {
+                ""
+            }
         );
     }
 

@@ -14,19 +14,15 @@
 //! naive and tailored analyses with the pure Eq. 3 algorithm.
 
 use ampom::core::prefetcher::AmpomConfig;
-use ampom::core::runner::RunConfig;
 use ampom::core::vm::{run_vm, VmAnalysis, VmWorkload};
-use ampom::core::Scheme;
+use ampom::core::{Experiment, Scheme};
 use ampom::sim::time::SimDuration;
 use ampom::workloads::synthetic::Sequential;
 use ampom::workloads::Workload;
 
 fn build_vm(guests: usize) -> VmWorkload {
     let procs: Vec<Box<dyn Workload>> = (0..guests)
-        .map(|_| {
-            Box::new(Sequential::new(1500, SimDuration::from_micros(15)))
-                as Box<dyn Workload>
-        })
+        .map(|_| Box::new(Sequential::new(1500, SimDuration::from_micros(15))) as Box<dyn Workload>)
         .collect();
     VmWorkload::new(procs, 1)
 }
@@ -39,17 +35,21 @@ fn main() {
         "guests", "analysis", "fault reqs", "prefetched", "mean S", "total (s)"
     );
 
+    // `run_vm` consumes a raw `RunConfig`; compose it with the builder.
+    let cfg = Experiment::new(Scheme::Ampom)
+        .ampom(AmpomConfig {
+            baseline_readahead: 0,
+            ..AmpomConfig::default()
+        })
+        .config()
+        .clone();
+
     for guests in [2usize, 4, 6, 8] {
         for mode in [
             VmAnalysis::SharedWindow,
             VmAnalysis::PerProcess,
             VmAnalysis::NoPrefetch,
         ] {
-            let mut cfg = RunConfig::new(Scheme::Ampom);
-            cfg.ampom = AmpomConfig {
-                baseline_readahead: 0,
-                ..AmpomConfig::default()
-            };
             let out = run_vm(build_vm(guests), &cfg, mode);
             println!(
                 "{:>7} {:<16} {:>14} {:>12} {:>10.3} {:>10.2}",

@@ -115,7 +115,10 @@ fn broadband_hurts_noprefetch_more_than_ampom() {
     // widens relative to openMosix.
     for kernel in [Kernel::Dgemm, Kernel::RandomAccess] {
         let mk = |scheme, link| {
-            let size = ProblemSize { problem: 0, memory_mb: 8 };
+            let size = ProblemSize {
+                problem: 0,
+                memory_mb: 8,
+            };
             let mut w = build_kernel(kernel, &size, 7);
             run_workload(w.as_mut(), &RunConfig::new(scheme).with_link(link))
         };

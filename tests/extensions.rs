@@ -133,7 +133,11 @@ fn dmax_knife_edge_on_interleaved_streams() {
     let blind = run(2);
     let sighted = run(4);
     assert_eq!(blind.pages_prefetched, 0, "stride 3 invisible at dmax 2");
-    assert!(sighted.pages_prefetched > 500, "{}", sighted.pages_prefetched);
+    assert!(
+        sighted.pages_prefetched > 500,
+        "{}",
+        sighted.pages_prefetched
+    );
     assert!(sighted.fault_requests * 4 < blind.fault_requests);
     assert!(sighted.total_time < blind.total_time);
 }

@@ -1,69 +1,80 @@
 //! Cross-crate property-based tests: invariants that must hold for *any*
-//! workload shape, checked with proptest over randomized synthetic
-//! reference streams and randomized AMPoM configurations.
+//! workload shape, checked with the in-tree propcheck harness over
+//! randomized synthetic reference streams and randomized AMPoM
+//! configurations.
 
 use ampom::core::migration::Scheme;
 use ampom::core::prefetcher::AmpomConfig;
 use ampom::core::runner::{run_workload, RunConfig};
 use ampom::core::RunReport;
+use ampom::sim::propcheck::{forall, Gen};
 use ampom::sim::rng::SimRng;
 use ampom::sim::time::SimDuration;
 use ampom::workloads::synthetic::{Interleaved, Scripted, Sequential, UniformRandom};
 use ampom::workloads::Workload;
-use proptest::prelude::*;
 
 fn run_with(w: &mut dyn Workload, scheme: Scheme) -> RunReport {
     run_workload(w, &RunConfig::new(scheme))
 }
 
 /// A randomized scripted workload over up to 256 pages.
-fn scripted_strategy() -> impl Strategy<Value = (u64, Vec<u64>)> {
-    (16u64..=256).prop_flat_map(|pages| {
-        (
-            Just(pages),
-            prop::collection::vec(0..pages, 1..400),
-        )
-    })
+fn random_script(g: &mut Gen) -> (u64, Vec<u64>) {
+    let pages = g.u64(16..257);
+    let seq = g.vec_u64(1..400, 0..pages);
+    (pages, seq)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn all_schemes_complete_any_scripted_workload((pages, seq) in scripted_strategy()) {
-        for scheme in [Scheme::OpenMosix, Scheme::NoPrefetch, Scheme::Ampom, Scheme::Ffa] {
+#[test]
+fn all_schemes_complete_any_scripted_workload() {
+    forall("all-schemes-complete", 24, |g| {
+        let (pages, seq) = random_script(g);
+        for scheme in [
+            Scheme::OpenMosix,
+            Scheme::NoPrefetch,
+            Scheme::Ampom,
+            Scheme::Ffa,
+        ] {
             let mut w = Scripted::new(pages, &seq, SimDuration::from_micros(5));
             let r = run_with(&mut w, scheme);
-            prop_assert!(r.total_time.as_nanos() > 0);
-            prop_assert!(r.total_time >= r.freeze_time);
+            assert!(r.total_time.as_nanos() > 0);
+            assert!(r.total_time >= r.freeze_time);
         }
-    }
+    });
+}
 
-    #[test]
-    fn compute_time_matches_stream_cpu((pages, seq) in scripted_strategy()) {
+#[test]
+fn compute_time_matches_stream_cpu() {
+    forall("compute-matches-cpu", 24, |g| {
+        let (pages, seq) = random_script(g);
         let cpu = SimDuration::from_micros(5);
         let expected = cpu * seq.len() as u64;
         for scheme in [Scheme::OpenMosix, Scheme::Ampom] {
             let mut w = Scripted::new(pages, &seq, cpu);
             let r = run_with(&mut w, scheme);
-            prop_assert_eq!(r.compute_time, expected);
+            assert_eq!(r.compute_time, expected);
         }
-    }
+    });
+}
 
-    #[test]
-    fn ampom_never_requests_more_than_noprefetch((pages, seq) in scripted_strategy()) {
+#[test]
+fn ampom_never_requests_more_than_noprefetch() {
+    forall("ampom-fewer-requests", 24, |g| {
+        let (pages, seq) = random_script(g);
         let cpu = SimDuration::from_micros(5);
         let mut w = Scripted::new(pages, &seq, cpu);
         let ampom = run_with(&mut w, Scheme::Ampom);
         let mut w = Scripted::new(pages, &seq, cpu);
         let nopf = run_with(&mut w, Scheme::NoPrefetch);
-        prop_assert!(ampom.fault_requests <= nopf.fault_requests);
+        assert!(ampom.fault_requests <= nopf.fault_requests);
         // And NoPrefetch's demand count equals its distinct remote pages.
-        prop_assert_eq!(nopf.pages_demand_fetched, nopf.fault_requests);
-    }
+        assert_eq!(nopf.pages_demand_fetched, nopf.fault_requests);
+    });
+}
 
-    #[test]
-    fn page_conservation_under_ampom((pages, seq) in scripted_strategy()) {
+#[test]
+fn page_conservation_under_ampom() {
+    forall("page-conservation", 24, |g| {
+        let (pages, seq) = random_script(g);
         let mut distinct: Vec<u64> = seq.clone();
         distinct.sort_unstable();
         distinct.dedup();
@@ -71,121 +82,143 @@ proptest! {
         let r = run_with(&mut w, Scheme::Ampom);
         // Every distinct touched page was satisfied from exactly one of:
         // freeze pages (3), demand fetch, prefetch, or local allocation.
-        prop_assert!(
+        assert!(
             r.pages_demand_fetched + r.prefetched_pages_used + r.pages_local_alloc + 3
                 >= distinct.len() as u64
         );
         // Total fetched never exceeds the mapped footprint (the deputy
         // refuses to ship a page twice).
-        prop_assert!(
-            r.pages_demand_fetched + r.pages_prefetched
-                <= pages + 200 /* code+stack margin */
-        );
-    }
+        assert!(r.pages_demand_fetched + r.pages_prefetched <= pages + 200 /* code+stack margin */);
+    });
+}
 
-    #[test]
-    fn openmosix_never_faults_remotely((pages, seq) in scripted_strategy()) {
+#[test]
+fn openmosix_never_faults_remotely() {
+    forall("openmosix-no-faults", 24, |g| {
+        let (pages, seq) = random_script(g);
         let mut w = Scripted::new(pages, &seq, SimDuration::from_micros(5));
         let r = run_with(&mut w, Scheme::OpenMosix);
-        prop_assert_eq!(r.fault_requests, 0);
-        prop_assert_eq!(r.pages_prefetched, 0);
-        prop_assert_eq!(r.stall_time, SimDuration::ZERO);
-    }
+        assert_eq!(r.fault_requests, 0);
+        assert_eq!(r.pages_prefetched, 0);
+        assert_eq!(r.stall_time, SimDuration::ZERO);
+    });
+}
 
-    #[test]
-    fn random_ampom_configs_are_safe(
-        window_len in 2usize..64,
-        dmax in 1usize..8,
-        baseline in 0u64..64,
-        cap in 1u64..1024,
-    ) {
-        prop_assume!(dmax < window_len);
+#[test]
+fn random_ampom_configs_are_safe() {
+    forall("random-configs-safe", 24, |g| {
+        let window_len = g.usize(2..64);
+        let dmax = g.usize(1..8);
+        if dmax >= window_len {
+            return; // equivalent of prop_assume!
+        }
+        let baseline = g.u64(0..64);
+        let cap = g.u64(1..1024);
         let mut cfg = RunConfig::new(Scheme::Ampom);
         cfg.ampom = AmpomConfig {
             window_len,
             dmax,
-            baseline_readahead: baseline,
+            baseline_readahead: baseline.min(cap),
             max_zone: cap,
         };
         let mut w = Sequential::new(128, SimDuration::from_micros(5));
         let r = run_workload(&mut w, &cfg);
-        prop_assert!(r.total_time.as_nanos() > 0);
+        assert!(r.total_time.as_nanos() > 0);
         // The cap bounds every batch: pages prefetched per request can
         // never exceed it.
         if r.fault_requests + r.prefetch_only_requests > 0 {
-            let per_request = r.pages_prefetched as f64
-                / (r.fault_requests + r.prefetch_only_requests) as f64;
-            prop_assert!(per_request <= cap as f64 + 1e-9);
+            let per_request =
+                r.pages_prefetched as f64 / (r.fault_requests + r.prefetch_only_requests) as f64;
+            assert!(per_request <= cap as f64 + 1e-9);
         }
-    }
+    });
+}
 
-    #[test]
-    fn deterministic_across_identical_runs(seed in 0u64..1000) {
-        let build = || UniformRandom::new(
-            64, 256, SimDuration::from_micros(5), SimRng::seed_from_u64(seed),
-        );
+#[test]
+fn deterministic_across_identical_runs() {
+    forall("identical-runs", 24, |g| {
+        let seed = g.u64(0..1000);
+        let build = || {
+            UniformRandom::new(
+                64,
+                256,
+                SimDuration::from_micros(5),
+                SimRng::seed_from_u64(seed),
+            )
+        };
         let a = run_with(&mut build(), Scheme::Ampom);
         let b = run_with(&mut build(), Scheme::Ampom);
-        prop_assert_eq!(a.total_time, b.total_time);
-        prop_assert_eq!(a.fault_requests, b.fault_requests);
-        prop_assert_eq!(a.pages_prefetched, b.pages_prefetched);
-    }
+        assert_eq!(a.total_time, b.total_time);
+        assert_eq!(a.fault_requests, b.fault_requests);
+        assert_eq!(a.pages_prefetched, b.pages_prefetched);
+    });
+}
 
-    #[test]
-    fn time_accounting_is_consistent((pages, seq) in scripted_strategy()) {
+#[test]
+fn time_accounting_is_consistent() {
+    forall("time-accounting", 24, |g| {
+        let (pages, seq) = random_script(g);
         for scheme in [Scheme::OpenMosix, Scheme::NoPrefetch, Scheme::Ampom] {
             let mut w = Scripted::new(pages, &seq, SimDuration::from_micros(5));
             let r = run_with(&mut w, scheme);
             // The wall clock decomposes: nothing accounted can exceed it.
-            prop_assert!(r.compute_time <= r.total_time);
-            prop_assert!(r.stall_time <= r.total_time);
-            prop_assert!(r.freeze_time <= r.total_time);
-            prop_assert!(r.analysis_time <= r.total_time);
-            let accounted = r.freeze_time + r.compute_time + r.stall_time
-                + r.analysis_time;
+            assert!(r.compute_time <= r.total_time);
+            assert!(r.stall_time <= r.total_time);
+            assert!(r.freeze_time <= r.total_time);
+            assert!(r.analysis_time <= r.total_time);
+            let accounted = r.freeze_time + r.compute_time + r.stall_time + r.analysis_time;
             // Stall/compute/freeze/analysis never overlap, so their sum is
             // bounded by the total (the remainder is per-page kernel work).
-            prop_assert!(accounted <= r.total_time);
+            assert!(accounted <= r.total_time);
         }
-    }
+    });
+}
 
-    #[test]
-    fn bytes_accounting_covers_fetched_pages((pages, seq) in scripted_strategy()) {
+#[test]
+fn bytes_accounting_covers_fetched_pages() {
+    forall("bytes-accounting", 24, |g| {
+        let (pages, seq) = random_script(g);
         let mut w = Scripted::new(pages, &seq, SimDuration::from_micros(5));
         let r = run_with(&mut w, Scheme::Ampom);
         // Every fetched page crossed the wire with at least PAGE_SIZE bytes.
         let fetched = r.pages_demand_fetched + r.pages_prefetched;
-        prop_assert!(r.bytes_to_dest >= fetched * 4096);
+        assert!(r.bytes_to_dest >= fetched * 4096);
         // Requests flowed the other way.
         if r.fault_requests + r.prefetch_only_requests > 0 {
-            prop_assert!(r.bytes_from_dest > 0);
+            assert!(r.bytes_from_dest > 0);
         }
-    }
+    });
+}
 
-    #[test]
-    fn pressure_never_exceeds_the_resident_limit((pages, seq) in scripted_strategy()) {
-        use ampom::core::runner::RunConfig;
+#[test]
+fn pressure_never_exceeds_the_resident_limit() {
+    forall("resident-limit", 24, |g| {
+        let (pages, seq) = random_script(g);
         let mut cfg = RunConfig::new(Scheme::Ampom);
         cfg.resident_limit_mb = Some(1); // 256 pages
         let mut w = Scripted::new(pages, &seq, SimDuration::from_micros(5));
-        let r = ampom::core::runner::run_workload(&mut w, &cfg);
-        prop_assert!(r.total_time.as_nanos() > 0);
+        let r = run_workload(&mut w, &cfg);
+        assert!(r.total_time.as_nanos() > 0);
         // The run completes and evictions (if any) are all accounted as
         // write-back traffic on the request link.
         if r.pages_evicted > 0 {
-            prop_assert!(r.bytes_from_dest >= r.pages_evicted * 4096);
+            assert!(r.bytes_from_dest >= r.pages_evicted * 4096);
         }
-    }
+    });
+}
 
-    #[test]
-    fn interleaved_streams_always_get_prefetched(lanes in 2u64..6, lane_pages in 20u64..60) {
+#[test]
+fn interleaved_streams_always_get_prefetched() {
+    forall("interleaved-prefetch", 24, |g| {
+        let lanes = g.u64(2..6);
+        let lane_pages = g.u64(20..60);
         let mut w = Interleaved::new(lanes, lane_pages, SimDuration::from_micros(5));
         let r = run_with(&mut w, Scheme::Ampom);
-        prop_assert!(r.pages_prefetched > 0);
+        assert!(r.pages_prefetched > 0);
         // Interleaved sequential lanes are the best case: the vast
         // majority of fault requests are avoided.
         let mut w = Interleaved::new(lanes, lane_pages, SimDuration::from_micros(5));
         let nopf = run_with(&mut w, Scheme::NoPrefetch);
-        prop_assert!(r.fault_requests * 2 < nopf.fault_requests);
-    }
+        assert!(r.fault_requests * 2 < nopf.fault_requests);
+    });
 }
