@@ -110,6 +110,40 @@ impl NetPath {
         tx.arrives
     }
 
+    /// Sends a paging request that is lost in flight: the request
+    /// serializes and occupies the uplink (the frame really left the NIC)
+    /// but never reaches the home node.
+    pub fn send_request_lost(&mut self, now: SimTime, n_pages: usize) {
+        self.advance(now);
+        let bytes = Self::request_bytes(n_pages);
+        self.dest_to_home
+            .transmit(now + PER_MESSAGE_OVERHEAD, bytes);
+        self.dest_nic.on_transmit(bytes);
+        self.own_bytes += bytes;
+    }
+
+    /// Sends one page reply that is lost in flight: it occupies the reply
+    /// link like a delivered page (loss does not free bandwidth) but the
+    /// destination never receives it.
+    pub fn send_page_lost(&mut self, from: SimTime) {
+        self.advance(from);
+        let bytes = Self::page_reply_bytes();
+        self.home_to_dest.transmit(from, bytes);
+        self.home_nic.on_transmit(bytes);
+        self.own_bytes += bytes;
+    }
+
+    /// Bulk transfer of `bytes` destination → home (the dirty-page
+    /// writeback of a remigration); returns completion.
+    pub fn bulk_transfer_to_home(&mut self, from: SimTime, bytes: u64) -> SimTime {
+        self.advance(from);
+        let tx = self.dest_to_home.transmit(from, bytes);
+        self.dest_nic.on_transmit(bytes);
+        self.home_nic.on_receive(bytes);
+        self.own_bytes += bytes;
+        tx.arrives
+    }
+
     /// Bulk transfer of `bytes` home → destination (the eager openMosix
     /// freeze copy); returns completion (arrival of the last byte).
     pub fn bulk_transfer(&mut self, from: SimTime, bytes: u64) -> SimTime {

@@ -12,9 +12,11 @@
 
 use ampom_mem::page::PageId;
 use ampom_mem::table::{PageLocation, PageTablePair};
+use ampom_net::fault::Fate;
 use ampom_sim::time::{SimDuration, SimTime};
 
 use crate::cluster::NetPath;
+use crate::metrics::DeputyStats;
 
 /// Per-page service cost at the deputy: HPT lookup, page-table walk, copy
 /// into an skb and socket submission on a 2.4-era kernel.
@@ -48,6 +50,11 @@ pub struct Deputy {
     requests_served: u64,
     /// Syscalls forwarded.
     syscalls_served: u64,
+    /// Pages re-sent because the migrant re-requested a page already
+    /// transferred (its reply was lost).
+    pages_resent: u64,
+    /// Saturation counters (queue depth, backlog, busy time).
+    stats: DeputyStats,
 }
 
 impl Deputy {
@@ -72,14 +79,17 @@ impl Deputy {
         table: &mut PageTablePair,
         path: &mut NetPath,
     ) -> Vec<ServedPage> {
+        self.note_arrival(arrival);
         self.requests_served += 1;
         let mut start = arrival.max(self.busy_until) + REQUEST_PARSE_COST;
+        self.stats.busy_time += REQUEST_PARSE_COST;
         let mut served = Vec::with_capacity(pages.len());
         for &page in pages {
             if table.lookup(page) != Some(PageLocation::Origin) {
                 continue;
             }
             start += PAGE_SERVICE_COST;
+            self.stats.busy_time += PAGE_SERVICE_COST;
             table.transfer_to_destination(page);
             let arrives = path.send_page(start);
             self.pages_served += 1;
@@ -87,6 +97,64 @@ impl Deputy {
         }
         self.busy_until = start;
         served
+    }
+
+    /// Serves a paging request over a faulty reply direction: each page
+    /// reply is given a fate by `reply_fate` — dropped replies occupy the
+    /// link but never arrive, jittered replies arrive late.
+    ///
+    /// Unlike [`Deputy::serve_request`], pages already recorded at the
+    /// destination are *re-sent* rather than skipped: with loss enabled
+    /// the page table saying "transferred" no longer implies the migrant
+    /// received the copy, and a re-request is the protocol's signal that
+    /// the original reply was lost.
+    pub fn serve_request_faulty(
+        &mut self,
+        arrival: SimTime,
+        pages: &[PageId],
+        table: &mut PageTablePair,
+        path: &mut NetPath,
+        mut reply_fate: impl FnMut() -> Fate,
+    ) -> Vec<ServedPage> {
+        self.note_arrival(arrival);
+        self.requests_served += 1;
+        let mut start = arrival.max(self.busy_until) + REQUEST_PARSE_COST;
+        self.stats.busy_time += REQUEST_PARSE_COST;
+        let mut served = Vec::with_capacity(pages.len());
+        for &page in pages {
+            let resend = match table.lookup(page) {
+                Some(PageLocation::Origin) => false,
+                Some(PageLocation::Destination) => true,
+                _ => continue,
+            };
+            start += PAGE_SERVICE_COST;
+            self.stats.busy_time += PAGE_SERVICE_COST;
+            if resend {
+                self.pages_resent += 1;
+            } else {
+                table.transfer_to_destination(page);
+                self.pages_served += 1;
+            }
+            match reply_fate() {
+                Fate::Dropped => path.send_page_lost(start),
+                Fate::Delivered { extra_delay } => {
+                    let arrives = path.send_page(start) + extra_delay;
+                    served.push(ServedPage { page, arrives });
+                }
+            }
+        }
+        self.busy_until = start;
+        served
+    }
+
+    /// Records queue-depth/backlog observations for a request arriving at
+    /// `arrival`.
+    fn note_arrival(&mut self, arrival: SimTime) {
+        let backlog = self.busy_until.saturating_since(arrival);
+        if backlog > SimDuration::ZERO {
+            self.stats.queued_requests += 1;
+            self.stats.max_backlog = self.stats.max_backlog.max(backlog);
+        }
     }
 
     /// Forwards a system call issued by the migrant at `now`: control
@@ -101,8 +169,10 @@ impl Deputy {
     ) -> SimTime {
         self.syscalls_served += 1;
         let at_home = path.send_control_to_home(now, 128);
+        self.note_arrival(at_home);
         let start = at_home.max(self.busy_until);
         let done = start + SYSCALL_EXEC_COST + work;
+        self.stats.busy_time += SYSCALL_EXEC_COST + work;
         self.busy_until = done;
         path.send_control_to_dest(done, 128)
     }
@@ -120,6 +190,21 @@ impl Deputy {
     /// Syscalls forwarded so far.
     pub fn syscalls_served(&self) -> u64 {
         self.syscalls_served
+    }
+
+    /// Pages re-sent in response to re-requests (fault runs only).
+    pub fn pages_resent(&self) -> u64 {
+        self.pages_resent
+    }
+
+    /// Saturation counters: queued requests, worst backlog, busy time.
+    pub fn stats(&self) -> DeputyStats {
+        self.stats
+    }
+
+    /// When the deputy finishes its currently queued work.
+    pub fn busy_until(&self) -> SimTime {
+        self.busy_until
     }
 }
 
@@ -184,6 +269,59 @@ mod tests {
         let done = d.forward_syscall(SimTime::ZERO, SimDuration::ZERO, &mut p);
         assert!(done.since(SimTime::ZERO) >= p.latency() * 2);
         assert_eq!(d.syscalls_served(), 1);
+    }
+
+    #[test]
+    fn saturation_stats_track_queueing() {
+        let (mut d, mut t, mut p) = setup(100);
+        let big: Vec<PageId> = (0..50).map(PageId).collect();
+        d.serve_request(SimTime::ZERO, &big, &mut t, &mut p);
+        assert_eq!(
+            d.stats().queued_requests,
+            0,
+            "first request saw idle deputy"
+        );
+        d.serve_request(SimTime::ZERO, &[PageId(60)], &mut t, &mut p);
+        let s = d.stats();
+        assert_eq!(s.queued_requests, 1);
+        assert!(s.max_backlog >= REQUEST_PARSE_COST + PAGE_SERVICE_COST * 50);
+        assert!(s.busy_time >= REQUEST_PARSE_COST * 2 + PAGE_SERVICE_COST * 51);
+        assert_eq!(d.busy_until(), SimTime::ZERO + s.busy_time);
+    }
+
+    #[test]
+    fn faulty_serve_resends_transferred_pages_and_drops_on_fate() {
+        let (mut d, mut t, mut p) = setup(4);
+        // First reply dropped: page 0 transfers but never arrives.
+        let served = d.serve_request_faulty(SimTime::ZERO, &[PageId(0)], &mut t, &mut p, || {
+            Fate::Dropped
+        });
+        assert!(served.is_empty());
+        assert_eq!(t.lookup(PageId(0)), Some(PageLocation::Destination));
+        // Re-request: the deputy re-sends even though the table says
+        // Destination.
+        let served = d.serve_request_faulty(SimTime::ZERO, &[PageId(0)], &mut t, &mut p, || {
+            Fate::Delivered {
+                extra_delay: SimDuration::from_micros(5),
+            }
+        });
+        assert_eq!(served.len(), 1);
+        assert_eq!(served[0].page, PageId(0));
+        assert_eq!(d.pages_resent(), 1);
+        assert_eq!(d.pages_served(), 1);
+    }
+
+    #[test]
+    fn faulty_serve_with_clean_fates_matches_plain_serve() {
+        let (mut d1, mut t1, mut p1) = setup(8);
+        let (mut d2, mut t2, mut p2) = setup(8);
+        let req: Vec<PageId> = (0..5).map(PageId).collect();
+        let a = d1.serve_request(SimTime::ZERO, &req, &mut t1, &mut p1);
+        let b =
+            d2.serve_request_faulty(SimTime::ZERO, &req, &mut t2, &mut p2, || Fate::Delivered {
+                extra_delay: SimDuration::ZERO,
+            });
+        assert_eq!(a, b);
     }
 
     #[test]

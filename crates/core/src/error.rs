@@ -53,6 +53,18 @@ impl fmt::Display for AmpomError {
 
 impl std::error::Error for AmpomError {}
 
+impl From<ampom_net::link::LinkError> for AmpomError {
+    fn from(e: ampom_net::link::LinkError) -> Self {
+        AmpomError::LinkDown(e.to_string())
+    }
+}
+
+impl From<ampom_net::fault::FaultConfigError> for AmpomError {
+    fn from(e: ampom_net::fault::FaultConfigError) -> Self {
+        AmpomError::InvalidConfig(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -71,5 +83,13 @@ mod tests {
     fn is_a_std_error() {
         fn assert_err<E: std::error::Error>(_: &E) {}
         assert_err(&AmpomError::LinkDown("capacity 0".into()));
+    }
+
+    #[test]
+    fn net_errors_convert_to_typed_variants() {
+        let e: AmpomError = ampom_net::link::LinkError::ZeroCapacity.into();
+        assert!(matches!(e, AmpomError::LinkDown(_)));
+        let e: AmpomError = ampom_net::fault::FaultConfigError::ZeroBurst.into();
+        assert!(matches!(e, AmpomError::InvalidConfig(_)));
     }
 }

@@ -41,6 +41,7 @@ use crate::error::AmpomError;
 use crate::metrics::RunReport;
 use crate::migration::Scheme;
 use crate::prefetcher::AmpomConfig;
+use crate::reliability::{FailurePolicy, FaultProfile};
 use crate::runner::{try_run_workload, CrossTrafficSpec, RunConfig, SyscallProfile};
 
 /// A declarative, cloneable workload description.
@@ -309,6 +310,27 @@ impl Experiment {
         self
     }
 
+    /// Attaches a failure model: lossy links, deputy downtime, and the
+    /// recovery protocol's retry/timeout knobs.
+    pub fn faults(mut self, profile: FaultProfile) -> Self {
+        self.cfg.faults = Some(profile);
+        self
+    }
+
+    /// Selects the graceful-degradation policy for deputy failure. If no
+    /// fault profile is attached yet, starts from the (otherwise null)
+    /// default profile.
+    pub fn failure_policy(mut self, policy: FailurePolicy) -> Self {
+        self.cfg.faults = Some(
+            self.cfg
+                .faults
+                .take()
+                .unwrap_or_default()
+                .with_policy(policy),
+        );
+        self
+    }
+
     /// Seeds both the workload build and the run's stochastic elements.
     pub fn seed(mut self, seed: u64) -> Self {
         self.cfg.seed = seed;
@@ -544,6 +566,42 @@ mod tests {
             spec.validate(),
             Err(AmpomError::WorkloadExhausted(_))
         ));
+    }
+
+    #[test]
+    fn fault_profile_flows_through_the_builder() {
+        let report = Experiment::new(Scheme::Ampom)
+            .sequential(256, CPU)
+            .faults(FaultProfile::lossy(0.05))
+            .seed(11)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(
+            report.faults.messages_dropped > 0,
+            "5% loss over a 256-page sweep should drop something"
+        );
+        // FFA has no deputy path to inject faults into.
+        let err = Experiment::new(Scheme::Ffa)
+            .sequential(64, CPU)
+            .faults(FaultProfile::lossy(0.05))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, AmpomError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn failure_policy_setter_creates_a_profile() {
+        let exp = Experiment::new(Scheme::Ampom)
+            .sequential(64, CPU)
+            .failure_policy(crate::reliability::FailurePolicy::Remigrate);
+        assert_eq!(
+            exp.config().faults.as_ref().unwrap().policy,
+            crate::reliability::FailurePolicy::Remigrate
+        );
+        // Policy alone leaves the profile null: the run stays fault-free.
+        assert!(exp.config().faults.as_ref().unwrap().is_null());
     }
 
     #[test]

@@ -34,6 +34,8 @@
 //!   bandwidth,
 //! * [`cluster`] — the two-node network path with NIC counters and
 //!   optional cross traffic,
+//! * [`reliability`] — the failure model: lossy links, deputy outages,
+//!   and the migrant's retry/timeout/fallback recovery protocol,
 //! * [`runner`] — the discrete-event experiment runner producing
 //!   [`metrics::RunReport`]s,
 //! * [`scheduler`] — the §7 future-work sketch: load-balancing policies
@@ -92,6 +94,7 @@ pub mod metrics;
 pub mod migration;
 pub mod monitor;
 pub mod prefetcher;
+pub mod reliability;
 pub mod remigration;
 pub mod runner;
 pub mod scheduler;
@@ -107,5 +110,6 @@ pub use experiment::{Experiment, WorkloadSpec};
 pub use metrics::RunReport;
 pub use migration::Scheme;
 pub use prefetcher::{AmpomConfig, AmpomPrefetcher};
+pub use reliability::{FailurePolicy, FaultProfile, RetryPolicy};
 pub use runner::{run_workload, try_run_workload, RunConfig};
 pub use sweep::{SweepReport, SweepSpec};

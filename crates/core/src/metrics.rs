@@ -8,6 +8,48 @@ use ampom_sim::trace::Trace;
 use crate::migration::Scheme;
 use crate::prefetcher::PrefetchStats;
 
+/// Fault-injection and recovery counters of one run.
+///
+/// All zero for a fault-free run, so mixing them into the fingerprint
+/// keeps historical fingerprints comparable.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Demand requests re-sent after a timeout.
+    pub retries: u64,
+    /// Timeouts that fired while waiting for a demanded page.
+    pub timeouts: u64,
+    /// Replies that arrived for a page already installed (suppressed).
+    pub duplicate_replies: u64,
+    /// Messages (requests or page replies) lost in flight.
+    pub messages_dropped: u64,
+    /// Requests that reached the home node while the deputy was down.
+    pub deputy_unavailable: u64,
+    /// Times the migrant exhausted its retry budget and invoked the
+    /// failure policy.
+    pub reconnects: u64,
+    /// Pages installed by the eager-fallback policy.
+    pub fallback_pages: u64,
+    /// True if the run ended with a remigration home.
+    pub remigrated: bool,
+    /// Wall time spent in failure-policy recovery (waiting out deputy
+    /// downtime, the fallback copy, the remigration transfer).
+    pub recovery_time: SimDuration,
+}
+
+/// Home-node deputy load counters: how saturated the single deputy
+/// thread was (the §7 home-dependency cost, made observable).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DeputyStats {
+    /// Requests that arrived while the deputy was still serving earlier
+    /// work (queue depth > 0 at arrival).
+    pub queued_requests: u64,
+    /// Largest backlog any request saw at arrival (how far `busy_until`
+    /// was past the arrival instant).
+    pub max_backlog: SimDuration,
+    /// Total deputy CPU time across parsing, page service and syscalls.
+    pub busy_time: SimDuration,
+}
+
 /// The full measurement record of one (workload, scheme) run.
 #[derive(Debug)]
 pub struct RunReport {
@@ -64,6 +106,11 @@ pub struct RunReport {
     pub analysis_count: u64,
     /// Prefetcher-internal statistics (scores, N distribution).
     pub prefetch_stats: PrefetchStats,
+
+    /// Fault-injection and recovery counters (all zero without faults).
+    pub faults: FaultStats,
+    /// Deputy saturation counters.
+    pub deputy: DeputyStats,
 
     /// Optional event timeline (Figure 2).
     pub trace: Trace,
@@ -128,6 +175,18 @@ impl RunReport {
             self.mpt_bytes,
             self.analysis_time.as_nanos(),
             self.analysis_count,
+            self.faults.retries,
+            self.faults.timeouts,
+            self.faults.duplicate_replies,
+            self.faults.messages_dropped,
+            self.faults.deputy_unavailable,
+            self.faults.reconnects,
+            self.faults.fallback_pages,
+            u64::from(self.faults.remigrated),
+            self.faults.recovery_time.as_nanos(),
+            self.deputy.queued_requests,
+            self.deputy.max_backlog.as_nanos(),
+            self.deputy.busy_time.as_nanos(),
         ] {
             h = mix(h, v);
         }
@@ -213,6 +272,8 @@ mod tests {
             analysis_time: SimDuration::from_millis(100),
             analysis_count: fault_requests * 2,
             prefetch_stats: PrefetchStats::default(),
+            faults: FaultStats::default(),
+            deputy: DeputyStats::default(),
             trace: Trace::disabled(),
             series: None,
         }
@@ -244,6 +305,20 @@ mod tests {
         assert_ne!(a.fingerprint(), c.fingerprint());
         let mut d = report(100, 50);
         d.workload = "OTHER".into();
+        assert_ne!(a.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_covers_fault_and_deputy_counters() {
+        let a = report(100, 50);
+        let mut b = report(100, 50);
+        b.faults.retries = 1;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut c = report(100, 50);
+        c.faults.recovery_time = SimDuration::from_micros(1);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let mut d = report(100, 50);
+        d.deputy.queued_requests = 1;
         assert_ne!(a.fingerprint(), d.fingerprint());
     }
 

@@ -1,0 +1,651 @@
+//! The migrant-side recovery protocol for remote paging under faults.
+//!
+//! The paper's Algorithm 1 assumes every paging request is answered and
+//! every page arrives. This module supplies what a production deployment
+//! needs when that assumption breaks:
+//!
+//! * **Timeouts** derived from the calibrated path: the base timeout is
+//!   one request/reply round trip, `2·t0 + td` — the same quantity Eq. 3
+//!   uses to size prefetch zones — scaled by a configurable factor.
+//! * **Exponential backoff with a retry budget**: attempt `k` waits
+//!   `factor · 2^k` round trips before re-requesting the demanded page.
+//! * **Duplicate-reply suppression**: installs are idempotent, keyed by
+//!   [`PageId`] — a late original reply racing a retry's resend installs
+//!   once and the loser is counted, never double-installed.
+//! * **Graceful degradation** on deputy failure (a scheduled
+//!   crash/restart from [`DowntimeSchedule`]), selectable per run via
+//!   [`FailurePolicy`]: stall until the deputy reconnects, fall back to a
+//!   residual eager copy of every remaining page, or remigrate home.
+//!
+//! The entry point is [`FaultInjector`], which the runner instantiates
+//! **only** for a non-null [`FaultProfile`]; a fault-free run never
+//! touches this module, so its timing is bit-identical to the historical
+//! runner (the zero-fault property test pins this).
+
+use std::collections::{HashMap, VecDeque};
+
+use ampom_mem::eviction::ClockEvictor;
+use ampom_mem::page::{PageId, PAGE_SIZE};
+use ampom_mem::space::{AddressSpace, PageState};
+use ampom_mem::table::{PageLocation, PageTablePair};
+use ampom_net::calibration::{page_transfer_time, MIGRATION_BASE_COST};
+use ampom_net::fault::{Fate, FaultPlan, FaultSpec};
+use ampom_net::link::LinkConfig;
+use ampom_sim::event::DowntimeSchedule;
+use ampom_sim::rng::SimRng;
+use ampom_sim::time::{SimDuration, SimTime};
+
+use crate::cluster::NetPath;
+use crate::deputy::Deputy;
+use crate::error::AmpomError;
+use crate::metrics::FaultStats;
+use crate::runner::{make_room, PAGE_INSTALL_COST};
+
+/// Hard cap on failure-policy invocations per run. A stall-and-reconnect
+/// policy under heavy loss could in principle reconnect forever; past
+/// this many cycles the protocol forces the eager fallback so every fault
+/// schedule terminates with a complete address space.
+const MAX_POLICY_CYCLES: u32 = 64;
+
+/// Timeout and retry-budget knobs of the recovery protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Base timeout in units of the calibrated round trip (`2·t0 + td`).
+    /// The default of 4 absorbs deputy queueing and reply-link pipelining
+    /// without firing spuriously on a healthy LAN.
+    pub timeout_factor: u32,
+    /// Re-requests before the failure policy is invoked. Backoff doubles
+    /// the timeout each attempt (capped at `2^6`).
+    pub max_retries: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            timeout_factor: 4,
+            max_retries: 6,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The timeout for attempt number `attempt` (0-based): exponential
+    /// backoff over the base round trip.
+    pub fn timeout(&self, base: SimDuration, attempt: u32) -> SimDuration {
+        base.saturating_mul(u64::from(self.timeout_factor) << attempt.min(6))
+    }
+
+    /// Checks the knobs against their documented domains.
+    pub fn validate(&self) -> Result<(), AmpomError> {
+        if self.timeout_factor == 0 {
+            return Err(AmpomError::InvalidConfig(
+                "retry.timeout_factor must be at least 1".into(),
+            ));
+        }
+        if self.max_retries == 0 {
+            return Err(AmpomError::InvalidConfig(
+                "retry.max_retries must be at least 1 (the protocol's termination \
+                 guarantee needs retries enabled)"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// What the migrant does once its retry budget for a page is exhausted
+/// (the graceful-degradation arm of the protocol).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FailurePolicy {
+    /// Wait out the deputy's downtime, then start a fresh retry cycle.
+    #[default]
+    StallReconnect,
+    /// Give up on demand paging: one residual eager copy of every page
+    /// still remote, then continue locally.
+    EagerFallback,
+    /// Migrate back home: write dirty pages back, pay the migration base
+    /// cost, and finish the run co-located with the (former) deputy.
+    Remigrate,
+}
+
+impl FailurePolicy {
+    /// All policies, for sweeps and demos.
+    pub const ALL: [FailurePolicy; 3] = [
+        FailurePolicy::StallReconnect,
+        FailurePolicy::EagerFallback,
+        FailurePolicy::Remigrate,
+    ];
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FailurePolicy::StallReconnect => "stall-reconnect",
+            FailurePolicy::EagerFallback => "eager-fallback",
+            FailurePolicy::Remigrate => "remigrate",
+        }
+    }
+}
+
+/// The complete failure model of one run: message-level faults on both
+/// link directions, the deputy's crash/restart timetable, and the
+/// migrant's recovery knobs.
+///
+/// The default profile is **null** — no losses, no jitter, no downtime —
+/// and a null profile leaves the runner on its exact fault-free code
+/// path.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultProfile {
+    /// Message loss/burst/jitter knobs, applied to paging requests and
+    /// page replies alike.
+    pub faults: FaultSpec,
+    /// Scheduled deputy outages (crash/restart events).
+    pub downtime: DowntimeSchedule,
+    /// Timeout and retry budget.
+    pub retry: RetryPolicy,
+    /// Degradation choice after the retry budget is spent.
+    pub policy: FailurePolicy,
+}
+
+impl FaultProfile {
+    /// A profile that drops each message independently with probability
+    /// `loss_rate`, with default retry knobs and policy.
+    pub fn lossy(loss_rate: f64) -> Self {
+        FaultProfile {
+            faults: FaultSpec::lossy(loss_rate),
+            ..FaultProfile::default()
+        }
+    }
+
+    /// Adds a deputy downtime schedule.
+    pub fn with_downtime(mut self, downtime: DowntimeSchedule) -> Self {
+        self.downtime = downtime;
+        self
+    }
+
+    /// Selects the failure policy.
+    pub fn with_policy(mut self, policy: FailurePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replaces the retry knobs.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// True if this profile can never perturb a run — the runner then
+    /// skips the reliability layer entirely.
+    pub fn is_null(&self) -> bool {
+        self.faults.is_null() && self.downtime.is_empty()
+    }
+
+    /// Checks every knob against its documented domain.
+    pub fn validate(&self) -> Result<(), AmpomError> {
+        self.faults.validate()?;
+        self.retry.validate()
+    }
+}
+
+/// Per-run fault state: the two fate streams (one per link direction),
+/// the calibrated base timeout, and the recovery counters.
+///
+/// Both plans fork from the run's seed, so a sweep cell's faults depend
+/// only on its `(seed, message index)` — parallel sweeps stay
+/// bit-identical to serial ones.
+#[derive(Debug)]
+pub(crate) struct FaultInjector {
+    profile: FaultProfile,
+    request_plan: FaultPlan,
+    reply_plan: FaultPlan,
+    /// One demand round trip on the configured link: `2·t0 + td`.
+    base_timeout: SimDuration,
+    stats: FaultStats,
+    policy_cycles: u32,
+}
+
+impl FaultInjector {
+    pub(crate) fn new(profile: &FaultProfile, link: LinkConfig, seed: u64) -> Self {
+        let rng = SimRng::seed_from_u64(seed);
+        FaultInjector {
+            profile: profile.clone(),
+            request_plan: FaultPlan::new(profile.faults, rng.fork(0x0072_6571)),
+            reply_plan: FaultPlan::new(profile.faults, rng.fork(0x0072_6570)),
+            base_timeout: link.rtt() + page_transfer_time(&link),
+            stats: FaultStats::default(),
+            policy_cycles: 0,
+        }
+    }
+
+    /// Final counters for the run report.
+    pub(crate) fn into_stats(self) -> FaultStats {
+        self.stats
+    }
+
+    /// If the deputy is down at `now`, the instant it comes back up
+    /// (syscall forwarding must wait for it); `None` when it is up.
+    pub(crate) fn syscall_delay(&mut self, now: SimTime) -> Option<SimTime> {
+        if self.profile.downtime.is_down(now) {
+            let up = self.profile.downtime.next_up(now);
+            self.stats.deputy_unavailable += 1;
+            self.stats.recovery_time += up.since(now);
+            Some(up)
+        } else {
+            None
+        }
+    }
+
+    /// Fault-aware counterpart of the runner's `send_request`: the
+    /// request may be dropped or jittered, the deputy may be down, and
+    /// each page reply gets its own fate. Only *delivered* replies are
+    /// registered in flight.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn send_request(
+        &mut self,
+        prefetch: &[PageId],
+        demand: Option<PageId>,
+        now: SimTime,
+        path: &mut NetPath,
+        deputy: &mut Deputy,
+        table: &mut PageTablePair,
+        in_flight: &mut HashMap<PageId, SimTime>,
+        staged: &mut VecDeque<(SimTime, PageId)>,
+        was_prefetched: &mut [bool],
+        pages_prefetched: &mut u64,
+    ) {
+        let mut pages: Vec<PageId> = Vec::with_capacity(prefetch.len() + 1);
+        if let Some(d) = demand {
+            pages.push(d);
+        }
+        pages.extend_from_slice(prefetch);
+
+        let at_home = match self.request_plan.fate() {
+            Fate::Dropped => {
+                path.send_request_lost(now, pages.len());
+                self.stats.messages_dropped += 1;
+                return;
+            }
+            Fate::Delivered { extra_delay } => path.send_request(now, pages.len()) + extra_delay,
+        };
+        if self.profile.downtime.is_down(at_home) {
+            // The request reached a dead host; nothing answers.
+            self.stats.deputy_unavailable += 1;
+            return;
+        }
+
+        let reply_plan = &mut self.reply_plan;
+        let dropped_before = reply_plan.dropped();
+        let served =
+            deputy.serve_request_faulty(at_home, &pages, table, path, || reply_plan.fate());
+        let dropped_after = reply_plan.dropped();
+        self.stats.messages_dropped += dropped_after - dropped_before;
+
+        for s in &served {
+            // A retry's resend can race the late original; keep the
+            // earliest arrival so the migrant never waits longer than it
+            // has to.
+            match in_flight.get_mut(&s.page) {
+                Some(existing) => *existing = (*existing).min(s.arrives),
+                None => {
+                    in_flight.insert(s.page, s.arrives);
+                }
+            }
+            stage_sorted(staged, s.arrives, s.page);
+            if demand != Some(s.page) {
+                *pages_prefetched += 1;
+                was_prefetched[s.page.index() as usize] = true;
+            }
+        }
+    }
+
+    /// Fault-aware arrival install: idempotent per page. Jitter can
+    /// reorder arrivals and retries can deliver a page twice; a reply for
+    /// a page that is already resident is suppressed and counted, never
+    /// double-installed.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn install_arrived(
+        &mut self,
+        staged: &mut VecDeque<(SimTime, PageId)>,
+        in_flight: &mut HashMap<PageId, SimTime>,
+        space: &mut AddressSpace,
+        now: &mut SimTime,
+        mut evictor: Option<&mut ClockEvictor>,
+        protect: PageId,
+        path: &mut NetPath,
+        table: &mut PageTablePair,
+        pages_evicted: &mut u64,
+    ) {
+        let mut installed = 0u64;
+        while let Some(&(arrival, page)) = staged.front() {
+            if arrival > *now {
+                break;
+            }
+            staged.pop_front();
+            in_flight.remove(&page);
+            if space.is_resident(page) {
+                self.stats.duplicate_replies += 1;
+                continue;
+            }
+            if space.state(page) != PageState::Remote {
+                // Evicted while in flight and re-created locally; drop
+                // the stale copy (matches the fault-free runner).
+                continue;
+            }
+            if let Some(ev) = evictor.as_deref_mut() {
+                make_room(ev, protect, *now, path, table, space, pages_evicted);
+            }
+            space.install(page);
+            if let Some(ev) = evictor.as_deref_mut() {
+                ev.on_install(page);
+            }
+            installed += 1;
+        }
+        if installed > 0 {
+            *now += PAGE_INSTALL_COST.saturating_mul(installed);
+        }
+    }
+
+    /// The demand-page wait loop: stall for the faulted page with
+    /// timeouts, backoff and retries, degrading via the configured
+    /// [`FailurePolicy`] when the budget runs out. On return the demanded
+    /// page is resident.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn await_demand(
+        &mut self,
+        demand: PageId,
+        now: &mut SimTime,
+        stall_time: &mut SimDuration,
+        path: &mut NetPath,
+        deputy: &mut Deputy,
+        table: &mut PageTablePair,
+        in_flight: &mut HashMap<PageId, SimTime>,
+        staged: &mut VecDeque<(SimTime, PageId)>,
+        was_prefetched: &mut [bool],
+        pages_prefetched: &mut u64,
+        space: &mut AddressSpace,
+        mut evictor: Option<&mut ClockEvictor>,
+        pages_evicted: &mut u64,
+    ) {
+        let mut attempt = 0u32;
+        loop {
+            self.install_arrived(
+                staged,
+                in_flight,
+                space,
+                now,
+                evictor.as_deref_mut(),
+                demand,
+                path,
+                table,
+                pages_evicted,
+            );
+            if space.is_resident(demand) {
+                return;
+            }
+            let deadline = *now + self.profile.retry.timeout(self.base_timeout, attempt);
+            if let Some(&arrival) = in_flight.get(&demand) {
+                if arrival <= deadline {
+                    // The reply is on the wire and will beat the timer.
+                    // Saturating: the per-page install charge advances the
+                    // clock after the pop loop breaks, so a big arrived
+                    // batch can push `now` past the next arrival — the
+                    // reply is then already here and the next install pass
+                    // picks it up.
+                    *stall_time += arrival.saturating_since(*now);
+                    *now = (*now).max(arrival);
+                    continue;
+                }
+            }
+            // Nothing (timely) in flight: the timer fires.
+            *stall_time += deadline.since(*now);
+            *now = deadline;
+            self.stats.timeouts += 1;
+            if attempt < self.profile.retry.max_retries {
+                attempt += 1;
+                self.stats.retries += 1;
+                self.send_request(
+                    &[],
+                    Some(demand),
+                    *now,
+                    path,
+                    deputy,
+                    table,
+                    in_flight,
+                    staged,
+                    was_prefetched,
+                    pages_prefetched,
+                );
+                continue;
+            }
+            // Retry budget exhausted: graceful degradation.
+            self.policy_cycles += 1;
+            self.stats.reconnects += 1;
+            let policy = if self.policy_cycles > MAX_POLICY_CYCLES {
+                FailurePolicy::EagerFallback
+            } else {
+                self.profile.policy
+            };
+            match policy {
+                FailurePolicy::StallReconnect => {
+                    // Wait out any deputy downtime; if the demand's reply
+                    // is already on the wire (timeouts were just tighter
+                    // than a congested reply queue), stall for it instead
+                    // of re-requesting into the backlog.
+                    let mut up = self.profile.downtime.next_up(*now);
+                    let mut resend = true;
+                    if let Some(&arrival) = in_flight.get(&demand) {
+                        up = up.max(arrival);
+                        resend = false;
+                    }
+                    let wait = up.saturating_since(*now);
+                    *stall_time += wait;
+                    self.stats.recovery_time += wait;
+                    *now = up;
+                    attempt = 0;
+                    if resend {
+                        self.send_request(
+                            &[],
+                            Some(demand),
+                            *now,
+                            path,
+                            deputy,
+                            table,
+                            in_flight,
+                            staged,
+                            was_prefetched,
+                            pages_prefetched,
+                        );
+                    }
+                }
+                FailurePolicy::EagerFallback => {
+                    self.eager_fallback(
+                        now,
+                        stall_time,
+                        path,
+                        table,
+                        space,
+                        evictor.as_deref_mut(),
+                        in_flight,
+                        staged,
+                        pages_evicted,
+                        demand,
+                    );
+                }
+                FailurePolicy::Remigrate => {
+                    self.remigrate(now, stall_time, path, table, space, in_flight, staged);
+                }
+            }
+        }
+    }
+
+    /// Residual eager copy: abandon outstanding requests and ship every
+    /// page still remote in one bulk transfer, as the original openMosix
+    /// would have at freeze time.
+    #[allow(clippy::too_many_arguments)]
+    fn eager_fallback(
+        &mut self,
+        now: &mut SimTime,
+        stall_time: &mut SimDuration,
+        path: &mut NetPath,
+        table: &mut PageTablePair,
+        space: &mut AddressSpace,
+        mut evictor: Option<&mut ClockEvictor>,
+        in_flight: &mut HashMap<PageId, SimTime>,
+        staged: &mut VecDeque<(SimTime, PageId)>,
+        pages_evicted: &mut u64,
+        protect: PageId,
+    ) {
+        let start = *now;
+        *now = self.profile.downtime.next_up(*now);
+        staged.clear();
+        in_flight.clear();
+        let remote: Vec<PageId> = space
+            .pages_where(|st| matches!(st, PageState::Remote))
+            .collect();
+        for &p in &remote {
+            if table.lookup(p) == Some(PageLocation::Origin) {
+                table.transfer_to_destination(p);
+            }
+        }
+        let n = remote.len() as u64;
+        *now = path.bulk_transfer(*now, n * PAGE_SIZE);
+        for &p in &remote {
+            if let Some(ev) = evictor.as_deref_mut() {
+                make_room(ev, protect, *now, path, table, space, pages_evicted);
+            }
+            space.install(p);
+            if let Some(ev) = evictor.as_deref_mut() {
+                ev.on_install(p);
+            }
+        }
+        *now += PAGE_INSTALL_COST.saturating_mul(n);
+        self.stats.fallback_pages += n;
+        let spent = now.since(start);
+        *stall_time += spent;
+        self.stats.recovery_time += spent;
+    }
+
+    /// Migrate back home: write the dirty resident pages back, pay the
+    /// migration base cost, and continue co-located with the home node —
+    /// every remaining remote page becomes a local page there.
+    #[allow(clippy::too_many_arguments)]
+    fn remigrate(
+        &mut self,
+        now: &mut SimTime,
+        stall_time: &mut SimDuration,
+        path: &mut NetPath,
+        table: &mut PageTablePair,
+        space: &mut AddressSpace,
+        in_flight: &mut HashMap<PageId, SimTime>,
+        staged: &mut VecDeque<(SimTime, PageId)>,
+    ) {
+        let start = *now;
+        *now = self.profile.downtime.next_up(*now);
+        staged.clear();
+        in_flight.clear();
+        let resident: Vec<PageId> = space
+            .pages_where(|st| matches!(st, PageState::Resident { .. }))
+            .collect();
+        let bytes = resident.len() as u64 * PAGE_SIZE;
+        *now = path.bulk_transfer_to_home(*now + MIGRATION_BASE_COST, bytes);
+        for &p in &resident {
+            if table.lookup(p) == Some(PageLocation::Destination) {
+                table.return_to_origin(p);
+            }
+        }
+        // Execution resumes at the home node: pages that were remote are
+        // local there and install at no network cost.
+        let remote: Vec<PageId> = space
+            .pages_where(|st| matches!(st, PageState::Remote))
+            .collect();
+        for &p in &remote {
+            space.install(p);
+        }
+        self.stats.remigrated = true;
+        let spent = now.since(start);
+        *stall_time += spent;
+        self.stats.recovery_time += spent;
+    }
+}
+
+/// Inserts `(arrives, page)` keeping `staged` sorted by arrival time.
+/// Jitter makes arrivals slightly out of order; scanning from the back is
+/// O(displacement), which is tiny in practice.
+fn stage_sorted(staged: &mut VecDeque<(SimTime, PageId)>, arrives: SimTime, page: PageId) {
+    let mut idx = staged.len();
+    while idx > 0 && staged[idx - 1].0 > arrives {
+        idx -= 1;
+    }
+    staged.insert(idx, (arrives, page));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_timeout_backs_off_exponentially() {
+        let retry = RetryPolicy::default();
+        let base = SimDuration::from_micros(100);
+        assert_eq!(retry.timeout(base, 0), SimDuration::from_micros(400));
+        assert_eq!(retry.timeout(base, 1), SimDuration::from_micros(800));
+        assert_eq!(retry.timeout(base, 3), SimDuration::from_micros(3200));
+        // The exponent saturates so huge attempt numbers can't overflow.
+        assert_eq!(retry.timeout(base, 40), retry.timeout(base, 6));
+    }
+
+    #[test]
+    fn base_timeout_matches_eq3_round_trip() {
+        let link = ampom_net::calibration::fast_ethernet();
+        let inj = FaultInjector::new(&FaultProfile::lossy(0.01), link, 7);
+        assert_eq!(inj.base_timeout, link.rtt() + page_transfer_time(&link));
+    }
+
+    #[test]
+    fn profile_validation_catches_bad_knobs() {
+        assert!(FaultProfile::lossy(0.02).validate().is_ok());
+        assert!(FaultProfile::lossy(1.5).validate().is_err());
+        let p = FaultProfile::default().with_retry(RetryPolicy {
+            timeout_factor: 0,
+            max_retries: 3,
+        });
+        assert!(p.validate().is_err());
+        let p = FaultProfile::default().with_retry(RetryPolicy {
+            timeout_factor: 4,
+            max_retries: 0,
+        });
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn null_profile_detection() {
+        assert!(FaultProfile::default().is_null());
+        assert!(!FaultProfile::lossy(0.01).is_null());
+        let with_outage = FaultProfile::default().with_downtime(DowntimeSchedule::single(
+            SimTime::from_nanos(1),
+            SimTime::from_nanos(2),
+        ));
+        assert!(!with_outage.is_null());
+    }
+
+    #[test]
+    fn stage_sorted_keeps_arrival_order() {
+        let mut staged: VecDeque<(SimTime, PageId)> = VecDeque::new();
+        for (t, p) in [(50u64, 0u64), (10, 1), (30, 2), (30, 3), (20, 4)] {
+            stage_sorted(&mut staged, SimTime::from_nanos(t), PageId(p));
+        }
+        let times: Vec<u64> = staged.iter().map(|&(t, _)| t.as_nanos()).collect();
+        assert_eq!(times, vec![10, 20, 30, 30, 50]);
+        // Equal arrivals keep insertion order (FIFO tie-break).
+        let pages: Vec<u64> = staged.iter().map(|&(_, p)| p.0).collect();
+        assert_eq!(pages, vec![1, 4, 2, 3, 0]);
+    }
+
+    #[test]
+    fn policy_names_are_stable() {
+        assert_eq!(FailurePolicy::StallReconnect.name(), "stall-reconnect");
+        assert_eq!(FailurePolicy::EagerFallback.name(), "eager-fallback");
+        assert_eq!(FailurePolicy::Remigrate.name(), "remigrate");
+        assert_eq!(FailurePolicy::ALL.len(), 3);
+    }
+}

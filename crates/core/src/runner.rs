@@ -42,6 +42,7 @@ use crate::metrics::{RunReport, RunSeries};
 use crate::migration::{perform_freeze, PreMigrationState, Scheme};
 use crate::monitor::MonitorDaemon;
 use crate::prefetcher::{AmpomConfig, AmpomPrefetcher, PrefetchStats};
+use crate::reliability::{FailurePolicy, FaultInjector, FaultProfile};
 
 /// Cost of servicing a minor fault (anonymous zero-fill) in the kernel.
 pub const MINOR_FAULT_COST: SimDuration = SimDuration::from_micros(1);
@@ -103,6 +104,10 @@ pub struct RunConfig {
     pub resident_limit_mb: Option<u64>,
     /// Seed for the cross-traffic arrival process.
     pub seed: u64,
+    /// Optional failure model: message loss/jitter on both link
+    /// directions, scheduled deputy outages, and the recovery protocol's
+    /// knobs. `None` (or a null profile) runs the exact fault-free path.
+    pub faults: Option<FaultProfile>,
 }
 
 impl RunConfig {
@@ -118,6 +123,7 @@ impl RunConfig {
             sample_series_every: None,
             resident_limit_mb: None,
             seed: 0x5EED,
+            faults: None,
         }
     }
 
@@ -163,9 +169,17 @@ impl RunConfig {
         self
     }
 
-    /// Sets the seed for the run's stochastic elements (cross traffic).
+    /// Sets the seed for the run's stochastic elements (cross traffic
+    /// and fault injection).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Attaches a failure model (lossy links, deputy downtime, recovery
+    /// protocol knobs).
+    pub fn with_faults(mut self, profile: FaultProfile) -> Self {
+        self.faults = Some(profile);
         self
     }
 
@@ -197,6 +211,26 @@ impl RunConfig {
             return Err(AmpomError::InvalidConfig(
                 "sample_series_every must be positive (or None to disable)".into(),
             ));
+        }
+        if let Some(profile) = &self.faults {
+            profile.validate()?;
+            if !profile.is_null() {
+                if self.scheme == Scheme::Ffa {
+                    return Err(AmpomError::InvalidConfig(
+                        "fault injection is not supported with the FFA scheme \
+                         (faults model the deputy path, not the file server)"
+                            .into(),
+                    ));
+                }
+                if profile.policy == FailurePolicy::Remigrate && self.resident_limit_mb.is_some() {
+                    return Err(AmpomError::InvalidConfig(
+                        "the remigrate failure policy cannot be combined with a resident \
+                         limit (the home node holds the full image; eviction bookkeeping \
+                         does not survive the move)"
+                            .into(),
+                    ));
+                }
+            }
         }
         Ok(())
     }
@@ -250,6 +284,16 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
         (cfg.scheme == Scheme::Ampom).then(|| AmpomPrefetcher::new(cfg.ampom.clone()));
     let mut monitor = MonitorDaemon::new(&path);
     let mut deputy = Deputy::new();
+
+    // Fault injection: only a non-null profile instantiates the
+    // reliability layer. With `injector == None` every dispatch below
+    // takes the historical fault-free code path, so zero-fault runs stay
+    // bit-identical to the pre-fault runner.
+    let mut injector = cfg
+        .faults
+        .as_ref()
+        .filter(|p| !p.is_null())
+        .map(|p| FaultInjector::new(p, cfg.link, cfg.seed));
 
     // FFA: the home node pushes the remaining stack pages right after the
     // freeze and flushes every dirty page to the file server in the
@@ -321,6 +365,14 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
             refs_since_syscall += 1;
             if refs_since_syscall >= profile.every_refs {
                 refs_since_syscall = 0;
+                // The home dependency is absolute: a forwarded call can
+                // only execute once the deputy is back up.
+                if let Some(inj) = injector.as_mut() {
+                    if let Some(up) = inj.syscall_delay(now) {
+                        stall_time += up.since(now);
+                        now = up;
+                    }
+                }
                 let done = deputy.forward_syscall(now, profile.work, &mut path);
                 syscall_time += done.since(now);
                 syscalls_forwarded += 1;
@@ -384,7 +436,8 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                     );
                     if !prefetch.is_empty() {
                         prefetch_only_requests += 1;
-                        send_request(
+                        dispatch_request(
+                            &mut injector,
                             &prefetch,
                             None,
                             now,
@@ -406,7 +459,8 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                 faults_total += 1;
                 let fault_at = now;
                 trace.record(now, TraceKind::PageFault, format!("{}", r.page));
-                install_arrived_pressured(
+                dispatch_install(
+                    &mut injector,
                     &mut staged,
                     &mut in_flight,
                     &mut space,
@@ -459,7 +513,8 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                     // resolved it. Any new zone pages still go out.
                     if !prefetch.is_empty() {
                         prefetch_only_requests += 1;
-                        send_request(
+                        dispatch_request(
+                            &mut injector,
                             &prefetch,
                             None,
                             now,
@@ -477,7 +532,8 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                     // request ("wait for i to arrive").
                     if !prefetch.is_empty() {
                         prefetch_only_requests += 1;
-                        send_request(
+                        dispatch_request(
+                            &mut injector,
                             &prefetch,
                             None,
                             now,
@@ -494,7 +550,8 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                         stall_time += arrival.since(now);
                         now = arrival;
                     }
-                    install_arrived_pressured(
+                    dispatch_install(
+                        &mut injector,
                         &mut staged,
                         &mut in_flight,
                         &mut space,
@@ -528,7 +585,8 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                         TraceKind::PagingRequest,
                         format!("demand {} (+{} prefetch)", r.page, prefetch.len()),
                     );
-                    send_request(
+                    dispatch_request(
+                        &mut injector,
                         &prefetch,
                         Some(r.page),
                         now,
@@ -540,23 +598,47 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                         &mut was_prefetched,
                         &mut pages_prefetched,
                     );
-                    let arrival = in_flight
-                        .get(&r.page)
-                        .copied()
-                        .expect("demand page must be served");
-                    stall_time += arrival.since(now);
-                    now = arrival;
-                    install_arrived_pressured(
-                        &mut staged,
-                        &mut in_flight,
-                        &mut space,
-                        &mut now,
-                        evictor.as_mut(),
-                        r.page,
-                        &mut path,
-                        &mut table,
-                        &mut pages_evicted,
-                    );
+                    match injector.as_mut() {
+                        None => {
+                            let arrival = in_flight
+                                .get(&r.page)
+                                .copied()
+                                .expect("demand page must be served");
+                            stall_time += arrival.since(now);
+                            now = arrival;
+                            install_arrived_pressured(
+                                &mut staged,
+                                &mut in_flight,
+                                &mut space,
+                                &mut now,
+                                evictor.as_mut(),
+                                r.page,
+                                &mut path,
+                                &mut table,
+                                &mut pages_evicted,
+                            );
+                        }
+                        Some(inj) => {
+                            // Under faults the request (or any reply) may
+                            // be lost: the wait loop retries with backoff
+                            // and degrades via the failure policy.
+                            inj.await_demand(
+                                r.page,
+                                &mut now,
+                                &mut stall_time,
+                                &mut path,
+                                &mut deputy,
+                                &mut table,
+                                &mut in_flight,
+                                &mut staged,
+                                &mut was_prefetched,
+                                &mut pages_prefetched,
+                                &mut space,
+                                evictor.as_mut(),
+                                &mut pages_evicted,
+                            );
+                        }
+                    }
                     trace.record(now, TraceKind::FaultResolved, format!("{}", r.page));
                 }
 
@@ -603,6 +685,8 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
         analysis_time,
         analysis_count,
         prefetch_stats,
+        faults: injector.map(FaultInjector::into_stats).unwrap_or_default(),
+        deputy: deputy.stats(),
         trace,
         series,
     }
@@ -700,11 +784,97 @@ fn install_arrived(
     }
 }
 
+/// Dispatches a paging request through the fault injector when one is
+/// active, or straight to [`send_request`] on the fault-free path.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_request(
+    injector: &mut Option<FaultInjector>,
+    prefetch: &[PageId],
+    demand: Option<PageId>,
+    now: SimTime,
+    path: &mut NetPath,
+    deputy: &mut Deputy,
+    table: &mut ampom_mem::table::PageTablePair,
+    in_flight: &mut HashMap<PageId, SimTime>,
+    staged: &mut VecDeque<(SimTime, PageId)>,
+    was_prefetched: &mut [bool],
+    pages_prefetched: &mut u64,
+) {
+    match injector.as_mut() {
+        None => send_request(
+            prefetch,
+            demand,
+            now,
+            path,
+            deputy,
+            table,
+            in_flight,
+            staged,
+            was_prefetched,
+            pages_prefetched,
+        ),
+        Some(inj) => inj.send_request(
+            prefetch,
+            demand,
+            now,
+            path,
+            deputy,
+            table,
+            in_flight,
+            staged,
+            was_prefetched,
+            pages_prefetched,
+        ),
+    }
+}
+
+/// Dispatches staged-page installation through the fault injector
+/// (idempotent, duplicate-suppressing) when one is active, or to
+/// [`install_arrived_pressured`] on the fault-free path.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_install(
+    injector: &mut Option<FaultInjector>,
+    staged: &mut VecDeque<(SimTime, PageId)>,
+    in_flight: &mut HashMap<PageId, SimTime>,
+    space: &mut ampom_mem::space::AddressSpace,
+    now: &mut SimTime,
+    evictor: Option<&mut ClockEvictor>,
+    protect: PageId,
+    path: &mut NetPath,
+    table: &mut ampom_mem::table::PageTablePair,
+    pages_evicted: &mut u64,
+) {
+    match injector.as_mut() {
+        None => install_arrived_pressured(
+            staged,
+            in_flight,
+            space,
+            now,
+            evictor,
+            protect,
+            path,
+            table,
+            pages_evicted,
+        ),
+        Some(inj) => inj.install_arrived(
+            staged,
+            in_flight,
+            space,
+            now,
+            evictor,
+            protect,
+            path,
+            table,
+            pages_evicted,
+        ),
+    }
+}
+
 /// Evicts until one more page fits, pushing victims back to the origin
 /// (the write-back rides the request-direction link; the table re-adopts
 /// the page at the origin).
 #[allow(clippy::too_many_arguments)]
-fn make_room(
+pub(crate) fn make_room(
     ev: &mut ClockEvictor,
     protect: PageId,
     now: SimTime,

@@ -35,6 +35,7 @@ use crate::experiment::{Experiment, WorkloadSpec};
 use crate::metrics::RunReport;
 use crate::migration::Scheme;
 use crate::prefetcher::AmpomConfig;
+use crate::reliability::FaultProfile;
 use crate::runner::CrossTrafficSpec;
 
 /// Worker threads to use when the caller does not pin a count.
@@ -129,6 +130,10 @@ pub type LinkAxis = (String, LinkConfig);
 /// A labelled cross-traffic axis entry (`None` = quiet network).
 pub type CrossAxis = (String, Option<CrossTrafficSpec>);
 
+/// A labelled fault-profile axis entry (`None` = reliable network and
+/// deputy, the historical behaviour).
+pub type FaultAxis = (String, Option<FaultProfile>);
+
 /// Declarative description of an experiment grid.
 ///
 /// ```
@@ -152,6 +157,7 @@ pub struct SweepSpec {
     workloads: Vec<WorkloadSpec>,
     links: Vec<LinkAxis>,
     cross: Vec<CrossAxis>,
+    faults: Vec<FaultAxis>,
     repeats: u32,
     threads: Option<usize>,
     seed_mode: SeedMode,
@@ -177,6 +183,7 @@ impl SweepSpec {
                 ampom_net::calibration::fast_ethernet(),
             )],
             cross: vec![("quiet".into(), None)],
+            faults: vec![("no-faults".into(), None)],
             repeats: 1,
             threads: None,
             seed_mode: SeedMode::Grid { base_seed: 0x5EED },
@@ -221,6 +228,19 @@ impl SweepSpec {
         self
     }
 
+    /// Replaces the fault axis (each entry is a labelled failure model;
+    /// `None` keeps the reliable default).
+    pub fn fault_axis(mut self, faults: impl Into<Vec<FaultAxis>>) -> Self {
+        self.faults = faults.into();
+        self
+    }
+
+    /// Appends one labelled fault profile to the fault axis.
+    pub fn fault(mut self, label: impl Into<String>, profile: FaultProfile) -> Self {
+        self.faults.push((label.into(), Some(profile)));
+        self
+    }
+
     /// Repeats per cell (confidence intervals need ≥ 2).
     pub fn repeats(mut self, n: u32) -> Self {
         self.repeats = n;
@@ -258,6 +278,7 @@ impl SweepSpec {
             ("workloads", self.workloads.is_empty()),
             ("links", self.links.is_empty()),
             ("cross_traffic", self.cross.is_empty()),
+            ("faults", self.faults.is_empty()),
         ] {
             if empty {
                 return Err(AmpomError::EmptySweep(axis.into()));
@@ -284,12 +305,23 @@ impl SweepSpec {
                 )));
             }
         }
+        for (label, profile) in &self.faults {
+            if let Some(p) = profile {
+                p.validate().map_err(|e| {
+                    AmpomError::InvalidConfig(format!("fault axis entry '{label}': {e}"))
+                })?;
+            }
+        }
         Ok(())
     }
 
     /// Number of cells in the grid.
     pub fn cell_count(&self) -> usize {
-        self.workloads.len() * self.links.len() * self.cross.len() * self.schemes.len()
+        self.workloads.len()
+            * self.links.len()
+            * self.cross.len()
+            * self.faults.len()
+            * self.schemes.len()
     }
 
     /// Number of individual runs (cells × repeats).
@@ -309,29 +341,35 @@ impl SweepSpec {
     }
 
     /// Enumerates the grid in deterministic (workload, link, cross,
-    /// scheme) order as ready-to-run experiments, one per cell.
+    /// faults, scheme) order as ready-to-run experiments, one per cell.
     fn cells(&self) -> Vec<CellCoord> {
         let mut out = Vec::with_capacity(self.cell_count());
         for (w_idx, spec) in self.workloads.iter().enumerate() {
             for (link_label, link) in &self.links {
                 for (cross_label, cross) in &self.cross {
-                    for &scheme in &self.schemes {
-                        let mut exp = Experiment::new(scheme)
-                            .workload(spec.clone())
-                            .link(*link)
-                            .ampom(self.ampom.clone())
-                            .repeats(self.repeats);
-                        if let Some(ct) = cross {
-                            exp = exp.cross_traffic(*ct);
+                    for (fault_label, faults) in &self.faults {
+                        for &scheme in &self.schemes {
+                            let mut exp = Experiment::new(scheme)
+                                .workload(spec.clone())
+                                .link(*link)
+                                .ampom(self.ampom.clone())
+                                .repeats(self.repeats);
+                            if let Some(ct) = cross {
+                                exp = exp.cross_traffic(*ct);
+                            }
+                            if let Some(profile) = faults {
+                                exp = exp.faults(profile.clone());
+                            }
+                            out.push(CellCoord {
+                                scheme,
+                                workload: spec.label(),
+                                workload_idx: w_idx,
+                                link: link_label.clone(),
+                                cross: cross_label.clone(),
+                                faults: fault_label.clone(),
+                                exp,
+                            });
                         }
-                        out.push(CellCoord {
-                            scheme,
-                            workload: spec.label(),
-                            workload_idx: w_idx,
-                            link: link_label.clone(),
-                            cross: cross_label.clone(),
-                            exp,
-                        });
                     }
                 }
             }
@@ -428,6 +466,7 @@ impl SweepSpec {
                 workload: cell.workload,
                 link: cell.link,
                 cross: cell.cross,
+                faults: cell.faults,
                 reports,
                 summary,
             });
@@ -448,6 +487,7 @@ struct CellCoord {
     workload_idx: usize,
     link: String,
     cross: String,
+    faults: String,
     exp: Experiment,
 }
 
@@ -559,6 +599,8 @@ pub struct SweepCell {
     pub link: String,
     /// Cross-traffic label.
     pub cross: String,
+    /// Fault-axis label (`"no-faults"` on the default axis).
+    pub faults: String,
     /// Every repeat's full report, in repeat order.
     pub reports: Vec<RunReport>,
     /// Aggregates over the repeats.
@@ -568,7 +610,8 @@ pub struct SweepCell {
 /// The result of a completed sweep.
 #[derive(Debug)]
 pub struct SweepReport {
-    /// Cells in deterministic (workload, link, cross, scheme) order.
+    /// Cells in deterministic (workload, link, cross, faults, scheme)
+    /// order.
     pub cells: Vec<SweepCell>,
     /// Worker threads the sweep ran on (1 for [`SweepSpec::run_serial`]).
     pub threads_used: usize,
@@ -711,6 +754,63 @@ mod tests {
             })
             .unwrap();
         assert_eq!(seen.load(Ordering::Relaxed), report.total_runs());
+    }
+
+    #[test]
+    fn fault_axis_multiplies_the_grid_and_stays_deterministic() {
+        let spec = SweepSpec::new()
+            .workload(WorkloadSpec::Sequential {
+                pages: 128,
+                cpu: CPU,
+            })
+            .fault_axis(vec![
+                ("no-faults".to_string(), None),
+                (
+                    "loss-5pct".to_string(),
+                    Some(crate::reliability::FaultProfile::lossy(0.05)),
+                ),
+            ])
+            .threads(4)
+            .repeats(2);
+        let parallel = spec.run().unwrap();
+        // 1 workload × 1 link × 1 cross × 2 faults × 3 schemes.
+        assert_eq!(parallel.cells.len(), 6);
+        let serial = spec.run_serial().unwrap();
+        assert_eq!(
+            parallel.fingerprint(),
+            serial.fingerprint(),
+            "fault injection must not break sweep determinism"
+        );
+        let faulty = parallel
+            .cells
+            .iter()
+            .find(|c| c.faults == "loss-5pct" && c.scheme == Scheme::Ampom)
+            .unwrap();
+        let stats = faulty.reports[0].faults;
+        assert!(
+            stats.messages_dropped > 0,
+            "5% loss over a 128-page sweep should drop something"
+        );
+        let clean = parallel
+            .cells
+            .iter()
+            .find(|c| c.faults == "no-faults" && c.scheme == Scheme::Ampom)
+            .unwrap();
+        assert_eq!(clean.reports[0].faults, Default::default());
+    }
+
+    #[test]
+    fn invalid_fault_axis_entry_is_a_typed_error() {
+        let err = small_spec()
+            .fault_axis(vec![(
+                "bad".to_string(),
+                Some(crate::reliability::FaultProfile::lossy(1.5)),
+            )])
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, AmpomError::InvalidConfig(_)));
+        let err = small_spec().fault_axis(Vec::new()).run().unwrap_err();
+        assert_eq!(err, AmpomError::EmptySweep("faults".into()));
     }
 
     #[test]

@@ -412,6 +412,8 @@ pub fn run_vm(mut vm: VmWorkload, cfg: &RunConfig, analysis: VmAnalysis) -> VmRe
             analysis_time,
             analysis_count,
             prefetch_stats: stats,
+            faults: crate::metrics::FaultStats::default(),
+            deputy: deputy.stats(),
             trace,
             series: None,
         },

@@ -1,0 +1,294 @@
+//! Property tests for the fault-injection and recovery layer.
+//!
+//! Three protocol invariants, checked over randomized fault schedules
+//! (seeded via `ampom_sim::propcheck`, so every failure is replayable):
+//!
+//! 1. **Termination with a complete address space** — any admissible
+//!    fault schedule (loss, bursts, jitter, a deputy outage, any failure
+//!    policy) lets the workload run to completion, executing every
+//!    reference: `compute_time` equals the fault-free baseline.
+//! 2. **Zero-fault bit-identity** — a null `FaultProfile` produces a
+//!    report fingerprint identical to a run with no profile at all: the
+//!    reliability layer is pay-for-what-you-use.
+//! 3. **Duplicate replies never double-install** — when a retry races a
+//!    late original reply, the loser is counted in
+//!    `faults.duplicate_replies` and the run is otherwise unperturbed
+//!    (a double install would panic inside `AddressSpace::install`).
+//!
+//! The CI fault matrix runs this suite under two fixed values of
+//! `AMPOM_FAULT_SEED`, which perturbs every generated schedule.
+
+use ampom_core::metrics::RunReport;
+use ampom_core::reliability::{FailurePolicy, FaultProfile, RetryPolicy};
+use ampom_core::runner::{run_workload, RunConfig};
+use ampom_core::Scheme;
+use ampom_net::fault::FaultSpec;
+use ampom_sim::event::DowntimeSchedule;
+use ampom_sim::propcheck::{forall, Gen};
+use ampom_sim::time::{SimDuration, SimTime};
+use ampom_workloads::synthetic::Scripted;
+
+/// Extra entropy for the CI seed matrix: every generated schedule is
+/// XORed with this, so two matrix entries explore disjoint schedules.
+fn env_seed() -> u64 {
+    std::env::var("AMPOM_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+const CPU: SimDuration = SimDuration::from_micros(12);
+
+fn run_scripted(refs: &[u64], pages: u64, cfg: &RunConfig) -> RunReport {
+    let mut w = Scripted::new(pages, refs, CPU);
+    run_workload(&mut w, cfg)
+}
+
+/// A random admissible fault profile: loss up to 30%, short bursts,
+/// jitter up to 200µs, an optional deputy outage, any policy, a small
+/// retry budget.
+fn random_profile(g: &mut Gen) -> FaultProfile {
+    let downtime = if g.bool(0.5) {
+        let down = 60_000_000 + g.u64(0..60_000_000); // 60–120ms, around first faults
+        let up = down + 500_000 + g.u64(0..80_000_000); // 0.5–80.5ms outage
+        DowntimeSchedule::single(SimTime::from_nanos(down), SimTime::from_nanos(up))
+    } else {
+        DowntimeSchedule::default()
+    };
+    FaultProfile {
+        faults: FaultSpec {
+            loss_rate: g.unit_f64() * 0.3,
+            burst_len: g.u64(1..4) as u32,
+            jitter: SimDuration::from_nanos(g.u64(0..200_000)),
+        },
+        downtime,
+        retry: RetryPolicy {
+            timeout_factor: g.u64(1..4) as u32,
+            max_retries: g.u64(1..4) as u32,
+        },
+        policy: *g.choose(&FailurePolicy::ALL),
+    }
+}
+
+#[test]
+fn any_fault_schedule_terminates_with_the_full_reference_stream() {
+    forall("fault-termination", 24, |g| {
+        let pages = 48 + g.u64(0..48);
+        let refs = g.vec_u64(200..400, 0..pages);
+        let scheme = *g.choose(&[Scheme::NoPrefetch, Scheme::Ampom]);
+        let seed = g.u64(1..u64::MAX / 2) ^ env_seed();
+        let profile = random_profile(g);
+
+        let baseline = run_scripted(&refs, pages, &RunConfig::new(scheme).with_seed(seed));
+        let faulty = run_scripted(
+            &refs,
+            pages,
+            &RunConfig::new(scheme)
+                .with_seed(seed)
+                .with_faults(profile.clone()),
+        );
+        assert_eq!(
+            faulty.compute_time, baseline.compute_time,
+            "every reference must execute despite faults (scheme {scheme:?}, \
+             profile {profile:?})"
+        );
+        // Faults only ever add wall time.
+        assert!(
+            faulty.total_time >= baseline.total_time,
+            "faults cannot make a run faster: {:?} < {:?}",
+            faulty.total_time,
+            baseline.total_time
+        );
+    });
+}
+
+#[test]
+fn zero_fault_profile_is_bit_identical_to_no_profile() {
+    forall("null-profile-identity", 12, |g| {
+        let pages = 32 + g.u64(0..64);
+        let refs = g.vec_u64(150..300, 0..pages);
+        let scheme = *g.choose(&[Scheme::NoPrefetch, Scheme::Ampom, Scheme::OpenMosix]);
+        let seed = g.u64(1..u64::MAX / 2) ^ env_seed();
+
+        let bare = run_scripted(&refs, pages, &RunConfig::new(scheme).with_seed(seed));
+        let null = run_scripted(
+            &refs,
+            pages,
+            &RunConfig::new(scheme)
+                .with_seed(seed)
+                .with_faults(FaultProfile::default()),
+        );
+        assert_eq!(
+            bare.fingerprint(),
+            null.fingerprint(),
+            "a null profile must leave the runner on the exact fault-free path"
+        );
+        assert_eq!(null.faults, Default::default());
+    });
+}
+
+#[test]
+fn duplicate_replies_are_suppressed_not_double_installed() {
+    // Randomized: lossy links force retries; a double install would
+    // panic inside AddressSpace::install, so mere completion with an
+    // unchanged compute_time is the invariant.
+    forall("duplicate-suppression", 16, |g| {
+        let pages = 48 + g.u64(0..32);
+        let refs = g.vec_u64(200..350, 0..pages);
+        let seed = g.u64(1..u64::MAX / 2) ^ env_seed();
+        let profile = FaultProfile {
+            faults: FaultSpec {
+                loss_rate: 0.1 + g.unit_f64() * 0.2,
+                burst_len: 1,
+                jitter: SimDuration::from_micros(g.u64(0..5_000)),
+            },
+            retry: RetryPolicy {
+                timeout_factor: 1,
+                max_retries: 2 + g.u64(0..3) as u32,
+            },
+            ..FaultProfile::default()
+        };
+        let baseline = run_scripted(&refs, pages, &RunConfig::new(Scheme::Ampom).with_seed(seed));
+        let faulty = run_scripted(
+            &refs,
+            pages,
+            &RunConfig::new(Scheme::Ampom)
+                .with_seed(seed)
+                .with_faults(profile),
+        );
+        assert_eq!(faulty.compute_time, baseline.compute_time);
+    });
+
+    // Engineered: huge reply jitter with zero loss makes every original
+    // reply miss its (tight) timeout, so retries race originals and both
+    // eventually arrive — duplicates must show up in the counter.
+    let refs: Vec<u64> = (0..96).collect();
+    let profile = FaultProfile {
+        faults: FaultSpec {
+            loss_rate: 0.0,
+            burst_len: 1,
+            jitter: SimDuration::from_millis(20),
+        },
+        retry: RetryPolicy {
+            timeout_factor: 1,
+            max_retries: 6,
+        },
+        ..FaultProfile::default()
+    };
+    let r = run_scripted(
+        &refs,
+        96,
+        &RunConfig::new(Scheme::NoPrefetch)
+            .with_seed(7)
+            .with_faults(profile),
+    );
+    assert!(
+        r.faults.timeouts > 0,
+        "tight timeouts must fire: {:?}",
+        r.faults
+    );
+    assert!(
+        r.faults.duplicate_replies > 0,
+        "retry/original races must produce suppressed duplicates: {:?}",
+        r.faults
+    );
+}
+
+/// Regression: under deep prefetch the per-page install charge advances
+/// the clock past the next staged arrivals, so the demand wait loop can
+/// find an in-flight reply whose arrival is already in the past — it
+/// must treat it as arrived, not stall backwards (this panicked on a
+/// 4096-page DGEMM at 5% loss).
+#[test]
+fn congested_pipeline_with_loss_terminates() {
+    use ampom_core::Experiment;
+    use ampom_workloads::sizes::ProblemSize;
+    use ampom_workloads::Kernel;
+
+    let size = ProblemSize {
+        problem: 0,
+        memory_mb: 16,
+    };
+    let r = Experiment::new(Scheme::Ampom)
+        .kernel(Kernel::Dgemm, size)
+        .seed(42)
+        .faults(FaultProfile::lossy(0.05))
+        .build()
+        .expect("congestion experiment is valid")
+        .run()
+        .expect("congestion run completes");
+    let clean = Experiment::new(Scheme::Ampom)
+        .kernel(Kernel::Dgemm, size)
+        .seed(42)
+        .build()
+        .expect("clean experiment is valid")
+        .run()
+        .expect("clean run completes");
+    assert_eq!(r.compute_time, clean.compute_time);
+    assert!(r.faults.messages_dropped > 0);
+}
+
+/// One deputy crash/restart bracketing the first demand faults; every
+/// failure policy must carry the run to completion and leave its
+/// signature in the counters.
+#[test]
+fn every_failure_policy_survives_a_deputy_restart() {
+    let refs: Vec<u64> = (0..128).collect();
+    let outage = DowntimeSchedule::single(
+        SimTime::from_nanos(60_000_000),
+        SimTime::from_nanos(250_000_000),
+    );
+    let baseline = run_scripted(&refs, 128, &RunConfig::new(Scheme::Ampom).with_seed(3));
+
+    for policy in FailurePolicy::ALL {
+        let profile = FaultProfile {
+            faults: FaultSpec::lossy(0.02),
+            downtime: outage.clone(),
+            retry: RetryPolicy {
+                timeout_factor: 1,
+                max_retries: 2,
+            },
+            policy,
+        };
+        let r = run_scripted(
+            &refs,
+            128,
+            &RunConfig::new(Scheme::Ampom)
+                .with_seed(3)
+                .with_faults(profile),
+        );
+        assert_eq!(
+            r.compute_time,
+            baseline.compute_time,
+            "policy {} must complete the workload",
+            policy.name()
+        );
+        assert!(
+            r.faults.timeouts > 0 && r.faults.reconnects > 0,
+            "the outage must exhaust the retry budget under {}: {:?}",
+            policy.name(),
+            r.faults
+        );
+        assert!(
+            r.faults.recovery_time > SimDuration::ZERO,
+            "recovery time must be attributed under {}",
+            policy.name()
+        );
+        match policy {
+            FailurePolicy::StallReconnect => {
+                assert_eq!(r.faults.fallback_pages, 0);
+                assert!(!r.faults.remigrated);
+            }
+            FailurePolicy::EagerFallback => {
+                assert!(
+                    r.faults.fallback_pages > 0,
+                    "eager fallback must ship residual pages: {:?}",
+                    r.faults
+                );
+            }
+            FailurePolicy::Remigrate => {
+                assert!(r.faults.remigrated, "remigration must be recorded");
+            }
+        }
+    }
+}

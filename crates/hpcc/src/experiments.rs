@@ -445,6 +445,120 @@ pub fn parsweep(quick: bool) -> (AsciiTable, AsciiTable) {
     (grid, engine)
 }
 
+/// Robustness curves in the style of Figure 4 of the fault literature:
+/// remote paging under 0–5% message loss, NoPrefetch vs AMPoM, with the
+/// retry/timeout protocol absorbing every drop. The second table demos
+/// graceful degradation: a deputy crash/restart under each
+/// [`FailurePolicy`](ampom_core::reliability::FailurePolicy), with the
+/// recovery counters. Returns `(loss-sweep table, policy-demo table)`.
+pub fn faultsweep(quick: bool) -> (AsciiTable, AsciiTable) {
+    use ampom_core::reliability::{FailurePolicy, FaultProfile, RetryPolicy};
+    use ampom_core::sweep::{FaultAxis, SweepSpec};
+    use ampom_net::fault::FaultSpec;
+    use ampom_sim::event::DowntimeSchedule;
+    use ampom_sim::time::SimTime;
+
+    let mb = if quick { 2 } else { 16 };
+    let size = ProblemSize {
+        problem: 0,
+        memory_mb: mb,
+    };
+    let mut axis: Vec<FaultAxis> = vec![("0%".into(), None)];
+    for loss_pct in [1u32, 2, 5] {
+        axis.push((
+            format!("{loss_pct}%"),
+            Some(FaultProfile::lossy(f64::from(loss_pct) / 100.0)),
+        ));
+    }
+    let spec = SweepSpec::new()
+        .schemes(vec![Scheme::NoPrefetch, Scheme::Ampom])
+        .workload(WorkloadSpec::kernel(Kernel::Dgemm, size))
+        .fault_axis(axis)
+        .fixed_seed(MATRIX_SEED);
+    let parallel = spec.run().expect("fault sweep spec is valid");
+    let serial = spec.run_serial().expect("fault sweep spec is valid");
+    assert_eq!(
+        parallel.fingerprint(),
+        serial.fingerprint(),
+        "fault sweep must be bit-identical across thread counts"
+    );
+
+    let mut grid = AsciiTable::new(
+        format!("Remote paging under message loss (DGEMM {mb}MB, retry/timeout protocol)"),
+        &[
+            "loss",
+            "scheme",
+            "total (s)",
+            "stall (s)",
+            "dropped",
+            "retries",
+            "timeouts",
+            "dup replies",
+        ],
+    );
+    for cell in &parallel.cells {
+        let r = &cell.reports[0];
+        grid.row(vec![
+            cell.faults.clone(),
+            cell.scheme.name().into(),
+            secs(r.total_time.as_secs_f64()),
+            secs(r.stall_time.as_secs_f64()),
+            r.faults.messages_dropped.to_string(),
+            r.faults.retries.to_string(),
+            r.faults.timeouts.to_string(),
+            r.faults.duplicate_replies.to_string(),
+        ]);
+    }
+
+    // Graceful-degradation demo: 2% loss plus one deputy crash/restart
+    // bracketing the first demand faults; every policy must finish.
+    let outage = DowntimeSchedule::single(
+        SimTime::from_nanos(60_000_000),
+        SimTime::from_nanos(250_000_000),
+    );
+    let mut demo = AsciiTable::new(
+        "Deputy crash at 60ms, restart at 250ms, 2% loss: failure policies",
+        &[
+            "policy",
+            "total (s)",
+            "recovery (s)",
+            "reconnects",
+            "fallback pages",
+            "remigrated",
+            "deputy queued",
+        ],
+    );
+    for policy in FailurePolicy::ALL {
+        let profile = FaultProfile {
+            faults: FaultSpec::lossy(0.02),
+            downtime: outage.clone(),
+            retry: RetryPolicy {
+                timeout_factor: 1,
+                max_retries: 2,
+            },
+            policy,
+        };
+        let r = Experiment::new(Scheme::Ampom)
+            .kernel(Kernel::Dgemm, size)
+            .seed(MATRIX_SEED)
+            .faults(profile)
+            .build()
+            .expect("fault demo experiment is valid")
+            .run()
+            .expect("fault demo run succeeds");
+        demo.row(vec![
+            policy.name().into(),
+            secs(r.total_time.as_secs_f64()),
+            secs(r.faults.recovery_time.as_secs_f64()),
+            r.faults.reconnects.to_string(),
+            r.faults.fallback_pages.to_string(),
+            if r.faults.remigrated { "yes" } else { "no" }.into(),
+            r.deputy.queued_requests.to_string(),
+        ]);
+    }
+    (grid, demo)
+}
+
 /// Builds one table per kernel with a `MB | AMPoM | openMosix | NoPrefetch`
 /// layout, projecting `metric` out of each cell.
 fn per_kernel_tables(

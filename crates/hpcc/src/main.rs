@@ -28,6 +28,7 @@
 //!   ext-gossip    extension: gossip staleness vs balancing quality
 //!   ext-accuracy  extension: prefetch accuracy per kernel
 //!   parsweep  parallel sweep engine demo (grid, speedup, determinism)
+//!   faultsweep remote paging under message loss + deputy failure policies
 //!   timeline  sampled run dynamics (in-flight, resident, budget, link)
 //!   check     reproduction certificate: paper claims, PASS/FAIL
 //!   sweep     sensitivity of l, dmax and the baseline read-ahead
@@ -66,7 +67,7 @@ fn parse_args() -> Options {
             "--help" | "-h" => {
                 println!(
                     "hpcc-repro [all|table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|\
-                     ext-vm|ext-cluster|ext-ptrans|ext-interactive|ext-roundtrip|ext-syscall|ext-pressure|ext-hpl|ext-locality|ext-timing|ext-gossip|ext-accuracy|parsweep|timeline|check|sweep] \
+                     ext-vm|ext-cluster|ext-ptrans|ext-interactive|ext-roundtrip|ext-syscall|ext-pressure|ext-hpl|ext-locality|ext-timing|ext-gossip|ext-accuracy|parsweep|faultsweep|timeline|check|sweep] \
                      [--quick] [--csv DIR]"
                 );
                 std::process::exit(0);
@@ -243,6 +244,12 @@ fn main() {
         let (grid, engine) = experiments::parsweep(opts.quick);
         emit(&grid, &opts, "parsweep_grid");
         emit(&engine, &opts, "parsweep_engine");
+        ran = true;
+    }
+    if wants("faultsweep") {
+        let (grid, demo) = experiments::faultsweep(opts.quick);
+        emit(&grid, &opts, "faultsweep_grid");
+        emit(&demo, &opts, "faultsweep_policies");
         ran = true;
     }
     if wants("timeline") {

@@ -1,0 +1,410 @@
+//! Deterministic fault injection for links.
+//!
+//! Real openMosix clusters lose frames and suffer queueing jitter; the
+//! paper's protocol (§2.2, Algorithm 1) assumes neither. [`FaultPlan`]
+//! supplies the missing failure semantics as a *deterministic* stream of
+//! per-message fates — drop or deliver-with-extra-delay — drawn from a
+//! seeded [`SimRng`]. Seeding the plan from the sweep-cell RNG keeps a
+//! parallel sweep bit-identical to a serial one: the fate of the n-th
+//! message depends only on `(seed, n)`, never on scheduling order.
+//!
+//! A zero-fault plan (no loss, no jitter) short-circuits without touching
+//! the RNG at all, so wiring a null plan into a run reproduces the
+//! fault-free results *exactly* — byte-for-byte, fingerprint-for-
+//! fingerprint. The property tests in `ampom-core` rely on this.
+//!
+//! [`FaultyLink`] wraps a [`Link`] so the link consults the plan on every
+//! transmission: dropped messages still occupy the transmitter (the bytes
+//! are clocked onto the wire and lost in flight, as on a real segment)
+//! but are never delivered.
+
+use ampom_sim::rng::SimRng;
+use ampom_sim::time::{SimDuration, SimTime};
+
+use crate::link::{Link, Transmission};
+
+/// A fault-configuration knob out of its documented domain.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultConfigError {
+    /// `loss_rate` must lie in `[0, 1)`; a rate of 1 would drop every
+    /// message and no retry protocol could terminate.
+    LossRateOutOfRange(f64),
+    /// `burst_len` must be at least 1 (each loss event drops at least the
+    /// message that triggered it).
+    ZeroBurst,
+}
+
+impl std::fmt::Display for FaultConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultConfigError::LossRateOutOfRange(r) => {
+                write!(f, "loss_rate {r} outside [0, 1)")
+            }
+            FaultConfigError::ZeroBurst => write!(f, "burst_len must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for FaultConfigError {}
+
+/// Message-level fault knobs of one link direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Probability that a message starts a loss event, in `[0, 1)`.
+    pub loss_rate: f64,
+    /// Messages dropped per loss event (1 = independent losses; larger
+    /// values model the bursty losses of a congested or fading segment).
+    pub burst_len: u32,
+    /// Maximum extra delivery delay; each delivered message is delayed by
+    /// a uniform draw from `[0, jitter]`.
+    pub jitter: SimDuration,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            loss_rate: 0.0,
+            burst_len: 1,
+            jitter: SimDuration::ZERO,
+        }
+    }
+}
+
+impl FaultSpec {
+    /// A spec that drops each message independently with probability
+    /// `loss_rate` and adds no jitter.
+    pub fn lossy(loss_rate: f64) -> Self {
+        FaultSpec {
+            loss_rate,
+            ..FaultSpec::default()
+        }
+    }
+
+    /// True if this spec can never perturb a message — the plan then
+    /// short-circuits with zero RNG draws.
+    pub fn is_null(&self) -> bool {
+        self.loss_rate == 0.0 && self.jitter == SimDuration::ZERO
+    }
+
+    /// Checks every knob against its documented domain.
+    pub fn validate(&self) -> Result<(), FaultConfigError> {
+        if !(0.0..1.0).contains(&self.loss_rate) {
+            return Err(FaultConfigError::LossRateOutOfRange(self.loss_rate));
+        }
+        if self.burst_len == 0 {
+            return Err(FaultConfigError::ZeroBurst);
+        }
+        Ok(())
+    }
+}
+
+/// The fate of one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fate {
+    /// The message arrives, `extra_delay` after its nominal arrival time.
+    Delivered {
+        /// Jitter added on top of serialization + propagation.
+        extra_delay: SimDuration,
+    },
+    /// The message is lost in flight.
+    Dropped,
+}
+
+/// A deterministic per-message fate stream for one link direction.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    spec: FaultSpec,
+    rng: SimRng,
+    /// Remaining messages of the current loss burst.
+    burst_left: u32,
+    decided: u64,
+    dropped: u64,
+}
+
+impl FaultPlan {
+    /// A plan drawing fates from `rng` under `spec`.
+    ///
+    /// # Panics
+    /// Panics on an invalid spec; validate first when the spec comes from
+    /// user input.
+    pub fn new(spec: FaultSpec, rng: SimRng) -> Self {
+        spec.validate().expect("invalid fault spec");
+        FaultPlan {
+            spec,
+            rng,
+            burst_left: 0,
+            decided: 0,
+            dropped: 0,
+        }
+    }
+
+    /// A plan that never perturbs anything (and never draws).
+    pub fn null() -> Self {
+        FaultPlan::new(FaultSpec::default(), SimRng::seed_from_u64(0))
+    }
+
+    /// The spec this plan draws under.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// Decides the fate of the next message.
+    pub fn fate(&mut self) -> Fate {
+        if self.spec.is_null() {
+            return Fate::Delivered {
+                extra_delay: SimDuration::ZERO,
+            };
+        }
+        self.decided += 1;
+        if self.burst_left > 0 {
+            self.burst_left -= 1;
+            self.dropped += 1;
+            return Fate::Dropped;
+        }
+        if self.spec.loss_rate > 0.0 && self.rng.chance(self.spec.loss_rate) {
+            self.burst_left = self.spec.burst_len - 1;
+            self.dropped += 1;
+            return Fate::Dropped;
+        }
+        let extra_delay = if self.spec.jitter > SimDuration::ZERO {
+            SimDuration::from_nanos(self.rng.below(self.spec.jitter.as_nanos() + 1))
+        } else {
+            SimDuration::ZERO
+        };
+        Fate::Delivered { extra_delay }
+    }
+
+    /// Messages whose fate has been decided (0 for a null spec).
+    pub fn decided(&self) -> u64 {
+        self.decided
+    }
+
+    /// Messages dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// A [`Link`] that consults a [`FaultPlan`] on every transmission.
+///
+/// Dropped messages occupy the transmitter exactly like delivered ones
+/// (the frame is clocked out and lost downstream), so loss does not free
+/// up bandwidth; jittered messages are delivered late without delaying
+/// the FIFO behind them (reordering is possible, as with real switches).
+#[derive(Debug, Clone)]
+pub struct FaultyLink {
+    link: Link,
+    plan: FaultPlan,
+}
+
+impl FaultyLink {
+    /// Wraps `link` with the fates of `plan`.
+    pub fn new(link: Link, plan: FaultPlan) -> Self {
+        FaultyLink { link, plan }
+    }
+
+    /// The wrapped link.
+    pub fn link(&self) -> &Link {
+        &self.link
+    }
+
+    /// The plan's knobs.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.plan.spec
+    }
+
+    /// Replaces the loss-rate knob for subsequent messages.
+    ///
+    /// # Panics
+    /// Panics if the new rate is outside `[0, 1)`.
+    pub fn set_loss_rate(&mut self, loss_rate: f64) {
+        self.plan.spec.loss_rate = loss_rate;
+        self.plan.spec.validate().expect("invalid loss rate");
+    }
+
+    /// Replaces the burst-length knob for subsequent loss events.
+    ///
+    /// # Panics
+    /// Panics if `burst_len` is 0.
+    pub fn set_burst_len(&mut self, burst_len: u32) {
+        self.plan.spec.burst_len = burst_len;
+        self.plan.spec.validate().expect("invalid burst length");
+    }
+
+    /// Replaces the jitter knob for subsequent messages.
+    pub fn set_jitter(&mut self, jitter: SimDuration) {
+        self.plan.spec.jitter = jitter;
+    }
+
+    /// Transmits a `size`-byte message at `now`; `None` means the message
+    /// was dropped in flight (the transmitter was still occupied for it).
+    pub fn transmit(&mut self, now: SimTime, size: u64) -> Option<Transmission> {
+        let fate = self.plan.fate();
+        let tx = self.link.transmit(now, size);
+        match fate {
+            Fate::Dropped => None,
+            Fate::Delivered { extra_delay } => Some(Transmission {
+                arrives: tx.arrives + extra_delay,
+                ..tx
+            }),
+        }
+    }
+
+    /// Messages dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.plan.dropped()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkConfig;
+
+    fn spec(loss: f64) -> FaultSpec {
+        FaultSpec::lossy(loss)
+    }
+
+    #[test]
+    fn null_plan_never_draws_and_never_drops() {
+        let mut plan = FaultPlan::null();
+        for _ in 0..1000 {
+            assert_eq!(
+                plan.fate(),
+                Fate::Delivered {
+                    extra_delay: SimDuration::ZERO
+                }
+            );
+        }
+        assert_eq!(plan.decided(), 0, "null plan must not consume the RNG");
+        assert_eq!(plan.dropped(), 0);
+    }
+
+    #[test]
+    fn fates_are_reproducible_for_a_seed() {
+        let draw = |seed| {
+            let mut plan = FaultPlan::new(spec(0.3), SimRng::seed_from_u64(seed));
+            (0..100).map(|_| plan.fate()).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+
+    #[test]
+    fn loss_rate_controls_drop_frequency() {
+        let mut plan = FaultPlan::new(spec(0.2), SimRng::seed_from_u64(1));
+        for _ in 0..10_000 {
+            plan.fate();
+        }
+        let rate = plan.dropped() as f64 / plan.decided() as f64;
+        assert!((0.15..0.25).contains(&rate), "observed loss {rate}");
+    }
+
+    #[test]
+    fn bursts_drop_consecutive_messages() {
+        let mut plan = FaultPlan::new(
+            FaultSpec {
+                loss_rate: 0.05,
+                burst_len: 4,
+                jitter: SimDuration::ZERO,
+            },
+            SimRng::seed_from_u64(3),
+        );
+        let fates: Vec<Fate> = (0..5_000).map(|_| plan.fate()).collect();
+        // Every loss event spans exactly 4 messages: count maximal runs.
+        let mut runs = Vec::new();
+        let mut run = 0u32;
+        for f in &fates {
+            if *f == Fate::Dropped {
+                run += 1;
+            } else if run > 0 {
+                runs.push(run);
+                run = 0;
+            }
+        }
+        assert!(!runs.is_empty());
+        // Runs are multiples of the burst length (adjacent events merge).
+        assert!(runs.iter().all(|r| r % 4 == 0), "runs {runs:?}");
+    }
+
+    #[test]
+    fn jitter_delays_but_never_reorders_the_transmitter() {
+        let link = Link::new(LinkConfig {
+            capacity_bytes_per_sec: 1_000_000,
+            latency: SimDuration::from_micros(100),
+        });
+        let plan = FaultPlan::new(
+            FaultSpec {
+                loss_rate: 0.0,
+                burst_len: 1,
+                jitter: SimDuration::from_micros(500),
+            },
+            SimRng::seed_from_u64(9),
+        );
+        let mut fl = FaultyLink::new(link, plan);
+        let a = fl.transmit(SimTime::ZERO, 1000).expect("no loss");
+        let b = fl.transmit(SimTime::ZERO, 1000).expect("no loss");
+        // Departures stay FIFO even if arrivals reorder under jitter.
+        assert!(b.departs > a.departs);
+        assert!(a.arrives >= a.departs + SimDuration::from_micros(100));
+        assert!(a.arrives <= a.departs + SimDuration::from_micros(600));
+    }
+
+    #[test]
+    fn dropped_messages_still_occupy_the_link() {
+        let link = Link::new(LinkConfig {
+            capacity_bytes_per_sec: 1_000_000,
+            latency: SimDuration::from_micros(100),
+        });
+        // Certain first-draw loss via a burst of 2 after a forced event.
+        let plan = FaultPlan::new(
+            FaultSpec {
+                loss_rate: 0.999_999,
+                burst_len: 1,
+                jitter: SimDuration::ZERO,
+            },
+            SimRng::seed_from_u64(0),
+        );
+        let mut fl = FaultyLink::new(link, plan);
+        let before = fl.link().free_at();
+        assert_eq!(fl.transmit(SimTime::ZERO, 1000), None);
+        assert!(fl.link().free_at() > before, "drop still serializes");
+        assert_eq!(fl.dropped(), 1);
+    }
+
+    #[test]
+    fn knob_setters_apply_to_subsequent_messages() {
+        let link = Link::new(LinkConfig {
+            capacity_bytes_per_sec: 1_000_000,
+            latency: SimDuration::ZERO,
+        });
+        let mut fl = FaultyLink::new(link, FaultPlan::null());
+        assert!(fl.transmit(SimTime::ZERO, 10).is_some());
+        fl.set_loss_rate(0.999_999);
+        fl.set_burst_len(2);
+        assert!(fl.transmit(SimTime::ZERO, 10).is_none());
+        fl.set_jitter(SimDuration::from_micros(50));
+        assert_eq!(fl.spec().jitter, SimDuration::from_micros(50));
+    }
+
+    #[test]
+    fn validation_rejects_bad_knobs() {
+        assert_eq!(
+            FaultSpec::lossy(1.0).validate(),
+            Err(FaultConfigError::LossRateOutOfRange(1.0))
+        );
+        assert_eq!(
+            FaultSpec::lossy(-0.1).validate(),
+            Err(FaultConfigError::LossRateOutOfRange(-0.1))
+        );
+        assert_eq!(
+            FaultSpec {
+                burst_len: 0,
+                ..FaultSpec::default()
+            }
+            .validate(),
+            Err(FaultConfigError::ZeroBurst)
+        );
+        assert!(FaultSpec::lossy(0.05).validate().is_ok());
+    }
+}

@@ -23,15 +23,19 @@
 //!   measurement algorithms of the modified oM_infoD (§4),
 //! * [`cross::CrossTraffic`] — Poisson background traffic for the
 //!   network-adaptivity experiments,
+//! * [`fault::FaultPlan`] / [`fault::FaultyLink`] — deterministic message
+//!   loss, burst loss and jitter for the robustness experiments,
 //! * [`calibration`] — the physical constants (documented in DESIGN.md §7).
 
 pub mod calibration;
 pub mod cross;
+pub mod fault;
 pub mod link;
 pub mod nic;
 pub mod probe;
 pub mod shaper;
 
-pub use link::{Link, LinkConfig, Transmission};
+pub use fault::{Fate, FaultConfigError, FaultPlan, FaultSpec, FaultyLink};
+pub use link::{Link, LinkConfig, LinkError, Transmission};
 pub use nic::Nic;
 pub use shaper::TrafficShaper;

@@ -14,6 +14,27 @@
 
 use ampom_sim::time::{SimDuration, SimTime};
 
+/// A malformed [`LinkConfig`].
+///
+/// Configs come in from experiment builders and sweep grids; returning a
+/// typed error lets those layers reject a bad cell instead of panicking
+/// inside a sweep worker thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkError {
+    /// `capacity_bytes_per_sec` was 0 — no byte could ever serialize.
+    ZeroCapacity,
+}
+
+impl std::fmt::Display for LinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinkError::ZeroCapacity => write!(f, "link with zero capacity"),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
 /// Immutable parameters of a link.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LinkConfig {
@@ -24,12 +45,33 @@ pub struct LinkConfig {
 }
 
 impl LinkConfig {
-    /// Time to clock `bytes` onto the wire at this link's capacity.
-    pub fn serialization_time(&self, bytes: u64) -> SimDuration {
-        assert!(self.capacity_bytes_per_sec > 0, "link with zero capacity");
+    /// Checks the config for values no simulation could run with.
+    pub fn validate(&self) -> Result<(), LinkError> {
+        if self.capacity_bytes_per_sec == 0 {
+            return Err(LinkError::ZeroCapacity);
+        }
+        Ok(())
+    }
+
+    /// Time to clock `bytes` onto the wire, or an error for a link that
+    /// was never valid.
+    pub fn try_serialization_time(&self, bytes: u64) -> Result<SimDuration, LinkError> {
+        self.validate()?;
         // bytes * 1e9 / capacity, in u128 to avoid overflow for huge bursts.
         let ns = (bytes as u128 * 1_000_000_000u128) / self.capacity_bytes_per_sec as u128;
-        SimDuration::from_nanos(ns as u64)
+        Ok(SimDuration::from_nanos(ns as u64))
+    }
+
+    /// Time to clock `bytes` onto the wire at this link's capacity.
+    ///
+    /// # Panics
+    /// Panics on a zero-capacity config. Configs are validated at every
+    /// construction boundary (`RunConfig::validate`, the sweep builder),
+    /// so reaching this is an internal invariant violation; validate
+    /// up front with [`LinkConfig::validate`] when handling user input.
+    pub fn serialization_time(&self, bytes: u64) -> SimDuration {
+        self.try_serialization_time(bytes)
+            .expect("link with zero capacity")
     }
 
     /// Round-trip time of an empty probe (2 × latency); the `2·t0` of Eq. 3.
@@ -258,12 +300,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "zero capacity")]
     fn zero_capacity_rejected() {
         let cfg = LinkConfig {
             capacity_bytes_per_sec: 0,
             latency: SimDuration::ZERO,
         };
-        let _ = cfg.serialization_time(1);
+        assert_eq!(cfg.validate(), Err(LinkError::ZeroCapacity));
+        assert_eq!(cfg.try_serialization_time(1), Err(LinkError::ZeroCapacity));
+        assert_eq!(
+            format!("{}", LinkError::ZeroCapacity),
+            "link with zero capacity"
+        );
     }
 }

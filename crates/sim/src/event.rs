@@ -132,6 +132,87 @@ impl<E> EventQueue<E> {
     }
 }
 
+/// One planned outage: the node is down over `[down_at, up_at)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Outage {
+    /// Instant the node crashes (inclusive).
+    pub down_at: SimTime,
+    /// Instant the node is back up (exclusive — the node answers at
+    /// `up_at` itself).
+    pub up_at: SimTime,
+}
+
+/// A scheduled crash/restart timetable for one node.
+///
+/// This is the deterministic stand-in for a node's MTBF process: outages
+/// are fixed on the simulated timeline before the run starts, so a run
+/// with a downtime schedule is exactly as reproducible as one without.
+/// The empty schedule means "never fails" and costs one comparison per
+/// query.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DowntimeSchedule {
+    outages: Vec<Outage>,
+}
+
+impl DowntimeSchedule {
+    /// A schedule from a list of outages.
+    ///
+    /// Outages must be well-formed (`down_at < up_at`), sorted by
+    /// `down_at`, and non-overlapping — otherwise "is the node down at t"
+    /// has no single answer.
+    pub fn new(outages: Vec<Outage>) -> Result<Self, String> {
+        for o in &outages {
+            if o.down_at >= o.up_at {
+                return Err(format!(
+                    "outage ends at {:?} before it starts at {:?}",
+                    o.up_at, o.down_at
+                ));
+            }
+        }
+        for w in outages.windows(2) {
+            if w[1].down_at < w[0].up_at {
+                return Err(format!(
+                    "outage starting at {:?} overlaps the one ending at {:?}",
+                    w[1].down_at, w[0].up_at
+                ));
+            }
+        }
+        Ok(DowntimeSchedule { outages })
+    }
+
+    /// A schedule with a single outage over `[down_at, up_at)`.
+    ///
+    /// # Panics
+    /// Panics if `down_at >= up_at`.
+    pub fn single(down_at: SimTime, up_at: SimTime) -> Self {
+        DowntimeSchedule::new(vec![Outage { down_at, up_at }]).expect("invalid outage window")
+    }
+
+    /// True if the schedule has no outages.
+    pub fn is_empty(&self) -> bool {
+        self.outages.is_empty()
+    }
+
+    /// The planned outages, in order.
+    pub fn outages(&self) -> &[Outage] {
+        &self.outages
+    }
+
+    /// True if the node is down at instant `t`.
+    pub fn is_down(&self, t: SimTime) -> bool {
+        self.outages.iter().any(|o| o.down_at <= t && t < o.up_at)
+    }
+
+    /// The earliest instant `>= t` at which the node is up — `t` itself
+    /// when the node is already up.
+    pub fn next_up(&self, t: SimTime) -> SimTime {
+        match self.outages.iter().find(|o| o.down_at <= t && t < o.up_at) {
+            Some(o) => o.up_at,
+            None => t,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -197,5 +278,70 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime::from_nanos(9)));
         q.clear();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn empty_schedule_is_always_up() {
+        let s = DowntimeSchedule::default();
+        assert!(s.is_empty());
+        assert!(!s.is_down(SimTime::ZERO));
+        assert!(!s.is_down(SimTime::from_nanos(u64::MAX / 2)));
+        assert_eq!(s.next_up(SimTime::from_nanos(42)), SimTime::from_nanos(42));
+    }
+
+    #[test]
+    fn single_outage_window_is_half_open() {
+        let s = DowntimeSchedule::single(SimTime::from_nanos(100), SimTime::from_nanos(200));
+        assert!(!s.is_down(SimTime::from_nanos(99)));
+        assert!(s.is_down(SimTime::from_nanos(100)));
+        assert!(s.is_down(SimTime::from_nanos(199)));
+        assert!(!s.is_down(SimTime::from_nanos(200)));
+        assert_eq!(
+            s.next_up(SimTime::from_nanos(150)),
+            SimTime::from_nanos(200)
+        );
+        assert_eq!(
+            s.next_up(SimTime::from_nanos(250)),
+            SimTime::from_nanos(250)
+        );
+    }
+
+    #[test]
+    fn multiple_outages_resolve_independently() {
+        let s = DowntimeSchedule::new(vec![
+            Outage {
+                down_at: SimTime::from_nanos(10),
+                up_at: SimTime::from_nanos(20),
+            },
+            Outage {
+                down_at: SimTime::from_nanos(50),
+                up_at: SimTime::from_nanos(60),
+            },
+        ])
+        .unwrap();
+        assert!(s.is_down(SimTime::from_nanos(15)));
+        assert!(!s.is_down(SimTime::from_nanos(30)));
+        assert!(s.is_down(SimTime::from_nanos(55)));
+        assert_eq!(s.next_up(SimTime::from_nanos(55)), SimTime::from_nanos(60));
+    }
+
+    #[test]
+    fn malformed_schedules_are_rejected() {
+        assert!(DowntimeSchedule::new(vec![Outage {
+            down_at: SimTime::from_nanos(20),
+            up_at: SimTime::from_nanos(20),
+        }])
+        .is_err());
+        assert!(DowntimeSchedule::new(vec![
+            Outage {
+                down_at: SimTime::from_nanos(10),
+                up_at: SimTime::from_nanos(30),
+            },
+            Outage {
+                down_at: SimTime::from_nanos(20),
+                up_at: SimTime::from_nanos(40),
+            },
+        ])
+        .is_err());
     }
 }
