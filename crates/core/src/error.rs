@@ -30,6 +30,10 @@ pub enum AmpomError {
     /// A sweep grid has an empty axis, so the cartesian product contains
     /// no cells. The payload names the empty axis.
     EmptySweep(String),
+    /// A live transport failed in a way the recovery protocol could not
+    /// absorb (connection refused, handshake mismatch, a peer speaking a
+    /// different frame version). Simulated transports never return this.
+    Transport(String),
 }
 
 impl fmt::Display for AmpomError {
@@ -47,6 +51,7 @@ impl fmt::Display for AmpomError {
                 )
             }
             AmpomError::EmptySweep(axis) => write!(f, "sweep grid axis is empty: {axis}"),
+            AmpomError::Transport(why) => write!(f, "transport failure: {why}"),
         }
     }
 }

@@ -100,6 +100,7 @@ pub mod runner;
 pub mod scheduler;
 pub mod score;
 pub mod sweep;
+pub mod transport;
 pub mod validate;
 pub mod vm;
 pub mod window;
@@ -110,6 +111,7 @@ pub use experiment::{Experiment, WorkloadSpec};
 pub use metrics::RunReport;
 pub use migration::Scheme;
 pub use prefetcher::{AmpomConfig, AmpomPrefetcher};
-pub use reliability::{FailurePolicy, FaultProfile, RetryPolicy};
+pub use reliability::{FailurePolicy, FaultProfile, RetryPolicy, RetrySchedule, RetryStep};
 pub use runner::{run_workload, try_run_workload, RunConfig};
 pub use sweep::{SweepReport, SweepSpec};
+pub use transport::{run_with_transport, SimulatedTransport, Transport};

@@ -17,7 +17,7 @@
 //!   [`FailurePolicy`]: stall until the deputy reconnects, fall back to a
 //!   residual eager copy of every remaining page, or remigrate home.
 //!
-//! The entry point is [`FaultInjector`], which the runner instantiates
+//! The entry point is `FaultInjector`, which the runner instantiates
 //! **only** for a non-null [`FaultProfile`]; a fault-free run never
 //! touches this module, so its timing is bit-identical to the historical
 //! runner (the zero-fault property test pins this).
@@ -126,6 +126,103 @@ impl FailurePolicy {
     }
 }
 
+/// What the migrant should do after a demand-wait timeout fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryStep {
+    /// Budget remains: re-send the demanded page (the attempt counter has
+    /// already advanced, so the next timeout backs off further).
+    Retry,
+    /// Budget exhausted: invoke the given degradation policy.
+    Degrade(FailurePolicy),
+}
+
+/// The transport-agnostic core of the recovery protocol: attempt
+/// counting, exponential-backoff deadlines, and the escalation to a
+/// [`FailurePolicy`] once the retry budget is spent.
+///
+/// Both demand-wait loops — the simulated `FaultInjector` and the live
+/// socket client in `ampom-rpc` — drive this one state machine, so the
+/// protocol's arithmetic exists in exactly one place. The
+/// `MAX_POLICY_CYCLES` termination guarantee (a pathological schedule
+/// is eventually forced onto the eager fallback) lives here too and
+/// therefore applies to real sockets as well.
+#[derive(Debug, Clone)]
+pub struct RetrySchedule {
+    retry: RetryPolicy,
+    policy: FailurePolicy,
+    /// One demand round trip on the calibrated link: `2·t0 + td`.
+    base_timeout: SimDuration,
+    attempt: u32,
+    policy_cycles: u32,
+}
+
+impl RetrySchedule {
+    /// A schedule with an explicitly calibrated base timeout.
+    pub fn new(retry: RetryPolicy, policy: FailurePolicy, base_timeout: SimDuration) -> Self {
+        RetrySchedule {
+            retry,
+            policy,
+            base_timeout,
+            attempt: 0,
+            policy_cycles: 0,
+        }
+    }
+
+    /// A schedule whose base timeout is one request/reply round trip on
+    /// `link` (`2·t0 + td`, the Eq. 3 quantity).
+    pub fn for_link(retry: RetryPolicy, policy: FailurePolicy, link: LinkConfig) -> Self {
+        Self::new(retry, policy, link.rtt() + page_transfer_time(&link))
+    }
+
+    /// The calibrated base timeout.
+    pub fn base_timeout(&self) -> SimDuration {
+        self.base_timeout
+    }
+
+    /// Starts a fresh demand wait: the attempt counter resets (each page
+    /// gets the full budget) while the policy-cycle counter persists.
+    pub fn begin_wait(&mut self) {
+        self.attempt = 0;
+    }
+
+    /// The timeout of the current attempt (exponential backoff).
+    pub fn current_timeout(&self) -> SimDuration {
+        self.retry.timeout(self.base_timeout, self.attempt)
+    }
+
+    /// The deadline the current attempt's timer fires at.
+    pub fn deadline_after(&self, now: SimTime) -> SimTime {
+        now + self.current_timeout()
+    }
+
+    /// Advances the state machine after a timeout: retry while budget
+    /// remains, otherwise degrade. Past `MAX_POLICY_CYCLES` policy
+    /// invocations the eager fallback is forced so every run terminates.
+    pub fn on_timeout(&mut self) -> RetryStep {
+        if self.attempt < self.retry.max_retries {
+            self.attempt += 1;
+            RetryStep::Retry
+        } else {
+            self.policy_cycles += 1;
+            RetryStep::Degrade(if self.policy_cycles > MAX_POLICY_CYCLES {
+                FailurePolicy::EagerFallback
+            } else {
+                self.policy
+            })
+        }
+    }
+
+    /// The current (0-based) attempt number.
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// How many times the failure policy has been invoked.
+    pub fn policy_cycles(&self) -> u32 {
+        self.policy_cycles
+    }
+}
+
 /// The complete failure model of one run: message-level faults on both
 /// link directions, the deputy's crash/restart timetable, and the
 /// migrant's recovery knobs.
@@ -198,10 +295,9 @@ pub(crate) struct FaultInjector {
     profile: FaultProfile,
     request_plan: FaultPlan,
     reply_plan: FaultPlan,
-    /// One demand round trip on the configured link: `2·t0 + td`.
-    base_timeout: SimDuration,
+    /// The shared retry/backoff/degradation state machine.
+    schedule: RetrySchedule,
     stats: FaultStats,
-    policy_cycles: u32,
 }
 
 impl FaultInjector {
@@ -211,9 +307,8 @@ impl FaultInjector {
             profile: profile.clone(),
             request_plan: FaultPlan::new(profile.faults, rng.fork(0x0072_6571)),
             reply_plan: FaultPlan::new(profile.faults, rng.fork(0x0072_6570)),
-            base_timeout: link.rtt() + page_transfer_time(&link),
+            schedule: RetrySchedule::for_link(profile.retry, profile.policy, link),
             stats: FaultStats::default(),
-            policy_cycles: 0,
         }
     }
 
@@ -366,7 +461,7 @@ impl FaultInjector {
         mut evictor: Option<&mut ClockEvictor>,
         pages_evicted: &mut u64,
     ) {
-        let mut attempt = 0u32;
+        self.schedule.begin_wait();
         loop {
             self.install_arrived(
                 staged,
@@ -382,7 +477,7 @@ impl FaultInjector {
             if space.is_resident(demand) {
                 return;
             }
-            let deadline = *now + self.profile.retry.timeout(self.base_timeout, attempt);
+            let deadline = self.schedule.deadline_after(*now);
             if let Some(&arrival) = in_flight.get(&demand) {
                 if arrival <= deadline {
                     // The reply is on the wire and will beat the timer.
@@ -400,31 +495,29 @@ impl FaultInjector {
             *stall_time += deadline.since(*now);
             *now = deadline;
             self.stats.timeouts += 1;
-            if attempt < self.profile.retry.max_retries {
-                attempt += 1;
-                self.stats.retries += 1;
-                self.send_request(
-                    &[],
-                    Some(demand),
-                    *now,
-                    path,
-                    deputy,
-                    table,
-                    in_flight,
-                    staged,
-                    was_prefetched,
-                    pages_prefetched,
-                );
-                continue;
-            }
-            // Retry budget exhausted: graceful degradation.
-            self.policy_cycles += 1;
-            self.stats.reconnects += 1;
-            let policy = if self.policy_cycles > MAX_POLICY_CYCLES {
-                FailurePolicy::EagerFallback
-            } else {
-                self.profile.policy
+            let policy = match self.schedule.on_timeout() {
+                RetryStep::Retry => {
+                    self.stats.retries += 1;
+                    self.send_request(
+                        &[],
+                        Some(demand),
+                        *now,
+                        path,
+                        deputy,
+                        table,
+                        in_flight,
+                        staged,
+                        was_prefetched,
+                        pages_prefetched,
+                    );
+                    continue;
+                }
+                // Retry budget exhausted: graceful degradation (the
+                // schedule already forced the eager fallback if this run
+                // is past its policy-cycle cap).
+                RetryStep::Degrade(policy) => policy,
             };
+            self.stats.reconnects += 1;
             match policy {
                 FailurePolicy::StallReconnect => {
                     // Wait out any deputy downtime; if the demand's reply
@@ -441,7 +534,7 @@ impl FaultInjector {
                     *stall_time += wait;
                     self.stats.recovery_time += wait;
                     *now = up;
-                    attempt = 0;
+                    self.schedule.begin_wait();
                     if resend {
                         self.send_request(
                             &[],
@@ -598,7 +691,77 @@ mod tests {
     fn base_timeout_matches_eq3_round_trip() {
         let link = ampom_net::calibration::fast_ethernet();
         let inj = FaultInjector::new(&FaultProfile::lossy(0.01), link, 7);
-        assert_eq!(inj.base_timeout, link.rtt() + page_transfer_time(&link));
+        assert_eq!(
+            inj.schedule.base_timeout(),
+            link.rtt() + page_transfer_time(&link)
+        );
+    }
+
+    #[test]
+    fn schedule_backs_off_then_degrades() {
+        let retry = RetryPolicy {
+            timeout_factor: 2,
+            max_retries: 3,
+        };
+        let base = SimDuration::from_micros(100);
+        let mut sched = RetrySchedule::new(retry, FailurePolicy::StallReconnect, base);
+        sched.begin_wait();
+        assert_eq!(sched.current_timeout(), SimDuration::from_micros(200));
+        assert_eq!(sched.on_timeout(), RetryStep::Retry);
+        assert_eq!(sched.current_timeout(), SimDuration::from_micros(400));
+        assert_eq!(sched.on_timeout(), RetryStep::Retry);
+        assert_eq!(sched.on_timeout(), RetryStep::Retry);
+        // Retry budget exhausted: the configured policy fires.
+        assert_eq!(
+            sched.on_timeout(),
+            RetryStep::Degrade(FailurePolicy::StallReconnect)
+        );
+        assert_eq!(sched.policy_cycles(), 1);
+        // A fresh wait resets the backoff but not the cycle count.
+        sched.begin_wait();
+        assert_eq!(sched.attempt(), 0);
+        assert_eq!(sched.current_timeout(), SimDuration::from_micros(200));
+        assert_eq!(sched.policy_cycles(), 1);
+    }
+
+    #[test]
+    fn schedule_forces_fallback_past_cycle_cap() {
+        let retry = RetryPolicy {
+            timeout_factor: 1,
+            max_retries: 1,
+        };
+        let mut sched = RetrySchedule::new(
+            retry,
+            FailurePolicy::StallReconnect,
+            SimDuration::from_micros(10),
+        );
+        for _ in 0..MAX_POLICY_CYCLES {
+            sched.begin_wait();
+            assert_eq!(sched.on_timeout(), RetryStep::Retry);
+            assert_eq!(
+                sched.on_timeout(),
+                RetryStep::Degrade(FailurePolicy::StallReconnect)
+            );
+        }
+        // Past the cap every further cycle is forced onto the eager
+        // fallback so a dead deputy cannot stall a run forever.
+        sched.begin_wait();
+        assert_eq!(sched.on_timeout(), RetryStep::Retry);
+        assert_eq!(
+            sched.on_timeout(),
+            RetryStep::Degrade(FailurePolicy::EagerFallback)
+        );
+    }
+
+    #[test]
+    fn schedule_deadline_tracks_now() {
+        let sched = RetrySchedule::for_link(
+            RetryPolicy::default(),
+            FailurePolicy::StallReconnect,
+            ampom_net::calibration::fast_ethernet(),
+        );
+        let now = SimTime::from_nanos(1_000_000);
+        assert_eq!(sched.deadline_after(now), now + sched.current_timeout());
     }
 
     #[test]

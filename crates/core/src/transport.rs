@@ -1,0 +1,650 @@
+//! The deputy↔migrant transport abstraction.
+//!
+//! [`run_workload`](crate::runner::run_workload) is welded to the
+//! simulated [`NetPath`]: requests, replies and the monitor daemon all go
+//! through the FIFO link model directly. The paper's claims, however, are
+//! about a *protocol* — demand paging with piggy-backed prefetch — and
+//! that protocol should run unchanged whether the far side is a simulated
+//! deputy or a real one behind a socket (`ampom-rpc`).
+//!
+//! [`Transport`] captures exactly the runner↔network surface: freeze,
+//! paging requests, arrival waits, page installs, syscall forwarding and
+//! the monitor estimates the AMPoM analysis consumes.
+//! [`SimulatedTransport`] reproduces the historical fault-free runner
+//! semantics bit-for-bit (guarded by the `transport_identity` fingerprint
+//! tests); `ampom-rpc` provides the live implementation over TCP or Unix
+//! sockets.
+//!
+//! [`run_with_transport`] is the generic loop. It deliberately covers the
+//! *protocol* surface only — FFA (file-server paging), fault injection
+//! and memory-pressure eviction stay on the legacy
+//! [`run_workload`](crate::runner::run_workload) path, which remains the
+//! full-featured entry point for simulation studies.
+
+use std::collections::{HashMap, VecDeque};
+
+use ampom_mem::page::{PageId, PAGE_SIZE};
+use ampom_mem::space::{AddressSpace, PageState, TouchOutcome};
+use ampom_mem::table::PageTablePair;
+use ampom_net::calibration::AMPOM_ANALYSIS_COST;
+use ampom_net::cross::CrossTraffic;
+use ampom_sim::rng::SimRng;
+use ampom_sim::time::{SimDuration, SimTime};
+use ampom_sim::trace::{Trace, TraceKind};
+use ampom_workloads::memref::Workload;
+
+use crate::cluster::NetPath;
+use crate::deputy::Deputy;
+use crate::error::AmpomError;
+use crate::metrics::{DeputyStats, FaultStats, RunReport, RunSeries};
+use crate::migration::{perform_freeze, FreezeOutcome, PreMigrationState, Scheme};
+use crate::monitor::MonitorDaemon;
+use crate::prefetcher::{AmpomPrefetcher, NetEstimates, PrefetchStats};
+use crate::runner::{RunConfig, MINOR_FAULT_COST, PAGE_INSTALL_COST};
+
+/// The wire between the migrant-side runner and the home-node deputy.
+///
+/// Implementations own everything on the far side of the kernel's fault
+/// handler: the request/reply channel, the staging buffer of arrived
+/// pages, and the monitor that estimates `t0`/`td` for the prefetcher.
+/// Times are [`SimTime`]: the simulated transport computes them exactly;
+/// a live transport maps measured wall-clock waits onto the same axis.
+pub trait Transport {
+    /// Performs the freeze phase of the migration for `scheme`, shipping
+    /// whatever the scheme ships eagerly, and returns the resulting
+    /// address space / page tables / timing.
+    fn freeze(
+        &mut self,
+        scheme: Scheme,
+        pre: &PreMigrationState,
+        trace: &mut Trace,
+    ) -> Result<FreezeOutcome, AmpomError>;
+
+    /// Sends one paging request — `demand` first if present, then the
+    /// prefetch zone — and returns the *prefetch* pages actually queued
+    /// (the deputy may drop duplicates; a live client may trim to its
+    /// in-flight quota). The demand page is never in the returned list.
+    fn request_pages(
+        &mut self,
+        now: SimTime,
+        demand: Option<PageId>,
+        prefetch: &[PageId],
+        table: &mut PageTablePair,
+    ) -> Result<Vec<PageId>, AmpomError>;
+
+    /// Blocks until `page` (which must be in flight) is available and
+    /// returns its arrival time. May be in the past when the page was
+    /// already delivered by the pipeline; callers only advance `now`
+    /// forward. The live implementation retries/degrades internally via
+    /// the shared [`RetrySchedule`](crate::reliability::RetrySchedule).
+    fn wait_for(&mut self, page: PageId, now: SimTime) -> Result<SimTime, AmpomError>;
+
+    /// Installs every staged page that has arrived by `now` into `space`,
+    /// charging [`PAGE_INSTALL_COST`] per page.
+    fn install_arrived(&mut self, now: &mut SimTime, space: &mut AddressSpace);
+
+    /// Whether `page` has been requested and not yet installed.
+    fn is_in_flight(&self, page: PageId) -> bool;
+
+    /// Number of requested-but-uninstalled pages.
+    fn in_flight_count(&self) -> usize;
+
+    /// Forwards a system call to the home node; returns its completion
+    /// time (the home dependency, paper §2.2).
+    fn forward_syscall(&mut self, now: SimTime, work: SimDuration) -> Result<SimTime, AmpomError>;
+
+    /// Advances the monitor daemon to `now` and returns its current
+    /// `t0`/`td` estimates for the prefetcher's Eq. 3 budget.
+    fn estimates(&mut self, now: SimTime) -> NetEstimates;
+
+    /// Notifies the monitor that the lookback window wrapped `wraps`
+    /// times in total (bandwidth re-estimation trigger).
+    fn on_window_wrap(&mut self, now: SimTime, wraps: u64);
+
+    /// Reply-direction link utilisation over `[0, now]` (series samples).
+    fn reply_utilization(&mut self, now: SimTime) -> f64;
+
+    /// Bytes sent home→destination so far.
+    fn bytes_to_dest(&self) -> u64;
+
+    /// Bytes sent destination→home so far.
+    fn bytes_from_dest(&self) -> u64;
+
+    /// Deputy-side service statistics.
+    fn deputy_stats(&self) -> DeputyStats;
+
+    /// Recovery-protocol statistics (retries, reconnects, fallbacks).
+    /// The simulated fault-free transport reports all-zero.
+    fn fault_stats(&self) -> FaultStats {
+        FaultStats::default()
+    }
+
+    /// Drains transport-internal trace events (live connects, retries,
+    /// reconnects) accumulated since the last call.
+    fn drain_trace(&mut self) -> Vec<(SimTime, TraceKind, String)> {
+        Vec::new()
+    }
+}
+
+/// The in-process transport: the exact fault-free request/reply semantics
+/// of the historical runner, factored behind [`Transport`].
+#[derive(Debug)]
+pub struct SimulatedTransport {
+    path: NetPath,
+    deputy: Deputy,
+    monitor: MonitorDaemon,
+    in_flight: HashMap<PageId, SimTime>,
+    staged: VecDeque<(SimTime, PageId)>,
+}
+
+impl SimulatedTransport {
+    /// Builds the transport for `cfg`'s link (with cross traffic when
+    /// configured, seeded from `cfg.seed` like the legacy runner).
+    pub fn new(cfg: &RunConfig) -> Self {
+        let mut path = NetPath::new(cfg.link);
+        if let Some(spec) = cfg.cross_traffic {
+            path = path.with_cross_traffic(CrossTraffic::new(
+                spec.bytes_per_sec,
+                spec.burst_bytes,
+                SimRng::seed_from_u64(cfg.seed),
+            ));
+        }
+        let monitor = MonitorDaemon::new(&path);
+        SimulatedTransport {
+            path,
+            deputy: Deputy::new(),
+            monitor,
+            in_flight: HashMap::new(),
+            staged: VecDeque::new(),
+        }
+    }
+}
+
+impl Transport for SimulatedTransport {
+    fn freeze(
+        &mut self,
+        scheme: Scheme,
+        pre: &PreMigrationState,
+        trace: &mut Trace,
+    ) -> Result<FreezeOutcome, AmpomError> {
+        Ok(perform_freeze(scheme, pre, &mut self.path, trace))
+    }
+
+    fn request_pages(
+        &mut self,
+        now: SimTime,
+        demand: Option<PageId>,
+        prefetch: &[PageId],
+        table: &mut PageTablePair,
+    ) -> Result<Vec<PageId>, AmpomError> {
+        let mut pages: Vec<PageId> = Vec::with_capacity(prefetch.len() + 1);
+        if let Some(d) = demand {
+            pages.push(d);
+        }
+        pages.extend_from_slice(prefetch);
+        let at_home = self.path.send_request(now, pages.len());
+        let served = self
+            .deputy
+            .serve_request(at_home, &pages, table, &mut self.path);
+        let mut queued = Vec::new();
+        for s in &served {
+            self.in_flight.insert(s.page, s.arrives);
+            self.staged.push_back((s.arrives, s.page));
+            if demand != Some(s.page) {
+                queued.push(s.page);
+            }
+        }
+        Ok(queued)
+    }
+
+    fn wait_for(&mut self, page: PageId, _now: SimTime) -> Result<SimTime, AmpomError> {
+        self.in_flight.get(&page).copied().ok_or_else(|| {
+            AmpomError::Transport(format!("page {page} awaited but never requested"))
+        })
+    }
+
+    fn install_arrived(&mut self, now: &mut SimTime, space: &mut AddressSpace) {
+        let mut installed = 0u64;
+        while let Some(&(arrival, page)) = self.staged.front() {
+            if arrival > *now {
+                break;
+            }
+            self.staged.pop_front();
+            self.in_flight.remove(&page);
+            space.install(page);
+            installed += 1;
+        }
+        if installed > 0 {
+            *now += PAGE_INSTALL_COST.saturating_mul(installed);
+        }
+    }
+
+    fn is_in_flight(&self, page: PageId) -> bool {
+        self.in_flight.contains_key(&page)
+    }
+
+    fn in_flight_count(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    fn forward_syscall(&mut self, now: SimTime, work: SimDuration) -> Result<SimTime, AmpomError> {
+        Ok(self.deputy.forward_syscall(now, work, &mut self.path))
+    }
+
+    fn estimates(&mut self, now: SimTime) -> NetEstimates {
+        self.monitor.advance(now, &mut self.path);
+        self.monitor.estimates()
+    }
+
+    fn on_window_wrap(&mut self, now: SimTime, wraps: u64) {
+        self.monitor.on_window_wrap(now, wraps, &self.path);
+    }
+
+    fn reply_utilization(&mut self, now: SimTime) -> f64 {
+        self.path.reply_utilization(now)
+    }
+
+    fn bytes_to_dest(&self) -> u64 {
+        self.path.bytes_to_dest()
+    }
+
+    fn bytes_from_dest(&self) -> u64 {
+        self.path.bytes_from_dest()
+    }
+
+    fn deputy_stats(&self) -> DeputyStats {
+        self.deputy.stats()
+    }
+}
+
+/// Checks `cfg` for knobs the generic transport loop does not model.
+fn validate_for_transport(cfg: &RunConfig) -> Result<(), AmpomError> {
+    cfg.validate()?;
+    if cfg.scheme == Scheme::Ffa {
+        return Err(AmpomError::InvalidConfig(
+            "the FFA scheme pages from the file server, not the deputy \
+             transport; use run_workload"
+                .into(),
+        ));
+    }
+    if cfg.faults.as_ref().is_some_and(|p| !p.is_null()) {
+        return Err(AmpomError::InvalidConfig(
+            "simulated fault injection is a link-model feature; use \
+             run_workload (live transports inject faults on the wire)"
+                .into(),
+        ));
+    }
+    if cfg.resident_limit_mb.is_some() {
+        return Err(AmpomError::InvalidConfig(
+            "memory-pressure eviction is not modelled by the transport \
+             loop; use run_workload"
+                .into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Executes `workload` under `cfg` against an arbitrary [`Transport`].
+///
+/// With a [`SimulatedTransport`] this reproduces
+/// [`run_workload`](crate::runner::run_workload)'s fault-free path
+/// bit-for-bit (same fingerprints); with `ampom-rpc`'s live transport the
+/// same protocol drives a real socket.
+pub fn run_with_transport<W: Workload + ?Sized>(
+    workload: &mut W,
+    cfg: &RunConfig,
+    transport: &mut dyn Transport,
+) -> Result<RunReport, AmpomError> {
+    validate_for_transport(cfg)?;
+
+    let layout = workload.layout().clone();
+    let pre = PreMigrationState::new(layout.clone(), workload.allocation_pages());
+    let program_mb = (pre.allocated.len() as u64 * PAGE_SIZE) >> 20;
+
+    let mut trace = if cfg.trace {
+        Trace::enabled()
+    } else {
+        Trace::disabled()
+    };
+
+    let freeze = transport.freeze(cfg.scheme, &pre, &mut trace)?;
+    let mut space = freeze.space;
+    let mut table = freeze.table;
+    let mut now = SimTime::ZERO + freeze.freeze_time;
+
+    let mut prefetcher =
+        (cfg.scheme == Scheme::Ampom).then(|| AmpomPrefetcher::new(cfg.ampom.clone()));
+
+    let total_pages = layout.total_pages();
+    let mut was_prefetched = vec![false; total_pages as usize];
+    let mut series = cfg.sample_series_every.map(|_| RunSeries::default());
+    let sample_every = cfg.sample_series_every.unwrap_or(u64::MAX);
+    let mut faults_since_sample = 0u64;
+
+    // Measurement state (same set as the legacy runner).
+    let mut compute_time = SimDuration::ZERO;
+    let mut stall_time = SimDuration::ZERO;
+    let mut analysis_time = SimDuration::ZERO;
+    let mut faults_total = 0u64;
+    let mut fault_requests = 0u64;
+    let mut prefetch_only_requests = 0u64;
+    let mut pages_demand = 0u64;
+    let mut pages_prefetched = 0u64;
+    let mut prefetched_used = 0u64;
+    let mut pages_local_alloc = 0u64;
+
+    let mut cpu_since_fault = SimDuration::ZERO;
+    let mut last_fault_at = now;
+
+    let mut syscalls_forwarded = 0u64;
+    let mut syscall_time = SimDuration::ZERO;
+    let mut refs_since_syscall = 0u64;
+
+    let page_limit = PageId(total_pages);
+
+    for r in &mut *workload {
+        if let Some(profile) = cfg.syscalls {
+            refs_since_syscall += 1;
+            if refs_since_syscall >= profile.every_refs {
+                refs_since_syscall = 0;
+                let done = transport.forward_syscall(now, profile.work)?;
+                syscall_time += done.since(now);
+                syscalls_forwarded += 1;
+                trace.record(done, TraceKind::SyscallForwarded, "");
+                now = done;
+            }
+        }
+
+        let pidx = r.page.index() as usize;
+        if was_prefetched[pidx] {
+            was_prefetched[pidx] = false;
+            prefetched_used += 1;
+        }
+
+        match space.touch(r.page, r.write) {
+            TouchOutcome::Hit => {
+                now += r.cpu;
+                compute_time += r.cpu;
+                cpu_since_fault += r.cpu;
+            }
+            TouchOutcome::LocalAllocate => {
+                faults_total += 1;
+                pages_local_alloc += 1;
+                now += MINOR_FAULT_COST;
+                if table.lookup(r.page).is_none() {
+                    table.create_at_destination(r.page);
+                }
+                let util = utilization(cpu_since_fault, now, last_fault_at);
+                last_fault_at = now;
+                cpu_since_fault = SimDuration::ZERO;
+                if let Some(pf) = prefetcher.as_mut() {
+                    let prefetch = analyze(
+                        pf,
+                        r.page,
+                        &mut now,
+                        util,
+                        transport,
+                        page_limit,
+                        &space,
+                        &mut analysis_time,
+                    );
+                    if !prefetch.is_empty() {
+                        prefetch_only_requests += 1;
+                        note_queued(
+                            transport.request_pages(now, None, &prefetch, &mut table)?,
+                            &mut was_prefetched,
+                            &mut pages_prefetched,
+                        );
+                    }
+                }
+                now += r.cpu;
+                compute_time += r.cpu;
+                cpu_since_fault += r.cpu;
+            }
+            TouchOutcome::RemoteFault => {
+                faults_total += 1;
+                let fault_at = now;
+                trace.record(now, TraceKind::PageFault, format!("{}", r.page));
+                transport.install_arrived(&mut now, &mut space);
+
+                let util = utilization(cpu_since_fault, fault_at, last_fault_at);
+                last_fault_at = fault_at;
+                cpu_since_fault = SimDuration::ZERO;
+
+                let prefetch = match prefetcher.as_mut() {
+                    Some(pf) => analyze(
+                        pf,
+                        r.page,
+                        &mut now,
+                        util,
+                        transport,
+                        page_limit,
+                        &space,
+                        &mut analysis_time,
+                    ),
+                    None => Vec::new(),
+                };
+
+                if let Some(series) = series.as_mut() {
+                    faults_since_sample += 1;
+                    if faults_since_sample >= sample_every {
+                        faults_since_sample = 0;
+                        series
+                            .in_flight
+                            .push(now, transport.in_flight_count() as f64);
+                        series.resident.push(now, space.resident_pages() as f64);
+                        if let Some(pf) = prefetcher.as_ref() {
+                            series.zone_budget.push(now, pf.stats().budgets.mean());
+                        }
+                        series
+                            .link_utilization
+                            .push(now, transport.reply_utilization(now));
+                    }
+                }
+
+                if space.is_resident(r.page) {
+                    // Arrived with the last batch: the install above
+                    // resolved it. Any new zone pages still go out.
+                    if !prefetch.is_empty() {
+                        prefetch_only_requests += 1;
+                        note_queued(
+                            transport.request_pages(now, None, &prefetch, &mut table)?,
+                            &mut was_prefetched,
+                            &mut pages_prefetched,
+                        );
+                    }
+                } else if transport.is_in_flight(r.page) {
+                    // Already requested: wait for the pipeline, no demand
+                    // request ("wait for i to arrive").
+                    if !prefetch.is_empty() {
+                        prefetch_only_requests += 1;
+                        note_queued(
+                            transport.request_pages(now, None, &prefetch, &mut table)?,
+                            &mut was_prefetched,
+                            &mut pages_prefetched,
+                        );
+                    }
+                    let arrival = transport.wait_for(r.page, now)?;
+                    if arrival > now {
+                        stall_time += arrival.since(now);
+                        now = arrival;
+                    }
+                    transport.install_arrived(&mut now, &mut space);
+                    trace.record(
+                        now,
+                        TraceKind::FaultResolved,
+                        format!("{} (pipelined)", r.page),
+                    );
+                } else {
+                    // Demand fetch from the deputy, zone piggy-backed.
+                    fault_requests += 1;
+                    pages_demand += 1;
+                    trace.record(
+                        now,
+                        TraceKind::PagingRequest,
+                        format!("demand {} (+{} prefetch)", r.page, prefetch.len()),
+                    );
+                    note_queued(
+                        transport.request_pages(now, Some(r.page), &prefetch, &mut table)?,
+                        &mut was_prefetched,
+                        &mut pages_prefetched,
+                    );
+                    let arrival = transport.wait_for(r.page, now)?;
+                    stall_time += arrival.saturating_since(now);
+                    now = now.max(arrival);
+                    transport.install_arrived(&mut now, &mut space);
+                    trace.record(now, TraceKind::FaultResolved, format!("{}", r.page));
+                }
+
+                // The faulted page is resident now; apply the touch.
+                debug_assert!(space.is_resident(r.page));
+                let outcome = space.touch(r.page, r.write);
+                debug_assert_eq!(outcome, TouchOutcome::Hit);
+                now += r.cpu;
+                compute_time += r.cpu;
+                cpu_since_fault += r.cpu;
+            }
+        }
+    }
+
+    for (at, kind, detail) in transport.drain_trace() {
+        trace.record(at, kind, detail);
+    }
+    trace.record(now, TraceKind::WorkloadDone, "");
+    let total_time = now.since(SimTime::ZERO);
+
+    let (analysis_count, prefetch_stats) = match prefetcher {
+        Some(pf) => (pf.stats().analyses, pf.stats().clone()),
+        None => (0, PrefetchStats::default()),
+    };
+
+    Ok(RunReport {
+        scheme: cfg.scheme,
+        workload: workload.name().to_string(),
+        program_mb,
+        freeze_time: freeze.freeze_time,
+        total_time,
+        compute_time,
+        stall_time,
+        faults_total,
+        fault_requests,
+        prefetch_only_requests,
+        pages_demand_fetched: pages_demand,
+        pages_prefetched,
+        prefetched_pages_used: prefetched_used,
+        pages_local_alloc,
+        syscalls_forwarded,
+        syscall_time,
+        pages_evicted: 0,
+        bytes_to_dest: transport.bytes_to_dest(),
+        bytes_from_dest: transport.bytes_from_dest(),
+        mpt_bytes: freeze.mpt_bytes,
+        analysis_time,
+        analysis_count,
+        prefetch_stats,
+        faults: transport.fault_stats(),
+        deputy: transport.deputy_stats(),
+        trace,
+        series,
+    })
+}
+
+/// Marks the prefetch pages a request actually queued.
+fn note_queued(queued: Vec<PageId>, was_prefetched: &mut [bool], pages_prefetched: &mut u64) {
+    for page in queued {
+        *pages_prefetched += 1;
+        was_prefetched[page.index() as usize] = true;
+    }
+}
+
+/// Share of wall time spent computing since the last fault (the `C_i` of
+/// each window record).
+fn utilization(cpu: SimDuration, now: SimTime, last_fault: SimTime) -> f64 {
+    let wall = now.saturating_since(last_fault).as_secs_f64();
+    if wall <= 0.0 {
+        1.0
+    } else {
+        (cpu.as_secs_f64() / wall).clamp(0.0, 1.0)
+    }
+}
+
+/// One AMPoM analysis against the transport's monitor estimates.
+#[allow(clippy::too_many_arguments)]
+fn analyze(
+    pf: &mut AmpomPrefetcher,
+    page: PageId,
+    now: &mut SimTime,
+    util: f64,
+    transport: &mut dyn Transport,
+    page_limit: PageId,
+    space: &AddressSpace,
+    analysis_time: &mut SimDuration,
+) -> Vec<PageId> {
+    let est = transport.estimates(*now);
+    let decision = pf.on_fault(page, *now, util, est, page_limit, |p| {
+        space.state(p) == PageState::Remote && !transport.is_in_flight(p)
+    });
+    *now += AMPOM_ANALYSIS_COST;
+    *analysis_time += AMPOM_ANALYSIS_COST;
+    transport.on_window_wrap(*now, pf.window().wraps());
+    decision.prefetch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampom_workloads::synthetic::Sequential;
+
+    const CPU: SimDuration = SimDuration::from_micros(10);
+
+    fn run_sim(cfg: &RunConfig, pages: u64) -> RunReport {
+        let mut w = Sequential::new(pages, CPU);
+        let mut t = SimulatedTransport::new(cfg);
+        run_with_transport(&mut w, cfg, &mut t).expect("valid config")
+    }
+
+    #[test]
+    fn simulated_transport_completes_all_schemes() {
+        for scheme in [Scheme::Ampom, Scheme::NoPrefetch, Scheme::OpenMosix] {
+            let r = run_sim(&RunConfig::new(scheme), 128);
+            assert_eq!(r.scheme, scheme);
+            assert!(r.total_time > SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn ffa_rejected_by_transport_loop() {
+        let cfg = RunConfig::new(Scheme::Ffa);
+        let mut w = Sequential::new(64, CPU);
+        let mut t = SimulatedTransport::new(&cfg);
+        let err = run_with_transport(&mut w, &cfg, &mut t).unwrap_err();
+        assert!(matches!(err, AmpomError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn simulated_faults_rejected_by_transport_loop() {
+        let cfg =
+            RunConfig::new(Scheme::Ampom).with_faults(crate::reliability::FaultProfile::lossy(0.1));
+        let mut w = Sequential::new(64, CPU);
+        let mut t = SimulatedTransport::new(&cfg);
+        let err = run_with_transport(&mut w, &cfg, &mut t).unwrap_err();
+        assert!(matches!(err, AmpomError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn resident_limit_rejected_by_transport_loop() {
+        let cfg = RunConfig::new(Scheme::Ampom).with_resident_limit_mb(1);
+        let mut w = Sequential::new(64, CPU);
+        let mut t = SimulatedTransport::new(&cfg);
+        let err = run_with_transport(&mut w, &cfg, &mut t).unwrap_err();
+        assert!(matches!(err, AmpomError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn waiting_for_unrequested_page_is_a_transport_error() {
+        let cfg = RunConfig::new(Scheme::Ampom);
+        let mut t = SimulatedTransport::new(&cfg);
+        let err = t.wait_for(PageId(3), SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, AmpomError::Transport(_)));
+    }
+}

@@ -1,0 +1,153 @@
+//! Regression guard for the [`Transport`] trait extraction.
+//!
+//! Two layers of protection:
+//!
+//! 1. **Golden fingerprints** pin the legacy `run_workload` path to the
+//!    exact counters/times it produced *before* the transport refactor
+//!    (captured from the release build at the refactor's base commit).
+//!    Any arithmetic drift in the runner, deputy, link model or
+//!    reliability layer trips these.
+//! 2. **Legacy ↔ transport identity**: `run_with_transport` over a
+//!    [`SimulatedTransport`] must reproduce the legacy fingerprint
+//!    bit-for-bit for every configuration the transport loop supports.
+//!
+//! The fingerprint mixes every exact field of the report (times in
+//! nanoseconds, all counters, fault and deputy stats), so equality here
+//! is equality of the whole measurement record.
+
+use ampom_core::reliability::{FailurePolicy, FaultProfile, RetryPolicy};
+use ampom_core::runner::{run_workload, CrossTrafficSpec, RunConfig, SyscallProfile};
+use ampom_core::transport::{run_with_transport, SimulatedTransport};
+use ampom_core::Scheme;
+use ampom_net::fault::FaultSpec;
+use ampom_sim::event::DowntimeSchedule;
+use ampom_sim::time::{SimDuration, SimTime};
+use ampom_workloads::memref::Workload;
+use ampom_workloads::synthetic::{Sequential, UniformRandom};
+
+const CPU: SimDuration = SimDuration::from_micros(10);
+
+/// Golden fingerprints of the pre-refactor runner (release build).
+const AMPOM_SEQ512: u64 = 0xef7c94edaf2703bf;
+const NOPF_SEQ512: u64 = 0xc5f6a86a554a782a;
+const OM_SEQ256_SYSCALL: u64 = 0x9508299f16242982;
+const AMPOM_RAND_CROSS: u64 = 0xeb16e00af8ed2b39;
+const AMPOM_LOSSY2: u64 = 0x16ff32a3b7c12846;
+const AMPOM_OUTAGE_FALLBACK: u64 = 0x071ebfb4e2e4c0e0;
+const AMPOM_OUTAGE_STALL: u64 = 0xe7ebca8a831f66f6;
+
+fn seq(pages: u64) -> Sequential {
+    Sequential::new(pages, CPU)
+}
+
+fn rand_workload() -> UniformRandom {
+    UniformRandom::new(512, 2048, CPU, ampom_sim::rng::SimRng::seed_from_u64(7))
+}
+
+fn syscall_cfg() -> RunConfig {
+    RunConfig::new(Scheme::OpenMosix).with_syscalls(SyscallProfile {
+        every_refs: 32,
+        work: SimDuration::from_micros(100),
+    })
+}
+
+fn cross_cfg() -> RunConfig {
+    RunConfig::new(Scheme::Ampom).with_cross_traffic(CrossTrafficSpec {
+        bytes_per_sec: 8_000_000,
+        burst_bytes: 64 * 1024,
+    })
+}
+
+fn legacy_fp<W: Workload>(mut w: W, cfg: &RunConfig) -> u64 {
+    run_workload(&mut w, cfg).fingerprint()
+}
+
+fn transport_fp<W: Workload>(mut w: W, cfg: &RunConfig) -> u64 {
+    let mut t = SimulatedTransport::new(cfg);
+    run_with_transport(&mut w, cfg, &mut t)
+        .expect("transport-compatible config")
+        .fingerprint()
+}
+
+#[test]
+fn legacy_runner_matches_golden_fingerprints() {
+    assert_eq!(
+        legacy_fp(seq(512), &RunConfig::new(Scheme::Ampom)),
+        AMPOM_SEQ512
+    );
+    assert_eq!(
+        legacy_fp(seq(512), &RunConfig::new(Scheme::NoPrefetch)),
+        NOPF_SEQ512
+    );
+    assert_eq!(legacy_fp(seq(256), &syscall_cfg()), OM_SEQ256_SYSCALL);
+    assert_eq!(legacy_fp(rand_workload(), &cross_cfg()), AMPOM_RAND_CROSS);
+}
+
+#[test]
+fn legacy_fault_paths_match_golden_fingerprints() {
+    let cfg = RunConfig::new(Scheme::Ampom).with_faults(FaultProfile::lossy(0.02));
+    assert_eq!(legacy_fp(seq(512), &cfg), AMPOM_LOSSY2);
+
+    let retry = RetryPolicy {
+        timeout_factor: 1,
+        max_retries: 2,
+    };
+    let downtime = || {
+        DowntimeSchedule::single(
+            SimTime::from_nanos(60_000_000),
+            SimTime::from_nanos(250_000_000),
+        )
+    };
+    let fallback = FaultProfile {
+        faults: FaultSpec::lossy(0.02),
+        downtime: downtime(),
+        retry,
+        policy: FailurePolicy::EagerFallback,
+    };
+    let cfg = RunConfig::new(Scheme::Ampom).with_faults(fallback);
+    assert_eq!(legacy_fp(seq(512), &cfg), AMPOM_OUTAGE_FALLBACK);
+
+    let stall = FaultProfile {
+        faults: FaultSpec::lossy(0.05),
+        downtime: downtime(),
+        retry,
+        policy: FailurePolicy::StallReconnect,
+    };
+    let cfg = RunConfig::new(Scheme::Ampom).with_faults(stall);
+    assert_eq!(legacy_fp(seq(512), &cfg), AMPOM_OUTAGE_STALL);
+}
+
+#[test]
+fn simulated_transport_is_bit_identical_to_legacy() {
+    let cases: [(&str, RunConfig, u64); 4] = [
+        ("ampom_seq512", RunConfig::new(Scheme::Ampom), AMPOM_SEQ512),
+        (
+            "nopf_seq512",
+            RunConfig::new(Scheme::NoPrefetch),
+            NOPF_SEQ512,
+        ),
+        ("om_seq256_syscall", syscall_cfg(), OM_SEQ256_SYSCALL),
+        ("ampom_rand_cross", cross_cfg(), AMPOM_RAND_CROSS),
+    ];
+    for (name, cfg, golden) in cases {
+        let fp = match name {
+            "ampom_rand_cross" => transport_fp(rand_workload(), &cfg),
+            "om_seq256_syscall" => transport_fp(seq(256), &cfg),
+            _ => transport_fp(seq(512), &cfg),
+        };
+        assert_eq!(fp, golden, "transport diverged from legacy on {name}");
+    }
+}
+
+#[test]
+fn transport_identity_holds_with_series_and_trace() {
+    // Sampling and tracing exercise the remaining transport surface
+    // (reply_utilization, in_flight_count); both paths must still agree
+    // with each other (series content is not fingerprinted, timing is).
+    let cfg = RunConfig::new(Scheme::Ampom)
+        .with_trace()
+        .with_sample_series(50);
+    let legacy = legacy_fp(seq(2048), &cfg);
+    let via_transport = transport_fp(seq(2048), &cfg);
+    assert_eq!(legacy, via_transport);
+}

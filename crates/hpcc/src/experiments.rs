@@ -494,6 +494,8 @@ pub fn faultsweep(quick: bool) -> (AsciiTable, AsciiTable) {
             "retries",
             "timeouts",
             "dup replies",
+            "deputy queued",
+            "backlog (ms)",
         ],
     );
     for cell in &parallel.cells {
@@ -507,6 +509,8 @@ pub fn faultsweep(quick: bool) -> (AsciiTable, AsciiTable) {
             r.faults.retries.to_string(),
             r.faults.timeouts.to_string(),
             r.faults.duplicate_replies.to_string(),
+            r.deputy.queued_requests.to_string(),
+            format!("{:.3}", r.deputy.max_backlog.as_secs_f64() * 1e3),
         ]);
     }
 
@@ -526,6 +530,7 @@ pub fn faultsweep(quick: bool) -> (AsciiTable, AsciiTable) {
             "fallback pages",
             "remigrated",
             "deputy queued",
+            "backlog (ms)",
         ],
     );
     for policy in FailurePolicy::ALL {
@@ -554,6 +559,7 @@ pub fn faultsweep(quick: bool) -> (AsciiTable, AsciiTable) {
             r.faults.fallback_pages.to_string(),
             if r.faults.remigrated { "yes" } else { "no" }.into(),
             r.deputy.queued_requests.to_string(),
+            format!("{:.3}", r.deputy.max_backlog.as_secs_f64() * 1e3),
         ]);
     }
     (grid, demo)

@@ -16,6 +16,10 @@
 //! | Fig. 10 | small working sets | [`experiments::fig10`] |
 //! | Fig. 11 | analysis overhead | [`experiments::fig11`] |
 //!
+//! The [`live`] module drives the same experiments over real sockets
+//! (`hpcc-repro live --loopback` / `hpcc-repro calibrate`), reporting
+//! simulated-vs-live divergence on the measured link.
+//!
 //! Beyond the paper, [`extensions`] quantifies the §7 future-work items
 //! (VM migration, cluster-scale balancing), the algorithm's stride-window
 //! limits (PTRANS), the §5.6 interactive scenario, prefetch accuracy, and
@@ -26,5 +30,6 @@
 pub mod checks;
 pub mod experiments;
 pub mod extensions;
+pub mod live;
 pub mod matrix;
 pub mod report;

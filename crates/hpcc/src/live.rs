@@ -1,0 +1,171 @@
+//! The `live` and `calibrate` subcommands: the same HPCC experiments,
+//! but executed over real sockets.
+//!
+//! `hpcc-repro live --loopback` spins an in-process
+//! [`DeputyServer`] on 127.0.0.1, migrates each HPCC kernel through the
+//! wire protocol ([`run_live`]), then replays the identical experiment
+//! in the simulator with the link parameterised by the *measured* `t0`
+//! and capacity — the table reports the two side by side with their
+//! divergence. `hpcc-repro calibrate` runs only the measurement
+//! handshake and prints the resulting
+//! [`LinkConfig`](ampom_net::link::LinkConfig) in the
+//! [`MeasuredLink::to_kv`] key/value form.
+//!
+//! `--endpoint HOST:PORT` points either command at an external deputy
+//! (any process serving the `ampom-rpc` wire protocol) instead of the
+//! loopback server.
+
+use ampom_core::experiment::WorkloadSpec;
+use ampom_core::migration::Scheme;
+use ampom_core::runner::{run_workload, RunConfig};
+use ampom_net::calibration::{fast_ethernet, MeasuredLink};
+use ampom_rpc::{
+    calibrate_endpoint, run_live, CalibrateOptions, DeputyServer, Endpoint, LiveOptions,
+    ServerConfig,
+};
+use ampom_workloads::sizes::Kernel;
+
+use crate::matrix::{matrix_sizes, MATRIX_SEED};
+use crate::report::{pct, secs, AsciiTable};
+
+/// Where a live command should find its deputy.
+pub enum LiveTarget {
+    /// Spin an in-process loopback deputy on 127.0.0.1.
+    Loopback,
+    /// Connect to an already-running deputy at this TCP address.
+    Remote(String),
+}
+
+/// Binds the loopback deputy unless an external endpoint was given.
+/// Returns the endpoint to dial plus the server guard to keep alive.
+fn resolve(target: &LiveTarget) -> (Endpoint, Option<DeputyServer>) {
+    match target {
+        LiveTarget::Loopback => {
+            let server = DeputyServer::bind_tcp("127.0.0.1:0", ServerConfig::default())
+                .expect("bind loopback deputy");
+            (Endpoint::tcp(server.local_addr()), Some(server))
+        }
+        LiveTarget::Remote(addr) => (Endpoint::tcp(addr), None),
+    }
+}
+
+/// Measurement-only handshake: prints the measured link in `to_kv` form
+/// and returns a table comparing it with the simulator's calibrated
+/// Fast Ethernet defaults.
+pub fn calibrate(target: &LiveTarget) -> AsciiTable {
+    let (endpoint, server) = resolve(target);
+    let measured =
+        calibrate_endpoint(&endpoint, &CalibrateOptions::default()).expect("calibration");
+    println!("# measured link ({endpoint}) — feed back via LinkConfig");
+    print!("{}", measured.to_kv());
+
+    let reference = fast_ethernet();
+    let link = measured.link_config();
+    let mut t = AsciiTable::new(
+        format!("Calibrated link at {endpoint} vs the paper's Fast Ethernet model"),
+        &["parameter", "measured", "fast ethernet model"],
+    );
+    t.row(vec![
+        "t0 / latency (us)".into(),
+        format!("{:.3}", measured.t0.as_secs_f64() * 1e6),
+        format!("{:.3}", reference.latency.as_secs_f64() * 1e6),
+    ]);
+    t.row(vec![
+        "td, one page (us)".into(),
+        format!("{:.3}", measured.td.as_secs_f64() * 1e6),
+        format!(
+            "{:.3}",
+            ampom_net::calibration::page_transfer_time(&reference).as_secs_f64() * 1e6
+        ),
+    ]);
+    t.row(vec![
+        "capacity (MB/s)".into(),
+        format!("{:.2}", link.capacity_bytes_per_sec as f64 / 1e6),
+        format!("{:.2}", reference.capacity_bytes_per_sec as f64 / 1e6),
+    ]);
+    if let Some(server) = server {
+        server.shutdown();
+    }
+    t
+}
+
+/// Runs every HPCC kernel at the quick sizes through the live transport
+/// and again through the simulator on the measured link; reports both
+/// with the per-cell divergence.
+pub fn live(quick: bool, target: &LiveTarget) -> AsciiTable {
+    let (endpoint, server) = resolve(target);
+    let opts = LiveOptions::default();
+
+    let mut t = AsciiTable::new(
+        format!("Live migration over {endpoint} vs simulation on the measured link (AMPoM)"),
+        &[
+            "workload",
+            "MB",
+            "live total (s)",
+            "sim total (s)",
+            "divergence",
+            "live stall (s)",
+            "sim stall (s)",
+            "live prefetched",
+            "sim prefetched",
+            "retries",
+        ],
+    );
+    let mut measured: Option<MeasuredLink> = None;
+    for kernel in Kernel::ALL {
+        // A live run pays one real socket round trip per page batch, so
+        // this command always works at the small quick sizes (the
+        // divergence check, not Table 1 scale); `--quick` halves it.
+        let mut sizes = matrix_sizes(kernel, true);
+        if quick {
+            sizes.truncate(1);
+        }
+        for size in sizes {
+            let spec = WorkloadSpec::kernel(kernel, size);
+            let mut workload = spec.build(MATRIX_SEED).expect("valid kernel spec");
+            let live = run_live(
+                &mut *workload,
+                &RunConfig::new(Scheme::Ampom),
+                endpoint.clone(),
+                &opts,
+            )
+            .expect("live run");
+
+            // The simulator replays the identical experiment on a link
+            // with the measured latency and capacity.
+            let mut sim_cfg = RunConfig::new(Scheme::Ampom);
+            sim_cfg.link = live.measured.link_config();
+            let mut workload = spec.build(MATRIX_SEED).expect("valid kernel spec");
+            let sim = run_workload(&mut *workload, &sim_cfg);
+
+            let lt = live.report.total_time.as_secs_f64();
+            let st = sim.total_time.as_secs_f64();
+            let divergence = if st > 0.0 {
+                (lt - st) / st * 100.0
+            } else {
+                0.0
+            };
+            t.row(vec![
+                kernel.name().into(),
+                size.memory_mb.to_string(),
+                secs(lt),
+                secs(st),
+                pct(divergence),
+                secs(live.report.stall_time.as_secs_f64()),
+                secs(sim.stall_time.as_secs_f64()),
+                live.report.pages_prefetched.to_string(),
+                sim.pages_prefetched.to_string(),
+                live.report.faults.retries.to_string(),
+            ]);
+            measured = Some(live.measured);
+        }
+    }
+    if let Some(m) = measured {
+        println!("# last measured link — reusable as a LinkConfig");
+        print!("{}", m.to_kv());
+    }
+    if let Some(server) = server {
+        server.shutdown();
+    }
+    t
+}

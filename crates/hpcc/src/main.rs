@@ -32,10 +32,14 @@
 //!   timeline  sampled run dynamics (in-flight, resident, budget, link)
 //!   check     reproduction certificate: paper claims, PASS/FAIL
 //!   sweep     sensitivity of l, dmax and the baseline read-ahead
+//!   live      migrate the kernels over real sockets, report vs simulation
+//!   calibrate measure a real link, emit its LinkConfig
 //!
 //! Options:
 //!   --quick   tiny problem sizes (seconds instead of minutes)
 //!   --csv DIR also write each series as CSV under DIR
+//!   --loopback       live/calibrate: in-process deputy on 127.0.0.1 (default)
+//!   --endpoint ADDR  live/calibrate: connect to a deputy at ADDR instead
 //! ```
 
 use std::path::PathBuf;
@@ -43,18 +47,20 @@ use std::time::Instant;
 
 use ampom_hpcc::matrix::{full_matrix, Cell};
 use ampom_hpcc::report::AsciiTable;
-use ampom_hpcc::{checks, experiments, extensions};
+use ampom_hpcc::{checks, experiments, extensions, live};
 
 struct Options {
     command: String,
     quick: bool,
     csv_dir: Option<PathBuf>,
+    endpoint: Option<String>,
 }
 
 fn parse_args() -> Options {
     let mut command = "all".to_string();
     let mut quick = false;
     let mut csv_dir = None;
+    let mut endpoint = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -64,11 +70,17 @@ fn parse_args() -> Options {
                     args.next().expect("--csv requires a directory"),
                 ));
             }
+            // The in-process deputy is already the default; the flag
+            // exists so scripts can say what they mean.
+            "--loopback" => endpoint = None,
+            "--endpoint" => {
+                endpoint = Some(args.next().expect("--endpoint requires HOST:PORT"));
+            }
             "--help" | "-h" => {
                 println!(
                     "hpcc-repro [all|table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|\
-                     ext-vm|ext-cluster|ext-ptrans|ext-interactive|ext-roundtrip|ext-syscall|ext-pressure|ext-hpl|ext-locality|ext-timing|ext-gossip|ext-accuracy|parsweep|faultsweep|timeline|check|sweep] \
-                     [--quick] [--csv DIR]"
+                     ext-vm|ext-cluster|ext-ptrans|ext-interactive|ext-roundtrip|ext-syscall|ext-pressure|ext-hpl|ext-locality|ext-timing|ext-gossip|ext-accuracy|parsweep|faultsweep|timeline|check|sweep|live|calibrate] \
+                     [--quick] [--csv DIR] [--loopback|--endpoint ADDR]"
                 );
                 std::process::exit(0);
             }
@@ -83,6 +95,7 @@ fn parse_args() -> Options {
         command,
         quick,
         csv_dir,
+        endpoint,
     }
 }
 
@@ -268,6 +281,20 @@ fn main() {
     }
     if wants("sweep") {
         emit_all(&extensions::sweep(opts.quick), &opts, "sweep");
+        ran = true;
+    }
+    // The socket-backed commands are explicit-only: `all` regenerates the
+    // paper's simulated artifacts and must not depend on live sockets.
+    let target = match &opts.endpoint {
+        Some(addr) => live::LiveTarget::Remote(addr.clone()),
+        None => live::LiveTarget::Loopback,
+    };
+    if opts.command == "live" {
+        emit(&live::live(opts.quick, &target), &opts, "live");
+        ran = true;
+    }
+    if opts.command == "calibrate" {
+        emit(&live::calibrate(&target), &opts, "calibrate");
         ran = true;
     }
     if !ran {

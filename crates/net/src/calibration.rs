@@ -101,6 +101,120 @@ pub fn page_transfer_time(link: &LinkConfig) -> SimDuration {
     link.serialization_time(PAGE_SIZE + REPLY_HEADER_BYTES)
 }
 
+/// A malformed serialized [`MeasuredLink`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CalibrationParseError {
+    /// A required key is absent. The payload names it.
+    MissingKey(&'static str),
+    /// A value failed to parse as an integer. The payload names the key.
+    BadValue(&'static str),
+    /// A line is not a `key = value` pair.
+    BadLine(String),
+}
+
+impl std::fmt::Display for CalibrationParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CalibrationParseError::MissingKey(k) => write!(f, "missing calibration key: {k}"),
+            CalibrationParseError::BadValue(k) => {
+                write!(f, "calibration value for {k} is not an integer")
+            }
+            CalibrationParseError::BadLine(l) => {
+                write!(f, "calibration line is not `key = value`: {l:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CalibrationParseError {}
+
+/// Link parameters measured on real hardware by the `ampom-rpc`
+/// calibration handshake: RTT probes give `t0`, a timed bulk page fetch
+/// gives the effective capacity, and `td` follows from Eq. 3's page
+/// transfer time at that capacity.
+///
+/// The struct round-trips through a `key = value` text form
+/// ([`MeasuredLink::to_kv`] / [`MeasuredLink::from_kv`]) so a measurement
+/// taken on one machine can parameterise simulations on another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MeasuredLink {
+    /// Measured one-way latency (half the smoothed probe RTT).
+    pub t0: SimDuration,
+    /// Measured transfer time of one page (data + reply header).
+    pub td: SimDuration,
+    /// Effective goodput observed during the bulk fetch, bytes/s.
+    pub capacity_bytes_per_sec: u64,
+}
+
+impl MeasuredLink {
+    /// The [`LinkConfig`] that makes the simulator reproduce this
+    /// measured link: capacity as observed, latency = measured `t0`.
+    pub fn link_config(&self) -> LinkConfig {
+        LinkConfig {
+            capacity_bytes_per_sec: self.capacity_bytes_per_sec,
+            latency: self.t0,
+        }
+    }
+
+    /// Serializes as `key = value` lines (nanoseconds / bytes-per-second).
+    pub fn to_kv(&self) -> String {
+        format!(
+            "t0_ns = {}\ntd_ns = {}\ncapacity_bytes_per_sec = {}\n",
+            self.t0.as_nanos(),
+            self.td.as_nanos(),
+            self.capacity_bytes_per_sec
+        )
+    }
+
+    /// Parses the [`MeasuredLink::to_kv`] form. Unknown keys are ignored
+    /// (forward compatibility); missing or non-integer values are typed
+    /// errors.
+    pub fn from_kv(text: &str) -> Result<Self, CalibrationParseError> {
+        let mut t0 = None;
+        let mut td = None;
+        let mut capacity = None;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| CalibrationParseError::BadLine(line.to_string()))?;
+            let (key, value) = (key.trim(), value.trim());
+            match key {
+                "t0_ns" => {
+                    t0 = Some(
+                        value
+                            .parse::<u64>()
+                            .map_err(|_| CalibrationParseError::BadValue("t0_ns"))?,
+                    )
+                }
+                "td_ns" => {
+                    td = Some(
+                        value
+                            .parse::<u64>()
+                            .map_err(|_| CalibrationParseError::BadValue("td_ns"))?,
+                    )
+                }
+                "capacity_bytes_per_sec" => {
+                    capacity =
+                        Some(value.parse::<u64>().map_err(|_| {
+                            CalibrationParseError::BadValue("capacity_bytes_per_sec")
+                        })?)
+                }
+                _ => {}
+            }
+        }
+        Ok(MeasuredLink {
+            t0: SimDuration::from_nanos(t0.ok_or(CalibrationParseError::MissingKey("t0_ns"))?),
+            td: SimDuration::from_nanos(td.ok_or(CalibrationParseError::MissingKey("td_ns"))?),
+            capacity_bytes_per_sec: capacity
+                .ok_or(CalibrationParseError::MissingKey("capacity_bytes_per_sec"))?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,5 +255,46 @@ mod tests {
         let lan = page_transfer_time(&fast_ethernet());
         let wan = page_transfer_time(&broadband());
         assert!(wan.as_nanos() > 10 * lan.as_nanos());
+    }
+
+    #[test]
+    fn measured_link_round_trips_through_kv() {
+        let m = MeasuredLink {
+            t0: SimDuration::from_micros(85),
+            td: SimDuration::from_micros(410),
+            capacity_bytes_per_sec: 10_500_000,
+        };
+        let parsed = MeasuredLink::from_kv(&m.to_kv()).unwrap();
+        assert_eq!(parsed, m);
+        let cfg = m.link_config();
+        assert_eq!(cfg.capacity_bytes_per_sec, 10_500_000);
+        assert_eq!(cfg.latency, SimDuration::from_micros(85));
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn measured_link_parse_ignores_comments_and_unknown_keys() {
+        let text = "# calibration taken on loopback\nt0_ns = 1000\n\
+                    future_field = 9\ntd_ns = 2000\ncapacity_bytes_per_sec = 3000\n";
+        let m = MeasuredLink::from_kv(text).unwrap();
+        assert_eq!(m.t0, SimDuration::from_nanos(1000));
+        assert_eq!(m.td, SimDuration::from_nanos(2000));
+        assert_eq!(m.capacity_bytes_per_sec, 3000);
+    }
+
+    #[test]
+    fn measured_link_parse_errors_are_typed() {
+        assert_eq!(
+            MeasuredLink::from_kv("t0_ns = 1\ntd_ns = 2\n"),
+            Err(CalibrationParseError::MissingKey("capacity_bytes_per_sec"))
+        );
+        assert_eq!(
+            MeasuredLink::from_kv("t0_ns = xyz\ntd_ns = 2\ncapacity_bytes_per_sec = 3\n"),
+            Err(CalibrationParseError::BadValue("t0_ns"))
+        );
+        assert!(matches!(
+            MeasuredLink::from_kv("not a pair"),
+            Err(CalibrationParseError::BadLine(_))
+        ));
     }
 }

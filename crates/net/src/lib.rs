@@ -35,6 +35,7 @@ pub mod nic;
 pub mod probe;
 pub mod shaper;
 
+pub use calibration::{CalibrationParseError, MeasuredLink};
 pub use fault::{Fate, FaultConfigError, FaultPlan, FaultSpec, FaultyLink};
 pub use link::{Link, LinkConfig, LinkError, Transmission};
 pub use nic::Nic;

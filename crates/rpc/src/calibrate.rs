@@ -1,0 +1,116 @@
+//! The live calibration handshake.
+//!
+//! The simulated monitor daemon (§4's modified oM_infoD) estimates the
+//! two quantities Eq. 3 needs — the one-way latency `t0` and the page
+//! transfer time `td` — from the link model. This module measures the
+//! same quantities on a real wire:
+//!
+//! 1. **RTT probes**: a burst of ping/pong round trips feeds the same
+//!    [`RttProber`] EWMA the simulator uses (wall durations mapped onto
+//!    the virtual axis 1:1); `t0` is half the smoothed RTT.
+//! 2. **Timed bulk fetch**: a batch of page fetches, timed end to end,
+//!    gives the effective goodput in wire bytes per second — framing and
+//!    protocol headers included, exactly what the simulator's calibrated
+//!    `FAST_ETHERNET_GOODPUT` constant represents.
+//! 3. `td` then follows as the serialization time of one page reply at
+//!    that capacity — the same formula
+//!    ([`page_transfer_time`]) the simulator applies to its
+//!    `LinkConfig`.
+//!
+//! The result is a [`MeasuredLink`]; its
+//! [`link_config`](MeasuredLink::link_config) parameterises a simulated
+//! run of the same experiment, which is how `hpcc-repro live` reports
+//! simulated-vs-live divergence.
+
+use std::time::{Duration, Instant};
+
+use ampom_mem::page::PageId;
+use ampom_net::calibration::{page_transfer_time, MeasuredLink};
+use ampom_net::probe::RttProber;
+use ampom_sim::time::{SimDuration, SimTime};
+
+use crate::client::{Endpoint, MigrantClient};
+use crate::frame::Frame;
+use crate::live::fetch_all;
+use crate::RpcError;
+
+/// Calibration handshake parameters.
+#[derive(Debug, Clone)]
+pub struct CalibrateOptions {
+    /// RTT probes to send (EWMA-smoothed; more probes, stabler `t0`).
+    pub pings: u32,
+    /// Pages in the timed bulk fetch (more pages, stabler capacity).
+    pub bulk_pages: u64,
+}
+
+impl Default for CalibrateOptions {
+    fn default() -> Self {
+        CalibrateOptions {
+            pings: 16,
+            bulk_pages: 256,
+        }
+    }
+}
+
+/// Timeout for one calibration ping.
+const PING_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Dials `endpoint` on a short-lived session and measures the link.
+pub fn calibrate_endpoint(
+    endpoint: &Endpoint,
+    opts: &CalibrateOptions,
+) -> Result<MeasuredLink, RpcError> {
+    if opts.pings == 0 || opts.bulk_pages == 0 {
+        return Err(RpcError::Protocol(
+            "calibration needs at least one ping and one bulk page".into(),
+        ));
+    }
+    // The calibration session's address space only has to cover the
+    // bulk-fetch page ids; the page contents are synthesized and thrown
+    // away, so which pages we fetch is immaterial.
+    let mut client = MigrantClient::connect(endpoint.clone(), opts.bulk_pages, 0xff)?;
+
+    let epoch = Instant::now();
+    let mut prober = RttProber::new();
+    for _ in 0..opts.pings {
+        let sent = SimTime::ZERO + sim_duration(epoch.elapsed());
+        let id = prober.probe_sent(sent);
+        let (rtt, _stray) = client.ping(PING_TIMEOUT)?;
+        prober.ack_received(id, sent + sim_duration(rtt));
+    }
+    let t0 = prober
+        .t0()
+        .ok_or_else(|| RpcError::Protocol("no calibration probe completed".into()))?
+        // A loopback RTT can smooth to zero at nanosecond resolution;
+        // the link model needs a strictly positive latency.
+        .max(SimDuration::from_nanos(1));
+
+    let pages: Vec<PageId> = (0..opts.bulk_pages).map(PageId).collect();
+    let before_bytes = client.bytes_received();
+    let before = Instant::now();
+    fetch_all(&mut client, &pages)?;
+    let elapsed = before.elapsed();
+    let wire_bytes = client.bytes_received() - before_bytes;
+
+    let secs = elapsed.as_secs_f64();
+    let capacity_bytes_per_sec = if secs > 0.0 {
+        ((wire_bytes as f64 / secs) as u64).max(1)
+    } else {
+        u64::MAX
+    };
+
+    let measured = MeasuredLink {
+        t0,
+        td: page_transfer_time(&ampom_net::link::LinkConfig {
+            capacity_bytes_per_sec,
+            latency: t0,
+        }),
+        capacity_bytes_per_sec,
+    };
+    let _ = client.send(&Frame::Bye);
+    Ok(measured)
+}
+
+fn sim_duration(d: Duration) -> SimDuration {
+    SimDuration::from_nanos(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+}

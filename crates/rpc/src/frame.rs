@@ -1,0 +1,546 @@
+//! The wire frame codec.
+//!
+//! Every message on the deputy↔migrant socket is one frame:
+//!
+//! ```text
+//! [ u32 length (big-endian) ][ u8 type ][ payload ... ]
+//! ```
+//!
+//! `length` counts the type byte plus the payload. All multi-byte
+//! integers are big-endian. The frame set mirrors the simulated
+//! protocol's message types one-to-one (request/reply sizes in
+//! `ampom-net::calibration` were chosen to match this layout):
+//!
+//! | type | frame            | payload                                        |
+//! |------|------------------|------------------------------------------------|
+//! | 0x01 | `Hello`          | version u16, total_pages u64, scheme u8        |
+//! | 0x02 | `HelloAck`       | version u16, page_size u32                     |
+//! | 0x03 | `PageRequest`    | req_id u64, count u32, page ids u64 × count    |
+//! | 0x04 | `PrefetchBatch`  | req_id u64, count u32, page ids u64 × count    |
+//! | 0x05 | `PageReply`      | req_id u64, page u64, 4096 data bytes          |
+//! | 0x06 | `SyscallForward` | call_id u64, work_ns u64                       |
+//! | 0x07 | `SyscallReply`   | call_id u64                                    |
+//! | 0x08 | `Ping`           | token u64                                      |
+//! | 0x09 | `Pong`           | token u64                                      |
+//! | 0x0a | `StatsFetch`     | —                                              |
+//! | 0x0b | `StatsReply`     | 5 × u64 counters                               |
+//! | 0x0c | `Error`          | code u16, detail utf-8                         |
+//! | 0x0d | `Bye`            | —                                              |
+//!
+//! Decoding never panics: every malformed input maps onto a typed
+//! [`CodecError`] (the property tests in `tests/prop.rs` fuzz this).
+
+use std::fmt;
+
+use ampom_mem::page::{PageId, PAGE_SIZE};
+
+/// Protocol version spoken by this build; bumped on any frame change.
+pub const WIRE_VERSION: u16 = 1;
+
+/// Hard cap on one frame's length field. The largest legitimate frame is
+/// a [`Frame::PageReply`] (17 B header + 4096 B data) or a maximal page
+/// request; 1 MiB leaves head-room for both while bounding what a
+/// corrupted length prefix can make the reader allocate.
+pub const MAX_FRAME_BYTES: u32 = 1 << 20;
+
+/// Bytes of the length prefix.
+pub const LENGTH_PREFIX_BYTES: usize = 4;
+
+/// A malformed frame. Every variant names what the decoder saw so wire
+/// corruption diagnoses itself in logs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The payload ended before the fields it promised.
+    Truncated {
+        /// Bytes the decoder needed.
+        need: usize,
+        /// Bytes it had.
+        got: usize,
+    },
+    /// The length prefix exceeds [`MAX_FRAME_BYTES`].
+    Oversized(u32),
+    /// The type byte is not a known frame type.
+    UnknownType(u8),
+    /// The payload is longer than its fields account for.
+    TrailingBytes(usize),
+    /// A page-request count disagrees with the payload size.
+    BadCount(u32),
+    /// A `PageReply` carried a data block that is not one page.
+    BadPageSize(usize),
+    /// An `Error` frame's detail is not UTF-8.
+    BadUtf8,
+    /// A zero-length frame (no type byte).
+    Empty,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { need, got } => {
+                write!(f, "frame truncated: need {need} bytes, got {got}")
+            }
+            CodecError::Oversized(len) => {
+                write!(f, "frame length {len} exceeds cap {MAX_FRAME_BYTES}")
+            }
+            CodecError::UnknownType(t) => write!(f, "unknown frame type {t:#04x}"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after frame"),
+            CodecError::BadCount(n) => write!(f, "page count {n} disagrees with payload"),
+            CodecError::BadPageSize(n) => {
+                write!(f, "page reply carries {n} bytes, expected {PAGE_SIZE}")
+            }
+            CodecError::BadUtf8 => write!(f, "error detail is not utf-8"),
+            CodecError::Empty => write!(f, "empty frame (no type byte)"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Deputy-side service statistics carried by [`Frame::StatsReply`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Requests that arrived while the deputy was busy.
+    pub queued_requests: u64,
+    /// Worst backlog observed, nanoseconds.
+    pub max_backlog_ns: u64,
+    /// Cumulative service time, nanoseconds.
+    pub busy_time_ns: u64,
+    /// Pages served.
+    pub pages_served: u64,
+    /// Requests answered.
+    pub requests_served: u64,
+}
+
+/// One protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Migrant → deputy: opens a session.
+    Hello {
+        /// Protocol version ([`WIRE_VERSION`]).
+        version: u16,
+        /// Pages in the migrant's address space; the deputy serves ids
+        /// below this bound.
+        total_pages: u64,
+        /// Migration scheme (informational; `Scheme` as a raw byte).
+        scheme: u8,
+    },
+    /// Deputy → migrant: session accepted.
+    HelloAck {
+        /// Version the deputy speaks.
+        version: u16,
+        /// Page size the deputy serves.
+        page_size: u32,
+    },
+    /// Migrant → deputy: demand page (first id) plus piggy-backed zone.
+    PageRequest {
+        /// Request id (echoed in replies).
+        req_id: u64,
+        /// Requested page ids, demand first.
+        pages: Vec<PageId>,
+    },
+    /// Migrant → deputy: prefetch-only batch (no demand page; the deputy
+    /// may serve it at lower priority).
+    PrefetchBatch {
+        /// Request id (echoed in replies).
+        req_id: u64,
+        /// Requested page ids.
+        pages: Vec<PageId>,
+    },
+    /// Deputy → migrant: one page of data.
+    PageReply {
+        /// The request this page answers.
+        req_id: u64,
+        /// The page id.
+        page: PageId,
+        /// Page contents ([`PAGE_SIZE`] bytes).
+        data: Vec<u8>,
+    },
+    /// Migrant → deputy: execute a system call at the home node.
+    SyscallForward {
+        /// Call id (echoed in the reply).
+        call_id: u64,
+        /// Work the call performs at the home node, nanoseconds.
+        work_ns: u64,
+    },
+    /// Deputy → migrant: the forwarded call completed.
+    SyscallReply {
+        /// The call this answers.
+        call_id: u64,
+    },
+    /// RTT probe.
+    Ping {
+        /// Correlation token.
+        token: u64,
+    },
+    /// RTT probe answer.
+    Pong {
+        /// Token echoed from the ping.
+        token: u64,
+    },
+    /// Migrant → deputy: fetch service statistics.
+    StatsFetch,
+    /// Deputy → migrant: service statistics.
+    StatsReply(WireStats),
+    /// Either side: a protocol error (the connection closes after).
+    Error {
+        /// Machine-readable code.
+        code: u16,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Either side: orderly shutdown of the session.
+    Bye,
+}
+
+impl Frame {
+    /// The frame's type byte.
+    pub fn type_byte(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => 0x01,
+            Frame::HelloAck { .. } => 0x02,
+            Frame::PageRequest { .. } => 0x03,
+            Frame::PrefetchBatch { .. } => 0x04,
+            Frame::PageReply { .. } => 0x05,
+            Frame::SyscallForward { .. } => 0x06,
+            Frame::SyscallReply { .. } => 0x07,
+            Frame::Ping { .. } => 0x08,
+            Frame::Pong { .. } => 0x09,
+            Frame::StatsFetch => 0x0a,
+            Frame::StatsReply(_) => 0x0b,
+            Frame::Error { .. } => 0x0c,
+            Frame::Bye => 0x0d,
+        }
+    }
+
+    /// Encodes the frame — length prefix included — appending to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let len_at = out.len();
+        out.extend_from_slice(&[0u8; LENGTH_PREFIX_BYTES]);
+        out.push(self.type_byte());
+        match self {
+            Frame::Hello {
+                version,
+                total_pages,
+                scheme,
+            } => {
+                out.extend_from_slice(&version.to_be_bytes());
+                out.extend_from_slice(&total_pages.to_be_bytes());
+                out.push(*scheme);
+            }
+            Frame::HelloAck { version, page_size } => {
+                out.extend_from_slice(&version.to_be_bytes());
+                out.extend_from_slice(&page_size.to_be_bytes());
+            }
+            Frame::PageRequest { req_id, pages } | Frame::PrefetchBatch { req_id, pages } => {
+                out.extend_from_slice(&req_id.to_be_bytes());
+                out.extend_from_slice(&(pages.len() as u32).to_be_bytes());
+                for p in pages {
+                    out.extend_from_slice(&p.0.to_be_bytes());
+                }
+            }
+            Frame::PageReply { req_id, page, data } => {
+                out.extend_from_slice(&req_id.to_be_bytes());
+                out.extend_from_slice(&page.0.to_be_bytes());
+                out.extend_from_slice(data);
+            }
+            Frame::SyscallForward { call_id, work_ns } => {
+                out.extend_from_slice(&call_id.to_be_bytes());
+                out.extend_from_slice(&work_ns.to_be_bytes());
+            }
+            Frame::SyscallReply { call_id } => {
+                out.extend_from_slice(&call_id.to_be_bytes());
+            }
+            Frame::Ping { token } | Frame::Pong { token } => {
+                out.extend_from_slice(&token.to_be_bytes());
+            }
+            Frame::StatsFetch | Frame::Bye => {}
+            Frame::StatsReply(s) => {
+                out.extend_from_slice(&s.queued_requests.to_be_bytes());
+                out.extend_from_slice(&s.max_backlog_ns.to_be_bytes());
+                out.extend_from_slice(&s.busy_time_ns.to_be_bytes());
+                out.extend_from_slice(&s.pages_served.to_be_bytes());
+                out.extend_from_slice(&s.requests_served.to_be_bytes());
+            }
+            Frame::Error { code, detail } => {
+                out.extend_from_slice(&code.to_be_bytes());
+                out.extend_from_slice(detail.as_bytes());
+            }
+        }
+        let body = (out.len() - len_at - LENGTH_PREFIX_BYTES) as u32;
+        out[len_at..len_at + LENGTH_PREFIX_BYTES].copy_from_slice(&body.to_be_bytes());
+    }
+
+    /// Encodes into a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decodes one frame *body* (everything after the length prefix).
+    pub fn decode(body: &[u8]) -> Result<Frame, CodecError> {
+        let mut r = Reader::new(body);
+        let ty = r.u8().map_err(|_| CodecError::Empty)?;
+        let frame = match ty {
+            0x01 => Frame::Hello {
+                version: r.u16()?,
+                total_pages: r.u64()?,
+                scheme: r.u8()?,
+            },
+            0x02 => Frame::HelloAck {
+                version: r.u16()?,
+                page_size: r.u32()?,
+            },
+            0x03 | 0x04 => {
+                let req_id = r.u64()?;
+                let count = r.u32()?;
+                let need = (count as usize)
+                    .checked_mul(8)
+                    .ok_or(CodecError::BadCount(count))?;
+                if r.remaining() != need {
+                    return Err(CodecError::BadCount(count));
+                }
+                let mut pages = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    pages.push(PageId(r.u64()?));
+                }
+                if ty == 0x03 {
+                    Frame::PageRequest { req_id, pages }
+                } else {
+                    Frame::PrefetchBatch { req_id, pages }
+                }
+            }
+            0x05 => {
+                let req_id = r.u64()?;
+                let page = PageId(r.u64()?);
+                let data = r.rest();
+                if data.len() as u64 != PAGE_SIZE {
+                    return Err(CodecError::BadPageSize(data.len()));
+                }
+                Frame::PageReply {
+                    req_id,
+                    page,
+                    data: data.to_vec(),
+                }
+            }
+            0x06 => Frame::SyscallForward {
+                call_id: r.u64()?,
+                work_ns: r.u64()?,
+            },
+            0x07 => Frame::SyscallReply { call_id: r.u64()? },
+            0x08 => Frame::Ping { token: r.u64()? },
+            0x09 => Frame::Pong { token: r.u64()? },
+            0x0a => Frame::StatsFetch,
+            0x0b => Frame::StatsReply(WireStats {
+                queued_requests: r.u64()?,
+                max_backlog_ns: r.u64()?,
+                busy_time_ns: r.u64()?,
+                pages_served: r.u64()?,
+                requests_served: r.u64()?,
+            }),
+            0x0c => {
+                let code = r.u16()?;
+                let detail = std::str::from_utf8(r.rest())
+                    .map_err(|_| CodecError::BadUtf8)?
+                    .to_string();
+                Frame::Error { code, detail }
+            }
+            0x0d => Frame::Bye,
+            other => return Err(CodecError::UnknownType(other)),
+        };
+        // PageReply/Error consume the rest by construction; everything
+        // else must account for every byte.
+        let left = r.remaining();
+        if left > 0 {
+            return Err(CodecError::TrailingBytes(left));
+        }
+        Ok(frame)
+    }
+}
+
+/// Incremental frame extraction from a byte stream.
+///
+/// Socket reads land in [`FrameBuffer::extend`]; [`FrameBuffer::pop`]
+/// yields complete frames as they become available, leaving partial
+/// frames buffered. Used by both ends of the connection.
+#[derive(Debug, Default)]
+pub struct FrameBuffer {
+    buf: Vec<u8>,
+    /// Consumed prefix (compacted lazily to amortise the memmove).
+    start: usize,
+}
+
+impl FrameBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        FrameBuffer::default()
+    }
+
+    /// Appends raw socket bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered and not yet consumed.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Extracts the next complete frame, `Ok(None)` if more bytes are
+    /// needed. A codec error is fatal for the stream (framing is lost).
+    pub fn pop(&mut self) -> Result<Option<Frame>, CodecError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < LENGTH_PREFIX_BYTES {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes([avail[0], avail[1], avail[2], avail[3]]);
+        if len > MAX_FRAME_BYTES {
+            return Err(CodecError::Oversized(len));
+        }
+        if len == 0 {
+            return Err(CodecError::Empty);
+        }
+        let total = LENGTH_PREFIX_BYTES + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let frame = Frame::decode(&avail[LENGTH_PREFIX_BYTES..total])?;
+        self.start += total;
+        if self.start > 64 * 1024 && self.start * 2 > self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        Ok(Some(frame))
+    }
+}
+
+/// Bounds-checked big-endian field reader.
+struct Reader<'a> {
+    body: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(body: &'a [u8]) -> Self {
+        Reader { body, at: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.body.len() - self.at
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated {
+                need: n,
+                got: self.remaining(),
+            });
+        }
+        let s = &self.body[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn rest(&mut self) -> &'a [u8] {
+        let s = &self.body[self.at..];
+        self.at = self.body.len();
+        s
+    }
+
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, CodecError> {
+        let b = self.take(2)?;
+        Ok(u16::from_be_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+}
+
+/// Synthesizes the deterministic contents of `page` served by the test
+/// deputy: the page id in the first 8 bytes, then a splitmix64 keystream.
+/// Lets the client spot payload corruption without a real memory image.
+pub fn page_payload(page: PageId) -> Vec<u8> {
+    let mut data = vec![0u8; PAGE_SIZE as usize];
+    data[..8].copy_from_slice(&page.0.to_be_bytes());
+    let mut x = page.0 ^ 0x9e37_79b9_7f4a_7c15;
+    for chunk in data[8..].chunks_mut(8) {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = x;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let bytes = z.to_be_bytes();
+        chunk.copy_from_slice(&bytes[..chunk.len()]);
+    }
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_via_frame_buffer() {
+        let frames = vec![
+            Frame::Hello {
+                version: WIRE_VERSION,
+                total_pages: 4096,
+                scheme: 2,
+            },
+            Frame::PageRequest {
+                req_id: 7,
+                pages: vec![PageId(1), PageId(9)],
+            },
+            Frame::PageReply {
+                req_id: 7,
+                page: PageId(1),
+                data: page_payload(PageId(1)),
+            },
+            Frame::Bye,
+        ];
+        let mut wire = Vec::new();
+        for f in &frames {
+            f.encode_into(&mut wire);
+        }
+        let mut fb = FrameBuffer::new();
+        // Feed one byte at a time: framing must survive arbitrary splits.
+        let mut got = Vec::new();
+        for &b in &wire {
+            fb.extend(&[b]);
+            while let Some(f) = fb.pop().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, frames);
+        assert_eq!(fb.pending(), 0);
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let mut fb = FrameBuffer::new();
+        fb.extend(&(MAX_FRAME_BYTES + 1).to_be_bytes());
+        assert_eq!(fb.pop(), Err(CodecError::Oversized(MAX_FRAME_BYTES + 1)));
+    }
+
+    #[test]
+    fn payload_is_deterministic_and_tagged() {
+        let a = page_payload(PageId(42));
+        let b = page_payload(PageId(42));
+        assert_eq!(a, b);
+        assert_eq!(&a[..8], &42u64.to_be_bytes());
+        assert_ne!(a, page_payload(PageId(43)));
+    }
+}

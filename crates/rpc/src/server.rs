@@ -1,0 +1,556 @@
+//! The live deputy: serves remote-paging requests over real sockets.
+//!
+//! [`DeputyServer`] is the socket-facing analog of
+//! [`ampom_core::deputy::Deputy`]: a bounded pool of worker threads
+//! accepts connections on a TCP or Unix-domain listener and serves each
+//! migrant session to completion. Within a session the read→serve→write
+//! loop is single-threaded — exactly the "deputy is a single kernel
+//! thread" assumption of the simulation — so requests pipeline through
+//! socket buffering rather than concurrency: replies to one batch
+//! serialize while the next request is already queued, which is the
+//! paper's §5.4 pipelining effect on a real wire.
+//!
+//! Backpressure is structural: a request may name at most
+//! [`ServerConfig::max_pages_per_request`] pages (violations earn an
+//! `Error` frame and a closed connection), and the client side keeps a
+//! bounded in-flight quota, so neither side buffers unboundedly.
+//!
+//! For fault-injection tests, [`ServerConfig::drop_after_pages`] makes
+//! each connection die abruptly after serving that many pages — the
+//! live equivalent of `DowntimeSchedule`'s deputy crash.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ampom_mem::page::PAGE_SIZE;
+
+use crate::frame::{page_payload, Frame, FrameBuffer, WireStats, WIRE_VERSION};
+use crate::RpcError;
+
+/// Tuning knobs of a [`DeputyServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads accepting and serving connections (the bounded
+    /// thread pool; one migrant session occupies one worker).
+    pub workers: usize,
+    /// Upper bound on pages named by one request frame.
+    pub max_pages_per_request: u32,
+    /// Fault injection: close each connection abruptly after serving
+    /// this many pages (`None` = reliable deputy).
+    pub drop_after_pages: Option<u64>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            max_pages_per_request: 4096,
+            drop_after_pages: None,
+        }
+    }
+}
+
+/// Aggregate service counters across all sessions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Request frames answered (demand + prefetch batches).
+    pub requests_served: u64,
+    /// Page replies written.
+    pub pages_served: u64,
+    /// Forwarded system calls answered.
+    pub syscalls_served: u64,
+    /// Ping probes answered.
+    pub pings_served: u64,
+    /// Connections the fault injector dropped.
+    pub dropped_connections: u64,
+    /// Requests that arrived while every worker was busy serving another
+    /// session (observed backlog — the accept queue was non-empty).
+    pub queued_connections: u64,
+}
+
+#[derive(Debug, Default)]
+struct SharedStats {
+    connections: AtomicU64,
+    requests_served: AtomicU64,
+    pages_served: AtomicU64,
+    syscalls_served: AtomicU64,
+    pings_served: AtomicU64,
+    dropped_connections: AtomicU64,
+    queued_connections: AtomicU64,
+}
+
+impl SharedStats {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            connections: self.connections.load(Ordering::Relaxed),
+            requests_served: self.requests_served.load(Ordering::Relaxed),
+            pages_served: self.pages_served.load(Ordering::Relaxed),
+            syscalls_served: self.syscalls_served.load(Ordering::Relaxed),
+            pings_served: self.pings_served.load(Ordering::Relaxed),
+            dropped_connections: self.dropped_connections.load(Ordering::Relaxed),
+            queued_connections: self.queued_connections.load(Ordering::Relaxed),
+        }
+    }
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    #[cfg(unix)]
+    Unix(UnixListener),
+}
+
+impl Listener {
+    /// Non-blocking accept; `Ok(None)` when no connection is pending.
+    fn try_accept(&self) -> std::io::Result<Option<ServerStream>> {
+        match self {
+            Listener::Tcp(l) => match l.accept() {
+                Ok((s, _)) => {
+                    s.set_nodelay(true).ok();
+                    Ok(Some(ServerStream::Tcp(s)))
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+            #[cfg(unix)]
+            Listener::Unix(l) => match l.accept() {
+                Ok((s, _)) => Ok(Some(ServerStream::Unix(s))),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+        }
+    }
+}
+
+enum ServerStream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl ServerStream {
+    fn set_read_timeout(&self, d: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            ServerStream::Tcp(s) => s.set_read_timeout(d),
+            #[cfg(unix)]
+            ServerStream::Unix(s) => s.set_read_timeout(d),
+        }
+    }
+}
+
+impl Read for ServerStream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            ServerStream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            ServerStream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for ServerStream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            ServerStream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            ServerStream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            ServerStream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            ServerStream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A running deputy server; dropping it (or calling
+/// [`DeputyServer::shutdown`]) stops the workers.
+pub struct DeputyServer {
+    addr: String,
+    stop: Arc<AtomicBool>,
+    stats: Arc<SharedStats>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for DeputyServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeputyServer")
+            .field("addr", &self.addr)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl DeputyServer {
+    /// Binds a TCP listener (use `"127.0.0.1:0"` for an ephemeral
+    /// loopback port) and starts the worker pool.
+    pub fn bind_tcp(addr: &str, cfg: ServerConfig) -> Result<DeputyServer, RpcError> {
+        let listener = TcpListener::bind(addr).map_err(RpcError::Io)?;
+        let local = listener.local_addr().map_err(RpcError::Io)?.to_string();
+        listener.set_nonblocking(true).map_err(RpcError::Io)?;
+        Self::start(Listener::Tcp(listener), local, cfg)
+    }
+
+    /// Binds a Unix-domain listener at `path` and starts the worker pool.
+    #[cfg(unix)]
+    pub fn bind_unix(path: &std::path::Path, cfg: ServerConfig) -> Result<DeputyServer, RpcError> {
+        let listener = UnixListener::bind(path).map_err(RpcError::Io)?;
+        listener.set_nonblocking(true).map_err(RpcError::Io)?;
+        Self::start(Listener::Unix(listener), path.display().to_string(), cfg)
+    }
+
+    fn start(
+        listener: Listener,
+        addr: String,
+        cfg: ServerConfig,
+    ) -> Result<DeputyServer, RpcError> {
+        if cfg.workers == 0 {
+            return Err(RpcError::Protocol("server needs at least 1 worker".into()));
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(SharedStats::default());
+        let listener = Arc::new(Mutex::new(listener));
+        let mut workers = Vec::with_capacity(cfg.workers);
+        for _ in 0..cfg.workers {
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            let listener = Arc::clone(&listener);
+            let cfg = cfg.clone();
+            workers.push(std::thread::spawn(move || {
+                worker_loop(&listener, &stop, &stats, &cfg);
+            }));
+        }
+        Ok(DeputyServer {
+            addr,
+            stop,
+            stats,
+            workers,
+        })
+    }
+
+    /// The bound address (`host:port` for TCP, the socket path for Unix).
+    pub fn local_addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// A snapshot of the aggregate service counters.
+    pub fn stats(&self) -> ServerStats {
+        self.stats.snapshot()
+    }
+
+    /// Stops accepting, lets in-progress sessions wind down, and joins
+    /// the workers.
+    pub fn shutdown(mut self) {
+        self.stop_workers();
+    }
+
+    fn stop_workers(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for DeputyServer {
+    fn drop(&mut self) {
+        self.stop_workers();
+    }
+}
+
+/// How often idle workers poll the (non-blocking) listener and serving
+/// workers check the stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(5);
+
+fn worker_loop(
+    listener: &Mutex<Listener>,
+    stop: &AtomicBool,
+    stats: &SharedStats,
+    cfg: &ServerConfig,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        let accepted = {
+            let guard = listener.lock().expect("listener lock");
+            guard.try_accept()
+        };
+        match accepted {
+            Ok(Some(conn)) => {
+                stats.connections.fetch_add(1, Ordering::Relaxed);
+                // A second pending connection right behind this one means
+                // the pool is the bottleneck; record the backlog.
+                if let Ok(guard) = listener.lock() {
+                    if let Ok(Some(extra)) = guard.try_accept() {
+                        stats.connections.fetch_add(1, Ordering::Relaxed);
+                        stats.queued_connections.fetch_add(1, Ordering::Relaxed);
+                        drop(guard);
+                        // Serve the first, then the stolen one, in order.
+                        serve_connection(conn, stop, stats, cfg);
+                        serve_connection(extra, stop, stats, cfg);
+                        continue;
+                    }
+                }
+                serve_connection(conn, stop, stats, cfg);
+            }
+            Ok(None) => std::thread::sleep(POLL_INTERVAL),
+            Err(_) => std::thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+/// Serves one migrant session to completion.
+fn serve_connection(
+    mut conn: ServerStream,
+    stop: &AtomicBool,
+    stats: &SharedStats,
+    cfg: &ServerConfig,
+) {
+    if conn.set_read_timeout(Some(POLL_INTERVAL * 20)).is_err() {
+        return;
+    }
+    let mut fb = FrameBuffer::new();
+    let mut read_buf = [0u8; 64 * 1024];
+    let mut write_buf: Vec<u8> = Vec::with_capacity(128 * 1024);
+    let mut session = Session {
+        total_pages: 0,
+        greeted: false,
+        pages_this_conn: 0,
+        local: WireStats::default(),
+    };
+
+    loop {
+        // Drain every complete frame already buffered before reading.
+        // Frames after the first in a burst were waiting while earlier
+        // ones were served — that wait is the deputy's request backlog.
+        let mut burst_busy = Duration::ZERO;
+        let mut burst_len = 0u32;
+        loop {
+            let frame = match fb.pop() {
+                Ok(Some(f)) => f,
+                Ok(None) => break,
+                Err(e) => {
+                    let reply = Frame::Error {
+                        code: 400,
+                        detail: format!("codec: {e}"),
+                    };
+                    reply.encode_into(&mut write_buf);
+                    let _ = conn.write_all(&write_buf);
+                    return;
+                }
+            };
+            let is_request = matches!(
+                frame,
+                Frame::PageRequest { .. }
+                    | Frame::PrefetchBatch { .. }
+                    | Frame::SyscallForward { .. }
+            );
+            if is_request && burst_len > 0 {
+                session.local.queued_requests += 1;
+                let backlog = burst_busy.as_nanos() as u64;
+                session.local.max_backlog_ns = session.local.max_backlog_ns.max(backlog);
+            }
+            burst_len += 1;
+            let served_at = Instant::now();
+            let step = session.handle(frame, cfg, stats, &mut write_buf);
+            let service = served_at.elapsed();
+            burst_busy += service;
+            session.local.busy_time_ns += service.as_nanos() as u64;
+            match step {
+                SessionStep::Continue => {}
+                SessionStep::Close => {
+                    let _ = conn.write_all(&write_buf);
+                    let _ = conn.flush();
+                    return;
+                }
+                SessionStep::DropAbruptly => {
+                    stats.dropped_connections.fetch_add(1, Ordering::Relaxed);
+                    // No flush: the migrant sees an EOF mid-stream.
+                    return;
+                }
+            }
+        }
+        if !write_buf.is_empty() {
+            // Reply batching: one write per request burst, so a
+            // PrefetchBatch's pages leave back-to-back.
+            if conn.write_all(&write_buf).is_err() {
+                return;
+            }
+            if conn.flush().is_err() {
+                return;
+            }
+            write_buf.clear();
+        }
+        match conn.read(&mut read_buf) {
+            Ok(0) => return, // peer closed
+            Ok(n) => fb.extend(&read_buf[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+struct Session {
+    total_pages: u64,
+    greeted: bool,
+    pages_this_conn: u64,
+    local: WireStats,
+}
+
+enum SessionStep {
+    Continue,
+    Close,
+    DropAbruptly,
+}
+
+impl Session {
+    fn handle(
+        &mut self,
+        frame: Frame,
+        cfg: &ServerConfig,
+        stats: &SharedStats,
+        out: &mut Vec<u8>,
+    ) -> SessionStep {
+        match frame {
+            Frame::Hello {
+                version,
+                total_pages,
+                ..
+            } => {
+                if version != WIRE_VERSION {
+                    Frame::Error {
+                        code: 426,
+                        detail: format!("version {version}, deputy speaks {WIRE_VERSION}"),
+                    }
+                    .encode_into(out);
+                    return SessionStep::Close;
+                }
+                self.greeted = true;
+                self.total_pages = total_pages;
+                Frame::HelloAck {
+                    version: WIRE_VERSION,
+                    page_size: PAGE_SIZE as u32,
+                }
+                .encode_into(out);
+                SessionStep::Continue
+            }
+            Frame::PageRequest { req_id, pages } | Frame::PrefetchBatch { req_id, pages } => {
+                if !self.greeted {
+                    Frame::Error {
+                        code: 401,
+                        detail: "request before hello".into(),
+                    }
+                    .encode_into(out);
+                    return SessionStep::Close;
+                }
+                if pages.len() as u32 > cfg.max_pages_per_request {
+                    Frame::Error {
+                        code: 413,
+                        detail: format!(
+                            "{} pages exceeds per-request cap {}",
+                            pages.len(),
+                            cfg.max_pages_per_request
+                        ),
+                    }
+                    .encode_into(out);
+                    return SessionStep::Close;
+                }
+                self.local.requests_served += 1;
+                stats.requests_served.fetch_add(1, Ordering::Relaxed);
+                for page in pages {
+                    if page.0 >= self.total_pages {
+                        Frame::Error {
+                            code: 416,
+                            detail: format!("page {page} beyond image ({})", self.total_pages),
+                        }
+                        .encode_into(out);
+                        return SessionStep::Close;
+                    }
+                    Frame::PageReply {
+                        req_id,
+                        page,
+                        data: page_payload(page),
+                    }
+                    .encode_into(out);
+                    self.local.pages_served += 1;
+                    self.pages_this_conn += 1;
+                    stats.pages_served.fetch_add(1, Ordering::Relaxed);
+                    if let Some(limit) = cfg.drop_after_pages {
+                        if self.pages_this_conn >= limit {
+                            return SessionStep::DropAbruptly;
+                        }
+                    }
+                }
+                SessionStep::Continue
+            }
+            Frame::SyscallForward { call_id, .. } => {
+                // The call's `work` is charged virtually by the migrant;
+                // the deputy only provides the round trip.
+                stats.syscalls_served.fetch_add(1, Ordering::Relaxed);
+                Frame::SyscallReply { call_id }.encode_into(out);
+                SessionStep::Continue
+            }
+            Frame::Ping { token } => {
+                stats.pings_served.fetch_add(1, Ordering::Relaxed);
+                Frame::Pong { token }.encode_into(out);
+                SessionStep::Continue
+            }
+            Frame::StatsFetch => {
+                Frame::StatsReply(self.local).encode_into(out);
+                SessionStep::Continue
+            }
+            Frame::Bye => SessionStep::Close,
+            Frame::HelloAck { .. }
+            | Frame::PageReply { .. }
+            | Frame::SyscallReply { .. }
+            | Frame::Pong { .. }
+            | Frame::StatsReply(_)
+            | Frame::Error { .. } => {
+                Frame::Error {
+                    code: 400,
+                    detail: "deputy received a reply frame".into(),
+                }
+                .encode_into(out);
+                SessionStep::Close
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ephemeral_bind_reports_port() {
+        let server = DeputyServer::bind_tcp("127.0.0.1:0", ServerConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        assert!(addr.starts_with("127.0.0.1:"));
+        assert!(!addr.ends_with(":0"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn rejects_zero_workers() {
+        let cfg = ServerConfig {
+            workers: 0,
+            ..ServerConfig::default()
+        };
+        assert!(DeputyServer::bind_tcp("127.0.0.1:0", cfg).is_err());
+    }
+}

@@ -1,0 +1,153 @@
+//! Loopback smoke tests: a real [`DeputyServer`] on 127.0.0.1, a real
+//! [`MigrantClient`] underneath the shared runner loop, and the PR 2
+//! reliability layer arbitrating timeouts over genuine sockets.
+//!
+//! These run in CI. They are deliberately small (a few MB of address
+//! space) and use generous retry budgets so scheduler jitter on a busy
+//! runner cannot produce spurious policy degradations.
+
+use ampom_core::migration::Scheme;
+use ampom_core::reliability::{FailurePolicy, RetryPolicy};
+use ampom_core::runner::RunConfig;
+use ampom_rpc::{
+    calibrate_endpoint, run_live, CalibrateOptions, DeputyServer, Endpoint, LiveOptions,
+    ServerConfig,
+};
+use ampom_workloads::stream_kernel::StreamKernel;
+
+/// A retry budget wide enough that loopback jitter never exhausts it.
+fn generous() -> LiveOptions {
+    LiveOptions {
+        retry: RetryPolicy {
+            timeout_factor: 50,
+            max_retries: 6,
+        },
+        policy: FailurePolicy::StallReconnect,
+        calibrate: CalibrateOptions {
+            pings: 8,
+            bulk_pages: 64,
+        },
+    }
+}
+
+#[test]
+fn stream_migrant_completes_over_tcp_loopback() {
+    let server = DeputyServer::bind_tcp("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let endpoint = Endpoint::tcp(server.local_addr());
+
+    let mut kernel = StreamKernel::new(4 * 1024 * 1024);
+    let cfg = RunConfig::new(Scheme::Ampom);
+    let live = run_live(&mut kernel, &cfg, endpoint, &generous()).expect("live run");
+
+    let report = &live.report;
+    assert!(report.total_time.as_nanos() > 0);
+    assert!(
+        report.pages_demand_fetched > 0,
+        "a migrant starts empty; something must be demand-fetched"
+    );
+    assert!(
+        report.pages_prefetched > 0,
+        "AMPoM over a sequential STREAM pass must prefetch"
+    );
+    // Zero retry-budget exhaustions: the reliable loopback deputy never
+    // forces a degradation.
+    assert_eq!(report.faults.reconnects, 0, "no policy degradations");
+    assert_eq!(report.faults.deputy_unavailable, 0);
+    assert_eq!(report.faults.fallback_pages, 0);
+    // The link was actually measured, not defaulted.
+    assert!(live.measured.capacity_bytes_per_sec > 0);
+    assert!(live.measured.t0.as_nanos() >= 1);
+
+    let stats = server.stats();
+    assert!(stats.pages_served > 0);
+    assert_eq!(stats.dropped_connections, 0);
+    server.shutdown();
+}
+
+#[cfg(unix)]
+#[test]
+fn calibration_and_migrant_work_over_unix_socket() {
+    let path = std::env::temp_dir().join(format!("ampom-loopback-{}.sock", std::process::id()));
+    let server = DeputyServer::bind_unix(&path, ServerConfig::default()).expect("bind");
+    let endpoint = Endpoint::unix(&path);
+
+    let measured = calibrate_endpoint(
+        &endpoint,
+        &CalibrateOptions {
+            pings: 8,
+            bulk_pages: 32,
+        },
+    )
+    .expect("calibration");
+    assert!(measured.capacity_bytes_per_sec > 0);
+    assert!(measured.td.as_nanos() > 0);
+    // td is the serialization time of one reply at the measured
+    // capacity, so the two must be consistent.
+    let lc = measured.link_config();
+    assert_eq!(lc.capacity_bytes_per_sec, measured.capacity_bytes_per_sec);
+    assert_eq!(lc.latency, measured.t0);
+
+    let mut kernel = StreamKernel::new(1024 * 1024);
+    let cfg = RunConfig::new(Scheme::NoPrefetch);
+    let live = run_live(&mut kernel, &cfg, endpoint, &generous()).expect("live run");
+    assert_eq!(live.report.pages_prefetched, 0);
+    assert!(live.report.pages_demand_fetched > 0);
+    assert_eq!(live.report.faults.reconnects, 0);
+
+    server.shutdown();
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A deputy that drops every connection after a handful of pages: the
+/// stall/reconnect policy must fire (degradations over the live path)
+/// and the run must still complete correctly.
+#[test]
+fn dropped_connections_trigger_stall_reconnect_degradations() {
+    let server = DeputyServer::bind_tcp(
+        "127.0.0.1:0",
+        ServerConfig {
+            drop_after_pages: Some(24),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let endpoint = Endpoint::tcp(server.local_addr());
+
+    let opts = LiveOptions {
+        // A tight budget so a dropped connection degrades quickly instead
+        // of pacing through a long resend ladder.
+        retry: RetryPolicy {
+            timeout_factor: 1,
+            max_retries: 1,
+        },
+        policy: FailurePolicy::StallReconnect,
+        calibrate: CalibrateOptions {
+            pings: 4,
+            // Fewer bulk pages than the drop threshold, so the
+            // calibration session itself survives its connection.
+            bulk_pages: 16,
+        },
+    };
+
+    let mut kernel = StreamKernel::new(1024 * 1024);
+    let cfg = RunConfig::new(Scheme::NoPrefetch);
+    let live = run_live(&mut kernel, &cfg, endpoint, &opts).expect("live run survives drops");
+
+    let report = &live.report;
+    assert!(report.pages_demand_fetched > 0);
+    assert!(
+        report.faults.reconnects > 0,
+        "the failure policy must have fired: {:?}",
+        report.faults
+    );
+    assert!(report.faults.timeouts > 0);
+    assert!(report.faults.recovery_time.as_nanos() > 0);
+
+    let stats = server.stats();
+    assert!(
+        stats.dropped_connections > 0,
+        "the fault injector must actually have dropped connections"
+    );
+    assert!(stats.connections > stats.dropped_connections);
+    server.shutdown();
+}

@@ -1,0 +1,220 @@
+//! Property tests of the frame codec (satellite of the live-transport
+//! work): every frame type round-trips bit-exactly through the wire
+//! encoding, and the decoder never panics — truncated, corrupted,
+//! oversized or random bytes always land on a typed [`CodecError`].
+
+use ampom_mem::page::{PageId, PAGE_SIZE};
+use ampom_rpc::frame::{
+    page_payload, CodecError, Frame, FrameBuffer, WireStats, LENGTH_PREFIX_BYTES, MAX_FRAME_BYTES,
+    WIRE_VERSION,
+};
+use ampom_sim::propcheck::{forall, Gen};
+
+/// One arbitrary frame of any type.
+fn arbitrary_frame(g: &mut Gen) -> Frame {
+    match g.u64(0..13) {
+        0 => Frame::Hello {
+            version: g.u64(0..u64::from(u16::MAX) + 1) as u16,
+            total_pages: g.u64(0..u64::MAX),
+            scheme: g.u64(0..256) as u8,
+        },
+        1 => Frame::HelloAck {
+            version: g.u64(0..u64::from(u16::MAX) + 1) as u16,
+            page_size: g.u64(0..u64::from(u32::MAX) + 1) as u32,
+        },
+        2 => Frame::PageRequest {
+            req_id: g.u64(0..u64::MAX),
+            pages: g
+                .vec_u64(0..65, 0..u64::MAX)
+                .into_iter()
+                .map(PageId)
+                .collect(),
+        },
+        3 => Frame::PrefetchBatch {
+            req_id: g.u64(0..u64::MAX),
+            pages: g
+                .vec_u64(0..65, 0..u64::MAX)
+                .into_iter()
+                .map(PageId)
+                .collect(),
+        },
+        4 => Frame::PageReply {
+            req_id: g.u64(0..u64::MAX),
+            page: PageId(g.u64(0..u64::MAX)),
+            data: page_payload(PageId(g.u64(0..1 << 32))),
+        },
+        5 => Frame::SyscallForward {
+            call_id: g.u64(0..u64::MAX),
+            work_ns: g.u64(0..u64::MAX),
+        },
+        6 => Frame::SyscallReply {
+            call_id: g.u64(0..u64::MAX),
+        },
+        7 => Frame::Ping {
+            token: g.u64(0..u64::MAX),
+        },
+        8 => Frame::Pong {
+            token: g.u64(0..u64::MAX),
+        },
+        9 => Frame::StatsFetch,
+        10 => Frame::StatsReply(WireStats {
+            queued_requests: g.u64(0..u64::MAX),
+            max_backlog_ns: g.u64(0..u64::MAX),
+            busy_time_ns: g.u64(0..u64::MAX),
+            pages_served: g.u64(0..u64::MAX),
+            requests_served: g.u64(0..u64::MAX),
+        }),
+        11 => Frame::Error {
+            code: g.u64(0..u64::from(u16::MAX) + 1) as u16,
+            detail: String::from_utf8_lossy(
+                &g.vec_u64(0..40, 32..127)
+                    .iter()
+                    .map(|&b| b as u8)
+                    .collect::<Vec<_>>(),
+            )
+            .into_owned(),
+        },
+        _ => Frame::Bye,
+    }
+}
+
+#[test]
+fn every_frame_type_round_trips() {
+    forall("frame round-trip", 500, |g| {
+        let frame = arbitrary_frame(g);
+        let wire = frame.encode();
+        // Length prefix accounts for exactly the body.
+        let len = u32::from_be_bytes([wire[0], wire[1], wire[2], wire[3]]) as usize;
+        assert_eq!(len + LENGTH_PREFIX_BYTES, wire.len());
+        let decoded = Frame::decode(&wire[LENGTH_PREFIX_BYTES..]).expect("round trip");
+        assert_eq!(decoded, frame);
+    });
+}
+
+#[test]
+fn frame_stream_survives_arbitrary_chunking() {
+    forall("chunked stream", 200, |g| {
+        let frames: Vec<Frame> = (0..g.usize(1..6)).map(|_| arbitrary_frame(g)).collect();
+        let mut wire = Vec::new();
+        for f in &frames {
+            f.encode_into(&mut wire);
+        }
+        let mut fb = FrameBuffer::new();
+        let mut got = Vec::new();
+        let mut at = 0;
+        while at < wire.len() {
+            let step = g.usize(1..64.min(wire.len() - at) + 1);
+            fb.extend(&wire[at..at + step]);
+            at += step;
+            while let Some(f) = fb.pop().expect("valid stream") {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, frames);
+        assert_eq!(fb.pending(), 0);
+    });
+}
+
+#[test]
+fn truncated_frames_error_without_panicking() {
+    forall("truncation", 300, |g| {
+        let frame = arbitrary_frame(g);
+        let wire = frame.encode();
+        let body = &wire[LENGTH_PREFIX_BYTES..];
+        // Every strict prefix of the body must decode without panicking.
+        // For all fixed-layout frames the decode must be an error; an
+        // `Error` frame's detail is the variable-length tail, so its
+        // prefixes legitimately decode to a shorter detail string.
+        let cut = g.usize(0..body.len());
+        match Frame::decode(&body[..cut]) {
+            Err(_) => {}
+            Ok(decoded) => {
+                assert!(
+                    matches!(frame, Frame::Error { .. }),
+                    "truncated body decoded as {decoded:?}"
+                );
+            }
+        }
+    });
+}
+
+#[test]
+fn corrupted_bytes_never_panic_the_decoder() {
+    forall("corruption", 500, |g| {
+        let frame = arbitrary_frame(g);
+        let mut wire = frame.encode();
+        // Flip a handful of random bytes anywhere in the frame.
+        for _ in 0..g.usize(1..5) {
+            let at = g.usize(0..wire.len());
+            wire[at] ^= g.u64(1..256) as u8;
+        }
+        // Feeding through the stream buffer must yield frames or typed
+        // errors — decode and framing must not panic either way.
+        let mut fb = FrameBuffer::new();
+        fb.extend(&wire);
+        while let Ok(Some(_)) = fb.pop() {}
+    });
+}
+
+#[test]
+fn random_garbage_never_panics() {
+    forall("garbage stream", 500, |g| {
+        let bytes: Vec<u8> = g
+            .vec_u64(0..600, 0..256)
+            .into_iter()
+            .map(|b| b as u8)
+            .collect();
+        let mut fb = FrameBuffer::new();
+        fb.extend(&bytes);
+        while let Ok(Some(_)) = fb.pop() {}
+    });
+}
+
+#[test]
+fn oversized_and_empty_lengths_are_typed_errors() {
+    let mut fb = FrameBuffer::new();
+    fb.extend(&(MAX_FRAME_BYTES + 1).to_be_bytes());
+    assert_eq!(fb.pop(), Err(CodecError::Oversized(MAX_FRAME_BYTES + 1)));
+
+    let mut fb = FrameBuffer::new();
+    fb.extend(&0u32.to_be_bytes());
+    assert_eq!(fb.pop(), Err(CodecError::Empty));
+}
+
+#[test]
+fn count_and_page_size_mismatches_are_typed() {
+    // PageRequest whose count field promises more ids than the payload.
+    let mut wire = Frame::PageRequest {
+        req_id: 1,
+        pages: vec![PageId(1), PageId(2)],
+    }
+    .encode();
+    // count lives right after [len:4][type:1][req_id:8]
+    wire[13..17].copy_from_slice(&3u32.to_be_bytes());
+    assert_eq!(
+        Frame::decode(&wire[LENGTH_PREFIX_BYTES..]),
+        Err(CodecError::BadCount(3))
+    );
+
+    // PageReply with a short data block.
+    let mut short = Frame::PageReply {
+        req_id: 1,
+        page: PageId(7),
+        data: page_payload(PageId(7)),
+    }
+    .encode();
+    short.truncate(short.len() - 1);
+    let body_len = (short.len() - LENGTH_PREFIX_BYTES) as u32;
+    short[..4].copy_from_slice(&body_len.to_be_bytes());
+    assert_eq!(
+        Frame::decode(&short[LENGTH_PREFIX_BYTES..]),
+        Err(CodecError::BadPageSize(PAGE_SIZE as usize - 1))
+    );
+}
+
+#[test]
+fn version_constant_is_stable() {
+    // Bumping WIRE_VERSION is a protocol break; this test makes the bump
+    // a conscious edit.
+    assert_eq!(WIRE_VERSION, 1);
+}

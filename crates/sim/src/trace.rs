@@ -33,6 +33,14 @@ pub enum TraceKind {
     SyscallForwarded,
     /// The workload ran to completion.
     WorkloadDone,
+    /// Live transport: a socket connection to the deputy was established
+    /// (initial dial or the calibration handshake).
+    LiveConnect,
+    /// Live transport: a demand request timed out and was resent.
+    LiveRetry,
+    /// Live transport: the connection was re-dialled after a drop or a
+    /// retry-budget exhaustion.
+    LiveReconnect,
     /// Free-form annotation.
     Note,
 }
@@ -50,6 +58,9 @@ impl fmt::Display for TraceKind {
             TraceKind::FileServerFlush => "file-server-flush",
             TraceKind::SyscallForwarded => "syscall-forwarded",
             TraceKind::WorkloadDone => "workload-done",
+            TraceKind::LiveConnect => "live-connect",
+            TraceKind::LiveRetry => "live-retry",
+            TraceKind::LiveReconnect => "live-reconnect",
             TraceKind::Note => "note",
         };
         f.write_str(s)
