@@ -1,6 +1,7 @@
 //! Measurements of one experiment run — everything the paper's Figures
 //! 5–11 report, collected in one place.
 
+use ampom_obs::{MetricSource, MetricsRegistry, PhaseBreakdown};
 use ampom_sim::stats::TimeSeries;
 use ampom_sim::time::SimDuration;
 use ampom_sim::trace::Trace;
@@ -117,6 +118,12 @@ pub struct RunReport {
     /// Optional sampled time series (enable with
     /// `RunConfig::sample_series`).
     pub series: Option<RunSeries>,
+    /// Where every nanosecond of the simulated clock went. The disjoint
+    /// phases sum exactly to `total_time` for reports produced by the
+    /// core run loops. Excluded from the fingerprint (like `trace` and
+    /// `series`): it is a projection of the clock advances already
+    /// digested through the aggregate times.
+    pub phases: PhaseBreakdown,
 }
 
 /// Sampled time series over one run, for timeline plots: how the
@@ -242,6 +249,195 @@ impl RunReport {
     }
 }
 
+impl MetricSource for FaultStats {
+    fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.export_counter(
+            "ampom_fault_retries_total",
+            "demand requests re-sent after a timeout",
+            self.retries,
+        );
+        reg.export_counter(
+            "ampom_fault_timeouts_total",
+            "timeouts while waiting for a demanded page",
+            self.timeouts,
+        );
+        reg.export_counter(
+            "ampom_fault_duplicate_replies_total",
+            "replies suppressed because the page was already installed",
+            self.duplicate_replies,
+        );
+        reg.export_counter(
+            "ampom_fault_messages_dropped_total",
+            "requests or replies lost in flight",
+            self.messages_dropped,
+        );
+        reg.export_counter(
+            "ampom_fault_deputy_unavailable_total",
+            "requests that found the deputy down",
+            self.deputy_unavailable,
+        );
+        reg.export_counter(
+            "ampom_fault_reconnects_total",
+            "retry budgets exhausted (failure policy invoked)",
+            self.reconnects,
+        );
+        reg.export_counter(
+            "ampom_fault_fallback_pages_total",
+            "pages installed by the eager-fallback policy",
+            self.fallback_pages,
+        );
+        reg.export_gauge(
+            "ampom_fault_remigrated",
+            "1 if the run ended with a remigration home",
+            if self.remigrated { 1.0 } else { 0.0 },
+        );
+        reg.export_gauge(
+            "ampom_fault_recovery_seconds",
+            "time spent in failure-policy recovery",
+            self.recovery_time.as_secs_f64(),
+        );
+    }
+}
+
+impl MetricSource for DeputyStats {
+    fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.export_counter(
+            "ampom_deputy_queued_requests_total",
+            "requests that arrived while the deputy was busy",
+            self.queued_requests,
+        );
+        reg.export_gauge(
+            "ampom_deputy_max_backlog_seconds",
+            "largest backlog any request saw at arrival",
+            self.max_backlog.as_secs_f64(),
+        );
+        reg.export_gauge(
+            "ampom_deputy_busy_seconds",
+            "deputy CPU time across parsing, page service and syscalls",
+            self.busy_time.as_secs_f64(),
+        );
+    }
+}
+
+impl MetricSource for PrefetchStats {
+    fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.export_counter(
+            "ampom_prefetch_analyses_total",
+            "fault analyses performed",
+            self.analyses,
+        );
+        reg.export_counter(
+            "ampom_prefetch_pages_selected_total",
+            "pages selected for prefetch",
+            self.pages_selected,
+        );
+        reg.export_counter(
+            "ampom_prefetch_fallbacks_total",
+            "analyses that fell back to baseline read-ahead",
+            self.fallbacks,
+        );
+        reg.export_counter(
+            "ampom_prefetch_score_clamps_total",
+            "analyses where the Eq. 1 clamp fired",
+            self.score_clamps,
+        );
+        reg.export_gauge(
+            "ampom_prefetch_score_mean",
+            "mean spatial locality score",
+            self.scores.mean(),
+        );
+        reg.export_gauge(
+            "ampom_prefetch_zone_budget_mean",
+            "mean applied zone budget",
+            self.budgets.mean(),
+        );
+    }
+}
+
+impl MetricSource for RunReport {
+    fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.export_gauge(
+            "ampom_run_total_seconds",
+            "total execution time after migration",
+            self.total_time.as_secs_f64(),
+        );
+        reg.export_gauge(
+            "ampom_run_freeze_seconds",
+            "migration freeze time",
+            self.freeze_time.as_secs_f64(),
+        );
+        reg.export_gauge(
+            "ampom_run_compute_seconds",
+            "CPU time the workload computed",
+            self.compute_time.as_secs_f64(),
+        );
+        reg.export_gauge(
+            "ampom_run_stall_seconds",
+            "time stalled on remote pages",
+            self.stall_time.as_secs_f64(),
+        );
+        reg.export_gauge(
+            "ampom_run_syscall_seconds",
+            "time blocked on forwarded system calls",
+            self.syscall_time.as_secs_f64(),
+        );
+        reg.export_gauge(
+            "ampom_run_analysis_seconds",
+            "time in dependent-zone analysis",
+            self.analysis_time.as_secs_f64(),
+        );
+        reg.export_counter(
+            "ampom_run_faults_total",
+            "page faults taken on the destination",
+            self.faults_total,
+        );
+        reg.export_counter(
+            "ampom_run_fault_requests_total",
+            "remote requests carrying a demanded page",
+            self.fault_requests,
+        );
+        reg.export_counter(
+            "ampom_run_pages_prefetched_total",
+            "pages delivered by prefetching",
+            self.pages_prefetched,
+        );
+        reg.export_counter(
+            "ampom_run_prefetched_pages_used_total",
+            "prefetched pages later touched",
+            self.prefetched_pages_used,
+        );
+        reg.export_counter(
+            "ampom_run_pages_demand_fetched_total",
+            "pages fetched on demand",
+            self.pages_demand_fetched,
+        );
+        reg.export_counter(
+            "ampom_run_pages_evicted_total",
+            "pages evicted under memory pressure",
+            self.pages_evicted,
+        );
+        reg.export_counter(
+            "ampom_run_syscalls_forwarded_total",
+            "system calls forwarded to the deputy",
+            self.syscalls_forwarded,
+        );
+        reg.export_counter(
+            "ampom_run_bytes_to_dest_total",
+            "bytes received by the destination",
+            self.bytes_to_dest,
+        );
+        reg.export_counter(
+            "ampom_run_bytes_from_dest_total",
+            "bytes sent by the destination",
+            self.bytes_from_dest,
+        );
+        self.phases.export_metrics(reg);
+        self.prefetch_stats.export_metrics(reg);
+        self.faults.export_metrics(reg);
+        self.deputy.export_metrics(reg);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,6 +472,7 @@ mod tests {
             deputy: DeputyStats::default(),
             trace: Trace::disabled(),
             series: None,
+            phases: PhaseBreakdown::default(),
         }
     }
 
@@ -320,6 +517,41 @@ mod tests {
         let mut d = report(100, 50);
         d.deputy.queued_requests = 1;
         assert_ne!(a.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_ignores_observability_projections() {
+        let a = report(100, 50);
+        let mut b = report(100, 50);
+        // The phase breakdown, trace and series are projections of already
+        // digested quantities — they must not perturb the fingerprint.
+        b.phases.compute = SimDuration::from_secs(25);
+        b.phases.fault_stall = SimDuration::from_secs(25);
+        b.trace = Trace::enabled();
+        b.series = Some(RunSeries::default());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn run_report_exports_metrics_under_convention() {
+        let r = report(100, 50);
+        let mut reg = MetricsRegistry::new();
+        r.export_metrics(&mut reg);
+        assert_eq!(
+            reg.counter_value("ampom_run_fault_requests_total"),
+            Some(100)
+        );
+        assert_eq!(reg.gauge_value("ampom_run_total_seconds"), Some(50.0));
+        assert_eq!(reg.counter_value("ampom_fault_retries_total"), Some(0));
+        assert!(reg.gauge_value("ampom_phase_freeze_seconds").is_some());
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE ampom_run_faults_total counter"));
+        // Every metric obeys the ampom_ prefix convention.
+        for line in text.lines() {
+            if !line.starts_with('#') && !line.is_empty() {
+                assert!(line.starts_with("ampom_"), "bad metric line: {line}");
+            }
+        }
     }
 
     #[test]

@@ -25,7 +25,7 @@ use ampom_mem::space::AddressSpace;
 use ampom_mem::table::PageTablePair;
 use ampom_net::calibration::{EAGER_PAGE_COST, MIGRATION_BASE_COST, MPT_ENTRY_COST};
 use ampom_sim::time::{SimDuration, SimTime};
-use ampom_sim::trace::{Trace, TraceKind};
+use ampom_sim::trace::{Trace, TraceData, TraceKind};
 
 use crate::cluster::NetPath;
 
@@ -138,7 +138,9 @@ pub fn perform_freeze(
     trace: &mut Trace,
 ) -> FreezeOutcome {
     let t0 = SimTime::ZERO;
-    trace.record(t0, TraceKind::FreezeBegin, format!("scheme={scheme}"));
+    trace.record_with(t0, TraceKind::FreezeBegin, || {
+        TraceData::note(format!("scheme={scheme}"))
+    });
 
     let mapped = pre.mapped_pages();
     let dirty = pre.dirty_pages();
@@ -157,11 +159,11 @@ pub fn perform_freeze(
             let kernel_cost = EAGER_PAGE_COST.saturating_mul(dirty.len() as u64);
             let start = t0 + MIGRATION_BASE_COST + kernel_cost;
             let done = path.bulk_transfer(start, bytes);
-            trace.record(
-                done,
-                TraceKind::PagesArrived,
-                format!("{} dirty pages ({} MB)", dirty.len(), bytes >> 20),
-            );
+            trace.record_with(done, TraceKind::PagesArrived, || {
+                TraceData::pages(dirty.len() as u64)
+                    .with_bytes(bytes)
+                    .with_note("eager dirty pages")
+            });
             for &p in &dirty {
                 table.transfer_to_destination(p);
                 space.install(p);
@@ -175,7 +177,11 @@ pub fn perform_freeze(
             let bytes = 3 * PAGE_SIZE;
             let start = t0 + MIGRATION_BASE_COST;
             let done = path.bulk_transfer(start, bytes);
-            trace.record(done, TraceKind::PagesArrived, "3 freeze pages");
+            trace.record_with(done, TraceKind::PagesArrived, || {
+                TraceData::pages(3)
+                    .with_bytes(bytes)
+                    .with_note("freeze pages")
+            });
             (done, bytes, 0)
         }
         Scheme::Ampom => {
@@ -184,11 +190,11 @@ pub fn perform_freeze(
             let kernel_cost = MPT_ENTRY_COST.saturating_mul(table.mapped_pages());
             let start = t0 + MIGRATION_BASE_COST + kernel_cost;
             let done = path.bulk_transfer(start, bytes);
-            trace.record(
-                done,
-                TraceKind::PagesArrived,
-                format!("3 freeze pages + {} B MPT", mpt),
-            );
+            trace.record_with(done, TraceKind::PagesArrived, || {
+                TraceData::pages(3)
+                    .with_bytes(bytes)
+                    .with_note(format!("freeze pages + {mpt} B MPT"))
+            });
             (done, bytes, mpt)
         }
     };
@@ -205,11 +211,9 @@ pub fn perform_freeze(
     }
 
     let freeze_time = resume_at.since(t0);
-    trace.record(
-        resume_at,
-        TraceKind::FreezeEnd,
-        format!("freeze={freeze_time}"),
-    );
+    trace.record_with(resume_at, TraceKind::FreezeEnd, || {
+        TraceData::note(format!("freeze={freeze_time}"))
+    });
 
     FreezeOutcome {
         freeze_time,

@@ -26,7 +26,7 @@ use ampom_sim::stats::OnlineStats;
 use ampom_sim::time::{SimDuration, SimTime};
 
 use crate::census::{census, Census};
-use crate::score::spatial_score;
+use crate::score::spatial_score_detail;
 use crate::window::LookbackWindow;
 use crate::zone::{dependent_zone_size, select_zone, ZoneSizeInputs};
 
@@ -114,6 +114,14 @@ pub struct ZoneDecision {
     pub budget: u64,
     /// The spatial locality score at this fault.
     pub score: f64,
+    /// The unclamped Eq. 1 raw sum behind `score`.
+    pub raw_score: f64,
+    /// True when `score` was clamped down from a raw sum above 1
+    /// (a repeated-page window).
+    pub score_clamped: bool,
+    /// The paging rate `r` fed into Eq. 3, in faults/second (0 while the
+    /// window has not wrapped yet).
+    pub rate: f64,
 }
 
 /// Running statistics of the prefetcher, reported in Figures 8 and 11.
@@ -132,6 +140,8 @@ pub struct PrefetchStats {
     pub scores: OnlineStats,
     /// Analyses that fell back to read-ahead (no outstanding stream).
     pub fallbacks: u64,
+    /// Analyses where the Eq. 1 clamp actually fired (raw score above 1).
+    pub score_clamps: u64,
 }
 
 /// The AMPoM analysis engine. One instance per migrant.
@@ -208,10 +218,15 @@ impl AmpomPrefetcher {
 
         let pages = self.window.page_indices();
         let c = census(&pages, self.config.dmax);
-        let score = spatial_score(&c);
+        let score_detail = spatial_score_detail(&c);
+        let score = score_detail.score;
         self.stats.scores.record(score);
+        if score_detail.clamped {
+            self.stats.score_clamps += 1;
+        }
 
-        let n_raw = match self.window.paging_rate() {
+        let rate = self.window.paging_rate();
+        let n_raw = match rate {
             Some(r) => dependent_zone_size(&ZoneSizeInputs {
                 spatial_score: score,
                 paging_rate: r,
@@ -245,6 +260,9 @@ impl AmpomPrefetcher {
             n_raw,
             budget,
             score,
+            raw_score: score_detail.raw,
+            score_clamped: score_detail.clamped,
+            rate: rate.unwrap_or(0.0),
         }
     }
 }
@@ -277,11 +295,16 @@ mod tests {
             n_raw: 0.0,
             budget: 0,
             score: 0.0,
+            raw_score: 0.0,
+            score_clamped: false,
+            rate: 0.0,
         };
         for i in 0..40u64 {
             last = p.on_fault(PageId(100 + i), t(i * 100), 1.0, net(), limit, |_| true);
         }
         assert!(last.score > 0.99, "sequential S = {}", last.score);
+        assert!(last.rate > 0.0, "a wrapped window must expose r");
+        assert!(!last.score_clamped, "sequential access must not clamp");
         // r = 20 faults / 1.9 ms ≈ 10526/s; N = S·(r·(2t0+td)+1) ≈ 8.
         assert!(last.n_raw > 5.0, "N = {}", last.n_raw);
         assert!(!last.prefetch.is_empty());
@@ -342,6 +365,9 @@ mod tests {
             n_raw: 0.0,
             budget: 0,
             score: 0.0,
+            raw_score: 0.0,
+            score_clamped: false,
+            rate: 0.0,
         };
         for i in 0..30u64 {
             d = p.on_fault(PageId(i), t(i * 100), 1.0, net(), limit, |pg| {
@@ -425,5 +451,28 @@ mod tests {
         assert_eq!(s.analyses, 10);
         assert!(s.pages_selected > 0);
         assert_eq!(s.scores.count(), 10);
+    }
+
+    #[test]
+    fn repeated_page_window_reports_clamp() {
+        let mut p = prefetcher();
+        let limit = PageId(1_000);
+        // Alternate between two adjacent pages with an occasional third:
+        // duplicates give positions links at several distances, pushing
+        // the raw Eq. 1 sum above 1.
+        let pattern = [
+            5u64, 6, 5, 6, 5, 6, 5, 7, 5, 6, 5, 6, 5, 6, 5, 7, 5, 6, 5, 6, 5, 6,
+        ];
+        let mut clamped_seen = false;
+        for (i, &pg) in pattern.iter().enumerate() {
+            let d = p.on_fault(PageId(pg), t(i as u64 * 100), 1.0, net(), limit, |_| true);
+            if d.score_clamped {
+                clamped_seen = true;
+                assert!(d.raw_score > 1.0, "raw = {}", d.raw_score);
+                assert_eq!(d.score, 1.0);
+            }
+        }
+        assert!(clamped_seen, "repeated-page pattern must trip the clamp");
+        assert!(p.stats().score_clamps > 0);
     }
 }

@@ -677,6 +677,49 @@ mod tests {
     use super::*;
 
     #[test]
+    fn one_reply_delivered_twice_counts_one_duplicate() {
+        // Cross-transport identity anchor: `duplicate_replies` means "a
+        // reply arrived for a page the migrant already has", counted once
+        // per extra copy. The live transport's `note_reply` and bulk-fetch
+        // accounting are pinned to the same meaning by the unit tests in
+        // `crates/rpc/src/live.rs`; together with this test they keep the
+        // counter comparable across transports.
+        let link = ampom_net::calibration::fast_ethernet();
+        let mut inj = FaultInjector::new(&FaultProfile::default(), link, 1);
+        let layout = ampom_mem::region::MemoryLayout::with_data_bytes(8 * PAGE_SIZE);
+        let mut space = AddressSpace::new(layout);
+        let page = space.layout().data_start();
+        space.mark_remote(page);
+        let mut table = PageTablePair::at_migration([page]);
+        let mut path = NetPath::new(link);
+        // The original reply and a resent copy, both already arrived.
+        let mut staged: VecDeque<(SimTime, PageId)> = VecDeque::new();
+        staged.push_back((SimTime::ZERO, page));
+        staged.push_back((SimTime::ZERO, page));
+        let mut in_flight: HashMap<PageId, SimTime> = HashMap::new();
+        in_flight.insert(page, SimTime::ZERO);
+        let mut now = SimTime::ZERO + SimDuration::from_micros(1);
+        let mut evicted = 0;
+        inj.install_arrived(
+            &mut staged,
+            &mut in_flight,
+            &mut space,
+            &mut now,
+            None,
+            page,
+            &mut path,
+            &mut table,
+            &mut evicted,
+        );
+        assert!(space.is_resident(page), "first copy installs the page");
+        assert_eq!(
+            inj.stats.duplicate_replies, 1,
+            "the resent copy is suppressed and counted exactly once"
+        );
+        assert_eq!(evicted, 0);
+    }
+
+    #[test]
     fn retry_timeout_backs_off_exponentially() {
         let retry = RetryPolicy::default();
         let base = SimDuration::from_micros(100);

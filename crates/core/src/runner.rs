@@ -30,9 +30,10 @@ use ampom_mem::space::TouchOutcome;
 use ampom_net::calibration::{AMPOM_ANALYSIS_COST, PER_MESSAGE_OVERHEAD};
 use ampom_net::cross::CrossTraffic;
 use ampom_net::link::LinkConfig;
+use ampom_obs::PhaseBreakdown;
 use ampom_sim::rng::SimRng;
 use ampom_sim::time::{SimDuration, SimTime};
-use ampom_sim::trace::{Trace, TraceKind};
+use ampom_sim::trace::{Trace, TraceData, TraceKind};
 use ampom_workloads::memref::Workload;
 
 use crate::cluster::NetPath;
@@ -340,6 +341,11 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
     let mut compute_time = SimDuration::ZERO;
     let mut stall_time = SimDuration::ZERO;
     let mut analysis_time = SimDuration::ZERO;
+    // Phase attribution: every clock advance below is charged to exactly
+    // one phase, so the disjoint phases sum to total_time to the
+    // nanosecond (tested in tests/observability.rs).
+    let mut install_time = SimDuration::ZERO;
+    let mut prefetch_overlap = SimDuration::ZERO;
     let mut faults_total = 0u64;
     let mut fault_requests = 0u64;
     let mut prefetch_only_requests = 0u64;
@@ -376,7 +382,7 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                 let done = deputy.forward_syscall(now, profile.work, &mut path);
                 syscall_time += done.since(now);
                 syscalls_forwarded += 1;
-                trace.record(done, TraceKind::SyscallForwarded, "");
+                trace.record(done, TraceKind::SyscallForwarded, TraceData::empty());
                 now = done;
             }
         }
@@ -396,6 +402,9 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                 now += r.cpu;
                 compute_time += r.cpu;
                 cpu_since_fault += r.cpu;
+                if !in_flight.is_empty() {
+                    prefetch_overlap += r.cpu;
+                }
             }
             TouchOutcome::LocalAllocate => {
                 // Anonymous first touch: minor fault, no network. Still a
@@ -433,6 +442,7 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                         &space,
                         &in_flight,
                         &mut analysis_time,
+                        &mut trace,
                     );
                     if !prefetch.is_empty() {
                         prefetch_only_requests += 1;
@@ -454,11 +464,15 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                 now += r.cpu;
                 compute_time += r.cpu;
                 cpu_since_fault += r.cpu;
+                if !in_flight.is_empty() {
+                    prefetch_overlap += r.cpu;
+                }
             }
             TouchOutcome::RemoteFault => {
                 faults_total += 1;
                 let fault_at = now;
-                trace.record(now, TraceKind::PageFault, format!("{}", r.page));
+                trace.record(now, TraceKind::PageFault, TraceData::page(r.page.index()));
+                let install_from = now;
                 dispatch_install(
                     &mut injector,
                     &mut staged,
@@ -471,6 +485,7 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                     &mut table,
                     &mut pages_evicted,
                 );
+                install_time += now.since(install_from);
 
                 let util = utilization(cpu_since_fault, fault_at, last_fault_at);
                 last_fault_at = fault_at;
@@ -489,6 +504,7 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                         &space,
                         &in_flight,
                         &mut analysis_time,
+                        &mut trace,
                     ),
                     None => Vec::new(),
                 };
@@ -550,6 +566,7 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                         stall_time += arrival.since(now);
                         now = arrival;
                     }
+                    let install_from = now;
                     dispatch_install(
                         &mut injector,
                         &mut staged,
@@ -562,11 +579,10 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                         &mut table,
                         &mut pages_evicted,
                     );
-                    trace.record(
-                        now,
-                        TraceKind::FaultResolved,
-                        format!("{} (pipelined)", r.page),
-                    );
+                    install_time += now.since(install_from);
+                    trace.record_with(now, TraceKind::FaultResolved, || {
+                        TraceData::page(r.page.index()).with_note("pipelined")
+                    });
                 } else if let Some(ffa_state) = ffa.as_ref() {
                     // FFA: demand-fetch from the file server.
                     fault_requests += 1;
@@ -583,7 +599,7 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                     trace.record(
                         now,
                         TraceKind::PagingRequest,
-                        format!("demand {} (+{} prefetch)", r.page, prefetch.len()),
+                        TraceData::page(r.page.index()).with_pages(prefetch.len() as u64),
                     );
                     dispatch_request(
                         &mut injector,
@@ -606,6 +622,7 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                                 .expect("demand page must be served");
                             stall_time += arrival.since(now);
                             now = arrival;
+                            let install_from = now;
                             install_arrived_pressured(
                                 &mut staged,
                                 &mut in_flight,
@@ -617,11 +634,18 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                                 &mut table,
                                 &mut pages_evicted,
                             );
+                            install_time += now.since(install_from);
                         }
                         Some(inj) => {
                             // Under faults the request (or any reply) may
                             // be lost: the wait loop retries with backoff
                             // and degrades via the failure policy.
+                            // Clock advances inside are either stall waits
+                            // (tracked through stall_time) or page-install
+                            // charges; the remainder attribution below
+                            // relies on that.
+                            let wait_from = now;
+                            let stall_before = stall_time;
                             inj.await_demand(
                                 r.page,
                                 &mut now,
@@ -637,9 +661,15 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                                 evictor.as_mut(),
                                 &mut pages_evicted,
                             );
+                            let stall_delta = stall_time.saturating_sub(stall_before);
+                            install_time += now.since(wait_from).saturating_sub(stall_delta);
                         }
                     }
-                    trace.record(now, TraceKind::FaultResolved, format!("{}", r.page));
+                    trace.record(
+                        now,
+                        TraceKind::FaultResolved,
+                        TraceData::page(r.page.index()),
+                    );
                 }
 
                 // The faulted page is resident now; apply the touch.
@@ -649,16 +679,32 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                 now += r.cpu;
                 compute_time += r.cpu;
                 cpu_since_fault += r.cpu;
+                if !in_flight.is_empty() {
+                    prefetch_overlap += r.cpu;
+                }
             }
         }
     }
 
-    trace.record(now, TraceKind::WorkloadDone, "");
+    trace.record(now, TraceKind::WorkloadDone, TraceData::empty());
     let total_time = now.since(SimTime::ZERO);
 
     let (analysis_count, prefetch_stats) = match prefetcher {
         Some(pf) => (pf.stats().analyses, pf.stats().clone()),
         None => (0, PrefetchStats::default()),
+    };
+
+    let fault_stats = injector.map(FaultInjector::into_stats).unwrap_or_default();
+    let phases = PhaseBreakdown {
+        freeze: freeze.freeze_time,
+        compute: compute_time,
+        minor_fault: MINOR_FAULT_COST.saturating_mul(pages_local_alloc),
+        analysis: analysis_time,
+        install: install_time,
+        fault_stall: stall_time.saturating_sub(fault_stats.recovery_time),
+        recovery: fault_stats.recovery_time,
+        syscall: syscall_time,
+        prefetch_overlap,
     };
 
     RunReport {
@@ -685,10 +731,11 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
         analysis_time,
         analysis_count,
         prefetch_stats,
-        faults: injector.map(FaultInjector::into_stats).unwrap_or_default(),
+        faults: fault_stats,
         deputy: deputy.stats(),
         trace,
         series,
+        phases,
     }
 }
 
@@ -717,12 +764,32 @@ fn analyze(
     space: &ampom_mem::space::AddressSpace,
     in_flight: &HashMap<PageId, SimTime>,
     analysis_time: &mut SimDuration,
+    trace: &mut Trace,
 ) -> Vec<PageId> {
     monitor.advance(*now, path);
     let est = monitor.estimates();
     let decision = pf.on_fault(page, *now, util, est, page_limit, |p| {
         space.state(p) == ampom_mem::space::PageState::Remote && !in_flight.contains_key(&p)
     });
+    if decision.score_clamped {
+        trace.record(
+            *now,
+            TraceKind::ScoreClamped,
+            TraceData::page(page.index())
+                .with_score(decision.score)
+                .with_raw(decision.raw_score),
+        );
+    }
+    trace.record(
+        *now,
+        TraceKind::ZoneAnalysis,
+        TraceData::page(page.index())
+            .with_zone(decision.budget)
+            .with_raw(decision.n_raw)
+            .with_score(decision.score)
+            .with_rate(decision.rate)
+            .with_rtt_ns(est.t0.saturating_mul(2).as_nanos()),
+    );
     *now += AMPOM_ANALYSIS_COST;
     *analysis_time += AMPOM_ANALYSIS_COST;
     monitor.on_window_wrap(*now, pf.window().wraps(), path);
@@ -979,11 +1046,9 @@ impl FfaState {
             .unwrap_or(request_arrives);
         let served = request_arrives.max(available);
         let reply = served + self.link.serialization_time(PAGE_SIZE + 32) + self.link.latency;
-        trace.record(
-            reply,
-            TraceKind::FileServerFlush,
-            format!("{page} via file server"),
-        );
+        trace.record_with(reply, TraceKind::FileServerFlush, || {
+            TraceData::page(page.index()).with_note("via file server")
+        });
         reply
     }
 }

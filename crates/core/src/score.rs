@@ -17,21 +17,50 @@
 
 use crate::census::Census;
 
-/// Computes `S` from a completed census.
+/// The outcome of one Eq. 1 evaluation, preserving the raw sum so
+/// pathological windows are observable instead of silently normalized.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoreDetail {
+    /// The unclamped Σ stride_d / (l·d) sum.
+    pub raw: f64,
+    /// The score after clamping to [0, 1].
+    pub score: f64,
+    /// True when the clamp actually fired (raw sum above 1).
+    pub clamped: bool,
+}
+
+/// Computes `S` from a completed census, reporting whether the clamp to
+/// the paper's stated [0, 1] range fired.
 ///
-/// Returns 0 for an empty window.
-pub fn spatial_score(census: &Census) -> f64 {
+/// Returns a zero score for an empty window.
+pub fn spatial_score_detail(census: &Census) -> ScoreDetail {
     if census.l == 0 {
-        return 0.0;
+        return ScoreDetail {
+            raw: 0.0,
+            score: 0.0,
+            clamped: false,
+        };
     }
     let l = census.l as f64;
-    let s: f64 = census
+    let raw: f64 = census
         .stride_counts
         .iter()
         .enumerate()
         .map(|(i, &count)| count as f64 / (l * (i + 1) as f64))
         .sum();
-    s.clamp(0.0, 1.0)
+    let score = raw.clamp(0.0, 1.0);
+    ScoreDetail {
+        raw,
+        score,
+        clamped: raw > 1.0,
+    }
+}
+
+/// Computes `S` from a completed census.
+///
+/// Returns 0 for an empty window.
+pub fn spatial_score(census: &Census) -> f64 {
+    spatial_score_detail(census).score
 }
 
 #[cfg(test)]
@@ -97,5 +126,33 @@ mod tests {
     fn empty_window_scores_zero() {
         let c = census(&[], 4);
         assert_eq!(spatial_score(&c), 0.0);
+        assert!(!spatial_score_detail(&c).clamped);
+    }
+
+    #[test]
+    fn clamp_path_reports_raw_sum_and_flag() {
+        // A census whose stride counts alone force the raw sum above 1:
+        // with l = 4, six stride-1 links give raw = 6/4 = 1.5. Such counts
+        // arise from repeated-page windows where one position participates
+        // in links of several distances.
+        let c = Census {
+            stride_counts: vec![6, 0, 0, 0],
+            links: Vec::new(),
+            outstanding: Vec::new(),
+            l: 4,
+        };
+        let d = spatial_score_detail(&c);
+        assert!(d.clamped, "raw sum {} must trip the clamp", d.raw);
+        assert!((d.raw - 1.5).abs() < 1e-12);
+        assert_eq!(d.score, 1.0);
+        assert_eq!(spatial_score(&c), 1.0);
+    }
+
+    #[test]
+    fn unclamped_windows_report_clamped_false() {
+        let c = census(&[10, 99, 11, 34, 12, 85], 4);
+        let d = spatial_score_detail(&c);
+        assert!(!d.clamped);
+        assert_eq!(d.raw, d.score);
     }
 }

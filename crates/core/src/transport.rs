@@ -28,9 +28,10 @@ use ampom_mem::space::{AddressSpace, PageState, TouchOutcome};
 use ampom_mem::table::PageTablePair;
 use ampom_net::calibration::AMPOM_ANALYSIS_COST;
 use ampom_net::cross::CrossTraffic;
+use ampom_obs::PhaseBreakdown;
 use ampom_sim::rng::SimRng;
 use ampom_sim::time::{SimDuration, SimTime};
-use ampom_sim::trace::{Trace, TraceKind};
+use ampom_sim::trace::{Trace, TraceData, TraceKind};
 use ampom_workloads::memref::Workload;
 
 use crate::cluster::NetPath;
@@ -121,7 +122,7 @@ pub trait Transport {
 
     /// Drains transport-internal trace events (live connects, retries,
     /// reconnects) accumulated since the last call.
-    fn drain_trace(&mut self) -> Vec<(SimTime, TraceKind, String)> {
+    fn drain_trace(&mut self) -> Vec<(SimTime, TraceKind, TraceData)> {
         Vec::new()
     }
 }
@@ -325,6 +326,10 @@ pub fn run_with_transport<W: Workload + ?Sized>(
     let mut compute_time = SimDuration::ZERO;
     let mut stall_time = SimDuration::ZERO;
     let mut analysis_time = SimDuration::ZERO;
+    // Phase attribution, mirroring the legacy runner: every clock advance
+    // is charged to exactly one phase.
+    let mut install_time = SimDuration::ZERO;
+    let mut prefetch_overlap = SimDuration::ZERO;
     let mut faults_total = 0u64;
     let mut fault_requests = 0u64;
     let mut prefetch_only_requests = 0u64;
@@ -350,7 +355,7 @@ pub fn run_with_transport<W: Workload + ?Sized>(
                 let done = transport.forward_syscall(now, profile.work)?;
                 syscall_time += done.since(now);
                 syscalls_forwarded += 1;
-                trace.record(done, TraceKind::SyscallForwarded, "");
+                trace.record(done, TraceKind::SyscallForwarded, TraceData::empty());
                 now = done;
             }
         }
@@ -366,6 +371,9 @@ pub fn run_with_transport<W: Workload + ?Sized>(
                 now += r.cpu;
                 compute_time += r.cpu;
                 cpu_since_fault += r.cpu;
+                if transport.in_flight_count() > 0 {
+                    prefetch_overlap += r.cpu;
+                }
             }
             TouchOutcome::LocalAllocate => {
                 faults_total += 1;
@@ -387,6 +395,7 @@ pub fn run_with_transport<W: Workload + ?Sized>(
                         page_limit,
                         &space,
                         &mut analysis_time,
+                        &mut trace,
                     );
                     if !prefetch.is_empty() {
                         prefetch_only_requests += 1;
@@ -400,12 +409,17 @@ pub fn run_with_transport<W: Workload + ?Sized>(
                 now += r.cpu;
                 compute_time += r.cpu;
                 cpu_since_fault += r.cpu;
+                if transport.in_flight_count() > 0 {
+                    prefetch_overlap += r.cpu;
+                }
             }
             TouchOutcome::RemoteFault => {
                 faults_total += 1;
                 let fault_at = now;
-                trace.record(now, TraceKind::PageFault, format!("{}", r.page));
+                trace.record(now, TraceKind::PageFault, TraceData::page(r.page.index()));
+                let install_from = now;
                 transport.install_arrived(&mut now, &mut space);
+                install_time += now.since(install_from);
 
                 let util = utilization(cpu_since_fault, fault_at, last_fault_at);
                 last_fault_at = fault_at;
@@ -421,6 +435,7 @@ pub fn run_with_transport<W: Workload + ?Sized>(
                         page_limit,
                         &space,
                         &mut analysis_time,
+                        &mut trace,
                     ),
                     None => Vec::new(),
                 };
@@ -469,12 +484,12 @@ pub fn run_with_transport<W: Workload + ?Sized>(
                         stall_time += arrival.since(now);
                         now = arrival;
                     }
+                    let install_from = now;
                     transport.install_arrived(&mut now, &mut space);
-                    trace.record(
-                        now,
-                        TraceKind::FaultResolved,
-                        format!("{} (pipelined)", r.page),
-                    );
+                    install_time += now.since(install_from);
+                    trace.record_with(now, TraceKind::FaultResolved, || {
+                        TraceData::page(r.page.index()).with_note("pipelined")
+                    });
                 } else {
                     // Demand fetch from the deputy, zone piggy-backed.
                     fault_requests += 1;
@@ -482,7 +497,7 @@ pub fn run_with_transport<W: Workload + ?Sized>(
                     trace.record(
                         now,
                         TraceKind::PagingRequest,
-                        format!("demand {} (+{} prefetch)", r.page, prefetch.len()),
+                        TraceData::page(r.page.index()).with_pages(prefetch.len() as u64),
                     );
                     note_queued(
                         transport.request_pages(now, Some(r.page), &prefetch, &mut table)?,
@@ -492,8 +507,14 @@ pub fn run_with_transport<W: Workload + ?Sized>(
                     let arrival = transport.wait_for(r.page, now)?;
                     stall_time += arrival.saturating_since(now);
                     now = now.max(arrival);
+                    let install_from = now;
                     transport.install_arrived(&mut now, &mut space);
-                    trace.record(now, TraceKind::FaultResolved, format!("{}", r.page));
+                    install_time += now.since(install_from);
+                    trace.record(
+                        now,
+                        TraceKind::FaultResolved,
+                        TraceData::page(r.page.index()),
+                    );
                 }
 
                 // The faulted page is resident now; apply the touch.
@@ -503,19 +524,35 @@ pub fn run_with_transport<W: Workload + ?Sized>(
                 now += r.cpu;
                 compute_time += r.cpu;
                 cpu_since_fault += r.cpu;
+                if transport.in_flight_count() > 0 {
+                    prefetch_overlap += r.cpu;
+                }
             }
         }
     }
 
-    for (at, kind, detail) in transport.drain_trace() {
-        trace.record(at, kind, detail);
+    for (at, kind, data) in transport.drain_trace() {
+        trace.record(at, kind, data);
     }
-    trace.record(now, TraceKind::WorkloadDone, "");
+    trace.record(now, TraceKind::WorkloadDone, TraceData::empty());
     let total_time = now.since(SimTime::ZERO);
 
     let (analysis_count, prefetch_stats) = match prefetcher {
         Some(pf) => (pf.stats().analyses, pf.stats().clone()),
         None => (0, PrefetchStats::default()),
+    };
+
+    let fault_stats = transport.fault_stats();
+    let phases = PhaseBreakdown {
+        freeze: freeze.freeze_time,
+        compute: compute_time,
+        minor_fault: MINOR_FAULT_COST.saturating_mul(pages_local_alloc),
+        analysis: analysis_time,
+        install: install_time,
+        fault_stall: stall_time.saturating_sub(fault_stats.recovery_time),
+        recovery: fault_stats.recovery_time,
+        syscall: syscall_time,
+        prefetch_overlap,
     };
 
     Ok(RunReport {
@@ -542,10 +579,11 @@ pub fn run_with_transport<W: Workload + ?Sized>(
         analysis_time,
         analysis_count,
         prefetch_stats,
-        faults: transport.fault_stats(),
+        faults: fault_stats,
         deputy: transport.deputy_stats(),
         trace,
         series,
+        phases,
     })
 }
 
@@ -579,11 +617,31 @@ fn analyze(
     page_limit: PageId,
     space: &AddressSpace,
     analysis_time: &mut SimDuration,
+    trace: &mut Trace,
 ) -> Vec<PageId> {
     let est = transport.estimates(*now);
     let decision = pf.on_fault(page, *now, util, est, page_limit, |p| {
         space.state(p) == PageState::Remote && !transport.is_in_flight(p)
     });
+    if decision.score_clamped {
+        trace.record(
+            *now,
+            TraceKind::ScoreClamped,
+            TraceData::page(page.index())
+                .with_score(decision.score)
+                .with_raw(decision.raw_score),
+        );
+    }
+    trace.record(
+        *now,
+        TraceKind::ZoneAnalysis,
+        TraceData::page(page.index())
+            .with_zone(decision.budget)
+            .with_raw(decision.n_raw)
+            .with_score(decision.score)
+            .with_rate(decision.rate)
+            .with_rtt_ns(est.t0.saturating_mul(2).as_nanos()),
+    );
     *now += AMPOM_ANALYSIS_COST;
     *analysis_time += AMPOM_ANALYSIS_COST;
     transport.on_window_wrap(*now, pf.window().wraps());

@@ -90,7 +90,7 @@ pub fn fig2() -> (AsciiTable, Vec<(String, String)>) {
                 "{:>12.6}s  {:<18} {}\n",
                 e.at.as_secs_f64(),
                 e.kind.to_string(),
-                e.detail
+                e.data
             ));
         }
         timelines.push((scheme.name().to_string(), timeline));

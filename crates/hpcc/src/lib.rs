@@ -25,6 +25,10 @@
 //! limits (PTRANS), the §5.6 interactive scenario, prefetch accuracy, and
 //! parameter-sensitivity sweeps.
 //!
+//! The [`profile`] module backs `hpcc-repro profile`: one kernel/scheme
+//! pair under full observability — phase attribution, hottest pages,
+//! self-verified JSONL and a Prometheus-style metrics dump.
+//!
 //! The `hpcc-repro` binary drives these; see `hpcc-repro --help`.
 
 pub mod checks;
@@ -32,4 +36,5 @@ pub mod experiments;
 pub mod extensions;
 pub mod live;
 pub mod matrix;
+pub mod profile;
 pub mod report;

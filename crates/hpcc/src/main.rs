@@ -34,26 +34,64 @@
 //!   sweep     sensitivity of l, dmax and the baseline read-ahead
 //!   live      migrate the kernels over real sockets, report vs simulation
 //!   calibrate measure a real link, emit its LinkConfig
+//!   profile   one kernel/scheme pair under full observability
 //!
 //! Options:
 //!   --quick   tiny problem sizes (seconds instead of minutes)
 //!   --csv DIR also write each series as CSV under DIR
 //!   --loopback       live/calibrate: in-process deputy on 127.0.0.1 (default)
 //!   --endpoint ADDR  live/calibrate: connect to a deputy at ADDR instead
+//!   --kernel NAME    profile: dgemm|stream|randomaccess|fft (default stream)
+//!   --scheme NAME    profile: ampom|noprefetch|openmosix (default ampom)
+//!   --json PATH      profile: write the JSONL event/phase stream to PATH
+//!   --prom PATH      profile: write the Prometheus-style dump to PATH
+//!   --top K          profile: hottest pages to list (default 10)
 //! ```
 
 use std::path::PathBuf;
 use std::time::Instant;
 
+use ampom_core::migration::Scheme;
 use ampom_hpcc::matrix::{full_matrix, Cell};
+use ampom_hpcc::profile::{self, ProfileOptions};
 use ampom_hpcc::report::AsciiTable;
 use ampom_hpcc::{checks, experiments, extensions, live};
+use ampom_workloads::Kernel;
 
 struct Options {
     command: String,
     quick: bool,
     csv_dir: Option<PathBuf>,
     endpoint: Option<String>,
+    profile: ProfileOptions,
+    json_path: Option<PathBuf>,
+    prom_path: Option<PathBuf>,
+}
+
+fn parse_kernel(name: &str) -> Kernel {
+    match name.to_ascii_lowercase().as_str() {
+        "dgemm" => Kernel::Dgemm,
+        "stream" => Kernel::Stream,
+        "randomaccess" | "gups" => Kernel::RandomAccess,
+        "fft" => Kernel::Fft,
+        other => {
+            eprintln!("unknown kernel {other:?}; use dgemm|stream|randomaccess|fft");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_scheme(name: &str) -> Scheme {
+    match name.to_ascii_lowercase().as_str() {
+        "ampom" => Scheme::Ampom,
+        "noprefetch" => Scheme::NoPrefetch,
+        "openmosix" => Scheme::OpenMosix,
+        "ffa" => Scheme::Ffa,
+        other => {
+            eprintln!("unknown scheme {other:?}; use ampom|noprefetch|openmosix|ffa");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn parse_args() -> Options {
@@ -61,6 +99,9 @@ fn parse_args() -> Options {
     let mut quick = false;
     let mut csv_dir = None;
     let mut endpoint = None;
+    let mut prof = ProfileOptions::default();
+    let mut json_path = None;
+    let mut prom_path = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -76,11 +117,31 @@ fn parse_args() -> Options {
             "--endpoint" => {
                 endpoint = Some(args.next().expect("--endpoint requires HOST:PORT"));
             }
+            "--kernel" => {
+                prof.kernel = parse_kernel(&args.next().expect("--kernel requires a name"));
+            }
+            "--scheme" => {
+                prof.scheme = parse_scheme(&args.next().expect("--scheme requires a name"));
+            }
+            "--json" => {
+                json_path = Some(PathBuf::from(args.next().expect("--json requires a path")));
+            }
+            "--prom" => {
+                prom_path = Some(PathBuf::from(args.next().expect("--prom requires a path")));
+            }
+            "--top" => {
+                prof.top = args
+                    .next()
+                    .expect("--top requires a count")
+                    .parse()
+                    .expect("--top requires an integer");
+            }
             "--help" | "-h" => {
                 println!(
                     "hpcc-repro [all|table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|\
-                     ext-vm|ext-cluster|ext-ptrans|ext-interactive|ext-roundtrip|ext-syscall|ext-pressure|ext-hpl|ext-locality|ext-timing|ext-gossip|ext-accuracy|parsweep|faultsweep|timeline|check|sweep|live|calibrate] \
-                     [--quick] [--csv DIR] [--loopback|--endpoint ADDR]"
+                     ext-vm|ext-cluster|ext-ptrans|ext-interactive|ext-roundtrip|ext-syscall|ext-pressure|ext-hpl|ext-locality|ext-timing|ext-gossip|ext-accuracy|parsweep|faultsweep|timeline|check|sweep|live|calibrate|profile] \
+                     [--quick] [--csv DIR] [--loopback|--endpoint ADDR] \
+                     [--kernel K] [--scheme S] [--json PATH] [--prom PATH] [--top K]"
                 );
                 std::process::exit(0);
             }
@@ -91,11 +152,15 @@ fn parse_args() -> Options {
             }
         }
     }
+    prof.quick = quick;
     Options {
         command,
         quick,
         csv_dir,
         endpoint,
+        profile: prof,
+        json_path,
+        prom_path,
     }
 }
 
@@ -128,6 +193,58 @@ fn emit_all(tables: &[AsciiTable], opts: &Options, prefix: &str) {
     for (i, t) in tables.iter().enumerate() {
         emit(t, opts, &format!("{prefix}_{i}"));
     }
+}
+
+fn run_profile_command(opts: &Options) {
+    let p = match profile::run_profile(&opts.profile) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
+    emit(
+        &profile::phase_table(&opts.profile, &p.report),
+        opts,
+        "profile",
+    );
+    emit(
+        &profile::hottest_pages(&p.report, opts.profile.top),
+        opts,
+        "profile_pages",
+    );
+    if let Some(path) = &opts.json_path {
+        if let Err(e) = profile::write_artifact(path, &p.jsonl) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+        println!(
+            "wrote {} JSONL lines to {}",
+            p.jsonl.lines().count(),
+            path.display()
+        );
+    }
+    if let Some(path) = &opts.prom_path {
+        if let Err(e) = profile::write_artifact(path, &p.prometheus) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+        println!("wrote metrics dump to {}", path.display());
+    } else {
+        println!("{}", p.prometheus);
+    }
+    // Self-verification: the artifact this command just produced must
+    // parse, and the phase partition must account for the whole run.
+    if let Err(e) = profile::verify_jsonl(&p.jsonl) {
+        eprintln!("profile self-verification FAILED: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "self-verification OK: {} phases sum to the {} total within {:.0}%",
+        ampom_obs::PhaseBreakdown::PHASES.len(),
+        p.report.total_time,
+        profile::PHASE_SUM_TOLERANCE * 100.0
+    );
 }
 
 fn main() {
@@ -295,6 +412,10 @@ fn main() {
     }
     if opts.command == "calibrate" {
         emit(&live::calibrate(&target), &opts, "calibrate");
+        ran = true;
+    }
+    if opts.command == "profile" {
+        run_profile_command(&opts);
         ran = true;
     }
     if !ran {

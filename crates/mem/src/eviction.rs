@@ -14,7 +14,13 @@
 use crate::page::PageId;
 
 /// Sentinel for "not on the ring".
-const NOT_RESIDENT: u32 = u32::MAX;
+///
+/// `usize`, not `u32`: ring positions index `ring`, whose length is only
+/// bounded by the resident limit. A `u32` position both truncates on rings
+/// past 2^32 entries and collides real position `u32::MAX` with the
+/// sentinel; `usize` makes the sentinel unreachable (a `Vec` cannot hold
+/// `usize::MAX` elements).
+const NOT_RESIDENT: usize = usize::MAX;
 
 /// A CLOCK (second-chance) eviction policy over a bounded resident set.
 #[derive(Debug)]
@@ -24,7 +30,7 @@ pub struct ClockEvictor {
     /// Resident pages in ring order.
     ring: Vec<PageId>,
     /// Ring position of each page (dense, indexed by page number).
-    pos: Vec<u32>,
+    pos: Vec<usize>,
     /// Reference bit per page (dense).
     referenced: Vec<bool>,
     /// The clock hand.
@@ -71,7 +77,7 @@ impl ClockEvictor {
     pub fn on_install(&mut self, page: PageId) {
         let i = page.index() as usize;
         assert_eq!(self.pos[i], NOT_RESIDENT, "double install of {page}");
-        self.pos[i] = self.ring.len() as u32;
+        self.pos[i] = self.ring.len();
         self.ring.push(page);
         self.referenced[i] = true;
     }
@@ -114,7 +120,7 @@ impl ClockEvictor {
             self.ring.swap_remove(self.hand);
             self.pos[ci] = NOT_RESIDENT;
             if last != candidate {
-                self.pos[last.index() as usize] = self.hand as u32;
+                self.pos[last.index() as usize] = self.hand;
             }
             return candidate;
         }
@@ -128,7 +134,6 @@ impl ClockEvictor {
         if p == NOT_RESIDENT {
             return;
         }
-        let p = p as usize;
         let last = *self
             .ring
             .last()
@@ -136,7 +141,7 @@ impl ClockEvictor {
         self.ring.swap_remove(p);
         self.pos[i] = NOT_RESIDENT;
         if last != page {
-            self.pos[last.index() as usize] = p as u32;
+            self.pos[last.index() as usize] = p;
         }
     }
 
@@ -229,6 +234,52 @@ mod tests {
         }
         assert_eq!(victims.len(), 8, "all pages eventually evicted");
         assert_eq!(e.resident(), 0);
+    }
+
+    #[test]
+    fn ring_positions_are_not_truncated_to_u32() {
+        // Regression: positions were stored as `u32`, so a ring position at
+        // or past `u32::MAX` would truncate (and position `u32::MAX` itself
+        // collided with the not-resident sentinel, making a resident page
+        // invisible to `contains`/`remove`). Widened to `usize`, the
+        // sentinel is unreachable: no `Vec` can hold `usize::MAX` entries.
+        #[cfg(target_pointer_width = "64")]
+        {
+            assert!(
+                NOT_RESIDENT > u32::MAX as usize,
+                "sentinel must lie beyond any value the old u32 field could hold"
+            );
+        }
+        // The boundary itself (a 4 Gi-entry ring) is unallocatable in a
+        // test, so pin the invariant structurally: every tracked position
+        // round-trips exactly through install/evict/remove churn.
+        let mut e = ClockEvictor::new(512, 64);
+        for p in 0..64u64 {
+            e.on_install(PageId(p));
+        }
+        // Churn the ring so swap_remove rewrites positions many times.
+        for round in 0..6u64 {
+            for _ in 0..32 {
+                let v = e.evict(PageId(10_000));
+                assert!(!e.contains(v));
+                e.on_install(v);
+            }
+            for p in (round * 7) % 64..(round * 7) % 64 + 5 {
+                e.on_touch(PageId(p));
+            }
+        }
+        // Position consistency: pos[ring[k]] == k for every slot, and every
+        // page not on the ring reports the sentinel.
+        for (k, page) in e.ring.iter().enumerate() {
+            assert_eq!(e.pos[page.index() as usize], k, "stale position for {page}");
+        }
+        for p in 0..512u64 {
+            let on_ring = e.ring.contains(&PageId(p));
+            assert_eq!(e.contains(PageId(p)), on_ring);
+            if !on_ring {
+                assert_eq!(e.pos[p as usize], NOT_RESIDENT);
+            }
+        }
     }
 
     #[test]

@@ -146,6 +146,26 @@ pub struct MeasuredLink {
     pub capacity_bytes_per_sec: u64,
 }
 
+impl ampom_obs::MetricSource for MeasuredLink {
+    fn export_metrics(&self, reg: &mut ampom_obs::MetricsRegistry) {
+        reg.export_gauge(
+            "ampom_link_t0_seconds",
+            "Measured one-way latency (half the smoothed probe RTT)",
+            self.t0.as_secs_f64(),
+        );
+        reg.export_gauge(
+            "ampom_link_td_seconds",
+            "Measured transfer time of one page",
+            self.td.as_secs_f64(),
+        );
+        reg.export_gauge(
+            "ampom_link_capacity_bytes_per_sec",
+            "Effective goodput observed during the bulk calibration fetch",
+            self.capacity_bytes_per_sec as f64,
+        );
+    }
+}
+
 impl MeasuredLink {
     /// The [`LinkConfig`] that makes the simulator reproduce this
     /// measured link: capacity as observed, latency = measured `t0`.

@@ -1,0 +1,469 @@
+//! Minimal JSON writing and parsing.
+//!
+//! The workspace is dependency-free, so the JSONL emitted by the
+//! observability layer is hand-rolled here: a [`JsonWriter`] for building
+//! one object per line, and a small recursive-descent [`parse`] used by
+//! `hpcc-repro profile --json` to verify its own output and by tests.
+//! This is not a general JSON library — it covers the subset the repo
+//! emits (objects, arrays, strings, finite numbers, booleans, null).
+
+use std::fmt::Write as _;
+
+use ampom_sim::trace::TraceEvent;
+
+/// Escapes a string for inclusion in a JSON document (quotes included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Builds one JSON object incrementally.
+#[derive(Debug)]
+pub struct JsonWriter {
+    buf: String,
+    first: bool,
+}
+
+impl JsonWriter {
+    /// Starts an object.
+    pub fn object() -> Self {
+        JsonWriter {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, name: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push_str(&escape(name));
+        self.buf.push(':');
+    }
+
+    /// Adds a string field.
+    pub fn field_str(&mut self, name: &str, value: &str) {
+        self.key(name);
+        self.buf.push_str(&escape(value));
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn field_u64(&mut self, name: &str, value: u64) {
+        self.key(name);
+        let _ = write!(self.buf, "{value}");
+    }
+
+    /// Adds a float field; non-finite values are written as `null`.
+    pub fn field_f64(&mut self, name: &str, value: f64) {
+        self.key(name);
+        if value.is_finite() {
+            let _ = write!(self.buf, "{value}");
+        } else {
+            self.buf.push_str("null");
+        }
+    }
+
+    /// Adds a boolean field.
+    pub fn field_bool(&mut self, name: &str, value: bool) {
+        self.key(name);
+        self.buf.push_str(if value { "true" } else { "false" });
+    }
+
+    /// Adds a pre-rendered JSON value verbatim.
+    pub fn field_raw(&mut self, name: &str, value: &str) {
+        self.key(name);
+        self.buf.push_str(value);
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn close(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Renders one trace event as a `{"type":"event",...}` JSON object with
+/// only its populated payload fields.
+pub fn trace_event_json(e: &TraceEvent) -> String {
+    let mut w = JsonWriter::object();
+    w.field_str("type", "event");
+    w.field_u64("at_ns", e.at.as_nanos());
+    w.field_str("kind", e.kind.name());
+    let d = &e.data;
+    if let Some(v) = d.page {
+        w.field_u64("page", v);
+    }
+    if let Some(v) = d.pages {
+        w.field_u64("pages", v);
+    }
+    if let Some(v) = d.bytes {
+        w.field_u64("bytes", v);
+    }
+    if let Some(v) = d.zone {
+        w.field_u64("zone", v);
+    }
+    if let Some(v) = d.score {
+        w.field_f64("score", v);
+    }
+    if let Some(v) = d.raw {
+        w.field_f64("raw", v);
+    }
+    if let Some(v) = d.rate {
+        w.field_f64("rate", v);
+    }
+    if let Some(v) = d.rtt_ns {
+        w.field_u64("rtt_ns", v);
+    }
+    if let Some(v) = d.retry {
+        w.field_u64("retry", v);
+    }
+    if let Some(v) = &d.note {
+        w.field_str("note", v);
+    }
+    w.close()
+}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (parsed as `f64`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in source order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document, requiring it to span the full input.
+pub fn parse(text: &str) -> Result<JsonValue, String> {
+    let bytes = text.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("expected {word:?} at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|e| format!("bad number {text:?} at byte {start}: {e}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            // Surrogate pairs are not emitted by this repo;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {:?}", other.map(|c| c as char))),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so this
+                    // char boundary arithmetic is safe).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf-8 in string")?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(fields));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampom_sim::time::SimTime;
+    use ampom_sim::trace::{TraceData, TraceKind};
+
+    #[test]
+    fn writer_builds_valid_objects() {
+        let mut w = JsonWriter::object();
+        w.field_str("kind", "page-fault");
+        w.field_u64("page", 42);
+        w.field_f64("score", 0.25);
+        w.field_bool("clamped", false);
+        w.field_f64("bad", f64::NAN);
+        let text = w.close();
+        assert_eq!(
+            text,
+            r#"{"kind":"page-fault","page":42,"score":0.25,"clamped":false,"bad":null}"#
+        );
+        let v = parse(&text).unwrap();
+        assert_eq!(v.get("page").and_then(JsonValue::as_u64), Some(42));
+        assert_eq!(v.get("bad"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn escaping_round_trips() {
+        let nasty = "a\"b\\c\nd\te\u{1}f";
+        let mut w = JsonWriter::object();
+        w.field_str("s", nasty);
+        let v = parse(&w.close()).unwrap();
+        assert_eq!(v.get("s").and_then(JsonValue::as_str), Some(nasty));
+    }
+
+    #[test]
+    fn parser_handles_nesting_and_rejects_garbage() {
+        let v = parse(r#"{"a":[1,2.5,{"b":null}],"c":true}"#).unwrap();
+        match v.get("a") {
+            Some(JsonValue::Arr(items)) => {
+                assert_eq!(items.len(), 3);
+                assert_eq!(items[1].as_f64(), Some(2.5));
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{} extra").is_err());
+        assert!(parse(r#"{"x":01e}"#).is_err());
+    }
+
+    #[test]
+    fn trace_event_serializes_only_populated_fields() {
+        let e = TraceEvent {
+            at: SimTime::from_nanos(1500),
+            kind: TraceKind::ZoneAnalysis,
+            data: TraceData::page(7).with_zone(16).with_score(0.5),
+        };
+        let text = trace_event_json(&e);
+        let v = parse(&text).unwrap();
+        assert_eq!(
+            v.get("kind").and_then(JsonValue::as_str),
+            Some("zone-analysis")
+        );
+        assert_eq!(v.get("at_ns").and_then(JsonValue::as_u64), Some(1500));
+        assert_eq!(v.get("page").and_then(JsonValue::as_u64), Some(7));
+        assert_eq!(v.get("zone").and_then(JsonValue::as_u64), Some(16));
+        assert_eq!(v.get("score").and_then(JsonValue::as_f64), Some(0.5));
+        assert!(v.get("rate").is_none());
+        assert!(v.get("note").is_none());
+    }
+}

@@ -1,0 +1,32 @@
+//! # ampom-obs — unified observability layer
+//!
+//! The paper's evaluation (§5, Figures 5–11) is an exercise in time
+//! attribution: freeze cost, demand stalls, prefetch overlap, deputy
+//! service. This crate is the one place those observations flow through
+//! (see `DESIGN.md` §11):
+//!
+//! * [`registry`] — a counters/gauges/histograms [`MetricsRegistry`] with
+//!   named handles; every subsystem implements [`MetricSource`] and the
+//!   whole lot renders as a Prometheus-style text dump,
+//! * [`phase`] — [`PhaseBreakdown`], the per-phase simulated-time split
+//!   whose disjoint phases sum exactly to a run's total time,
+//! * [`json`] — dependency-free JSONL writing plus the small parser
+//!   `hpcc-repro profile` uses to verify its own output.
+//!
+//! ## Read-only by construction
+//!
+//! Observability here is pull-based and side-effect-free: runs accumulate
+//! plain counters exactly as they always have and export *after* the
+//! simulated clock has stopped. Nothing in this crate can advance
+//! simulated time, so run fingerprints are bit-identical with metrics and
+//! tracing on or off — a property pinned by `crates/core/tests/observability.rs`.
+
+pub mod json;
+pub mod phase;
+pub mod registry;
+
+pub use json::{parse, trace_event_json, JsonValue, JsonWriter};
+pub use phase::PhaseBreakdown;
+pub use registry::{
+    CounterHandle, GaugeHandle, Histogram, HistogramHandle, MetricSource, MetricsRegistry,
+};

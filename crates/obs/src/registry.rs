@@ -1,0 +1,348 @@
+//! A counters/gauges/histograms registry with named handles.
+//!
+//! Every subsystem that has something to report — the runner, the
+//! prefetcher, the reliability layer, the live deputy/migrant — implements
+//! [`MetricSource`] and exports into one shared [`MetricsRegistry`], which
+//! renders as a Prometheus-style text dump. Metric names follow
+//! `ampom_<subsystem>_<metric>[_<unit>]`: lowercase, underscore-separated,
+//! seconds for durations, totals as `_total` counters.
+//!
+//! The registry is pull-based: nothing in the simulation hot path touches
+//! it. Runs accumulate their counters in plain structs exactly as before
+//! and export once at the end, so enabling metrics cannot perturb a run.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Anything that can export its counters into a [`MetricsRegistry`].
+pub trait MetricSource {
+    /// Registers/updates this source's metrics in `reg`.
+    fn export_metrics(&self, reg: &mut MetricsRegistry);
+}
+
+/// Handle to a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterHandle(usize);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeHandle(usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramHandle(usize);
+
+/// A log2-bucketed histogram of non-negative integer observations.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Histogram {
+    /// `buckets[i]` counts observations whose bit length is `i`, i.e.
+    /// values in `[2^(i-1), 2^i - 1]` (index 0 holds exactly the zeros).
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&mut self, value: u64) {
+        let idx = (64 - value.leading_zeros()) as usize; // ceil(log2(v+1))
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Cumulative `(upper_bound, count)` pairs for rendering.
+    fn cumulative(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::with_capacity(self.buckets.len());
+        let mut acc = 0;
+        for (i, n) in self.buckets.iter().enumerate() {
+            acc += n;
+            // Bucket i holds values of bit length i, i.e. at most 2^i - 1.
+            let bound = if i >= 64 { u64::MAX } else { (1u64 << i) - 1 };
+            out.push((bound, acc));
+        }
+        out
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(Histogram),
+}
+
+#[derive(Debug, Clone)]
+struct Metric {
+    name: String,
+    help: String,
+    value: Value,
+}
+
+/// The shared registry.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: Vec<Metric>,
+    index: HashMap<String, usize>,
+}
+
+/// Panics on names outside the `ampom_snake_case` convention — a metric
+/// name is a programmer-chosen constant, so this is a programming error.
+fn check_name(name: &str) {
+    let ok = !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        && !name.starts_with(|c: char| c.is_ascii_digit());
+    assert!(ok, "invalid metric name {name:?}: use lowercase_snake_case");
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    fn register(&mut self, name: &str, help: &str, value: Value) -> usize {
+        check_name(name);
+        if let Some(&i) = self.index.get(name) {
+            let existing = &self.metrics[i].value;
+            let same_kind = matches!(
+                (existing, &value),
+                (Value::Counter(_), Value::Counter(_))
+                    | (Value::Gauge(_), Value::Gauge(_))
+                    | (Value::Histogram(_), Value::Histogram(_))
+            );
+            assert!(
+                same_kind,
+                "metric {name:?} re-registered as a different kind"
+            );
+            return i;
+        }
+        let i = self.metrics.len();
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            help: help.to_string(),
+            value,
+        });
+        self.index.insert(name.to_string(), i);
+        i
+    }
+
+    /// Registers (or finds) a counter and returns its handle.
+    pub fn counter(&mut self, name: &str, help: &str) -> CounterHandle {
+        CounterHandle(self.register(name, help, Value::Counter(0)))
+    }
+
+    /// Registers (or finds) a gauge and returns its handle.
+    pub fn gauge(&mut self, name: &str, help: &str) -> GaugeHandle {
+        GaugeHandle(self.register(name, help, Value::Gauge(0.0)))
+    }
+
+    /// Registers (or finds) a histogram and returns its handle.
+    pub fn histogram(&mut self, name: &str, help: &str) -> HistogramHandle {
+        HistogramHandle(self.register(name, help, Value::Histogram(Histogram::default())))
+    }
+
+    /// Increments a counter by `n`.
+    pub fn add(&mut self, h: CounterHandle, n: u64) {
+        match &mut self.metrics[h.0].value {
+            Value::Counter(v) => *v = v.saturating_add(n),
+            _ => unreachable!("counter handle points at a non-counter"),
+        }
+    }
+
+    /// Increments a counter by one.
+    pub fn inc(&mut self, h: CounterHandle) {
+        self.add(h, 1);
+    }
+
+    /// Sets a gauge.
+    pub fn set(&mut self, h: GaugeHandle, value: f64) {
+        match &mut self.metrics[h.0].value {
+            Value::Gauge(v) => *v = value,
+            _ => unreachable!("gauge handle points at a non-gauge"),
+        }
+    }
+
+    /// Records a histogram observation.
+    pub fn observe(&mut self, h: HistogramHandle, value: u64) {
+        match &mut self.metrics[h.0].value {
+            Value::Histogram(hist) => hist.observe(value),
+            _ => unreachable!("histogram handle points at a non-histogram"),
+        }
+    }
+
+    /// Convenience: register-and-add a counter in one call (the common
+    /// shape for end-of-run exports).
+    pub fn export_counter(&mut self, name: &str, help: &str, value: u64) {
+        let h = self.counter(name, help);
+        self.add(h, value);
+    }
+
+    /// Convenience: register-and-set a gauge in one call.
+    pub fn export_gauge(&mut self, name: &str, help: &str, value: f64) {
+        let h = self.gauge(name, help);
+        self.set(h, value);
+    }
+
+    /// Current value of a counter, if registered.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        match self.index.get(name).map(|&i| &self.metrics[i].value) {
+            Some(Value::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Current value of a gauge, if registered.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        match self.index.get(name).map(|&i| &self.metrics[i].value) {
+            Some(Value::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The histogram under `name`, if registered.
+    pub fn histogram_value(&self, name: &str) -> Option<&Histogram> {
+        match self.index.get(name).map(|&i| &self.metrics[i].value) {
+            Some(Value::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Renders every metric as Prometheus text exposition, sorted by name.
+    pub fn render_prometheus(&self) -> String {
+        let mut order: Vec<&Metric> = self.metrics.iter().collect();
+        order.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut out = String::new();
+        for m in order {
+            if !m.help.is_empty() {
+                let _ = writeln!(out, "# HELP {} {}", m.name, m.help);
+            }
+            match &m.value {
+                Value::Counter(v) => {
+                    let _ = writeln!(out, "# TYPE {} counter", m.name);
+                    let _ = writeln!(out, "{} {}", m.name, v);
+                }
+                Value::Gauge(v) => {
+                    let _ = writeln!(out, "# TYPE {} gauge", m.name);
+                    let _ = writeln!(out, "{} {}", m.name, fmt_f64(*v));
+                }
+                Value::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {} histogram", m.name);
+                    for (bound, cum) in h.cumulative() {
+                        let _ = writeln!(out, "{}_bucket{{le=\"{}\"}} {}", m.name, bound, cum);
+                    }
+                    let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", m.name, h.count());
+                    let _ = writeln!(out, "{}_sum {}", m.name, h.sum());
+                    let _ = writeln!(out, "{}_count {}", m.name, h.count());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Prometheus-friendly float formatting (no exponent for common values,
+/// `NaN`/`+Inf`/`-Inf` spelled the way scrapers expect).
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_register_and_accumulate() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("ampom_run_faults_total", "remote faults");
+        reg.inc(c);
+        reg.add(c, 4);
+        // Re-registering the same name returns the same handle.
+        let c2 = reg.counter("ampom_run_faults_total", "remote faults");
+        assert_eq!(c, c2);
+        reg.inc(c2);
+        let g = reg.gauge("ampom_run_total_seconds", "run length");
+        reg.set(g, 1.25);
+        assert_eq!(reg.counter_value("ampom_run_faults_total"), Some(6));
+        assert_eq!(reg.gauge_value("ampom_run_total_seconds"), Some(1.25));
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_log2() {
+        let mut reg = MetricsRegistry::new();
+        let h = reg.histogram("ampom_prefetch_zone_pages", "zone sizes");
+        for v in [0, 1, 2, 3, 16] {
+            reg.observe(h, v);
+        }
+        let hist = reg.histogram_value("ampom_prefetch_zone_pages").unwrap();
+        assert_eq!(hist.count(), 5);
+        assert_eq!(hist.sum(), 22);
+        let text = reg.render_prometheus();
+        assert!(text.contains("# TYPE ampom_prefetch_zone_pages histogram"));
+        assert!(text.contains("ampom_prefetch_zone_pages_bucket{le=\"+Inf\"} 5"));
+        assert!(text.contains("ampom_prefetch_zone_pages_sum 22"));
+    }
+
+    #[test]
+    fn prometheus_dump_is_sorted_and_typed() {
+        let mut reg = MetricsRegistry::new();
+        reg.export_gauge("ampom_z_last", "", 2.0);
+        reg.export_counter("ampom_a_first_total", "first", 7);
+        let text = reg.render_prometheus();
+        let a = text.find("ampom_a_first_total").unwrap();
+        let z = text.find("ampom_z_last").unwrap();
+        assert!(a < z, "metrics must be sorted by name:\n{text}");
+        assert!(text.contains("# HELP ampom_a_first_total first"));
+        assert!(text.contains("# TYPE ampom_a_first_total counter"));
+        assert!(text.contains("ampom_a_first_total 7"));
+        assert!(text.contains("ampom_z_last 2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn bad_names_are_rejected() {
+        MetricsRegistry::new().counter("Ampom-Bad Name", "");
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_is_rejected() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter("ampom_thing", "");
+        reg.gauge("ampom_thing", "");
+    }
+}

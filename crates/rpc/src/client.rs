@@ -352,6 +352,21 @@ impl MigrantClient {
     }
 }
 
+impl ampom_obs::MetricSource for MigrantClient {
+    fn export_metrics(&self, reg: &mut ampom_obs::MetricsRegistry) {
+        reg.export_counter(
+            "ampom_migrant_bytes_sent_total",
+            "Wire bytes written to the deputy",
+            self.bytes_sent,
+        );
+        reg.export_counter(
+            "ampom_migrant_bytes_received_total",
+            "Wire bytes read from the deputy",
+            self.bytes_received,
+        );
+    }
+}
+
 fn dial(endpoint: &Endpoint) -> Result<Stream, RpcError> {
     match endpoint {
         Endpoint::Tcp(addr) => {

@@ -48,7 +48,7 @@ use ampom_mem::space::AddressSpace;
 use ampom_mem::table::{PageLocation, PageTablePair};
 use ampom_net::calibration::{MeasuredLink, EAGER_PAGE_COST, MIGRATION_BASE_COST, MPT_ENTRY_COST};
 use ampom_sim::time::{SimDuration, SimTime};
-use ampom_sim::trace::{Trace, TraceKind};
+use ampom_sim::trace::{Trace, TraceData, TraceKind};
 use ampom_workloads::memref::Workload;
 
 use crate::calibrate::{calibrate_endpoint, CalibrateOptions};
@@ -124,7 +124,7 @@ pub struct LiveTransport {
     /// Mapped pages whose contents the origin still holds.
     origin: HashSet<PageId>,
     stats: FaultStats,
-    trace: Vec<(SimTime, TraceKind, String)>,
+    trace: Vec<(SimTime, TraceKind, TraceData)>,
     cached_deputy: DeputyStats,
     last_wraps: u64,
     /// Wall instant and byte mark at resume, for reply utilisation.
@@ -250,7 +250,7 @@ impl LiveTransport {
         self.trace.push((
             now,
             TraceKind::LiveReconnect,
-            format!("reconnected to {}", self.endpoint),
+            TraceData::note(format!("reconnected to {}", self.endpoint)),
         ));
         true
     }
@@ -279,7 +279,9 @@ impl LiveTransport {
         self.trace.push((
             now,
             TraceKind::PagesArrived,
-            format!("eager fallback: {} residual pages", remaining.len()),
+            TraceData::pages(remaining.len() as u64)
+                .with_bytes(remaining.len() as u64 * PAGE_SIZE)
+                .with_note("eager fallback: residual pages"),
         ));
         Ok(())
     }
@@ -314,7 +316,9 @@ impl Transport for LiveTransport {
         trace: &mut Trace,
     ) -> Result<FreezeOutcome, AmpomError> {
         let t0 = SimTime::ZERO;
-        trace.record(t0, TraceKind::FreezeBegin, format!("scheme={scheme} live"));
+        trace.record_with(t0, TraceKind::FreezeBegin, || {
+            TraceData::note(format!("scheme={scheme} live"))
+        });
 
         let mapped = pre.mapped_pages();
         let dirty = pre.dirty_pages();
@@ -331,14 +335,10 @@ impl Transport for LiveTransport {
             scheme_byte(scheme),
         )
         .map_err(AmpomError::from)?;
-        trace.record(
-            t0,
-            TraceKind::LiveConnect,
-            format!(
-                "{} (t0={}, td={})",
-                self.endpoint, self.measured.t0, self.measured.td
-            ),
-        );
+        trace.record_with(t0, TraceKind::LiveConnect, || {
+            TraceData::note(format!("{} (td={})", self.endpoint, self.measured.td))
+                .with_rtt_ns(self.measured.t0.saturating_mul(2).as_nanos())
+        });
 
         // What the scheme ships eagerly, plus the kernel/wire costs the
         // host cannot reproduce, charged with the calibrated constants.
@@ -396,16 +396,14 @@ impl Transport for LiveTransport {
         let freeze_time = MIGRATION_BASE_COST + kernel_cost + analytic_wire + wall_fetch;
         let resume_at = t0 + freeze_time;
         let bytes_at_freeze = ship.len() as u64 * PAGE_SIZE + mpt_bytes;
-        trace.record(
-            resume_at,
-            TraceKind::PagesArrived,
-            format!("{} pages over live wire", ship.len()),
-        );
-        trace.record(
-            resume_at,
-            TraceKind::FreezeEnd,
-            format!("freeze={freeze_time}"),
-        );
+        trace.record_with(resume_at, TraceKind::PagesArrived, || {
+            TraceData::pages(ship.len() as u64)
+                .with_bytes(bytes_at_freeze)
+                .with_note("over live wire")
+        });
+        trace.record_with(resume_at, TraceKind::FreezeEnd, || {
+            TraceData::note(format!("freeze={freeze_time}"))
+        });
 
         self.origin = mapped
             .iter()
@@ -494,7 +492,8 @@ impl Transport for LiveTransport {
                         self.trace.push((
                             now,
                             TraceKind::LiveRetry,
-                            format!("page {page} attempt {}", self.schedule.attempt()),
+                            TraceData::page(page.index())
+                                .with_retry(u64::from(self.schedule.attempt())),
                         ));
                         // A retry is a resend, nothing more — on a dead
                         // connection it burns budget (paced, not spun)
@@ -690,7 +689,7 @@ impl Transport for LiveTransport {
         self.stats
     }
 
-    fn drain_trace(&mut self) -> Vec<(SimTime, TraceKind, String)> {
+    fn drain_trace(&mut self) -> Vec<(SimTime, TraceKind, TraceData)> {
         self.refresh_deputy_stats();
         std::mem::take(&mut self.trace)
     }
@@ -730,7 +729,8 @@ pub(crate) fn fetch_all(client: &mut MigrantClient, pages: &[PageId]) -> Result<
     let mut dupes = 0u64;
     for batch in pages.chunks(FETCH_BATCH) {
         client.send_request(None, batch)?;
-        let mut missing: HashSet<PageId> = batch.iter().copied().collect();
+        let batch_set: HashSet<PageId> = batch.iter().copied().collect();
+        let mut missing = batch_set.clone();
         let deadline = Instant::now() + FETCH_TIMEOUT;
         while !missing.is_empty() {
             let remaining = deadline.saturating_duration_since(Instant::now());
@@ -741,9 +741,20 @@ pub(crate) fn fetch_all(client: &mut MigrantClient, pages: &[PageId]) -> Result<
                             "payload for page {page} is corrupt"
                         )));
                     }
-                    if !missing.remove(&page) {
+                    if missing.remove(&page) {
+                        // First delivery for this batch.
+                    } else if batch_set.contains(&page) {
+                        // A resend raced its original; the extra copy of
+                        // a batch page is a genuine duplicate.
                         dupes += 1;
                     }
+                    // Replies to requests abandoned *before* this bulk
+                    // fetch (in-flight pages at fallback time) are
+                    // strays, not duplicates: the simulated fallback
+                    // clears its in-flight set and counts nothing, and
+                    // counting them here double-counted a reply that
+                    // note_reply had already suppressed or that was
+                    // never a duplicate at all.
                 }
                 Some(Frame::Error { code, detail }) => {
                     return Err(RpcError::Protocol(format!("deputy error {code}: {detail}")))
@@ -786,4 +797,107 @@ fn sim_duration(d: Duration) -> SimDuration {
 /// Maps a virtual duration onto the wall clock, 1:1.
 fn wall_duration(d: SimDuration) -> Duration {
     Duration::from_nanos(d.as_nanos())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{DeputyServer, ServerConfig};
+
+    /// A transport with every connection-independent field defaulted, for
+    /// exercising `note_reply` without a socket.
+    fn offline_transport() -> LiveTransport {
+        let measured = MeasuredLink {
+            t0: SimDuration::from_micros(50),
+            td: SimDuration::from_micros(300),
+            capacity_bytes_per_sec: 12_000_000,
+        };
+        let schedule = RetrySchedule::new(
+            RetryPolicy::default(),
+            FailurePolicy::StallReconnect,
+            MIN_BASE_TIMEOUT,
+        );
+        LiveTransport {
+            endpoint: Endpoint::tcp("127.0.0.1:1"),
+            schedule,
+            measured,
+            client: None,
+            dead: false,
+            in_flight: HashSet::new(),
+            staged: HashSet::new(),
+            origin: HashSet::new(),
+            stats: FaultStats::default(),
+            trace: Vec::new(),
+            cached_deputy: DeputyStats::default(),
+            last_wraps: 0,
+            run_epoch: None,
+        }
+    }
+
+    fn payload(page: PageId) -> Vec<u8> {
+        let mut data = vec![0u8; PAGE_SIZE as usize];
+        data[..8].copy_from_slice(&page.0.to_be_bytes());
+        data
+    }
+
+    /// Cross-transport identity (with
+    /// `one_reply_delivered_twice_counts_one_duplicate` in
+    /// `ampom_core::reliability`): one reply delivered twice counts
+    /// exactly one duplicate.
+    #[test]
+    fn note_reply_counts_a_resent_copy_exactly_once() {
+        let mut t = offline_transport();
+        let page = PageId(9);
+        t.in_flight.insert(page);
+        let data = payload(page);
+        t.note_reply(page, &data).unwrap();
+        assert!(t.staged.contains(&page));
+        assert_eq!(t.stats.duplicate_replies, 0, "first copy is not a dupe");
+        t.note_reply(page, &data).unwrap();
+        assert_eq!(t.stats.duplicate_replies, 1, "the resent copy is one dupe");
+        assert_eq!(t.staged.len(), 1, "staging stays idempotent");
+    }
+
+    #[test]
+    fn note_reply_rejects_corrupt_payload() {
+        let mut t = offline_transport();
+        let page = PageId(3);
+        t.in_flight.insert(page);
+        let mut data = payload(page);
+        data[0] ^= 0xff;
+        assert!(t.note_reply(page, &data).is_err());
+    }
+
+    /// Regression for the bulk-fetch duplicate audit: a stray reply to a
+    /// request abandoned *before* the bulk fetch must not be booked as a
+    /// duplicate (the simulated fallback clears its in-flight set and
+    /// books nothing), while a batch page delivered twice still counts
+    /// exactly once.
+    #[test]
+    fn bulk_fetch_ignores_strays_and_counts_batch_resends_once() {
+        let server = DeputyServer::bind_tcp("127.0.0.1:0", ServerConfig::default()).expect("bind");
+        let endpoint = Endpoint::tcp(server.local_addr());
+        let mut client =
+            MigrantClient::connect(endpoint, 64, scheme_byte(Scheme::Ampom)).expect("connect");
+
+        // An abandoned request: page 7's reply will sit in the socket when
+        // the bulk fetch starts (FIFO ordering makes it arrive first).
+        client.send_request(Some(PageId(7)), &[]).expect("send");
+        let stray_only = fetch_all(&mut client, &[PageId(10), PageId(11)]).expect("fetch");
+        assert_eq!(
+            stray_only, 0,
+            "a stray from an abandoned request is not a duplicate"
+        );
+
+        // A batch page requested twice (pre-request + the fetch's own
+        // request): two replies for page 20 on the wire. The second batch
+        // page keeps the receive loop alive past the first copy, so the
+        // resent copy is observed and counted exactly once.
+        client.send_request(Some(PageId(20)), &[]).expect("send");
+        let resent = fetch_all(&mut client, &[PageId(20), PageId(21)]).expect("fetch");
+        assert_eq!(resent, 1, "the extra copy of a batch page counts once");
+
+        drop(client);
+        server.shutdown();
+    }
 }

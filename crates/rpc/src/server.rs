@@ -76,6 +76,46 @@ pub struct ServerStats {
     pub queued_connections: u64,
 }
 
+impl ampom_obs::MetricSource for ServerStats {
+    fn export_metrics(&self, reg: &mut ampom_obs::MetricsRegistry) {
+        reg.export_counter(
+            "ampom_deputy_server_connections_total",
+            "Connections accepted",
+            self.connections,
+        );
+        reg.export_counter(
+            "ampom_deputy_server_requests_served_total",
+            "Request frames answered (demand + prefetch batches)",
+            self.requests_served,
+        );
+        reg.export_counter(
+            "ampom_deputy_server_pages_served_total",
+            "Page replies written",
+            self.pages_served,
+        );
+        reg.export_counter(
+            "ampom_deputy_server_syscalls_served_total",
+            "Forwarded system calls answered",
+            self.syscalls_served,
+        );
+        reg.export_counter(
+            "ampom_deputy_server_pings_served_total",
+            "Ping probes answered",
+            self.pings_served,
+        );
+        reg.export_counter(
+            "ampom_deputy_server_dropped_connections_total",
+            "Connections the fault injector dropped",
+            self.dropped_connections,
+        );
+        reg.export_counter(
+            "ampom_deputy_server_queued_connections_total",
+            "Requests arriving while every worker was busy",
+            self.queued_connections,
+        );
+    }
+}
+
 #[derive(Debug, Default)]
 struct SharedStats {
     connections: AtomicU64,

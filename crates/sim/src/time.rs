@@ -116,6 +116,13 @@ impl SimDuration {
         SimDuration(self.0.saturating_mul(factor))
     }
 
+    /// Difference of two durations, clamping to zero. For subtracting a
+    /// component that is nominally a subset of a measured whole but may
+    /// exceed it by wall-clock rounding on the live transport.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
     /// The larger of two durations.
     pub fn max(self, other: SimDuration) -> SimDuration {
         SimDuration(self.0.max(other.0))

@@ -3,5 +3,6 @@ pub use ampom_cluster as cluster;
 pub use ampom_core as core;
 pub use ampom_mem as mem;
 pub use ampom_net as net;
+pub use ampom_obs as obs;
 pub use ampom_sim as sim;
 pub use ampom_workloads as workloads;
