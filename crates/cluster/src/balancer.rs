@@ -24,6 +24,26 @@ impl MigrationModel {
     pub fn slowdown(&self) -> f64 {
         post_migration_slowdown(self.scheme)
     }
+
+    /// Remote-paging tax when the job's home deputy concurrently serves
+    /// `migrants` away-jobs: the flat tax scaled by
+    /// [`contention_factor`].
+    pub fn slowdown_shared(&self, migrants: u32, solo_saturation: f64) -> f64 {
+        self.slowdown() * contention_factor(solo_saturation, migrants)
+    }
+}
+
+/// How much deputy sharing stretches remote paging.
+///
+/// A solo migrant keeps its home deputy busy for `solo_saturation` of
+/// its runtime (measured by the multi-migrant sweep: saturation grows
+/// linearly in the migrant count until the service capacity is
+/// exhausted). While `n * solo_saturation <= 1` the deputy still has
+/// headroom and each migrant is served at full speed; past that point
+/// the shared capacity divides, and every page wait stretches by the
+/// overload ratio.
+pub fn contention_factor(solo_saturation: f64, migrants: u32) -> f64 {
+    (f64::from(migrants) * solo_saturation.clamp(0.0, 1.0)).max(1.0)
 }
 
 /// Minimum believed load gap before any policy considers migrating: with
@@ -151,6 +171,24 @@ mod tests {
         // With nothing old enough, decline.
         let young = vec![job(1, 9, 100)];
         assert_eq!(policy.pick_migrant(&young, now, 3.0), None);
+    }
+
+    #[test]
+    fn contention_kicks_in_only_past_deputy_capacity() {
+        // Headroom: 4 migrants at 10% solo saturation still fit.
+        assert_eq!(contention_factor(0.1, 1), 1.0);
+        assert_eq!(contention_factor(0.1, 4), 1.0);
+        // Overload: 20 migrants want 2x the deputy; paging halves.
+        assert!((contention_factor(0.1, 20) - 2.0).abs() < 1e-12);
+        // Degenerate inputs stay sane.
+        assert_eq!(contention_factor(-1.0, 50), 1.0);
+        assert_eq!(contention_factor(2.0, 3), 3.0);
+
+        let ampom = MigrationModel {
+            scheme: Scheme::Ampom,
+        };
+        assert_eq!(ampom.slowdown_shared(1, 0.1), ampom.slowdown());
+        assert!((ampom.slowdown_shared(30, 0.1) - ampom.slowdown() * 3.0).abs() < 1e-12);
     }
 
     #[test]

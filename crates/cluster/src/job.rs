@@ -25,6 +25,10 @@ pub struct Job {
     /// off this; openMosix likewise requires a minimum residency before a
     /// process is eligible to move again).
     pub last_migrated: Option<SimTime>,
+    /// The node the job first migrated away from. In the openMosix home
+    /// model a migrated process keeps paging through its home node's
+    /// deputy, so every away-job loads that node's shared page service.
+    pub home: Option<usize>,
 }
 
 impl Job {
@@ -38,6 +42,7 @@ impl Job {
             memory_mb,
             migrations: 0,
             last_migrated: None,
+            home: None,
         }
     }
 

@@ -55,6 +55,11 @@ pub struct ClusterConfig {
     /// capacity (a 300-port Fast Ethernet switch has a finite backplane).
     /// Every migration payload also serializes through the fabric.
     pub fabric_capacity_links: u64,
+    /// Fraction of a home deputy one solo migrant keeps busy (the
+    /// multi-migrant sweep's saturation at N=1). The remote-paging tax
+    /// scales by [`crate::balancer::contention_factor`] once a home
+    /// node's away-jobs collectively exceed its deputy capacity.
+    pub deputy_solo_saturation: f64,
     /// RNG seed.
     pub seed: u64,
 }
@@ -74,6 +79,9 @@ impl ClusterConfig {
             gossip: GossipConfig::default(),
             network: fast_ethernet(),
             fabric_capacity_links: 8,
+            // The multisweep's measured solo saturation for a paging-heavy
+            // kernel on Fast Ethernet is ~0.1; see DESIGN.md §12.
+            deputy_solo_saturation: 0.1,
             seed: 0xC1u64,
         }
     }
@@ -104,6 +112,10 @@ struct NodeState {
     uplink: Link,
     /// Inbound link: migration payloads arrive through here.
     downlink: Link,
+    /// Jobs currently running elsewhere whose home deputy this node is:
+    /// they share its page service, so their count sets the contention
+    /// factor of the paging tax.
+    away: u32,
 }
 
 /// Bytes a migration moves during its freeze, per scheme.
@@ -154,6 +166,7 @@ pub fn simulate(cfg: &ClusterConfig) -> ClusterOutcome {
             arriving: Vec::new(),
             uplink: Link::new(cfg.network),
             downlink: Link::new(cfg.network),
+            away: 0,
         })
         .collect();
     let mut fabric = Link::new(LinkConfig {
@@ -231,10 +244,26 @@ pub fn simulate(cfg: &ClusterConfig) -> ClusterOutcome {
                 migrations += 1;
                 job.migrations += 1;
                 job.last_migrated = Some(thaw);
-                // The remote-paging tax inflates the remaining work.
-                job.remaining = SimDuration::from_secs_f64(
-                    job.remaining.as_secs_f64() * (1.0 + model.slowdown()),
-                );
+                // Home-deputy accounting: the first move fixes the home;
+                // later moves only change the away set when they cross
+                // the home boundary.
+                let home = *job.home.get_or_insert(i);
+                let was_away = i != home;
+                let now_away = target != home;
+                match (was_away, now_away) {
+                    (false, true) => nodes[home].away += 1,
+                    (true, false) => nodes[home].away = nodes[home].away.saturating_sub(1),
+                    _ => {}
+                }
+                // The remote-paging tax inflates the remaining work,
+                // stretched by how many migrants share the home deputy.
+                // A job migrating *back home* pages locally: no tax.
+                if now_away {
+                    let tax =
+                        model.slowdown_shared(nodes[home].away.max(1), cfg.deputy_solo_saturation);
+                    job.remaining =
+                        SimDuration::from_secs_f64(job.remaining.as_secs_f64() * (1.0 + tax));
+                }
                 nodes[target].arriving.push((thaw, job));
                 // Pessimistically bump the local belief about the target
                 // so consecutive decisions do not herd onto one node.
@@ -249,7 +278,8 @@ pub fn simulate(cfg: &ClusterConfig) -> ClusterOutcome {
         }
 
         // 5. Execute one tick of processor sharing per node.
-        for node in nodes.iter_mut() {
+        let mut freed_homes: Vec<usize> = Vec::new();
+        for (at, node) in nodes.iter_mut().enumerate() {
             if node.queue.is_empty() {
                 continue;
             }
@@ -261,6 +291,12 @@ pub fn simulate(cfg: &ClusterConfig) -> ClusterOutcome {
             let done: Vec<Job> = node.queue.iter().filter(|j| j.is_done()).cloned().collect();
             node.queue.retain(|j| !j.is_done());
             for j in done {
+                // A finished away-job releases its home deputy share.
+                if let Some(home) = j.home {
+                    if home != at {
+                        freed_homes.push(home);
+                    }
+                }
                 completions.push(Completion {
                     id: j.id,
                     turnaround: (now + tick).saturating_since(j.arrived),
@@ -268,6 +304,9 @@ pub fn simulate(cfg: &ClusterConfig) -> ClusterOutcome {
                     migrations: j.migrations,
                 });
             }
+        }
+        for home in freed_homes {
+            nodes[home].away = nodes[home].away.saturating_sub(1);
         }
 
         // 6. Balance-quality sample.
@@ -401,6 +440,28 @@ mod tests {
         assert!(
             avg_freeze > solo,
             "contended {avg_freeze:.1}s vs uncontended {solo:.1}s"
+        );
+    }
+
+    #[test]
+    fn deputy_contention_taxes_crowded_homes() {
+        // Same schedule, same decisions — only the deputy-sharing model
+        // differs. A saturating deputy (every solo migrant uses its full
+        // service capacity) must make away-jobs strictly slower than an
+        // idle one (contention factor pinned at 1).
+        let run = |solo_saturation| {
+            let mut cfg = ClusterConfig::standard(BalancePolicy::Aggressive, Scheme::Ampom);
+            cfg.deputy_solo_saturation = solo_saturation;
+            simulate(&cfg)
+        };
+        let idle = run(0.0);
+        let crowded = run(1.0);
+        assert!(idle.migrations > 0);
+        assert!(
+            crowded.slowdown.mean() > idle.slowdown.mean(),
+            "crowded homes {:.3} must exceed idle deputies {:.3}",
+            crowded.slowdown.mean(),
+            idle.slowdown.mean()
         );
     }
 

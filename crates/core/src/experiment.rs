@@ -40,6 +40,7 @@ use ampom_workloads::synthetic::{Interleaved, Scripted, Sequential, Strided, Uni
 use crate::error::AmpomError;
 use crate::metrics::RunReport;
 use crate::migration::Scheme;
+use crate::multirun::{MultiRunReport, MultiRunSpec};
 use crate::prefetcher::AmpomConfig;
 use crate::reliability::{FailurePolicy, FaultProfile};
 use crate::runner::{try_run_workload, CrossTrafficSpec, RunConfig, SyscallProfile};
@@ -437,6 +438,19 @@ impl Experiment {
             ));
         }
         try_run_workload(workload, &self.cfg)
+    }
+
+    /// Runs `n` concurrent copies of the workload against one shared
+    /// deputy ([`crate::multirun::run_multi`]). Migrant 0 is seeded
+    /// exactly like repeat 0 of the single-migrant run, so
+    /// `run_multi(1)` reproduces [`Experiment::run`] bit-identically;
+    /// later migrants fork their workload seed deterministically.
+    pub fn run_multi(&self, n: u32) -> Result<MultiRunReport, AmpomError> {
+        self.validate()?;
+        let spec = self.workload.as_ref().ok_or(AmpomError::MissingWorkload)?;
+        let multi =
+            MultiRunSpec::homogeneous(self.cfg.clone(), spec.clone(), self.seed_for_repeat(0), n);
+        crate::multirun::run_multi(&multi)
     }
 }
 

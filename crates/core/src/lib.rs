@@ -93,6 +93,7 @@ pub mod experiment;
 pub mod metrics;
 pub mod migration;
 pub mod monitor;
+pub mod multirun;
 pub mod prefetcher;
 pub mod reliability;
 pub mod remigration;
@@ -110,6 +111,7 @@ pub use error::AmpomError;
 pub use experiment::{Experiment, WorkloadSpec};
 pub use metrics::RunReport;
 pub use migration::Scheme;
+pub use multirun::{run_multi, MigrantSpec, MultiRunReport, MultiRunSpec};
 pub use prefetcher::{AmpomConfig, AmpomPrefetcher};
 pub use reliability::{FailurePolicy, FaultProfile, RetryPolicy, RetrySchedule, RetryStep};
 pub use runner::{run_workload, try_run_workload, RunConfig};

@@ -34,6 +34,7 @@ use crate::error::AmpomError;
 use crate::experiment::{Experiment, WorkloadSpec};
 use crate::metrics::RunReport;
 use crate::migration::Scheme;
+use crate::multirun::MultiRunReport;
 use crate::prefetcher::AmpomConfig;
 use crate::reliability::FaultProfile;
 use crate::runner::CrossTrafficSpec;
@@ -158,6 +159,7 @@ pub struct SweepSpec {
     links: Vec<LinkAxis>,
     cross: Vec<CrossAxis>,
     faults: Vec<FaultAxis>,
+    migrants: Vec<u32>,
     repeats: u32,
     threads: Option<usize>,
     seed_mode: SeedMode,
@@ -184,6 +186,7 @@ impl SweepSpec {
             )],
             cross: vec![("quiet".into(), None)],
             faults: vec![("no-faults".into(), None)],
+            migrants: vec![1],
             repeats: 1,
             threads: None,
             seed_mode: SeedMode::Grid { base_seed: 0x5EED },
@@ -241,6 +244,16 @@ impl SweepSpec {
         self
     }
 
+    /// Replaces the concurrent-migrant axis (default `[1]`, the classic
+    /// single-migrant grid). An entry `n > 1` runs its cells as
+    /// n-migrant multi-runs over one shared, sharded deputy
+    /// ([`crate::multirun::run_multi`]), reporting per-migrant results
+    /// plus fairness and saturation metrics.
+    pub fn migrants(mut self, counts: impl Into<Vec<u32>>) -> Self {
+        self.migrants = counts.into();
+        self
+    }
+
     /// Repeats per cell (confidence intervals need ≥ 2).
     pub fn repeats(mut self, n: u32) -> Self {
         self.repeats = n;
@@ -279,10 +292,21 @@ impl SweepSpec {
             ("links", self.links.is_empty()),
             ("cross_traffic", self.cross.is_empty()),
             ("faults", self.faults.is_empty()),
+            ("migrants", self.migrants.is_empty()),
         ] {
             if empty {
                 return Err(AmpomError::EmptySweep(axis.into()));
             }
+        }
+        if self.migrants.contains(&0) {
+            return Err(AmpomError::InvalidConfig(
+                "migrants axis entries must be at least 1".into(),
+            ));
+        }
+        if self.migrants.iter().any(|&m| m > 1) && self.faults.iter().any(|(_, p)| p.is_some()) {
+            return Err(AmpomError::InvalidConfig(
+                "multi-migrant cells do not support fault injection".into(),
+            ));
         }
         if self.repeats == 0 {
             return Err(AmpomError::InvalidConfig(
@@ -321,6 +345,7 @@ impl SweepSpec {
             * self.links.len()
             * self.cross.len()
             * self.faults.len()
+            * self.migrants.len()
             * self.schemes.len()
     }
 
@@ -341,34 +366,38 @@ impl SweepSpec {
     }
 
     /// Enumerates the grid in deterministic (workload, link, cross,
-    /// faults, scheme) order as ready-to-run experiments, one per cell.
+    /// faults, migrants, scheme) order as ready-to-run experiments, one
+    /// per cell.
     fn cells(&self) -> Vec<CellCoord> {
         let mut out = Vec::with_capacity(self.cell_count());
         for (w_idx, spec) in self.workloads.iter().enumerate() {
             for (link_label, link) in &self.links {
                 for (cross_label, cross) in &self.cross {
                     for (fault_label, faults) in &self.faults {
-                        for &scheme in &self.schemes {
-                            let mut exp = Experiment::new(scheme)
-                                .workload(spec.clone())
-                                .link(*link)
-                                .ampom(self.ampom.clone())
-                                .repeats(self.repeats);
-                            if let Some(ct) = cross {
-                                exp = exp.cross_traffic(*ct);
+                        for &migrants in &self.migrants {
+                            for &scheme in &self.schemes {
+                                let mut exp = Experiment::new(scheme)
+                                    .workload(spec.clone())
+                                    .link(*link)
+                                    .ampom(self.ampom.clone())
+                                    .repeats(self.repeats);
+                                if let Some(ct) = cross {
+                                    exp = exp.cross_traffic(*ct);
+                                }
+                                if let Some(profile) = faults {
+                                    exp = exp.faults(profile.clone());
+                                }
+                                out.push(CellCoord {
+                                    scheme,
+                                    workload: spec.label(),
+                                    workload_idx: w_idx,
+                                    link: link_label.clone(),
+                                    cross: cross_label.clone(),
+                                    faults: fault_label.clone(),
+                                    migrants,
+                                    exp,
+                                });
                             }
-                            if let Some(profile) = faults {
-                                exp = exp.faults(profile.clone());
-                            }
-                            out.push(CellCoord {
-                                scheme,
-                                workload: spec.label(),
-                                workload_idx: w_idx,
-                                link: link_label.clone(),
-                                cross: cross_label.clone(),
-                                faults: fault_label.clone(),
-                                exp,
-                            });
                         }
                     }
                 }
@@ -388,7 +417,7 @@ impl SweepSpec {
         self.validate()?;
         let cells = self.cells();
         let jobs = self.jobs(&cells);
-        let results: Vec<Result<RunReport, AmpomError>> = jobs
+        let results: Vec<Result<JobOutcome, AmpomError>> = jobs
             .into_iter()
             .map(|job| self.execute(&cells, job))
             .collect();
@@ -437,19 +466,33 @@ impl SweepSpec {
         jobs
     }
 
-    fn execute(&self, cells: &[CellCoord], job: Job) -> Result<RunReport, AmpomError> {
+    fn execute(&self, cells: &[CellCoord], job: Job) -> Result<JobOutcome, AmpomError> {
         let cell = &cells[job.cell_idx];
         let seed = self.seed_for(cell.workload_idx, job.repeat);
         // The coordinate seed covers both the workload build and the
         // run's stochastic elements; `run_repeat` would re-derive from
-        // the repeat index, so pin the final seed directly.
-        cell.exp.clone().seed(seed).run()
+        // the repeat index, so pin the final seed directly. The seed
+        // deliberately ignores the migrants axis: an N-migrant cell's
+        // migrant 0 replays the N=1 cell's exact stream, which is what
+        // per-migrant slowdown comparisons need.
+        let exp = cell.exp.clone().seed(seed);
+        if cell.migrants <= 1 {
+            return Ok(JobOutcome {
+                reports: vec![exp.run()?],
+                multi: None,
+            });
+        }
+        let multi = exp.run_multi(cell.migrants)?;
+        Ok(JobOutcome {
+            multi: Some(MultiRunMetrics::from_report(&multi)),
+            reports: multi.reports,
+        })
     }
 
     fn assemble(
         &self,
         cells: Vec<CellCoord>,
-        results: Vec<Result<RunReport, AmpomError>>,
+        results: Vec<Result<JobOutcome, AmpomError>>,
         threads_used: usize,
     ) -> Result<SweepReport, AmpomError> {
         let repeats = self.repeats as usize;
@@ -457,8 +500,11 @@ impl SweepSpec {
         let mut out = Vec::with_capacity(cells.len());
         for cell in cells {
             let mut reports = Vec::with_capacity(repeats);
+            let mut multi = Vec::new();
             for _ in 0..repeats {
-                reports.push(iter.next().expect("one result per job")?);
+                let outcome = iter.next().expect("one result per job")?;
+                reports.extend(outcome.reports);
+                multi.extend(outcome.multi);
             }
             let summary = CellSummary::from_reports(&reports);
             out.push(SweepCell {
@@ -467,7 +513,9 @@ impl SweepSpec {
                 link: cell.link,
                 cross: cell.cross,
                 faults: cell.faults,
+                migrants: cell.migrants,
                 reports,
+                multi,
                 summary,
             });
         }
@@ -476,6 +524,37 @@ impl SweepSpec {
             threads_used,
             repeats: self.repeats,
         })
+    }
+}
+
+/// What one job produced: a single report for classic cells, the
+/// per-migrant reports plus run-level metrics for multi-migrant cells.
+struct JobOutcome {
+    reports: Vec<RunReport>,
+    multi: Option<MultiRunMetrics>,
+}
+
+/// Run-level metrics of one multi-migrant run (one per repeat).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiRunMetrics {
+    /// Max/min per-migrant service share (1.0 = perfectly fair).
+    pub fairness_ratio: f64,
+    /// Fraction of the makespan the shared deputy spent busy.
+    pub saturation: f64,
+    /// Slowest migrant's total time, seconds.
+    pub makespan_s: f64,
+    /// Demand/prefetch requests absorbed by coalescing, all migrants.
+    pub pages_coalesced: u64,
+}
+
+impl MultiRunMetrics {
+    fn from_report(report: &MultiRunReport) -> Self {
+        MultiRunMetrics {
+            fairness_ratio: report.fairness_ratio(),
+            saturation: report.saturation(),
+            makespan_s: report.makespan.as_secs_f64(),
+            pages_coalesced: report.pages_coalesced.iter().sum(),
+        }
     }
 }
 
@@ -488,6 +567,7 @@ struct CellCoord {
     link: String,
     cross: String,
     faults: String,
+    migrants: u32,
     exp: Experiment,
 }
 
@@ -601,10 +681,28 @@ pub struct SweepCell {
     pub cross: String,
     /// Fault-axis label (`"no-faults"` on the default axis).
     pub faults: String,
-    /// Every repeat's full report, in repeat order.
+    /// Concurrent migrants in this cell (1 = classic single run).
+    pub migrants: u32,
+    /// Every run's full report: repeat-major, then migrant shard order
+    /// within a repeat (`repeats × migrants` entries).
     pub reports: Vec<RunReport>,
-    /// Aggregates over the repeats.
+    /// Run-level multi-migrant metrics, one per repeat; empty for
+    /// single-migrant cells.
+    pub multi: Vec<MultiRunMetrics>,
+    /// Aggregates over every run in the cell.
     pub summary: CellSummary,
+}
+
+impl SweepCell {
+    /// Display label: the workload label, suffixed `xN` for
+    /// multi-migrant cells.
+    pub fn label(&self) -> String {
+        if self.migrants > 1 {
+            format!("{} x{}", self.workload, self.migrants)
+        } else {
+            self.workload.clone()
+        }
+    }
 }
 
 /// The result of a completed sweep.
@@ -820,6 +918,85 @@ mod tests {
         let err = small_spec().schemes(Vec::new()).run().unwrap_err();
         assert_eq!(err, AmpomError::EmptySweep("schemes".into()));
         let err = small_spec().repeats(0).run().unwrap_err();
+        assert!(matches!(err, AmpomError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn default_migrants_axis_changes_nothing() {
+        let base = small_spec().fixed_seed(7);
+        let explicit = base.clone().migrants([1]);
+        assert_eq!(base.cell_count(), explicit.cell_count());
+        assert_eq!(
+            base.run().unwrap().fingerprint(),
+            explicit.run().unwrap().fingerprint(),
+            "an explicit [1] migrants axis must be byte-identical to the default"
+        );
+    }
+
+    #[test]
+    fn migrants_axis_multiplies_the_grid_with_fair_multi_cells() {
+        let report = SweepSpec::new()
+            .workload(WorkloadSpec::Sequential {
+                pages: 128,
+                cpu: CPU,
+            })
+            .migrants([1, 2])
+            .threads(2)
+            .run()
+            .unwrap();
+        // 1 workload × 1 link × 1 cross × 1 fault × 2 migrants × 3 schemes.
+        assert_eq!(report.cells.len(), 6);
+        let single = report.find(Scheme::Ampom, "Sequential(128)").unwrap();
+        assert_eq!(single.migrants, 1);
+        assert_eq!(single.reports.len(), 1);
+        assert!(single.multi.is_empty());
+        assert_eq!(single.label(), "Sequential(128)");
+        let multi = report
+            .cells
+            .iter()
+            .find(|c| c.scheme == Scheme::Ampom && c.migrants == 2)
+            .unwrap();
+        assert_eq!(multi.reports.len(), 2, "one report per migrant");
+        assert_eq!(multi.label(), "Sequential(128) x2");
+        let m = multi.multi[0];
+        assert!(m.fairness_ratio >= 1.0);
+        assert!((0.0..=1.0).contains(&m.saturation));
+        assert!(m.makespan_s > 0.0);
+        // Migrant 0 of the multi cell replays the N=1 cell's stream, so
+        // it slows down (or ties) but never speeds up under contention.
+        assert!(multi.reports[0].total_time >= single.reports[0].total_time);
+    }
+
+    #[test]
+    fn multi_migrant_sweeps_are_deterministic_across_threads() {
+        let spec = SweepSpec::new()
+            .workload(WorkloadSpec::Sequential {
+                pages: 96,
+                cpu: CPU,
+            })
+            .schemes([Scheme::NoPrefetch, Scheme::Ampom])
+            .migrants([1, 3])
+            .repeats(2)
+            .threads(4);
+        let parallel = spec.run().unwrap();
+        let serial = spec.run_serial().unwrap();
+        assert_eq!(parallel.fingerprint(), serial.fingerprint());
+    }
+
+    #[test]
+    fn invalid_migrants_axes_are_typed_errors() {
+        let err = small_spec().migrants(Vec::new()).run().unwrap_err();
+        assert_eq!(err, AmpomError::EmptySweep("migrants".into()));
+        let err = small_spec().migrants([0]).run().unwrap_err();
+        assert!(matches!(err, AmpomError::InvalidConfig(_)));
+        let err = small_spec()
+            .migrants([2])
+            .fault_axis(vec![(
+                "loss".to_string(),
+                Some(crate::reliability::FaultProfile::lossy(0.05)),
+            )])
+            .run()
+            .unwrap_err();
         assert!(matches!(err, AmpomError::InvalidConfig(_)));
     }
 

@@ -259,7 +259,7 @@ impl Transport for SimulatedTransport {
 }
 
 /// Checks `cfg` for knobs the generic transport loop does not model.
-fn validate_for_transport(cfg: &RunConfig) -> Result<(), AmpomError> {
+pub(crate) fn validate_for_transport(cfg: &RunConfig) -> Result<(), AmpomError> {
     cfg.validate()?;
     if cfg.scheme == Scheme::Ffa {
         return Err(AmpomError::InvalidConfig(

@@ -1,0 +1,306 @@
+//! Fairness and termination properties of the multi-migrant deputy.
+//!
+//! Under random per-migrant load — random request sizes, arrivals,
+//! syscalls, and fault-style re-requests of already-served pages — the
+//! sharded deputy must:
+//!
+//! 1. terminate (every drain completes, every accepted page commits
+//!    exactly once — coalescing never drops or duplicates work),
+//! 2. keep every continuously-backlogged shard above the DRR service
+//!    floor (no starvation by a hot tenant),
+//! 3. report queue-depth stats that sum *exactly* across shards.
+//!
+//! The end-to-end variant drives full `run_multi` protocol loops with
+//! random migrant counts and workload shapes and checks the same
+//! invariants from the outside.
+
+use std::collections::HashMap;
+
+use ampom_core::deputy::{
+    Completion, DrrConfig, MigrantId, MultiDeputy, PAGE_SERVICE_COST, REQUEST_PARSE_COST,
+    SYSCALL_EXEC_COST,
+};
+use ampom_core::multirun::{run_multi, MigrantSpec, MultiRunSpec};
+use ampom_core::runner::RunConfig;
+use ampom_core::{Scheme, WorkloadSpec};
+use ampom_mem::page::PageId;
+use ampom_sim::propcheck::{forall, Gen};
+use ampom_sim::time::{SimDuration, SimTime};
+
+/// Largest single work item a random plan can submit (syscall with max
+/// work): bounds the DRR lag we tolerate below.
+fn max_item_cost(max_work_us: u64) -> SimDuration {
+    PAGE_SERVICE_COST
+        .max(REQUEST_PARSE_COST)
+        .max(SYSCALL_EXEC_COST + SimDuration::from_micros(max_work_us))
+}
+
+#[test]
+fn random_load_terminates_and_conserves_pages() {
+    forall("multi-deputy-conservation", 96, |g: &mut Gen| {
+        let shards = g.usize(1..6);
+        let mut md = MultiDeputy::new(shards);
+        // Every page the deputy accepted, per shard, in accept order.
+        let mut accepted: Vec<Vec<PageId>> = vec![Vec::new(); shards];
+        let mut syscalls = vec![0u64; shards];
+        let steps = g.usize(1..40);
+        let mut now = 0u64;
+        for _ in 0..steps {
+            now += g.u64(0..200);
+            let m = MigrantId(g.usize(0..shards) as u32);
+            let arrival = SimTime::ZERO + SimDuration::from_micros(now);
+            if g.bool(0.15) {
+                md.submit_syscall(m, arrival, SimDuration::from_micros(g.u64(0..50)));
+                syscalls[m.0 as usize] += 1;
+            } else {
+                // Small page universe per shard so re-requests (the
+                // fault plan: replies presumed lost) hit both pending
+                // pages (coalesce) and committed pages (revive).
+                let pages: Vec<PageId> =
+                    g.vec(1..9, |g| PageId(g.u64(0..12))).into_iter().collect();
+                let acc = md.submit_request(m, arrival, &pages);
+                accepted[m.0 as usize].extend(&acc);
+                // A request must never be accepted twice while pending:
+                // the accept list itself is duplicate-free.
+                let mut sorted = acc.clone();
+                sorted.sort();
+                sorted.dedup();
+                assert_eq!(sorted.len(), acc.len(), "duplicate accept in one batch");
+            }
+            // Occasionally commit a random horizon mid-load, exercising
+            // bounded commits interleaved with submissions.
+            if g.bool(0.3) {
+                let mut out = Vec::new();
+                md.commit_until(
+                    SimTime::ZERO + SimDuration::from_micros(now + g.u64(0..500)),
+                    &mut out,
+                );
+                for c in out {
+                    note_commit(c, &mut accepted, &mut syscalls);
+                }
+            }
+        }
+        // Termination: the final drain empties every queue.
+        for c in md.drain() {
+            note_commit(c, &mut accepted, &mut syscalls);
+        }
+        assert_eq!(md.queued_items(), 0, "drain left queued work behind");
+        // Conservation: every accepted page committed exactly once, in
+        // shard-FIFO order (note_commit pops from the front), and every
+        // syscall completed.
+        for (i, rest) in accepted.iter().enumerate() {
+            assert!(rest.is_empty(), "shard {i} lost accepted pages: {rest:?}");
+            assert_eq!(syscalls[i], 0, "shard {i} lost syscalls");
+        }
+        // Stats sum exactly across shards.
+        let agg = md.aggregate_stats();
+        let mut q = 0u64;
+        let mut busy = SimDuration::ZERO;
+        let mut backlog = SimDuration::ZERO;
+        for i in 0..shards {
+            let s = md.shard_stats(MigrantId(i as u32));
+            q += s.queued_requests;
+            busy += s.busy_time;
+            backlog = backlog.max(s.max_backlog);
+        }
+        assert_eq!(agg.queued_requests, q);
+        assert_eq!(agg.busy_time, busy);
+        assert_eq!(agg.max_backlog, backlog);
+    });
+}
+
+/// Removes `c` from the outstanding-work ledgers, asserting shard-FIFO
+/// page order.
+fn note_commit(c: Completion, accepted: &mut [Vec<PageId>], syscalls: &mut [u64]) {
+    match c {
+        Completion::Page { migrant, page, .. } => {
+            let i = migrant.0 as usize;
+            assert!(
+                !accepted[i].is_empty(),
+                "shard {i} committed {page} with nothing outstanding"
+            );
+            let expect = accepted[i].remove(0);
+            assert_eq!(page, expect, "shard {i} served out of FIFO order");
+        }
+        Completion::Syscall { migrant, .. } => {
+            let i = migrant.0 as usize;
+            assert!(syscalls[i] > 0, "shard {i} committed a phantom syscall");
+            syscalls[i] -= 1;
+        }
+    }
+}
+
+#[test]
+fn backlogged_shards_stay_above_the_drr_floor() {
+    forall("multi-deputy-drr-floor", 64, |g: &mut Gen| {
+        let shards = g.usize(2..6);
+        let quantum = SimDuration::from_micros(g.u64(40..300));
+        let mut md = MultiDeputy::with_drr(shards, DrrConfig { quantum });
+        let max_work = 200u64;
+        // Load every shard at t=0 with a random deep backlog, so every
+        // shard stays continuously backlogged until the first empties.
+        for i in 0..shards {
+            let m = MigrantId(i as u32);
+            for _ in 0..g.usize(1..5) {
+                if g.bool(0.2) {
+                    md.submit_syscall(
+                        m,
+                        SimTime::ZERO,
+                        SimDuration::from_micros(g.u64(0..max_work)),
+                    );
+                } else {
+                    let base = g.u64(0..100_000);
+                    let pages: Vec<PageId> = (0..g.u64(4..40)).map(|k| PageId(base + k)).collect();
+                    md.submit_request(m, SimTime::ZERO, &pages);
+                }
+            }
+        }
+        // Submitted cost per shard == its busy-time attribution.
+        let outstanding: Vec<SimDuration> = (0..shards)
+            .map(|i| md.shard_stats(MigrantId(i as u32)).busy_time)
+            .collect();
+        // Commit until the first shard runs dry: up to there, every
+        // shard was backlogged, so the DRR lag bound applies to all.
+        while first_empty(&md, shards).is_none() {
+            if md.commit_next().is_none() {
+                break;
+            }
+        }
+        // Committed service per shard = submitted minus still-queued.
+        let committed: Vec<SimDuration> = (0..shards)
+            .map(|i| outstanding[i] - md.queued_cost(MigrantId(i as u32)))
+            .collect();
+        // Classic DRR lag bound between two continuously-backlogged
+        // flows with equal weights: a laggard's deficit never exceeds
+        // one quantum plus one maximal item, and the leader is at most
+        // one visit ahead — 2·(quantum + max item) covers both.
+        let bound = (quantum + max_item_cost(max_work)).saturating_mul(2);
+        let max = committed.iter().copied().max().unwrap_or(SimDuration::ZERO);
+        for (i, &c) in committed.iter().enumerate() {
+            assert!(
+                max.saturating_sub(c) <= bound,
+                "shard {i} fell {:?} behind the leader (bound {bound:?}, quantum {quantum:?})",
+                max.saturating_sub(c),
+            );
+        }
+    });
+}
+
+/// Index of the first shard with an empty queue, if any.
+fn first_empty(md: &MultiDeputy, shards: usize) -> Option<usize> {
+    (0..shards).find(|&i| md.queued_cost(MigrantId(i as u32)).is_zero())
+}
+
+#[test]
+fn random_multi_runs_terminate_with_exact_stat_sums() {
+    forall("multi-run-termination", 10, |g: &mut Gen| {
+        let n = g.usize(2..5);
+        let scheme = *g.choose(&[Scheme::Ampom, Scheme::NoPrefetch, Scheme::OpenMosix]);
+        let migrants = (0..n)
+            .map(|i| MigrantSpec {
+                workload: WorkloadSpec::Sequential {
+                    pages: g.u64(32..160),
+                    cpu: SimDuration::from_micros(g.u64(1..20)),
+                },
+                seed: i as u64,
+            })
+            .collect();
+        let spec = MultiRunSpec {
+            cfg: RunConfig::new(scheme),
+            migrants,
+            drr: DrrConfig::default(),
+        };
+        let report = run_multi(&spec).expect("random multi-run terminates");
+        assert_eq!(report.migrants(), n);
+        // Per-migrant deputy attribution equals the shard stats and
+        // sums exactly to the aggregate.
+        let mut q = 0u64;
+        let mut busy = SimDuration::ZERO;
+        for (r, s) in report.reports.iter().zip(&report.shard_stats) {
+            assert_eq!(r.deputy, *s, "report deputy stats drifted from shard");
+            q += s.queued_requests;
+            busy += s.busy_time;
+        }
+        assert_eq!(q, report.deputy.queued_requests);
+        assert_eq!(busy, report.deputy.busy_time);
+        // Shares partition the deputy's service time — unless the
+        // deputy never worked at all (an Ampom freeze can prefetch a
+        // small workload whole, leaving no remote faults to serve), in
+        // which case every share reports the idle sentinel 1.0.
+        let share_sum: f64 = report.service_shares.iter().sum();
+        if report.deputy.busy_time.is_zero() {
+            assert!(report.service_shares.iter().all(|&s| s == 1.0));
+            assert_eq!(report.saturation(), 0.0);
+        } else {
+            assert!(
+                (share_sum - 1.0).abs() < 1e-9,
+                "shares {:?} sum to {share_sum}",
+                report.service_shares
+            );
+            assert!(report.saturation() > 0.0 && report.saturation() <= 1.0);
+        }
+    });
+}
+
+/// Identical always-backlogged migrants must split deputy service near
+/// evenly — the end-to-end fairness claim `multisweep` reports.
+#[test]
+fn identical_migrants_share_service_evenly() {
+    let spec = MultiRunSpec::homogeneous(
+        RunConfig::new(Scheme::NoPrefetch),
+        WorkloadSpec::Sequential {
+            pages: 256,
+            cpu: SimDuration::from_micros(5),
+        },
+        3,
+        4,
+    );
+    let report = run_multi(&spec).expect("multi-run succeeds");
+    let ratio = report.fairness_ratio();
+    assert!(
+        ratio < 1.05,
+        "identical demand-paging migrants diverged: fairness ratio {ratio}"
+    );
+}
+
+/// The deterministic tie-break (equal arrivals resolve by submission
+/// order within a shard, ascending shard index across shards) holds for
+/// random equal-arrival batches — the multi-shard extension of the
+/// pinned `Deputy` tie-break audit.
+#[test]
+fn equal_arrival_ties_resolve_by_shard_index() {
+    forall("multi-deputy-tie-break", 48, |g: &mut Gen| {
+        let shards = g.usize(2..5);
+        let mut md = MultiDeputy::new(shards);
+        // One small batch per shard, all arriving at the same instant,
+        // submitted in random shard order.
+        let mut order: Vec<usize> = (0..shards).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, g.usize(0..i + 1));
+        }
+        let mut expect: HashMap<u32, Vec<PageId>> = HashMap::new();
+        for &i in &order {
+            let pages: Vec<PageId> = (0..g.u64(1..4))
+                .map(|k| PageId(1000 * i as u64 + k))
+                .collect();
+            md.submit_request(MigrantId(i as u32), SimTime::ZERO, &pages);
+            expect.insert(i as u32, pages);
+        }
+        // With a default quantum each shard's whole batch fits one
+        // visit: completions must walk shards in ascending index from
+        // the cursor (shard 0), regardless of submission order.
+        let mut seen: Vec<(u32, PageId)> = Vec::new();
+        for c in md.drain() {
+            if let Completion::Page { migrant, page, .. } = c {
+                seen.push((migrant.0, page));
+            }
+        }
+        let mut want: Vec<(u32, PageId)> = Vec::new();
+        for i in 0..shards as u32 {
+            for &p in &expect[&i] {
+                want.push((i, p));
+            }
+        }
+        assert_eq!(seen, want, "tie-break order drifted");
+    });
+}

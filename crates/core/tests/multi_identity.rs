@@ -1,0 +1,110 @@
+//! Differential golden harness for the multi-migrant deputy.
+//!
+//! Captured *before* the multi-migrant refactor: the fingerprints below
+//! are what `run_with_transport` over a [`SimulatedTransport`] produced
+//! for every HPCC kernel × transport-supported scheme at the quick
+//! 4 MB size (workload seed 42, stock link). Two assertions pin them:
+//!
+//! 1. The single-migrant path still reproduces them after the refactor.
+//! 2. The N=1 multi-migrant path (`run_multi` with one migrant — the
+//!    full coordinator/shard machinery, not a special-cased shortcut)
+//!    reproduces them bit-identically.
+//!
+//! To re-capture after an *intentional* semantic change:
+//! `cargo test -p ampom-core --test multi_identity -- --ignored --nocapture`
+
+use ampom_core::experiment::WorkloadSpec;
+use ampom_core::multirun::{run_multi, MultiRunSpec};
+use ampom_core::runner::RunConfig;
+use ampom_core::transport::{run_with_transport, SimulatedTransport};
+use ampom_core::Scheme;
+use ampom_workloads::sizes::{Kernel, ProblemSize};
+
+/// The `hpcc` matrix seed: every scheme sees the same reference stream.
+const SEED: u64 = 42;
+
+/// The quick 4 MB size used by smoke runs.
+const QUICK: ProblemSize = ProblemSize {
+    problem: 0,
+    memory_mb: 4,
+};
+
+/// Schemes the transport loop supports (FFA pages from the file server).
+const SCHEMES: [Scheme; 3] = [Scheme::Ampom, Scheme::NoPrefetch, Scheme::OpenMosix];
+
+/// Pre-refactor golden fingerprints, in `Kernel::ALL` × `SCHEMES` order.
+const GOLDENS: [(Kernel, Scheme, u64); 12] = [
+    (Kernel::Dgemm, Scheme::Ampom, 0x88fbf10bfb8e1f97),
+    (Kernel::Dgemm, Scheme::NoPrefetch, 0x3722ae905f44322e),
+    (Kernel::Dgemm, Scheme::OpenMosix, 0x870b266e66ae3e69),
+    (Kernel::Stream, Scheme::Ampom, 0x4d941b9d030acd1d),
+    (Kernel::Stream, Scheme::NoPrefetch, 0x871d0ec60a0221b6),
+    (Kernel::Stream, Scheme::OpenMosix, 0x577596eac700554e),
+    (Kernel::RandomAccess, Scheme::Ampom, 0xb584e9e36c4d60e3),
+    (Kernel::RandomAccess, Scheme::NoPrefetch, 0x53b8eba36e08173e),
+    (Kernel::RandomAccess, Scheme::OpenMosix, 0x6c446c83958c2662),
+    (Kernel::Fft, Scheme::Ampom, 0x95cc291f5a8172b1),
+    (Kernel::Fft, Scheme::NoPrefetch, 0xba1d1e8746d27b9c),
+    (Kernel::Fft, Scheme::OpenMosix, 0xb784448113d03781),
+];
+
+fn single_fp(kernel: Kernel, scheme: Scheme) -> u64 {
+    let cfg = RunConfig::new(scheme);
+    let mut w = WorkloadSpec::kernel(kernel, QUICK)
+        .build(SEED)
+        .expect("valid kernel spec");
+    let mut t = SimulatedTransport::new(&cfg);
+    run_with_transport(w.as_mut(), &cfg, &mut t)
+        .expect("transport-compatible config")
+        .fingerprint()
+}
+
+#[test]
+#[ignore = "capture helper: prints the golden table for this tree"]
+fn capture_golden_fingerprints() {
+    for kernel in Kernel::ALL {
+        for scheme in SCHEMES {
+            println!(
+                "    (Kernel::{kernel:?}, Scheme::{scheme:?}, {:#018x}),",
+                single_fp(kernel, scheme)
+            );
+        }
+    }
+}
+
+#[test]
+fn single_migrant_path_matches_pre_refactor_goldens() {
+    for (kernel, scheme, golden) in GOLDENS {
+        assert_eq!(
+            single_fp(kernel, scheme),
+            golden,
+            "single-migrant {kernel:?}/{scheme:?} drifted from its pre-refactor fingerprint"
+        );
+    }
+}
+
+/// The differential half of the harness: an N=1 *multi-migrant* run —
+/// the full sharded deputy, DRR scheduler, rendezvous coordinator and
+/// delivery batching, not a special-cased shortcut — must reproduce the
+/// pre-refactor single-migrant fingerprints bit-identically.
+#[test]
+fn n1_multi_migrant_path_matches_pre_refactor_goldens() {
+    for (kernel, scheme, golden) in GOLDENS {
+        let cfg = RunConfig::new(scheme);
+        let spec = MultiRunSpec::homogeneous(
+            cfg,
+            WorkloadSpec::Kernel {
+                kernel,
+                size: QUICK,
+            },
+            SEED,
+            1,
+        );
+        let report = run_multi(&spec).expect("N=1 multi-run succeeds");
+        assert_eq!(
+            report.reports[0].fingerprint(),
+            golden,
+            "N=1 multi-migrant {kernel:?}/{scheme:?} drifted from its pre-refactor fingerprint"
+        );
+    }
+}

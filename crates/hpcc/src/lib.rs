@@ -29,6 +29,11 @@
 //! pair under full observability — phase attribution, hottest pages,
 //! self-verified JSONL and a Prometheus-style metrics dump.
 //!
+//! The [`multisweep`] module backs `hpcc-repro multisweep`: N
+//! concurrent migrants sharing one deputy — per-migrant slowdown,
+//! service-share fairness and deputy saturation, in simulation and over
+//! live loopback sockets.
+//!
 //! The `hpcc-repro` binary drives these; see `hpcc-repro --help`.
 
 pub mod checks;
@@ -36,5 +41,6 @@ pub mod experiments;
 pub mod extensions;
 pub mod live;
 pub mod matrix;
+pub mod multisweep;
 pub mod profile;
 pub mod report;

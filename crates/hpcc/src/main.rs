@@ -35,6 +35,8 @@
 //!   live      migrate the kernels over real sockets, report vs simulation
 //!   calibrate measure a real link, emit its LinkConfig
 //!   profile   one kernel/scheme pair under full observability
+//!   multisweep concurrent migrants sharing one deputy: slowdown,
+//!             fairness, saturation (simulated grid + 8 live migrants)
 //!
 //! Options:
 //!   --quick   tiny problem sizes (seconds instead of minutes)
@@ -139,7 +141,7 @@ fn parse_args() -> Options {
             "--help" | "-h" => {
                 println!(
                     "hpcc-repro [all|table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|\
-                     ext-vm|ext-cluster|ext-ptrans|ext-interactive|ext-roundtrip|ext-syscall|ext-pressure|ext-hpl|ext-locality|ext-timing|ext-gossip|ext-accuracy|parsweep|faultsweep|timeline|check|sweep|live|calibrate|profile] \
+                     ext-vm|ext-cluster|ext-ptrans|ext-interactive|ext-roundtrip|ext-syscall|ext-pressure|ext-hpl|ext-locality|ext-timing|ext-gossip|ext-accuracy|parsweep|faultsweep|timeline|check|sweep|live|calibrate|profile|multisweep] \
                      [--quick] [--csv DIR] [--loopback|--endpoint ADDR] \
                      [--kernel K] [--scheme S] [--json PATH] [--prom PATH] [--top K]"
                 );
@@ -416,6 +418,14 @@ fn main() {
     }
     if opts.command == "profile" {
         run_profile_command(&opts);
+        ran = true;
+    }
+    if opts.command == "multisweep" {
+        emit_all(
+            &ampom_hpcc::multisweep::multisweep(opts.quick, &target),
+            &opts,
+            "multisweep",
+        );
         ran = true;
     }
     if !ran {

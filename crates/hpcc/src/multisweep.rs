@@ -1,0 +1,324 @@
+//! The `multisweep` subcommand: concurrency scaling of the shared
+//! deputy, in simulation and over real sockets.
+//!
+//! The paper measures one migrant against one deputy; a home node in a
+//! real openMosix cluster serves *several* migrants at once. This
+//! command sweeps the migrant count over the sharded multi-migrant
+//! deputy and reports the three quantities that matter for a shared
+//! home node: per-migrant slowdown versus a solo run, fairness (the
+//! max/min service-share ratio across migrants), and deputy saturation
+//! (busy time over the makespan). All aggregate numbers are read back
+//! from the [`ampom_obs`] metrics registry rather than ad hoc fields,
+//! so the same values are available to any Prometheus-style scrape.
+//!
+//! The live half runs eight concurrent [`run_live`] migrants against a
+//! single loopback [`DeputyServer`] with a two-worker pool — the
+//! multiplexed event loop, request coalescing and DRR batching serve
+//! all eight over genuinely shared sockets.
+
+use ampom_core::experiment::{Experiment, WorkloadSpec};
+use ampom_core::migration::Scheme;
+use ampom_core::runner::RunConfig;
+use ampom_core::sweep::SweepSpec;
+use ampom_obs::{MetricSource, MetricsRegistry};
+use ampom_rpc::{run_live, DeputyServer, Endpoint, LiveOptions, LiveReport, ServerConfig};
+use ampom_workloads::sizes::Kernel;
+
+use crate::live::LiveTarget;
+use crate::matrix::{matrix_sizes, MATRIX_SEED};
+use crate::report::{secs, AsciiTable};
+
+/// Migrant counts the simulated sweep walks.
+const MIGRANT_AXIS: [u32; 4] = [1, 2, 4, 8];
+
+/// Concurrent live migrants against the loopback deputy.
+const LIVE_MIGRANTS: usize = 8;
+
+fn ratio(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.3}")
+    } else {
+        "inf".into()
+    }
+}
+
+/// The full multisweep: a simulated migrant-count grid, a per-migrant
+/// breakdown at the highest count, and the live eight-migrant run.
+pub fn multisweep(quick: bool, target: &LiveTarget) -> Vec<AsciiTable> {
+    let sizes = matrix_sizes(Kernel::Stream, true);
+    let size = if quick {
+        sizes[0]
+    } else {
+        *sizes.last().expect("stream has quick sizes")
+    };
+    let spec = WorkloadSpec::kernel(Kernel::Stream, size);
+
+    vec![
+        grid_table(&spec),
+        per_migrant_table(&spec),
+        live_table(quick, target),
+    ]
+}
+
+/// The migrants axis through the sweep engine: every cell's fairness
+/// and saturation come from the run-level [`MultiRunMetrics`] the sweep
+/// records per repeat.
+///
+/// [`MultiRunMetrics`]: ampom_core::sweep::MultiRunMetrics
+fn grid_table(spec: &WorkloadSpec) -> AsciiTable {
+    let sweep = SweepSpec::new()
+        .workload(spec.clone())
+        .schemes([Scheme::Ampom, Scheme::NoPrefetch])
+        .migrants(MIGRANT_AXIS)
+        .fixed_seed(MATRIX_SEED);
+    let report = sweep.run().expect("multisweep grid");
+
+    let mut t = AsciiTable::new(
+        format!(
+            "Deputy sharing: migrant count vs slowdown ({})",
+            spec.label()
+        ),
+        &[
+            "scheme",
+            "migrants",
+            "mean total (s)",
+            "worst slowdown",
+            "fairness max/min",
+            "saturation",
+            "coalesced",
+        ],
+    );
+    for scheme in [Scheme::Ampom, Scheme::NoPrefetch] {
+        // The N=1 cell is the solo baseline; the migrants axis does not
+        // perturb seeds, so its stream is exactly what migrant 0 of
+        // every N-cell replays.
+        let solo = report
+            .cells
+            .iter()
+            .find(|c| c.scheme == scheme && c.migrants == 1)
+            .map(|c| c.summary.mean_total_s)
+            .expect("solo cell");
+        for cell in report.cells.iter().filter(|c| c.scheme == scheme) {
+            let worst = cell
+                .reports
+                .iter()
+                .map(|r| r.total_time.as_secs_f64())
+                .fold(0.0, f64::max);
+            let (fairness, saturation, coalesced) = match cell.multi.first() {
+                Some(m) => (
+                    ratio(m.fairness_ratio),
+                    format!("{:.3}", m.saturation),
+                    m.pages_coalesced.to_string(),
+                ),
+                None => ("-".into(), "-".into(), "-".into()),
+            };
+            t.row(vec![
+                format!("{scheme}"),
+                cell.migrants.to_string(),
+                secs(cell.summary.mean_total_s),
+                if solo > 0.0 {
+                    format!("{:.3}", worst / solo)
+                } else {
+                    "-".into()
+                },
+                fairness,
+                saturation,
+                coalesced,
+            ]);
+        }
+    }
+    t
+}
+
+/// One eight-migrant run in detail: each migrant's slowdown against the
+/// solo baseline and its share of the deputy's service time. The
+/// aggregate row at the bottom is read back from the metrics registry.
+fn per_migrant_table(spec: &WorkloadSpec) -> AsciiTable {
+    let n = *MIGRANT_AXIS.last().expect("axis is non-empty");
+    let exp = Experiment::new(Scheme::Ampom)
+        .workload(spec.clone())
+        .seed(MATRIX_SEED)
+        .build()
+        .expect("valid experiment");
+    let solo = exp.run().expect("solo run").total_time.as_secs_f64();
+    let multi = exp.run_multi(n).expect("multi run");
+
+    let mut reg = MetricsRegistry::new();
+    multi.export_metrics(&mut reg);
+
+    let mut t = AsciiTable::new(
+        format!(
+            "{} migrants, one deputy ({}, AMPoM): per-migrant accounting",
+            n,
+            spec.label()
+        ),
+        &[
+            "migrant",
+            "total (s)",
+            "slowdown",
+            "service share",
+            "queued reqs",
+            "coalesced",
+        ],
+    );
+    for (i, report) in multi.reports.iter().enumerate() {
+        let total = report.total_time.as_secs_f64();
+        t.row(vec![
+            i.to_string(),
+            secs(total),
+            if solo > 0.0 {
+                format!("{:.3}", total / solo)
+            } else {
+                "-".into()
+            },
+            format!("{:.3}", multi.service_shares[i]),
+            multi.shard_stats[i].queued_requests.to_string(),
+            multi.pages_coalesced[i].to_string(),
+        ]);
+    }
+    t.row(vec![
+        "all".into(),
+        secs(
+            reg.gauge_value("ampom_multi_makespan_seconds")
+                .unwrap_or(0.0),
+        ),
+        "-".into(),
+        format!(
+            "fairness {}",
+            ratio(reg.gauge_value("ampom_multi_fairness_ratio").unwrap_or(0.0))
+        ),
+        format!(
+            "saturation {:.3}",
+            reg.gauge_value("ampom_multi_deputy_saturation")
+                .unwrap_or(0.0)
+        ),
+        reg.counter_value("ampom_multi_pages_coalesced_total")
+            .unwrap_or(0)
+            .to_string(),
+    ]);
+    t
+}
+
+/// Eight concurrent live migrants against one deputy. Per-migrant
+/// service shares are approximated by each migrant's share of all pages
+/// moved; the deputy-side counters come from the server's registry
+/// export (absent when `--endpoint` points at an external deputy).
+fn live_table(quick: bool, target: &LiveTarget) -> AsciiTable {
+    let (addr, server) = match target {
+        LiveTarget::Loopback => {
+            let server = DeputyServer::bind_tcp(
+                "127.0.0.1:0",
+                ServerConfig {
+                    workers: 2,
+                    ..ServerConfig::default()
+                },
+            )
+            .expect("bind loopback deputy");
+            (server.local_addr().to_string(), Some(server))
+        }
+        LiveTarget::Remote(addr) => (addr.clone(), None),
+    };
+    let opts = LiveOptions::default();
+
+    // Small on purpose: eight migrants each pay real socket round trips,
+    // and the interesting signal is contention, not volume.
+    let sizes = matrix_sizes(Kernel::Stream, true);
+    let mut size = sizes[0];
+    if quick {
+        size.memory_mb = size.memory_mb.min(1);
+    }
+    let spec = WorkloadSpec::kernel(Kernel::Stream, size);
+
+    let solo = run_one(&spec, &addr, &opts, 0);
+    let solo_total = solo.report.total_time.as_secs_f64();
+
+    let lives: Vec<LiveReport> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..LIVE_MIGRANTS)
+            .map(|i| {
+                let spec = &spec;
+                let addr = &addr;
+                let opts = &opts;
+                s.spawn(move || run_one(spec, addr, opts, i as u64))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut t = AsciiTable::new(
+        format!(
+            "{} live migrants on one deputy at {} ({}, AMPoM)",
+            LIVE_MIGRANTS,
+            addr,
+            spec.label()
+        ),
+        &["migrant", "total (s)", "slowdown vs solo", "pages moved"],
+    );
+    let mut moved = Vec::with_capacity(lives.len());
+    for (i, live) in lives.iter().enumerate() {
+        let total = live.report.total_time.as_secs_f64();
+        let pages = live.report.pages_demand_fetched + live.report.pages_prefetched;
+        moved.push(pages as f64);
+        t.row(vec![
+            i.to_string(),
+            secs(total),
+            if solo_total > 0.0 {
+                format!("{:.3}", total / solo_total)
+            } else {
+                "-".into()
+            },
+            pages.to_string(),
+        ]);
+    }
+    let sum: f64 = moved.iter().sum();
+    let fairness = if sum > 0.0 {
+        let max = moved.iter().copied().fold(0.0, f64::max);
+        let min = moved.iter().copied().fold(f64::MAX, f64::min);
+        if min > 0.0 {
+            max / min
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        f64::INFINITY
+    };
+    t.row(vec![
+        "all".into(),
+        format!("fairness {}", ratio(fairness)),
+        "-".into(),
+        format!("{}", sum as u64),
+    ]);
+
+    if let Some(server) = server {
+        let mut reg = MetricsRegistry::new();
+        server.stats().export_metrics(&mut reg);
+        let counter = |name: &str| reg.counter_value(name).unwrap_or(0);
+        t.row(vec![
+            "deputy".into(),
+            format!(
+                "coalesced {} / batches {}",
+                counter("ampom_deputy_server_pages_coalesced_total"),
+                counter("ampom_deputy_server_batch_replies_total"),
+            ),
+            format!(
+                "peak sessions {}",
+                counter("ampom_deputy_server_peak_sessions")
+            ),
+            counter("ampom_deputy_server_pages_served_total").to_string(),
+        ]);
+        server.shutdown();
+    }
+    t
+}
+
+fn run_one(spec: &WorkloadSpec, addr: &str, opts: &LiveOptions, member: u64) -> LiveReport {
+    let mut workload = spec
+        .build(MATRIX_SEED.wrapping_add(member))
+        .expect("valid kernel spec");
+    run_live(
+        &mut *workload,
+        &RunConfig::new(Scheme::Ampom),
+        Endpoint::tcp(addr),
+        opts,
+    )
+    .expect("live migrant")
+}

@@ -23,9 +23,15 @@
 //! | 0x08 | `Ping`           | token u64                                      |
 //! | 0x09 | `Pong`           | token u64                                      |
 //! | 0x0a | `StatsFetch`     | —                                              |
-//! | 0x0b | `StatsReply`     | 5 × u64 counters                               |
+//! | 0x0b | `StatsReply`     | 8 × u64 counters                               |
 //! | 0x0c | `Error`          | code u16, detail utf-8                         |
 //! | 0x0d | `Bye`            | —                                              |
+//! | 0x0e | `PageBatchReply` | req_id u64, count u32, (page u64, 4096 B) × count |
+//!
+//! `PageBatchReply` is the multiplexing deputy's reply batching: pages a
+//! migrant's DRR visit serves together leave as one frame instead of a
+//! run of `PageReply`s. [`MAX_BATCH_PAGES`] bounds the batch so the
+//! frame stays under [`MAX_FRAME_BYTES`].
 //!
 //! Decoding never panics: every malformed input maps onto a typed
 //! [`CodecError`] (the property tests in `tests/prop.rs` fuzz this).
@@ -35,12 +41,17 @@ use std::fmt;
 use ampom_mem::page::{PageId, PAGE_SIZE};
 
 /// Protocol version spoken by this build; bumped on any frame change.
-pub const WIRE_VERSION: u16 = 1;
+/// Version 2 added `PageBatchReply` and the wider `StatsReply`.
+pub const WIRE_VERSION: u16 = 2;
+
+/// Upper bound on pages in one [`Frame::PageBatchReply`]: 64 batched
+/// pages is ~257 KiB on the wire, comfortably under [`MAX_FRAME_BYTES`].
+pub const MAX_BATCH_PAGES: usize = 64;
 
 /// Hard cap on one frame's length field. The largest legitimate frame is
-/// a [`Frame::PageReply`] (17 B header + 4096 B data) or a maximal page
-/// request; 1 MiB leaves head-room for both while bounding what a
-/// corrupted length prefix can make the reader allocate.
+/// a maximal [`Frame::PageBatchReply`] ([`MAX_BATCH_PAGES`] pages,
+/// ~257 KiB); 1 MiB leaves head-room while bounding what a corrupted
+/// length prefix can make the reader allocate.
 pub const MAX_FRAME_BYTES: u32 = 1 << 20;
 
 /// Bytes of the length prefix.
@@ -109,6 +120,13 @@ pub struct WireStats {
     pub pages_served: u64,
     /// Requests answered.
     pub requests_served: u64,
+    /// Page requests absorbed by coalescing (the page was already
+    /// pending; one service event answers both requests).
+    pub pages_coalesced: u64,
+    /// Batched reply frames written ([`Frame::PageBatchReply`]).
+    pub batch_replies: u64,
+    /// Worst pending-page queue depth this session reached.
+    pub max_pending_pages: u64,
 }
 
 /// One protocol message.
@@ -190,6 +208,15 @@ pub enum Frame {
     },
     /// Either side: orderly shutdown of the session.
     Bye,
+    /// Deputy → migrant: several pages served by one scheduling visit,
+    /// batched into one frame (at most [`MAX_BATCH_PAGES`] pages).
+    PageBatchReply {
+        /// The request the *first* page answers; coalesced pages from
+        /// other requests ride along under the same id.
+        req_id: u64,
+        /// `(page id, PAGE_SIZE contents)` pairs.
+        pages: Vec<(PageId, Vec<u8>)>,
+    },
 }
 
 impl Frame {
@@ -209,6 +236,7 @@ impl Frame {
             Frame::StatsReply(_) => 0x0b,
             Frame::Error { .. } => 0x0c,
             Frame::Bye => 0x0d,
+            Frame::PageBatchReply { .. } => 0x0e,
         }
     }
 
@@ -260,6 +288,17 @@ impl Frame {
                 out.extend_from_slice(&s.busy_time_ns.to_be_bytes());
                 out.extend_from_slice(&s.pages_served.to_be_bytes());
                 out.extend_from_slice(&s.requests_served.to_be_bytes());
+                out.extend_from_slice(&s.pages_coalesced.to_be_bytes());
+                out.extend_from_slice(&s.batch_replies.to_be_bytes());
+                out.extend_from_slice(&s.max_pending_pages.to_be_bytes());
+            }
+            Frame::PageBatchReply { req_id, pages } => {
+                out.extend_from_slice(&req_id.to_be_bytes());
+                out.extend_from_slice(&(pages.len() as u32).to_be_bytes());
+                for (page, data) in pages {
+                    out.extend_from_slice(&page.0.to_be_bytes());
+                    out.extend_from_slice(data);
+                }
             }
             Frame::Error { code, detail } => {
                 out.extend_from_slice(&code.to_be_bytes());
@@ -337,6 +376,9 @@ impl Frame {
                 busy_time_ns: r.u64()?,
                 pages_served: r.u64()?,
                 requests_served: r.u64()?,
+                pages_coalesced: r.u64()?,
+                batch_replies: r.u64()?,
+                max_pending_pages: r.u64()?,
             }),
             0x0c => {
                 let code = r.u16()?;
@@ -346,6 +388,27 @@ impl Frame {
                 Frame::Error { code, detail }
             }
             0x0d => Frame::Bye,
+            0x0e => {
+                let req_id = r.u64()?;
+                let count = r.u32()?;
+                if count as usize > MAX_BATCH_PAGES {
+                    return Err(CodecError::BadCount(count));
+                }
+                let per_page = 8 + PAGE_SIZE as usize;
+                let need = (count as usize)
+                    .checked_mul(per_page)
+                    .ok_or(CodecError::BadCount(count))?;
+                if r.remaining() != need {
+                    return Err(CodecError::BadCount(count));
+                }
+                let mut pages = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let page = PageId(r.u64()?);
+                    let data = r.take(PAGE_SIZE as usize)?.to_vec();
+                    pages.push((page, data));
+                }
+                Frame::PageBatchReply { req_id, pages }
+            }
             other => return Err(CodecError::UnknownType(other)),
         };
         // PageReply/Error consume the rest by construction; everything

@@ -37,7 +37,7 @@ pub use calibrate::{calibrate_endpoint, CalibrateOptions};
 pub use client::{Endpoint, MigrantClient};
 pub use frame::{CodecError, Frame, FrameBuffer, WireStats, MAX_FRAME_BYTES, WIRE_VERSION};
 pub use live::{run_live, LiveOptions, LiveReport, LiveTransport};
-pub use server::{DeputyServer, ServerConfig, ServerStats};
+pub use server::{DeputyServer, PendingQueue, ServerConfig, ServerStats};
 
 /// A failure of the live transport machinery.
 ///

@@ -210,6 +210,15 @@ impl LiveTransport {
     fn handle_frame(&mut self, frame: Frame) -> Result<(), AmpomError> {
         match frame {
             Frame::PageReply { page, data, .. } => self.note_reply(page, &data),
+            Frame::PageBatchReply { pages, .. } => {
+                // A multiplexed deputy answers one DRR visit with a
+                // single batched frame; each page books individually so
+                // duplicate suppression stays per-page.
+                for (page, data) in pages {
+                    self.note_reply(page, &data)?;
+                }
+                Ok(())
+            }
             Frame::StatsReply(ws) => {
                 self.cached_deputy = deputy_stats_from_wire(ws);
                 Ok(())
@@ -732,29 +741,41 @@ pub(crate) fn fetch_all(client: &mut MigrantClient, pages: &[PageId]) -> Result<
         let batch_set: HashSet<PageId> = batch.iter().copied().collect();
         let mut missing = batch_set.clone();
         let deadline = Instant::now() + FETCH_TIMEOUT;
+        // Books one delivered page against the batch. Replies to
+        // requests abandoned *before* this bulk fetch (in-flight pages
+        // at fallback time) are strays, not duplicates: the simulated
+        // fallback clears its in-flight set and counts nothing, so
+        // counting them here would double-count a reply that note_reply
+        // had already suppressed or that was never a duplicate at all.
+        let book = |page: PageId,
+                    data: &[u8],
+                    missing: &mut HashSet<PageId>,
+                    dupes: &mut u64|
+         -> Result<(), RpcError> {
+            if data[..8] != page.0.to_be_bytes() {
+                return Err(RpcError::Protocol(format!(
+                    "payload for page {page} is corrupt"
+                )));
+            }
+            if missing.remove(&page) {
+                // First delivery for this batch.
+            } else if batch_set.contains(&page) {
+                // A resend raced its original; the extra copy of a
+                // batch page is a genuine duplicate.
+                *dupes += 1;
+            }
+            Ok(())
+        };
         while !missing.is_empty() {
             let remaining = deadline.saturating_duration_since(Instant::now());
             match client.recv(remaining)? {
                 Some(Frame::PageReply { page, data, .. }) => {
-                    if data[..8] != page.0.to_be_bytes() {
-                        return Err(RpcError::Protocol(format!(
-                            "payload for page {page} is corrupt"
-                        )));
+                    book(page, &data, &mut missing, &mut dupes)?;
+                }
+                Some(Frame::PageBatchReply { pages, .. }) => {
+                    for (page, data) in pages {
+                        book(page, &data, &mut missing, &mut dupes)?;
                     }
-                    if missing.remove(&page) {
-                        // First delivery for this batch.
-                    } else if batch_set.contains(&page) {
-                        // A resend raced its original; the extra copy of
-                        // a batch page is a genuine duplicate.
-                        dupes += 1;
-                    }
-                    // Replies to requests abandoned *before* this bulk
-                    // fetch (in-flight pages at fallback time) are
-                    // strays, not duplicates: the simulated fallback
-                    // clears its in-flight set and counts nothing, and
-                    // counting them here double-counted a reply that
-                    // note_reply had already suppressed or that was
-                    // never a duplicate at all.
                 }
                 Some(Frame::Error { code, detail }) => {
                     return Err(RpcError::Protocol(format!("deputy error {code}: {detail}")))
@@ -871,14 +892,26 @@ mod tests {
     /// Regression for the bulk-fetch duplicate audit: a stray reply to a
     /// request abandoned *before* the bulk fetch must not be booked as a
     /// duplicate (the simulated fallback clears its in-flight set and
-    /// books nothing), while a batch page delivered twice still counts
-    /// exactly once.
+    /// books nothing); an overlapping request still *pending* at the
+    /// deputy coalesces into one reply; and only a page re-requested
+    /// *after* its first copy was served produces a genuine duplicate,
+    /// counted exactly once.
     #[test]
     fn bulk_fetch_ignores_strays_and_counts_batch_resends_once() {
         let server = DeputyServer::bind_tcp("127.0.0.1:0", ServerConfig::default()).expect("bind");
         let endpoint = Endpoint::tcp(server.local_addr());
         let mut client =
             MigrantClient::connect(endpoint, 64, scheme_byte(Scheme::Ampom)).expect("connect");
+        let served = |server: &DeputyServer, want: u64| {
+            let deadline = Instant::now() + Duration::from_secs(5);
+            while server.stats().pages_served < want {
+                assert!(
+                    Instant::now() < deadline,
+                    "deputy never served {want} pages"
+                );
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        };
 
         // An abandoned request: page 7's reply will sit in the socket when
         // the bulk fetch starts (FIFO ordering makes it arrive first).
@@ -889,11 +922,20 @@ mod tests {
             "a stray from an abandoned request is not a duplicate"
         );
 
-        // A batch page requested twice (pre-request + the fetch's own
-        // request): two replies for page 20 on the wire. The second batch
-        // page keeps the receive loop alive past the first copy, so the
-        // resent copy is observed and counted exactly once.
+        // The same page twice in one request frame: both land in the
+        // deputy's pending queue before any service pass, so the second
+        // coalesces and exactly one reply comes back — no duplicate.
+        let coalesced = fetch_all(&mut client, &[PageId(30), PageId(30), PageId(31)]).expect("f");
+        assert_eq!(coalesced, 0, "a coalesced request yields a single reply");
+        assert_eq!(server.stats().pages_coalesced, 1);
+
+        // A page re-requested *after* its first copy was served (the
+        // deputy's pending entry is gone, so no coalescing): two replies
+        // for page 20 on the wire. The second batch page keeps the
+        // receive loop alive past the first copy, so the resent copy is
+        // observed and counted exactly once.
         client.send_request(Some(PageId(20)), &[]).expect("send");
+        served(&server, 6); // 7, 10, 11, 30, 31, 20
         let resent = fetch_all(&mut client, &[PageId(20), PageId(21)]).expect("fetch");
         assert_eq!(resent, 1, "the extra copy of a batch page counts once");
 

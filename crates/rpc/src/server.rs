@@ -1,24 +1,43 @@
 //! The live deputy: serves remote-paging requests over real sockets.
 //!
 //! [`DeputyServer`] is the socket-facing analog of
-//! [`ampom_core::deputy::Deputy`]: a bounded pool of worker threads
-//! accepts connections on a TCP or Unix-domain listener and serves each
-//! migrant session to completion. Within a session the read→serve→write
-//! loop is single-threaded — exactly the "deputy is a single kernel
-//! thread" assumption of the simulation — so requests pipeline through
-//! socket buffering rather than concurrency: replies to one batch
-//! serialize while the next request is already queued, which is the
-//! paper's §5.4 pipelining effect on a real wire.
+//! [`ampom_core::deputy::MultiDeputy`]: a bounded pool of worker threads
+//! accepts connections on a TCP or Unix-domain listener, and each worker
+//! *multiplexes* every session assigned to it through one event loop —
+//! non-blocking reads, per-connection pending-page queues, and a
+//! deficit-round-robin service pass across the sessions. One
+//! `DeputyServer` therefore serves N concurrent migrants over a worker
+//! pool smaller than N, exactly as the simulated multi-migrant deputy
+//! shares one service capacity across shards.
+//!
+//! Within a worker the service discipline mirrors the simulation:
+//!
+//! * **Sharded pending store**: each connection owns a [`PendingQueue`]
+//!   — FIFO service order per migrant, with a pending-set that
+//!   *coalesces* a request for a page an earlier request already queued
+//!   into the same service event. A page re-requested after being served
+//!   (a retry for a lost reply) queues again, so coalescing never strands
+//!   a migrant.
+//! * **DRR fairness**: a cursor sweeps the worker's sessions; each visit
+//!   grants [`ServerConfig::quantum_pages`] of deficit and serves pages
+//!   while the deficit lasts, so a migrant flooding prefetch batches
+//!   cannot starve a neighbour's demand fetches.
+//! * **Reply batching**: the pages one visit serves leave as a single
+//!   [`Frame::PageBatchReply`] (legacy [`Frame::PageReply`] when the
+//!   visit serves exactly one page), bounded by
+//!   [`MAX_BATCH_PAGES`].
 //!
 //! Backpressure is structural: a request may name at most
 //! [`ServerConfig::max_pages_per_request`] pages (violations earn an
-//! `Error` frame and a closed connection), and the client side keeps a
-//! bounded in-flight quota, so neither side buffers unboundedly.
+//! `Error` frame and a closed connection), the client side keeps a
+//! bounded in-flight quota, and outbound bytes queue per connection with
+//! partial non-blocking writes, so neither side buffers unboundedly.
 //!
 //! For fault-injection tests, [`ServerConfig::drop_after_pages`] makes
 //! each connection die abruptly after serving that many pages — the
 //! live equivalent of `DowntimeSchedule`'s deputy crash.
 
+use std::collections::{HashSet, VecDeque};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 #[cfg(unix)]
@@ -28,22 +47,25 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use ampom_mem::page::PAGE_SIZE;
+use ampom_mem::page::{PageId, PAGE_SIZE};
 
-use crate::frame::{page_payload, Frame, FrameBuffer, WireStats, WIRE_VERSION};
+use crate::frame::{page_payload, Frame, FrameBuffer, WireStats, MAX_BATCH_PAGES, WIRE_VERSION};
 use crate::RpcError;
 
 /// Tuning knobs of a [`DeputyServer`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
-    /// Worker threads accepting and serving connections (the bounded
-    /// thread pool; one migrant session occupies one worker).
+    /// Worker threads serving connections. Each worker multiplexes any
+    /// number of sessions, so N migrants complete on fewer workers.
     pub workers: usize,
     /// Upper bound on pages named by one request frame.
     pub max_pages_per_request: u32,
     /// Fault injection: close each connection abruptly after serving
     /// this many pages (`None` = reliable deputy).
     pub drop_after_pages: Option<u64>,
+    /// DRR quantum: pages of deficit granted per scheduling visit to a
+    /// session. Smaller quanta interleave migrants more finely.
+    pub quantum_pages: u32,
 }
 
 impl Default for ServerConfig {
@@ -52,6 +74,7 @@ impl Default for ServerConfig {
             workers: 2,
             max_pages_per_request: 4096,
             drop_after_pages: None,
+            quantum_pages: 16,
         }
     }
 }
@@ -71,9 +94,15 @@ pub struct ServerStats {
     pub pings_served: u64,
     /// Connections the fault injector dropped.
     pub dropped_connections: u64,
-    /// Requests that arrived while every worker was busy serving another
-    /// session (observed backlog — the accept queue was non-empty).
+    /// Connections accepted by a worker already serving other sessions
+    /// (the pool multiplexed rather than dedicating a worker).
     pub queued_connections: u64,
+    /// Page requests absorbed by coalescing across all sessions.
+    pub pages_coalesced: u64,
+    /// Batched reply frames written across all sessions.
+    pub batch_replies: u64,
+    /// Most concurrent live sessions observed server-wide.
+    pub peak_sessions: u64,
 }
 
 impl ampom_obs::MetricSource for ServerStats {
@@ -110,8 +139,23 @@ impl ampom_obs::MetricSource for ServerStats {
         );
         reg.export_counter(
             "ampom_deputy_server_queued_connections_total",
-            "Requests arriving while every worker was busy",
+            "Connections multiplexed onto an already-busy worker",
             self.queued_connections,
+        );
+        reg.export_counter(
+            "ampom_deputy_server_pages_coalesced_total",
+            "Page requests absorbed by coalescing",
+            self.pages_coalesced,
+        );
+        reg.export_counter(
+            "ampom_deputy_server_batch_replies_total",
+            "Batched reply frames written",
+            self.batch_replies,
+        );
+        reg.export_counter(
+            "ampom_deputy_server_peak_sessions",
+            "Most concurrent live sessions observed",
+            self.peak_sessions,
         );
     }
 }
@@ -125,6 +169,10 @@ struct SharedStats {
     pings_served: AtomicU64,
     dropped_connections: AtomicU64,
     queued_connections: AtomicU64,
+    pages_coalesced: AtomicU64,
+    batch_replies: AtomicU64,
+    active_sessions: AtomicU64,
+    peak_sessions: AtomicU64,
 }
 
 impl SharedStats {
@@ -137,7 +185,87 @@ impl SharedStats {
             pings_served: self.pings_served.load(Ordering::Relaxed),
             dropped_connections: self.dropped_connections.load(Ordering::Relaxed),
             queued_connections: self.queued_connections.load(Ordering::Relaxed),
+            pages_coalesced: self.pages_coalesced.load(Ordering::Relaxed),
+            batch_replies: self.batch_replies.load(Ordering::Relaxed),
+            peak_sessions: self.peak_sessions.load(Ordering::Relaxed),
         }
+    }
+
+    fn session_opened(&self) {
+        let live = self.active_sessions.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak_sessions.fetch_max(live, Ordering::Relaxed);
+    }
+
+    fn session_closed(&self) {
+        self.active_sessions.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Per-connection pending page store with request coalescing.
+///
+/// Pages queue FIFO per connection. A request for a page that is already
+/// queued-but-unserved is *coalesced*: the single queued entry answers
+/// both requests, and the coalesce is counted. Once a page is taken for
+/// service it leaves the pending set, so a later re-request (the
+/// client's retry for a lost reply) queues — and is served — again.
+/// These two rules are exactly the "never drops, never duplicates"
+/// invariant the property suite pins.
+#[derive(Debug, Default)]
+pub struct PendingQueue {
+    queue: VecDeque<(u64, PageId)>,
+    pending: HashSet<PageId>,
+    coalesced: u64,
+    max_depth: u64,
+}
+
+impl PendingQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        PendingQueue::default()
+    }
+
+    /// Enqueues `page` on behalf of `req_id` unless an earlier request
+    /// for it is still pending. Returns `true` if enqueued, `false` if
+    /// coalesced into the earlier entry.
+    pub fn push(&mut self, req_id: u64, page: PageId) -> bool {
+        if !self.pending.insert(page) {
+            self.coalesced += 1;
+            return false;
+        }
+        self.queue.push_back((req_id, page));
+        self.max_depth = self.max_depth.max(self.queue.len() as u64);
+        true
+    }
+
+    /// Dequeues up to `n` pages for service, in FIFO order. The taken
+    /// pages leave the pending set, so a re-request re-enqueues them.
+    pub fn take(&mut self, n: usize) -> Vec<(u64, PageId)> {
+        let n = n.min(self.queue.len());
+        let out: Vec<(u64, PageId)> = self.queue.drain(..n).collect();
+        for (_, page) in &out {
+            self.pending.remove(page);
+        }
+        out
+    }
+
+    /// Pages queued and not yet taken.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Requests absorbed by coalescing so far.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced
+    }
+
+    /// Worst queue depth reached.
+    pub fn max_depth(&self) -> u64 {
+        self.max_depth
     }
 }
 
@@ -176,11 +304,11 @@ enum ServerStream {
 }
 
 impl ServerStream {
-    fn set_read_timeout(&self, d: Option<Duration>) -> std::io::Result<()> {
+    fn set_nonblocking(&self, on: bool) -> std::io::Result<()> {
         match self {
-            ServerStream::Tcp(s) => s.set_read_timeout(d),
+            ServerStream::Tcp(s) => s.set_nonblocking(on),
             #[cfg(unix)]
-            ServerStream::Unix(s) => s.set_read_timeout(d),
+            ServerStream::Unix(s) => s.set_nonblocking(on),
         }
     }
 }
@@ -257,6 +385,11 @@ impl DeputyServer {
         if cfg.workers == 0 {
             return Err(RpcError::Protocol("server needs at least 1 worker".into()));
         }
+        if cfg.quantum_pages == 0 {
+            return Err(RpcError::Protocol(
+                "server needs a DRR quantum of at least 1 page".into(),
+            ));
+        }
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(SharedStats::default());
         let listener = Arc::new(Mutex::new(listener));
@@ -308,9 +441,66 @@ impl Drop for DeputyServer {
     }
 }
 
-/// How often idle workers poll the (non-blocking) listener and serving
-/// workers check the stop flag.
-const POLL_INTERVAL: Duration = Duration::from_millis(5);
+/// How long an idle worker sleeps between event-loop passes.
+const POLL_INTERVAL: Duration = Duration::from_millis(1);
+
+/// One multiplexed migrant session inside a worker's event loop.
+struct SessionConn {
+    conn: ServerStream,
+    fb: FrameBuffer,
+    /// Encoded outbound bytes; `out_at` marks the flushed prefix.
+    out: Vec<u8>,
+    out_at: usize,
+    greeted: bool,
+    total_pages: u64,
+    pages_this_conn: u64,
+    pending: PendingQueue,
+    /// DRR deficit, in pages.
+    deficit: u64,
+    /// Wall instant the pending queue last became non-empty; the wait
+    /// since then is this session's observed backlog.
+    backlog_since: Option<Instant>,
+    local: WireStats,
+    state: ConnState,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    /// Reading and serving.
+    Open,
+    /// Flush the outbound queue (a final error/ack), then close.
+    Closing,
+    /// Close immediately, discarding unflushed output.
+    Dropped,
+}
+
+impl SessionConn {
+    fn new(conn: ServerStream) -> Option<SessionConn> {
+        conn.set_nonblocking(true).ok()?;
+        Some(SessionConn {
+            conn,
+            fb: FrameBuffer::new(),
+            out: Vec::with_capacity(128 * 1024),
+            out_at: 0,
+            greeted: false,
+            total_pages: 0,
+            pages_this_conn: 0,
+            pending: PendingQueue::new(),
+            deficit: 0,
+            backlog_since: None,
+            local: WireStats::default(),
+            state: ConnState::Open,
+        })
+    }
+
+    fn finished(&self) -> bool {
+        match self.state {
+            ConnState::Open => false,
+            ConnState::Dropped => true,
+            ConnState::Closing => self.out_at >= self.out.len(),
+        }
+    }
+}
 
 fn worker_loop(
     listener: &Mutex<Listener>,
@@ -318,258 +508,360 @@ fn worker_loop(
     stats: &SharedStats,
     cfg: &ServerConfig,
 ) {
-    while !stop.load(Ordering::SeqCst) {
-        let accepted = {
-            let guard = listener.lock().expect("listener lock");
-            guard.try_accept()
-        };
-        match accepted {
-            Ok(Some(conn)) => {
-                stats.connections.fetch_add(1, Ordering::Relaxed);
-                // A second pending connection right behind this one means
-                // the pool is the bottleneck; record the backlog.
-                if let Ok(guard) = listener.lock() {
-                    if let Ok(Some(extra)) = guard.try_accept() {
-                        stats.connections.fetch_add(1, Ordering::Relaxed);
-                        stats.queued_connections.fetch_add(1, Ordering::Relaxed);
-                        drop(guard);
-                        // Serve the first, then the stolen one, in order.
-                        serve_connection(conn, stop, stats, cfg);
-                        serve_connection(extra, stop, stats, cfg);
-                        continue;
-                    }
-                }
-                serve_connection(conn, stop, stats, cfg);
-            }
-            Ok(None) => std::thread::sleep(POLL_INTERVAL),
-            Err(_) => std::thread::sleep(POLL_INTERVAL),
-        }
-    }
-}
-
-/// Serves one migrant session to completion.
-fn serve_connection(
-    mut conn: ServerStream,
-    stop: &AtomicBool,
-    stats: &SharedStats,
-    cfg: &ServerConfig,
-) {
-    if conn.set_read_timeout(Some(POLL_INTERVAL * 20)).is_err() {
-        return;
-    }
-    let mut fb = FrameBuffer::new();
-    let mut read_buf = [0u8; 64 * 1024];
-    let mut write_buf: Vec<u8> = Vec::with_capacity(128 * 1024);
-    let mut session = Session {
-        total_pages: 0,
-        greeted: false,
-        pages_this_conn: 0,
-        local: WireStats::default(),
-    };
-
+    let mut sessions: Vec<SessionConn> = Vec::new();
+    let mut cursor = 0usize;
+    let mut read_buf = vec![0u8; 64 * 1024];
     loop {
-        // Drain every complete frame already buffered before reading.
-        // Frames after the first in a burst were waiting while earlier
-        // ones were served — that wait is the deputy's request backlog.
-        let mut burst_busy = Duration::ZERO;
-        let mut burst_len = 0u32;
+        if stop.load(Ordering::SeqCst) {
+            // Best-effort flush of what sessions are owed, then bail.
+            for s in &mut sessions {
+                pump_writes(s);
+                stats.session_closed();
+            }
+            return;
+        }
+        let mut progress = false;
+
+        // Accept whatever is pending; the lock shards arrivals across
+        // workers, and a worker already serving sessions multiplexes.
         loop {
-            let frame = match fb.pop() {
-                Ok(Some(f)) => f,
-                Ok(None) => break,
-                Err(e) => {
-                    let reply = Frame::Error {
-                        code: 400,
-                        detail: format!("codec: {e}"),
-                    };
-                    reply.encode_into(&mut write_buf);
-                    let _ = conn.write_all(&write_buf);
-                    return;
-                }
+            let accepted = match listener.lock() {
+                Ok(guard) => guard.try_accept(),
+                Err(_) => return,
             };
-            let is_request = matches!(
-                frame,
-                Frame::PageRequest { .. }
-                    | Frame::PrefetchBatch { .. }
-                    | Frame::SyscallForward { .. }
-            );
-            if is_request && burst_len > 0 {
-                session.local.queued_requests += 1;
-                let backlog = burst_busy.as_nanos() as u64;
-                session.local.max_backlog_ns = session.local.max_backlog_ns.max(backlog);
-            }
-            burst_len += 1;
-            let served_at = Instant::now();
-            let step = session.handle(frame, cfg, stats, &mut write_buf);
-            let service = served_at.elapsed();
-            burst_busy += service;
-            session.local.busy_time_ns += service.as_nanos() as u64;
-            match step {
-                SessionStep::Continue => {}
-                SessionStep::Close => {
-                    let _ = conn.write_all(&write_buf);
-                    let _ = conn.flush();
-                    return;
+            match accepted {
+                Ok(Some(conn)) => {
+                    stats.connections.fetch_add(1, Ordering::Relaxed);
+                    if !sessions.is_empty() {
+                        stats.queued_connections.fetch_add(1, Ordering::Relaxed);
+                    }
+                    if let Some(s) = SessionConn::new(conn) {
+                        stats.session_opened();
+                        sessions.push(s);
+                        progress = true;
+                    }
                 }
-                SessionStep::DropAbruptly => {
-                    stats.dropped_connections.fetch_add(1, Ordering::Relaxed);
-                    // No flush: the migrant sees an EOF mid-stream.
-                    return;
-                }
+                Ok(None) | Err(_) => break,
             }
         }
-        if !write_buf.is_empty() {
-            // Reply batching: one write per request burst, so a
-            // PrefetchBatch's pages leave back-to-back.
-            if conn.write_all(&write_buf).is_err() {
-                return;
-            }
-            if conn.flush().is_err() {
-                return;
-            }
-            write_buf.clear();
+
+        for s in &mut sessions {
+            progress |= pump_reads(s, cfg, stats, &mut read_buf);
         }
-        match conn.read(&mut read_buf) {
-            Ok(0) => return, // peer closed
-            Ok(n) => fb.extend(&read_buf[..n]),
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if stop.load(Ordering::SeqCst) {
-                    return;
-                }
+        progress |= drr_serve(&mut sessions, &mut cursor, cfg, stats);
+        for s in &mut sessions {
+            progress |= pump_writes(s);
+        }
+        let before = sessions.len();
+        sessions.retain(|s| {
+            if s.finished() {
+                stats.session_closed();
+                false
+            } else {
+                true
             }
-            Err(_) => return,
+        });
+        if sessions.len() != before && !sessions.is_empty() {
+            cursor %= sessions.len();
+        }
+
+        if !progress {
+            std::thread::sleep(POLL_INTERVAL);
         }
     }
 }
 
-struct Session {
-    total_pages: u64,
-    greeted: bool,
-    pages_this_conn: u64,
-    local: WireStats,
-}
-
-enum SessionStep {
-    Continue,
-    Close,
-    DropAbruptly,
-}
-
-impl Session {
-    fn handle(
-        &mut self,
-        frame: Frame,
-        cfg: &ServerConfig,
-        stats: &SharedStats,
-        out: &mut Vec<u8>,
-    ) -> SessionStep {
-        match frame {
-            Frame::Hello {
-                version,
-                total_pages,
-                ..
-            } => {
-                if version != WIRE_VERSION {
-                    Frame::Error {
-                        code: 426,
-                        detail: format!("version {version}, deputy speaks {WIRE_VERSION}"),
-                    }
-                    .encode_into(out);
-                    return SessionStep::Close;
-                }
-                self.greeted = true;
-                self.total_pages = total_pages;
-                Frame::HelloAck {
-                    version: WIRE_VERSION,
-                    page_size: PAGE_SIZE as u32,
-                }
-                .encode_into(out);
-                SessionStep::Continue
+/// Reads available bytes and handles every complete frame. Control
+/// frames are answered inline; page requests land in the pending queue
+/// for the DRR pass.
+fn pump_reads(
+    s: &mut SessionConn,
+    cfg: &ServerConfig,
+    stats: &SharedStats,
+    read_buf: &mut [u8],
+) -> bool {
+    if s.state != ConnState::Open {
+        return false;
+    }
+    let mut progress = false;
+    loop {
+        match s.conn.read(read_buf) {
+            Ok(0) => {
+                s.state = ConnState::Dropped;
+                break;
             }
-            Frame::PageRequest { req_id, pages } | Frame::PrefetchBatch { req_id, pages } => {
-                if !self.greeted {
-                    Frame::Error {
-                        code: 401,
-                        detail: "request before hello".into(),
-                    }
-                    .encode_into(out);
-                    return SessionStep::Close;
-                }
-                if pages.len() as u32 > cfg.max_pages_per_request {
-                    Frame::Error {
-                        code: 413,
-                        detail: format!(
-                            "{} pages exceeds per-request cap {}",
-                            pages.len(),
-                            cfg.max_pages_per_request
-                        ),
-                    }
-                    .encode_into(out);
-                    return SessionStep::Close;
-                }
-                self.local.requests_served += 1;
-                stats.requests_served.fetch_add(1, Ordering::Relaxed);
-                for page in pages {
-                    if page.0 >= self.total_pages {
-                        Frame::Error {
-                            code: 416,
-                            detail: format!("page {page} beyond image ({})", self.total_pages),
-                        }
-                        .encode_into(out);
-                        return SessionStep::Close;
-                    }
-                    Frame::PageReply {
-                        req_id,
-                        page,
-                        data: page_payload(page),
-                    }
-                    .encode_into(out);
-                    self.local.pages_served += 1;
-                    self.pages_this_conn += 1;
-                    stats.pages_served.fetch_add(1, Ordering::Relaxed);
-                    if let Some(limit) = cfg.drop_after_pages {
-                        if self.pages_this_conn >= limit {
-                            return SessionStep::DropAbruptly;
-                        }
-                    }
-                }
-                SessionStep::Continue
+            Ok(n) => {
+                progress = true;
+                s.fb.extend(&read_buf[..n]);
             }
-            Frame::SyscallForward { call_id, .. } => {
-                // The call's `work` is charged virtually by the migrant;
-                // the deputy only provides the round trip.
-                stats.syscalls_served.fetch_add(1, Ordering::Relaxed);
-                Frame::SyscallReply { call_id }.encode_into(out);
-                SessionStep::Continue
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                s.state = ConnState::Dropped;
+                break;
             }
-            Frame::Ping { token } => {
-                stats.pings_served.fetch_add(1, Ordering::Relaxed);
-                Frame::Pong { token }.encode_into(out);
-                SessionStep::Continue
-            }
-            Frame::StatsFetch => {
-                Frame::StatsReply(self.local).encode_into(out);
-                SessionStep::Continue
-            }
-            Frame::Bye => SessionStep::Close,
-            Frame::HelloAck { .. }
-            | Frame::PageReply { .. }
-            | Frame::SyscallReply { .. }
-            | Frame::Pong { .. }
-            | Frame::StatsReply(_)
-            | Frame::Error { .. } => {
+        }
+    }
+    loop {
+        if s.state != ConnState::Open {
+            break;
+        }
+        let frame = match s.fb.pop() {
+            Ok(Some(f)) => f,
+            Ok(None) => break,
+            Err(e) => {
                 Frame::Error {
                     code: 400,
-                    detail: "deputy received a reply frame".into(),
+                    detail: format!("codec: {e}"),
                 }
-                .encode_into(out);
-                SessionStep::Close
+                .encode_into(&mut s.out);
+                s.state = ConnState::Closing;
+                break;
+            }
+        };
+        progress = true;
+        let served_at = Instant::now();
+        handle_frame(s, frame, cfg, stats);
+        s.local.busy_time_ns += served_at.elapsed().as_nanos() as u64;
+    }
+    progress
+}
+
+fn handle_frame(s: &mut SessionConn, frame: Frame, cfg: &ServerConfig, stats: &SharedStats) {
+    match frame {
+        Frame::Hello {
+            version,
+            total_pages,
+            ..
+        } => {
+            if version != WIRE_VERSION {
+                Frame::Error {
+                    code: 426,
+                    detail: format!("version {version}, deputy speaks {WIRE_VERSION}"),
+                }
+                .encode_into(&mut s.out);
+                s.state = ConnState::Closing;
+                return;
+            }
+            s.greeted = true;
+            s.total_pages = total_pages;
+            Frame::HelloAck {
+                version: WIRE_VERSION,
+                page_size: PAGE_SIZE as u32,
+            }
+            .encode_into(&mut s.out);
+        }
+        Frame::PageRequest { req_id, pages } | Frame::PrefetchBatch { req_id, pages } => {
+            if !s.greeted {
+                Frame::Error {
+                    code: 401,
+                    detail: "request before hello".into(),
+                }
+                .encode_into(&mut s.out);
+                s.state = ConnState::Closing;
+                return;
+            }
+            if pages.len() as u32 > cfg.max_pages_per_request {
+                Frame::Error {
+                    code: 413,
+                    detail: format!(
+                        "{} pages exceeds per-request cap {}",
+                        pages.len(),
+                        cfg.max_pages_per_request
+                    ),
+                }
+                .encode_into(&mut s.out);
+                s.state = ConnState::Closing;
+                return;
+            }
+            // A request arriving while earlier pages are still pending
+            // found the deputy busy: that wait is this session's backlog.
+            if !s.pending.is_empty() {
+                s.local.queued_requests += 1;
+                if let Some(since) = s.backlog_since {
+                    let waited = since.elapsed().as_nanos() as u64;
+                    s.local.max_backlog_ns = s.local.max_backlog_ns.max(waited);
+                }
+            }
+            s.local.requests_served += 1;
+            stats.requests_served.fetch_add(1, Ordering::Relaxed);
+            for page in pages {
+                if page.0 >= s.total_pages {
+                    Frame::Error {
+                        code: 416,
+                        detail: format!("page {page} beyond image ({})", s.total_pages),
+                    }
+                    .encode_into(&mut s.out);
+                    s.state = ConnState::Closing;
+                    return;
+                }
+                let was_empty = s.pending.is_empty();
+                if !s.pending.push(req_id, page) {
+                    stats.pages_coalesced.fetch_add(1, Ordering::Relaxed);
+                } else if was_empty {
+                    s.backlog_since = Some(Instant::now());
+                }
+            }
+        }
+        Frame::SyscallForward { call_id, .. } => {
+            // The call's `work` is charged virtually by the migrant; the
+            // deputy only provides the round trip.
+            stats.syscalls_served.fetch_add(1, Ordering::Relaxed);
+            Frame::SyscallReply { call_id }.encode_into(&mut s.out);
+        }
+        Frame::Ping { token } => {
+            stats.pings_served.fetch_add(1, Ordering::Relaxed);
+            Frame::Pong { token }.encode_into(&mut s.out);
+        }
+        Frame::StatsFetch => {
+            let mut ws = s.local;
+            ws.pages_coalesced = s.pending.coalesced();
+            ws.max_pending_pages = s.pending.max_depth();
+            Frame::StatsReply(ws).encode_into(&mut s.out);
+        }
+        Frame::Bye => s.state = ConnState::Closing,
+        Frame::HelloAck { .. }
+        | Frame::PageReply { .. }
+        | Frame::PageBatchReply { .. }
+        | Frame::SyscallReply { .. }
+        | Frame::Pong { .. }
+        | Frame::StatsReply(_)
+        | Frame::Error { .. } => {
+            Frame::Error {
+                code: 400,
+                detail: "deputy received a reply frame".into(),
+            }
+            .encode_into(&mut s.out);
+            s.state = ConnState::Closing;
+        }
+    }
+}
+
+/// One full DRR drain: the cursor sweeps the worker's sessions, each
+/// visit grants a quantum of deficit and serves pages while it lasts.
+/// Runs until no session has pending pages (the client in-flight quota
+/// bounds the pass).
+fn drr_serve(
+    sessions: &mut [SessionConn],
+    cursor: &mut usize,
+    cfg: &ServerConfig,
+    stats: &SharedStats,
+) -> bool {
+    if sessions.is_empty() {
+        return false;
+    }
+    let quantum = u64::from(cfg.quantum_pages.max(1));
+    let n = sessions.len();
+    let mut progress = false;
+    loop {
+        let eligible = sessions
+            .iter()
+            .any(|s| s.state == ConnState::Open && !s.pending.is_empty());
+        if !eligible {
+            break;
+        }
+        let idx = *cursor % n;
+        {
+            let s = &mut sessions[idx];
+            if s.state == ConnState::Open && !s.pending.is_empty() {
+                s.deficit += quantum;
+                while s.deficit > 0 && !s.pending.is_empty() && s.state == ConnState::Open {
+                    let take = (s.deficit.min(MAX_BATCH_PAGES as u64)) as usize;
+                    let batch = s.pending.take(take);
+                    s.deficit -= batch.len() as u64;
+                    serve_batch(s, batch, cfg, stats);
+                    progress = true;
+                }
+                if s.pending.is_empty() {
+                    s.deficit = 0;
+                    s.backlog_since = None;
+                }
+            }
+        }
+        *cursor = (idx + 1) % n;
+    }
+    progress
+}
+
+/// Encodes one visit's pages into the session's outbound queue: a
+/// [`Frame::PageBatchReply`] when the visit serves several pages, the
+/// legacy single-page [`Frame::PageReply`] otherwise.
+fn serve_batch(
+    s: &mut SessionConn,
+    batch: Vec<(u64, PageId)>,
+    cfg: &ServerConfig,
+    stats: &SharedStats,
+) {
+    if batch.is_empty() {
+        return;
+    }
+    let served_at = Instant::now();
+    let served = batch.len() as u64;
+    if batch.len() == 1 {
+        let (req_id, page) = batch[0];
+        Frame::PageReply {
+            req_id,
+            page,
+            data: page_payload(page),
+        }
+        .encode_into(&mut s.out);
+    } else {
+        let req_id = batch[0].0;
+        let pages: Vec<(PageId, Vec<u8>)> = batch
+            .into_iter()
+            .map(|(_, page)| (page, page_payload(page)))
+            .collect();
+        Frame::PageBatchReply { req_id, pages }.encode_into(&mut s.out);
+        s.local.batch_replies += 1;
+        stats.batch_replies.fetch_add(1, Ordering::Relaxed);
+    }
+    s.local.pages_served += served;
+    s.pages_this_conn += served;
+    stats.pages_served.fetch_add(served, Ordering::Relaxed);
+    s.local.busy_time_ns += served_at.elapsed().as_nanos() as u64;
+    if let Some(limit) = cfg.drop_after_pages {
+        if s.pages_this_conn >= limit {
+            // Abrupt: unflushed replies are discarded with the socket,
+            // so the migrant sees an EOF mid-stream.
+            stats.dropped_connections.fetch_add(1, Ordering::Relaxed);
+            s.state = ConnState::Dropped;
+        }
+    }
+}
+
+/// Flushes as much of the outbound queue as the socket accepts.
+fn pump_writes(s: &mut SessionConn) -> bool {
+    if s.state == ConnState::Dropped || s.out_at >= s.out.len() {
+        return false;
+    }
+    let mut progress = false;
+    while s.out_at < s.out.len() {
+        match s.conn.write(&s.out[s.out_at..]) {
+            Ok(0) => {
+                s.state = ConnState::Dropped;
+                return progress;
+            }
+            Ok(n) => {
+                s.out_at += n;
+                progress = true;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                s.state = ConnState::Dropped;
+                return progress;
             }
         }
     }
+    if s.out_at >= s.out.len() {
+        s.out.clear();
+        s.out_at = 0;
+        let _ = s.conn.flush();
+    } else if s.out_at > 64 * 1024 {
+        s.out.drain(..s.out_at);
+        s.out_at = 0;
+    }
+    progress
 }
 
 #[cfg(test)]
@@ -592,5 +884,27 @@ mod tests {
             ..ServerConfig::default()
         };
         assert!(DeputyServer::bind_tcp("127.0.0.1:0", cfg).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_quantum() {
+        let cfg = ServerConfig {
+            quantum_pages: 0,
+            ..ServerConfig::default()
+        };
+        assert!(DeputyServer::bind_tcp("127.0.0.1:0", cfg).is_err());
+    }
+
+    #[test]
+    fn pending_queue_coalesces_and_revives() {
+        let mut q = PendingQueue::new();
+        assert!(q.push(1, PageId(5)));
+        assert!(!q.push(2, PageId(5)), "second request coalesces");
+        assert_eq!(q.coalesced(), 1);
+        assert_eq!(q.len(), 1);
+        let taken = q.take(4);
+        assert_eq!(taken, vec![(1, PageId(5))]);
+        assert!(q.push(3, PageId(5)), "re-request after service re-queues");
+        assert_eq!(q.max_depth(), 1);
     }
 }

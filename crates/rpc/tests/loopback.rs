@@ -98,6 +98,83 @@ fn calibration_and_migrant_work_over_unix_socket() {
     let _ = std::fs::remove_file(&path);
 }
 
+/// Four concurrent migrants against one deputy with a two-worker pool:
+/// the multiplexed event loop must interleave all sessions (no migrant
+/// waits for a whole neighbour run), every run must complete cleanly,
+/// and the sharded accounting must add up across connections.
+#[test]
+fn four_concurrent_migrants_share_one_deputy() {
+    let server = DeputyServer::bind_tcp(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr().to_string();
+
+    // Hold four raw sessions open at once: with two workers, at least
+    // one must multiplex, and the peak-session gauge must see all four.
+    {
+        let mut probes: Vec<ampom_rpc::MigrantClient> = (0..4)
+            .map(|_| {
+                ampom_rpc::MigrantClient::connect(Endpoint::tcp(&addr), 64, 2).expect("connect")
+            })
+            .collect();
+        for c in probes.iter_mut() {
+            c.ping(std::time::Duration::from_secs(5)).expect("ping");
+        }
+        let stats = server.stats();
+        assert!(
+            stats.peak_sessions >= 4,
+            "4 live probes, peak {}",
+            stats.peak_sessions
+        );
+        assert!(
+            stats.queued_connections >= 2,
+            "two workers holding four sessions must have multiplexed"
+        );
+    }
+
+    let reports: Vec<_> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let endpoint = Endpoint::tcp(&addr);
+                s.spawn(move || {
+                    let mut kernel = StreamKernel::new(2 * 1024 * 1024);
+                    let scheme = if i % 2 == 0 {
+                        Scheme::Ampom
+                    } else {
+                        Scheme::NoPrefetch
+                    };
+                    let cfg = RunConfig::new(scheme);
+                    run_live(&mut kernel, &cfg, endpoint, &generous()).expect("live run")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut fetched = 0u64;
+    for live in &reports {
+        let report = &live.report;
+        assert!(report.pages_demand_fetched > 0);
+        assert_eq!(report.faults.reconnects, 0, "reliable deputy, no drops");
+        assert_eq!(report.faults.fallback_pages, 0);
+        fetched += report.pages_demand_fetched + report.pages_prefetched;
+    }
+    let stats = server.stats();
+    assert!(
+        stats.pages_served >= fetched,
+        "served {} < the {} pages migrants booked",
+        stats.pages_served,
+        fetched
+    );
+    assert_eq!(stats.dropped_connections, 0);
+    server.shutdown();
+}
+
 /// A deputy that drops every connection after a handful of pages: the
 /// stall/reconnect policy must fire (degradations over the live path)
 /// and the run must still complete correctly.

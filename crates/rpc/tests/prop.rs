@@ -2,17 +2,24 @@
 //! work): every frame type round-trips bit-exactly through the wire
 //! encoding, and the decoder never panics — truncated, corrupted,
 //! oversized or random bytes always land on a typed [`CodecError`].
+//! The multi-migrant work extends the suite to batched replies and the
+//! deputy-side coalescing queue: coalescing may merge requests for the
+//! same page, but never drops a requested page and never serves an
+//! unrequested duplicate.
+
+use std::collections::HashSet;
 
 use ampom_mem::page::{PageId, PAGE_SIZE};
 use ampom_rpc::frame::{
-    page_payload, CodecError, Frame, FrameBuffer, WireStats, LENGTH_PREFIX_BYTES, MAX_FRAME_BYTES,
-    WIRE_VERSION,
+    page_payload, CodecError, Frame, FrameBuffer, WireStats, LENGTH_PREFIX_BYTES, MAX_BATCH_PAGES,
+    MAX_FRAME_BYTES, WIRE_VERSION,
 };
+use ampom_rpc::PendingQueue;
 use ampom_sim::propcheck::{forall, Gen};
 
 /// One arbitrary frame of any type.
 fn arbitrary_frame(g: &mut Gen) -> Frame {
-    match g.u64(0..13) {
+    match g.u64(0..14) {
         0 => Frame::Hello {
             version: g.u64(0..u64::from(u16::MAX) + 1) as u16,
             total_pages: g.u64(0..u64::MAX),
@@ -63,6 +70,9 @@ fn arbitrary_frame(g: &mut Gen) -> Frame {
             busy_time_ns: g.u64(0..u64::MAX),
             pages_served: g.u64(0..u64::MAX),
             requests_served: g.u64(0..u64::MAX),
+            pages_coalesced: g.u64(0..u64::MAX),
+            batch_replies: g.u64(0..u64::MAX),
+            max_pending_pages: g.u64(0..u64::MAX),
         }),
         11 => Frame::Error {
             code: g.u64(0..u64::from(u16::MAX) + 1) as u16,
@@ -73,6 +83,18 @@ fn arbitrary_frame(g: &mut Gen) -> Frame {
                     .collect::<Vec<_>>(),
             )
             .into_owned(),
+        },
+        12 => Frame::PageBatchReply {
+            req_id: g.u64(0..u64::MAX),
+            pages: {
+                let n = g.usize(0..MAX_BATCH_PAGES + 1);
+                (0..n)
+                    .map(|_| {
+                        let page = PageId(g.u64(0..1 << 32));
+                        (page, page_payload(page))
+                    })
+                    .collect()
+            },
         },
         _ => Frame::Bye,
     }
@@ -213,8 +235,104 @@ fn count_and_page_size_mismatches_are_typed() {
 }
 
 #[test]
+fn batch_count_cap_is_a_typed_error() {
+    // A batch promising more pages than MAX_BATCH_PAGES must be refused
+    // before any allocation sized by the count.
+    let page = PageId(9);
+    let mut wire = Frame::PageBatchReply {
+        req_id: 3,
+        pages: vec![(page, page_payload(page))],
+    }
+    .encode();
+    // count lives right after [len:4][type:1][req_id:8]
+    let bogus = (MAX_BATCH_PAGES + 1) as u32;
+    wire[13..17].copy_from_slice(&bogus.to_be_bytes());
+    assert_eq!(
+        Frame::decode(&wire[LENGTH_PREFIX_BYTES..]),
+        Err(CodecError::BadCount(bogus))
+    );
+
+    // A count that disagrees with the payload length is equally typed.
+    let mut wire = Frame::PageBatchReply {
+        req_id: 3,
+        pages: vec![(page, page_payload(page))],
+    }
+    .encode();
+    wire[13..17].copy_from_slice(&2u32.to_be_bytes());
+    assert_eq!(
+        Frame::decode(&wire[LENGTH_PREFIX_BYTES..]),
+        Err(CodecError::BadCount(2))
+    );
+}
+
+#[test]
+fn truncated_batches_error_without_panicking() {
+    forall("batch truncation", 200, |g| {
+        let n = g.usize(1..9);
+        let pages: Vec<(PageId, Vec<u8>)> = (0..n)
+            .map(|_| {
+                let page = PageId(g.u64(0..1 << 20));
+                (page, page_payload(page))
+            })
+            .collect();
+        let wire = Frame::PageBatchReply { req_id: 1, pages }.encode();
+        let body = &wire[LENGTH_PREFIX_BYTES..];
+        let cut = g.usize(0..body.len());
+        assert!(
+            Frame::decode(&body[..cut]).is_err(),
+            "truncated batch decoded"
+        );
+    });
+}
+
+/// The deputy-side coalescing queue: random interleavings of requests
+/// and service drains never lose a requested page and never serve a
+/// page nobody asked for. Re-requests after service (a retry for a lost
+/// reply) legitimately serve again, so the ledger tracks *requested
+/// since last served* rather than raw counts.
+#[test]
+fn coalescing_never_drops_or_duplicates_pages() {
+    forall("coalescing queue", 300, |g| {
+        let mut q = PendingQueue::new();
+        let mut outstanding: HashSet<PageId> = HashSet::new();
+        let mut requested = 0u64;
+        let mut served: Vec<PageId> = Vec::new();
+        for step in 0..g.usize(1..120) {
+            if g.bool(0.6) {
+                let page = PageId(g.u64(0..24));
+                requested += 1;
+                let enqueued = q.push(step as u64, page);
+                // Coalesced exactly when an unserved request existed.
+                assert_eq!(enqueued, outstanding.insert(page));
+            } else {
+                for (_, page) in q.take(g.usize(0..8)) {
+                    assert!(
+                        outstanding.remove(&page),
+                        "served page {page} nobody was waiting for"
+                    );
+                    served.push(page);
+                }
+            }
+        }
+        // Drain: everything still outstanding must come out exactly once.
+        for (_, page) in q.take(usize::MAX) {
+            assert!(outstanding.remove(&page), "drained unrequested {page}");
+            served.push(page);
+        }
+        assert!(outstanding.is_empty(), "pages dropped: {outstanding:?}");
+        assert!(q.is_empty());
+        // Conservation: every request was either served or coalesced.
+        assert_eq!(requested, served.len() as u64 + q.coalesced());
+        // No duplicates among concurrently-pending serves: a page may
+        // appear twice in `served` only via a re-request, which the
+        // outstanding ledger already enforced above.
+    });
+}
+
+#[test]
 fn version_constant_is_stable() {
     // Bumping WIRE_VERSION is a protocol break; this test makes the bump
-    // a conscious edit.
-    assert_eq!(WIRE_VERSION, 1);
+    // a conscious edit. Version 2 added PageBatchReply and widened
+    // StatsReply with the coalescing counters.
+    assert_eq!(WIRE_VERSION, 2);
 }
