@@ -17,6 +17,10 @@ pub enum AmpomError {
     /// relationship, zero sampling interval, empty repeat count, ...).
     /// The payload names the offending knob and constraint.
     InvalidConfig(String),
+    /// A prefetch-policy tunable is out of its documented domain (zero
+    /// Leap window, inverted INDIGO watermarks, ...). The payload names
+    /// the policy, knob and constraint.
+    InvalidPolicy(String),
     /// A workload specification cannot produce any references (zero
     /// pages, zero touches, an empty script).
     WorkloadExhausted(String),
@@ -40,6 +44,7 @@ impl fmt::Display for AmpomError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AmpomError::InvalidConfig(why) => write!(f, "invalid configuration: {why}"),
+            AmpomError::InvalidPolicy(why) => write!(f, "invalid prefetch policy: {why}"),
             AmpomError::WorkloadExhausted(why) => {
                 write!(f, "workload cannot produce references: {why}")
             }

@@ -32,15 +32,19 @@ use ampom_net::link::LinkConfig;
 use ampom_sim::rng::SimRng;
 use ampom_sim::time::SimDuration;
 use ampom_workloads::build_kernel;
+use ampom_workloads::churn::BurstyChurn;
 use ampom_workloads::dgemm::DgemmSmallWs;
 use ampom_workloads::memref::Workload;
+use ampom_workloads::pointer_chase::PointerChase;
 use ampom_workloads::sizes::{Kernel, ProblemSize};
 use ampom_workloads::synthetic::{Interleaved, Scripted, Sequential, Strided, UniformRandom};
+use ampom_workloads::zipf::ZipfianKv;
 
 use crate::error::AmpomError;
 use crate::metrics::RunReport;
 use crate::migration::Scheme;
 use crate::multirun::{MultiRunReport, MultiRunSpec};
+use crate::policy::PolicySpec;
 use crate::prefetcher::AmpomConfig;
 use crate::reliability::{FailurePolicy, FaultProfile};
 use crate::runner::{try_run_workload, CrossTrafficSpec, RunConfig, SyscallProfile};
@@ -112,6 +116,37 @@ pub enum WorkloadSpec {
         /// Working-set size in bytes.
         working_bytes: u64,
     },
+    /// A random-cycle pointer chase (graph traversal): locality-breaking.
+    PointerChase {
+        /// Heap size in bytes.
+        data_bytes: u64,
+        /// Pointer dereferences to walk.
+        hops: u64,
+    },
+    /// Zipfian key-value reuse over hash-scattered pages: locality-breaking.
+    ZipfianKv {
+        /// Heap size in bytes.
+        data_bytes: u64,
+        /// Distinct single-page keys.
+        keys: u64,
+        /// Zipf exponent (0 = uniform; web caches fit ≈ 0.8–1.0).
+        exponent: f64,
+        /// Lookup operations to issue.
+        ops: u64,
+    },
+    /// Bursty churn: a scattered hot set partially replaced every epoch.
+    BurstyChurn {
+        /// Heap size in bytes.
+        data_bytes: u64,
+        /// Bursts (epochs) of activity.
+        epochs: u32,
+        /// Hot-set size in pages.
+        hot_pages: u64,
+        /// Touches per epoch.
+        touches_per_epoch: u64,
+        /// Percentage of the hot set replaced after each epoch.
+        churn_pct: u32,
+    },
 }
 
 impl WorkloadSpec {
@@ -148,6 +183,28 @@ impl WorkloadSpec {
                 "DgemmSmallWs({}MB,ws{}MB)",
                 alloc_bytes >> 20,
                 working_bytes >> 20
+            ),
+            WorkloadSpec::PointerChase { data_bytes, hops } => {
+                format!("PointerChase({}MB,{hops})", data_bytes >> 20)
+            }
+            WorkloadSpec::ZipfianKv {
+                data_bytes,
+                keys,
+                exponent,
+                ops,
+            } => format!(
+                "ZipfianKV({}MB,k{keys},s{exponent},{ops})",
+                data_bytes >> 20
+            ),
+            WorkloadSpec::BurstyChurn {
+                data_bytes,
+                epochs,
+                hot_pages,
+                churn_pct,
+                ..
+            } => format!(
+                "BurstyChurn({}MB,{epochs}x{hot_pages},c{churn_pct}%)",
+                data_bytes >> 20
             ),
         }
     }
@@ -187,6 +244,43 @@ impl WorkloadSpec {
             } if *working_bytes == 0 || *working_bytes > *alloc_bytes => fail(format!(
                 "DGEMM working set {working_bytes}B outside (0, alloc {alloc_bytes}B]"
             )),
+            WorkloadSpec::PointerChase { data_bytes, hops }
+                if *hops == 0 || *data_bytes < 2 * ampom_mem::page::PAGE_SIZE =>
+            {
+                fail(format!("pointer chase of {hops} hops over {data_bytes}B"))
+            }
+            WorkloadSpec::ZipfianKv {
+                keys,
+                exponent,
+                ops,
+                data_bytes,
+            } if *keys == 0
+                || *ops == 0
+                || !exponent.is_finite()
+                || *exponent < 0.0
+                || *keys > *data_bytes / ampom_mem::page::PAGE_SIZE =>
+            {
+                fail(format!(
+                    "{ops} Zipf(s={exponent}) ops over {keys} keys in {data_bytes}B"
+                ))
+            }
+            WorkloadSpec::BurstyChurn {
+                data_bytes,
+                epochs,
+                hot_pages,
+                touches_per_epoch,
+                churn_pct,
+            } if *epochs == 0
+                || *hot_pages == 0
+                || *touches_per_epoch == 0
+                || *churn_pct > 100
+                || *hot_pages >= *data_bytes / ampom_mem::page::PAGE_SIZE =>
+            {
+                fail(format!(
+                    "{epochs} epochs x {touches_per_epoch} touches over a \
+                     {hot_pages}-page hot set ({churn_pct}% churn) in {data_bytes}B"
+                ))
+            }
             _ => Ok(()),
         }
     }
@@ -223,6 +317,38 @@ impl WorkloadSpec {
                 alloc_bytes,
                 working_bytes,
             } => Box::new(DgemmSmallWs::new(*alloc_bytes, *working_bytes)),
+            WorkloadSpec::PointerChase { data_bytes, hops } => Box::new(PointerChase::new(
+                *data_bytes,
+                *hops,
+                SimRng::seed_from_u64(seed),
+            )),
+            WorkloadSpec::ZipfianKv {
+                data_bytes,
+                keys,
+                exponent,
+                ops,
+            } => Box::new(ZipfianKv::new(
+                *data_bytes,
+                *keys,
+                *exponent,
+                *ops,
+                SimRng::seed_from_u64(seed),
+            )),
+            WorkloadSpec::BurstyChurn {
+                data_bytes,
+                epochs,
+                hot_pages,
+                touches_per_epoch,
+                churn_pct,
+            } => Box::new(BurstyChurn::new(
+                *data_bytes,
+                *epochs,
+                *hot_pages,
+                *touches_per_epoch,
+                *churn_pct,
+                BurstyChurn::THINK_TIME,
+                SimRng::seed_from_u64(seed),
+            )),
         })
     }
 }
@@ -284,6 +410,16 @@ impl Experiment {
     /// Replaces the AMPoM tunables.
     pub fn ampom(mut self, ampom: AmpomConfig) -> Self {
         self.cfg.ampom = ampom;
+        self
+    }
+
+    /// Selects the prefetch policy driving the dependent-zone decision
+    /// (AMPoM, Leap, or INDIGO). The default, [`PolicySpec::Ampom`], is
+    /// bit-identical to the historical path — golden fingerprints pin it.
+    /// Policy tunables are validated by [`Experiment::build`] into
+    /// [`AmpomError::InvalidPolicy`].
+    pub fn prefetch_policy(mut self, policy: PolicySpec) -> Self {
+        self.cfg.policy = policy;
         self
     }
 
@@ -616,6 +752,110 @@ mod tests {
         );
         // Policy alone leaves the profile null: the run stays fault-free.
         assert!(exp.config().faults.as_ref().unwrap().is_null());
+    }
+
+    #[test]
+    fn prefetch_policy_flows_through_the_builder() {
+        let exp = Experiment::new(Scheme::Ampom)
+            .sequential(128, CPU)
+            .prefetch_policy(PolicySpec::Leap(crate::policy::LeapConfig::default()))
+            .build()
+            .unwrap();
+        assert_eq!(exp.config().policy.label(), "leap");
+        let report = exp.run().unwrap();
+        assert!(report.pages_prefetched > 0, "leap prefetches a sweep");
+    }
+
+    #[test]
+    fn invalid_policy_is_a_typed_error() {
+        let err = Experiment::new(Scheme::Ampom)
+            .sequential(64, CPU)
+            .prefetch_policy(PolicySpec::Leap(crate::policy::LeapConfig {
+                init_window: 0,
+                ..crate::policy::LeapConfig::default()
+            }))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, AmpomError::InvalidPolicy(_)));
+    }
+
+    #[test]
+    fn default_policy_reproduces_the_historical_fingerprint() {
+        let explicit = Experiment::new(Scheme::Ampom)
+            .sequential(256, CPU)
+            .prefetch_policy(PolicySpec::Ampom)
+            .run()
+            .unwrap();
+        let mut w = Sequential::new(256, CPU);
+        let legacy = crate::runner::run_workload(&mut w, &RunConfig::new(Scheme::Ampom));
+        assert_eq!(explicit.fingerprint(), legacy.fingerprint());
+    }
+
+    #[test]
+    fn locality_breaking_specs_build_and_run() {
+        let specs = [
+            WorkloadSpec::PointerChase {
+                data_bytes: 2 << 20,
+                hops: 600,
+            },
+            WorkloadSpec::ZipfianKv {
+                data_bytes: 2 << 20,
+                keys: 128,
+                exponent: 0.9,
+                ops: 800,
+            },
+            WorkloadSpec::BurstyChurn {
+                data_bytes: 2 << 20,
+                epochs: 3,
+                hot_pages: 32,
+                touches_per_epoch: 200,
+                churn_pct: 25,
+            },
+        ];
+        for spec in specs {
+            let label = spec.label();
+            let report = Experiment::new(Scheme::Ampom)
+                .workload(spec)
+                .seed(3)
+                .run()
+                .unwrap();
+            assert!(report.fault_requests > 0, "{label} never faulted");
+        }
+    }
+
+    #[test]
+    fn degenerate_locality_breaking_specs_are_rejected() {
+        for spec in [
+            WorkloadSpec::PointerChase {
+                data_bytes: 1 << 20,
+                hops: 0,
+            },
+            WorkloadSpec::ZipfianKv {
+                data_bytes: 1 << 20,
+                keys: 0,
+                exponent: 1.0,
+                ops: 10,
+            },
+            WorkloadSpec::ZipfianKv {
+                data_bytes: 1 << 20,
+                keys: 16,
+                exponent: f64::NAN,
+                ops: 10,
+            },
+            WorkloadSpec::BurstyChurn {
+                data_bytes: 1 << 20,
+                epochs: 2,
+                hot_pages: 16,
+                touches_per_epoch: 10,
+                churn_pct: 101,
+            },
+        ] {
+            assert!(
+                matches!(spec.validate(), Err(AmpomError::WorkloadExhausted(_))),
+                "{} should be rejected",
+                spec.label()
+            );
+        }
     }
 
     #[test]

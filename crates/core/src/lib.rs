@@ -94,6 +94,7 @@ pub mod metrics;
 pub mod migration;
 pub mod monitor;
 pub mod multirun;
+pub mod policy;
 pub mod prefetcher;
 pub mod reliability;
 pub mod remigration;
@@ -112,6 +113,10 @@ pub use experiment::{Experiment, WorkloadSpec};
 pub use metrics::RunReport;
 pub use migration::Scheme;
 pub use multirun::{run_multi, MigrantSpec, MultiRunReport, MultiRunSpec};
+pub use policy::{
+    IndigoConfig, IndigoPrefetcher, LeapConfig, LeapPrefetcher, PolicySpec, PrefetchFeedback,
+    PrefetchObservation, Prefetcher,
+};
 pub use prefetcher::{AmpomConfig, AmpomPrefetcher};
 pub use reliability::{FailurePolicy, FaultProfile, RetryPolicy, RetrySchedule, RetryStep};
 pub use runner::{run_workload, try_run_workload, RunConfig};

@@ -247,6 +247,26 @@ impl RunReport {
         }
         self.prefetched_pages_used as f64 / self.pages_prefetched as f64
     }
+
+    /// Prefetch coverage: the fraction of remotely needed pages that the
+    /// prefetcher delivered ahead of demand,
+    /// `used / (used + demand-fetched)`. 0 when nothing was fetched
+    /// remotely. The `profile` and `bakeoff` reports both use this helper
+    /// rather than re-deriving the ratio.
+    pub fn coverage(&self) -> f64 {
+        let needed = self.prefetched_pages_used + self.pages_demand_fetched;
+        if needed == 0 {
+            return 0.0;
+        }
+        self.prefetched_pages_used as f64 / needed as f64
+    }
+
+    /// Prefetch waste: the fraction of prefetched pages never touched,
+    /// `1 − accuracy`. 0 when nothing was prefetched (no waste, rather
+    /// than undefined).
+    pub fn waste(&self) -> f64 {
+        1.0 - self.prefetch_accuracy()
+    }
 }
 
 impl MetricSource for FaultStats {
@@ -564,5 +584,16 @@ mod tests {
         let base = report(0, 0);
         assert_eq!(r.fault_prevention_vs(&base), 0.0);
         assert_eq!(r.exec_increase_vs(&base), 0.0);
+        assert_eq!(r.coverage(), 0.0);
+        assert_eq!(r.waste(), 0.0);
+    }
+
+    #[test]
+    fn coverage_accuracy_and_waste_are_consistent() {
+        // report(): 10 prefetched and 9 used per fault, 1 demand fetch.
+        let r = report(100, 50);
+        assert!((r.prefetch_accuracy() - 0.9).abs() < 1e-12);
+        assert!((r.waste() - 0.1).abs() < 1e-12);
+        assert!((r.coverage() - 900.0 / 1000.0).abs() < 1e-12);
     }
 }

@@ -125,23 +125,49 @@ pub struct ZoneDecision {
 }
 
 /// Running statistics of the prefetcher, reported in Figures 8 and 11.
+///
+/// Unit audit (the counters mix two granularities, so each records
+/// which): `analyses`, `fallbacks` and `score_clamps` count analysis
+/// **batches** (one per recorded fault); `pages_selected` counts
+/// **pages**. The three distributions are per-batch samples. All
+/// counters are `u64` — at the simulator's ~20 k faults/s a 64-bit
+/// page counter is ~29 M years from wrapping, so no width concern.
 #[derive(Debug, Default, Clone)]
 pub struct PrefetchStats {
-    /// Analyses performed (= faults recorded).
+    /// Analyses performed, in batches (= faults recorded).
     pub analyses: u64,
-    /// Total pages selected for prefetch across all requests.
+    /// Total pages selected for prefetch across all requests (pages,
+    /// not batches).
     pub pages_selected: u64,
-    /// Distribution of the raw `N` values.
+    /// Distribution of the raw `N` values (one sample per batch).
     pub n_values: OnlineStats,
     /// Distribution of the applied zone budgets (Figure 8's per-fault
-    /// prefetch aggressiveness).
+    /// prefetch aggressiveness; one sample per batch).
     pub budgets: OnlineStats,
-    /// Distribution of the spatial score.
+    /// Distribution of the spatial score (one sample per batch).
     pub scores: OnlineStats,
-    /// Analyses that fell back to read-ahead (no outstanding stream).
+    /// Analyses that fell back to read-ahead (no outstanding stream),
+    /// in batches.
     pub fallbacks: u64,
-    /// Analyses where the Eq. 1 clamp actually fired (raw score above 1).
+    /// Analyses where the Eq. 1 clamp actually fired (raw score above
+    /// 1), in batches.
     pub score_clamps: u64,
+}
+
+impl PrefetchStats {
+    /// Folds another accumulator into this one (used when several
+    /// prefetcher instances — e.g. the VM runner's per-process engines —
+    /// report as one). Every counter participates, including
+    /// `score_clamps`, which the ad-hoc merges this replaced dropped.
+    pub fn merge(&mut self, other: &PrefetchStats) {
+        self.analyses += other.analyses;
+        self.pages_selected += other.pages_selected;
+        self.n_values.merge(&other.n_values);
+        self.budgets.merge(&other.budgets);
+        self.scores.merge(&other.scores);
+        self.fallbacks += other.fallbacks;
+        self.score_clamps += other.score_clamps;
+    }
 }
 
 /// The AMPoM analysis engine. One instance per migrant.
@@ -180,20 +206,17 @@ impl AmpomPrefetcher {
         &self.config
     }
 
-    /// The lookback window (read access for diagnostics and the monitor's
-    /// window-wrap clock).
-    pub fn window(&self) -> &LookbackWindow {
-        &self.window
-    }
-
-    /// Accumulated statistics.
-    pub fn stats(&self) -> &PrefetchStats {
-        &self.stats
-    }
-
-    /// The census from the most recent analysis, if any.
-    pub fn last_census(&self) -> Option<&Census> {
-        self.last_census.as_ref()
+    /// A uniform snapshot of the prefetcher's state — the single
+    /// reporting surface (replaces the former `stats()`/`window()`/
+    /// `last_census()` getters, so every policy reports identically).
+    pub fn observation(&self) -> crate::policy::PrefetchObservation {
+        crate::policy::PrefetchObservation {
+            policy: "ampom",
+            stats: self.stats.clone(),
+            window_wraps: self.window.wraps(),
+            window_full: self.window.is_full(),
+            outstanding_streams: self.last_census.as_ref().map_or(0, |c| c.outstanding.len()),
+        }
     }
 
     /// Runs one fault analysis (the analysis lines of Algorithm 1).
@@ -331,7 +354,7 @@ mod tests {
         // Fallback zone: pages right after the last fault.
         assert_eq!(d.prefetch.first(), Some(&PageId(399_376)));
         assert_eq!(d.prefetch.len(), 16);
-        assert!(p.stats().fallbacks > 0);
+        assert!(p.stats.fallbacks > 0);
     }
 
     #[test]
@@ -447,7 +470,7 @@ mod tests {
         for i in 0..10u64 {
             p.on_fault(PageId(i), t(i * 100), 0.8, net(), PageId(100), |_| true);
         }
-        let s = p.stats();
+        let s = &p.stats;
         assert_eq!(s.analyses, 10);
         assert!(s.pages_selected > 0);
         assert_eq!(s.scores.count(), 10);
@@ -473,6 +496,6 @@ mod tests {
             }
         }
         assert!(clamped_seen, "repeated-page pattern must trip the clamp");
-        assert!(p.stats().score_clamps > 0);
+        assert!(p.stats.score_clamps > 0);
     }
 }

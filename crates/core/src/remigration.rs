@@ -33,7 +33,7 @@ use crate::cluster::NetPath;
 use crate::deputy::Deputy;
 use crate::migration::{perform_freeze, PreMigrationState, Scheme};
 use crate::monitor::MonitorDaemon;
-use crate::prefetcher::AmpomPrefetcher;
+use crate::policy::Prefetcher;
 use crate::runner::{RunConfig, MINOR_FAULT_COST, PAGE_INSTALL_COST};
 use ampom_net::calibration::AMPOM_ANALYSIS_COST;
 
@@ -85,8 +85,8 @@ pub fn run_round_trip<W: Workload + ?Sized>(
 
     let mut deputy = Deputy::new();
     let mut monitor = MonitorDaemon::new(&path);
-    let mut prefetcher =
-        (cfg.scheme == Scheme::Ampom).then(|| AmpomPrefetcher::new(cfg.ampom.clone()));
+    let mut prefetcher: Option<Box<dyn Prefetcher>> =
+        (cfg.scheme == Scheme::Ampom).then(|| cfg.policy.build(&cfg.ampom));
     let mut in_flight: std::collections::HashMap<_, SimTime> = std::collections::HashMap::new();
     let mut staged: std::collections::VecDeque<(SimTime, ampom_mem::page::PageId)> =
         std::collections::VecDeque::new();
@@ -113,11 +113,11 @@ pub fn run_round_trip<W: Workload + ?Sized>(
                     Some(pf) => {
                         monitor.advance(now, &mut path);
                         let est = monitor.estimates();
-                        let d = pf.on_fault(r.page, now, 1.0, est, page_limit, |p| {
+                        let d = pf.on_fault(r.page, now, 1.0, est, page_limit, &mut |p| {
                             space.state(p) == PageState::Remote && !in_flight.contains_key(&p)
                         });
                         now += AMPOM_ANALYSIS_COST;
-                        monitor.on_window_wrap(now, pf.window().wraps(), &path);
+                        monitor.on_window_wrap(now, pf.observe().window_wraps, &path);
                         d.prefetch
                     }
                     None => Vec::new(),
@@ -209,8 +209,8 @@ pub fn run_round_trip<W: Workload + ?Sized>(
         space.pages_where(|s| s == PageState::Remote),
     );
     let mut return_deputy = Deputy::new();
-    let mut return_prefetcher =
-        (cfg.scheme == Scheme::Ampom).then(|| AmpomPrefetcher::new(cfg.ampom.clone()));
+    let mut return_prefetcher: Option<Box<dyn Prefetcher>> =
+        (cfg.scheme == Scheme::Ampom).then(|| cfg.policy.build(&cfg.ampom));
     in_flight.clear();
     staged.clear();
 
@@ -224,7 +224,7 @@ pub fn run_round_trip<W: Workload + ?Sized>(
                     Some(pf) => {
                         monitor.advance(now, &mut path);
                         let est = monitor.estimates();
-                        let d = pf.on_fault(r.page, now, 1.0, est, page_limit, |p| {
+                        let d = pf.on_fault(r.page, now, 1.0, est, page_limit, &mut |p| {
                             space.state(p) == PageState::Remote
                                 && !in_flight.contains_key(&p)
                                 && return_table.lookup(p).is_some()

@@ -42,7 +42,8 @@ use crate::error::AmpomError;
 use crate::metrics::{RunReport, RunSeries};
 use crate::migration::{perform_freeze, PreMigrationState, Scheme};
 use crate::monitor::MonitorDaemon;
-use crate::prefetcher::{AmpomConfig, AmpomPrefetcher, PrefetchStats};
+use crate::policy::{PolicySpec, PrefetchFeedback, Prefetcher};
+use crate::prefetcher::{AmpomConfig, PrefetchStats};
 use crate::reliability::{FailurePolicy, FaultInjector, FaultProfile};
 
 /// Cost of servicing a minor fault (anonymous zero-fill) in the kernel.
@@ -89,6 +90,11 @@ pub struct RunConfig {
     pub link: LinkConfig,
     /// AMPoM tunables (ignored by the other schemes).
     pub ampom: AmpomConfig,
+    /// Prefetch policy driving the per-fault analysis under
+    /// [`Scheme::Ampom`] (the other schemes never analyse). The default,
+    /// [`PolicySpec::Ampom`], is the paper's engine and is pinned
+    /// bit-identical to the pre-trait path by the golden fingerprints.
+    pub policy: PolicySpec,
     /// Record a Figure 2 style timeline.
     pub trace: bool,
     /// Optional foreign traffic on the reply link.
@@ -118,6 +124,7 @@ impl RunConfig {
             scheme,
             link: ampom_net::calibration::fast_ethernet(),
             ampom: AmpomConfig::default(),
+            policy: PolicySpec::default(),
             trace: false,
             cross_traffic: None,
             syscalls: None,
@@ -143,6 +150,13 @@ impl RunConfig {
     /// Replaces the AMPoM tunables (ignored by the other schemes).
     pub fn with_ampom(mut self, ampom: AmpomConfig) -> Self {
         self.ampom = ampom;
+        self
+    }
+
+    /// Selects the prefetch policy (see [`PolicySpec`]). Only
+    /// meaningful under [`Scheme::Ampom`].
+    pub fn with_policy(mut self, policy: PolicySpec) -> Self {
+        self.policy = policy;
         self
     }
 
@@ -193,6 +207,7 @@ impl RunConfig {
         }
         if self.scheme == Scheme::Ampom {
             self.ampom.validate()?;
+            self.policy.validate()?;
         }
         if let Some(profile) = self.syscalls {
             if profile.every_refs == 0 {
@@ -281,8 +296,8 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
     let mut table = freeze.table;
     let mut now = SimTime::ZERO + freeze.freeze_time;
 
-    let mut prefetcher =
-        (cfg.scheme == Scheme::Ampom).then(|| AmpomPrefetcher::new(cfg.ampom.clone()));
+    let mut prefetcher: Option<Box<dyn Prefetcher>> =
+        (cfg.scheme == Scheme::Ampom).then(|| cfg.policy.build(&cfg.ampom));
     let mut monitor = MonitorDaemon::new(&path);
     let mut deputy = Deputy::new();
 
@@ -430,7 +445,7 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                 let util = utilization(cpu_since_fault, now, last_fault_at);
                 last_fault_at = now;
                 cpu_since_fault = SimDuration::ZERO;
-                if let Some(pf) = prefetcher.as_mut() {
+                if let Some(pf) = prefetcher.as_deref_mut() {
                     let prefetch = analyze(
                         pf,
                         r.page,
@@ -441,6 +456,10 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                         page_limit,
                         &space,
                         &in_flight,
+                        PrefetchFeedback {
+                            pages_prefetched,
+                            prefetched_used,
+                        },
                         &mut analysis_time,
                         &mut trace,
                     );
@@ -492,7 +511,7 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                 cpu_since_fault = SimDuration::ZERO;
 
                 // AMPoM analysis (every fault, per Algorithm 1).
-                let prefetch = match prefetcher.as_mut() {
+                let prefetch = match prefetcher.as_deref_mut() {
                     Some(pf) => analyze(
                         pf,
                         r.page,
@@ -503,6 +522,10 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                         page_limit,
                         &space,
                         &in_flight,
+                        PrefetchFeedback {
+                            pages_prefetched,
+                            prefetched_used,
+                        },
                         &mut analysis_time,
                         &mut trace,
                     ),
@@ -516,7 +539,9 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                         series.in_flight.push(now, in_flight.len() as f64);
                         series.resident.push(now, space.resident_pages() as f64);
                         if let Some(pf) = prefetcher.as_ref() {
-                            series.zone_budget.push(now, pf.stats().budgets.mean());
+                            series
+                                .zone_budget
+                                .push(now, pf.observe().stats.budgets.mean());
                         }
                         series
                             .link_utilization
@@ -690,7 +715,10 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
     let total_time = now.since(SimTime::ZERO);
 
     let (analysis_count, prefetch_stats) = match prefetcher {
-        Some(pf) => (pf.stats().analyses, pf.stats().clone()),
+        Some(pf) => {
+            let stats = pf.observe().stats;
+            (stats.analyses, stats)
+        }
         None => (0, PrefetchStats::default()),
     };
 
@@ -750,11 +778,12 @@ fn utilization(cpu: SimDuration, now: SimTime, last_fault: SimTime) -> f64 {
     }
 }
 
-/// Runs the AMPoM analysis for one fault: monitor upkeep, window record,
-/// census/score/zone, and the analysis-time charge.
+/// Runs the prefetch analysis for one fault: monitor upkeep, outcome
+/// feedback, the policy's window/zone decision, and the analysis-time
+/// charge.
 #[allow(clippy::too_many_arguments)]
 fn analyze(
-    pf: &mut AmpomPrefetcher,
+    pf: &mut dyn Prefetcher,
     page: PageId,
     now: &mut SimTime,
     util: f64,
@@ -763,12 +792,14 @@ fn analyze(
     page_limit: PageId,
     space: &ampom_mem::space::AddressSpace,
     in_flight: &HashMap<PageId, SimTime>,
+    feedback: PrefetchFeedback,
     analysis_time: &mut SimDuration,
     trace: &mut Trace,
 ) -> Vec<PageId> {
     monitor.advance(*now, path);
     let est = monitor.estimates();
-    let decision = pf.on_fault(page, *now, util, est, page_limit, |p| {
+    pf.note_outcome(feedback);
+    let decision = pf.on_fault(page, *now, util, est, page_limit, &mut |p| {
         space.state(p) == ampom_mem::space::PageState::Remote && !in_flight.contains_key(&p)
     });
     if decision.score_clamped {
@@ -792,7 +823,7 @@ fn analyze(
     );
     *now += AMPOM_ANALYSIS_COST;
     *analysis_time += AMPOM_ANALYSIS_COST;
-    monitor.on_window_wrap(*now, pf.window().wraps(), path);
+    monitor.on_window_wrap(*now, pf.observe().window_wraps, path);
     decision.prefetch
 }
 

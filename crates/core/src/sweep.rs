@@ -35,6 +35,7 @@ use crate::experiment::{Experiment, WorkloadSpec};
 use crate::metrics::RunReport;
 use crate::migration::Scheme;
 use crate::multirun::MultiRunReport;
+use crate::policy::PolicySpec;
 use crate::prefetcher::AmpomConfig;
 use crate::reliability::FaultProfile;
 use crate::runner::CrossTrafficSpec;
@@ -160,6 +161,7 @@ pub struct SweepSpec {
     cross: Vec<CrossAxis>,
     faults: Vec<FaultAxis>,
     migrants: Vec<u32>,
+    policies: Vec<PolicySpec>,
     repeats: u32,
     threads: Option<usize>,
     seed_mode: SeedMode,
@@ -187,6 +189,7 @@ impl SweepSpec {
             cross: vec![("quiet".into(), None)],
             faults: vec![("no-faults".into(), None)],
             migrants: vec![1],
+            policies: vec![PolicySpec::Ampom],
             repeats: 1,
             threads: None,
             seed_mode: SeedMode::Grid { base_seed: 0x5EED },
@@ -254,6 +257,23 @@ impl SweepSpec {
         self
     }
 
+    /// Replaces the prefetch-policy axis (default `[PolicySpec::Ampom]`,
+    /// the historical single-policy grid — cell counts and seeds are
+    /// unchanged until a second policy is added). Policies only shape
+    /// AMPoM-scheme cells; openMosix and NoPrefetch cells ignore the axis
+    /// value but are still enumerated per entry, so a bake-off grid stays
+    /// rectangular.
+    pub fn policies(mut self, policies: impl Into<Vec<PolicySpec>>) -> Self {
+        self.policies = policies.into();
+        self
+    }
+
+    /// Appends one prefetch policy to the policy axis.
+    pub fn policy(mut self, policy: PolicySpec) -> Self {
+        self.policies.push(policy);
+        self
+    }
+
     /// Repeats per cell (confidence intervals need ≥ 2).
     pub fn repeats(mut self, n: u32) -> Self {
         self.repeats = n;
@@ -293,6 +313,7 @@ impl SweepSpec {
             ("cross_traffic", self.cross.is_empty()),
             ("faults", self.faults.is_empty()),
             ("migrants", self.migrants.is_empty()),
+            ("policies", self.policies.is_empty()),
         ] {
             if empty {
                 return Err(AmpomError::EmptySweep(axis.into()));
@@ -319,6 +340,9 @@ impl SweepSpec {
             ));
         }
         self.ampom.validate()?;
+        for policy in &self.policies {
+            policy.validate()?;
+        }
         for spec in &self.workloads {
             spec.validate()?;
         }
@@ -347,6 +371,7 @@ impl SweepSpec {
             * self.faults.len()
             * self.migrants.len()
             * self.schemes.len()
+            * self.policies.len()
     }
 
     /// Number of individual runs (cells × repeats).
@@ -376,27 +401,31 @@ impl SweepSpec {
                     for (fault_label, faults) in &self.faults {
                         for &migrants in &self.migrants {
                             for &scheme in &self.schemes {
-                                let mut exp = Experiment::new(scheme)
-                                    .workload(spec.clone())
-                                    .link(*link)
-                                    .ampom(self.ampom.clone())
-                                    .repeats(self.repeats);
-                                if let Some(ct) = cross {
-                                    exp = exp.cross_traffic(*ct);
+                                for policy in &self.policies {
+                                    let mut exp = Experiment::new(scheme)
+                                        .workload(spec.clone())
+                                        .link(*link)
+                                        .ampom(self.ampom.clone())
+                                        .prefetch_policy(policy.clone())
+                                        .repeats(self.repeats);
+                                    if let Some(ct) = cross {
+                                        exp = exp.cross_traffic(*ct);
+                                    }
+                                    if let Some(profile) = faults {
+                                        exp = exp.faults(profile.clone());
+                                    }
+                                    out.push(CellCoord {
+                                        scheme,
+                                        workload: spec.label(),
+                                        workload_idx: w_idx,
+                                        link: link_label.clone(),
+                                        cross: cross_label.clone(),
+                                        faults: fault_label.clone(),
+                                        migrants,
+                                        policy: policy.label().to_string(),
+                                        exp,
+                                    });
                                 }
-                                if let Some(profile) = faults {
-                                    exp = exp.faults(profile.clone());
-                                }
-                                out.push(CellCoord {
-                                    scheme,
-                                    workload: spec.label(),
-                                    workload_idx: w_idx,
-                                    link: link_label.clone(),
-                                    cross: cross_label.clone(),
-                                    faults: fault_label.clone(),
-                                    migrants,
-                                    exp,
-                                });
                             }
                         }
                     }
@@ -514,6 +543,7 @@ impl SweepSpec {
                 cross: cell.cross,
                 faults: cell.faults,
                 migrants: cell.migrants,
+                policy: cell.policy,
                 reports,
                 multi,
                 summary,
@@ -568,6 +598,7 @@ struct CellCoord {
     cross: String,
     faults: String,
     migrants: u32,
+    policy: String,
     exp: Experiment,
 }
 
@@ -683,6 +714,9 @@ pub struct SweepCell {
     pub faults: String,
     /// Concurrent migrants in this cell (1 = classic single run).
     pub migrants: u32,
+    /// Prefetch-policy label (`"ampom"` on the default axis; meaningful
+    /// only for AMPoM-scheme cells).
+    pub policy: String,
     /// Every run's full report: repeat-major, then migrant shard order
     /// within a repeat (`repeats × migrants` entries).
     pub reports: Vec<RunReport>,
@@ -998,6 +1032,58 @@ mod tests {
             .run()
             .unwrap_err();
         assert!(matches!(err, AmpomError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn default_policy_axis_changes_nothing() {
+        let base = small_spec().fixed_seed(7);
+        let explicit = base.clone().policies([PolicySpec::Ampom]);
+        assert_eq!(base.cell_count(), explicit.cell_count());
+        assert_eq!(
+            base.run().unwrap().fingerprint(),
+            explicit.run().unwrap().fingerprint(),
+            "an explicit [Ampom] policy axis must be byte-identical to the default"
+        );
+    }
+
+    #[test]
+    fn policy_axis_multiplies_the_grid_and_stays_deterministic() {
+        let spec = SweepSpec::new()
+            .workload(WorkloadSpec::Sequential {
+                pages: 128,
+                cpu: CPU,
+            })
+            .schemes([Scheme::Ampom])
+            .policies(PolicySpec::all())
+            .threads(4)
+            .repeats(2);
+        let parallel = spec.run().unwrap();
+        // 1 workload × 1 link × 1 cross × 1 fault × 1 migrant × 1 scheme
+        // × 3 policies.
+        assert_eq!(parallel.cells.len(), 3);
+        let labels: Vec<&str> = parallel.cells.iter().map(|c| c.policy.as_str()).collect();
+        assert_eq!(labels, ["ampom", "leap", "indigo"]);
+        // Every policy sees the same reference stream in a row.
+        assert_eq!(
+            parallel.cells[0].reports[0].compute_time,
+            parallel.cells[1].reports[0].compute_time
+        );
+        let serial = spec.run_serial().unwrap();
+        assert_eq!(parallel.fingerprint(), serial.fingerprint());
+    }
+
+    #[test]
+    fn invalid_policy_axis_entries_are_typed_errors() {
+        let err = small_spec().policies(Vec::new()).run().unwrap_err();
+        assert_eq!(err, AmpomError::EmptySweep("policies".into()));
+        let err = small_spec()
+            .policies([PolicySpec::Leap(crate::policy::LeapConfig {
+                init_window: 0,
+                ..Default::default()
+            })])
+            .run()
+            .unwrap_err();
+        assert!(matches!(err, AmpomError::InvalidPolicy(_)));
     }
 
     #[test]

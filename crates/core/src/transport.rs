@@ -40,7 +40,8 @@ use crate::error::AmpomError;
 use crate::metrics::{DeputyStats, FaultStats, RunReport, RunSeries};
 use crate::migration::{perform_freeze, FreezeOutcome, PreMigrationState, Scheme};
 use crate::monitor::MonitorDaemon;
-use crate::prefetcher::{AmpomPrefetcher, NetEstimates, PrefetchStats};
+use crate::policy::{PrefetchFeedback, Prefetcher};
+use crate::prefetcher::{NetEstimates, PrefetchStats};
 use crate::runner::{RunConfig, MINOR_FAULT_COST, PAGE_INSTALL_COST};
 
 /// The wire between the migrant-side runner and the home-node deputy.
@@ -313,8 +314,8 @@ pub fn run_with_transport<W: Workload + ?Sized>(
     let mut table = freeze.table;
     let mut now = SimTime::ZERO + freeze.freeze_time;
 
-    let mut prefetcher =
-        (cfg.scheme == Scheme::Ampom).then(|| AmpomPrefetcher::new(cfg.ampom.clone()));
+    let mut prefetcher: Option<Box<dyn Prefetcher>> =
+        (cfg.scheme == Scheme::Ampom).then(|| cfg.policy.build(&cfg.ampom));
 
     let total_pages = layout.total_pages();
     let mut was_prefetched = vec![false; total_pages as usize];
@@ -385,7 +386,7 @@ pub fn run_with_transport<W: Workload + ?Sized>(
                 let util = utilization(cpu_since_fault, now, last_fault_at);
                 last_fault_at = now;
                 cpu_since_fault = SimDuration::ZERO;
-                if let Some(pf) = prefetcher.as_mut() {
+                if let Some(pf) = prefetcher.as_deref_mut() {
                     let prefetch = analyze(
                         pf,
                         r.page,
@@ -394,6 +395,10 @@ pub fn run_with_transport<W: Workload + ?Sized>(
                         transport,
                         page_limit,
                         &space,
+                        PrefetchFeedback {
+                            pages_prefetched,
+                            prefetched_used,
+                        },
                         &mut analysis_time,
                         &mut trace,
                     );
@@ -425,7 +430,7 @@ pub fn run_with_transport<W: Workload + ?Sized>(
                 last_fault_at = fault_at;
                 cpu_since_fault = SimDuration::ZERO;
 
-                let prefetch = match prefetcher.as_mut() {
+                let prefetch = match prefetcher.as_deref_mut() {
                     Some(pf) => analyze(
                         pf,
                         r.page,
@@ -434,6 +439,10 @@ pub fn run_with_transport<W: Workload + ?Sized>(
                         transport,
                         page_limit,
                         &space,
+                        PrefetchFeedback {
+                            pages_prefetched,
+                            prefetched_used,
+                        },
                         &mut analysis_time,
                         &mut trace,
                     ),
@@ -449,7 +458,9 @@ pub fn run_with_transport<W: Workload + ?Sized>(
                             .push(now, transport.in_flight_count() as f64);
                         series.resident.push(now, space.resident_pages() as f64);
                         if let Some(pf) = prefetcher.as_ref() {
-                            series.zone_budget.push(now, pf.stats().budgets.mean());
+                            series
+                                .zone_budget
+                                .push(now, pf.observe().stats.budgets.mean());
                         }
                         series
                             .link_utilization
@@ -538,7 +549,10 @@ pub fn run_with_transport<W: Workload + ?Sized>(
     let total_time = now.since(SimTime::ZERO);
 
     let (analysis_count, prefetch_stats) = match prefetcher {
-        Some(pf) => (pf.stats().analyses, pf.stats().clone()),
+        Some(pf) => {
+            let stats = pf.observe().stats;
+            (stats.analyses, stats)
+        }
         None => (0, PrefetchStats::default()),
     };
 
@@ -606,21 +620,23 @@ fn utilization(cpu: SimDuration, now: SimTime, last_fault: SimTime) -> f64 {
     }
 }
 
-/// One AMPoM analysis against the transport's monitor estimates.
+/// One prefetch analysis against the transport's monitor estimates.
 #[allow(clippy::too_many_arguments)]
 fn analyze(
-    pf: &mut AmpomPrefetcher,
+    pf: &mut dyn Prefetcher,
     page: PageId,
     now: &mut SimTime,
     util: f64,
     transport: &mut dyn Transport,
     page_limit: PageId,
     space: &AddressSpace,
+    feedback: PrefetchFeedback,
     analysis_time: &mut SimDuration,
     trace: &mut Trace,
 ) -> Vec<PageId> {
     let est = transport.estimates(*now);
-    let decision = pf.on_fault(page, *now, util, est, page_limit, |p| {
+    pf.note_outcome(feedback);
+    let decision = pf.on_fault(page, *now, util, est, page_limit, &mut |p| {
         space.state(p) == PageState::Remote && !transport.is_in_flight(p)
     });
     if decision.score_clamped {
@@ -644,7 +660,7 @@ fn analyze(
     );
     *now += AMPOM_ANALYSIS_COST;
     *analysis_time += AMPOM_ANALYSIS_COST;
-    transport.on_window_wrap(*now, pf.window().wraps());
+    transport.on_window_wrap(*now, pf.observe().window_wraps);
     decision.prefetch
 }
 

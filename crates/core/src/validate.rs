@@ -374,7 +374,7 @@ pub fn run_ampom_event_driven<W: Workload + ?Sized>(
                                 && !in_flight.contains_key(&p)
                         });
                         let t1 = t0 + AMPOM_ANALYSIS_COST;
-                        monitor.on_window_wrap(t1, pf.window().wraps(), &net);
+                        monitor.on_window_wrap(t1, pf.observation().window_wraps, &net);
                         if !d.prefetch.is_empty() {
                             for p in &d.prefetch {
                                 in_flight.insert(*p, None);
@@ -411,7 +411,7 @@ pub fn run_ampom_event_driven<W: Workload + ?Sized>(
                                 && !in_flight.contains_key(&p)
                         });
                         let t1 = t0 + AMPOM_ANALYSIS_COST;
-                        monitor.on_window_wrap(t1, pf.window().wraps(), &net);
+                        monitor.on_window_wrap(t1, pf.observation().window_wraps, &net);
 
                         if space.is_resident(r.page) {
                             if !d.prefetch.is_empty() {

@@ -43,7 +43,8 @@ use crate::deputy::Deputy;
 use crate::metrics::RunReport;
 use crate::migration::{perform_freeze, PreMigrationState, Scheme};
 use crate::monitor::MonitorDaemon;
-use crate::prefetcher::{AmpomPrefetcher, PrefetchStats};
+use crate::policy::Prefetcher;
+use crate::prefetcher::PrefetchStats;
 use crate::runner::{RunConfig, PAGE_INSTALL_COST};
 
 /// How the prefetcher treats the VM's interleaved fault stream.
@@ -221,8 +222,8 @@ pub fn run_vm(mut vm: VmWorkload, cfg: &RunConfig, analysis: VmAnalysis) -> VmRe
     let mut deputy = Deputy::new();
 
     let n_procs = vm.process_count();
-    let mk = || AmpomPrefetcher::new(cfg.ampom.clone());
-    let mut prefetchers: Vec<AmpomPrefetcher> = match analysis {
+    let mk = || cfg.policy.build(&cfg.ampom);
+    let mut prefetchers: Vec<Box<dyn Prefetcher>> = match analysis {
         VmAnalysis::SharedWindow => vec![mk()],
         VmAnalysis::PerProcess => (0..n_procs).map(|_| mk()).collect(),
         VmAnalysis::NoPrefetch => Vec::new(),
@@ -284,14 +285,14 @@ pub fn run_vm(mut vm: VmWorkload, cfg: &RunConfig, analysis: VmAnalysis) -> VmRe
                         };
                         monitor.advance(now, &mut path);
                         let est = monitor.estimates();
-                        let pf = &mut prefetchers[idx];
-                        let d = pf.on_fault(r.page, now, util, est, page_limit, |p| {
+                        let pf = prefetchers[idx].as_mut();
+                        let d = pf.on_fault(r.page, now, util, est, page_limit, &mut |p| {
                             space.state(p) == ampom_mem::space::PageState::Remote
                                 && !in_flight.contains_key(&p)
                         });
                         now += AMPOM_ANALYSIS_COST;
                         analysis_time += AMPOM_ANALYSIS_COST;
-                        monitor.on_window_wrap(now, pf.window().wraps(), &path);
+                        monitor.on_window_wrap(now, pf.observe().window_wraps, &path);
                         d.prefetch
                     }
                 };
@@ -367,15 +368,12 @@ pub fn run_vm(mut vm: VmWorkload, cfg: &RunConfig, analysis: VmAnalysis) -> VmRe
         let mut score_sum = 0.0;
         let mut score_n = 0u64;
         for pf in &prefetchers {
-            let s = pf.stats();
-            merged.analyses += s.analyses;
-            merged.pages_selected += s.pages_selected;
-            merged.fallbacks += s.fallbacks;
-            merged.n_values.merge(&s.n_values);
-            merged.budgets.merge(&s.budgets);
-            merged.scores.merge(&s.scores);
+            let s = pf.observe().stats;
             score_sum += s.scores.mean() * s.scores.count() as f64;
             score_n += s.scores.count();
+            // merge() folds every counter, including score_clamps (the
+            // previous field-by-field merge silently dropped it).
+            merged.merge(&s);
         }
         let mean = if score_n == 0 {
             0.0

@@ -1,0 +1,306 @@
+//! `hpcc-repro bakeoff` — the prefetch-policy bake-off.
+//!
+//! Runs every [`PolicySpec`] (AMPoM, Leap, INDIGO) over a workload panel
+//! that spans the locality spectrum: two HPCC kernels from the paper's
+//! evaluation (STREAM and RandomAccess), plus the three locality-breaking
+//! extension workloads (pointer chase, Zipfian KV reuse, bursty churn)
+//! that no stride census was designed for. Every (workload, policy) cell
+//! shares the reference stream via a fixed seed, and a NoPrefetch run per
+//! workload provides the slowdown baseline.
+//!
+//! The table reports, per cell:
+//!
+//! * **coverage** — [`RunReport::coverage`]: the fraction of remotely
+//!   needed pages the policy delivered ahead of demand,
+//! * **accuracy** — [`RunReport::prefetch_accuracy`]: fraction of
+//!   prefetched pages later touched (1 − [`RunReport::waste`]),
+//! * **stall** — stall share of total time,
+//! * **slowdown** — total time relative to the NoPrefetch baseline
+//!   (values < 1 mean the policy beat demand paging).
+//!
+//! The same numbers are exported through [`MetricsRegistry`] as
+//! `ampom_prefetch_policy_*` gauges, so the bake-off can feed dashboards
+//! alongside the per-run metrics of DESIGN.md §11.
+
+use ampom_core::experiment::WorkloadSpec;
+use ampom_core::migration::Scheme;
+use ampom_core::sweep::SweepSpec;
+use ampom_core::{AmpomError, Experiment, PolicySpec, RunReport};
+use ampom_obs::{MetricSource, MetricsRegistry};
+use ampom_sim::time::SimDuration;
+use ampom_workloads::sizes::{Kernel, ProblemSize};
+
+use crate::matrix::MATRIX_SEED;
+use crate::report::{pct, secs, AsciiTable};
+
+/// One (workload, policy) bake-off measurement plus its baseline.
+#[derive(Debug)]
+pub struct BakeoffCell {
+    /// Workload label.
+    pub workload: String,
+    /// Policy label (`ampom`/`leap`/`indigo`).
+    pub policy: String,
+    /// The policy run.
+    pub report: RunReport,
+    /// The NoPrefetch run of the same workload and seed.
+    pub baseline_total: SimDuration,
+}
+
+impl BakeoffCell {
+    /// Total-time ratio vs the NoPrefetch baseline (< 1 = faster).
+    pub fn slowdown(&self) -> f64 {
+        let b = self.baseline_total.as_secs_f64();
+        if b <= 0.0 {
+            return 1.0;
+        }
+        self.report.total_time.as_secs_f64() / b
+    }
+}
+
+/// Everything the `bakeoff` command produced.
+#[derive(Debug)]
+pub struct Bakeoff {
+    /// Per-cell measurements, workload-major then policy order.
+    pub cells: Vec<BakeoffCell>,
+    /// The Prometheus-style `ampom_prefetch_policy_*` dump.
+    pub prometheus: String,
+}
+
+/// The bake-off workload panel: two paper kernels bracketing the
+/// locality spectrum plus the three locality-breaking extensions.
+pub fn panel(quick: bool) -> Vec<WorkloadSpec> {
+    let mb = if quick { 4 } else { 16 };
+    let size = ProblemSize {
+        problem: 0,
+        memory_mb: mb,
+    };
+    let heap = mb << 20;
+    let scale = if quick { 1 } else { 4 };
+    vec![
+        WorkloadSpec::kernel(Kernel::Stream, size),
+        WorkloadSpec::kernel(Kernel::RandomAccess, size),
+        WorkloadSpec::PointerChase {
+            data_bytes: heap,
+            hops: 3_000 * scale,
+        },
+        WorkloadSpec::ZipfianKv {
+            data_bytes: heap,
+            keys: 256 * scale,
+            exponent: 0.9,
+            ops: 6_000 * scale,
+        },
+        WorkloadSpec::BurstyChurn {
+            data_bytes: heap,
+            epochs: 6,
+            hot_pages: 48 * scale,
+            touches_per_epoch: 800 * scale,
+            churn_pct: 40,
+        },
+    ]
+}
+
+/// Runs the full bake-off grid.
+pub fn run_bakeoff(quick: bool) -> Result<Bakeoff, AmpomError> {
+    let workloads = panel(quick);
+
+    // The policy grid: AMPoM-scheme cells × all policies, one fixed seed
+    // so every policy faces the identical reference stream.
+    let sweep = SweepSpec::new()
+        .schemes([Scheme::Ampom])
+        .workloads(workloads.clone())
+        .policies(PolicySpec::all())
+        .fixed_seed(MATRIX_SEED)
+        .run()?;
+
+    // NoPrefetch baselines, one per workload, same seed.
+    let mut baselines = Vec::with_capacity(workloads.len());
+    for spec in &workloads {
+        let baseline = Experiment::new(Scheme::NoPrefetch)
+            .workload(spec.clone())
+            .seed(MATRIX_SEED)
+            .run()?;
+        baselines.push(baseline.total_time);
+    }
+
+    // Sweep cells come out workload-major with policies innermost, so
+    // each workload's policy block is contiguous.
+    let n_policies = PolicySpec::all().len();
+    let mut cells = Vec::with_capacity(workloads.len() * n_policies);
+    for (i, cell) in sweep.cells.into_iter().enumerate() {
+        cells.push(BakeoffCell {
+            workload: cell.workload.clone(),
+            policy: cell.policy.clone(),
+            report: cell
+                .reports
+                .into_iter()
+                .next()
+                .expect("one report per cell"),
+            baseline_total: baselines[i / n_policies],
+        });
+    }
+
+    let prometheus = render_metrics(&cells);
+    Ok(Bakeoff { cells, prometheus })
+}
+
+/// Exports per-policy aggregates as `ampom_prefetch_policy_*` gauges and
+/// counters (mean coverage/accuracy/slowdown over the panel, total pages
+/// prefetched), plus the full per-run metric set of the last cell's
+/// policy for spot checks.
+fn render_metrics(cells: &[BakeoffCell]) -> String {
+    let mut reg = MetricsRegistry::new();
+    for policy in PolicySpec::all().iter().map(|p| p.label()) {
+        let mine: Vec<&BakeoffCell> = cells.iter().filter(|c| c.policy == policy).collect();
+        if mine.is_empty() {
+            continue;
+        }
+        let n = mine.len() as f64;
+        let mean = |f: &dyn Fn(&BakeoffCell) -> f64| mine.iter().map(|c| f(c)).sum::<f64>() / n;
+        reg.export_gauge(
+            &format!("ampom_prefetch_policy_{policy}_coverage"),
+            "mean prefetch coverage over the bake-off panel",
+            mean(&|c| c.report.coverage()),
+        );
+        reg.export_gauge(
+            &format!("ampom_prefetch_policy_{policy}_accuracy"),
+            "mean prefetch accuracy over the bake-off panel",
+            mean(&|c| c.report.prefetch_accuracy()),
+        );
+        reg.export_gauge(
+            &format!("ampom_prefetch_policy_{policy}_waste"),
+            "mean prefetch waste over the bake-off panel",
+            mean(&|c| c.report.waste()),
+        );
+        reg.export_gauge(
+            &format!("ampom_prefetch_policy_{policy}_slowdown"),
+            "mean total-time ratio vs NoPrefetch over the bake-off panel",
+            mean(&|c| c.slowdown()),
+        );
+        reg.export_counter(
+            &format!("ampom_prefetch_policy_{policy}_pages_prefetched_total"),
+            "pages prefetched across the bake-off panel",
+            mine.iter().map(|c| c.report.pages_prefetched).sum(),
+        );
+        reg.export_counter(
+            &format!("ampom_prefetch_policy_{policy}_fallbacks_total"),
+            "prefetcher fallback (empty-budget) analyses across the panel",
+            mine.iter().map(|c| c.report.prefetch_stats.fallbacks).sum(),
+        );
+    }
+    if let Some(last) = cells.last() {
+        last.report.export_metrics(&mut reg);
+    }
+    reg.render_prometheus()
+}
+
+/// The bake-off table: one row per (workload, policy) cell.
+pub fn bakeoff_table(b: &Bakeoff) -> AsciiTable {
+    let mut t = AsciiTable::new(
+        "prefetcher bake-off: AMPoM vs Leap vs INDIGO (vs NoPrefetch baseline)",
+        &[
+            "workload",
+            "policy",
+            "coverage",
+            "accuracy",
+            "stall",
+            "slowdown",
+            "total (s)",
+        ],
+    );
+    for c in &b.cells {
+        let total = c.report.total_time.as_secs_f64();
+        let stall = if total > 0.0 {
+            c.report.stall_time.as_secs_f64() / total
+        } else {
+            0.0
+        };
+        t.row(vec![
+            c.workload.clone(),
+            c.policy.clone(),
+            pct(c.report.coverage() * 100.0),
+            pct(c.report.prefetch_accuracy() * 100.0),
+            pct(stall * 100.0),
+            format!("{:.3}x", c.slowdown()),
+            secs(total),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bakeoff_covers_policies_x_panel() {
+        let b = run_bakeoff(true).expect("bakeoff");
+        assert_eq!(b.cells.len(), panel(true).len() * PolicySpec::all().len());
+        for policy in ["ampom", "leap", "indigo"] {
+            assert!(b.cells.iter().any(|c| c.policy == policy));
+        }
+        // The panel includes at least one locality-breaking workload.
+        assert!(b
+            .cells
+            .iter()
+            .any(|c| c.workload.starts_with("PointerChase")));
+    }
+
+    #[test]
+    fn policies_share_the_reference_stream_per_workload() {
+        let b = run_bakeoff(true).expect("bakeoff");
+        let stream: Vec<&BakeoffCell> = b
+            .cells
+            .iter()
+            .filter(|c| c.workload.starts_with("STREAM"))
+            .collect();
+        assert_eq!(stream.len(), 3);
+        assert_eq!(
+            stream[0].report.compute_time, stream[1].report.compute_time,
+            "same stream → same compute time across policies"
+        );
+    }
+
+    #[test]
+    fn ampom_beats_demand_paging_on_stream() {
+        let b = run_bakeoff(true).expect("bakeoff");
+        let ampom_stream = b
+            .cells
+            .iter()
+            .find(|c| c.policy == "ampom" && c.workload.starts_with("STREAM"))
+            .unwrap();
+        assert!(
+            ampom_stream.slowdown() < 1.0,
+            "AMPoM must beat NoPrefetch on a sequential kernel, got {:.3}",
+            ampom_stream.slowdown()
+        );
+        assert!(ampom_stream.report.coverage() > 0.5);
+    }
+
+    #[test]
+    fn metrics_follow_the_naming_convention() {
+        let b = run_bakeoff(true).expect("bakeoff");
+        assert!(b
+            .prometheus
+            .contains("ampom_prefetch_policy_ampom_coverage"));
+        assert!(b.prometheus.contains("ampom_prefetch_policy_leap_slowdown"));
+        assert!(b
+            .prometheus
+            .contains("ampom_prefetch_policy_indigo_accuracy"));
+        for line in b.prometheus.lines() {
+            if !line.starts_with('#') && !line.is_empty() {
+                assert!(line.starts_with("ampom_"), "bad metric line: {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn table_has_one_row_per_cell() {
+        let b = run_bakeoff(true).expect("bakeoff");
+        let t = bakeoff_table(&b);
+        assert!(!t.is_empty());
+        let rendered = t.render();
+        assert!(rendered.contains("leap"));
+        assert!(rendered.contains("indigo"));
+        assert!(rendered.contains("ZipfianKV"));
+    }
+}

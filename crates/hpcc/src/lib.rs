@@ -36,6 +36,7 @@
 //!
 //! The `hpcc-repro` binary drives these; see `hpcc-repro --help`.
 
+pub mod bakeoff;
 pub mod checks;
 pub mod experiments;
 pub mod extensions;

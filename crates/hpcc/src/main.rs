@@ -37,6 +37,8 @@
 //!   profile   one kernel/scheme pair under full observability
 //!   multisweep concurrent migrants sharing one deputy: slowdown,
 //!             fairness, saturation (simulated grid + 8 live migrants)
+//!   bakeoff   prefetch-policy bake-off: AMPoM vs Leap vs INDIGO over
+//!             kernels + locality-breaking workloads, vs NoPrefetch
 //!
 //! Options:
 //!   --quick   tiny problem sizes (seconds instead of minutes)
@@ -141,7 +143,7 @@ fn parse_args() -> Options {
             "--help" | "-h" => {
                 println!(
                     "hpcc-repro [all|table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|\
-                     ext-vm|ext-cluster|ext-ptrans|ext-interactive|ext-roundtrip|ext-syscall|ext-pressure|ext-hpl|ext-locality|ext-timing|ext-gossip|ext-accuracy|parsweep|faultsweep|timeline|check|sweep|live|calibrate|profile|multisweep] \
+                     ext-vm|ext-cluster|ext-ptrans|ext-interactive|ext-roundtrip|ext-syscall|ext-pressure|ext-hpl|ext-locality|ext-timing|ext-gossip|ext-accuracy|parsweep|faultsweep|timeline|check|sweep|live|calibrate|profile|multisweep|bakeoff] \
                      [--quick] [--csv DIR] [--loopback|--endpoint ADDR] \
                      [--kernel K] [--scheme S] [--json PATH] [--prom PATH] [--top K]"
                 );
@@ -426,6 +428,27 @@ fn main() {
             &opts,
             "multisweep",
         );
+        ran = true;
+    }
+    if opts.command == "bakeoff" {
+        match ampom_hpcc::bakeoff::run_bakeoff(opts.quick) {
+            Ok(b) => {
+                emit(&ampom_hpcc::bakeoff::bakeoff_table(&b), &opts, "bakeoff");
+                if let Some(path) = &opts.prom_path {
+                    if let Err(e) = profile::write_artifact(path, &b.prometheus) {
+                        eprintln!("{e}");
+                        std::process::exit(1);
+                    }
+                    println!("wrote metrics dump to {}", path.display());
+                } else {
+                    println!("{}", b.prometheus);
+                }
+            }
+            Err(e) => {
+                eprintln!("bakeoff failed: {e}");
+                std::process::exit(1);
+            }
+        }
         ran = true;
     }
     if !ran {

@@ -1,0 +1,228 @@
+//! Bursty interactive churn — a working set that keeps partially moving.
+//!
+//! [`crate::interactive`] models the paper's §5.6 GUI application as
+//! contiguous feature regions: friendly to a stride census. Real
+//! interactive services are harsher — each burst re-touches a *scattered*
+//! hot set (widgets, session state, JIT caches), and between bursts part of
+//! that hot set churns as the user changes activity. The prefetcher
+//! therefore sees (a) no strides inside a burst, because the hot set is
+//! hash-ordered, and (b) a moving target across bursts, because yesterday's
+//! hot pages go cold just as the history window has learned them.
+//!
+//! [`BurstyChurn`] keeps a hot set of `hot_pages` distinct, randomly placed
+//! pages; every epoch touches `touches_per_epoch` of them uniformly at
+//! random, then replaces `churn_pct` percent of the set with fresh pages.
+//! Think time lands on the last touch of each epoch, like
+//! [`crate::interactive`].
+
+use ampom_mem::page::PageId;
+use ampom_mem::region::MemoryLayout;
+use ampom_sim::rng::SimRng;
+use ampom_sim::time::SimDuration;
+
+use crate::memref::{MemRef, Workload};
+
+/// A scattered hot set with per-epoch partial replacement.
+#[derive(Debug)]
+pub struct BurstyChurn {
+    layout: MemoryLayout,
+    data_bytes: u64,
+    base: PageId,
+    /// A shuffled deck of every data-page offset. The first `hot_pages`
+    /// entries are the current hot set; churn swaps hot slots with the
+    /// cold tail, so the hot set stays distinct by construction.
+    deck: Vec<u64>,
+    hot_pages: u64,
+    /// Next cold-tail index to promote on churn (walks the tail circularly).
+    next_fresh: usize,
+    epochs: u32,
+    touches_per_epoch: u64,
+    churn_per_epoch: u64,
+    think_time: SimDuration,
+    cpu_per_touch: SimDuration,
+    rng: SimRng,
+    // Iteration state.
+    epoch: u32,
+    within: u64,
+}
+
+impl BurstyChurn {
+    /// CPU per touch (event-handler-level work).
+    pub const CPU_PER_TOUCH: SimDuration = SimDuration::from_micros(25);
+    /// Default think time between epochs (declarative-spec builds).
+    pub const THINK_TIME: SimDuration = SimDuration::from_millis(150);
+
+    /// Builds a churn workload over `data_bytes` of heap: `epochs` bursts
+    /// of `touches_per_epoch` touches over a hot set of `hot_pages`,
+    /// replacing `churn_pct`% of the hot set after each burst.
+    pub fn new(
+        data_bytes: u64,
+        epochs: u32,
+        hot_pages: u64,
+        touches_per_epoch: u64,
+        churn_pct: u32,
+        think_time: SimDuration,
+        mut rng: SimRng,
+    ) -> Self {
+        assert!(epochs > 0 && hot_pages > 0 && touches_per_epoch > 0);
+        assert!(churn_pct <= 100, "churn_pct is a percentage");
+        let layout = MemoryLayout::with_data_bytes(data_bytes);
+        let total_pages = layout.data_pages().len();
+        assert!(
+            hot_pages < total_pages,
+            "hot set must leave cold pages to churn in"
+        );
+        let mut deck: Vec<u64> = (0..total_pages).collect();
+        rng.shuffle(&mut deck);
+        BurstyChurn {
+            base: layout.data_start(),
+            layout,
+            data_bytes,
+            deck,
+            hot_pages,
+            next_fresh: hot_pages as usize,
+            epochs,
+            touches_per_epoch,
+            churn_per_epoch: hot_pages * churn_pct as u64 / 100,
+            think_time,
+            cpu_per_touch: Self::CPU_PER_TOUCH,
+            rng,
+            epoch: 0,
+            within: 0,
+        }
+    }
+
+    /// Pages replaced in the hot set after each epoch.
+    pub fn churn_per_epoch(&self) -> u64 {
+        self.churn_per_epoch
+    }
+
+    fn churn(&mut self) {
+        let n = self.deck.len();
+        for _ in 0..self.churn_per_epoch {
+            let hot_slot = self.rng.below(self.hot_pages) as usize;
+            self.deck.swap(hot_slot, self.next_fresh);
+            self.next_fresh += 1;
+            if self.next_fresh >= n {
+                self.next_fresh = self.hot_pages as usize;
+            }
+        }
+    }
+}
+
+impl Iterator for BurstyChurn {
+    type Item = MemRef;
+
+    fn next(&mut self) -> Option<MemRef> {
+        if self.epoch >= self.epochs {
+            return None;
+        }
+        let slot = self.rng.below(self.hot_pages) as usize;
+        let page = self.base.offset(self.deck[slot]);
+        let last_of_epoch = self.within + 1 == self.touches_per_epoch;
+        let cpu = if last_of_epoch {
+            self.cpu_per_touch + self.think_time
+        } else {
+            self.cpu_per_touch
+        };
+        self.within += 1;
+        if last_of_epoch {
+            self.within = 0;
+            self.epoch += 1;
+            if self.epoch < self.epochs {
+                self.churn();
+            }
+        }
+        Some(MemRef::write(page, cpu))
+    }
+}
+
+impl Workload for BurstyChurn {
+    fn name(&self) -> &'static str {
+        "BurstyChurn"
+    }
+
+    fn layout(&self) -> &MemoryLayout {
+        &self.layout
+    }
+
+    fn data_bytes(&self) -> u64 {
+        self.data_bytes
+    }
+
+    fn total_refs_hint(&self) -> u64 {
+        self.epochs as u64 * self.touches_per_epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    use crate::memref::testutil::check_stream_invariants;
+
+    fn build(mb: u64, epochs: u32, hot: u64, touches: u64, churn: u32) -> BurstyChurn {
+        BurstyChurn::new(
+            mb * 1024 * 1024,
+            epochs,
+            hot,
+            touches,
+            churn,
+            SimDuration::from_millis(150),
+            SimRng::seed_from_u64(17),
+        )
+    }
+
+    #[test]
+    fn invariants_hold() {
+        check_stream_invariants(build(8, 5, 64, 256, 25));
+    }
+
+    #[test]
+    fn each_epoch_stays_inside_its_hot_set() {
+        let touches = 512u64;
+        let hot = 32u64;
+        let w = build(8, 4, hot, touches, 50);
+        let refs: Vec<_> = w.collect();
+        for epoch in refs.chunks(touches as usize) {
+            let distinct: HashSet<_> = epoch.iter().map(|r| r.page).collect();
+            assert!(distinct.len() as u64 <= hot);
+        }
+    }
+
+    #[test]
+    fn hot_set_moves_between_epochs() {
+        let touches = 2_000u64; // enough to cover the hot set w.h.p.
+        let hot = 32u64;
+        let w = build(8, 2, hot, touches, 50);
+        let refs: Vec<_> = w.collect();
+        let first: HashSet<_> = refs[..touches as usize].iter().map(|r| r.page).collect();
+        let second: HashSet<_> = refs[touches as usize..].iter().map(|r| r.page).collect();
+        let fresh = second.difference(&first).count();
+        assert!(fresh >= 8, "only {fresh} new pages after 50% churn");
+    }
+
+    #[test]
+    fn zero_churn_reuses_one_working_set() {
+        let w = build(8, 6, 16, 400, 0);
+        let pages: HashSet<_> = w.map(|r| r.page).collect();
+        assert!(pages.len() as u64 <= 16);
+    }
+
+    #[test]
+    fn think_time_lands_on_epoch_boundaries() {
+        let w = build(4, 2, 8, 10, 25);
+        let refs: Vec<_> = w.collect();
+        assert!(refs[9].cpu > SimDuration::from_millis(100));
+        assert!(refs[8].cpu < SimDuration::from_millis(1));
+        assert!(refs[19].cpu > SimDuration::from_millis(100));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<_> = build(4, 3, 16, 64, 25).collect();
+        let b: Vec<_> = build(4, 3, 16, 64, 25).collect();
+        assert_eq!(a, b);
+    }
+}

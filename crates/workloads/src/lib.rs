@@ -26,7 +26,19 @@
 //!   stride-dmax window (not part of the paper's evaluation),
 //! * [`interactive`] — extension: the §5.6 bursty interactive application
 //!   with a small per-action working set.
+//!
+//! Three further extension modules deliberately *break* the localities the
+//! HPCC kernels exhibit, to stress prefetch policies beyond the paper's
+//! evaluation:
+//!
+//! * [`pointer_chase`] — a random-cycle pointer chase (graph traversal):
+//!   no spatial locality, temporal reuse only after a full lap,
+//! * [`zipf`] — Zipfian key-value reuse over hash-scattered pages: extreme
+//!   temporal locality, zero spatial locality,
+//! * [`churn`] — bursty interactive churn: a scattered hot set that
+//!   partially moves every epoch.
 
+pub mod churn;
 pub mod compose;
 pub mod dgemm;
 pub mod fft;
@@ -34,12 +46,14 @@ pub mod hpl;
 pub mod interactive;
 pub mod locality;
 pub mod memref;
+pub mod pointer_chase;
 pub mod ptrans;
 pub mod random_access;
 pub mod sizes;
 pub mod stream_kernel;
 pub mod synthetic;
 pub mod trace_io;
+pub mod zipf;
 
 pub use memref::{MemRef, Workload};
 pub use sizes::{Kernel, ProblemSize};

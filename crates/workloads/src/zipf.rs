@@ -1,0 +1,194 @@
+//! Zipfian key-value reuse — high temporal, zero spatial locality.
+//!
+//! Serving workloads (caches, KV stores, session tables) re-touch a small
+//! set of hot keys with a heavy-tailed popularity curve, but the hot keys
+//! are *hash-scattered* across the heap: temporal locality is extreme while
+//! spatial locality is nil. For a stride-census prefetcher this is the
+//! mirror image of [`crate::pointer_chase`] — here the working set is tiny
+//! and re-used, so once the hot pages are resident the fault stream dries
+//! up, and any strides the census finds during warm-up are accidents of the
+//! hash placement.
+//!
+//! [`ZipfianKv`] samples keys from a Zipf(`s`) popularity distribution by
+//! inverse-CDF over the precomputed harmonic weights, and maps each key to
+//! a page drawn uniformly (without replacement) from the data region, i.e.
+//! rank-adjacent keys are *not* page-adjacent.
+
+use ampom_mem::page::PageId;
+use ampom_mem::region::MemoryLayout;
+use ampom_sim::rng::SimRng;
+use ampom_sim::time::SimDuration;
+
+use crate::memref::{MemRef, Workload};
+
+/// A Zipf-popularity key-value access stream over scattered pages.
+#[derive(Debug)]
+pub struct ZipfianKv {
+    layout: MemoryLayout,
+    data_bytes: u64,
+    base: PageId,
+    /// `key_page[rank]` is the page offset holding the rank-th hottest key.
+    key_page: Vec<u64>,
+    /// Cumulative Zipf weights, `cdf[rank]` = P(key_rank <= rank).
+    cdf: Vec<f64>,
+    ops: u64,
+    write_ratio: f64,
+    cpu_per_op: SimDuration,
+    rng: SimRng,
+    done: u64,
+}
+
+impl ZipfianKv {
+    /// CPU per operation: a hash probe plus value copy.
+    pub const CPU_PER_OP: SimDuration = SimDuration::from_micros(6);
+    /// Fraction of operations that write (dirty) the key's page.
+    pub const WRITE_RATIO: f64 = 0.1;
+
+    /// Builds a store of `keys` single-page values inside `data_bytes` of
+    /// heap, issuing `ops` lookups with Zipf exponent `s` (s = 0 is
+    /// uniform; the classic web-caching fit is s ≈ 0.8–1.0).
+    pub fn new(data_bytes: u64, keys: u64, s: f64, ops: u64, mut rng: SimRng) -> Self {
+        assert!(keys > 0 && ops > 0, "need keys and ops");
+        assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be >= 0");
+        let layout = MemoryLayout::with_data_bytes(data_bytes);
+        let total_pages = layout.data_pages().len();
+        assert!(keys <= total_pages, "more keys than pages");
+        // Scatter keys over the heap: a shuffled prefix of the page list,
+        // so popularity rank and page address are uncorrelated.
+        let mut pages: Vec<u64> = (0..total_pages).collect();
+        rng.shuffle(&mut pages);
+        pages.truncate(keys as usize);
+        // Inverse-CDF table for Zipf(s): weight(rank) = 1 / (rank+1)^s.
+        let mut cdf = Vec::with_capacity(keys as usize);
+        let mut acc = 0.0f64;
+        for rank in 0..keys {
+            acc += 1.0 / ((rank + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfianKv {
+            base: layout.data_start(),
+            layout,
+            data_bytes,
+            key_page: pages,
+            cdf,
+            ops,
+            write_ratio: Self::WRITE_RATIO,
+            cpu_per_op: Self::CPU_PER_OP,
+            rng,
+            done: 0,
+        }
+    }
+
+    /// Number of distinct keys (and hence distinct touchable pages).
+    pub fn keys(&self) -> u64 {
+        self.key_page.len() as u64
+    }
+}
+
+impl Iterator for ZipfianKv {
+    type Item = MemRef;
+
+    fn next(&mut self) -> Option<MemRef> {
+        if self.done >= self.ops {
+            return None;
+        }
+        self.done += 1;
+        let u = self.rng.unit_f64();
+        let rank = self.cdf.partition_point(|&c| c < u);
+        let rank = rank.min(self.key_page.len() - 1);
+        let page = self.base.offset(self.key_page[rank]);
+        let write = self.rng.chance(self.write_ratio);
+        Some(if write {
+            MemRef::write(page, self.cpu_per_op)
+        } else {
+            MemRef::read(page, self.cpu_per_op)
+        })
+    }
+}
+
+impl Workload for ZipfianKv {
+    fn name(&self) -> &'static str {
+        "ZipfianKV"
+    }
+
+    fn layout(&self) -> &MemoryLayout {
+        &self.layout
+    }
+
+    fn data_bytes(&self) -> u64 {
+        self.data_bytes
+    }
+
+    fn total_refs_hint(&self) -> u64 {
+        self.ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    use crate::memref::testutil::check_stream_invariants;
+
+    fn build(mb: u64, keys: u64, s: f64, ops: u64, seed: u64) -> ZipfianKv {
+        ZipfianKv::new(mb * 1024 * 1024, keys, s, ops, SimRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn invariants_hold() {
+        check_stream_invariants(build(4, 200, 0.9, 3_000, 2));
+    }
+
+    #[test]
+    fn popularity_is_heavy_tailed() {
+        let w = build(4, 500, 1.0, 20_000, 4);
+        let mut counts: HashMap<PageId, u64> = HashMap::new();
+        for r in w {
+            *counts.entry(r.page).or_default() += 1;
+        }
+        let mut freqs: Vec<u64> = counts.values().copied().collect();
+        freqs.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = freqs.iter().sum();
+        let top10: u64 = freqs.iter().take(10).sum();
+        // Zipf(1.0) over 500 keys puts ~43% of mass on the top 10 ranks.
+        assert!(
+            top10 * 10 > total * 3,
+            "top-10 share {top10}/{total} not heavy-tailed"
+        );
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let w = build(4, 64, 0.0, 32_000, 6);
+        let mut counts: HashMap<PageId, u64> = HashMap::new();
+        for r in w {
+            *counts.entry(r.page).or_default() += 1;
+        }
+        assert_eq!(counts.len(), 64, "uniform sampling reaches every key");
+        let max = *counts.values().max().unwrap();
+        let min = *counts.values().min().unwrap();
+        assert!(max < min * 2, "uniform counts should be flat: {min}..{max}");
+    }
+
+    #[test]
+    fn hot_keys_are_spatially_scattered() {
+        let w = build(16, 100, 1.0, 1, 8);
+        let mut offsets: Vec<u64> = w.key_page.clone();
+        offsets.sort_unstable();
+        // The 100 hottest keys span the heap, not one contiguous run.
+        let span = offsets.last().unwrap() - offsets.first().unwrap();
+        assert!(span > 1_000, "keys clumped into a span of {span} pages");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<_> = build(2, 50, 0.8, 500, 9).collect();
+        let b: Vec<_> = build(2, 50, 0.8, 500, 9).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -89,5 +89,5 @@ fn full_prefetcher_reproduces_the_walkthrough() {
     assert!(!d.prefetch.contains(&PageId(5)));
     // The consecutive-duplicate rule collapsed nothing here (the repeated
     // 8 is non-adjacent), so the window is full at l = 10.
-    assert!(pf.window().is_full());
+    assert!(pf.observation().window_full);
 }
