@@ -1,0 +1,345 @@
+//! Composable chaos scenarios over multi-migrant runs.
+//!
+//! A [`ChaosScenario`] names a reproducible failure shape — a
+//! [`FaultProfile`] (message loss, jitter, deputy downtime) layered with
+//! a deputy [`AdmissionConfig`] — and knows how to execute it: run the
+//! standard chaos workload chaos-free for per-migrant baselines, re-run
+//! it under the profile, and grade the outcome against the link-derived
+//! [`SloSpec`]. Scenarios are pure data over the deterministic fault
+//! plans of [`run_multi`], so a `(scenario, migrants, seed)` triple
+//! reproduces bit-identically.
+//!
+//! The scenario grammar is deliberately small:
+//!
+//! * `null` — the control: no chaos, unbounded admission. Every SLO
+//!   must come back [`SloVerdict::Met`]; CI pins this.
+//! * `flaky-link-storm` — bursty message loss plus jitter on every
+//!   migrant's path; no downtime.
+//! * `deputy-restart-midstorm` — moderate loss while the deputy
+//!   crash/restarts twice mid-run, with bounded per-shard admission so
+//!   prefetch load is shed while demand is not.
+//! * `partition-heal` — one long outage (a network partition) that
+//!   heals; light background loss.
+//! * `slow-link-degrade` — no loss at all, heavy jitter: the link decays
+//!   without ever failing, isolating the latency (not loss) SLO path.
+//!
+//! [`ChaosScenario::with_loss`] rescales a scenario's loss rate in
+//! place, which is how the monotone-degradation property builds its
+//! severity ladder.
+
+use ampom_net::fault::FaultSpec;
+use ampom_net::link::LinkConfig;
+use ampom_obs::{MetricSource, MetricsRegistry};
+use ampom_sim::event::{DowntimeSchedule, Outage};
+use ampom_sim::time::{SimDuration, SimTime};
+
+use crate::deputy::AdmissionConfig;
+use crate::error::AmpomError;
+use crate::experiment::WorkloadSpec;
+use crate::migration::Scheme;
+use crate::multirun::{run_multi, MultiRunReport, MultiRunSpec};
+use crate::reliability::FaultProfile;
+use crate::runner::RunConfig;
+use crate::slo::{SloReport, SloSpec, SloVerdict};
+
+/// The workload every scenario runs: small enough for tier-1 CI, large
+/// enough that outage windows land mid-run. Scenario downtime schedules
+/// are tuned against this workload's timeline.
+pub fn standard_workload() -> WorkloadSpec {
+    WorkloadSpec::Sequential {
+        pages: 192,
+        cpu: SimDuration::from_micros(10),
+    }
+}
+
+/// One named, reproducible failure shape.
+#[derive(Debug, Clone)]
+pub struct ChaosScenario {
+    /// Stable scenario name (the CLI and JSONL facts key on it).
+    pub name: &'static str,
+    /// One-line human description.
+    pub summary: &'static str,
+    profile: Option<FaultProfile>,
+    admission: AdmissionConfig,
+}
+
+impl ChaosScenario {
+    /// The fault profile this scenario layers over the run, if any.
+    pub fn profile(&self) -> Option<&FaultProfile> {
+        self.profile.as_ref()
+    }
+
+    /// The deputy admission configuration this scenario runs under.
+    pub fn admission(&self) -> AdmissionConfig {
+        self.admission
+    }
+
+    /// The scenario's message loss rate (0 for the null scenario).
+    pub fn loss_rate(&self) -> f64 {
+        self.profile.as_ref().map_or(0.0, |p| p.faults.loss_rate)
+    }
+
+    /// Rescales the loss rate, keeping every other knob — the severity
+    /// ladder of the monotone-degradation property. A loss of 0 on a
+    /// profile with no jitter or downtime degenerates to the null
+    /// scenario's behaviour (the profile turns null and draws no fates).
+    pub fn with_loss(mut self, loss_rate: f64) -> Self {
+        let mut profile = self.profile.unwrap_or_default();
+        profile.faults.loss_rate = loss_rate;
+        self.profile = Some(profile);
+        self
+    }
+
+    /// Executes the scenario: a chaos-free baseline run for per-migrant
+    /// slowdown baselines, then the chaos run, then SLO grading against
+    /// the link-derived spec.
+    pub fn run(&self, migrants: u32, seed: u64) -> Result<ScenarioOutcome, AmpomError> {
+        let mut cfg = RunConfig::new(Scheme::Ampom);
+        cfg.seed = seed;
+        let link = cfg.link;
+        let workload = standard_workload();
+
+        let baseline = run_multi(&MultiRunSpec::homogeneous(
+            cfg.clone(),
+            workload.clone(),
+            seed,
+            migrants,
+        ))?;
+        let baseline_totals: Vec<SimDuration> =
+            baseline.reports.iter().map(|r| r.total_time).collect();
+
+        let report = match &self.profile {
+            None if self.admission.is_unbounded() => baseline,
+            maybe_profile => {
+                let mut spec = MultiRunSpec::homogeneous(cfg, workload, seed, migrants)
+                    .with_admission(self.admission);
+                if let Some(profile) = maybe_profile {
+                    spec = spec.with_chaos(profile.clone());
+                }
+                run_multi(&spec)?
+            }
+        };
+
+        let slo =
+            SloSpec::for_link(&link, migrants).evaluate_multi(&report, Some(&baseline_totals));
+        Ok(ScenarioOutcome {
+            name: self.name,
+            migrants,
+            seed,
+            link,
+            baseline_totals,
+            report,
+            slo,
+        })
+    }
+}
+
+/// Every named scenario, `null` first — the canonical ordering the CLI,
+/// CI smoke and EXPERIMENTS tables all use.
+pub fn scenarios() -> Vec<ChaosScenario> {
+    let at = |m: u64| SimTime::ZERO + SimDuration::from_millis(m);
+    vec![
+        ChaosScenario {
+            name: "null",
+            summary: "control: no chaos, unbounded admission",
+            profile: None,
+            admission: AdmissionConfig::default(),
+        },
+        ChaosScenario {
+            name: "flaky-link-storm",
+            summary: "bursty 15% message loss with jitter on every path",
+            profile: Some(FaultProfile::default().with_faults(FaultSpec {
+                loss_rate: 0.15,
+                burst_len: 3,
+                jitter: SimDuration::from_micros(150),
+            })),
+            admission: AdmissionConfig::default(),
+        },
+        ChaosScenario {
+            name: "deputy-restart-midstorm",
+            summary: "8% loss while the deputy restarts twice under bounded admission",
+            profile: Some({
+                let mut p = FaultProfile::default().with_faults(FaultSpec {
+                    loss_rate: 0.08,
+                    burst_len: 2,
+                    jitter: SimDuration::ZERO,
+                });
+                // The standard workload freezes until ~70ms and pages
+                // until ~146ms: both restarts land inside the paging
+                // phase.
+                p.downtime = DowntimeSchedule::new(vec![
+                    Outage {
+                        down_at: at(80),
+                        up_at: at(90),
+                    },
+                    Outage {
+                        down_at: at(110),
+                        up_at: at(120),
+                    },
+                ])
+                .expect("well-formed outage timetable");
+                p
+            }),
+            admission: AdmissionConfig::bounded(12),
+        },
+        ChaosScenario {
+            name: "partition-heal",
+            summary: "one long partition that heals, light background loss",
+            profile: Some(
+                FaultProfile::lossy(0.02).with_downtime(DowntimeSchedule::single(at(85), at(125))),
+            ),
+            admission: AdmissionConfig::default(),
+        },
+        ChaosScenario {
+            name: "slow-link-degrade",
+            summary: "zero loss, heavy jitter: latency decay without failure",
+            profile: Some(FaultProfile::default().with_faults(FaultSpec {
+                loss_rate: 0.0,
+                burst_len: 1,
+                jitter: SimDuration::from_micros(400),
+            })),
+            admission: AdmissionConfig::default(),
+        },
+    ]
+}
+
+/// Looks a scenario up by name.
+pub fn scenario(name: &str) -> Option<ChaosScenario> {
+    scenarios().into_iter().find(|s| s.name == name)
+}
+
+/// What one scenario execution produced: the graded chaos run plus the
+/// chaos-free baselines it was graded against.
+#[derive(Debug)]
+pub struct ScenarioOutcome {
+    /// Scenario name.
+    pub name: &'static str,
+    /// Concurrent migrants in the run.
+    pub migrants: u32,
+    /// Base seed (workload, cross-traffic and fault plans all derive
+    /// from it).
+    pub seed: u64,
+    /// Link the SLO budgets were derived from.
+    pub link: LinkConfig,
+    /// Chaos-free per-migrant total times (the slowdown baselines).
+    pub baseline_totals: Vec<SimDuration>,
+    /// The chaos run itself.
+    pub report: MultiRunReport,
+    /// Per-migrant SLO grades, in shard order.
+    pub slo: Vec<SloReport>,
+}
+
+impl ScenarioOutcome {
+    /// The worst per-migrant verdict — the scenario's headline grade.
+    pub fn worst_verdict(&self) -> SloVerdict {
+        self.slo
+            .iter()
+            .map(SloReport::overall)
+            .max()
+            .unwrap_or(SloVerdict::Met)
+    }
+
+    /// Prefetch pages shed by admission control across all shards.
+    pub fn prefetch_pages_shed(&self) -> u64 {
+        self.report.deputy.prefetch_pages_shed
+    }
+
+    /// Demand pages shed (structurally zero in the simulated deputy).
+    pub fn demand_pages_shed(&self) -> u64 {
+        self.report.deputy.demand_pages_shed
+    }
+
+    /// Total fault-recovery retries across migrants.
+    pub fn total_retries(&self) -> u64 {
+        self.report.reports.iter().map(|r| r.faults.retries).sum()
+    }
+}
+
+impl MetricSource for ScenarioOutcome {
+    fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        self.report.export_metrics(reg);
+        self.report.deputy.export_metrics(reg);
+        for (i, slo) in self.slo.iter().enumerate() {
+            slo.export(reg, &format!("migrant_{i}"));
+        }
+        reg.export_gauge(
+            "ampom_chaos_worst_verdict",
+            "Worst per-migrant SLO verdict of the scenario (0 met, 1 at-risk, 2 breached)",
+            self.worst_verdict().rank() as f64,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_names_are_unique_and_resolvable() {
+        let all = scenarios();
+        for s in &all {
+            assert_eq!(scenario(s.name).expect("resolvable").name, s.name);
+        }
+        let mut names: Vec<&str> = all.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len(), "duplicate scenario names");
+    }
+
+    #[test]
+    fn every_profile_validates_and_null_is_truly_null() {
+        for s in scenarios() {
+            if let Some(p) = s.profile() {
+                p.validate().expect("scenario profile validates");
+                assert!(!p.is_null(), "{} carries a null profile", s.name);
+            }
+            s.admission
+                .validate()
+                .expect("scenario admission validates");
+        }
+        let null = scenario("null").expect("null exists");
+        assert!(null.profile().is_none());
+        assert!(null.admission().is_unbounded());
+    }
+
+    #[test]
+    fn null_scenario_meets_every_slo() {
+        let outcome = scenario("null")
+            .expect("null exists")
+            .run(2, 42)
+            .expect("null scenario runs");
+        assert_eq!(outcome.worst_verdict(), SloVerdict::Met);
+        assert_eq!(outcome.prefetch_pages_shed(), 0);
+        assert_eq!(outcome.total_retries(), 0);
+    }
+
+    #[test]
+    fn storm_degrades_the_null_grade() {
+        let null = scenario("null").expect("exists").run(2, 42).expect("runs");
+        let storm = scenario("flaky-link-storm")
+            .expect("exists")
+            .run(2, 42)
+            .expect("runs");
+        assert!(
+            storm.worst_verdict() >= null.worst_verdict(),
+            "storm verdict {:?} better than null {:?}",
+            storm.worst_verdict(),
+            null.worst_verdict()
+        );
+        assert!(
+            storm.total_retries() > 0,
+            "a 15% loss storm retried nothing"
+        );
+    }
+
+    #[test]
+    fn with_loss_rescales_only_the_loss_rate() {
+        let base = scenario("flaky-link-storm").expect("exists");
+        let hot = base.clone().with_loss(0.3);
+        assert_eq!(hot.loss_rate(), 0.3);
+        assert_eq!(
+            hot.profile().expect("profile").faults.jitter,
+            base.profile().expect("profile").faults.jitter
+        );
+    }
+}

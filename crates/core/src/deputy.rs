@@ -239,6 +239,90 @@ impl MigrantId {
     }
 }
 
+/// Admission-control tuning for a [`MultiDeputy`] (and, with the same
+/// semantics, the live `DeputyServer`).
+///
+/// Two independent mechanisms, both defaulting to "off" so existing
+/// configurations keep today's unbounded behaviour bit-for-bit:
+///
+/// * **Per-shard page bound** — a shard whose pending (queued,
+///   uncommitted) page set has reached `max_pending_pages` sheds further
+///   *prefetch* pages from incoming requests. Demand pages are always
+///   admitted: shedding speculative work first is the whole point, and a
+///   shed prefetch merely degrades to a later demand fetch.
+/// * **Hysteresis `Hello` gate** — new migrants are deferred once total
+///   pending pages reach `gate_high` and re-admitted only after the
+///   backlog drains below `gate_low`, so a deputy hovering at the
+///   threshold does not flap between accepting and refusing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Pending-page bound per shard; `None` = unbounded (no shedding).
+    pub max_pending_pages: Option<usize>,
+    /// Total pending pages at which the `Hello` gate closes.
+    pub gate_high: usize,
+    /// Total pending pages below which a closed gate re-opens.
+    pub gate_low: usize,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            max_pending_pages: None,
+            gate_high: usize::MAX,
+            gate_low: usize::MAX,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// Bounds every shard at `max_pending_pages` and derives gate
+    /// watermarks from it: close at four bounds' worth of total backlog,
+    /// re-open at two.
+    pub fn bounded(max_pending_pages: usize) -> Self {
+        AdmissionConfig {
+            max_pending_pages: Some(max_pending_pages),
+            gate_high: max_pending_pages.saturating_mul(4),
+            gate_low: max_pending_pages.saturating_mul(2),
+        }
+    }
+
+    /// True when neither mechanism can ever fire.
+    pub fn is_unbounded(&self) -> bool {
+        self.max_pending_pages.is_none() && self.gate_high == usize::MAX
+    }
+
+    /// Checks the watermarks are ordered and the bound is non-degenerate.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_pending_pages == Some(0) {
+            return Err(
+                "max_pending_pages must be >= 1: a zero bound would shed every \
+                 prefetch including the first"
+                    .into(),
+            );
+        }
+        if self.gate_low > self.gate_high {
+            return Err(format!(
+                "admission gate watermarks inverted: gate_low {} > gate_high {}",
+                self.gate_low, self.gate_high
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of one admission-controlled request submission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Admitted {
+    /// Pages accepted for service, in request order (as
+    /// [`MultiDeputy::submit_request`] returns them). Coalesced pages
+    /// appear in neither list — their earlier acceptance covers them.
+    pub accepted: Vec<PageId>,
+    /// Prefetch pages refused by the per-shard bound. The caller must
+    /// treat these as never requested (they stay at the origin and will
+    /// be demand-fetched if actually needed).
+    pub shed: Vec<PageId>,
+}
+
 /// Deficit-round-robin tuning for the shared service capacity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DrrConfig {
@@ -351,6 +435,11 @@ pub struct MultiDeputy {
     /// for the visit currently in progress (classic DRR credits a queue
     /// once per visit, then serves while the deficit lasts).
     credited: bool,
+    /// Whether the hysteresis `Hello` gate is currently closed.
+    gated: bool,
+    /// Hellos deferred while the gate was closed (deputy-level: the
+    /// refused migrant has no shard to charge).
+    gate_deferrals: u64,
 }
 
 impl MultiDeputy {
@@ -373,6 +462,8 @@ impl MultiDeputy {
             virtual_busy_until: SimTime::ZERO,
             cursor: 0,
             credited: false,
+            gated: false,
+            gate_deferrals: 0,
         }
     }
 
@@ -393,14 +484,41 @@ impl MultiDeputy {
         arrival: SimTime,
         pages: &[PageId],
     ) -> Vec<PageId> {
+        self.submit_request_admitted(m, arrival, pages, None, &AdmissionConfig::default())
+            .accepted
+    }
+
+    /// Admission-controlled variant of [`MultiDeputy::submit_request`]:
+    /// pages beyond the shard's `max_pending_pages` bound are shed rather
+    /// than queued — except `demand`, which is always admitted (only
+    /// speculative work is shed). With the default (unbounded) config
+    /// this is exactly `submit_request`: same acceptance, same
+    /// accounting, nothing shed.
+    pub fn submit_request_admitted(
+        &mut self,
+        m: MigrantId,
+        arrival: SimTime,
+        pages: &[PageId],
+        demand: Option<PageId>,
+        adm: &AdmissionConfig,
+    ) -> Admitted {
+        let bound = adm.max_pending_pages.unwrap_or(usize::MAX);
         let shard = &mut self.shards[m.idx()];
         let mut accepted = Vec::with_capacity(pages.len());
+        let mut shed = Vec::new();
         for &page in pages {
-            if shard.pending.insert(page) {
-                accepted.push(page);
-            } else {
+            if shard.pending.contains(&page) {
                 shard.pages_coalesced += 1;
+            } else if demand != Some(page) && shard.pending.len() >= bound {
+                shard.stats.prefetch_pages_shed += 1;
+                shed.push(page);
+            } else {
+                shard.pending.insert(page);
+                accepted.push(page);
             }
+        }
+        if !shed.is_empty() {
+            shard.stats.shed_events += 1;
         }
         shard.requests_served += 1;
         note_arrival_against(self.virtual_busy_until, arrival, &mut shard.stats);
@@ -420,7 +538,32 @@ impl MultiDeputy {
                 kind: WorkKind::Page(page),
             });
         }
-        accepted
+        Admitted { accepted, shed }
+    }
+
+    /// The hysteresis `Hello` gate: returns true when a new migrant may
+    /// be admitted now. The gate closes once total pending pages reach
+    /// `gate_high` and re-opens only after they drain below `gate_low`;
+    /// each refused call counts one deferral.
+    pub fn admission_gate(&mut self, adm: &AdmissionConfig) -> bool {
+        let pending = self.total_pending_pages();
+        if self.gated {
+            if pending < adm.gate_low {
+                self.gated = false;
+            }
+        } else if pending >= adm.gate_high {
+            self.gated = true;
+        }
+        if self.gated {
+            self.gate_deferrals += 1;
+        }
+        !self.gated
+    }
+
+    /// Pages queued and not yet committed, across all shards (the
+    /// admission gate's saturation signal).
+    pub fn total_pending_pages(&self) -> usize {
+        self.shards.iter().map(|s| s.pending.len()).sum()
     }
 
     /// Submits one forwarded system call for shard `m`, arriving at the
@@ -578,7 +721,12 @@ impl MultiDeputy {
             agg.queued_requests += s.stats.queued_requests;
             agg.busy_time += s.stats.busy_time;
             agg.max_backlog = agg.max_backlog.max(s.stats.max_backlog);
+            agg.prefetch_pages_shed += s.stats.prefetch_pages_shed;
+            agg.demand_pages_shed += s.stats.demand_pages_shed;
+            agg.shed_events += s.stats.shed_events;
+            agg.hellos_deferred += s.stats.hellos_deferred;
         }
+        agg.hellos_deferred += self.gate_deferrals;
         agg
     }
 
@@ -1026,5 +1174,100 @@ mod tests {
                 finish: at(1_040)
             }
         );
+    }
+
+    #[test]
+    fn demand_is_always_admitted_while_prefetch_sheds_at_the_bound() {
+        let mut md = MultiDeputy::new(1);
+        let adm = AdmissionConfig::bounded(2);
+        // Fill the shard to the bound with prefetch.
+        let a = md.submit_request_admitted(M0, SimTime::ZERO, &[PageId(0), PageId(1)], None, &adm);
+        assert_eq!(a.accepted.len(), 2);
+        assert!(a.shed.is_empty());
+        // At the bound: prefetch sheds, the demand page still gets in.
+        let b = md.submit_request_admitted(
+            M0,
+            SimTime::ZERO,
+            &[PageId(2), PageId(3), PageId(4)],
+            Some(PageId(2)),
+            &adm,
+        );
+        assert_eq!(b.accepted, vec![PageId(2)]);
+        assert_eq!(b.shed, vec![PageId(3), PageId(4)]);
+        let stats = md.shard_stats(M0);
+        assert_eq!(stats.prefetch_pages_shed, 2);
+        assert_eq!(stats.demand_pages_shed, 0);
+        assert_eq!(stats.shed_events, 1);
+        // Shed pages were never queued: draining serves only the admitted
+        // three.
+        let pages: Vec<_> = md
+            .drain()
+            .iter()
+            .filter_map(|c| match c {
+                Completion::Page { page, .. } => Some(*page),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(pages, vec![PageId(0), PageId(1), PageId(2)]);
+    }
+
+    #[test]
+    fn unbounded_admission_is_submit_request_exactly() {
+        let mut a = MultiDeputy::new(2);
+        let mut b = MultiDeputy::new(2);
+        let m1 = MigrantId(1);
+        for (m, t, pages) in [
+            (M0, 0, vec![PageId(0), PageId(1)]),
+            (m1, 15, vec![PageId(0)]),
+            (M0, 40, vec![PageId(1), PageId(2)]), // one coalesces
+        ] {
+            let legacy = a.submit_request(m, at(t), &pages);
+            let admitted = b.submit_request_admitted(
+                m,
+                at(t),
+                &pages,
+                pages.first().copied(),
+                &AdmissionConfig::default(),
+            );
+            assert_eq!(legacy, admitted.accepted);
+            assert!(admitted.shed.is_empty());
+        }
+        assert_eq!(a.aggregate_stats(), b.aggregate_stats());
+        assert_eq!(a.drain(), b.drain());
+    }
+
+    #[test]
+    fn hello_gate_has_hysteresis() {
+        let mut md = MultiDeputy::new(1);
+        let adm = AdmissionConfig {
+            max_pending_pages: None,
+            gate_high: 3,
+            gate_low: 2,
+        };
+        assert!(adm.validate().is_ok());
+        assert!(md.admission_gate(&adm), "an idle deputy admits");
+        md.submit_request(M0, SimTime::ZERO, &[PageId(0), PageId(1), PageId(2)]);
+        assert!(!md.admission_gate(&adm), "gate closes at gate_high");
+        // Drain one page: pending 2, still >= gate_low — stays closed.
+        md.commit_next();
+        assert!(!md.admission_gate(&adm), "hysteresis holds the gate shut");
+        // Drain another: pending 1 < gate_low — re-opens.
+        md.commit_next();
+        assert!(md.admission_gate(&adm), "gate re-opens below gate_low");
+        assert_eq!(md.aggregate_stats().hellos_deferred, 2);
+    }
+
+    #[test]
+    fn admission_config_rejects_degenerate_settings() {
+        assert!(AdmissionConfig::bounded(0).validate().is_err());
+        assert!(AdmissionConfig {
+            max_pending_pages: Some(4),
+            gate_high: 2,
+            gate_low: 5,
+        }
+        .validate()
+        .is_err());
+        assert!(AdmissionConfig::default().is_unbounded());
+        assert!(!AdmissionConfig::bounded(8).is_unbounded());
     }
 }

@@ -38,6 +38,12 @@ pub enum AmpomError {
     /// absorb (connection refused, handshake mismatch, a peer speaking a
     /// different frame version). Simulated transports never return this.
     Transport(String),
+    /// The deputy refused work because it is saturated: a demand fetch
+    /// rejected past the retry budget, or a `Hello` deferred by the
+    /// admission gate for longer than the client was willing to wait.
+    /// Shed *prefetch* batches never surface as this — they are
+    /// recoverable and simply degrade to demand fetches.
+    Overloaded(String),
 }
 
 impl fmt::Display for AmpomError {
@@ -57,6 +63,7 @@ impl fmt::Display for AmpomError {
             }
             AmpomError::EmptySweep(axis) => write!(f, "sweep grid axis is empty: {axis}"),
             AmpomError::Transport(why) => write!(f, "transport failure: {why}"),
+            AmpomError::Overloaded(why) => write!(f, "deputy overloaded: {why}"),
         }
     }
 }

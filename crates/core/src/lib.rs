@@ -86,6 +86,7 @@
 //! ```
 
 pub mod census;
+pub mod chaos;
 pub mod cluster;
 pub mod deputy;
 pub mod error;
@@ -101,6 +102,7 @@ pub mod remigration;
 pub mod runner;
 pub mod scheduler;
 pub mod score;
+pub mod slo;
 pub mod sweep;
 pub mod transport;
 pub mod validate;
@@ -108,6 +110,7 @@ pub mod vm;
 pub mod window;
 pub mod zone;
 
+pub use chaos::{scenario, scenarios, ChaosScenario, ScenarioOutcome};
 pub use error::AmpomError;
 pub use experiment::{Experiment, WorkloadSpec};
 pub use metrics::RunReport;
@@ -120,5 +123,6 @@ pub use policy::{
 pub use prefetcher::{AmpomConfig, AmpomPrefetcher};
 pub use reliability::{FailurePolicy, FaultProfile, RetryPolicy, RetrySchedule, RetryStep};
 pub use runner::{run_workload, try_run_workload, RunConfig};
+pub use slo::{QuantileSketch, SloOutcome, SloReport, SloSpec, SloVerdict};
 pub use sweep::{SweepReport, SweepSpec};
 pub use transport::{run_with_transport, SimulatedTransport, Transport};

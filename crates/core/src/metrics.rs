@@ -8,6 +8,7 @@ use ampom_sim::trace::Trace;
 
 use crate::migration::Scheme;
 use crate::prefetcher::PrefetchStats;
+use crate::slo::QuantileSketch;
 
 /// Fault-injection and recovery counters of one run.
 ///
@@ -49,6 +50,17 @@ pub struct DeputyStats {
     pub max_backlog: SimDuration,
     /// Total deputy CPU time across parsing, page service and syscalls.
     pub busy_time: SimDuration,
+    /// Prefetch pages refused by admission control (shed before service;
+    /// recoverable — a shed page degrades to a later demand fetch).
+    pub prefetch_pages_shed: u64,
+    /// Demand pages refused by admission control. Structurally zero in
+    /// the simulated deputy (demand is always admitted); live servers
+    /// count hard 503 rejections here.
+    pub demand_pages_shed: u64,
+    /// Requests that had at least one page shed.
+    pub shed_events: u64,
+    /// `Hello`s deferred by the hysteresis admission gate.
+    pub hellos_deferred: u64,
 }
 
 /// The full measurement record of one (workload, scheme) run.
@@ -70,6 +82,11 @@ pub struct RunReport {
     pub compute_time: SimDuration,
     /// Time the migrant spent stalled on remote pages.
     pub stall_time: SimDuration,
+    /// Online distribution of per-fault stall times, feeding the p99
+    /// SLO dimension. Excluded from the fingerprint (like `trace` and
+    /// `phases`): it is a projection of the stalls already digested
+    /// through `stall_time`.
+    pub stall_sketch: QuantileSketch,
 
     /// Page faults taken on the destination (any kind).
     pub faults_total: u64,
@@ -336,6 +353,26 @@ impl MetricSource for DeputyStats {
             "deputy CPU time across parsing, page service and syscalls",
             self.busy_time.as_secs_f64(),
         );
+        reg.export_counter(
+            "ampom_shed_prefetch_pages_total",
+            "prefetch pages refused by admission control",
+            self.prefetch_pages_shed,
+        );
+        reg.export_counter(
+            "ampom_shed_demand_pages_total",
+            "demand pages refused by admission control",
+            self.demand_pages_shed,
+        );
+        reg.export_counter(
+            "ampom_shed_events_total",
+            "requests with at least one page shed",
+            self.shed_events,
+        );
+        reg.export_counter(
+            "ampom_shed_hellos_deferred_total",
+            "Hellos deferred by the hysteresis admission gate",
+            self.hellos_deferred,
+        );
     }
 }
 
@@ -472,6 +509,7 @@ mod tests {
             total_time: SimDuration::from_secs(total_secs),
             compute_time: SimDuration::from_secs(total_secs / 2),
             stall_time: SimDuration::ZERO,
+            stall_sketch: QuantileSketch::default(),
             faults_total: fault_requests * 2,
             fault_requests,
             prefetch_only_requests: 0,
@@ -549,6 +587,12 @@ mod tests {
         b.phases.fault_stall = SimDuration::from_secs(25);
         b.trace = Trace::enabled();
         b.series = Some(RunSeries::default());
+        // Likewise the stall sketch (a projection of stall_time) and the
+        // shed counters (service that did NOT happen).
+        b.stall_sketch.record(SimDuration::from_micros(500));
+        b.deputy.prefetch_pages_shed = 7;
+        b.deputy.shed_events = 3;
+        b.deputy.hellos_deferred = 1;
         assert_eq!(a.fingerprint(), b.fingerprint());
     }
 

@@ -52,24 +52,30 @@ use ampom_mem::page::PageId;
 use ampom_mem::space::AddressSpace;
 use ampom_mem::table::{PageLocation, PageTablePair};
 use ampom_net::cross::CrossTraffic;
+use ampom_net::fault::{Fate, FaultPlan};
 use ampom_sim::rng::SimRng;
 use ampom_sim::time::{SimDuration, SimTime};
 use ampom_sim::trace::{Trace, TraceData, TraceEvent, TraceKind};
 
 use crate::cluster::NetPath;
-use crate::deputy::{Completion, DrrConfig, MigrantId, MultiDeputy};
+use crate::deputy::{AdmissionConfig, Completion, DrrConfig, MigrantId, MultiDeputy};
 use crate::error::AmpomError;
 use crate::experiment::WorkloadSpec;
-use crate::metrics::{DeputyStats, RunReport};
+use crate::metrics::{DeputyStats, FaultStats, RunReport};
 use crate::migration::{perform_freeze, FreezeOutcome, PreMigrationState, Scheme};
 use crate::monitor::MonitorDaemon;
 use crate::prefetcher::NetEstimates;
+use crate::reliability::{FaultProfile, RetrySchedule, RetryStep};
 use crate::runner::RunConfig;
 use crate::transport::{run_with_transport, validate_for_transport, Transport};
 
 /// Control-message size for a forwarded syscall (matches
 /// [`Deputy::forward_syscall`](crate::deputy::Deputy::forward_syscall)).
 const SYSCALL_MSG_BYTES: u64 = 128;
+
+/// Salt mixed into the run seed for the coordinator-side chaos RNG so
+/// fault fates never correlate with workload or cross-traffic streams.
+const CHAOS_SEED_SALT: u64 = 0xc4a0_5eed;
 
 /// One migrant's workload in a multi-run.
 #[derive(Debug, Clone)]
@@ -90,6 +96,14 @@ pub struct MultiRunSpec {
     pub migrants: Vec<MigrantSpec>,
     /// Fairness tuning for the shared service capacity.
     pub drr: DrrConfig,
+    /// Optional chaos profile: message loss/jitter on every migrant's
+    /// request and reply path plus deputy downtime, resolved by the
+    /// coordinator. `None` (or a null profile) leaves the run
+    /// bit-identical to a chaos-free multi-run.
+    pub chaos: Option<FaultProfile>,
+    /// Deputy admission control. The default is unbounded, which is
+    /// bit-identical to the pre-admission deputy.
+    pub admission: AdmissionConfig,
 }
 
 impl MultiRunSpec {
@@ -108,7 +122,21 @@ impl MultiRunSpec {
             cfg,
             migrants,
             drr: DrrConfig::default(),
+            chaos: None,
+            admission: AdmissionConfig::default(),
         }
+    }
+
+    /// Layers a chaos profile over the run.
+    pub fn with_chaos(mut self, profile: FaultProfile) -> Self {
+        self.chaos = Some(profile);
+        self
+    }
+
+    /// Replaces the deputy admission configuration.
+    pub fn with_admission(mut self, admission: AdmissionConfig) -> Self {
+        self.admission = admission;
+        self
     }
 }
 
@@ -241,6 +269,11 @@ enum Call {
         total_pages: usize,
         /// Pages still at the origin, in request order.
         submit: Vec<PageId>,
+        /// The demanded page, when it is in `submit`. Admission control
+        /// never sheds it, and downtime recovery is attributed only to
+        /// requests that carry one (a pure-prefetch request stalls
+        /// nobody).
+        demand: Option<PageId>,
     },
     WaitFor {
         now: SimTime,
@@ -300,6 +333,10 @@ enum ReplyBody {
     },
     Accepted {
         accepted: Vec<PageId>,
+        /// Prefetch pages the deputy refused under load. The migrant
+        /// reverts them to the origin so a later touch demand-fetches
+        /// them (sheds are recoverable, never lost).
+        shed: Vec<PageId>,
     },
     Ack,
     SyscallDone {
@@ -315,6 +352,9 @@ enum ReplyBody {
         bytes_to_dest: u64,
         bytes_from_dest: u64,
         deputy: DeputyStats,
+        /// Coordinator-side fault accounting for this migrant (all-zero
+        /// without a chaos profile).
+        faults: FaultStats,
     },
 }
 
@@ -345,6 +385,7 @@ struct MigrantHandle {
     /// Final counters cached by the `Sync` rendezvous.
     final_bytes: (u64, u64),
     final_deputy: DeputyStats,
+    final_faults: FaultStats,
     /// Set when the coordinator went away; fallible calls error out.
     poisoned: bool,
 }
@@ -360,6 +401,7 @@ impl MigrantHandle {
             staged: std::collections::VecDeque::new(),
             final_bytes: (0, 0),
             final_deputy: DeputyStats::default(),
+            final_faults: FaultStats::default(),
             poisoned: false,
         }
     }
@@ -444,14 +486,22 @@ impl Transport for MigrantHandle {
         for &p in &submit {
             table.transfer_to_destination(p);
         }
+        let demand_submitted = demand.filter(|d| submit.contains(d));
         let reply = self.call(Call::Request {
             now,
             total_pages,
             submit,
+            demand: demand_submitted,
         })?;
-        let ReplyBody::Accepted { accepted } = reply.body else {
+        let ReplyBody::Accepted { accepted, shed } = reply.body else {
             return Err(AmpomError::Transport("unexpected request reply".into()));
         };
+        // Shed prefetches revert to the origin: they were optimistically
+        // marked in-transfer above, and the deputy never serviced them.
+        // A later touch demand-fetches the page, so nothing is lost.
+        for &p in &shed {
+            table.return_to_origin(p);
+        }
         let mut queued = Vec::new();
         for &p in &accepted {
             self.in_flight.insert(p, None);
@@ -569,6 +619,10 @@ impl Transport for MigrantHandle {
         self.final_deputy
     }
 
+    fn fault_stats(&self) -> FaultStats {
+        self.final_faults
+    }
+
     fn drain_trace(&mut self) -> Vec<(SimTime, TraceKind, TraceData)> {
         // The runner drains trace exactly once, after its loop and
         // before reading the byte/deputy counters: use it as the final
@@ -578,10 +632,12 @@ impl Transport for MigrantHandle {
                 bytes_to_dest,
                 bytes_from_dest,
                 deputy,
+                faults,
             } = reply.body
             {
                 self.final_bytes = (bytes_to_dest, bytes_from_dest);
                 self.final_deputy = deputy;
+                self.final_faults = faults;
             }
             self.absorb(reply.deliveries);
         }
@@ -600,6 +656,38 @@ struct Parked {
     submitted: bool,
 }
 
+/// Coordinator-side chaos: one deterministic fate stream per migrant per
+/// direction, one retry schedule per migrant (the migrant's demand-wait
+/// timer, resolved eagerly because the coordinator knows each message's
+/// fate at send time), and per-migrant fault accounting shipped to the
+/// migrant at `Sync`.
+struct ChaosState {
+    profile: FaultProfile,
+    request_plans: Vec<FaultPlan>,
+    reply_plans: Vec<FaultPlan>,
+    retries: Vec<RetrySchedule>,
+    faults: Vec<FaultStats>,
+}
+
+impl ChaosState {
+    /// Charges one timeout to migrant `i` and returns how long the timer
+    /// ran before firing.
+    fn charge_timeout(&mut self, i: usize) -> SimDuration {
+        let stats = &mut self.faults[i];
+        let sched = &mut self.retries[i];
+        stats.timeouts += 1;
+        let waited = sched.current_timeout();
+        match sched.on_timeout() {
+            RetryStep::Retry => stats.retries += 1,
+            RetryStep::Degrade(_) => {
+                stats.reconnects += 1;
+                sched.begin_wait();
+            }
+        }
+        waited
+    }
+}
+
 struct Coordinator {
     md: MultiDeputy,
     paths: Vec<NetPath>,
@@ -613,6 +701,10 @@ struct Coordinator {
     /// migrant (the runner forwards syscalls synchronously).
     syscall_ready: Vec<Option<SimTime>>,
     trace_on: bool,
+    /// `None` without a (non-null) chaos profile: the zero-chaos path
+    /// draws no fates and stays bit-identical to the pre-chaos code.
+    chaos: Option<ChaosState>,
+    admission: AdmissionConfig,
 }
 
 impl Coordinator {
@@ -633,6 +725,56 @@ impl Coordinator {
         best.map(|(_, i)| i)
     }
 
+    /// Resolves a paging request's arrival at the deputy under the chaos
+    /// profile: lost sends burn retry timeouts and re-send, delivered
+    /// sends pick up jitter, and a request landing in deputy downtime
+    /// waits out the outage (charged as recovery only when a demand page
+    /// was stalling on it).
+    fn chaos_request_arrival(
+        &mut self,
+        u: usize,
+        now: SimTime,
+        total_pages: usize,
+        has_demand: bool,
+    ) -> SimTime {
+        let Some(chaos) = self.chaos.as_mut() else {
+            return self.paths[u].send_request(now, total_pages);
+        };
+        chaos.retries[u].begin_wait();
+        let mut send_at = now;
+        loop {
+            match chaos.request_plans[u].fate() {
+                Fate::Dropped => {
+                    self.paths[u].send_request_lost(send_at, total_pages);
+                    chaos.faults[u].messages_dropped += 1;
+                    send_at += chaos.charge_timeout(u);
+                }
+                Fate::Delivered { extra_delay } => {
+                    let mut arrival =
+                        self.paths[u].send_request(send_at, total_pages) + extra_delay;
+                    if chaos.profile.downtime.is_down(arrival) {
+                        chaos.faults[u].deputy_unavailable += 1;
+                        let up = chaos.profile.downtime.next_up(arrival);
+                        // The migrant's timer keeps firing into the
+                        // outage; each firing is a timeout (the re-sends
+                        // also land on a down deputy, so they are not
+                        // re-modelled individually).
+                        let mut deadline = chaos.retries[u].deadline_after(send_at);
+                        while deadline < up {
+                            chaos.charge_timeout(u);
+                            deadline += chaos.retries[u].current_timeout();
+                        }
+                        if has_demand {
+                            chaos.faults[u].recovery_time += up.saturating_since(arrival);
+                        }
+                        arrival = up;
+                    }
+                    return arrival;
+                }
+            }
+        }
+    }
+
     /// Turns one committed service event into its reply-link delivery.
     fn deliver(&mut self, c: Completion) {
         match c {
@@ -641,8 +783,42 @@ impl Coordinator {
                 page,
                 finish,
             } => {
-                let arrival = self.paths[migrant.idx0()].send_page(finish);
-                self.delivery_buf[migrant.idx0()].push((arrival, page));
+                let i = migrant.idx0();
+                // A deputy that is down cannot transmit: service events
+                // finishing inside an outage sit on the home node until
+                // the restart, then drain in commit order (so arrivals
+                // stay nondecreasing — everything in one outage maps to
+                // the same restart instant).
+                let finish = match self.chaos.as_mut() {
+                    Some(chaos) if chaos.profile.downtime.is_down(finish) => {
+                        chaos.faults[i].deputy_unavailable += 1;
+                        chaos.profile.downtime.next_up(finish)
+                    }
+                    _ => finish,
+                };
+                let extra = match self.chaos.as_mut() {
+                    None => SimDuration::ZERO,
+                    Some(chaos) => match chaos.reply_plans[i].fate() {
+                        Fate::Delivered { extra_delay } => extra_delay,
+                        Fate::Dropped => {
+                            // The reply is lost in flight. The migrant's
+                            // demand timer fires and it re-requests the
+                            // page; the coordinator resolves that
+                            // re-request eagerly (it knows the timeout
+                            // deadline), so the page re-enters the shard
+                            // queue and a later commit re-delivers it.
+                            self.paths[i].send_page_lost(finish);
+                            chaos.faults[i].messages_dropped += 1;
+                            let waited = chaos.charge_timeout(i);
+                            let resend_at = finish + waited;
+                            let arrival = self.paths[i].send_request(resend_at, 1);
+                            self.md.submit_request(migrant, arrival, &[page]);
+                            return;
+                        }
+                    },
+                };
+                let arrival = self.paths[i].send_page(finish) + extra;
+                self.delivery_buf[i].push((arrival, page));
             }
             Completion::Syscall { migrant, finish } => {
                 let at = self.paths[migrant.idx0()].send_control_to_dest(finish, SYSCALL_MSG_BYTES);
@@ -773,15 +949,28 @@ impl Coordinator {
                     now,
                     total_pages,
                     submit,
+                    demand,
                 } => {
-                    let (now, total_pages, submit) = (*now, *total_pages, submit.clone());
-                    let arrival = self.paths[u].send_request(now, total_pages);
-                    let accepted = self
-                        .md
-                        .submit_request(MigrantId(u as u32), arrival, &submit);
+                    let (now, total_pages, submit, demand) =
+                        (*now, *total_pages, submit.clone(), *demand);
+                    let arrival = self.chaos_request_arrival(u, now, total_pages, demand.is_some());
+                    let admission = self.admission;
+                    let admitted = self.md.submit_request_admitted(
+                        MigrantId(u as u32),
+                        arrival,
+                        &submit,
+                        demand,
+                        &admission,
+                    );
                     self.parked[u] = None;
                     self.commit_to_horizon();
-                    self.respond(u, ReplyBody::Accepted { accepted });
+                    self.respond(
+                        u,
+                        ReplyBody::Accepted {
+                            accepted: admitted.accepted,
+                            shed: admitted.shed,
+                        },
+                    );
                     return Ok(());
                 }
                 Call::WaitFor { .. } => {
@@ -831,6 +1020,7 @@ impl Coordinator {
                         bytes_to_dest: self.paths[u].bytes_to_dest(),
                         bytes_from_dest: self.paths[u].bytes_from_dest(),
                         deputy: self.md.shard_stats(MigrantId(u as u32)),
+                        faults: self.chaos.as_ref().map(|c| c.faults[u]).unwrap_or_default(),
                     };
                     self.parked[u] = None;
                     self.respond(u, body);
@@ -861,6 +1051,12 @@ pub fn run_multi(spec: &MultiRunSpec) -> Result<MultiRunReport, AmpomError> {
     for m in &spec.migrants {
         m.workload.validate()?;
     }
+    if let Some(profile) = &spec.chaos {
+        profile.validate()?;
+    }
+    spec.admission
+        .validate()
+        .map_err(AmpomError::InvalidConfig)?;
 
     let n = spec.migrants.len();
     let (call_tx, call_rx) = channel::<(MigrantId, Call)>();
@@ -887,6 +1083,26 @@ pub fn run_multi(spec: &MultiRunSpec) -> Result<MultiRunReport, AmpomError> {
         paths.push(path);
     }
 
+    // Chaos state is built only for a non-null profile: the null path
+    // draws zero fates, which is what keeps chaos-free runs bit-identical
+    // to the pre-chaos coordinator.
+    let chaos = spec.chaos.as_ref().filter(|p| !p.is_null()).map(|profile| {
+        let rng = SimRng::seed_from_u64(spec.cfg.seed ^ CHAOS_SEED_SALT);
+        ChaosState {
+            profile: profile.clone(),
+            request_plans: (0..n)
+                .map(|i| FaultPlan::new(profile.faults, rng.fork(2 * i as u64)))
+                .collect(),
+            reply_plans: (0..n)
+                .map(|i| FaultPlan::new(profile.faults, rng.fork(2 * i as u64 + 1)))
+                .collect(),
+            retries: (0..n)
+                .map(|_| RetrySchedule::for_link(profile.retry, profile.policy, spec.cfg.link))
+                .collect(),
+            faults: vec![FaultStats::default(); n],
+        }
+    });
+
     let mut coord = Coordinator {
         md: MultiDeputy::with_drr(n, spec.drr),
         paths,
@@ -898,6 +1114,8 @@ pub fn run_multi(spec: &MultiRunSpec) -> Result<MultiRunReport, AmpomError> {
         delivery_buf: vec![Vec::new(); n],
         syscall_ready: vec![None; n],
         trace_on: spec.cfg.trace,
+        chaos,
+        admission: spec.admission,
     };
 
     thread::scope(|scope| -> Result<MultiRunReport, AmpomError> {
@@ -1103,6 +1321,8 @@ mod tests {
             cfg: RunConfig::new(Scheme::Ampom),
             migrants: Vec::new(),
             drr: DrrConfig::default(),
+            chaos: None,
+            admission: AdmissionConfig::default(),
         };
         assert!(matches!(
             run_multi(&spec),

@@ -253,6 +253,13 @@ impl FaultProfile {
         }
     }
 
+    /// Replaces the message-level fault knobs wholesale (loss, burst
+    /// length, jitter) — the chaos scenarios compose profiles this way.
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Adds a deputy downtime schedule.
     pub fn with_downtime(mut self, downtime: DowntimeSchedule) -> Self {
         self.downtime = downtime;

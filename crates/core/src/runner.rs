@@ -45,6 +45,7 @@ use crate::monitor::MonitorDaemon;
 use crate::policy::{PolicySpec, PrefetchFeedback, Prefetcher};
 use crate::prefetcher::{AmpomConfig, PrefetchStats};
 use crate::reliability::{FailurePolicy, FaultInjector, FaultProfile};
+use crate::slo::QuantileSketch;
 
 /// Cost of servicing a minor fault (anonymous zero-fill) in the kernel.
 pub const MINOR_FAULT_COST: SimDuration = SimDuration::from_micros(1);
@@ -355,6 +356,9 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
     // Measurement state.
     let mut compute_time = SimDuration::ZERO;
     let mut stall_time = SimDuration::ZERO;
+    // Per-fault stall distribution for the SLO layer. Syscall-delay
+    // stalls are not recorded: the sketch measures paging behaviour.
+    let mut stall_sketch = QuantileSketch::new();
     let mut analysis_time = SimDuration::ZERO;
     // Phase attribution: every clock advance below is charged to exactly
     // one phase, so the disjoint phases sum to total_time to the
@@ -589,6 +593,7 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                     }
                     if arrival > now {
                         stall_time += arrival.since(now);
+                        stall_sketch.record(arrival.since(now));
                         now = arrival;
                     }
                     let install_from = now;
@@ -614,6 +619,7 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                     pages_demand += 1;
                     let done = ffa_state.fetch(now, r.page, &mut trace);
                     stall_time += done.since(now);
+                    stall_sketch.record(done.since(now));
                     now = done;
                     table.transfer_to_destination(r.page);
                     space.install(r.page);
@@ -646,6 +652,7 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                                 .copied()
                                 .expect("demand page must be served");
                             stall_time += arrival.since(now);
+                            stall_sketch.record(arrival.since(now));
                             now = arrival;
                             let install_from = now;
                             install_arrived_pressured(
@@ -687,6 +694,7 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                                 &mut pages_evicted,
                             );
                             let stall_delta = stall_time.saturating_sub(stall_before);
+                            stall_sketch.record(stall_delta);
                             install_time += now.since(wait_from).saturating_sub(stall_delta);
                         }
                     }
@@ -743,6 +751,7 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
         total_time,
         compute_time,
         stall_time,
+        stall_sketch,
         faults_total,
         fault_requests,
         prefetch_only_requests,

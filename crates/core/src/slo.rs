@@ -1,0 +1,518 @@
+//! Per-migrant service-level objectives over paging behaviour.
+//!
+//! PR 2 made the protocol *survive* faults; this module makes it *meet
+//! promises* under them. A [`SloSpec`] budgets the three symptoms a
+//! migrated process actually feels when its home node degrades:
+//!
+//! * **p99 fault stall** — the tail of the per-fault stall distribution,
+//!   tracked online by a deterministic [`QuantileSketch`] fed at the
+//!   runner's two stall sites,
+//! * **slowdown** — total execution time relative to a baseline run of
+//!   the same migrant (the chaos suite uses the null-scenario run),
+//! * **timeout rate** — demand-fetch timeouts per fault request, the
+//!   recovery protocol's own distress signal.
+//!
+//! Evaluation produces typed [`SloVerdict`]s (`Met`/`AtRisk`/`Breached`)
+//! per dimension plus an overall worst-of verdict, rendered into
+//! `ampom_slo_*` metrics. Verdicts are total-ordered so the chaos
+//! scenarios can assert *monotone degradation*: more loss may never turn
+//! a `Breached` verdict back into `Met`.
+
+use std::fmt;
+
+use ampom_net::calibration::page_transfer_time;
+use ampom_net::link::LinkConfig;
+use ampom_obs::MetricsRegistry;
+use ampom_sim::time::SimDuration;
+
+use crate::error::AmpomError;
+use crate::metrics::RunReport;
+use crate::multirun::MultiRunReport;
+
+/// Number of logarithmic buckets in a [`QuantileSketch`]: bucket 0 holds
+/// exact zeros, bucket `k` holds nanosecond values in `[2^(k-1), 2^k)`.
+const SKETCH_BUCKETS: usize = 65;
+
+/// A verdict crosses from `Met` to `AtRisk` when the measurement exceeds
+/// this fraction of its budget.
+pub const AT_RISK_FRACTION: f64 = 0.8;
+
+/// A deterministic, mergeable streaming quantile sketch over durations.
+///
+/// Values are histogrammed into power-of-two nanosecond buckets (no RNG,
+/// no samples retained), so two runs that record the same stalls produce
+/// byte-identical sketches and per-migrant sketches merge exactly into a
+/// fleet sketch. Quantile estimates are conservative: the upper edge of
+/// the covering bucket, clamped to the observed maximum (relative error
+/// bounded by the 2x bucket width, which the well-separated SLO budgets
+/// absorb).
+#[derive(Clone, PartialEq, Eq)]
+pub struct QuantileSketch {
+    counts: [u64; SKETCH_BUCKETS],
+    n: u64,
+    max_ns: u64,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        QuantileSketch {
+            counts: [0; SKETCH_BUCKETS],
+            n: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+impl fmt::Debug for QuantileSketch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QuantileSketch")
+            .field("n", &self.n)
+            .field("max_ns", &self.max_ns)
+            .field("p50", &self.quantile(0.5))
+            .field("p99", &self.quantile(0.99))
+            .finish()
+    }
+}
+
+impl QuantileSketch {
+    /// An empty sketch.
+    pub fn new() -> Self {
+        QuantileSketch::default()
+    }
+
+    fn bucket(ns: u64) -> usize {
+        if ns == 0 {
+            0
+        } else {
+            64 - ns.leading_zeros() as usize
+        }
+    }
+
+    /// Records one duration.
+    pub fn record(&mut self, d: SimDuration) {
+        let ns = d.as_nanos();
+        self.counts[Self::bucket(ns)] += 1;
+        self.n += 1;
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Folds another sketch into this one (exact: histograms add).
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += *b;
+        }
+        self.n += other.n;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
+    /// Number of recorded durations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Largest recorded duration (exact).
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_nanos(self.max_ns)
+    }
+
+    /// Conservative estimate of the `q`-quantile (`q` clamped to
+    /// `[0, 1]`); [`SimDuration::ZERO`] for an empty sketch.
+    pub fn quantile(&self, q: f64) -> SimDuration {
+        if self.n == 0 {
+            return SimDuration::ZERO;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.n as f64).ceil() as u64).clamp(1, self.n);
+        let mut cum = 0u64;
+        for (k, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                let upper = if k == 0 {
+                    0
+                } else if k >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << k) - 1
+                };
+                return SimDuration::from_nanos(upper.min(self.max_ns));
+            }
+        }
+        SimDuration::from_nanos(self.max_ns)
+    }
+}
+
+/// The three-valued SLO verdict, total-ordered by severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SloVerdict {
+    /// Comfortably within budget.
+    Met,
+    /// Past [`AT_RISK_FRACTION`] of the budget but not over it.
+    AtRisk,
+    /// Over budget.
+    Breached,
+}
+
+impl SloVerdict {
+    /// Severity rank: 0 = `Met`, 1 = `AtRisk`, 2 = `Breached`.
+    pub fn rank(self) -> u8 {
+        match self {
+            SloVerdict::Met => 0,
+            SloVerdict::AtRisk => 1,
+            SloVerdict::Breached => 2,
+        }
+    }
+
+    /// Lowercase name, stable for JSONL facts.
+    pub fn name(self) -> &'static str {
+        match self {
+            SloVerdict::Met => "met",
+            SloVerdict::AtRisk => "at-risk",
+            SloVerdict::Breached => "breached",
+        }
+    }
+}
+
+impl fmt::Display for SloVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Compares a measurement against its budget.
+fn verdict_of(measured: f64, budget: f64) -> SloVerdict {
+    if measured > budget {
+        SloVerdict::Breached
+    } else if measured > budget * AT_RISK_FRACTION {
+        SloVerdict::AtRisk
+    } else {
+        SloVerdict::Met
+    }
+}
+
+/// Per-migrant SLO budgets. Every dimension is optional; an omitted
+/// dimension is simply not evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SloSpec {
+    /// Budget on the 99th percentile of per-fault stall time.
+    pub p99_fault_stall: Option<SimDuration>,
+    /// Budget on `total_time / baseline_total` (baseline supplied at
+    /// evaluation time; the chaos suite uses the null-scenario run).
+    pub slowdown_budget: Option<f64>,
+    /// Budget on `faults.timeouts / fault_requests`.
+    pub max_timeout_rate: Option<f64>,
+}
+
+impl SloSpec {
+    /// Budgets only the stall tail.
+    pub fn with_p99_fault_stall(mut self, budget: SimDuration) -> Self {
+        self.p99_fault_stall = Some(budget);
+        self
+    }
+
+    /// Budgets the slowdown vs a baseline run.
+    pub fn with_slowdown_budget(mut self, budget: f64) -> Self {
+        self.slowdown_budget = Some(budget);
+        self
+    }
+
+    /// Budgets the demand-fetch timeout rate.
+    pub fn with_max_timeout_rate(mut self, budget: f64) -> Self {
+        self.max_timeout_rate = Some(budget);
+        self
+    }
+
+    /// The chaos suite's calibrated default for `migrants` concurrent
+    /// migrants sharing one deputy over `link`.
+    ///
+    /// The stall budget scales with the clean round trip
+    /// (`rtt + page_transfer_time`): a clean demand fetch costs about one
+    /// such round trip plus its share of deputy queueing (which grows
+    /// with the migrant count), while one recovery-protocol timeout adds
+    /// at least four round trips ([`crate::reliability::RetryPolicy`]'s
+    /// default first deadline). Budgeting `3 + 2·migrants` round trips
+    /// therefore admits clean contention and convicts retry storms. The
+    /// slowdown budget (2x) and timeout-rate budget (2%) are flat.
+    pub fn for_link(link: &LinkConfig, migrants: u32) -> Self {
+        let round = link.rtt() + page_transfer_time(link);
+        SloSpec {
+            p99_fault_stall: Some(round.saturating_mul(3 + 2 * u64::from(migrants))),
+            slowdown_budget: Some(2.0),
+            max_timeout_rate: Some(0.02),
+        }
+    }
+
+    /// Checks budgets are in-domain.
+    pub fn validate(&self) -> Result<(), AmpomError> {
+        if let Some(b) = self.slowdown_budget {
+            if !b.is_finite() || b < 1.0 {
+                return Err(AmpomError::InvalidConfig(format!(
+                    "slowdown budget must be a finite value >= 1.0, got {b}"
+                )));
+            }
+        }
+        if let Some(r) = self.max_timeout_rate {
+            if !r.is_finite() || !(0.0..=1.0).contains(&r) {
+                return Err(AmpomError::InvalidConfig(format!(
+                    "timeout-rate budget must be in [0, 1], got {r}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates one run against the budgets. `baseline_total` feeds the
+    /// slowdown dimension; without it (or without a slowdown budget) that
+    /// dimension is skipped.
+    pub fn evaluate(&self, report: &RunReport, baseline_total: Option<SimDuration>) -> SloReport {
+        let p99_stall = self.p99_fault_stall.map(|budget| {
+            let measured = report.stall_sketch.quantile(0.99);
+            SloOutcome {
+                measured: measured.as_secs_f64(),
+                budget: budget.as_secs_f64(),
+                verdict: verdict_of(measured.as_secs_f64(), budget.as_secs_f64()),
+            }
+        });
+        let slowdown = match (self.slowdown_budget, baseline_total) {
+            (Some(budget), Some(base)) if base > SimDuration::ZERO => {
+                let measured = report.total_time.as_secs_f64() / base.as_secs_f64();
+                Some(SloOutcome {
+                    measured,
+                    budget,
+                    verdict: verdict_of(measured, budget),
+                })
+            }
+            _ => None,
+        };
+        let timeout_rate = self.max_timeout_rate.map(|budget| {
+            let measured = report.faults.timeouts as f64 / report.fault_requests.max(1) as f64;
+            SloOutcome {
+                measured,
+                budget,
+                verdict: verdict_of(measured, budget),
+            }
+        });
+        SloReport {
+            p99_stall,
+            slowdown,
+            timeout_rate,
+        }
+    }
+
+    /// Evaluates every migrant of a multi-run. `baselines` (same index
+    /// order, typically the null-scenario totals) feeds the slowdown
+    /// dimension.
+    pub fn evaluate_multi(
+        &self,
+        multi: &MultiRunReport,
+        baselines: Option<&[SimDuration]>,
+    ) -> Vec<SloReport> {
+        multi
+            .reports
+            .iter()
+            .enumerate()
+            .map(|(i, r)| self.evaluate(r, baselines.and_then(|b| b.get(i).copied())))
+            .collect()
+    }
+}
+
+/// One evaluated dimension: what was measured, what was budgeted, and
+/// the verdict. Times are in seconds; ratios are dimensionless.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloOutcome {
+    /// The measurement.
+    pub measured: f64,
+    /// The budget it was held against.
+    pub budget: f64,
+    /// The comparison outcome.
+    pub verdict: SloVerdict,
+}
+
+/// The evaluated SLO record of one migrant.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SloReport {
+    /// p99 fault-stall dimension (seconds), if budgeted.
+    pub p99_stall: Option<SloOutcome>,
+    /// Slowdown-vs-baseline dimension, if budgeted and a baseline was
+    /// supplied.
+    pub slowdown: Option<SloOutcome>,
+    /// Timeout-rate dimension, if budgeted.
+    pub timeout_rate: Option<SloOutcome>,
+}
+
+impl SloReport {
+    /// Worst verdict across evaluated dimensions; `Met` when nothing was
+    /// evaluated (an unbudgeted run cannot breach).
+    pub fn overall(&self) -> SloVerdict {
+        [self.p99_stall, self.slowdown, self.timeout_rate]
+            .into_iter()
+            .flatten()
+            .map(|o| o.verdict)
+            .max()
+            .unwrap_or(SloVerdict::Met)
+    }
+
+    /// Exports `ampom_slo_<label>_*` gauges (label e.g. `m0`): the three
+    /// measurements plus numeric verdict ranks (0 = met, 1 = at-risk,
+    /// 2 = breached).
+    pub fn export(&self, reg: &mut MetricsRegistry, label: &str) {
+        if let Some(o) = self.p99_stall {
+            reg.export_gauge(
+                &format!("ampom_slo_{label}_p99_stall_seconds"),
+                "99th percentile of per-fault stall time",
+                o.measured,
+            );
+        }
+        if let Some(o) = self.slowdown {
+            reg.export_gauge(
+                &format!("ampom_slo_{label}_slowdown"),
+                "total time relative to the baseline run",
+                o.measured,
+            );
+        }
+        if let Some(o) = self.timeout_rate {
+            reg.export_gauge(
+                &format!("ampom_slo_{label}_timeout_rate"),
+                "demand-fetch timeouts per fault request",
+                o.measured,
+            );
+        }
+        reg.export_gauge(
+            &format!("ampom_slo_{label}_verdict"),
+            "overall SLO verdict rank: 0 met, 1 at-risk, 2 breached",
+            f64::from(self.overall().rank()),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> SimDuration {
+        SimDuration::from_micros(n)
+    }
+
+    #[test]
+    fn sketch_quantiles_are_conservative_and_bounded_by_max() {
+        let mut s = QuantileSketch::new();
+        for i in 1..=100u64 {
+            s.record(us(i));
+        }
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.max(), us(100));
+        let p99 = s.quantile(0.99);
+        // Conservative: at least the true p99, at most the bucket above.
+        assert!(p99 >= us(99), "p99 {p99:?} below the true value");
+        assert!(p99 <= us(100), "p99 {p99:?} exceeds the observed max");
+        // The median lands within its covering power-of-two bucket:
+        // 50µs = 50 000ns lives in [2^15, 2^16), whose upper edge is
+        // 65 535ns.
+        let p50 = s.quantile(0.5);
+        assert!(
+            p50 >= us(50) && p50 <= SimDuration::from_nanos((1 << 16) - 1),
+            "p50 {p50:?}"
+        );
+    }
+
+    #[test]
+    fn empty_and_zero_sketches_are_degenerate_but_defined() {
+        let s = QuantileSketch::new();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.99), SimDuration::ZERO);
+        let mut z = QuantileSketch::new();
+        z.record(SimDuration::ZERO);
+        assert_eq!(z.quantile(1.0), SimDuration::ZERO);
+        assert_eq!(z.count(), 1);
+    }
+
+    #[test]
+    fn merge_is_exact_histogram_addition() {
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        let mut whole = QuantileSketch::new();
+        for i in 1..=50u64 {
+            a.record(us(i));
+            whole.record(us(i));
+        }
+        for i in 51..=100u64 {
+            b.record(us(i));
+            whole.record(us(i));
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn verdict_thresholds_and_ordering() {
+        assert_eq!(verdict_of(0.5, 1.0), SloVerdict::Met);
+        assert_eq!(verdict_of(0.85, 1.0), SloVerdict::AtRisk);
+        assert_eq!(verdict_of(1.01, 1.0), SloVerdict::Breached);
+        assert!(SloVerdict::Met < SloVerdict::AtRisk);
+        assert!(SloVerdict::AtRisk < SloVerdict::Breached);
+        assert_eq!(SloVerdict::Breached.name(), "breached");
+    }
+
+    #[test]
+    fn overall_is_worst_of_and_met_when_unbudgeted() {
+        let mut r = SloReport::default();
+        assert_eq!(r.overall(), SloVerdict::Met);
+        r.p99_stall = Some(SloOutcome {
+            measured: 0.1,
+            budget: 1.0,
+            verdict: SloVerdict::Met,
+        });
+        r.timeout_rate = Some(SloOutcome {
+            measured: 0.5,
+            budget: 0.02,
+            verdict: SloVerdict::Breached,
+        });
+        assert_eq!(r.overall(), SloVerdict::Breached);
+    }
+
+    #[test]
+    fn spec_validation_rejects_bad_budgets() {
+        assert!(SloSpec::default()
+            .with_slowdown_budget(0.5)
+            .validate()
+            .is_err());
+        assert!(SloSpec::default()
+            .with_max_timeout_rate(1.5)
+            .validate()
+            .is_err());
+        assert!(
+            SloSpec::for_link(&ampom_net::calibration::fast_ethernet(), 4)
+                .validate()
+                .is_ok()
+        );
+    }
+
+    #[test]
+    fn export_obeys_the_metric_naming_convention() {
+        let r = SloReport {
+            p99_stall: Some(SloOutcome {
+                measured: 0.001,
+                budget: 0.002,
+                verdict: SloVerdict::Met,
+            }),
+            slowdown: None,
+            timeout_rate: Some(SloOutcome {
+                measured: 0.0,
+                budget: 0.02,
+                verdict: SloVerdict::Met,
+            }),
+        };
+        let mut reg = MetricsRegistry::new();
+        r.export(&mut reg, "m0");
+        assert_eq!(reg.gauge_value("ampom_slo_m0_verdict"), Some(0.0));
+        assert!(reg.gauge_value("ampom_slo_m0_p99_stall_seconds").is_some());
+        for line in reg.render_prometheus().lines() {
+            if !line.starts_with('#') && !line.is_empty() {
+                assert!(line.starts_with("ampom_"), "bad metric line: {line}");
+            }
+        }
+    }
+}

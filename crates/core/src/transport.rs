@@ -43,6 +43,7 @@ use crate::monitor::MonitorDaemon;
 use crate::policy::{PrefetchFeedback, Prefetcher};
 use crate::prefetcher::{NetEstimates, PrefetchStats};
 use crate::runner::{RunConfig, MINOR_FAULT_COST, PAGE_INSTALL_COST};
+use crate::slo::QuantileSketch;
 
 /// The wire between the migrant-side runner and the home-node deputy.
 ///
@@ -326,6 +327,7 @@ pub fn run_with_transport<W: Workload + ?Sized>(
     // Measurement state (same set as the legacy runner).
     let mut compute_time = SimDuration::ZERO;
     let mut stall_time = SimDuration::ZERO;
+    let mut stall_sketch = QuantileSketch::new();
     let mut analysis_time = SimDuration::ZERO;
     // Phase attribution, mirroring the legacy runner: every clock advance
     // is charged to exactly one phase.
@@ -493,6 +495,7 @@ pub fn run_with_transport<W: Workload + ?Sized>(
                     let arrival = transport.wait_for(r.page, now)?;
                     if arrival > now {
                         stall_time += arrival.since(now);
+                        stall_sketch.record(arrival.since(now));
                         now = arrival;
                     }
                     let install_from = now;
@@ -517,6 +520,7 @@ pub fn run_with_transport<W: Workload + ?Sized>(
                     );
                     let arrival = transport.wait_for(r.page, now)?;
                     stall_time += arrival.saturating_since(now);
+                    stall_sketch.record(arrival.saturating_since(now));
                     now = now.max(arrival);
                     let install_from = now;
                     transport.install_arrived(&mut now, &mut space);
@@ -577,6 +581,7 @@ pub fn run_with_transport<W: Workload + ?Sized>(
         total_time,
         compute_time,
         stall_time,
+        stall_sketch,
         faults_total,
         fault_requests,
         prefetch_only_requests,

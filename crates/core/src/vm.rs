@@ -236,6 +236,7 @@ pub fn run_vm(mut vm: VmWorkload, cfg: &RunConfig, analysis: VmAnalysis) -> VmRe
 
     let mut compute_time = SimDuration::ZERO;
     let mut stall_time = SimDuration::ZERO;
+    let mut stall_sketch = crate::slo::QuantileSketch::new();
     let mut analysis_time = SimDuration::ZERO;
     let mut faults_total = 0u64;
     let mut fault_requests = 0u64;
@@ -329,6 +330,7 @@ pub fn run_vm(mut vm: VmWorkload, cfg: &RunConfig, analysis: VmAnalysis) -> VmRe
                     }
                     if arrival > now {
                         stall_time += arrival.since(now);
+                        stall_sketch.record(arrival.since(now));
                         now = arrival;
                     }
                     install_arrived(&mut staged, &mut in_flight, &mut space, &mut now);
@@ -348,6 +350,7 @@ pub fn run_vm(mut vm: VmWorkload, cfg: &RunConfig, analysis: VmAnalysis) -> VmRe
                     );
                     let arrival = in_flight[&r.page];
                     stall_time += arrival.since(now);
+                    stall_sketch.record(arrival.since(now));
                     now = arrival;
                     install_arrived(&mut staged, &mut in_flight, &mut space, &mut now);
                 }
@@ -411,6 +414,7 @@ pub fn run_vm(mut vm: VmWorkload, cfg: &RunConfig, analysis: VmAnalysis) -> VmRe
             total_time,
             compute_time,
             stall_time,
+            stall_sketch,
             faults_total,
             fault_requests,
             prefetch_only_requests,

@@ -1,0 +1,167 @@
+//! Property suite for SLO-governed serving: zero-chaos identity,
+//! shed conservation, and monotone degradation.
+//!
+//! Three invariants keep the chaos layer honest:
+//!
+//! 1. **Zero-chaos identity** — a `None` chaos profile, a *null* chaos
+//!    profile and an unbounded admission config are all exact no-ops:
+//!    the run fingerprint is bit-identical to a spec that never heard of
+//!    chaos. (The golden N=1 fingerprints in `multi_identity` pin the
+//!    same property against the single-migrant transport.)
+//! 2. **Shed conservation** — admission control may refuse prefetch
+//!    pages, but every page still crosses the wire exactly once: the
+//!    per-migrant demand+prefetch delivery total is unchanged, only the
+//!    mix shifts toward demand. Demand itself is never shed.
+//! 3. **Monotone degradation** — walking a scenario's loss ladder at a
+//!    fixed seed never flips a `Breached` grade back to `Met`.
+
+use ampom_core::chaos::{scenario, standard_workload};
+use ampom_core::deputy::AdmissionConfig;
+use ampom_core::multirun::{run_multi, MultiRunSpec};
+use ampom_core::reliability::FaultProfile;
+use ampom_core::runner::RunConfig;
+use ampom_core::slo::SloVerdict;
+use ampom_core::Scheme;
+use ampom_sim::propcheck::{forall, Gen};
+
+fn fingerprints(spec: &MultiRunSpec) -> Vec<u64> {
+    run_multi(spec)
+        .expect("multi-run succeeds")
+        .reports
+        .iter()
+        .map(|r| r.fingerprint())
+        .collect()
+}
+
+#[test]
+fn null_chaos_and_unbounded_admission_are_exact_noops() {
+    forall("zero-chaos-identity", 24, |g: &mut Gen| {
+        let seed = g.u64(0..u64::MAX / 2);
+        let n = g.u64(1..4) as u32;
+        let scheme = *g.choose(&[Scheme::Ampom, Scheme::NoPrefetch, Scheme::OpenMosix]);
+        let mut cfg = RunConfig::new(scheme);
+        cfg.seed = seed;
+
+        let plain = MultiRunSpec::homogeneous(cfg, standard_workload(), seed, n);
+        let baseline = fingerprints(&plain);
+
+        // A null profile draws zero fates; an unbounded admission config
+        // takes the exact `submit_request` path.
+        let dressed = plain
+            .clone()
+            .with_chaos(FaultProfile::default())
+            .with_admission(AdmissionConfig::default());
+        assert_eq!(
+            fingerprints(&dressed),
+            baseline,
+            "null chaos or unbounded admission perturbed the run"
+        );
+    });
+}
+
+#[test]
+fn shed_pages_are_conserved_not_lost() {
+    forall("shed-conservation", 12, |g: &mut Gen| {
+        let seed = g.u64(0..u64::MAX / 2);
+        let n = g.u64(2..4) as u32;
+        let bound = g.u64(4..24) as usize;
+        let cfg = {
+            let mut c = RunConfig::new(Scheme::Ampom);
+            c.seed = seed;
+            c
+        };
+
+        let plain = MultiRunSpec::homogeneous(cfg, standard_workload(), seed, n);
+        let baseline = run_multi(&plain).expect("baseline runs");
+        let bounded = run_multi(
+            &plain
+                .clone()
+                .with_admission(AdmissionConfig::bounded(bound)),
+        )
+        .expect("bounded run terminates");
+
+        // Demand is never shed, ever.
+        assert_eq!(bounded.deputy.demand_pages_shed, 0, "demand was shed");
+        // Every page still crosses the wire exactly once per migrant:
+        // sheds shift prefetches to (later) demand or re-prefetch, they
+        // do not lose or duplicate deliveries.
+        for (b, p) in bounded.reports.iter().zip(baseline.reports.iter()) {
+            assert_eq!(
+                b.pages_demand_fetched + b.pages_prefetched,
+                p.pages_demand_fetched + p.pages_prefetched,
+                "shedding changed the delivered-page total (bound {bound})"
+            );
+        }
+        // Shed events and the shed-page counter agree in direction.
+        let shed = bounded.deputy.prefetch_pages_shed;
+        let events = bounded.deputy.shed_events;
+        assert_eq!(shed > 0, events > 0, "shed pages without shed events");
+    });
+}
+
+#[test]
+fn loss_ladder_degrades_monotonically() {
+    // Fixed seed, increasing loss on the storm scenario: a Breached
+    // grade must never heal back to Met further up the ladder.
+    let ladder = [0.0, 0.05, 0.15, 0.30];
+    let mut verdicts = Vec::new();
+    for &loss in &ladder {
+        let outcome = scenario("flaky-link-storm")
+            .expect("storm exists")
+            .with_loss(loss)
+            .run(2, 1337)
+            .expect("ladder rung runs");
+        verdicts.push(outcome.worst_verdict());
+    }
+    for i in 0..verdicts.len() {
+        for j in i + 1..verdicts.len() {
+            assert!(
+                !(verdicts[i] == SloVerdict::Breached && verdicts[j] == SloVerdict::Met),
+                "loss {} breached but loss {} met: {verdicts:?}",
+                ladder[i],
+                ladder[j]
+            );
+        }
+    }
+    // The ladder's ends are strictly ordered: no loss meets the SLOs,
+    // heavy loss does not.
+    assert_eq!(verdicts[0], SloVerdict::Met, "clean link failed its SLOs");
+    assert_eq!(
+        *verdicts.last().expect("non-empty"),
+        SloVerdict::Breached,
+        "30% loss met every SLO"
+    );
+}
+
+#[test]
+fn restart_midstorm_sheds_prefetch_never_demand_at_n8() {
+    let outcome = scenario("deputy-restart-midstorm")
+        .expect("scenario exists")
+        .run(8, 42)
+        .expect("scenario runs");
+    assert!(
+        outcome.prefetch_pages_shed() > 0,
+        "bounded admission under storm shed no prefetch"
+    );
+    assert_eq!(
+        outcome.demand_pages_shed(),
+        0,
+        "demand-fault service was shed"
+    );
+    // Shed accounting is visible per shard and sums to the aggregate.
+    let per_shard: u64 = outcome
+        .report
+        .shard_stats
+        .iter()
+        .map(|s| s.prefetch_pages_shed)
+        .sum();
+    assert_eq!(per_shard, outcome.prefetch_pages_shed());
+    // The outages were actually hit.
+    let unavailable: u64 = outcome
+        .report
+        .reports
+        .iter()
+        .map(|r| r.faults.deputy_unavailable)
+        .sum();
+    assert!(unavailable > 0, "no request or reply saw the deputy down");
+}

@@ -209,6 +209,8 @@ fn random_multi_runs_terminate_with_exact_stat_sums() {
             cfg: RunConfig::new(scheme),
             migrants,
             drr: DrrConfig::default(),
+            chaos: None,
+            admission: ampom_core::deputy::AdmissionConfig::default(),
         };
         let report = run_multi(&spec).expect("random multi-run terminates");
         assert_eq!(report.migrants(), n);

@@ -202,6 +202,7 @@ pub fn bakeoff_table(b: &Bakeoff) -> AsciiTable {
             "policy",
             "coverage",
             "accuracy",
+            "waste",
             "stall",
             "slowdown",
             "total (s)",
@@ -219,6 +220,7 @@ pub fn bakeoff_table(b: &Bakeoff) -> AsciiTable {
             c.policy.clone(),
             pct(c.report.coverage() * 100.0),
             pct(c.report.prefetch_accuracy() * 100.0),
+            pct(c.report.waste() * 100.0),
             pct(stall * 100.0),
             format!("{:.3}x", c.slowdown()),
             secs(total),
@@ -302,5 +304,25 @@ mod tests {
         assert!(rendered.contains("leap"));
         assert!(rendered.contains("indigo"));
         assert!(rendered.contains("ZipfianKV"));
+        assert!(rendered.contains("waste"), "the waste column is audited");
+    }
+
+    #[test]
+    fn waste_column_is_the_accuracy_complement() {
+        // The audit behind the table's `waste` column: waste and
+        // accuracy partition every cell's prefetched pages, so the two
+        // shares always sum to one.
+        let b = run_bakeoff(true).expect("bakeoff");
+        for c in &b.cells {
+            let sum = c.report.prefetch_accuracy() + c.report.waste();
+            assert!(
+                (sum - 1.0).abs() < 1e-9,
+                "{}/{}: accuracy {} + waste {} != 1",
+                c.workload,
+                c.policy,
+                c.report.prefetch_accuracy(),
+                c.report.waste()
+            );
+        }
     }
 }

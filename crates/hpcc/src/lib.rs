@@ -34,9 +34,15 @@
 //! service-share fairness and deputy saturation, in simulation and over
 //! live loopback sockets.
 //!
+//! The [`chaos_cmd`] module backs `hpcc-repro chaos`: the named chaos
+//! scenarios of `ampom_core::chaos` over a migrant panel — per-migrant
+//! SLO verdicts, admission-control shed counters, schema-versioned JSONL
+//! run facts and a `BENCH_chaos.json` perf fact.
+//!
 //! The `hpcc-repro` binary drives these; see `hpcc-repro --help`.
 
 pub mod bakeoff;
+pub mod chaos_cmd;
 pub mod checks;
 pub mod experiments;
 pub mod extensions;

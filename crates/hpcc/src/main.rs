@@ -39,6 +39,8 @@
 //!             fairness, saturation (simulated grid + 8 live migrants)
 //!   bakeoff   prefetch-policy bake-off: AMPoM vs Leap vs INDIGO over
 //!             kernels + locality-breaking workloads, vs NoPrefetch
+//!   chaos     named chaos scenarios at 1/4/8 migrants: per-migrant SLO
+//!             verdicts, load shedding, JSONL facts, BENCH_chaos.json
 //!
 //! Options:
 //!   --quick   tiny problem sizes (seconds instead of minutes)
@@ -48,8 +50,15 @@
 //!   --kernel NAME    profile: dgemm|stream|randomaccess|fft (default stream)
 //!   --scheme NAME    profile: ampom|noprefetch|openmosix (default ampom)
 //!   --json PATH      profile: write the JSONL event/phase stream to PATH
-//!   --prom PATH      profile: write the Prometheus-style dump to PATH
+//!                    chaos: append the JSONL run facts to PATH
+//!   --prom PATH      profile/chaos: write the Prometheus-style dump to PATH
 //!   --top K          profile: hottest pages to list (default 10)
+//!   --scenario NAME  chaos: run only NAME (repeatable; default all)
+//!   --bench PATH     chaos: write BENCH_chaos.json to PATH
+//!                    (default ./BENCH_chaos.json)
+//!
+//! `chaos` seeds its fault plans from the `AMPOM_FAULT_SEED` environment
+//! variable (default 42), matching the CI fault matrix.
 //! ```
 
 use std::path::PathBuf;
@@ -59,7 +68,7 @@ use ampom_core::migration::Scheme;
 use ampom_hpcc::matrix::{full_matrix, Cell};
 use ampom_hpcc::profile::{self, ProfileOptions};
 use ampom_hpcc::report::AsciiTable;
-use ampom_hpcc::{checks, experiments, extensions, live};
+use ampom_hpcc::{chaos_cmd, checks, experiments, extensions, live};
 use ampom_workloads::Kernel;
 
 struct Options {
@@ -70,6 +79,8 @@ struct Options {
     profile: ProfileOptions,
     json_path: Option<PathBuf>,
     prom_path: Option<PathBuf>,
+    scenarios: Vec<String>,
+    bench_path: Option<PathBuf>,
 }
 
 fn parse_kernel(name: &str) -> Kernel {
@@ -106,6 +117,8 @@ fn parse_args() -> Options {
     let mut prof = ProfileOptions::default();
     let mut json_path = None;
     let mut prom_path = None;
+    let mut scenarios = Vec::new();
+    let mut bench_path = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -133,6 +146,12 @@ fn parse_args() -> Options {
             "--prom" => {
                 prom_path = Some(PathBuf::from(args.next().expect("--prom requires a path")));
             }
+            "--scenario" => {
+                scenarios.push(args.next().expect("--scenario requires a name"));
+            }
+            "--bench" => {
+                bench_path = Some(PathBuf::from(args.next().expect("--bench requires a path")));
+            }
             "--top" => {
                 prof.top = args
                     .next()
@@ -143,9 +162,10 @@ fn parse_args() -> Options {
             "--help" | "-h" => {
                 println!(
                     "hpcc-repro [all|table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|\
-                     ext-vm|ext-cluster|ext-ptrans|ext-interactive|ext-roundtrip|ext-syscall|ext-pressure|ext-hpl|ext-locality|ext-timing|ext-gossip|ext-accuracy|parsweep|faultsweep|timeline|check|sweep|live|calibrate|profile|multisweep|bakeoff] \
+                     ext-vm|ext-cluster|ext-ptrans|ext-interactive|ext-roundtrip|ext-syscall|ext-pressure|ext-hpl|ext-locality|ext-timing|ext-gossip|ext-accuracy|parsweep|faultsweep|timeline|check|sweep|live|calibrate|profile|multisweep|bakeoff|chaos] \
                      [--quick] [--csv DIR] [--loopback|--endpoint ADDR] \
-                     [--kernel K] [--scheme S] [--json PATH] [--prom PATH] [--top K]"
+                     [--kernel K] [--scheme S] [--json PATH] [--prom PATH] [--top K] \
+                     [--scenario NAME] [--bench PATH]"
                 );
                 std::process::exit(0);
             }
@@ -165,6 +185,8 @@ fn parse_args() -> Options {
         profile: prof,
         json_path,
         prom_path,
+        scenarios,
+        bench_path,
     }
 }
 
@@ -249,6 +271,75 @@ fn run_profile_command(opts: &Options) {
         p.report.total_time,
         profile::PHASE_SUM_TOLERANCE * 100.0
     );
+}
+
+fn run_chaos_command(opts: &Options) {
+    let chaos_opts = chaos_cmd::ChaosOptions {
+        scenarios: opts.scenarios.clone(),
+        ..chaos_cmd::ChaosOptions::default()
+    };
+    eprintln!(
+        "running {} chaos scenario(s) at {:?} migrants, seed {}...",
+        if chaos_opts.scenarios.is_empty() {
+            "all".to_string()
+        } else {
+            chaos_opts.scenarios.len().to_string()
+        },
+        chaos_opts.migrants,
+        chaos_opts.seed
+    );
+    let run = match chaos_cmd::run_chaos(&chaos_opts) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("chaos failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    emit(&chaos_cmd::chaos_table(&run), opts, "chaos");
+
+    // Self-verification before anything is persisted: the facts this run
+    // produced must parse back and account for every cell and migrant.
+    if let Err(e) = chaos_cmd::verify_facts(&run.jsonl) {
+        eprintln!("chaos facts self-verification FAILED: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "facts self-verification OK: {} JSONL lines, schema v{}",
+        run.jsonl.lines().count(),
+        chaos_cmd::FACTS_SCHEMA
+    );
+
+    if let Some(path) = &opts.json_path {
+        if let Err(e) = chaos_cmd::append_artifact(path, &run.jsonl) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+        println!(
+            "appended {} JSONL fact lines to {}",
+            run.jsonl.lines().count(),
+            path.display()
+        );
+    }
+    if let Some(path) = &opts.prom_path {
+        if let Err(e) = profile::write_artifact(path, &run.prometheus) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+        println!("wrote metrics dump to {}", path.display());
+    } else {
+        println!("{}", run.prometheus);
+    }
+    if let Some(bench) = &run.bench_json {
+        let path = opts
+            .bench_path
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("BENCH_chaos.json"));
+        if let Err(e) = profile::write_artifact(&path, bench) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+        println!("wrote chaos bench fact to {}", path.display());
+    }
 }
 
 fn main() {
@@ -449,6 +540,10 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        ran = true;
+    }
+    if opts.command == "chaos" {
+        run_chaos_command(&opts);
         ran = true;
     }
     if !ran {

@@ -23,7 +23,7 @@
 //! | 0x08 | `Ping`           | token u64                                      |
 //! | 0x09 | `Pong`           | token u64                                      |
 //! | 0x0a | `StatsFetch`     | —                                              |
-//! | 0x0b | `StatsReply`     | 8 × u64 counters                               |
+//! | 0x0b | `StatsReply`     | 12 × u64 counters                              |
 //! | 0x0c | `Error`          | code u16, detail utf-8                         |
 //! | 0x0d | `Bye`            | —                                              |
 //! | 0x0e | `PageBatchReply` | req_id u64, count u32, (page u64, 4096 B) × count |
@@ -41,8 +41,16 @@ use std::fmt;
 use ampom_mem::page::{PageId, PAGE_SIZE};
 
 /// Protocol version spoken by this build; bumped on any frame change.
-/// Version 2 added `PageBatchReply` and the wider `StatsReply`.
-pub const WIRE_VERSION: u16 = 2;
+/// Version 2 added `PageBatchReply` and the wider `StatsReply`; version
+/// 3 widened `StatsReply` again with the load-shedding counters and
+/// introduced the non-fatal `503 Overloaded` error code.
+pub const WIRE_VERSION: u16 = 3;
+
+/// `Error` code: the deputy refused the work because it is saturated.
+/// Unlike every other error code this one is **non-fatal** — the
+/// connection stays open, the client reverts the refused prefetch pages
+/// and retries or degrades to demand fetches.
+pub const CODE_OVERLOADED: u16 = 503;
 
 /// Upper bound on pages in one [`Frame::PageBatchReply`]: 64 batched
 /// pages is ~257 KiB on the wire, comfortably under [`MAX_FRAME_BYTES`].
@@ -127,6 +135,16 @@ pub struct WireStats {
     pub batch_replies: u64,
     /// Worst pending-page queue depth this session reached.
     pub max_pending_pages: u64,
+    /// Prefetch pages refused by admission control (recoverable: the
+    /// client reverts them and they degrade to demand fetches).
+    pub prefetch_pages_shed: u64,
+    /// Demand pages refused outright (hard 503s; zero unless the server
+    /// is past even its demand reserve).
+    pub demand_pages_shed: u64,
+    /// Requests that had at least one page shed.
+    pub shed_events: u64,
+    /// `Hello`s deferred by the admission gate.
+    pub hellos_deferred: u64,
 }
 
 /// One protocol message.
@@ -291,6 +309,10 @@ impl Frame {
                 out.extend_from_slice(&s.pages_coalesced.to_be_bytes());
                 out.extend_from_slice(&s.batch_replies.to_be_bytes());
                 out.extend_from_slice(&s.max_pending_pages.to_be_bytes());
+                out.extend_from_slice(&s.prefetch_pages_shed.to_be_bytes());
+                out.extend_from_slice(&s.demand_pages_shed.to_be_bytes());
+                out.extend_from_slice(&s.shed_events.to_be_bytes());
+                out.extend_from_slice(&s.hellos_deferred.to_be_bytes());
             }
             Frame::PageBatchReply { req_id, pages } => {
                 out.extend_from_slice(&req_id.to_be_bytes());
@@ -379,6 +401,10 @@ impl Frame {
                 pages_coalesced: r.u64()?,
                 batch_replies: r.u64()?,
                 max_pending_pages: r.u64()?,
+                prefetch_pages_shed: r.u64()?,
+                demand_pages_shed: r.u64()?,
+                shed_events: r.u64()?,
+                hellos_deferred: r.u64()?,
             }),
             0x0c => {
                 let code = r.u16()?;

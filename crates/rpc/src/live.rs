@@ -53,7 +53,7 @@ use ampom_workloads::memref::Workload;
 
 use crate::calibrate::{calibrate_endpoint, CalibrateOptions};
 use crate::client::{Endpoint, MigrantClient};
-use crate::frame::{Frame, WireStats};
+use crate::frame::{Frame, WireStats, CODE_OVERLOADED};
 use crate::RpcError;
 
 /// Bound on requested-but-undelivered pages (client-side backpressure).
@@ -207,7 +207,7 @@ impl LiveTransport {
         Ok(())
     }
 
-    fn handle_frame(&mut self, frame: Frame) -> Result<(), AmpomError> {
+    fn handle_frame(&mut self, frame: Frame, now: SimTime) -> Result<(), AmpomError> {
         match frame {
             Frame::PageReply { page, data, .. } => self.note_reply(page, &data),
             Frame::PageBatchReply { pages, .. } => {
@@ -221,6 +221,27 @@ impl LiveTransport {
             }
             Frame::StatsReply(ws) => {
                 self.cached_deputy = deputy_stats_from_wire(ws);
+                Ok(())
+            }
+            // The one non-fatal error: the deputy shed the named
+            // prefetch pages. Revert them — their contents never left
+            // the origin, so dropping the in-flight mark makes them
+            // eligible for a later prefetch or demand fetch. The demand
+            // page is never shed, so the faulting wait is unaffected.
+            Frame::Error { code, detail } if code == CODE_OVERLOADED => {
+                let mut reverted = 0u64;
+                for page in shed_pages_from_detail(&detail) {
+                    if !self.staged.contains(&page) && self.in_flight.remove(&page) {
+                        reverted += 1;
+                    }
+                }
+                if reverted > 0 {
+                    self.trace.push((
+                        now,
+                        TraceKind::LiveShed,
+                        TraceData::pages(reverted).with_note("deputy 503: reverted to origin"),
+                    ));
+                }
                 Ok(())
             }
             Frame::Error { code, detail } => Err(AmpomError::Transport(format!(
@@ -310,7 +331,7 @@ impl LiveTransport {
                 _ => return,
             };
             let done = matches!(frame, Frame::StatsReply(_));
-            if self.handle_frame(frame).is_err() || done {
+            if self.handle_frame(frame, SimTime::ZERO).is_err() || done {
                 return;
             }
         }
@@ -513,7 +534,11 @@ impl Transport for LiveTransport {
                                 .client
                                 .as_mut()
                                 .is_some_and(|c| c.send_request(Some(page), &[]).is_ok());
-                        if !resent {
+                        if resent {
+                            // If a 503 reverted this page while we
+                            // waited, the demand resend re-arms it.
+                            self.in_flight.insert(page);
+                        } else {
                             self.dead = true;
                             std::thread::sleep(RECONNECT_SLEEP);
                         }
@@ -568,7 +593,7 @@ impl Transport for LiveTransport {
                 }
             };
             if let Some(frame) = received {
-                self.handle_frame(frame)?;
+                self.handle_frame(frame, now)?;
             }
         }
     }
@@ -581,7 +606,7 @@ impl Transport for LiveTransport {
                     Ok(frames) => {
                         for frame in frames {
                             // A corrupt reply surfaces at the next wait.
-                            if self.handle_frame(frame).is_err() {
+                            if self.handle_frame(frame, *now).is_err() {
                                 self.dead = true;
                                 break;
                             }
@@ -625,7 +650,7 @@ impl Transport for LiveTransport {
                 .map_err(AmpomError::from)?;
             match frame {
                 Some(Frame::SyscallReply { call_id: c }) if c == call_id => break,
-                Some(other) => self.handle_frame(other)?,
+                Some(other) => self.handle_frame(other, now)?,
                 None => {
                     return Err(AmpomError::Transport(format!(
                         "forwarded syscall {call_id} unanswered after {SYSCALL_TIMEOUT:?}"
@@ -644,7 +669,7 @@ impl Transport for LiveTransport {
         }
     }
 
-    fn on_window_wrap(&mut self, _now: SimTime, wraps: u64) {
+    fn on_window_wrap(&mut self, now: SimTime, wraps: u64) {
         if wraps <= self.last_wraps {
             return;
         }
@@ -656,7 +681,7 @@ impl Transport for LiveTransport {
         };
         if let Some((rtt, stray)) = pinged {
             for frame in stray {
-                if self.handle_frame(frame).is_err() {
+                if self.handle_frame(frame, now).is_err() {
                     self.dead = true;
                 }
             }
@@ -777,6 +802,20 @@ pub(crate) fn fetch_all(client: &mut MigrantClient, pages: &[PageId]) -> Result<
                         book(page, &data, &mut missing, &mut dupes)?;
                     }
                 }
+                Some(Frame::Error { code, detail }) if code == CODE_OVERLOADED => {
+                    // An admission-bounded deputy shed part of the batch.
+                    // Re-request the shed pages still owed; the pause lets
+                    // the DRR pass drain below the bound. The batch
+                    // deadline still bounds the loop.
+                    let again: Vec<PageId> = shed_pages_from_detail(&detail)
+                        .into_iter()
+                        .filter(|p| missing.contains(p))
+                        .collect();
+                    if !again.is_empty() {
+                        std::thread::sleep(Duration::from_millis(1));
+                        client.send_request(None, &again)?;
+                    }
+                }
                 Some(Frame::Error { code, detail }) => {
                     return Err(RpcError::Protocol(format!("deputy error {code}: {detail}")))
                 }
@@ -798,7 +837,25 @@ fn deputy_stats_from_wire(ws: WireStats) -> DeputyStats {
         queued_requests: ws.queued_requests,
         max_backlog: SimDuration::from_nanos(ws.max_backlog_ns),
         busy_time: SimDuration::from_nanos(ws.busy_time_ns),
+        prefetch_pages_shed: ws.prefetch_pages_shed,
+        demand_pages_shed: ws.demand_pages_shed,
+        shed_events: ws.shed_events,
+        hellos_deferred: ws.hellos_deferred,
     }
+}
+
+/// Parses the page list out of a [`CODE_OVERLOADED`] error detail
+/// (`"shed prefetch: 4,5,9"`). Tolerant: anything unparseable is simply
+/// skipped, and a detail with no list yields no pages — the timeout path
+/// then recovers the shed pages instead.
+fn shed_pages_from_detail(detail: &str) -> Vec<PageId> {
+    let Some((_, list)) = detail.rsplit_once(':') else {
+        return Vec::new();
+    };
+    list.split(',')
+        .filter_map(|tok| tok.trim().parse::<u64>().ok())
+        .map(PageId)
+        .collect()
 }
 
 fn scheme_byte(scheme: Scheme) -> u8 {
@@ -877,6 +934,57 @@ mod tests {
         t.note_reply(page, &data).unwrap();
         assert_eq!(t.stats.duplicate_replies, 1, "the resent copy is one dupe");
         assert_eq!(t.staged.len(), 1, "staging stays idempotent");
+    }
+
+    #[test]
+    fn overload_error_reverts_unstaged_prefetch_and_stays_nonfatal() {
+        let mut t = offline_transport();
+        let staged = PageId(1);
+        let shed = PageId(2);
+        t.in_flight.insert(staged);
+        t.in_flight.insert(shed);
+        t.staged.insert(staged);
+        t.origin.insert(shed);
+        t.handle_frame(
+            Frame::Error {
+                code: crate::frame::CODE_OVERLOADED,
+                detail: "shed prefetch: 2,7".into(),
+            },
+            SimTime::ZERO,
+        )
+        .expect("a 503 is non-fatal");
+        assert!(
+            !t.in_flight.contains(&shed),
+            "the shed page keeps its in-flight mark"
+        );
+        assert!(t.origin.contains(&shed), "the shed page left the origin");
+        assert!(
+            t.in_flight.contains(&staged),
+            "an already-delivered page was reverted"
+        );
+        // Every other error code stays fatal.
+        let fatal = t.handle_frame(
+            Frame::Error {
+                code: 400,
+                detail: "bad".into(),
+            },
+            SimTime::ZERO,
+        );
+        assert!(fatal.is_err());
+    }
+
+    #[test]
+    fn shed_detail_parser_is_tolerant() {
+        assert_eq!(
+            shed_pages_from_detail("shed prefetch: 4,5,9"),
+            vec![PageId(4), PageId(5), PageId(9)]
+        );
+        assert_eq!(shed_pages_from_detail("no list here"), Vec::<PageId>::new());
+        assert_eq!(
+            shed_pages_from_detail("shed prefetch: 3,x,11"),
+            vec![PageId(3), PageId(11)],
+            "garbage tokens are skipped, not fatal"
+        );
     }
 
     #[test]

@@ -33,6 +33,21 @@
 //! bounded in-flight quota, and outbound bytes queue per connection with
 //! partial non-blocking writes, so neither side buffers unboundedly.
 //!
+//! On top of the structural limits sits *admission control*, the live
+//! analog of the simulated deputy's `AdmissionConfig`:
+//!
+//! * [`ServerConfig::max_pending_pages`] bounds each session's pending
+//!   queue. A demand page (the head of a [`Frame::PageRequest`]) is
+//!   always admitted; prefetch pages past the bound are **shed** with a
+//!   single non-fatal [`CODE_OVERLOADED`] error frame naming them — the
+//!   connection stays open and the client reverts the refused pages to
+//!   the origin, where they degrade to later demand fetches.
+//! * [`ServerConfig::gate_high`]/[`ServerConfig::gate_low`] form a
+//!   hysteresis `Hello` gate per worker: once the worker's total pending
+//!   pages reach `gate_high`, new sessions are deferred with a
+//!   [`CODE_OVERLOADED`] handshake error until the backlog drains below
+//!   `gate_low`.
+//!
 //! For fault-injection tests, [`ServerConfig::drop_after_pages`] makes
 //! each connection die abruptly after serving that many pages — the
 //! live equivalent of `DowntimeSchedule`'s deputy crash.
@@ -49,7 +64,9 @@ use std::time::{Duration, Instant};
 
 use ampom_mem::page::{PageId, PAGE_SIZE};
 
-use crate::frame::{page_payload, Frame, FrameBuffer, WireStats, MAX_BATCH_PAGES, WIRE_VERSION};
+use crate::frame::{
+    page_payload, Frame, FrameBuffer, WireStats, CODE_OVERLOADED, MAX_BATCH_PAGES, WIRE_VERSION,
+};
 use crate::RpcError;
 
 /// Tuning knobs of a [`DeputyServer`].
@@ -66,6 +83,19 @@ pub struct ServerConfig {
     /// DRR quantum: pages of deficit granted per scheduling visit to a
     /// session. Smaller quanta interleave migrants more finely.
     pub quantum_pages: u32,
+    /// Admission bound on each session's pending queue (`None` =
+    /// unbounded, the pre-v3 behaviour). Demand pages are always
+    /// admitted; prefetch pages past the bound are shed with a non-fatal
+    /// [`CODE_OVERLOADED`] frame.
+    pub max_pending_pages: Option<usize>,
+    /// Hello-gate high watermark: a worker whose total pending pages
+    /// reach this defers new `Hello`s with [`CODE_OVERLOADED`]. The
+    /// default (`usize::MAX`) never gates.
+    pub gate_high: usize,
+    /// Hello-gate low watermark: a gated worker re-opens admission once
+    /// its total pending pages drop *below* this (hysteresis, so the
+    /// gate does not flap at the boundary). Must be `<= gate_high`.
+    pub gate_low: usize,
 }
 
 impl Default for ServerConfig {
@@ -75,6 +105,9 @@ impl Default for ServerConfig {
             max_pages_per_request: 4096,
             drop_after_pages: None,
             quantum_pages: 16,
+            max_pending_pages: None,
+            gate_high: usize::MAX,
+            gate_low: usize::MAX,
         }
     }
 }
@@ -103,6 +136,16 @@ pub struct ServerStats {
     pub batch_replies: u64,
     /// Most concurrent live sessions observed server-wide.
     pub peak_sessions: u64,
+    /// Prefetch pages shed by admission control (non-fatal 503s; the
+    /// client reverts and re-fetches them on demand).
+    pub prefetch_pages_shed: u64,
+    /// Demand pages refused outright. Structurally zero: demand is
+    /// always admitted.
+    pub demand_pages_shed: u64,
+    /// Request frames that had at least one page shed.
+    pub shed_events: u64,
+    /// `Hello`s deferred by the hysteresis admission gate.
+    pub hellos_deferred: u64,
 }
 
 impl ampom_obs::MetricSource for ServerStats {
@@ -157,6 +200,26 @@ impl ampom_obs::MetricSource for ServerStats {
             "Most concurrent live sessions observed",
             self.peak_sessions,
         );
+        reg.export_counter(
+            "ampom_shed_server_prefetch_pages_total",
+            "Prefetch pages shed by admission control (non-fatal 503s)",
+            self.prefetch_pages_shed,
+        );
+        reg.export_counter(
+            "ampom_shed_server_demand_pages_total",
+            "Demand pages refused outright (structurally zero)",
+            self.demand_pages_shed,
+        );
+        reg.export_counter(
+            "ampom_shed_server_events_total",
+            "Request frames that had at least one page shed",
+            self.shed_events,
+        );
+        reg.export_counter(
+            "ampom_shed_server_hellos_deferred_total",
+            "Hellos deferred by the hysteresis admission gate",
+            self.hellos_deferred,
+        );
     }
 }
 
@@ -173,6 +236,10 @@ struct SharedStats {
     batch_replies: AtomicU64,
     active_sessions: AtomicU64,
     peak_sessions: AtomicU64,
+    prefetch_pages_shed: AtomicU64,
+    demand_pages_shed: AtomicU64,
+    shed_events: AtomicU64,
+    hellos_deferred: AtomicU64,
 }
 
 impl SharedStats {
@@ -188,6 +255,10 @@ impl SharedStats {
             pages_coalesced: self.pages_coalesced.load(Ordering::Relaxed),
             batch_replies: self.batch_replies.load(Ordering::Relaxed),
             peak_sessions: self.peak_sessions.load(Ordering::Relaxed),
+            prefetch_pages_shed: self.prefetch_pages_shed.load(Ordering::Relaxed),
+            demand_pages_shed: self.demand_pages_shed.load(Ordering::Relaxed),
+            shed_events: self.shed_events.load(Ordering::Relaxed),
+            hellos_deferred: self.hellos_deferred.load(Ordering::Relaxed),
         }
     }
 
@@ -201,6 +272,18 @@ impl SharedStats {
     }
 }
 
+/// What [`PendingQueue::push_bounded`] did with a page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// Enqueued for service.
+    Queued,
+    /// Absorbed into an earlier still-pending entry for the same page.
+    Coalesced,
+    /// Refused: the queue is at its admission bound and the page is not
+    /// a demand page.
+    Shed,
+}
+
 /// Per-connection pending page store with request coalescing.
 ///
 /// Pages queue FIFO per connection. A request for a page that is already
@@ -210,6 +293,11 @@ impl SharedStats {
 /// client's retry for a lost reply) queues — and is served — again.
 /// These two rules are exactly the "never drops, never duplicates"
 /// invariant the property suite pins.
+///
+/// The bounded push path adds admission control: past a depth bound,
+/// non-demand pages are [`PushOutcome::Shed`] instead of queued (a
+/// coalesce never sheds — the page is already paid for). Demand pages
+/// bypass the bound entirely.
 #[derive(Debug, Default)]
 pub struct PendingQueue {
     queue: VecDeque<(u64, PageId)>,
@@ -228,13 +316,34 @@ impl PendingQueue {
     /// for it is still pending. Returns `true` if enqueued, `false` if
     /// coalesced into the earlier entry.
     pub fn push(&mut self, req_id: u64, page: PageId) -> bool {
-        if !self.pending.insert(page) {
+        self.push_bounded(req_id, page, None, true) != PushOutcome::Coalesced
+    }
+
+    /// The admission-controlled push. A `demand` page is always admitted
+    /// (coalescing still applies); a prefetch page finding the queue at
+    /// `bound` is shed untouched.
+    pub fn push_bounded(
+        &mut self,
+        req_id: u64,
+        page: PageId,
+        bound: Option<usize>,
+        demand: bool,
+    ) -> PushOutcome {
+        if self.pending.contains(&page) {
             self.coalesced += 1;
-            return false;
+            return PushOutcome::Coalesced;
         }
+        if !demand {
+            if let Some(bound) = bound {
+                if self.queue.len() >= bound {
+                    return PushOutcome::Shed;
+                }
+            }
+        }
+        self.pending.insert(page);
         self.queue.push_back((req_id, page));
         self.max_depth = self.max_depth.max(self.queue.len() as u64);
-        true
+        PushOutcome::Queued
     }
 
     /// Dequeues up to `n` pages for service, in FIFO order. The taken
@@ -390,6 +499,18 @@ impl DeputyServer {
                 "server needs a DRR quantum of at least 1 page".into(),
             ));
         }
+        if cfg.max_pending_pages == Some(0) {
+            return Err(RpcError::Protocol(
+                "a pending-page bound of 0 would shed every prefetch; use None for unbounded"
+                    .into(),
+            ));
+        }
+        if cfg.gate_low > cfg.gate_high {
+            return Err(RpcError::Protocol(format!(
+                "hello gate inverted: gate_low {} > gate_high {}",
+                cfg.gate_low, cfg.gate_high
+            )));
+        }
         let stop = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(SharedStats::default());
         let listener = Arc::new(Mutex::new(listener));
@@ -511,6 +632,9 @@ fn worker_loop(
     let mut sessions: Vec<SessionConn> = Vec::new();
     let mut cursor = 0usize;
     let mut read_buf = vec![0u8; 64 * 1024];
+    // Hysteresis hello gate, per worker: closes at `gate_high` total
+    // pending pages, re-opens below `gate_low`.
+    let mut gated = false;
     loop {
         if stop.load(Ordering::SeqCst) {
             // Best-effort flush of what sessions are owed, then bail.
@@ -545,8 +669,10 @@ fn worker_loop(
             }
         }
 
+        let total_pending: usize = sessions.iter().map(|s| s.pending.len()).sum();
+        gated = hello_gate(gated, total_pending, cfg);
         for s in &mut sessions {
-            progress |= pump_reads(s, cfg, stats, &mut read_buf);
+            progress |= pump_reads(s, cfg, stats, &mut read_buf, gated);
         }
         progress |= drr_serve(&mut sessions, &mut cursor, cfg, stats);
         for s in &mut sessions {
@@ -571,6 +697,17 @@ fn worker_loop(
     }
 }
 
+/// One step of the hysteresis hello gate: closed at `gate_high` total
+/// pending pages, open again strictly below `gate_low`. With
+/// `gate_low <= gate_high` the gate cannot flap at a single boundary.
+fn hello_gate(gated: bool, total_pending: usize, cfg: &ServerConfig) -> bool {
+    if gated {
+        total_pending >= cfg.gate_low
+    } else {
+        total_pending >= cfg.gate_high
+    }
+}
+
 /// Reads available bytes and handles every complete frame. Control
 /// frames are answered inline; page requests land in the pending queue
 /// for the DRR pass.
@@ -579,6 +716,7 @@ fn pump_reads(
     cfg: &ServerConfig,
     stats: &SharedStats,
     read_buf: &mut [u8],
+    gated: bool,
 ) -> bool {
     if s.state != ConnState::Open {
         return false;
@@ -621,13 +759,19 @@ fn pump_reads(
         };
         progress = true;
         let served_at = Instant::now();
-        handle_frame(s, frame, cfg, stats);
+        handle_frame(s, frame, cfg, stats, gated);
         s.local.busy_time_ns += served_at.elapsed().as_nanos() as u64;
     }
     progress
 }
 
-fn handle_frame(s: &mut SessionConn, frame: Frame, cfg: &ServerConfig, stats: &SharedStats) {
+fn handle_frame(
+    s: &mut SessionConn,
+    frame: Frame,
+    cfg: &ServerConfig,
+    stats: &SharedStats,
+    gated: bool,
+) {
     match frame {
         Frame::Hello {
             version,
@@ -643,6 +787,19 @@ fn handle_frame(s: &mut SessionConn, frame: Frame, cfg: &ServerConfig, stats: &S
                 s.state = ConnState::Closing;
                 return;
             }
+            if gated {
+                // The admission gate is closed: defer the session. The
+                // client's reconnect loop redials until the backlog
+                // drains below the low watermark.
+                stats.hellos_deferred.fetch_add(1, Ordering::Relaxed);
+                Frame::Error {
+                    code: CODE_OVERLOADED,
+                    detail: "admission gate closed; retry later".into(),
+                }
+                .encode_into(&mut s.out);
+                s.state = ConnState::Closing;
+                return;
+            }
             s.greeted = true;
             s.total_pages = total_pages;
             Frame::HelloAck {
@@ -651,57 +808,14 @@ fn handle_frame(s: &mut SessionConn, frame: Frame, cfg: &ServerConfig, stats: &S
             }
             .encode_into(&mut s.out);
         }
-        Frame::PageRequest { req_id, pages } | Frame::PrefetchBatch { req_id, pages } => {
-            if !s.greeted {
-                Frame::Error {
-                    code: 401,
-                    detail: "request before hello".into(),
-                }
-                .encode_into(&mut s.out);
-                s.state = ConnState::Closing;
-                return;
-            }
-            if pages.len() as u32 > cfg.max_pages_per_request {
-                Frame::Error {
-                    code: 413,
-                    detail: format!(
-                        "{} pages exceeds per-request cap {}",
-                        pages.len(),
-                        cfg.max_pages_per_request
-                    ),
-                }
-                .encode_into(&mut s.out);
-                s.state = ConnState::Closing;
-                return;
-            }
-            // A request arriving while earlier pages are still pending
-            // found the deputy busy: that wait is this session's backlog.
-            if !s.pending.is_empty() {
-                s.local.queued_requests += 1;
-                if let Some(since) = s.backlog_since {
-                    let waited = since.elapsed().as_nanos() as u64;
-                    s.local.max_backlog_ns = s.local.max_backlog_ns.max(waited);
-                }
-            }
-            s.local.requests_served += 1;
-            stats.requests_served.fetch_add(1, Ordering::Relaxed);
-            for page in pages {
-                if page.0 >= s.total_pages {
-                    Frame::Error {
-                        code: 416,
-                        detail: format!("page {page} beyond image ({})", s.total_pages),
-                    }
-                    .encode_into(&mut s.out);
-                    s.state = ConnState::Closing;
-                    return;
-                }
-                let was_empty = s.pending.is_empty();
-                if !s.pending.push(req_id, page) {
-                    stats.pages_coalesced.fetch_add(1, Ordering::Relaxed);
-                } else if was_empty {
-                    s.backlog_since = Some(Instant::now());
-                }
-            }
+        // A PageRequest leads with its demand page; a PrefetchBatch is
+        // speculation only. The distinction is what admission control
+        // keys on, so the two types take the same path with a flag.
+        Frame::PageRequest { req_id, pages } => {
+            queue_request(s, req_id, pages, true, cfg, stats);
+        }
+        Frame::PrefetchBatch { req_id, pages } => {
+            queue_request(s, req_id, pages, false, cfg, stats);
         }
         Frame::SyscallForward { call_id, .. } => {
             // The call's `work` is charged virtually by the migrant; the
@@ -717,6 +831,9 @@ fn handle_frame(s: &mut SessionConn, frame: Frame, cfg: &ServerConfig, stats: &S
             let mut ws = s.local;
             ws.pages_coalesced = s.pending.coalesced();
             ws.max_pending_pages = s.pending.max_depth();
+            // Deferred hellos never become sessions, so the counter is
+            // deputy-wide rather than session-local.
+            ws.hellos_deferred = stats.hellos_deferred.load(Ordering::Relaxed);
             Frame::StatsReply(ws).encode_into(&mut s.out);
         }
         Frame::Bye => s.state = ConnState::Closing,
@@ -734,6 +851,103 @@ fn handle_frame(s: &mut SessionConn, frame: Frame, cfg: &ServerConfig, stats: &S
             .encode_into(&mut s.out);
             s.state = ConnState::Closing;
         }
+    }
+}
+
+/// Queues one request frame's pages for the DRR pass, applying the
+/// session's admission bound. `has_demand` marks a [`Frame::PageRequest`],
+/// whose head page is the faulting (demand) page — always admitted.
+/// Prefetch pages past [`ServerConfig::max_pending_pages`] are shed and
+/// answered with a single non-fatal [`CODE_OVERLOADED`] frame naming
+/// them, so the client can revert exactly those pages to the origin.
+fn queue_request(
+    s: &mut SessionConn,
+    req_id: u64,
+    pages: Vec<PageId>,
+    has_demand: bool,
+    cfg: &ServerConfig,
+    stats: &SharedStats,
+) {
+    if !s.greeted {
+        Frame::Error {
+            code: 401,
+            detail: "request before hello".into(),
+        }
+        .encode_into(&mut s.out);
+        s.state = ConnState::Closing;
+        return;
+    }
+    if pages.len() as u32 > cfg.max_pages_per_request {
+        Frame::Error {
+            code: 413,
+            detail: format!(
+                "{} pages exceeds per-request cap {}",
+                pages.len(),
+                cfg.max_pages_per_request
+            ),
+        }
+        .encode_into(&mut s.out);
+        s.state = ConnState::Closing;
+        return;
+    }
+    // A request arriving while earlier pages are still pending
+    // found the deputy busy: that wait is this session's backlog.
+    if !s.pending.is_empty() {
+        s.local.queued_requests += 1;
+        if let Some(since) = s.backlog_since {
+            let waited = since.elapsed().as_nanos() as u64;
+            s.local.max_backlog_ns = s.local.max_backlog_ns.max(waited);
+        }
+    }
+    s.local.requests_served += 1;
+    stats.requests_served.fetch_add(1, Ordering::Relaxed);
+    let mut shed: Vec<PageId> = Vec::new();
+    for (i, page) in pages.into_iter().enumerate() {
+        if page.0 >= s.total_pages {
+            Frame::Error {
+                code: 416,
+                detail: format!("page {page} beyond image ({})", s.total_pages),
+            }
+            .encode_into(&mut s.out);
+            s.state = ConnState::Closing;
+            return;
+        }
+        let was_empty = s.pending.is_empty();
+        let demand = has_demand && i == 0;
+        match s
+            .pending
+            .push_bounded(req_id, page, cfg.max_pending_pages, demand)
+        {
+            PushOutcome::Queued => {
+                if was_empty {
+                    s.backlog_since = Some(Instant::now());
+                }
+            }
+            PushOutcome::Coalesced => {
+                stats.pages_coalesced.fetch_add(1, Ordering::Relaxed);
+            }
+            PushOutcome::Shed => shed.push(page),
+        }
+    }
+    if !shed.is_empty() {
+        s.local.prefetch_pages_shed += shed.len() as u64;
+        s.local.shed_events += 1;
+        stats
+            .prefetch_pages_shed
+            .fetch_add(shed.len() as u64, Ordering::Relaxed);
+        stats.shed_events.fetch_add(1, Ordering::Relaxed);
+        let list = shed
+            .iter()
+            .map(|p| p.0.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        // Non-fatal by contract: the connection stays Open; the client
+        // reverts the named pages and re-fetches them on demand later.
+        Frame::Error {
+            code: CODE_OVERLOADED,
+            detail: format!("shed prefetch: {list}"),
+        }
+        .encode_into(&mut s.out);
     }
 }
 
@@ -906,5 +1120,159 @@ mod tests {
         assert_eq!(taken, vec![(1, PageId(5))]);
         assert!(q.push(3, PageId(5)), "re-request after service re-queues");
         assert_eq!(q.max_depth(), 1);
+    }
+
+    #[test]
+    fn bounded_push_sheds_prefetch_never_demand() {
+        let mut q = PendingQueue::new();
+        let bound = Some(2);
+        assert_eq!(
+            q.push_bounded(1, PageId(0), bound, false),
+            PushOutcome::Queued
+        );
+        assert_eq!(
+            q.push_bounded(1, PageId(1), bound, false),
+            PushOutcome::Queued
+        );
+        assert_eq!(
+            q.push_bounded(1, PageId(2), bound, false),
+            PushOutcome::Shed,
+            "prefetch past the bound is shed"
+        );
+        assert_eq!(
+            q.push_bounded(2, PageId(3), bound, true),
+            PushOutcome::Queued,
+            "demand bypasses the bound"
+        );
+        assert_eq!(
+            q.push_bounded(3, PageId(1), bound, false),
+            PushOutcome::Coalesced,
+            "a coalesce is never shed: the page is already queued"
+        );
+        assert_eq!(q.len(), 3);
+        // A shed page left no trace: re-requesting it within the bound
+        // queues normally.
+        q.take(3);
+        assert_eq!(
+            q.push_bounded(4, PageId(2), bound, false),
+            PushOutcome::Queued
+        );
+    }
+
+    #[test]
+    fn hello_gate_hysteresis_opens_below_low_watermark() {
+        let cfg = ServerConfig {
+            gate_high: 10,
+            gate_low: 4,
+            ..ServerConfig::default()
+        };
+        assert!(!hello_gate(false, 9, &cfg), "below high: stays open");
+        assert!(hello_gate(false, 10, &cfg), "at high: closes");
+        assert!(hello_gate(true, 5, &cfg), "above low: stays closed");
+        assert!(hello_gate(true, 4, &cfg), "at low: still closed");
+        assert!(!hello_gate(true, 3, &cfg), "below low: re-opens");
+        let default = ServerConfig::default();
+        assert!(
+            !hello_gate(false, usize::MAX - 1, &default),
+            "the default config never gates"
+        );
+    }
+
+    #[test]
+    fn inverted_gate_and_zero_bound_are_rejected() {
+        let cfg = ServerConfig {
+            gate_high: 4,
+            gate_low: 10,
+            ..ServerConfig::default()
+        };
+        assert!(DeputyServer::bind_tcp("127.0.0.1:0", cfg).is_err());
+        let cfg = ServerConfig {
+            max_pending_pages: Some(0),
+            ..ServerConfig::default()
+        };
+        assert!(DeputyServer::bind_tcp("127.0.0.1:0", cfg).is_err());
+    }
+
+    #[test]
+    fn overload_sheds_prefetch_with_nonfatal_503_and_keeps_demand() {
+        use crate::client::{Endpoint, MigrantClient};
+
+        let cfg = ServerConfig {
+            workers: 1,
+            max_pending_pages: Some(4),
+            ..ServerConfig::default()
+        };
+        let server = DeputyServer::bind_tcp("127.0.0.1:0", cfg).expect("bind");
+        let mut client =
+            MigrantClient::connect(Endpoint::tcp(server.local_addr()), 64, 2).expect("connect");
+
+        // One frame: demand page 0 plus nine prefetch pages. The demand
+        // and the first three prefetches fill the bound of 4; the other
+        // six prefetches are shed in one 503.
+        let prefetch: Vec<PageId> = (1..10).map(PageId).collect();
+        client
+            .send_request(Some(PageId(0)), &prefetch)
+            .expect("send");
+
+        let mut served = std::collections::HashSet::new();
+        let mut shed_errors = 0u32;
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while served.len() < 4 || shed_errors == 0 {
+            assert!(Instant::now() < deadline, "replies never arrived");
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match client.recv(remaining).expect("recv") {
+                Some(Frame::PageReply { page, .. }) => {
+                    served.insert(page);
+                }
+                Some(Frame::PageBatchReply { pages, .. }) => {
+                    served.extend(pages.into_iter().map(|(p, _)| p));
+                }
+                Some(Frame::Error { code, detail }) => {
+                    assert_eq!(code, CODE_OVERLOADED, "unexpected error: {detail}");
+                    shed_errors += 1;
+                }
+                other => panic!("unexpected frame: {other:?}"),
+            }
+        }
+        assert!(served.contains(&PageId(0)), "the demand page was shed");
+        assert_eq!(shed_errors, 1, "one request sheds once");
+
+        // Non-fatal by contract: the same connection still answers.
+        client.ping(Duration::from_secs(5)).expect("ping after 503");
+        client.send(&Frame::StatsFetch).expect("stats fetch");
+        let ws = loop {
+            match client.recv(Duration::from_secs(5)).expect("recv") {
+                Some(Frame::StatsReply(ws)) => break ws,
+                Some(_) => continue,
+                None => panic!("stats reply timed out"),
+            }
+        };
+        assert_eq!(ws.prefetch_pages_shed, 6);
+        assert_eq!(ws.demand_pages_shed, 0);
+        assert_eq!(ws.shed_events, 1);
+        assert_eq!(server.stats().prefetch_pages_shed, 6);
+        assert_eq!(server.stats().shed_events, 1);
+
+        drop(client);
+        server.shutdown();
+    }
+
+    #[test]
+    fn closed_hello_gate_defers_new_sessions() {
+        use crate::client::{Endpoint, MigrantClient};
+
+        // gate_high = gate_low = 0: the gate closes on the first pass and
+        // (total pending never drops below 0) never re-opens.
+        let cfg = ServerConfig {
+            workers: 1,
+            gate_high: 0,
+            gate_low: 0,
+            ..ServerConfig::default()
+        };
+        let server = DeputyServer::bind_tcp("127.0.0.1:0", cfg).expect("bind");
+        let refused = MigrantClient::connect(Endpoint::tcp(server.local_addr()), 64, 2);
+        assert!(refused.is_err(), "a gated deputy accepted a hello");
+        assert!(server.stats().hellos_deferred >= 1);
+        server.shutdown();
     }
 }

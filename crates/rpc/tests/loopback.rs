@@ -175,6 +175,44 @@ fn four_concurrent_migrants_share_one_deputy() {
     server.shutdown();
 }
 
+/// An admission-bounded deputy sheds prefetch load with non-fatal 503s;
+/// the migrant reverts the refused pages, re-fetches them on demand, and
+/// the run still completes with every page delivered exactly once.
+#[test]
+fn bounded_admission_sheds_prefetch_and_the_run_completes() {
+    let server = DeputyServer::bind_tcp(
+        "127.0.0.1:0",
+        ServerConfig {
+            // Well under the client's 64-page in-flight quota, so an
+            // AMPoM prefetch storm must overflow the bound.
+            max_pending_pages: Some(8),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let endpoint = Endpoint::tcp(server.local_addr());
+
+    let mut kernel = StreamKernel::new(2 * 1024 * 1024);
+    let cfg = RunConfig::new(Scheme::Ampom);
+    let live = run_live(&mut kernel, &cfg, endpoint, &generous()).expect("live run");
+
+    let report = &live.report;
+    assert!(report.pages_demand_fetched > 0);
+    assert_eq!(report.faults.fallback_pages, 0, "no eager fallback needed");
+    let stats = server.stats();
+    assert!(
+        stats.prefetch_pages_shed > 0,
+        "an 8-page bound under an AMPoM prefetch storm shed nothing"
+    );
+    assert_eq!(stats.demand_pages_shed, 0, "demand is never shed");
+    assert!(stats.shed_events > 0);
+    // The deputy-side report the migrant fetched over the wire carries
+    // the same counters.
+    assert!(report.deputy.prefetch_pages_shed > 0);
+    assert_eq!(report.deputy.demand_pages_shed, 0);
+    server.shutdown();
+}
+
 /// A deputy that drops every connection after a handful of pages: the
 /// stall/reconnect policy must fire (degradations over the live path)
 /// and the run must still complete correctly.

@@ -73,6 +73,10 @@ fn arbitrary_frame(g: &mut Gen) -> Frame {
             pages_coalesced: g.u64(0..u64::MAX),
             batch_replies: g.u64(0..u64::MAX),
             max_pending_pages: g.u64(0..u64::MAX),
+            prefetch_pages_shed: g.u64(0..u64::MAX),
+            demand_pages_shed: g.u64(0..u64::MAX),
+            shed_events: g.u64(0..u64::MAX),
+            hellos_deferred: g.u64(0..u64::MAX),
         }),
         11 => Frame::Error {
             code: g.u64(0..u64::from(u16::MAX) + 1) as u16,
@@ -333,6 +337,8 @@ fn coalescing_never_drops_or_duplicates_pages() {
 fn version_constant_is_stable() {
     // Bumping WIRE_VERSION is a protocol break; this test makes the bump
     // a conscious edit. Version 2 added PageBatchReply and widened
-    // StatsReply with the coalescing counters.
-    assert_eq!(WIRE_VERSION, 2);
+    // StatsReply with the coalescing counters; version 3 widened
+    // StatsReply with the shed/admission counters and made 503 the one
+    // non-fatal error code.
+    assert_eq!(WIRE_VERSION, 3);
 }

@@ -56,6 +56,9 @@ pub enum TraceKind {
     /// Live transport: the connection was re-dialled after a drop or a
     /// retry-budget exhaustion.
     LiveReconnect,
+    /// Live transport: an overloaded deputy shed prefetch pages (a
+    /// non-fatal 503) and the client reverted them to the origin.
+    LiveShed,
     /// Free-form annotation.
     Note,
 }
@@ -79,6 +82,7 @@ impl TraceKind {
             TraceKind::LiveConnect => "live-connect",
             TraceKind::LiveRetry => "live-retry",
             TraceKind::LiveReconnect => "live-reconnect",
+            TraceKind::LiveShed => "live-shed",
             TraceKind::Note => "note",
         }
     }
