@@ -91,6 +91,7 @@ pub mod cluster;
 pub mod deputy;
 pub mod error;
 pub mod experiment;
+pub mod lifecycle;
 pub mod metrics;
 pub mod migration;
 pub mod monitor;
@@ -113,6 +114,7 @@ pub mod zone;
 pub use chaos::{scenario, scenarios, ChaosScenario, ScenarioOutcome};
 pub use error::AmpomError;
 pub use experiment::{Experiment, WorkloadSpec};
+pub use lifecycle::{run_lifecycle, LifecycleConfig, LifecycleReport, WritebackSpec};
 pub use metrics::RunReport;
 pub use migration::Scheme;
 pub use multirun::{run_multi, MigrantSpec, MultiRunReport, MultiRunSpec};

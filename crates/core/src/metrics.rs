@@ -38,6 +38,40 @@ pub struct FaultStats {
     pub recovery_time: SimDuration,
 }
 
+/// Writeback-engine and MPT-replica counters of one run.
+///
+/// All zero when the run never enabled writeback, and the fingerprint
+/// mixes the struct **only when non-default**, so every historical
+/// fingerprint (golden tables, sweep baselines) is untouched by the
+/// field's existence.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WritebackStats {
+    /// Dirtying stores the write-set observed.
+    pub writes_noted: u64,
+    /// Pages redirtied while a flush of their prior version was in flight.
+    pub redirties: u64,
+    /// Delta batches sent toward the home node.
+    pub batches_sent: u64,
+    /// Page entries carried by those batches (retransmits included).
+    pub pages_written_back: u64,
+    /// Batches retransmitted after a loss or a deputy outage.
+    pub retransmits: u64,
+    /// Whole batches the sink recognised as duplicates by sequence number.
+    pub duplicate_batches: u64,
+    /// Page entries the sink skipped by version compare.
+    pub duplicate_pages: u64,
+    /// Bytes of writeback traffic charged against the request link.
+    pub writeback_bytes: u64,
+    /// Time the migrant spent driving flushes (building and sending).
+    pub flush_time: SimDuration,
+    /// MPT-replica lookups served locally (no authoritative trip).
+    pub replica_hits: u64,
+    /// MPT-replica lookups that refreshed an invalidated or cold entry.
+    pub replica_refreshes: u64,
+    /// Invalidation events applied to the replica.
+    pub replica_invalidations: u64,
+}
+
 /// Home-node deputy load counters: how saturated the single deputy
 /// thread was (the §7 home-dependency cost, made observable).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -129,6 +163,9 @@ pub struct RunReport {
     pub faults: FaultStats,
     /// Deputy saturation counters.
     pub deputy: DeputyStats,
+    /// Writeback-engine and MPT-replica counters (all zero for a
+    /// forward-only run without writeback).
+    pub writeback: WritebackStats,
 
     /// Optional event timeline (Figure 2).
     pub trace: Trace,
@@ -213,6 +250,28 @@ impl RunReport {
             self.deputy.busy_time.as_nanos(),
         ] {
             h = mix(h, v);
+        }
+        // Writeback counters joined the report after the golden tables
+        // were pinned; a forward-only run leaves them at default and its
+        // fingerprint unchanged, while any writeback activity is digested.
+        if self.writeback != WritebackStats::default() {
+            let w = &self.writeback;
+            for v in [
+                w.writes_noted,
+                w.redirties,
+                w.batches_sent,
+                w.pages_written_back,
+                w.retransmits,
+                w.duplicate_batches,
+                w.duplicate_pages,
+                w.writeback_bytes,
+                w.flush_time.as_nanos(),
+                w.replica_hits,
+                w.replica_refreshes,
+                w.replica_invalidations,
+            ] {
+                h = mix(h, v);
+            }
         }
         h
     }
@@ -376,6 +435,71 @@ impl MetricSource for DeputyStats {
     }
 }
 
+impl MetricSource for WritebackStats {
+    fn export_metrics(&self, reg: &mut MetricsRegistry) {
+        reg.export_counter(
+            "ampom_writeback_writes_noted_total",
+            "dirtying stores observed by the write-set",
+            self.writes_noted,
+        );
+        reg.export_counter(
+            "ampom_writeback_redirties_total",
+            "pages redirtied while a flush of their prior version was in flight",
+            self.redirties,
+        );
+        reg.export_counter(
+            "ampom_writeback_batches_total",
+            "delta batches sent toward the home node",
+            self.batches_sent,
+        );
+        reg.export_counter(
+            "ampom_writeback_pages_total",
+            "page entries carried by writeback batches",
+            self.pages_written_back,
+        );
+        reg.export_counter(
+            "ampom_writeback_retransmits_total",
+            "batches retransmitted after loss or outage",
+            self.retransmits,
+        );
+        reg.export_counter(
+            "ampom_writeback_duplicate_batches_total",
+            "batches deduplicated by sequence number at the sink",
+            self.duplicate_batches,
+        );
+        reg.export_counter(
+            "ampom_writeback_duplicate_pages_total",
+            "page entries skipped by the sink's version compare",
+            self.duplicate_pages,
+        );
+        reg.export_counter(
+            "ampom_writeback_bytes_total",
+            "writeback bytes charged against the request link",
+            self.writeback_bytes,
+        );
+        reg.export_gauge(
+            "ampom_writeback_flush_seconds",
+            "time spent building and sending flushes",
+            self.flush_time.as_secs_f64(),
+        );
+        reg.export_counter(
+            "ampom_mpt_replica_hits_total",
+            "MPT lookups served from the node-local replica",
+            self.replica_hits,
+        );
+        reg.export_counter(
+            "ampom_mpt_replica_refreshes_total",
+            "replica lookups that refreshed from the authoritative table",
+            self.replica_refreshes,
+        );
+        reg.export_counter(
+            "ampom_mpt_replica_invalidations_total",
+            "invalidation events applied to the replica",
+            self.replica_invalidations,
+        );
+    }
+}
+
 impl MetricSource for PrefetchStats {
     fn export_metrics(&self, reg: &mut MetricsRegistry) {
         reg.export_counter(
@@ -492,6 +616,7 @@ impl MetricSource for RunReport {
         self.prefetch_stats.export_metrics(reg);
         self.faults.export_metrics(reg);
         self.deputy.export_metrics(reg);
+        self.writeback.export_metrics(reg);
     }
 }
 
@@ -528,6 +653,7 @@ mod tests {
             prefetch_stats: PrefetchStats::default(),
             faults: FaultStats::default(),
             deputy: DeputyStats::default(),
+            writeback: WritebackStats::default(),
             trace: Trace::disabled(),
             series: None,
             phases: PhaseBreakdown::default(),
@@ -575,6 +701,22 @@ mod tests {
         let mut d = report(100, 50);
         d.deputy.queued_requests = 1;
         assert_ne!(a.fingerprint(), d.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_ignores_default_writeback_but_digests_activity() {
+        // A defaulted WritebackStats must leave the fingerprint exactly
+        // where it was before the field existed (the golden tables), while
+        // any writeback activity must perturb it.
+        let a = report(100, 50);
+        assert_eq!(a.writeback, WritebackStats::default());
+        let mut b = report(100, 50);
+        b.writeback.pages_written_back = 3;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut c = report(100, 50);
+        c.writeback.replica_hits = 1;
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_ne!(b.fingerprint(), c.fingerprint());
     }
 
     #[test]

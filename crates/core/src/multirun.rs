@@ -61,6 +61,7 @@ use crate::cluster::NetPath;
 use crate::deputy::{AdmissionConfig, Completion, DrrConfig, MigrantId, MultiDeputy};
 use crate::error::AmpomError;
 use crate::experiment::WorkloadSpec;
+use crate::lifecycle::writeback_batch_bytes;
 use crate::metrics::{DeputyStats, FaultStats, RunReport};
 use crate::migration::{perform_freeze, FreezeOutcome, PreMigrationState, Scheme};
 use crate::monitor::MonitorDaemon;
@@ -296,6 +297,14 @@ enum Call {
     Utilization {
         now: SimTime,
     },
+    /// One writeback delta batch of `pages` dirty pages. Answered
+    /// immediately (background traffic never blocks the migrant): the
+    /// coordinator charges the member's dest→home link and replies with
+    /// the wire bytes and the settle instant.
+    Writeback {
+        now: SimTime,
+        pages: usize,
+    },
     /// Final synchronisation: ship byte counters and shard stats.
     Sync,
     /// The migrant finished (or failed); its thread is exiting.
@@ -313,7 +322,8 @@ impl Call {
             | Call::Syscall { now, .. }
             | Call::Estimates { now }
             | Call::WindowWrap { now, .. }
-            | Call::Utilization { now } => *now,
+            | Call::Utilization { now }
+            | Call::Writeback { now, .. } => *now,
             // Sync happens after the migrant's loop: order it last among
             // its peers by using its (maximal) observation time.
             Call::Sync => SimTime::ZERO + SimDuration::from_nanos(u64::MAX),
@@ -347,6 +357,10 @@ enum ReplyBody {
     },
     Utilization {
         value: f64,
+    },
+    WritebackDone {
+        bytes: u64,
+        settled_at: SimTime,
     },
     Synced {
         bytes_to_dest: u64,
@@ -592,6 +606,23 @@ impl Transport for MigrantHandle {
         if let Ok(reply) = self.call(Call::WindowWrap { now, wraps }) {
             self.absorb(reply.deliveries);
         }
+    }
+
+    fn writeback_batch(
+        &mut self,
+        now: SimTime,
+        _seq: u64,
+        entries: &[(PageId, u64)],
+    ) -> Result<(u64, SimTime), AmpomError> {
+        let reply = self.call(Call::Writeback {
+            now,
+            pages: entries.len(),
+        })?;
+        let ReplyBody::WritebackDone { bytes, settled_at } = reply.body else {
+            return Err(AmpomError::Transport("unexpected writeback reply".into()));
+        };
+        self.absorb(reply.deliveries);
+        Ok((bytes, settled_at))
     }
 
     fn reply_utilization(&mut self, now: SimTime) -> f64 {
@@ -1013,6 +1044,17 @@ impl Coordinator {
                     let value = self.paths[u].reply_utilization(*now);
                     self.parked[u] = None;
                     self.respond(u, ReplyBody::Utilization { value });
+                    return Ok(());
+                }
+                Call::Writeback { now, pages } => {
+                    // Background traffic: charge the member's link and
+                    // answer immediately (no deputy queueing — the sink
+                    // apply is not on the migrant's critical path).
+                    let (now, pages) = (*now, *pages);
+                    let bytes = writeback_batch_bytes(pages);
+                    let settled_at = self.paths[u].send_control_to_home(now, bytes);
+                    self.parked[u] = None;
+                    self.respond(u, ReplyBody::WritebackDone { bytes, settled_at });
                     return Ok(());
                 }
                 Call::Sync => {

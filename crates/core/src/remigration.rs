@@ -22,20 +22,19 @@
 //!
 //! The sooner the process comes back (the more "suboptimal" the original
 //! decision), the smaller its remote footprint and the bigger AMPoM's win.
+//!
+//! The engine behind these numbers is [`crate::lifecycle::run_lifecycle`]
+//! with background writeback disabled — the analytic model where nothing
+//! flows home until the return. [`run_round_trip`] is the thin wrapper
+//! preserving the report shape the extension experiments
+//! (`ext_roundtrip.csv`) regenerate from.
 
-use ampom_mem::page::PAGE_SIZE;
-use ampom_mem::space::{PageState, TouchOutcome};
-use ampom_net::calibration::{MIGRATION_BASE_COST, MPT_ENTRY_COST};
-use ampom_sim::time::{SimDuration, SimTime};
+use ampom_sim::time::SimDuration;
 use ampom_workloads::memref::Workload;
 
-use crate::cluster::NetPath;
-use crate::deputy::Deputy;
-use crate::migration::{perform_freeze, PreMigrationState, Scheme};
-use crate::monitor::MonitorDaemon;
-use crate::policy::Prefetcher;
-use crate::runner::{RunConfig, MINOR_FAULT_COST, PAGE_INSTALL_COST};
-use ampom_net::calibration::AMPOM_ANALYSIS_COST;
+use crate::lifecycle::{run_lifecycle, LifecycleConfig};
+use crate::migration::Scheme;
+use crate::runner::RunConfig;
 
 /// Measurements of a round-trip run.
 #[derive(Debug)]
@@ -60,237 +59,27 @@ pub struct RoundTripReport {
 /// home after `away_fraction` of the reference stream (0 < fraction < 1).
 ///
 /// Both hops use `scheme`. The network between home and the remote node is
-/// `cfg.link` in both directions.
+/// `cfg.link` in both directions. Writeback stays off — this is the
+/// analytic round-trip model; use [`run_lifecycle`] directly for the full
+/// out → dirty → writeback → return lifecycle.
 pub fn run_round_trip<W: Workload + ?Sized>(
     workload: &mut W,
     cfg: &RunConfig,
     away_fraction: f64,
 ) -> RoundTripReport {
-    assert!(
-        (0.0..1.0).contains(&away_fraction) && away_fraction > 0.0,
-        "away_fraction must be in (0, 1)"
+    let lr = run_lifecycle(
+        workload,
+        cfg,
+        &LifecycleConfig::new(away_fraction).without_writeback(),
     );
-    let layout = workload.layout().clone();
-    let pre = PreMigrationState::new(layout.clone(), workload.allocation_pages());
-    let total_refs = workload.total_refs_hint();
-    let switch_at = ((total_refs as f64 * away_fraction) as u64).max(1);
-
-    let mut path = NetPath::new(cfg.link);
-    let mut trace = ampom_sim::trace::Trace::disabled();
-    let freeze = perform_freeze(cfg.scheme, &pre, &mut path, &mut trace);
-    let outbound_freeze = freeze.freeze_time;
-    let mut space = freeze.space;
-    let mut table = freeze.table;
-    let mut now = SimTime::ZERO + outbound_freeze;
-
-    let mut deputy = Deputy::new();
-    let mut monitor = MonitorDaemon::new(&path);
-    let mut prefetcher: Option<Box<dyn Prefetcher>> =
-        (cfg.scheme == Scheme::Ampom).then(|| cfg.policy.build(&cfg.ampom));
-    let mut in_flight: std::collections::HashMap<_, SimTime> = std::collections::HashMap::new();
-    let mut staged: std::collections::VecDeque<(SimTime, ampom_mem::page::PageId)> =
-        std::collections::VecDeque::new();
-    let page_limit = ampom_mem::page::PageId(layout.total_pages());
-
-    let mut fault_requests = 0u64;
-    let mut refs_done = 0u64;
-
-    // ---- Phase 1: executing on the remote node. ----
-    while refs_done < switch_at {
-        let Some(r) = workload.next() else { break };
-        refs_done += 1;
-        match space.touch(r.page, r.write) {
-            TouchOutcome::Hit => now += r.cpu,
-            TouchOutcome::LocalAllocate => {
-                if table.lookup(r.page).is_none() {
-                    table.create_at_destination(r.page);
-                }
-                now += MINOR_FAULT_COST + r.cpu;
-            }
-            TouchOutcome::RemoteFault => {
-                install(&mut staged, &mut in_flight, &mut space, &mut now);
-                let prefetch = match prefetcher.as_mut() {
-                    Some(pf) => {
-                        monitor.advance(now, &mut path);
-                        let est = monitor.estimates();
-                        let d = pf.on_fault(r.page, now, 1.0, est, page_limit, &mut |p| {
-                            space.state(p) == PageState::Remote && !in_flight.contains_key(&p)
-                        });
-                        now += AMPOM_ANALYSIS_COST;
-                        monitor.on_window_wrap(now, pf.observe().window_wraps, &path);
-                        d.prefetch
-                    }
-                    None => Vec::new(),
-                };
-                if space.is_resident(r.page) {
-                    // Resolved by the install above.
-                } else if let Some(&arrival) = in_flight.get(&r.page) {
-                    now = now.max(arrival);
-                    install(&mut staged, &mut in_flight, &mut space, &mut now);
-                } else {
-                    fault_requests += 1;
-                    let mut pages = vec![r.page];
-                    pages.extend_from_slice(&prefetch);
-                    let at_home = path.send_request(now, pages.len());
-                    for s in deputy.serve_request(at_home, &pages, &mut table, &mut path) {
-                        in_flight.insert(s.page, s.arrives);
-                        staged.push_back((s.arrives, s.page));
-                    }
-                    now = now.max(in_flight[&r.page]);
-                    install(&mut staged, &mut in_flight, &mut space, &mut now);
-                }
-                let hit = space.touch(r.page, r.write);
-                debug_assert_eq!(hit, TouchOutcome::Hit);
-                now += r.cpu;
-            }
-        }
-    }
-
-    // Drain the pipeline: anything in flight lands at the remote node
-    // before the return migration (the kernel completes outstanding I/O
-    // before freezing).
-    while let Some(&(arrival, _)) = staged.front() {
-        now = now.max(arrival);
-        install(&mut staged, &mut in_flight, &mut space, &mut now);
-    }
-
-    // ---- Return migration. ----
-    // Pages resident at the remote node must come home; pages still at
-    // the origin are already home.
-    let remote_resident: Vec<_> = space
-        .pages_where(|s| matches!(s, PageState::Resident { .. }))
-        .collect();
-    let pages_returned = remote_resident.len() as u64;
-    let pages_fetched_remotely = table.pages_at_destination();
-
-    let return_freeze = match cfg.scheme {
-        Scheme::OpenMosix => {
-            // Eager: ship every remote-resident page back at once.
-            let bytes = pages_returned * PAGE_SIZE;
-            let done = path.bulk_transfer(now + MIGRATION_BASE_COST, bytes);
-            done.since(now)
-        }
-        Scheme::Ampom => {
-            // Three pages + MPT, as always.
-            let mpt = table.mpt_bytes();
-            let start =
-                now + MIGRATION_BASE_COST + MPT_ENTRY_COST.saturating_mul(table.mapped_pages());
-            let done = path.bulk_transfer(start, 3 * PAGE_SIZE + mpt);
-            done.since(now)
-        }
-        Scheme::NoPrefetch | Scheme::Ffa => {
-            let done = path.bulk_transfer(now + MIGRATION_BASE_COST, 3 * PAGE_SIZE);
-            done.since(now)
-        }
-    };
-    now += return_freeze;
-
-    // ---- Phase 2: executing back home. ----
-    // Role swap: remote-resident pages become remote (stored on the node
-    // we just left, which keeps a deputy stub); origin-stored pages are
-    // local. Under eager openMosix everything returned during the freeze,
-    // so nothing is remote.
-    if cfg.scheme != Scheme::OpenMosix {
-        for &p in &remote_resident {
-            space.mark_remote(p);
-        }
-        // Pages still at the origin are local at home now.
-        let at_origin: Vec<_> = space
-            .pages_where(|s| s == PageState::Remote)
-            .filter(|p| table.lookup(*p) == Some(ampom_mem::table::PageLocation::Origin))
-            .collect();
-        for p in at_origin {
-            space.install(p);
-        }
-    }
-    // Fresh transfer bookkeeping for the second hop: the remote node's
-    // stub serves what it holds.
-    let mut return_table = ampom_mem::table::PageTablePair::at_migration(
-        space.pages_where(|s| s == PageState::Remote),
-    );
-    let mut return_deputy = Deputy::new();
-    let mut return_prefetcher: Option<Box<dyn Prefetcher>> =
-        (cfg.scheme == Scheme::Ampom).then(|| cfg.policy.build(&cfg.ampom));
-    in_flight.clear();
-    staged.clear();
-
-    for r in &mut *workload {
-        match space.touch(r.page, r.write) {
-            TouchOutcome::Hit => now += r.cpu,
-            TouchOutcome::LocalAllocate => now += MINOR_FAULT_COST + r.cpu,
-            TouchOutcome::RemoteFault => {
-                install(&mut staged, &mut in_flight, &mut space, &mut now);
-                let prefetch = match return_prefetcher.as_mut() {
-                    Some(pf) => {
-                        monitor.advance(now, &mut path);
-                        let est = monitor.estimates();
-                        let d = pf.on_fault(r.page, now, 1.0, est, page_limit, &mut |p| {
-                            space.state(p) == PageState::Remote
-                                && !in_flight.contains_key(&p)
-                                && return_table.lookup(p).is_some()
-                        });
-                        now += AMPOM_ANALYSIS_COST;
-                        d.prefetch
-                    }
-                    None => Vec::new(),
-                };
-                if space.is_resident(r.page) {
-                    // Arrived with the last batch.
-                } else if let Some(&arrival) = in_flight.get(&r.page) {
-                    now = now.max(arrival);
-                    install(&mut staged, &mut in_flight, &mut space, &mut now);
-                } else {
-                    fault_requests += 1;
-                    let mut pages = vec![r.page];
-                    pages.extend_from_slice(&prefetch);
-                    let at_remote = path.send_request(now, pages.len());
-                    for s in
-                        return_deputy.serve_request(at_remote, &pages, &mut return_table, &mut path)
-                    {
-                        in_flight.insert(s.page, s.arrives);
-                        staged.push_back((s.arrives, s.page));
-                    }
-                    now = now.max(in_flight[&r.page]);
-                    install(&mut staged, &mut in_flight, &mut space, &mut now);
-                }
-                let hit = space.touch(r.page, r.write);
-                debug_assert_eq!(hit, TouchOutcome::Hit);
-                now += r.cpu;
-            }
-        }
-    }
-
     RoundTripReport {
-        scheme: cfg.scheme,
-        outbound_freeze,
-        return_freeze,
-        total_time: now.since(SimTime::ZERO),
-        pages_returned,
-        fault_requests,
-        pages_fetched_remotely,
-    }
-}
-
-fn install(
-    staged: &mut std::collections::VecDeque<(SimTime, ampom_mem::page::PageId)>,
-    in_flight: &mut std::collections::HashMap<ampom_mem::page::PageId, SimTime>,
-    space: &mut ampom_mem::space::AddressSpace,
-    now: &mut SimTime,
-) {
-    let mut n = 0u64;
-    while let Some(&(arrival, page)) = staged.front() {
-        if arrival > *now {
-            break;
-        }
-        staged.pop_front();
-        in_flight.remove(&page);
-        if space.state(page) == PageState::Remote {
-            space.install(page);
-        }
-        n += 1;
-    }
-    if n > 0 {
-        *now += PAGE_INSTALL_COST.saturating_mul(n);
+        scheme: lr.scheme,
+        outbound_freeze: lr.outbound_freeze,
+        return_freeze: lr.return_freeze,
+        total_time: lr.total_time,
+        pages_returned: lr.pages_returned,
+        fault_requests: lr.fault_requests,
+        pages_fetched_remotely: lr.pages_fetched_remotely,
     }
 }
 

@@ -39,6 +39,7 @@ use ampom_workloads::memref::Workload;
 use crate::cluster::NetPath;
 use crate::deputy::Deputy;
 use crate::error::AmpomError;
+use crate::lifecycle::{writeback_batch_bytes, ForwardWriteback, WritebackSpec};
 use crate::metrics::{RunReport, RunSeries};
 use crate::migration::{perform_freeze, PreMigrationState, Scheme};
 use crate::monitor::MonitorDaemon;
@@ -116,6 +117,10 @@ pub struct RunConfig {
     /// directions, scheduled deputy outages, and the recovery protocol's
     /// knobs. `None` (or a null profile) runs the exact fault-free path.
     pub faults: Option<FaultProfile>,
+    /// Optional background writeback: dirty pages flow home in delta
+    /// batches on the fault cadence (see [`crate::lifecycle`]). `None`
+    /// keeps forward runs bit-identical to the golden fingerprints.
+    pub writeback: Option<WritebackSpec>,
 }
 
 impl RunConfig {
@@ -133,6 +138,7 @@ impl RunConfig {
             resident_limit_mb: None,
             seed: 0x5EED,
             faults: None,
+            writeback: None,
         }
     }
 
@@ -199,6 +205,12 @@ impl RunConfig {
         self
     }
 
+    /// Enables background writeback of dirty pages toward the home node.
+    pub fn with_writeback(mut self, spec: WritebackSpec) -> Self {
+        self.writeback = Some(spec);
+        self
+    }
+
     /// Checks every knob against its documented domain.
     pub fn validate(&self) -> Result<(), AmpomError> {
         if self.link.capacity_bytes_per_sec == 0 {
@@ -247,6 +259,16 @@ impl RunConfig {
                             .into(),
                     ));
                 }
+            }
+        }
+        if let Some(spec) = &self.writeback {
+            spec.validate()?;
+            if self.scheme == Scheme::Ffa {
+                return Err(AmpomError::InvalidConfig(
+                    "writeback is not supported with the FFA scheme (dirty pages \
+                     already flush to the file server, not the home node)"
+                        .into(),
+                ));
             }
         }
         Ok(())
@@ -383,6 +405,9 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
     let mut syscall_time = SimDuration::ZERO;
     let mut refs_since_syscall = 0u64;
 
+    // Background writeback (None on the fingerprint-pinned default path).
+    let mut wb = cfg.writeback.map(ForwardWriteback::new);
+
     let page_limit = PageId(total_pages);
 
     for r in &mut *workload {
@@ -418,6 +443,9 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                 if let Some(ev) = evictor.as_mut() {
                     ev.on_touch(r.page);
                 }
+                if let Some(wb) = wb.as_mut() {
+                    wb.note_touch(r.page, r.write);
+                }
                 now += r.cpu;
                 compute_time += r.cpu;
                 cpu_since_fault += r.cpu;
@@ -430,6 +458,10 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                 // fault for the lookback window — the kernel handler runs.
                 faults_total += 1;
                 pages_local_alloc += 1;
+                if let Some(wb) = wb.as_mut() {
+                    // First touches allocate dirty (zero-fill).
+                    wb.note_touch(r.page, true);
+                }
                 now += MINOR_FAULT_COST;
                 if table.lookup(r.page).is_none() {
                     table.create_at_destination(r.page);
@@ -495,6 +527,11 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                 faults_total += 1;
                 let fault_at = now;
                 trace.record(now, TraceKind::PageFault, TraceData::page(r.page.index()));
+                if let Some(wb) = wb.as_mut() {
+                    if wb.on_fault() {
+                        flush_writeback(wb, now, &mut path, &mut space, &mut trace);
+                    }
+                }
                 let install_from = now;
                 dispatch_install(
                     &mut injector,
@@ -709,6 +746,9 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                 debug_assert!(space.is_resident(r.page));
                 let outcome = space.touch(r.page, r.write);
                 debug_assert_eq!(outcome, TouchOutcome::Hit);
+                if let Some(wb) = wb.as_mut() {
+                    wb.note_touch(r.page, r.write);
+                }
                 now += r.cpu;
                 compute_time += r.cpu;
                 cpu_since_fault += r.cpu;
@@ -717,6 +757,11 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
                 }
             }
         }
+    }
+
+    // Final writeback drain: the run ends with every dirty page home.
+    if let Some(wb) = wb.as_mut() {
+        flush_writeback(wb, now, &mut path, &mut space, &mut trace);
     }
 
     trace.record(now, TraceKind::WorkloadDone, TraceData::empty());
@@ -770,9 +815,35 @@ pub fn run_workload<W: Workload + ?Sized>(workload: &mut W, cfg: &RunConfig) -> 
         prefetch_stats,
         faults: fault_stats,
         deputy: deputy.stats(),
+        writeback: wb.map(|w| w.stats()).unwrap_or_default(),
         trace,
         series,
         phases,
+    }
+}
+
+/// Flushes every pending writeback delta batch over the dest→home
+/// direction of `path` (background traffic: the link is charged, the
+/// migrant's clock is not) and cleans the flushed pages.
+pub(crate) fn flush_writeback(
+    wb: &mut ForwardWriteback,
+    now: SimTime,
+    path: &mut NetPath,
+    space: &mut ampom_mem::space::AddressSpace,
+    trace: &mut Trace,
+) {
+    while let Some((seq, entries)) = wb.take_batch() {
+        let bytes = writeback_batch_bytes(entries.len());
+        let arrival = path.send_control_to_home(now, bytes);
+        trace.record_with(now, TraceKind::WritebackFlush, || TraceData {
+            pages: Some(entries.len() as u64),
+            bytes: Some(bytes),
+            ..TraceData::default()
+        });
+        for &(p, _) in &entries {
+            space.clean(p);
+        }
+        wb.complete(seq, &entries, bytes, now, arrival);
     }
 }
 

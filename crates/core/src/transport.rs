@@ -37,6 +37,7 @@ use ampom_workloads::memref::Workload;
 use crate::cluster::NetPath;
 use crate::deputy::Deputy;
 use crate::error::AmpomError;
+use crate::lifecycle::{writeback_batch_bytes, ForwardWriteback};
 use crate::metrics::{DeputyStats, FaultStats, RunReport, RunSeries};
 use crate::migration::{perform_freeze, FreezeOutcome, PreMigrationState, Scheme};
 use crate::monitor::MonitorDaemon;
@@ -120,6 +121,21 @@ pub trait Transport {
     /// The simulated fault-free transport reports all-zero.
     fn fault_stats(&self) -> FaultStats {
         FaultStats::default()
+    }
+
+    /// Carries one writeback delta batch toward the home node and returns
+    /// `(bytes_on_wire, settled_at)` — the instant the batch is applied
+    /// and acknowledged. The default declines (no writeback support):
+    /// zero bytes, instant settle. Background semantics: callers charge
+    /// the link, not the migrant's clock.
+    fn writeback_batch(
+        &mut self,
+        now: SimTime,
+        seq: u64,
+        entries: &[(PageId, u64)],
+    ) -> Result<(u64, SimTime), AmpomError> {
+        let _ = (seq, entries);
+        Ok((0, now))
     }
 
     /// Drains transport-internal trace events (live connects, retries,
@@ -258,6 +274,17 @@ impl Transport for SimulatedTransport {
     fn deputy_stats(&self) -> DeputyStats {
         self.deputy.stats()
     }
+
+    fn writeback_batch(
+        &mut self,
+        now: SimTime,
+        _seq: u64,
+        entries: &[(PageId, u64)],
+    ) -> Result<(u64, SimTime), AmpomError> {
+        let bytes = writeback_batch_bytes(entries.len());
+        let arrival = self.path.send_control_to_home(now, bytes);
+        Ok((bytes, arrival))
+    }
 }
 
 /// Checks `cfg` for knobs the generic transport loop does not model.
@@ -348,6 +375,9 @@ pub fn run_with_transport<W: Workload + ?Sized>(
     let mut syscall_time = SimDuration::ZERO;
     let mut refs_since_syscall = 0u64;
 
+    // Background writeback (None on the fingerprint-pinned default path).
+    let mut wb = cfg.writeback.map(ForwardWriteback::new);
+
     let page_limit = PageId(total_pages);
 
     for r in &mut *workload {
@@ -371,6 +401,9 @@ pub fn run_with_transport<W: Workload + ?Sized>(
 
         match space.touch(r.page, r.write) {
             TouchOutcome::Hit => {
+                if let Some(wb) = wb.as_mut() {
+                    wb.note_touch(r.page, r.write);
+                }
                 now += r.cpu;
                 compute_time += r.cpu;
                 cpu_since_fault += r.cpu;
@@ -381,6 +414,10 @@ pub fn run_with_transport<W: Workload + ?Sized>(
             TouchOutcome::LocalAllocate => {
                 faults_total += 1;
                 pages_local_alloc += 1;
+                if let Some(wb) = wb.as_mut() {
+                    // First touches allocate dirty (zero-fill).
+                    wb.note_touch(r.page, true);
+                }
                 now += MINOR_FAULT_COST;
                 if table.lookup(r.page).is_none() {
                     table.create_at_destination(r.page);
@@ -424,6 +461,11 @@ pub fn run_with_transport<W: Workload + ?Sized>(
                 faults_total += 1;
                 let fault_at = now;
                 trace.record(now, TraceKind::PageFault, TraceData::page(r.page.index()));
+                if let Some(wb) = wb.as_mut() {
+                    if wb.on_fault() {
+                        flush_writeback(wb, now, transport, &mut space, &mut trace)?;
+                    }
+                }
                 let install_from = now;
                 transport.install_arrived(&mut now, &mut space);
                 install_time += now.since(install_from);
@@ -536,6 +578,9 @@ pub fn run_with_transport<W: Workload + ?Sized>(
                 debug_assert!(space.is_resident(r.page));
                 let outcome = space.touch(r.page, r.write);
                 debug_assert_eq!(outcome, TouchOutcome::Hit);
+                if let Some(wb) = wb.as_mut() {
+                    wb.note_touch(r.page, r.write);
+                }
                 now += r.cpu;
                 compute_time += r.cpu;
                 cpu_since_fault += r.cpu;
@@ -544,6 +589,11 @@ pub fn run_with_transport<W: Workload + ?Sized>(
                 }
             }
         }
+    }
+
+    // Final writeback drain: the run ends with every dirty page home.
+    if let Some(wb) = wb.as_mut() {
+        flush_writeback(wb, now, transport, &mut space, &mut trace)?;
     }
 
     for (at, kind, data) in transport.drain_trace() {
@@ -600,10 +650,34 @@ pub fn run_with_transport<W: Workload + ?Sized>(
         prefetch_stats,
         faults: fault_stats,
         deputy: transport.deputy_stats(),
+        writeback: wb.map(|w| w.stats()).unwrap_or_default(),
         trace,
         series,
         phases,
     })
+}
+
+/// Ships every ready writeback batch over the transport and accounts it.
+fn flush_writeback(
+    wb: &mut ForwardWriteback,
+    now: SimTime,
+    transport: &mut dyn Transport,
+    space: &mut ampom_mem::space::AddressSpace,
+    trace: &mut Trace,
+) -> Result<(), AmpomError> {
+    while let Some((seq, entries)) = wb.take_batch() {
+        let (bytes, acked_at) = transport.writeback_batch(now, seq, &entries)?;
+        trace.record_with(now, TraceKind::WritebackFlush, || TraceData {
+            pages: Some(entries.len() as u64),
+            bytes: Some(bytes),
+            ..TraceData::default()
+        });
+        for &(p, _) in &entries {
+            space.clean(p);
+        }
+        wb.complete(seq, &entries, bytes, now, acked_at);
+    }
+    Ok(())
 }
 
 /// Marks the prefetch pages a request actually queued.

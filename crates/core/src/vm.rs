@@ -246,9 +246,16 @@ pub fn run_vm(mut vm: VmWorkload, cfg: &RunConfig, analysis: VmAnalysis) -> VmRe
     let mut cpu_since_fault = SimDuration::ZERO;
     let mut last_fault_at = now;
 
+    // Background writeback rides along even under VM workloads: every
+    // guest's dirty pages share one write-set toward the home node.
+    let mut wb = cfg.writeback.map(crate::lifecycle::ForwardWriteback::new);
+
     while let Some((proc_id, r)) = vm.next_ref() {
         match space.touch(r.page, r.write) {
             TouchOutcome::Hit => {
+                if let Some(wb) = wb.as_mut() {
+                    wb.note_touch(r.page, r.write);
+                }
                 now += r.cpu;
                 compute_time += r.cpu;
                 cpu_since_fault += r.cpu;
@@ -258,6 +265,10 @@ pub fn run_vm(mut vm: VmWorkload, cfg: &RunConfig, analysis: VmAnalysis) -> VmRe
                 if table.lookup(r.page).is_none() {
                     table.create_at_destination(r.page);
                 }
+                if let Some(wb) = wb.as_mut() {
+                    // First touches allocate dirty (zero-fill).
+                    wb.note_touch(r.page, true);
+                }
                 now += crate::runner::MINOR_FAULT_COST + r.cpu;
                 compute_time += r.cpu;
                 cpu_since_fault += r.cpu;
@@ -265,6 +276,11 @@ pub fn run_vm(mut vm: VmWorkload, cfg: &RunConfig, analysis: VmAnalysis) -> VmRe
             TouchOutcome::RemoteFault => {
                 faults_total += 1;
                 let fault_at = now;
+                if let Some(wb) = wb.as_mut() {
+                    if wb.on_fault() {
+                        crate::runner::flush_writeback(wb, now, &mut path, &mut space, &mut trace);
+                    }
+                }
                 install_arrived(&mut staged, &mut in_flight, &mut space, &mut now);
 
                 let wall = fault_at.saturating_since(last_fault_at).as_secs_f64();
@@ -357,11 +373,19 @@ pub fn run_vm(mut vm: VmWorkload, cfg: &RunConfig, analysis: VmAnalysis) -> VmRe
 
                 let outcome = space.touch(r.page, r.write);
                 debug_assert_eq!(outcome, TouchOutcome::Hit);
+                if let Some(wb) = wb.as_mut() {
+                    wb.note_touch(r.page, r.write);
+                }
                 now += r.cpu;
                 compute_time += r.cpu;
                 cpu_since_fault += r.cpu;
             }
         }
+    }
+
+    // Final writeback drain: the run ends with every dirty page home.
+    if let Some(wb) = wb.as_mut() {
+        crate::runner::flush_writeback(wb, now, &mut path, &mut space, &mut trace);
     }
 
     let (analysis_count, stats, mean_score) = if prefetchers.is_empty() {
@@ -433,6 +457,7 @@ pub fn run_vm(mut vm: VmWorkload, cfg: &RunConfig, analysis: VmAnalysis) -> VmRe
             prefetch_stats: stats,
             faults: crate::metrics::FaultStats::default(),
             deputy: deputy.stats(),
+            writeback: wb.map(|w| w.stats()).unwrap_or_default(),
             trace,
             series: None,
             phases,

@@ -1,0 +1,235 @@
+//! Propcheck suite for the bidirectional page lifecycle (PR 8).
+//!
+//! Three properties pin the subsystem:
+//!
+//! 1. **Dirty-page conservation** — across random workloads, away
+//!    fractions and every chaos scenario (message loss, burst loss,
+//!    deputy restarts mid-storm), the writeback protocol lands exactly
+//!    the final version of every dirtied page at the home sink.
+//! 2. **Forward-only identity** — a [`RunConfig`] without writeback is
+//!    bit-identical to the pre-lifecycle goldens: the new subsystem is
+//!    invisible unless asked for.
+//! 3. **Replica equivalence** — an [`MptReplica`] driven by the same
+//!    transfer/writeback/return events as the authoritative
+//!    [`PageTablePair`] never serves a stale answer.
+
+use ampom_core::chaos;
+use ampom_core::experiment::WorkloadSpec;
+use ampom_core::lifecycle::{run_lifecycle, LifecycleConfig};
+use ampom_core::runner::RunConfig;
+use ampom_core::transport::{run_with_transport, SimulatedTransport};
+use ampom_core::Scheme;
+use ampom_mem::page::PageId;
+use ampom_mem::replica::MptReplica;
+use ampom_mem::table::{PageLocation, PageTablePair};
+use ampom_sim::propcheck::forall;
+use ampom_sim::time::SimDuration;
+use ampom_workloads::sizes::{Kernel, ProblemSize};
+use ampom_workloads::synthetic::{SequentialWrite, UniformRandom};
+
+// ---------------------------------------------------------------------
+// 1. Dirty-page conservation under chaos.
+// ---------------------------------------------------------------------
+
+/// The chaos scenarios the acceptance criteria name, plus the null
+/// profile (a reliable link) as the control.
+const STORMS: [Option<&str>; 3] = [
+    None,
+    Some("flaky-link-storm"),
+    Some("deputy-restart-midstorm"),
+];
+
+fn lifecycle_cfg(storm: Option<&str>) -> RunConfig {
+    let cfg = RunConfig::new(Scheme::Ampom);
+    match storm {
+        None => cfg,
+        Some(name) => {
+            let sc = chaos::scenario(name).expect("scenario exists");
+            let profile = sc.profile().expect("storm scenarios carry a profile");
+            cfg.with_faults(profile.clone())
+        }
+    }
+}
+
+#[test]
+fn conservation_holds_for_sweeps_under_every_storm() {
+    forall("lifecycle-conservation-sweep", 24, |g| {
+        let storm = *g.choose(&STORMS);
+        let pages = g.u64(64..1024);
+        let frac = 0.2 + 0.6 * g.unit_f64();
+        let mut w = SequentialWrite::new(pages, SimDuration::from_micros(15));
+        let report = run_lifecycle(&mut w, &lifecycle_cfg(storm), &LifecycleConfig::new(frac));
+        report.check_conservation();
+        assert!(
+            report.pages_dirtied > 0,
+            "a stores-only sweep must dirty pages ({storm:?})"
+        );
+    });
+}
+
+#[test]
+fn conservation_holds_for_random_writers_under_every_storm() {
+    forall("lifecycle-conservation-random", 24, |g| {
+        let storm = *g.choose(&STORMS);
+        let pages = g.u64(64..512);
+        let touches = g.u64(200..2000);
+        let frac = 0.2 + 0.6 * g.unit_f64();
+        let rng = g.rng().fork(0x11fe);
+        let mut w = UniformRandom::new(pages, touches, SimDuration::from_micros(15), rng);
+        let report = run_lifecycle(&mut w, &lifecycle_cfg(storm), &LifecycleConfig::new(frac));
+        report.check_conservation();
+    });
+}
+
+#[test]
+fn deputy_restarts_are_survived_not_avoided() {
+    // The restart scenario must actually exercise the replay path at
+    // least once across the seeds, or the suite is vacuous.
+    let mut restarts = 0;
+    for seed in 0..8u64 {
+        let pages = 256 + seed * 64;
+        let mut w = SequentialWrite::new(pages, SimDuration::from_micros(15));
+        let report = run_lifecycle(
+            &mut w,
+            &lifecycle_cfg(Some("deputy-restart-midstorm")),
+            &LifecycleConfig::new(0.7),
+        );
+        report.check_conservation();
+        restarts += report.sink_restarts;
+    }
+    assert!(restarts > 0, "the storm never restarted the deputy sink");
+}
+
+// ---------------------------------------------------------------------
+// 2. Forward-only identity: writeback off ⇒ bit-identical to goldens.
+// ---------------------------------------------------------------------
+
+/// The pre-lifecycle fingerprints from the multi-migrant golden harness
+/// (`multi_identity.rs`), duplicated here on purpose: if an intentional
+/// re-capture ever touches one table but not the other, this suite
+/// flags the drift.
+const GOLDENS: [(Kernel, Scheme, u64); 12] = [
+    (Kernel::Dgemm, Scheme::Ampom, 0x88fbf10bfb8e1f97),
+    (Kernel::Dgemm, Scheme::NoPrefetch, 0x3722ae905f44322e),
+    (Kernel::Dgemm, Scheme::OpenMosix, 0x870b266e66ae3e69),
+    (Kernel::Stream, Scheme::Ampom, 0x4d941b9d030acd1d),
+    (Kernel::Stream, Scheme::NoPrefetch, 0x871d0ec60a0221b6),
+    (Kernel::Stream, Scheme::OpenMosix, 0x577596eac700554e),
+    (Kernel::RandomAccess, Scheme::Ampom, 0xb584e9e36c4d60e3),
+    (Kernel::RandomAccess, Scheme::NoPrefetch, 0x53b8eba36e08173e),
+    (Kernel::RandomAccess, Scheme::OpenMosix, 0x6c446c83958c2662),
+    (Kernel::Fft, Scheme::Ampom, 0x95cc291f5a8172b1),
+    (Kernel::Fft, Scheme::NoPrefetch, 0xba1d1e8746d27b9c),
+    (Kernel::Fft, Scheme::OpenMosix, 0xb784448113d03781),
+];
+
+const SEED: u64 = 42;
+const QUICK: ProblemSize = ProblemSize {
+    problem: 0,
+    memory_mb: 4,
+};
+
+#[test]
+fn forward_only_runs_match_the_pre_lifecycle_goldens() {
+    for (kernel, scheme, golden) in GOLDENS {
+        let cfg = RunConfig::new(scheme);
+        assert!(
+            cfg.writeback.is_none(),
+            "writeback must stay opt-in: the default config carries none"
+        );
+        let mut w = WorkloadSpec::kernel(kernel, QUICK)
+            .build(SEED)
+            .expect("valid kernel spec");
+        let mut t = SimulatedTransport::new(&cfg);
+        let fp = run_with_transport(w.as_mut(), &cfg, &mut t)
+            .expect("transport-compatible config")
+            .fingerprint();
+        assert_eq!(
+            fp, golden,
+            "forward-only {kernel:?}/{scheme:?} drifted from its golden \
+             fingerprint — the lifecycle subsystem leaked into forward runs"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// 3. Replica/table equivalence under random interleavings.
+// ---------------------------------------------------------------------
+
+#[test]
+fn replica_agrees_with_the_table_under_random_interleavings() {
+    forall("mpt-replica-equivalence", 96, |g| {
+        let pages = g.u64(8..64);
+        let mut table = PageTablePair::at_migration((0..pages).map(PageId));
+        let mut replica = MptReplica::from_table(&table);
+
+        let steps = g.usize(20..160);
+        for _ in 0..steps {
+            let page = PageId(g.u64(0..pages + 4)); // some unmapped ids too
+            match g.u64(0..6) {
+                // Transfer events: page moves to the remote node.
+                0 => {
+                    if matches!(
+                        table.lookup(page),
+                        Some(PageLocation::Origin) | Some(PageLocation::FileServer)
+                    ) {
+                        table.transfer_to_destination(page);
+                        replica.invalidate(page);
+                    }
+                }
+                // Writeback / home-return events: page moves home.
+                1 => {
+                    if table.lookup(page) == Some(PageLocation::Destination) {
+                        table.return_to_origin(page);
+                        replica.invalidate(page);
+                    }
+                }
+                // FFA flush events.
+                2 => {
+                    if table.lookup(page) == Some(PageLocation::Origin) {
+                        table.flush_to_file_server(page);
+                        replica.invalidate(page);
+                    }
+                }
+                // Remote zero-fill allocations of fresh pages.
+                3 => {
+                    if table.lookup(page).is_none() {
+                        table.create_at_destination(page);
+                        replica.invalidate(page);
+                    }
+                }
+                // Update-log batches arriving out of band.
+                4 => {
+                    let batch: Vec<PageId> = (0..g.usize(1..4))
+                        .map(|_| PageId(g.u64(0..pages)))
+                        .collect();
+                    for &p in &batch {
+                        if table.lookup(p) == Some(PageLocation::Destination) {
+                            table.return_to_origin(p);
+                        }
+                    }
+                    replica.apply_updates(batch);
+                }
+                // Hot lookups between events must agree bit-for-bit.
+                _ => {
+                    assert_eq!(
+                        replica.lookup(page, &table),
+                        table.lookup(page),
+                        "replica answer diverged on {page}"
+                    );
+                }
+            }
+            table.check_invariants();
+        }
+
+        // Every surviving valid entry must still match the authority.
+        replica.check_equivalence(&table);
+
+        // And a full sweep after the dust settles: lazy refreshes heal
+        // every invalidated entry back to the truth.
+        for p in 0..pages + 4 {
+            let page = PageId(p);
+            assert_eq!(replica.lookup(page, &table), table.lookup(page));
+        }
+    });
+}

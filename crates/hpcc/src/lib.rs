@@ -39,6 +39,12 @@
 //! SLO verdicts, admission-control shed counters, schema-versioned JSONL
 //! run facts and a `BENCH_chaos.json` perf fact.
 //!
+//! The [`lifecycle_cmd`] module backs `hpcc-repro lifecycle`: the full
+//! bidirectional page lifecycle (out → dirty → writeback → return) over
+//! a size × link-condition panel plus a live loopback leg — per-phase
+//! breakdowns, conservation verdicts, JSONL facts and a
+//! `BENCH_lifecycle.json` perf fact.
+//!
 //! The `hpcc-repro` binary drives these; see `hpcc-repro --help`.
 
 pub mod bakeoff;
@@ -46,6 +52,7 @@ pub mod chaos_cmd;
 pub mod checks;
 pub mod experiments;
 pub mod extensions;
+pub mod lifecycle_cmd;
 pub mod live;
 pub mod matrix;
 pub mod multisweep;

@@ -41,6 +41,9 @@
 //!             kernels + locality-breaking workloads, vs NoPrefetch
 //!   chaos     named chaos scenarios at 1/4/8 migrants: per-migrant SLO
 //!             verdicts, load shedding, JSONL facts, BENCH_chaos.json
+//!   lifecycle bidirectional page lifecycle (out -> dirty -> writeback ->
+//!             return): size x link-condition panel, live loopback leg,
+//!             JSONL facts, BENCH_lifecycle.json
 //!
 //! Options:
 //!   --quick   tiny problem sizes (seconds instead of minutes)
@@ -56,9 +59,12 @@
 //!   --scenario NAME  chaos: run only NAME (repeatable; default all)
 //!   --bench PATH     chaos: write BENCH_chaos.json to PATH
 //!                    (default ./BENCH_chaos.json)
+//!                    lifecycle: write BENCH_lifecycle.json to PATH
+//!                    (default ./BENCH_lifecycle.json)
 //!
-//! `chaos` seeds its fault plans from the `AMPOM_FAULT_SEED` environment
-//! variable (default 42), matching the CI fault matrix.
+//! `chaos` and `lifecycle` seed their fault plans from the
+//! `AMPOM_FAULT_SEED` environment variable (default 42), matching the CI
+//! fault matrix.
 //! ```
 
 use std::path::PathBuf;
@@ -68,7 +74,7 @@ use ampom_core::migration::Scheme;
 use ampom_hpcc::matrix::{full_matrix, Cell};
 use ampom_hpcc::profile::{self, ProfileOptions};
 use ampom_hpcc::report::AsciiTable;
-use ampom_hpcc::{chaos_cmd, checks, experiments, extensions, live};
+use ampom_hpcc::{chaos_cmd, checks, experiments, extensions, lifecycle_cmd, live};
 use ampom_workloads::Kernel;
 
 struct Options {
@@ -162,7 +168,7 @@ fn parse_args() -> Options {
             "--help" | "-h" => {
                 println!(
                     "hpcc-repro [all|table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|\
-                     ext-vm|ext-cluster|ext-ptrans|ext-interactive|ext-roundtrip|ext-syscall|ext-pressure|ext-hpl|ext-locality|ext-timing|ext-gossip|ext-accuracy|parsweep|faultsweep|timeline|check|sweep|live|calibrate|profile|multisweep|bakeoff|chaos] \
+                     ext-vm|ext-cluster|ext-ptrans|ext-interactive|ext-roundtrip|ext-syscall|ext-pressure|ext-hpl|ext-locality|ext-timing|ext-gossip|ext-accuracy|parsweep|faultsweep|timeline|check|sweep|live|calibrate|profile|multisweep|bakeoff|chaos|lifecycle] \
                      [--quick] [--csv DIR] [--loopback|--endpoint ADDR] \
                      [--kernel K] [--scheme S] [--json PATH] [--prom PATH] [--top K] \
                      [--scenario NAME] [--bench PATH]"
@@ -339,6 +345,67 @@ fn run_chaos_command(opts: &Options) {
             std::process::exit(1);
         }
         println!("wrote chaos bench fact to {}", path.display());
+    }
+}
+
+fn run_lifecycle_command(opts: &Options) {
+    let lc_opts = lifecycle_cmd::LifecycleOptions::default();
+    eprintln!(
+        "running the page-lifecycle panel ({:?} MB x {} link conditions) \
+         plus the live loopback leg, seed {}...",
+        lc_opts.sizes_mb,
+        lifecycle_cmd::STORM_PANEL.len(),
+        lc_opts.seed
+    );
+    let run = match lifecycle_cmd::run_lifecycle_cmd(&lc_opts) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("lifecycle failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    emit(&lifecycle_cmd::lifecycle_table(&run), opts, "lifecycle");
+
+    if let Err(e) = lifecycle_cmd::verify_facts(&run.jsonl) {
+        eprintln!("lifecycle facts self-verification FAILED: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "facts self-verification OK: {} JSONL lines, schema v{}",
+        run.jsonl.lines().count(),
+        lifecycle_cmd::FACTS_SCHEMA
+    );
+
+    if let Some(path) = &opts.json_path {
+        if let Err(e) = chaos_cmd::append_artifact(path, &run.jsonl) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+        println!(
+            "appended {} JSONL fact lines to {}",
+            run.jsonl.lines().count(),
+            path.display()
+        );
+    }
+    if let Some(path) = &opts.prom_path {
+        if let Err(e) = profile::write_artifact(path, &run.prometheus) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+        println!("wrote metrics dump to {}", path.display());
+    } else {
+        println!("{}", run.prometheus);
+    }
+    if let Some(bench) = &run.bench_json {
+        let path = opts
+            .bench_path
+            .clone()
+            .unwrap_or_else(|| PathBuf::from("BENCH_lifecycle.json"));
+        if let Err(e) = profile::write_artifact(&path, bench) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+        println!("wrote lifecycle bench fact to {}", path.display());
     }
 }
 
@@ -544,6 +611,10 @@ fn main() {
     }
     if opts.command == "chaos" {
         run_chaos_command(&opts);
+        ran = true;
+    }
+    if opts.command == "lifecycle" {
+        run_lifecycle_command(&opts);
         ran = true;
     }
     if !ran {

@@ -17,7 +17,11 @@
 //!   RAM cannot hold the whole migrant (the testbed's 512 MB nodes vs
 //!   575 MB processes),
 //! * [`radix`] — the two-level x86 page-table structure the freeze-time
-//!   MPT walk operates on.
+//!   MPT walk operates on,
+//! * [`writeback`] — the migrant-side write-set (versioned delta batches)
+//!   and deputy-side sink with exactly-once apply accounting,
+//! * [`replica`] — a Mitosis-style node-local MPT replica with lazy
+//!   invalidation-driven coherence.
 //!
 //! Nothing here knows about networks or prefetching; `ampom-core` composes
 //! these pieces with `ampom-net` into the full migration machinery.
@@ -26,13 +30,17 @@ pub mod eviction;
 pub mod page;
 pub mod radix;
 pub mod region;
+pub mod replica;
 pub mod space;
 pub mod table;
 pub mod working_set;
+pub mod writeback;
 
 pub use eviction::ClockEvictor;
 pub use page::{PageId, PAGE_SIZE};
 pub use region::{MemoryLayout, Region, RegionKind};
+pub use replica::MptReplica;
 pub use space::{AddressSpace, PageState};
 pub use table::{PageLocation, PageTablePair};
 pub use working_set::WorkingSetTracker;
+pub use writeback::{WriteSet, WritebackSink};

@@ -1,0 +1,188 @@
+//! A Mitosis-style node-local replica of the master page table.
+//!
+//! Mitosis (arXiv:1910.05398) replicates page tables across sockets so
+//! hot walks never cross the interconnect; the same argument applies to a
+//! migrant's MPT lookups, which today always consult the authoritative
+//! [`PageTablePair`]. [`MptReplica`] caches `page → location` entries on
+//! the node doing the lookups and keeps them coherent **lazily**: a
+//! transfer, writeback or return event *invalidates* the affected entry
+//! (cheap, local), and the next lookup of an invalidated entry refreshes
+//! it from the authoritative table while every other hot lookup is served
+//! locally.
+//!
+//! The replica is an accelerator, never an authority: its answers must be
+//! bit-identical to the table's, a property
+//! [`MptReplica::check_equivalence`] asserts and the propcheck suite
+//! exercises under random transfer/writeback/return interleavings.
+
+use std::collections::BTreeMap;
+
+use crate::page::PageId;
+use crate::table::{PageLocation, PageTablePair};
+
+/// Plain counters an [`MptReplica`] accumulates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicaCounters {
+    /// Lookups answered from a valid local entry (no authoritative trip).
+    pub local_hits: u64,
+    /// Lookups that refreshed an invalidated entry from the table.
+    pub stale_refreshes: u64,
+    /// Lookups of pages the replica had never seen (also refreshed).
+    pub cold_misses: u64,
+    /// Invalidation events applied.
+    pub invalidations: u64,
+}
+
+/// One replica entry: `None` means invalidated (refresh on next lookup).
+type Entry = Option<Option<PageLocation>>;
+
+/// The node-local MPT replica.
+#[derive(Debug, Clone, Default)]
+pub struct MptReplica {
+    /// `page → Some(location)` for valid entries, `page → None` for
+    /// invalidated ones; absent pages are cold.
+    entries: BTreeMap<PageId, Entry>,
+    /// Accumulated counters.
+    pub counters: ReplicaCounters,
+}
+
+impl MptReplica {
+    /// An empty (all-cold) replica.
+    pub fn new() -> Self {
+        MptReplica::default()
+    }
+
+    /// Seeds the replica from the authoritative table — the bulk copy a
+    /// migration's MPT shipment already paid for.
+    pub fn from_table(table: &PageTablePair) -> Self {
+        let mut r = MptReplica::new();
+        for page in table.hpt_pages() {
+            r.entries.insert(page, Some(Some(PageLocation::Origin)));
+        }
+        // hpt_pages only lists origin pages; walk the rest via lookup.
+        r
+    }
+
+    /// Looks `page` up, serving from the local entry when valid and
+    /// lazily refreshing from `table` when invalidated or cold. The
+    /// answer always equals `table.lookup(page)`.
+    pub fn lookup(&mut self, page: PageId, table: &PageTablePair) -> Option<PageLocation> {
+        match self.entries.get(&page) {
+            Some(Some(loc)) => {
+                self.counters.local_hits += 1;
+                *loc
+            }
+            Some(None) => {
+                self.counters.stale_refreshes += 1;
+                let loc = table.lookup(page);
+                self.entries.insert(page, Some(loc));
+                loc
+            }
+            None => {
+                self.counters.cold_misses += 1;
+                let loc = table.lookup(page);
+                self.entries.insert(page, Some(loc));
+                loc
+            }
+        }
+    }
+
+    /// Invalidates `page`'s entry — the update-log hook a transfer,
+    /// writeback or home-return event calls. Idempotent; invalidating a
+    /// cold page records the event so a later lookup refreshes it.
+    pub fn invalidate(&mut self, page: PageId) {
+        self.counters.invalidations += 1;
+        self.entries.insert(page, None);
+    }
+
+    /// Applies a batch of update-log events (each an invalidation).
+    pub fn apply_updates(&mut self, pages: impl IntoIterator<Item = PageId>) {
+        for p in pages {
+            self.invalidate(p);
+        }
+    }
+
+    /// Number of entries currently valid (servable without a refresh).
+    pub fn valid_entries(&self) -> u64 {
+        self.entries.values().filter(|e| e.is_some()).count() as u64
+    }
+
+    /// Asserts every *valid* entry agrees with the authoritative table.
+    /// Invalidated and cold entries are trivially coherent (they refresh
+    /// before answering).
+    ///
+    /// # Panics
+    /// Panics on the first divergent entry.
+    pub fn check_equivalence(&self, table: &PageTablePair) {
+        for (&page, entry) in &self.entries {
+            if let Some(cached) = entry {
+                let truth = table.lookup(page);
+                assert_eq!(
+                    *cached, truth,
+                    "replica diverged on page {page}: cached {cached:?}, table {truth:?}"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(pages: u64) -> PageTablePair {
+        PageTablePair::at_migration((0..pages).map(PageId))
+    }
+
+    #[test]
+    fn hot_lookups_stay_local_until_invalidated() {
+        let mut t = table(4);
+        let mut r = MptReplica::new();
+        assert_eq!(r.lookup(PageId(1), &t), Some(PageLocation::Origin));
+        assert_eq!(r.counters.cold_misses, 1);
+        assert_eq!(r.lookup(PageId(1), &t), Some(PageLocation::Origin));
+        assert_eq!(r.counters.local_hits, 1, "second lookup served locally");
+
+        t.transfer_to_destination(PageId(1));
+        r.invalidate(PageId(1));
+        assert_eq!(r.lookup(PageId(1), &t), Some(PageLocation::Destination));
+        assert_eq!(r.counters.stale_refreshes, 1);
+        r.check_equivalence(&t);
+    }
+
+    #[test]
+    fn seeding_from_the_table_serves_origin_pages_hot() {
+        let t = table(8);
+        let mut r = MptReplica::from_table(&t);
+        assert_eq!(r.valid_entries(), 8);
+        for p in 0..8 {
+            assert_eq!(r.lookup(PageId(p), &t), Some(PageLocation::Origin));
+        }
+        assert_eq!(r.counters.local_hits, 8);
+        assert_eq!(r.counters.cold_misses, 0);
+        r.check_equivalence(&t);
+    }
+
+    #[test]
+    #[should_panic(expected = "replica diverged")]
+    fn a_missed_invalidation_is_caught_by_the_equivalence_check() {
+        let mut t = table(2);
+        let mut r = MptReplica::from_table(&t);
+        let _ = r.lookup(PageId(0), &t);
+        t.transfer_to_destination(PageId(0)); // no invalidate: a bug
+        r.check_equivalence(&t);
+    }
+
+    #[test]
+    fn unmapped_pages_replicate_as_unmapped() {
+        let mut t = table(2);
+        let mut r = MptReplica::new();
+        assert_eq!(r.lookup(PageId(9), &t), None);
+        assert_eq!(r.lookup(PageId(9), &t), None);
+        assert_eq!(r.counters.local_hits, 1);
+        t.create_at_destination(PageId(9));
+        r.invalidate(PageId(9));
+        assert_eq!(r.lookup(PageId(9), &t), Some(PageLocation::Destination));
+        r.check_equivalence(&t);
+    }
+}

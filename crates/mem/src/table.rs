@@ -163,10 +163,12 @@ impl PageTablePair {
     }
 
     /// FFA only: the origin flushed a page's contents to the file server.
+    /// The origin stops storing the page, so both tables change — the same
+    /// `Both` every sibling origin-departure transition reports.
     ///
     /// # Panics
     /// Panics unless the page is currently stored at the origin.
-    pub fn flush_to_file_server(&mut self, page: PageId) {
+    pub fn flush_to_file_server(&mut self, page: PageId) -> TableUpdate {
         let loc = self
             .mpt
             .get_mut(&page)
@@ -179,6 +181,7 @@ impl PageTablePair {
         *loc = PageLocation::FileServer;
         self.mpt_updates += 1;
         self.hpt_updates += 1;
+        TableUpdate::Both
     }
 
     /// "When a page is created by a migrant, only the MPT needs to be
@@ -315,7 +318,11 @@ mod tests {
     #[test]
     fn ffa_flush_moves_page_to_file_server() {
         let mut p = pair_with(2);
-        p.flush_to_file_server(PageId(0));
+        let mpt_before = p.mpt_update_count();
+        let hpt_before = p.hpt_update_count();
+        assert_eq!(p.flush_to_file_server(PageId(0)), TableUpdate::Both);
+        assert_eq!(p.mpt_update_count(), mpt_before + 1);
+        assert_eq!(p.hpt_update_count(), hpt_before + 1);
         assert_eq!(p.lookup(PageId(0)), Some(PageLocation::FileServer));
         // Fetch from the file server updates MPT only (not stored at origin).
         assert_eq!(p.transfer_to_destination(PageId(0)), TableUpdate::MptOnly);

@@ -1,0 +1,327 @@
+//! The writeback half of the page lifecycle: dirty-page tracking promoted
+//! to a **write-set** with delta batching, and the deputy-side sink that
+//! applies batches with exactly-once accounting.
+//!
+//! Forward migration moves clean copies toward the migrant; nothing ever
+//! flowed back. The [`WriteSet`] closes the loop on the migrant side: every
+//! dirtying store bumps a per-page **version counter**, dirty pages collect
+//! into delta batches (at most `max_pages` per flush so a background flush
+//! never monopolises the reply link), and each batch carries a sequence
+//! number so the deputy's [`WritebackSink`] can deduplicate retransmits.
+//!
+//! Exactly-once under the PR 2 fault model rests on two layers:
+//!
+//! 1. **Batch dedup** — a retransmitted sequence number the sink has seen
+//!    is re-acked without reapplying anything.
+//! 2. **Version compare** — after a sink restart (deputy outage) the
+//!    seen-sequence set is gone, but the per-page high-water versions
+//!    survive in the applied store, so a replayed batch's stale entries
+//!    are recognised and skipped page by page.
+//!
+//! Either layer alone suffices on a lossy-but-up link; together they keep
+//! the conservation property (*every dirtied page applied exactly once per
+//! version*) through arbitrary loss/restart interleavings.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::page::PageId;
+
+/// Plain counters a [`WriteSet`] accumulates; copied into the run report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriteSetCounters {
+    /// Dirtying stores noted (first-dirty and redirty alike).
+    pub writes_noted: u64,
+    /// Pages redirtied while a flush of their previous version was in
+    /// flight (these force a second writeback of the same page).
+    pub redirties: u64,
+    /// Delta batches built.
+    pub batches_built: u64,
+    /// Page entries across all built batches (retransmits included).
+    pub pages_flushed: u64,
+    /// Batches handed back by [`WriteSet::take_for_retry`].
+    pub retransmits: u64,
+    /// Batches acknowledged.
+    pub acks: u64,
+}
+
+/// The migrant-side write-set: dirty pages awaiting writeback, per-page
+/// version counters, and the in-flight batches not yet acknowledged.
+#[derive(Debug, Clone, Default)]
+pub struct WriteSet {
+    /// Highest version ever assigned per page (monotone, never reset).
+    versions: BTreeMap<PageId, u64>,
+    /// Dirty pages whose latest version is not yet in any batch.
+    dirty: BTreeSet<PageId>,
+    /// Sent-but-unacked batches by sequence number.
+    pending: BTreeMap<u64, Vec<(PageId, u64)>>,
+    next_seq: u64,
+    /// Accumulated counters.
+    pub counters: WriteSetCounters,
+}
+
+impl WriteSet {
+    /// An empty write-set.
+    pub fn new() -> Self {
+        WriteSet::default()
+    }
+
+    /// Notes one dirtying store to `page`. The first store since the last
+    /// flush bumps the page's version; a store while that version is
+    /// already batched (in flight) bumps again — the page must travel
+    /// twice, once per version.
+    pub fn note_write(&mut self, page: PageId) {
+        self.counters.writes_noted += 1;
+        if self.dirty.contains(&page) {
+            // Latest version not yet batched; nothing new to flush.
+            return;
+        }
+        let prior = self.versions.get(&page).copied().unwrap_or(0);
+        if prior > 0 && self.in_flight(page) {
+            self.counters.redirties += 1;
+        }
+        self.versions.insert(page, prior + 1);
+        self.dirty.insert(page);
+    }
+
+    fn in_flight(&self, page: PageId) -> bool {
+        self.pending
+            .values()
+            .any(|entries| entries.iter().any(|&(p, _)| p == page))
+    }
+
+    /// Builds the next delta batch of at most `max_pages` dirty pages
+    /// (lowest page ids first, deterministic). Returns `None` when nothing
+    /// is dirty; otherwise the batch is recorded as pending under the
+    /// returned sequence number until [`WriteSet::on_ack`].
+    pub fn build_batch(&mut self, max_pages: usize) -> Option<(u64, Vec<(PageId, u64)>)> {
+        if self.dirty.is_empty() || max_pages == 0 {
+            return None;
+        }
+        let take: Vec<PageId> = self.dirty.iter().take(max_pages).copied().collect();
+        let entries: Vec<(PageId, u64)> = take
+            .iter()
+            .map(|&p| {
+                self.dirty.remove(&p);
+                (p, self.versions[&p])
+            })
+            .collect();
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.counters.batches_built += 1;
+        self.counters.pages_flushed += entries.len() as u64;
+        self.pending.insert(seq, entries.clone());
+        Some((seq, entries))
+    }
+
+    /// Acknowledges batch `seq`; unknown sequence numbers (a duplicate
+    /// ack) are ignored.
+    pub fn on_ack(&mut self, seq: u64) {
+        if self.pending.remove(&seq).is_some() {
+            self.counters.acks += 1;
+        }
+    }
+
+    /// Hands back the pending batch `seq` for retransmission (a lost
+    /// batch or a lost ack — the sink dedups either way).
+    pub fn take_for_retry(&mut self, seq: u64) -> Option<Vec<(PageId, u64)>> {
+        let entries = self.pending.get(&seq).cloned();
+        if entries.is_some() {
+            self.counters.retransmits += 1;
+            self.counters.pages_flushed += entries.as_ref().map_or(0, Vec::len) as u64;
+        }
+        entries
+    }
+
+    /// Sequence numbers of every sent-but-unacked batch, ascending.
+    pub fn pending_seqs(&self) -> Vec<u64> {
+        self.pending.keys().copied().collect()
+    }
+
+    /// True when every dirtied page has been batched *and* acknowledged.
+    pub fn is_drained(&self) -> bool {
+        self.dirty.is_empty() && self.pending.is_empty()
+    }
+
+    /// Pages currently dirty and not yet batched.
+    pub fn dirty_len(&self) -> usize {
+        self.dirty.len()
+    }
+
+    /// The version high-water mark per page (pages never dirtied absent).
+    pub fn versions(&self) -> &BTreeMap<PageId, u64> {
+        &self.versions
+    }
+}
+
+/// Plain counters a [`WritebackSink`] accumulates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SinkCounters {
+    /// Batches applied (at least one fresh page).
+    pub batches_applied: u64,
+    /// Whole batches recognised as retransmits by sequence number.
+    pub duplicate_batches: u64,
+    /// Page entries skipped by the version compare.
+    pub duplicate_pages: u64,
+    /// Page entries actually applied.
+    pub pages_applied: u64,
+    /// Sink restarts survived (seen-sequence state lost).
+    pub restarts: u64,
+}
+
+/// What [`WritebackSink::apply_batch`] did with one batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApplyOutcome {
+    /// Entries newly applied.
+    pub applied: u32,
+    /// Entries skipped as duplicates (batch- or version-level).
+    pub duplicates: u32,
+}
+
+/// The deputy-side sink: applies writeback batches idempotently.
+#[derive(Debug, Clone, Default)]
+pub struct WritebackSink {
+    /// Highest version applied per page — the durable store; survives
+    /// restarts exactly like the home node's page frames do.
+    applied: BTreeMap<PageId, u64>,
+    /// Sequence numbers already applied — volatile; a restart clears it.
+    seen_seqs: BTreeSet<u64>,
+    /// Accumulated counters.
+    pub counters: SinkCounters,
+}
+
+impl WritebackSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        WritebackSink::default()
+    }
+
+    /// Applies one batch. Duplicate sequence numbers re-ack without
+    /// reapplying; within a fresh batch, entries whose version the store
+    /// already holds are skipped (the post-restart replay path).
+    pub fn apply_batch(&mut self, seq: u64, entries: &[(PageId, u64)]) -> ApplyOutcome {
+        if !self.seen_seqs.insert(seq) {
+            self.counters.duplicate_batches += 1;
+            return ApplyOutcome {
+                applied: 0,
+                duplicates: entries.len() as u32,
+            };
+        }
+        let mut out = ApplyOutcome {
+            applied: 0,
+            duplicates: 0,
+        };
+        for &(page, version) in entries {
+            let have = self.applied.get(&page).copied().unwrap_or(0);
+            if have >= version {
+                self.counters.duplicate_pages += 1;
+                out.duplicates += 1;
+            } else {
+                self.applied.insert(page, version);
+                self.counters.pages_applied += 1;
+                out.applied += 1;
+            }
+        }
+        if out.applied > 0 {
+            self.counters.batches_applied += 1;
+        }
+        out
+    }
+
+    /// A deputy restart: the volatile seen-sequence set is lost, the
+    /// applied store (real page frames) survives.
+    pub fn restart(&mut self) {
+        self.seen_seqs.clear();
+        self.counters.restarts += 1;
+    }
+
+    /// Highest version applied for `page`, or 0 if never written back.
+    pub fn applied_version(&self, page: PageId) -> u64 {
+        self.applied.get(&page).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct pages ever written back.
+    pub fn pages_written_back(&self) -> u64 {
+        self.applied.len() as u64
+    }
+
+    /// The applied store: page → highest version.
+    pub fn applied(&self) -> &BTreeMap<PageId, u64> {
+        &self.applied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn versions_are_monotone_and_redirty_forces_a_second_flush() {
+        let mut ws = WriteSet::new();
+        ws.note_write(PageId(3));
+        ws.note_write(PageId(3)); // still dirty, same version
+        let (seq, entries) = ws.build_batch(8).expect("dirty page batches");
+        assert_eq!(entries, vec![(PageId(3), 1)]);
+        // Redirty while version 1 is in flight.
+        ws.note_write(PageId(3));
+        assert_eq!(ws.counters.redirties, 1);
+        ws.on_ack(seq);
+        let (_, entries) = ws.build_batch(8).expect("redirty batches again");
+        assert_eq!(entries, vec![(PageId(3), 2)]);
+        assert!(!ws.is_drained(), "second batch unacked");
+    }
+
+    #[test]
+    fn batches_respect_the_page_cap_and_drain_in_order() {
+        let mut ws = WriteSet::new();
+        for p in 0..10 {
+            ws.note_write(PageId(p));
+        }
+        let (s0, b0) = ws.build_batch(4).unwrap();
+        let (s1, b1) = ws.build_batch(4).unwrap();
+        let (s2, b2) = ws.build_batch(4).unwrap();
+        assert_eq!((b0.len(), b1.len(), b2.len()), (4, 4, 2));
+        assert!(ws.build_batch(4).is_none(), "nothing left to batch");
+        assert_eq!(b0[0].0, PageId(0), "lowest pages first");
+        for s in [s0, s1, s2] {
+            ws.on_ack(s);
+        }
+        assert!(ws.is_drained());
+        assert_eq!(ws.counters.pages_flushed, 10);
+    }
+
+    #[test]
+    fn sink_dedups_by_sequence_and_by_version() {
+        let mut sink = WritebackSink::new();
+        let batch = [(PageId(1), 1), (PageId(2), 1)];
+        let first = sink.apply_batch(7, &batch);
+        assert_eq!((first.applied, first.duplicates), (2, 0));
+        // Retransmit of the same seq: batch-level dedup.
+        let again = sink.apply_batch(7, &batch);
+        assert_eq!((again.applied, again.duplicates), (0, 2));
+        assert_eq!(sink.counters.duplicate_batches, 1);
+        // Restart loses the seen set; the version compare still refuses.
+        sink.restart();
+        let replay = sink.apply_batch(7, &batch);
+        assert_eq!((replay.applied, replay.duplicates), (0, 2));
+        assert_eq!(sink.counters.duplicate_pages, 2);
+        // A genuinely newer version still lands after all that.
+        let newer = sink.apply_batch(8, &[(PageId(1), 2)]);
+        assert_eq!((newer.applied, newer.duplicates), (1, 0));
+        assert_eq!(sink.applied_version(PageId(1)), 2);
+        assert_eq!(sink.pages_written_back(), 2);
+    }
+
+    #[test]
+    fn retry_rebuilds_the_pending_batch_verbatim() {
+        let mut ws = WriteSet::new();
+        ws.note_write(PageId(5));
+        let (seq, entries) = ws.build_batch(8).unwrap();
+        let retry = ws.take_for_retry(seq).expect("pending batch");
+        assert_eq!(retry, entries);
+        assert_eq!(ws.counters.retransmits, 1);
+        assert_eq!(ws.pending_seqs(), vec![seq]);
+        ws.on_ack(seq);
+        assert!(ws.take_for_retry(seq).is_none(), "acked batch is gone");
+        assert!(ws.is_drained());
+    }
+}

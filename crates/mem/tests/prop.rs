@@ -104,7 +104,12 @@ fn page_table_partition_invariant() {
         let mut table = PageTablePair::at_migration((0..mapped).map(PageId));
         for &p in &flushes {
             if table.lookup(PageId(p)) == Some(PageLocation::Origin) {
-                table.flush_to_file_server(PageId(p));
+                // A flush leaves the origin, so both tables update — the
+                // same contract as every sibling origin-departure.
+                use ampom_mem::table::TableUpdate;
+                let hpt_before = table.hpt_update_count();
+                assert_eq!(table.flush_to_file_server(PageId(p)), TableUpdate::Both);
+                assert_eq!(table.hpt_update_count(), hpt_before + 1);
             }
         }
         for &p in &transfers {

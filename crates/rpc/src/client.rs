@@ -302,6 +302,43 @@ impl MigrantClient {
         Ok(req_id)
     }
 
+    /// Sends one writeback delta batch — `(page, version)` pairs with
+    /// deterministic page payloads — and returns the batch sequence
+    /// number its [`Frame::WritebackAck`] will echo.
+    pub fn send_writeback(&mut self, seq: u64, entries: &[(PageId, u64)]) -> Result<u64, RpcError> {
+        let pages: Vec<(PageId, u64, Vec<u8>)> = entries
+            .iter()
+            .map(|&(p, v)| (p, v, crate::frame::page_payload(p)))
+            .collect();
+        self.send(&Frame::WritebackBatch { seq, pages })?;
+        Ok(seq)
+    }
+
+    /// Begins home-return migration: sends a [`Frame::ReturnRequest`]
+    /// and waits for the deputy's accounting. Frames that arrive in
+    /// between (stale page replies, writeback acks) are returned
+    /// alongside so the caller can process them.
+    pub fn send_return(&mut self, timeout: Duration) -> Result<((u64, u64), Vec<Frame>), RpcError> {
+        self.send(&Frame::ReturnRequest)?;
+        let mut stray = Vec::new();
+        let deadline = Instant::now() + timeout;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match self.recv(remaining)? {
+                Some(Frame::ReturnAck {
+                    stub_pages,
+                    freed_pages,
+                }) => return Ok(((stub_pages, freed_pages), stray)),
+                Some(other) => stray.push(other),
+                None => {
+                    return Err(RpcError::Protocol(format!(
+                        "return-ack unanswered after {timeout:?}"
+                    )))
+                }
+            }
+        }
+    }
+
     /// Forwards a system call and returns its call id.
     pub fn send_syscall(&mut self, work_ns: u64) -> Result<u64, RpcError> {
         let call_id = self.next_call_id;

@@ -27,11 +27,22 @@
 //! | 0x0c | `Error`          | code u16, detail utf-8                         |
 //! | 0x0d | `Bye`            | —                                              |
 //! | 0x0e | `PageBatchReply` | req_id u64, count u32, (page u64, 4096 B) × count |
+//! | 0x0f | `WritebackBatch` | seq u64, count u32, (page u64, version u64, 4096 B) × count |
+//! | 0x10 | `WritebackAck`   | seq u64, applied u32, duplicates u32           |
+//! | 0x11 | `ReturnRequest`  | —                                              |
+//! | 0x12 | `ReturnAck`      | stub_pages u64, freed_pages u64                |
 //!
 //! `PageBatchReply` is the multiplexing deputy's reply batching: pages a
 //! migrant's DRR visit serves together leave as one frame instead of a
 //! run of `PageReply`s. [`MAX_BATCH_PAGES`] bounds the batch so the
 //! frame stays under [`MAX_FRAME_BYTES`].
+//!
+//! The version-4 lifecycle frames travel the other way: `WritebackBatch`
+//! carries dirty-page deltas home (each page tagged with a monotone
+//! version so the deputy's sink applies duplicates idempotently),
+//! `WritebackAck` settles a batch, and `ReturnRequest`/`ReturnAck`
+//! negotiate home-return migration — the ack reports how many pages stay
+//! behind as the remote deputy stub versus free at home immediately.
 //!
 //! Decoding never panics: every malformed input maps onto a typed
 //! [`CodecError`] (the property tests in `tests/prop.rs` fuzz this).
@@ -43,8 +54,10 @@ use ampom_mem::page::{PageId, PAGE_SIZE};
 /// Protocol version spoken by this build; bumped on any frame change.
 /// Version 2 added `PageBatchReply` and the wider `StatsReply`; version
 /// 3 widened `StatsReply` again with the load-shedding counters and
-/// introduced the non-fatal `503 Overloaded` error code.
-pub const WIRE_VERSION: u16 = 3;
+/// introduced the non-fatal `503 Overloaded` error code; version 4 added
+/// the page-lifecycle frames (`WritebackBatch`/`WritebackAck` and
+/// `ReturnRequest`/`ReturnAck`).
+pub const WIRE_VERSION: u16 = 4;
 
 /// `Error` code: the deputy refused the work because it is saturated.
 /// Unlike every other error code this one is **non-fatal** — the
@@ -57,7 +70,7 @@ pub const CODE_OVERLOADED: u16 = 503;
 pub const MAX_BATCH_PAGES: usize = 64;
 
 /// Hard cap on one frame's length field. The largest legitimate frame is
-/// a maximal [`Frame::PageBatchReply`] ([`MAX_BATCH_PAGES`] pages,
+/// a maximal [`Frame::WritebackBatch`] ([`MAX_BATCH_PAGES`] pages,
 /// ~257 KiB); 1 MiB leaves head-room while bounding what a corrupted
 /// length prefix can make the reader allocate.
 pub const MAX_FRAME_BYTES: u32 = 1 << 20;
@@ -235,6 +248,39 @@ pub enum Frame {
         /// `(page id, PAGE_SIZE contents)` pairs.
         pages: Vec<(PageId, Vec<u8>)>,
     },
+    /// Migrant → deputy: one writeback delta batch of dirty pages headed
+    /// home (at most [`MAX_BATCH_PAGES`] pages). Versions are per-page
+    /// monotone counters: the sink applies a page only when its version
+    /// exceeds the last applied one, so retransmitted batches are
+    /// idempotent (exactly-once accounting over at-least-once delivery).
+    WritebackBatch {
+        /// Batch sequence number (echoed by the ack).
+        seq: u64,
+        /// `(page id, version, PAGE_SIZE contents)` triples.
+        pages: Vec<(PageId, u64, Vec<u8>)>,
+    },
+    /// Deputy → migrant: a writeback batch settled.
+    WritebackAck {
+        /// The batch this answers.
+        seq: u64,
+        /// Pages newly applied by this batch.
+        applied: u32,
+        /// Pages skipped as duplicates (version already applied).
+        duplicates: u32,
+    },
+    /// Migrant → deputy: begin home-return migration. The deputy answers
+    /// with [`Frame::ReturnAck`] and keeps serving as the *remote* stub
+    /// for pages the migrant fetched and dirtied but never wrote back.
+    ReturnRequest,
+    /// Deputy → migrant: home-return accounting.
+    ReturnAck {
+        /// Pages that stay behind on the remote node's deputy stub
+        /// (fetched, not written back).
+        stub_pages: u64,
+        /// Pages free at home immediately (never fetched, or fetched and
+        /// then written back).
+        freed_pages: u64,
+    },
 }
 
 impl Frame {
@@ -255,6 +301,10 @@ impl Frame {
             Frame::Error { .. } => 0x0c,
             Frame::Bye => 0x0d,
             Frame::PageBatchReply { .. } => 0x0e,
+            Frame::WritebackBatch { .. } => 0x0f,
+            Frame::WritebackAck { .. } => 0x10,
+            Frame::ReturnRequest => 0x11,
+            Frame::ReturnAck { .. } => 0x12,
         }
     }
 
@@ -321,6 +371,32 @@ impl Frame {
                     out.extend_from_slice(&page.0.to_be_bytes());
                     out.extend_from_slice(data);
                 }
+            }
+            Frame::WritebackBatch { seq, pages } => {
+                out.extend_from_slice(&seq.to_be_bytes());
+                out.extend_from_slice(&(pages.len() as u32).to_be_bytes());
+                for (page, version, data) in pages {
+                    out.extend_from_slice(&page.0.to_be_bytes());
+                    out.extend_from_slice(&version.to_be_bytes());
+                    out.extend_from_slice(data);
+                }
+            }
+            Frame::WritebackAck {
+                seq,
+                applied,
+                duplicates,
+            } => {
+                out.extend_from_slice(&seq.to_be_bytes());
+                out.extend_from_slice(&applied.to_be_bytes());
+                out.extend_from_slice(&duplicates.to_be_bytes());
+            }
+            Frame::ReturnRequest => {}
+            Frame::ReturnAck {
+                stub_pages,
+                freed_pages,
+            } => {
+                out.extend_from_slice(&stub_pages.to_be_bytes());
+                out.extend_from_slice(&freed_pages.to_be_bytes());
             }
             Frame::Error { code, detail } => {
                 out.extend_from_slice(&code.to_be_bytes());
@@ -435,6 +511,38 @@ impl Frame {
                 }
                 Frame::PageBatchReply { req_id, pages }
             }
+            0x0f => {
+                let seq = r.u64()?;
+                let count = r.u32()?;
+                if count as usize > MAX_BATCH_PAGES {
+                    return Err(CodecError::BadCount(count));
+                }
+                let per_page = 8 + 8 + PAGE_SIZE as usize;
+                let need = (count as usize)
+                    .checked_mul(per_page)
+                    .ok_or(CodecError::BadCount(count))?;
+                if r.remaining() != need {
+                    return Err(CodecError::BadCount(count));
+                }
+                let mut pages = Vec::with_capacity(count as usize);
+                for _ in 0..count {
+                    let page = PageId(r.u64()?);
+                    let version = r.u64()?;
+                    let data = r.take(PAGE_SIZE as usize)?.to_vec();
+                    pages.push((page, version, data));
+                }
+                Frame::WritebackBatch { seq, pages }
+            }
+            0x10 => Frame::WritebackAck {
+                seq: r.u64()?,
+                applied: r.u32()?,
+                duplicates: r.u32()?,
+            },
+            0x11 => Frame::ReturnRequest,
+            0x12 => Frame::ReturnAck {
+                stub_pages: r.u64()?,
+                freed_pages: r.u64()?,
+            },
             other => return Err(CodecError::UnknownType(other)),
         };
         // PageReply/Error consume the rest by construction; everything

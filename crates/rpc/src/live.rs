@@ -75,6 +75,9 @@ const SYSCALL_TIMEOUT: Duration = Duration::from_secs(10);
 /// Deadline for a deputy statistics round trip.
 const STATS_TIMEOUT: Duration = Duration::from_secs(2);
 
+/// Deadline for a writeback batch's ack.
+const WRITEBACK_TIMEOUT: Duration = Duration::from_secs(10);
+
 /// Redial attempts per stall-reconnect cycle, paced by
 /// [`RECONNECT_SLEEP`]. Failed cycles re-enter the retry schedule, whose
 /// policy-cycle cap eventually forces the eager fallback.
@@ -660,6 +663,39 @@ impl Transport for LiveTransport {
         }
         // The round trip is measured; the home-node execution is virtual.
         Ok(now + sim_duration(start.elapsed()) + SYSCALL_EXEC_COST + work)
+    }
+
+    fn writeback_batch(
+        &mut self,
+        now: SimTime,
+        seq: u64,
+        entries: &[(PageId, u64)],
+    ) -> Result<(u64, SimTime), AmpomError> {
+        let start = Instant::now();
+        let client = self.client_mut()?;
+        let sent_mark = client.bytes_sent();
+        client
+            .send_writeback(seq, entries)
+            .map_err(AmpomError::from)?;
+        let bytes = self.client_mut()?.bytes_sent() - sent_mark;
+        let deadline = start + WRITEBACK_TIMEOUT;
+        loop {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            let frame = self
+                .client_mut()?
+                .recv(remaining)
+                .map_err(AmpomError::from)?;
+            match frame {
+                Some(Frame::WritebackAck { seq: s, .. }) if s == seq => break,
+                Some(other) => self.handle_frame(other, now)?,
+                None => {
+                    return Err(AmpomError::Transport(format!(
+                        "writeback batch {seq} unacked after {WRITEBACK_TIMEOUT:?}"
+                    )))
+                }
+            }
+        }
+        Ok((bytes, now + sim_duration(start.elapsed())))
     }
 
     fn estimates(&mut self, _now: SimTime) -> NetEstimates {

@@ -63,6 +63,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ampom_mem::page::{PageId, PAGE_SIZE};
+use ampom_mem::writeback::WritebackSink;
 
 use crate::frame::{
     page_payload, Frame, FrameBuffer, WireStats, CODE_OVERLOADED, MAX_BATCH_PAGES, WIRE_VERSION,
@@ -146,6 +147,14 @@ pub struct ServerStats {
     pub shed_events: u64,
     /// `Hello`s deferred by the hysteresis admission gate.
     pub hellos_deferred: u64,
+    /// Writeback batches applied by session sinks (fresh or duplicate).
+    pub writeback_batches: u64,
+    /// Dirty pages newly applied by writeback batches.
+    pub writeback_pages_applied: u64,
+    /// Writeback entries skipped as duplicates (batch- or version-level).
+    pub writeback_duplicates: u64,
+    /// Home-return negotiations answered with a [`Frame::ReturnAck`].
+    pub returns_served: u64,
 }
 
 impl ampom_obs::MetricSource for ServerStats {
@@ -220,6 +229,26 @@ impl ampom_obs::MetricSource for ServerStats {
             "Hellos deferred by the hysteresis admission gate",
             self.hellos_deferred,
         );
+        reg.export_counter(
+            "ampom_writeback_server_batches_total",
+            "Writeback batches applied by session sinks",
+            self.writeback_batches,
+        );
+        reg.export_counter(
+            "ampom_writeback_server_pages_applied_total",
+            "Dirty pages newly applied by writeback batches",
+            self.writeback_pages_applied,
+        );
+        reg.export_counter(
+            "ampom_writeback_server_duplicates_total",
+            "Writeback entries skipped as duplicates",
+            self.writeback_duplicates,
+        );
+        reg.export_counter(
+            "ampom_returns_served_total",
+            "Home-return negotiations answered",
+            self.returns_served,
+        );
     }
 }
 
@@ -240,6 +269,10 @@ struct SharedStats {
     demand_pages_shed: AtomicU64,
     shed_events: AtomicU64,
     hellos_deferred: AtomicU64,
+    writeback_batches: AtomicU64,
+    writeback_pages_applied: AtomicU64,
+    writeback_duplicates: AtomicU64,
+    returns_served: AtomicU64,
 }
 
 impl SharedStats {
@@ -259,6 +292,10 @@ impl SharedStats {
             demand_pages_shed: self.demand_pages_shed.load(Ordering::Relaxed),
             shed_events: self.shed_events.load(Ordering::Relaxed),
             hellos_deferred: self.hellos_deferred.load(Ordering::Relaxed),
+            writeback_batches: self.writeback_batches.load(Ordering::Relaxed),
+            writeback_pages_applied: self.writeback_pages_applied.load(Ordering::Relaxed),
+            writeback_duplicates: self.writeback_duplicates.load(Ordering::Relaxed),
+            returns_served: self.returns_served.load(Ordering::Relaxed),
         }
     }
 
@@ -582,6 +619,12 @@ struct SessionConn {
     /// since then is this session's observed backlog.
     backlog_since: Option<Instant>,
     local: WireStats,
+    /// Idempotent writeback sink: applies dirty-page batches exactly
+    /// once under retransmission (per-page version compare).
+    sink: WritebackSink,
+    /// Every page this session ever served — the "fetched" set the
+    /// home-return accounting partitions into stub vs freed.
+    served_pages: HashSet<PageId>,
     state: ConnState,
 }
 
@@ -610,6 +653,8 @@ impl SessionConn {
             deficit: 0,
             backlog_since: None,
             local: WireStats::default(),
+            sink: WritebackSink::new(),
+            served_pages: HashSet::new(),
             state: ConnState::Open,
         })
     }
@@ -837,12 +882,78 @@ fn handle_frame(
             Frame::StatsReply(ws).encode_into(&mut s.out);
         }
         Frame::Bye => s.state = ConnState::Closing,
+        Frame::WritebackBatch { seq, pages } => {
+            if !s.greeted {
+                Frame::Error {
+                    code: 401,
+                    detail: "writeback before hello".into(),
+                }
+                .encode_into(&mut s.out);
+                s.state = ConnState::Closing;
+                return;
+            }
+            for (page, _, _) in &pages {
+                if page.0 >= s.total_pages {
+                    Frame::Error {
+                        code: 416,
+                        detail: format!("writeback page {page} beyond image ({})", s.total_pages),
+                    }
+                    .encode_into(&mut s.out);
+                    s.state = ConnState::Closing;
+                    return;
+                }
+            }
+            let entries: Vec<(PageId, u64)> = pages.iter().map(|&(p, v, _)| (p, v)).collect();
+            let outcome = s.sink.apply_batch(seq, &entries);
+            stats.writeback_batches.fetch_add(1, Ordering::Relaxed);
+            stats
+                .writeback_pages_applied
+                .fetch_add(u64::from(outcome.applied), Ordering::Relaxed);
+            stats
+                .writeback_duplicates
+                .fetch_add(u64::from(outcome.duplicates), Ordering::Relaxed);
+            Frame::WritebackAck {
+                seq,
+                applied: outcome.applied,
+                duplicates: outcome.duplicates,
+            }
+            .encode_into(&mut s.out);
+        }
+        Frame::ReturnRequest => {
+            if !s.greeted {
+                Frame::Error {
+                    code: 401,
+                    detail: "return before hello".into(),
+                }
+                .encode_into(&mut s.out);
+                s.state = ConnState::Closing;
+                return;
+            }
+            // Home-return accounting over the pages this session served:
+            // a fetched page that was never written back stays behind as
+            // the remote deputy stub; everything else is free at home
+            // (never fetched, or fetched and since written back).
+            let stub_pages = s
+                .served_pages
+                .iter()
+                .filter(|p| s.sink.applied_version(**p) == 0)
+                .count() as u64;
+            let freed_pages = s.total_pages.saturating_sub(stub_pages);
+            stats.returns_served.fetch_add(1, Ordering::Relaxed);
+            Frame::ReturnAck {
+                stub_pages,
+                freed_pages,
+            }
+            .encode_into(&mut s.out);
+        }
         Frame::HelloAck { .. }
         | Frame::PageReply { .. }
         | Frame::PageBatchReply { .. }
         | Frame::SyscallReply { .. }
         | Frame::Pong { .. }
         | Frame::StatsReply(_)
+        | Frame::WritebackAck { .. }
+        | Frame::ReturnAck { .. }
         | Frame::Error { .. } => {
             Frame::Error {
                 code: 400,
@@ -1011,6 +1122,9 @@ fn serve_batch(
     }
     let served_at = Instant::now();
     let served = batch.len() as u64;
+    // Served pages are the "fetched" set the home-return accounting
+    // partitions; re-serves (retries) are already in the set.
+    s.served_pages.extend(batch.iter().map(|&(_, page)| page));
     if batch.len() == 1 {
         let (req_id, page) = batch[0];
         Frame::PageReply {

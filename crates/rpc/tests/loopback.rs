@@ -266,3 +266,111 @@ fn dropped_connections_trigger_stall_reconnect_degradations() {
     assert!(stats.connections > stats.dropped_connections);
     server.shutdown();
 }
+
+/// The full forward half of the page lifecycle over a real socket: a
+/// stores-heavy migrant with background writeback enabled must drain
+/// every dirty page into the deputy's sink by the end of the run.
+#[test]
+fn live_run_with_writeback_drains_every_dirty_page() {
+    use ampom_core::WritebackSpec;
+    use ampom_sim::time::SimDuration;
+    use ampom_workloads::synthetic::SequentialWrite;
+
+    let server = DeputyServer::bind_tcp("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let endpoint = Endpoint::tcp(server.local_addr());
+
+    let mut w = SequentialWrite::new(512, SimDuration::from_micros(5));
+    let cfg = RunConfig::new(Scheme::Ampom).with_writeback(WritebackSpec::default());
+    let live = run_live(&mut w, &cfg, endpoint, &generous()).expect("live run");
+
+    let wb = &live.report.writeback;
+    assert!(wb.writes_noted > 0, "stores must be noted");
+    assert!(wb.batches_sent > 0, "batches must flush");
+    assert_eq!(
+        wb.pages_written_back, wb.writes_noted,
+        "the final drain leaves no page dirty"
+    );
+    assert!(wb.writeback_bytes > 0);
+
+    let stats = server.stats();
+    assert_eq!(stats.writeback_pages_applied, wb.pages_written_back);
+    assert!(stats.writeback_batches >= wb.batches_sent);
+    assert_eq!(stats.writeback_duplicates, 0, "reliable loopback: no dups");
+    server.shutdown();
+}
+
+/// Protocol-level writeback + home-return round trip: duplicate batches
+/// re-ack idempotently (batch- and version-level), and the ReturnAck
+/// partitions the served set into stub (fetched, not written back) and
+/// freed (everything else) pages.
+#[test]
+fn writeback_and_return_round_trip_over_loopback() {
+    use ampom_mem::page::PageId;
+    use ampom_rpc::Frame;
+    use std::time::Duration;
+
+    let server = DeputyServer::bind_tcp("127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut client = ampom_rpc::MigrantClient::connect(Endpoint::tcp(server.local_addr()), 64, 2)
+        .expect("connect");
+
+    // Fetch pages 0..8 so the session's served set is known.
+    let prefetch: Vec<PageId> = (1..8).map(PageId).collect();
+    client
+        .send_request(Some(PageId(0)), &prefetch)
+        .expect("send");
+    let mut served = std::collections::HashSet::new();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while served.len() < 8 {
+        assert!(std::time::Instant::now() < deadline, "pages never arrived");
+        match client.recv(Duration::from_secs(5)).expect("recv") {
+            Some(Frame::PageReply { page, .. }) => {
+                served.insert(page);
+            }
+            Some(Frame::PageBatchReply { pages, .. }) => {
+                served.extend(pages.into_iter().map(|(p, _)| p));
+            }
+            other => panic!("unexpected frame: {other:?}"),
+        }
+    }
+
+    let wait_ack = |client: &mut ampom_rpc::MigrantClient, seq: u64| match client
+        .recv(Duration::from_secs(5))
+        .expect("recv")
+    {
+        Some(Frame::WritebackAck {
+            seq: s,
+            applied,
+            duplicates,
+        }) if s == seq => (applied, duplicates),
+        Some(other) => panic!("unexpected frame: {other:?}"),
+        None => panic!("writeback ack timed out"),
+    };
+
+    // Write back pages 0..4 at version 1.
+    let entries: Vec<(PageId, u64)> = (0..4).map(|p| (PageId(p), 1)).collect();
+    client.send_writeback(1, &entries).expect("writeback");
+    assert_eq!(wait_ack(&mut client, 1), (4, 0), "fresh batch applies");
+
+    // The same sequence again: a retransmit, recognised wholesale.
+    client.send_writeback(1, &entries).expect("retransmit");
+    assert_eq!(wait_ack(&mut client, 1), (0, 4), "duplicate seq re-acks");
+
+    // A new sequence carrying already-applied versions: the per-page
+    // version compare skips every entry (the post-restart replay path).
+    client.send_writeback(2, &entries).expect("replay");
+    assert_eq!(wait_ack(&mut client, 2), (0, 4), "stale versions skipped");
+
+    // Home return: pages 4..8 were fetched but never written back, so
+    // they stay behind as the deputy stub; the other 60 of 64 are free.
+    let ((stub, freed), stray) = client.send_return(Duration::from_secs(5)).expect("return");
+    assert!(stray.is_empty(), "unexpected strays: {stray:?}");
+    assert_eq!(stub, 4, "fetched-but-dirty pages stay behind");
+    assert_eq!(freed, 60, "never-fetched and written-back pages are free");
+
+    let stats = server.stats();
+    assert_eq!(stats.returns_served, 1);
+    assert_eq!(stats.writeback_pages_applied, 4);
+    assert_eq!(stats.writeback_duplicates, 8);
+    drop(client);
+    server.shutdown();
+}

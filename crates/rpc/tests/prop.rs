@@ -19,7 +19,7 @@ use ampom_sim::propcheck::{forall, Gen};
 
 /// One arbitrary frame of any type.
 fn arbitrary_frame(g: &mut Gen) -> Frame {
-    match g.u64(0..14) {
+    match g.u64(0..18) {
         0 => Frame::Hello {
             version: g.u64(0..u64::from(u16::MAX) + 1) as u16,
             total_pages: g.u64(0..u64::MAX),
@@ -99,6 +99,28 @@ fn arbitrary_frame(g: &mut Gen) -> Frame {
                     })
                     .collect()
             },
+        },
+        13 => Frame::WritebackBatch {
+            seq: g.u64(0..u64::MAX),
+            pages: {
+                let n = g.usize(0..MAX_BATCH_PAGES + 1);
+                (0..n)
+                    .map(|_| {
+                        let page = PageId(g.u64(0..1 << 32));
+                        (page, g.u64(1..1 << 20), page_payload(page))
+                    })
+                    .collect()
+            },
+        },
+        14 => Frame::WritebackAck {
+            seq: g.u64(0..u64::MAX),
+            applied: g.u64(0..u64::from(u32::MAX) + 1) as u32,
+            duplicates: g.u64(0..u64::from(u32::MAX) + 1) as u32,
+        },
+        15 => Frame::ReturnRequest,
+        16 => Frame::ReturnAck {
+            stub_pages: g.u64(0..u64::MAX),
+            freed_pages: g.u64(0..u64::MAX),
         },
         _ => Frame::Bye,
     }
@@ -334,11 +356,62 @@ fn coalescing_never_drops_or_duplicates_pages() {
 }
 
 #[test]
+fn writeback_batch_count_cap_is_a_typed_error() {
+    // The lifecycle batch has the same count-cap discipline as the page
+    // batch: a bogus count is refused before any allocation it sizes.
+    let page = PageId(4);
+    let mut wire = Frame::WritebackBatch {
+        seq: 6,
+        pages: vec![(page, 1, page_payload(page))],
+    }
+    .encode();
+    // count lives right after [len:4][type:1][seq:8]
+    let bogus = (MAX_BATCH_PAGES + 1) as u32;
+    wire[13..17].copy_from_slice(&bogus.to_be_bytes());
+    assert_eq!(
+        Frame::decode(&wire[LENGTH_PREFIX_BYTES..]),
+        Err(CodecError::BadCount(bogus))
+    );
+
+    let mut wire = Frame::WritebackBatch {
+        seq: 6,
+        pages: vec![(page, 1, page_payload(page))],
+    }
+    .encode();
+    wire[13..17].copy_from_slice(&2u32.to_be_bytes());
+    assert_eq!(
+        Frame::decode(&wire[LENGTH_PREFIX_BYTES..]),
+        Err(CodecError::BadCount(2))
+    );
+}
+
+#[test]
+fn truncated_writeback_batches_error_without_panicking() {
+    forall("writeback truncation", 200, |g| {
+        let n = g.usize(1..9);
+        let pages: Vec<(PageId, u64, Vec<u8>)> = (0..n)
+            .map(|_| {
+                let page = PageId(g.u64(0..1 << 20));
+                (page, g.u64(1..100), page_payload(page))
+            })
+            .collect();
+        let wire = Frame::WritebackBatch { seq: 1, pages }.encode();
+        let body = &wire[LENGTH_PREFIX_BYTES..];
+        let cut = g.usize(0..body.len());
+        assert!(
+            Frame::decode(&body[..cut]).is_err(),
+            "truncated writeback batch decoded"
+        );
+    });
+}
+
+#[test]
 fn version_constant_is_stable() {
     // Bumping WIRE_VERSION is a protocol break; this test makes the bump
     // a conscious edit. Version 2 added PageBatchReply and widened
     // StatsReply with the coalescing counters; version 3 widened
     // StatsReply with the shed/admission counters and made 503 the one
-    // non-fatal error code.
-    assert_eq!(WIRE_VERSION, 3);
+    // non-fatal error code; version 4 added the page-lifecycle frames
+    // (WritebackBatch/WritebackAck, ReturnRequest/ReturnAck).
+    assert_eq!(WIRE_VERSION, 4);
 }

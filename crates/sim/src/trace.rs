@@ -59,6 +59,15 @@ pub enum TraceKind {
     /// Live transport: an overloaded deputy shed prefetch pages (a
     /// non-fatal 503) and the client reverted them to the origin.
     LiveShed,
+    /// A writeback delta batch left the migrant for the home node.
+    WritebackFlush,
+    /// A writeback batch (or its ack) was presumed lost and resent.
+    WritebackRetransmit,
+    /// The home-return migration froze the process on the remote node.
+    ReturnFreeze,
+    /// Pages that never left the home node (or whose contents were
+    /// written back) became resident for free after the return.
+    PagesFreedAtHome,
     /// Free-form annotation.
     Note,
 }
@@ -83,6 +92,10 @@ impl TraceKind {
             TraceKind::LiveRetry => "live-retry",
             TraceKind::LiveReconnect => "live-reconnect",
             TraceKind::LiveShed => "live-shed",
+            TraceKind::WritebackFlush => "writeback-flush",
+            TraceKind::WritebackRetransmit => "writeback-retransmit",
+            TraceKind::ReturnFreeze => "return-freeze",
+            TraceKind::PagesFreedAtHome => "pages-freed-at-home",
             TraceKind::Note => "note",
         }
     }

@@ -63,6 +63,59 @@ impl Workload for Sequential {
     }
 }
 
+/// A sequential sweep of *stores*: pages `0, 1, 2, …`, each written —
+/// the dirty-page-maximising counterpart of [`Sequential`] (a STREAM
+/// fill pass). Every page it touches must eventually travel home, which
+/// makes it the canonical driver for writeback and page-lifecycle
+/// experiments.
+#[derive(Debug)]
+pub struct SequentialWrite {
+    layout: MemoryLayout,
+    pages: u64,
+    cpu: SimDuration,
+    next: u64,
+}
+
+impl SequentialWrite {
+    /// Writes `pages` pages once, spending `cpu` per store.
+    pub fn new(pages: u64, cpu: SimDuration) -> Self {
+        assert!(pages > 0);
+        SequentialWrite {
+            layout: MemoryLayout::with_data_bytes(pages * ampom_mem::PAGE_SIZE),
+            pages,
+            cpu,
+            next: 0,
+        }
+    }
+}
+
+impl Iterator for SequentialWrite {
+    type Item = MemRef;
+    fn next(&mut self) -> Option<MemRef> {
+        if self.next >= self.pages {
+            return None;
+        }
+        let page = self.layout.data_start().offset(self.next);
+        self.next += 1;
+        Some(MemRef::write(page, self.cpu))
+    }
+}
+
+impl Workload for SequentialWrite {
+    fn name(&self) -> &'static str {
+        "SequentialWrite"
+    }
+    fn layout(&self) -> &MemoryLayout {
+        &self.layout
+    }
+    fn data_bytes(&self) -> u64 {
+        self.pages * ampom_mem::PAGE_SIZE
+    }
+    fn total_refs_hint(&self) -> u64 {
+        self.pages
+    }
+}
+
 /// `k` interleaved sequential streams at distant bases — the pattern of
 /// STREAM's arrays and the §3.2 worked example `{10,99,11,34,12,85}`.
 #[derive(Debug)]
