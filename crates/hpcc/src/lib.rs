@@ -45,11 +45,19 @@
 //! breakdowns, conservation verdicts, JSONL facts and a
 //! `BENCH_lifecycle.json` perf fact.
 //!
+//! The [`deputybench`] module backs `hpcc-repro deputybench`: a C10K
+//! session sweep against one loopback deputy in both wait modes
+//! (readiness-driven reactor vs the sleep-poll scan it replaced) —
+//! pages/s, completion-latency tails, idle-CPU cost, an exactly-once
+//! page audit, JSONL facts and the committed `BENCH_deputy.json` fact
+//! with a `--baseline` regression gate.
+//!
 //! The `hpcc-repro` binary drives these; see `hpcc-repro --help`.
 
 pub mod bakeoff;
 pub mod chaos_cmd;
 pub mod checks;
+pub mod deputybench;
 pub mod experiments;
 pub mod extensions;
 pub mod lifecycle_cmd;

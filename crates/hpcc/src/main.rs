@@ -44,6 +44,9 @@
 //!   lifecycle bidirectional page lifecycle (out -> dirty -> writeback ->
 //!             return): size x link-condition panel, live loopback leg,
 //!             JSONL facts, BENCH_lifecycle.json
+//!   deputybench C10K session sweep against one loopback deputy, reactor
+//!             vs sleep-poll wait modes: pages/s, p99 completion latency,
+//!             idle CPU, exactly-once audit, BENCH_deputy.json
 //!
 //! Options:
 //!   --quick   tiny problem sizes (seconds instead of minutes)
@@ -61,6 +64,12 @@
 //!                    (default ./BENCH_chaos.json)
 //!                    lifecycle: write BENCH_lifecycle.json to PATH
 //!                    (default ./BENCH_lifecycle.json)
+//!                    deputybench: write BENCH_deputy.json to PATH
+//!                    (default ./BENCH_deputy.json)
+//!   --sessions LIST  deputybench: comma-separated session panel
+//!                    (default 64,256,1000 quick; +4000,10000 full)
+//!   --baseline PATH  deputybench: compare against a committed
+//!                    BENCH_deputy.json; >20% pages/s regression fails
 //!
 //! `chaos` and `lifecycle` seed their fault plans from the
 //! `AMPOM_FAULT_SEED` environment variable (default 42), matching the CI
@@ -74,7 +83,7 @@ use ampom_core::migration::Scheme;
 use ampom_hpcc::matrix::{full_matrix, Cell};
 use ampom_hpcc::profile::{self, ProfileOptions};
 use ampom_hpcc::report::AsciiTable;
-use ampom_hpcc::{chaos_cmd, checks, experiments, extensions, lifecycle_cmd, live};
+use ampom_hpcc::{chaos_cmd, checks, deputybench, experiments, extensions, lifecycle_cmd, live};
 use ampom_workloads::Kernel;
 
 struct Options {
@@ -87,6 +96,8 @@ struct Options {
     prom_path: Option<PathBuf>,
     scenarios: Vec<String>,
     bench_path: Option<PathBuf>,
+    sessions: Option<Vec<usize>>,
+    baseline_path: Option<PathBuf>,
 }
 
 fn parse_kernel(name: &str) -> Kernel {
@@ -125,6 +136,8 @@ fn parse_args() -> Options {
     let mut prom_path = None;
     let mut scenarios = Vec::new();
     let mut bench_path = None;
+    let mut sessions = None;
+    let mut baseline_path = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -158,6 +171,23 @@ fn parse_args() -> Options {
             "--bench" => {
                 bench_path = Some(PathBuf::from(args.next().expect("--bench requires a path")));
             }
+            "--sessions" => {
+                let list = args.next().expect("--sessions requires a comma list");
+                sessions = Some(
+                    list.split(',')
+                        .map(|s| {
+                            s.trim()
+                                .parse()
+                                .expect("--sessions requires integers, e.g. 64,256,1000")
+                        })
+                        .collect(),
+                );
+            }
+            "--baseline" => {
+                baseline_path = Some(PathBuf::from(
+                    args.next().expect("--baseline requires a path"),
+                ));
+            }
             "--top" => {
                 prof.top = args
                     .next()
@@ -168,10 +198,10 @@ fn parse_args() -> Options {
             "--help" | "-h" => {
                 println!(
                     "hpcc-repro [all|table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|\
-                     ext-vm|ext-cluster|ext-ptrans|ext-interactive|ext-roundtrip|ext-syscall|ext-pressure|ext-hpl|ext-locality|ext-timing|ext-gossip|ext-accuracy|parsweep|faultsweep|timeline|check|sweep|live|calibrate|profile|multisweep|bakeoff|chaos|lifecycle] \
+                     ext-vm|ext-cluster|ext-ptrans|ext-interactive|ext-roundtrip|ext-syscall|ext-pressure|ext-hpl|ext-locality|ext-timing|ext-gossip|ext-accuracy|parsweep|faultsweep|timeline|check|sweep|live|calibrate|profile|multisweep|bakeoff|chaos|lifecycle|deputybench] \
                      [--quick] [--csv DIR] [--loopback|--endpoint ADDR] \
                      [--kernel K] [--scheme S] [--json PATH] [--prom PATH] [--top K] \
-                     [--scenario NAME] [--bench PATH]"
+                     [--scenario NAME] [--bench PATH] [--sessions LIST] [--baseline PATH]"
                 );
                 std::process::exit(0);
             }
@@ -193,6 +223,8 @@ fn parse_args() -> Options {
         prom_path,
         scenarios,
         bench_path,
+        sessions,
+        baseline_path,
     }
 }
 
@@ -409,6 +441,85 @@ fn run_lifecycle_command(opts: &Options) {
     }
 }
 
+fn run_deputybench_command(opts: &Options) {
+    let bench_opts = deputybench::DeputyBenchOptions {
+        sessions: opts.sessions.clone(),
+        quick: opts.quick,
+        ..deputybench::DeputyBenchOptions::default()
+    };
+    eprintln!(
+        "running the deputy saturation sweep ({} mode), seed {}...",
+        if opts.quick { "quick" } else { "full" },
+        bench_opts.seed
+    );
+    let run = match deputybench::run_deputybench(&bench_opts) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("deputybench failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    emit(&deputybench::deputybench_table(&run), opts, "deputybench");
+
+    // Self-verification before anything is persisted: the facts must
+    // parse back and the exactly-once audit must hold for every cell.
+    if let Err(e) = deputybench::verify_facts(&run.jsonl) {
+        eprintln!("deputybench facts self-verification FAILED: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "facts self-verification OK: {} JSONL lines, schema v{}",
+        run.jsonl.lines().count(),
+        deputybench::FACTS_SCHEMA
+    );
+
+    if let Some(path) = &opts.json_path {
+        if let Err(e) = chaos_cmd::append_artifact(path, &run.jsonl) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+        println!(
+            "appended {} JSONL fact lines to {}",
+            run.jsonl.lines().count(),
+            path.display()
+        );
+    }
+    if let Some(path) = &opts.prom_path {
+        if let Err(e) = profile::write_artifact(path, &run.prometheus) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+        println!("wrote metrics dump to {}", path.display());
+    } else {
+        println!("{}", run.prometheus);
+    }
+    if let Some(path) = &opts.baseline_path {
+        let committed = match std::fs::read_to_string(path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("could not read baseline {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        };
+        match deputybench::check_baseline(&run.bench_json, &committed) {
+            Ok(summary) => println!("baseline check OK: {summary}"),
+            Err(e) => {
+                eprintln!("baseline check FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let path = opts
+        .bench_path
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("BENCH_deputy.json"));
+    if let Err(e) = profile::write_artifact(&path, &run.bench_json) {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
+    println!("wrote deputy bench fact to {}", path.display());
+}
+
 fn main() {
     let opts = parse_args();
     let wants = |name: &str| opts.command == "all" || opts.command == name;
@@ -615,6 +726,10 @@ fn main() {
     }
     if opts.command == "lifecycle" {
         run_lifecycle_command(&opts);
+        ran = true;
+    }
+    if opts.command == "deputybench" {
+        run_deputybench_command(&opts);
         ran = true;
     }
     if !ran {

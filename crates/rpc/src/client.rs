@@ -249,6 +249,55 @@ impl MigrantClient {
         }
     }
 
+    /// Switches the socket's blocking mode. The `deputybench` driver
+    /// multiplexes thousands of clients through one poll loop, so it
+    /// flips them all non-blocking and consumes replies via
+    /// [`MigrantClient::try_recv`]; the blocking verbs above assume the
+    /// default blocking mode.
+    pub fn set_nonblocking(&mut self, on: bool) -> Result<(), RpcError> {
+        self.stream.set_nonblocking(on)?;
+        Ok(())
+    }
+
+    /// The raw socket descriptor, for registering with a
+    /// [`Poller`](crate::poll::Poller).
+    #[cfg(unix)]
+    pub fn as_raw_fd(&self) -> std::os::unix::io::RawFd {
+        match &self.stream {
+            Stream::Tcp(s) => {
+                use std::os::unix::io::AsRawFd;
+                s.as_raw_fd()
+            }
+            Stream::Unix(s) => {
+                use std::os::unix::io::AsRawFd;
+                s.as_raw_fd()
+            }
+        }
+    }
+
+    /// Non-blocking receive: returns an already-buffered frame or reads
+    /// whatever the socket has. `Ok(None)` means no complete frame is
+    /// available yet. The socket must be in non-blocking mode
+    /// ([`MigrantClient::set_nonblocking`]) — on a blocking socket this
+    /// degenerates to a blocking read.
+    pub fn try_recv(&mut self) -> Result<Option<Frame>, RpcError> {
+        loop {
+            if let Some(frame) = self.fb.pop()? {
+                return Ok(Some(frame));
+            }
+            match self.stream.read(&mut self.read_buf) {
+                Ok(0) => return Err(RpcError::Disconnected),
+                Ok(n) => {
+                    self.bytes_received += n as u64;
+                    self.fb.extend(&self.read_buf[..n]);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(None),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(RpcError::Io(e)),
+            }
+        }
+    }
+
     /// Drains every frame already available without blocking.
     pub fn drain(&mut self) -> Result<Vec<Frame>, RpcError> {
         let mut frames = Vec::new();

@@ -671,6 +671,20 @@ impl<'a> Reader<'a> {
 /// Lets the client spot payload corruption without a real memory image.
 pub fn page_payload(page: PageId) -> Vec<u8> {
     let mut data = vec![0u8; PAGE_SIZE as usize];
+    page_payload_into(page, &mut data);
+    data
+}
+
+/// [`page_payload`] without the allocation: fills `data` (exactly one
+/// page) in place. The serving path synthesizes payloads directly into
+/// pooled outbound segments through this, so a busy deputy allocates
+/// nothing per page after warm-up.
+pub fn page_payload_into(page: PageId, data: &mut [u8]) {
+    assert_eq!(
+        data.len() as u64,
+        PAGE_SIZE,
+        "payload buffer is not one page"
+    );
     data[..8].copy_from_slice(&page.0.to_be_bytes());
     let mut x = page.0 ^ 0x9e37_79b9_7f4a_7c15;
     for chunk in data[8..].chunks_mut(8) {
@@ -682,7 +696,56 @@ pub fn page_payload(page: PageId) -> Vec<u8> {
         let bytes = z.to_be_bytes();
         chunk.copy_from_slice(&bytes[..chunk.len()]);
     }
-    data
+}
+
+/// Whether `data` is a well-formed serve of `page`: exactly one page
+/// long and tagged with the page id in its first 8 bytes. Both client
+/// validation paths share this so they cannot drift.
+pub fn payload_matches(page: PageId, data: &[u8]) -> bool {
+    data.len() as u64 == PAGE_SIZE && data[..8] == page.0.to_be_bytes()
+}
+
+/// Appends an encoded [`Frame::PageReply`] for `page` to `out`, with the
+/// payload synthesized in place — byte-identical to
+/// `Frame::PageReply { req_id, page, data: page_payload(page) }.encode_into(out)`
+/// but with no intermediate per-page allocation.
+pub fn encode_page_reply_into(req_id: u64, page: PageId, out: &mut Vec<u8>) {
+    let len_at = out.len();
+    out.extend_from_slice(&[0u8; LENGTH_PREFIX_BYTES]);
+    out.push(0x05);
+    out.extend_from_slice(&req_id.to_be_bytes());
+    out.extend_from_slice(&page.0.to_be_bytes());
+    let data_at = out.len();
+    out.resize(data_at + PAGE_SIZE as usize, 0);
+    page_payload_into(page, &mut out[data_at..]);
+    let body = (out.len() - len_at - LENGTH_PREFIX_BYTES) as u32;
+    out[len_at..len_at + LENGTH_PREFIX_BYTES].copy_from_slice(&body.to_be_bytes());
+}
+
+/// Appends an encoded [`Frame::PageBatchReply`] to `out`, payloads
+/// synthesized in place. `batch` entries are the pending queue's
+/// `(req_id, page)` pairs; the frame's request id is the first entry's,
+/// exactly as the DRR serving path batches. At most [`MAX_BATCH_PAGES`]
+/// entries, at least one.
+pub fn encode_page_batch_reply_into(batch: &[(u64, PageId)], out: &mut Vec<u8>) {
+    assert!(
+        !batch.is_empty() && batch.len() <= MAX_BATCH_PAGES,
+        "batch of {} pages (bounds: 1..={MAX_BATCH_PAGES})",
+        batch.len()
+    );
+    let len_at = out.len();
+    out.extend_from_slice(&[0u8; LENGTH_PREFIX_BYTES]);
+    out.push(0x0e);
+    out.extend_from_slice(&batch[0].0.to_be_bytes());
+    out.extend_from_slice(&(batch.len() as u32).to_be_bytes());
+    for &(_, page) in batch {
+        out.extend_from_slice(&page.0.to_be_bytes());
+        let data_at = out.len();
+        out.resize(data_at + PAGE_SIZE as usize, 0);
+        page_payload_into(page, &mut out[data_at..]);
+    }
+    let body = (out.len() - len_at - LENGTH_PREFIX_BYTES) as u32;
+    out[len_at..len_at + LENGTH_PREFIX_BYTES].copy_from_slice(&body.to_be_bytes());
 }
 
 #[cfg(test)]
@@ -739,5 +802,37 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(&a[..8], &42u64.to_be_bytes());
         assert_ne!(a, page_payload(PageId(43)));
+        assert!(payload_matches(PageId(42), &a));
+        assert!(!payload_matches(PageId(43), &a), "wrong tag");
+        assert!(!payload_matches(PageId(42), &a[..100]), "wrong size");
+    }
+
+    #[test]
+    fn allocation_free_reply_encoders_match_frame_encode() {
+        let page = PageId(97);
+        let mut direct = Vec::new();
+        encode_page_reply_into(11, page, &mut direct);
+        let via_frame = Frame::PageReply {
+            req_id: 11,
+            page,
+            data: page_payload(page),
+        }
+        .encode();
+        assert_eq!(direct, via_frame);
+
+        let batch: Vec<(u64, PageId)> = vec![(5, PageId(0)), (6, PageId(3)), (5, PageId(900))];
+        let mut direct = Vec::new();
+        encode_page_batch_reply_into(&batch, &mut direct);
+        let via_frame = Frame::PageBatchReply {
+            req_id: 5,
+            pages: batch.iter().map(|&(_, p)| (p, page_payload(p))).collect(),
+        }
+        .encode();
+        assert_eq!(direct, via_frame, "batch encoder drifted from the codec");
+
+        // Appending after existing bytes leaves them untouched.
+        let mut tail = vec![0xAAu8; 7];
+        encode_page_reply_into(1, PageId(1), &mut tail);
+        assert_eq!(&tail[..7], &[0xAA; 7]);
     }
 }

@@ -7,7 +7,10 @@
 //! * [`frame`] — the length-prefixed binary frame codec (one frame type
 //!   per simulated message type, big-endian, typed decode errors),
 //! * [`server`] — [`DeputyServer`]: the home-node deputy as a bounded
-//!   thread pool over TCP or Unix-domain sockets,
+//!   pool of readiness-driven reactor shards over TCP or Unix-domain
+//!   sockets,
+//! * [`poll`] — the std-only `poll(2)` readiness wait the reactor (and
+//!   the `deputybench` load driver) park in,
 //! * [`client`] — [`MigrantClient`]: connection, handshake, frame I/O
 //!   and reconnection for the migrant side,
 //! * [`live`] — [`LiveTransport`]: plugs the client into
@@ -27,6 +30,7 @@ pub mod calibrate;
 pub mod client;
 pub mod frame;
 pub mod live;
+pub mod poll;
 pub mod server;
 
 use std::fmt;
@@ -38,6 +42,9 @@ pub use client::{Endpoint, MigrantClient};
 pub use frame::{CodecError, Frame, FrameBuffer, WireStats, MAX_FRAME_BYTES, WIRE_VERSION};
 pub use live::{run_live, LiveOptions, LiveReport, LiveTransport};
 pub use server::{DeputyServer, PendingQueue, ServerConfig, ServerStats};
+
+#[cfg(unix)]
+pub use poll::Poller;
 
 /// A failure of the live transport machinery.
 ///

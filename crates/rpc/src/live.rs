@@ -196,7 +196,7 @@ impl LiveTransport {
     /// a retry's resend, or a page already installed) are suppressed —
     /// installs stay idempotent, exactly as in the simulated protocol.
     fn note_reply(&mut self, page: PageId, data: &[u8]) -> Result<(), AmpomError> {
-        if data.len() as u64 != PAGE_SIZE || data[..8] != page.0.to_be_bytes() {
+        if !crate::frame::payload_matches(page, data) {
             return Err(AmpomError::Transport(format!(
                 "payload for page {page} is corrupt"
             )));
@@ -813,7 +813,7 @@ pub(crate) fn fetch_all(client: &mut MigrantClient, pages: &[PageId]) -> Result<
                     missing: &mut HashSet<PageId>,
                     dupes: &mut u64|
          -> Result<(), RpcError> {
-            if data[..8] != page.0.to_be_bytes() {
+            if !crate::frame::payload_matches(page, data) {
                 return Err(RpcError::Protocol(format!(
                     "payload for page {page} is corrupt"
                 )));

@@ -1,0 +1,236 @@
+//! A std-only readiness-wait abstraction over `poll(2)`.
+//!
+//! The deputy reactor ([`crate::server`]) and the `deputybench` load
+//! driver both need one thing the standard library does not expose:
+//! *block until any of N sockets is ready*. Rather than pull in a
+//! dependency, this module declares the single libc symbol required —
+//! `poll(2)`, which every Unix libc exports and which std already links
+//! against — behind a safe, reusable [`Poller`].
+//!
+//! The contract is level-triggered, exactly as `poll(2)` behaves: a
+//! descriptor with unread bytes (or writable buffer space, when write
+//! interest was registered) reports ready on every call until the
+//! condition is drained, so a caller that misses work one pass sees it
+//! again on the next. `POLLERR`/`POLLHUP` are folded into readiness —
+//! the subsequent read or write surfaces the actual error, which keeps
+//! callers on the ordinary I/O error path.
+//!
+//! On non-Unix targets [`SUPPORTED`] is `false` and the reactor falls
+//! back to the portable sleep-poll loop; this module still compiles (as
+//! an empty shell) so callers can gate on the constant instead of on
+//! `cfg` attributes.
+
+/// Whether readiness waits are available on this target. When `false`,
+/// [`Poller`] is not defined and callers must use their sleep-poll
+/// fallback path.
+pub const SUPPORTED: bool = cfg!(unix);
+
+#[cfg(unix)]
+pub use imp::Poller;
+
+#[cfg(unix)]
+mod imp {
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    /// Mirrors `struct pollfd`: identical layout on every Unix ABI.
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: RawFd,
+        events: i16,
+        revents: i16,
+    }
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+    const POLLNVAL: i16 = 0x020;
+
+    /// `nfds_t`: `unsigned long` on glibc/musl, `unsigned int` on the
+    /// BSD-family libcs.
+    #[cfg(target_os = "linux")]
+    type Nfds = std::os::raw::c_ulong;
+    #[cfg(not(target_os = "linux"))]
+    type Nfds = std::os::raw::c_uint;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: Nfds, timeout: std::os::raw::c_int) -> std::os::raw::c_int;
+    }
+
+    /// A reusable registration set for one `poll(2)` call. The caller
+    /// re-registers its descriptors before every wait (interest changes
+    /// pass to pass — e.g. write interest only while output is queued),
+    /// and the backing vector is recycled so steady state allocates
+    /// nothing.
+    #[derive(Debug, Default)]
+    pub struct Poller {
+        fds: Vec<PollFd>,
+    }
+
+    impl std::fmt::Debug for PollFd {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_struct("PollFd")
+                .field("fd", &self.fd)
+                .field("events", &self.events)
+                .field("revents", &self.revents)
+                .finish()
+        }
+    }
+
+    impl Poller {
+        /// An empty set.
+        pub fn new() -> Self {
+            Poller::default()
+        }
+
+        /// Drops every registration, keeping the allocation.
+        pub fn clear(&mut self) {
+            self.fds.clear();
+        }
+
+        /// Registers `fd` and returns its slot index (the index
+        /// [`Poller::readable`]/[`Poller::writable`] answer for). A
+        /// registration with neither interest still reports errors and
+        /// hangups.
+        pub fn push(&mut self, fd: RawFd, read: bool, write: bool) -> usize {
+            let mut events = 0i16;
+            if read {
+                events |= POLLIN;
+            }
+            if write {
+                events |= POLLOUT;
+            }
+            self.fds.push(PollFd {
+                fd,
+                events,
+                revents: 0,
+            });
+            self.fds.len() - 1
+        }
+
+        /// Registered descriptors.
+        pub fn len(&self) -> usize {
+            self.fds.len()
+        }
+
+        /// Whether nothing is registered.
+        pub fn is_empty(&self) -> bool {
+            self.fds.is_empty()
+        }
+
+        /// Blocks until at least one registered descriptor is ready or
+        /// `timeout` elapses; returns how many are ready (0 on timeout).
+        /// `EINTR` counts as a timeout — callers loop anyway. An empty
+        /// set sleeps for the full timeout (kernel semantics).
+        pub fn wait(&mut self, timeout: Duration) -> io::Result<usize> {
+            for e in &mut self.fds {
+                e.revents = 0;
+            }
+            let ms = timeout.as_millis().min(i32::MAX as u128) as i32;
+            if self.fds.is_empty() {
+                // poll(NULL, 0, ms) is legal but pointless; sleep keeps
+                // the contract without the FFI edge case.
+                std::thread::sleep(timeout);
+                return Ok(0);
+            }
+            let rc = unsafe { poll(self.fds.as_mut_ptr(), self.fds.len() as Nfds, ms) };
+            if rc < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(0);
+                }
+                return Err(err);
+            }
+            Ok(rc as usize)
+        }
+
+        /// Whether slot `idx` is ready for reading after the last wait.
+        /// Errors, hangups and invalid descriptors report ready so the
+        /// caller's next read surfaces the condition.
+        pub fn readable(&self, idx: usize) -> bool {
+            let r = self.fds[idx].revents;
+            r & (POLLIN | POLLERR | POLLHUP | POLLNVAL) != 0
+        }
+
+        /// Whether slot `idx` is ready for writing after the last wait
+        /// (errors and hangups included, as for [`Poller::readable`]).
+        pub fn writable(&self, idx: usize) -> bool {
+            let r = self.fds[idx].revents;
+            r & (POLLOUT | POLLERR | POLLHUP | POLLNVAL) != 0
+        }
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::Poller;
+    use std::io::{Read, Write};
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn reports_readable_only_after_bytes_arrive() {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        let mut p = Poller::new();
+
+        p.clear();
+        let slot = p.push(b.as_raw_fd(), true, false);
+        let ready = p.wait(Duration::from_millis(0)).unwrap();
+        assert_eq!(ready, 0, "no bytes yet");
+        assert!(!p.readable(slot));
+
+        a.write_all(b"ping").unwrap();
+        p.clear();
+        let slot = p.push(b.as_raw_fd(), true, false);
+        let ready = p.wait(Duration::from_secs(5)).unwrap();
+        assert_eq!(ready, 1);
+        assert!(p.readable(slot), "bytes pending: level-triggered ready");
+
+        // Level-triggered: still ready until drained.
+        p.clear();
+        let slot = p.push(b.as_raw_fd(), true, false);
+        assert!(p.wait(Duration::from_millis(0)).unwrap() >= 1);
+        assert!(p.readable(slot));
+        let mut sink = [0u8; 8];
+        let n = (&b).read(&mut sink).unwrap();
+        assert_eq!(n, 4);
+        p.clear();
+        let slot = p.push(b.as_raw_fd(), true, false);
+        assert_eq!(p.wait(Duration::from_millis(0)).unwrap(), 0);
+        assert!(!p.readable(slot));
+    }
+
+    #[test]
+    fn writable_socket_and_hangup_report_ready() {
+        let (a, b) = UnixStream::pair().unwrap();
+        let mut p = Poller::new();
+        let w = p.push(a.as_raw_fd(), false, true);
+        assert!(p.wait(Duration::from_millis(0)).unwrap() >= 1);
+        assert!(p.writable(w), "fresh socket has buffer space");
+
+        drop(b);
+        p.clear();
+        let slot = p.push(a.as_raw_fd(), true, false);
+        assert!(p.wait(Duration::from_secs(5)).unwrap() >= 1);
+        assert!(p.readable(slot), "peer hangup folds into readable");
+    }
+
+    #[test]
+    fn timeout_bounds_the_wait() {
+        let (_a, b) = UnixStream::pair().unwrap();
+        let mut p = Poller::new();
+        p.push(b.as_raw_fd(), true, false);
+        let start = Instant::now();
+        assert_eq!(p.wait(Duration::from_millis(20)).unwrap(), 0);
+        let waited = start.elapsed();
+        assert!(
+            waited >= Duration::from_millis(15),
+            "returned early: {waited:?}"
+        );
+        assert!(waited < Duration::from_secs(2), "overslept: {waited:?}");
+    }
+}

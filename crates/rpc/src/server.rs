@@ -51,14 +51,40 @@
 //! For fault-injection tests, [`ServerConfig::drop_after_pages`] makes
 //! each connection die abruptly after serving that many pages — the
 //! live equivalent of `DowntimeSchedule`'s deputy crash.
+//!
+//! ## The reactor
+//!
+//! Each worker is a *reactor shard*: it owns its sessions outright (no
+//! cross-worker locks on the hot path — the listener itself is shared,
+//! but `accept(2)` is its own synchronization) and, where the platform
+//! supports it, parks in a [`crate::poll`] readiness wait across the
+//! listener plus every session socket instead of the portable 1 ms
+//! sleep-poll scan. Idle shards burn no CPU and wake the instant bytes
+//! arrive; busy shards only issue read syscalls for sockets the kernel
+//! reported readable. Outbound bytes queue as pooled segments and leave
+//! via `write_vectored`, so one DRR pass's replies go out in one
+//! syscall and the segment buffers recycle through a per-shard arena
+//! ([`crate::frame::page_payload_into`] synthesizes payloads directly
+//! into them — no per-page allocation). [`ServerConfig::reactor`]
+//! selects the mode; the sleep-poll loop remains as the non-Unix
+//! fallback and as a baseline for `deputybench`.
+//!
+//! Per-session outbound backpressure rides on the same machinery: a
+//! session whose unflushed reply backlog reaches
+//! [`ServerConfig::write_high_water`] stops being served (a
+//! `write_stall`) until the backlog drains to
+//! [`ServerConfig::write_low_water`] — hysteresis exactly like the
+//! hello gate, bounding deputy memory against a stalled reader.
 
 use std::collections::{HashSet, VecDeque};
-use std::io::{Read, Write};
+use std::io::{IoSlice, Read, Write};
 use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::io::{AsRawFd, RawFd};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -66,7 +92,8 @@ use ampom_mem::page::{PageId, PAGE_SIZE};
 use ampom_mem::writeback::WritebackSink;
 
 use crate::frame::{
-    page_payload, Frame, FrameBuffer, WireStats, CODE_OVERLOADED, MAX_BATCH_PAGES, WIRE_VERSION,
+    encode_page_batch_reply_into, encode_page_reply_into, Frame, FrameBuffer, WireStats,
+    CODE_OVERLOADED, MAX_BATCH_PAGES, WIRE_VERSION,
 };
 use crate::RpcError;
 
@@ -97,6 +124,23 @@ pub struct ServerConfig {
     /// its total pending pages drop *below* this (hysteresis, so the
     /// gate does not flap at the boundary). Must be `<= gate_high`.
     pub gate_low: usize,
+    /// Drive workers with readiness waits (`poll(2)`) instead of the
+    /// 1 ms sleep-poll scan. Defaults on wherever [`crate::poll`]
+    /// supports it; forced off (or on non-Unix targets) the portable
+    /// sleep-poll loop runs instead. Wire behaviour is identical either
+    /// way — the mode only changes how workers wait and which sockets
+    /// they scan.
+    pub reactor: bool,
+    /// Outbound backpressure high-water mark, bytes: a session whose
+    /// unflushed reply backlog reaches this stops being served (a
+    /// `write_stall`) until the backlog drains. Bounds deputy memory
+    /// against a slow or stalled reader; overshoot is at most one
+    /// reply batch. Must be non-zero.
+    pub write_high_water: usize,
+    /// Outbound backpressure low-water mark, bytes: a stalled session
+    /// resumes once its backlog drains to or below this (hysteresis,
+    /// mirroring the hello gate). Must be `<= write_high_water`.
+    pub write_low_water: usize,
 }
 
 impl Default for ServerConfig {
@@ -109,6 +153,9 @@ impl Default for ServerConfig {
             max_pending_pages: None,
             gate_high: usize::MAX,
             gate_low: usize::MAX,
+            reactor: crate::poll::SUPPORTED,
+            write_high_water: 8 * 1024 * 1024,
+            write_low_water: 1024 * 1024,
         }
     }
 }
@@ -155,6 +202,14 @@ pub struct ServerStats {
     pub writeback_duplicates: u64,
     /// Home-return negotiations answered with a [`Frame::ReturnAck`].
     pub returns_served: u64,
+    /// Sessions paused by outbound backpressure (unflushed backlog
+    /// reached [`ServerConfig::write_high_water`]).
+    pub write_stalls: u64,
+    /// Reply flushes that combined several queued segments into one
+    /// `write_vectored` syscall.
+    pub vectored_writes: u64,
+    /// Worst unflushed outbound backlog any session reached, bytes.
+    pub peak_write_backlog_bytes: u64,
 }
 
 impl ampom_obs::MetricSource for ServerStats {
@@ -249,11 +304,56 @@ impl ampom_obs::MetricSource for ServerStats {
             "Home-return negotiations answered",
             self.returns_served,
         );
+        reg.export_counter(
+            "ampom_deputy_server_write_stalls_total",
+            "Sessions paused by outbound backpressure",
+            self.write_stalls,
+        );
+        reg.export_counter(
+            "ampom_deputy_server_vectored_writes_total",
+            "Flushes combining several segments into one syscall",
+            self.vectored_writes,
+        );
+        reg.export_counter(
+            "ampom_deputy_server_peak_write_backlog_bytes",
+            "Worst unflushed outbound backlog any session reached",
+            self.peak_write_backlog_bytes,
+        );
     }
 }
 
+/// A worker's service counters, tallied as plain integers on the shard's
+/// own stack — the hot path touches no shared cache line. The shard
+/// publishes the tally into its [`ShardCounters`] slot once per event
+///-loop pass; [`StatsHub::snapshot`] aggregates the slots on demand
+/// (the live analog of `StatsFetch`-time aggregation).
+#[derive(Debug, Default, Clone, Copy)]
+struct ShardTally {
+    connections: u64,
+    requests_served: u64,
+    pages_served: u64,
+    syscalls_served: u64,
+    pings_served: u64,
+    dropped_connections: u64,
+    queued_connections: u64,
+    pages_coalesced: u64,
+    batch_replies: u64,
+    prefetch_pages_shed: u64,
+    demand_pages_shed: u64,
+    shed_events: u64,
+    writeback_batches: u64,
+    writeback_pages_applied: u64,
+    writeback_duplicates: u64,
+    returns_served: u64,
+    write_stalls: u64,
+    vectored_writes: u64,
+    peak_write_backlog: u64,
+}
+
+/// One shard's published tally. Single writer (the owning worker),
+/// many readers; plain relaxed stores suffice.
 #[derive(Debug, Default)]
-struct SharedStats {
+struct ShardCounters {
     connections: AtomicU64,
     requests_served: AtomicU64,
     pages_served: AtomicU64,
@@ -263,42 +363,67 @@ struct SharedStats {
     queued_connections: AtomicU64,
     pages_coalesced: AtomicU64,
     batch_replies: AtomicU64,
-    active_sessions: AtomicU64,
-    peak_sessions: AtomicU64,
     prefetch_pages_shed: AtomicU64,
     demand_pages_shed: AtomicU64,
     shed_events: AtomicU64,
-    hellos_deferred: AtomicU64,
     writeback_batches: AtomicU64,
     writeback_pages_applied: AtomicU64,
     writeback_duplicates: AtomicU64,
     returns_served: AtomicU64,
+    write_stalls: AtomicU64,
+    vectored_writes: AtomicU64,
+    peak_write_backlog: AtomicU64,
 }
 
-impl SharedStats {
-    fn snapshot(&self) -> ServerStats {
-        ServerStats {
-            connections: self.connections.load(Ordering::Relaxed),
-            requests_served: self.requests_served.load(Ordering::Relaxed),
-            pages_served: self.pages_served.load(Ordering::Relaxed),
-            syscalls_served: self.syscalls_served.load(Ordering::Relaxed),
-            pings_served: self.pings_served.load(Ordering::Relaxed),
-            dropped_connections: self.dropped_connections.load(Ordering::Relaxed),
-            queued_connections: self.queued_connections.load(Ordering::Relaxed),
-            pages_coalesced: self.pages_coalesced.load(Ordering::Relaxed),
-            batch_replies: self.batch_replies.load(Ordering::Relaxed),
-            peak_sessions: self.peak_sessions.load(Ordering::Relaxed),
-            prefetch_pages_shed: self.prefetch_pages_shed.load(Ordering::Relaxed),
-            demand_pages_shed: self.demand_pages_shed.load(Ordering::Relaxed),
-            shed_events: self.shed_events.load(Ordering::Relaxed),
-            hellos_deferred: self.hellos_deferred.load(Ordering::Relaxed),
-            writeback_batches: self.writeback_batches.load(Ordering::Relaxed),
-            writeback_pages_applied: self.writeback_pages_applied.load(Ordering::Relaxed),
-            writeback_duplicates: self.writeback_duplicates.load(Ordering::Relaxed),
-            returns_served: self.returns_served.load(Ordering::Relaxed),
-        }
+impl ShardCounters {
+    fn publish(&self, t: &ShardTally) {
+        self.connections.store(t.connections, Ordering::Relaxed);
+        self.requests_served
+            .store(t.requests_served, Ordering::Relaxed);
+        self.pages_served.store(t.pages_served, Ordering::Relaxed);
+        self.syscalls_served
+            .store(t.syscalls_served, Ordering::Relaxed);
+        self.pings_served.store(t.pings_served, Ordering::Relaxed);
+        self.dropped_connections
+            .store(t.dropped_connections, Ordering::Relaxed);
+        self.queued_connections
+            .store(t.queued_connections, Ordering::Relaxed);
+        self.pages_coalesced
+            .store(t.pages_coalesced, Ordering::Relaxed);
+        self.batch_replies.store(t.batch_replies, Ordering::Relaxed);
+        self.prefetch_pages_shed
+            .store(t.prefetch_pages_shed, Ordering::Relaxed);
+        self.demand_pages_shed
+            .store(t.demand_pages_shed, Ordering::Relaxed);
+        self.shed_events.store(t.shed_events, Ordering::Relaxed);
+        self.writeback_batches
+            .store(t.writeback_batches, Ordering::Relaxed);
+        self.writeback_pages_applied
+            .store(t.writeback_pages_applied, Ordering::Relaxed);
+        self.writeback_duplicates
+            .store(t.writeback_duplicates, Ordering::Relaxed);
+        self.returns_served
+            .store(t.returns_served, Ordering::Relaxed);
+        self.write_stalls.store(t.write_stalls, Ordering::Relaxed);
+        self.vectored_writes
+            .store(t.vectored_writes, Ordering::Relaxed);
+        self.peak_write_backlog
+            .store(t.peak_write_backlog, Ordering::Relaxed);
     }
+}
 
+/// The few truly cross-shard counters. `active`/`peak_sessions` need a
+/// global view by definition, and a deferred `Hello` never becomes a
+/// session, so its counter is deputy-wide too (the wire `StatsReply`
+/// reports it per-deputy). All are cold-path.
+#[derive(Debug, Default)]
+struct SharedGauges {
+    active_sessions: AtomicU64,
+    peak_sessions: AtomicU64,
+    hellos_deferred: AtomicU64,
+}
+
+impl SharedGauges {
     fn session_opened(&self) {
         let live = self.active_sessions.fetch_add(1, Ordering::Relaxed) + 1;
         self.peak_sessions.fetch_max(live, Ordering::Relaxed);
@@ -306,6 +431,52 @@ impl SharedStats {
 
     fn session_closed(&self) {
         self.active_sessions.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Per-shard counter slots plus the shared gauges.
+#[derive(Debug)]
+struct StatsHub {
+    gauges: SharedGauges,
+    shards: Vec<ShardCounters>,
+}
+
+impl StatsHub {
+    fn new(workers: usize) -> StatsHub {
+        StatsHub {
+            gauges: SharedGauges::default(),
+            shards: (0..workers).map(|_| ShardCounters::default()).collect(),
+        }
+    }
+
+    fn snapshot(&self) -> ServerStats {
+        let mut out = ServerStats::default();
+        for sh in &self.shards {
+            out.connections += sh.connections.load(Ordering::Relaxed);
+            out.requests_served += sh.requests_served.load(Ordering::Relaxed);
+            out.pages_served += sh.pages_served.load(Ordering::Relaxed);
+            out.syscalls_served += sh.syscalls_served.load(Ordering::Relaxed);
+            out.pings_served += sh.pings_served.load(Ordering::Relaxed);
+            out.dropped_connections += sh.dropped_connections.load(Ordering::Relaxed);
+            out.queued_connections += sh.queued_connections.load(Ordering::Relaxed);
+            out.pages_coalesced += sh.pages_coalesced.load(Ordering::Relaxed);
+            out.batch_replies += sh.batch_replies.load(Ordering::Relaxed);
+            out.prefetch_pages_shed += sh.prefetch_pages_shed.load(Ordering::Relaxed);
+            out.demand_pages_shed += sh.demand_pages_shed.load(Ordering::Relaxed);
+            out.shed_events += sh.shed_events.load(Ordering::Relaxed);
+            out.writeback_batches += sh.writeback_batches.load(Ordering::Relaxed);
+            out.writeback_pages_applied += sh.writeback_pages_applied.load(Ordering::Relaxed);
+            out.writeback_duplicates += sh.writeback_duplicates.load(Ordering::Relaxed);
+            out.returns_served += sh.returns_served.load(Ordering::Relaxed);
+            out.write_stalls += sh.write_stalls.load(Ordering::Relaxed);
+            out.vectored_writes += sh.vectored_writes.load(Ordering::Relaxed);
+            out.peak_write_backlog_bytes = out
+                .peak_write_backlog_bytes
+                .max(sh.peak_write_backlog.load(Ordering::Relaxed));
+        }
+        out.peak_sessions = self.gauges.peak_sessions.load(Ordering::Relaxed);
+        out.hellos_deferred = self.gauges.hellos_deferred.load(Ordering::Relaxed);
+        out
     }
 }
 
@@ -441,6 +612,14 @@ impl Listener {
             },
         }
     }
+
+    #[cfg(unix)]
+    fn raw_fd(&self) -> RawFd {
+        match self {
+            Listener::Tcp(l) => l.as_raw_fd(),
+            Listener::Unix(l) => l.as_raw_fd(),
+        }
+    }
 }
 
 enum ServerStream {
@@ -455,6 +634,14 @@ impl ServerStream {
             ServerStream::Tcp(s) => s.set_nonblocking(on),
             #[cfg(unix)]
             ServerStream::Unix(s) => s.set_nonblocking(on),
+        }
+    }
+
+    #[cfg(unix)]
+    fn raw_fd(&self) -> RawFd {
+        match self {
+            ServerStream::Tcp(s) => s.as_raw_fd(),
+            ServerStream::Unix(s) => s.as_raw_fd(),
         }
     }
 }
@@ -478,6 +665,14 @@ impl Write for ServerStream {
         }
     }
 
+    fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> std::io::Result<usize> {
+        match self {
+            ServerStream::Tcp(s) => s.write_vectored(bufs),
+            #[cfg(unix)]
+            ServerStream::Unix(s) => s.write_vectored(bufs),
+        }
+    }
+
     fn flush(&mut self) -> std::io::Result<()> {
         match self {
             ServerStream::Tcp(s) => s.flush(),
@@ -487,12 +682,121 @@ impl Write for ServerStream {
     }
 }
 
+/// The per-shard segment arena: outbound buffers retire here when fully
+/// flushed and are reissued (cleared, capacity intact) for the next
+/// reply, so a steady-state shard serves pages with no allocation at
+/// all — the reply encoder synthesizes payloads straight into a
+/// recycled segment. Bounded so a burst cannot pin memory forever.
+#[derive(Debug, Default)]
+struct BufferPool {
+    free: Vec<Vec<u8>>,
+}
+
+impl BufferPool {
+    /// Segments retained; 64 maximal batch replies is ~16 MiB a shard.
+    const MAX_FREE: usize = 64;
+
+    fn take(&mut self) -> Vec<u8> {
+        self.free.pop().unwrap_or_default()
+    }
+
+    fn put(&mut self, mut seg: Vec<u8>) {
+        if self.free.len() < Self::MAX_FREE {
+            seg.clear();
+            self.free.push(seg);
+        }
+    }
+}
+
+/// A session's unflushed outbound bytes, kept as the queue of pooled
+/// segments they were encoded into. `head_at` marks the flushed prefix
+/// of the front segment; fully flushed segments return to the pool.
+/// Keeping segments separate (instead of one growing `Vec`) is what
+/// lets [`pump_writes`] hand a whole DRR pass to `write_vectored` in
+/// one syscall and recycle the buffers.
+#[derive(Debug, Default)]
+struct OutQueue {
+    segs: VecDeque<Vec<u8>>,
+    head_at: usize,
+    bytes: usize,
+}
+
+impl OutQueue {
+    /// Unflushed bytes queued.
+    fn unflushed(&self) -> usize {
+        self.bytes
+    }
+
+    fn is_empty(&self) -> bool {
+        self.bytes == 0
+    }
+
+    /// Queues an encoded segment (empty segments go straight back).
+    fn push_seg(&mut self, seg: Vec<u8>, pool: &mut BufferPool) {
+        if seg.is_empty() {
+            pool.put(seg);
+            return;
+        }
+        self.bytes += seg.len();
+        self.segs.push_back(seg);
+    }
+
+    /// Encodes one frame into a pooled segment and queues it.
+    fn frame(&mut self, f: &Frame, pool: &mut BufferPool) {
+        let mut seg = pool.take();
+        f.encode_into(&mut seg);
+        self.push_seg(seg, pool);
+    }
+
+    /// Fills `bufs` with the unflushed regions, front first; returns how
+    /// many slots were used.
+    fn fill_slices<'a>(&'a self, bufs: &mut [IoSlice<'a>]) -> usize {
+        let mut n = 0;
+        for (i, seg) in self.segs.iter().enumerate() {
+            if n == bufs.len() {
+                break;
+            }
+            let region = if i == 0 {
+                &seg[self.head_at..]
+            } else {
+                &seg[..]
+            };
+            if region.is_empty() {
+                continue;
+            }
+            bufs[n] = IoSlice::new(region);
+            n += 1;
+        }
+        n
+    }
+
+    /// Consumes `n` flushed bytes from the front, retiring drained
+    /// segments to the pool. `n` must not exceed [`OutQueue::unflushed`].
+    fn advance(&mut self, mut n: usize, pool: &mut BufferPool) {
+        self.bytes -= n;
+        while n > 0 {
+            let head_len = self.segs.front().map(Vec::len).unwrap_or(0);
+            let left = head_len - self.head_at;
+            if n >= left {
+                n -= left;
+                self.head_at = 0;
+                if let Some(seg) = self.segs.pop_front() {
+                    pool.put(seg);
+                }
+            } else {
+                self.head_at += n;
+                n = 0;
+            }
+        }
+    }
+}
+
 /// A running deputy server; dropping it (or calling
 /// [`DeputyServer::shutdown`]) stops the workers.
 pub struct DeputyServer {
     addr: String,
     stop: Arc<AtomicBool>,
-    stats: Arc<SharedStats>,
+    stats: Arc<StatsHub>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -548,17 +852,33 @@ impl DeputyServer {
                 cfg.gate_low, cfg.gate_high
             )));
         }
+        if cfg.write_high_water == 0 {
+            return Err(RpcError::Protocol(
+                "a write high-water mark of 0 would stall every session before \
+                 its first reply"
+                    .into(),
+            ));
+        }
+        if cfg.write_low_water > cfg.write_high_water {
+            return Err(RpcError::Protocol(format!(
+                "write watermarks inverted: low {} > high {}",
+                cfg.write_low_water, cfg.write_high_water
+            )));
+        }
         let stop = Arc::new(AtomicBool::new(false));
-        let stats = Arc::new(SharedStats::default());
-        let listener = Arc::new(Mutex::new(listener));
+        let stats = Arc::new(StatsHub::new(cfg.workers));
+        // The listener is the only shared descriptor: accept(2) is its
+        // own synchronization, so every shard polls it and races to
+        // accept — no mutex on the path.
+        let listener = Arc::new(listener);
         let mut workers = Vec::with_capacity(cfg.workers);
-        for _ in 0..cfg.workers {
+        for shard_idx in 0..cfg.workers {
             let stop = Arc::clone(&stop);
             let stats = Arc::clone(&stats);
             let listener = Arc::clone(&listener);
             let cfg = cfg.clone();
             workers.push(std::thread::spawn(move || {
-                worker_loop(&listener, &stop, &stats, &cfg);
+                worker_loop(&listener, &stop, &stats, shard_idx, &cfg);
             }));
         }
         Ok(DeputyServer {
@@ -599,16 +919,26 @@ impl Drop for DeputyServer {
     }
 }
 
-/// How long an idle worker sleeps between event-loop passes.
+/// How long an idle *sleep-poll* worker sleeps between passes (the
+/// portable fallback; reactor shards park in `poll(2)` instead).
 const POLL_INTERVAL: Duration = Duration::from_millis(1);
+
+/// Longest a reactor shard parks in one readiness wait. Bounds shutdown
+/// latency (the stop flag is only checked between waits); readiness
+/// itself ends the wait immediately.
+const REACTOR_WAIT: Duration = Duration::from_millis(25);
+
+/// Most segments one `write_vectored` call flushes. Far below any
+/// platform `IOV_MAX`; 32 maximal batch replies is ~8 MiB, well past
+/// what one socket buffer accepts anyway.
+const MAX_WRITE_IOV: usize = 32;
 
 /// One multiplexed migrant session inside a worker's event loop.
 struct SessionConn {
     conn: ServerStream,
     fb: FrameBuffer,
-    /// Encoded outbound bytes; `out_at` marks the flushed prefix.
-    out: Vec<u8>,
-    out_at: usize,
+    /// Encoded outbound bytes awaiting flush, as pooled segments.
+    out: OutQueue,
     greeted: bool,
     total_pages: u64,
     pages_this_conn: u64,
@@ -626,6 +956,12 @@ struct SessionConn {
     /// home-return accounting partitions into stub vs freed.
     served_pages: HashSet<PageId>,
     state: ConnState,
+    /// Outbound backpressure: past the high-water mark the DRR pass
+    /// skips this session until its backlog drains below the low mark.
+    write_blocked: bool,
+    /// Whether the last readiness wait reported bytes to read (always
+    /// true in sleep-poll mode, which scans every socket).
+    ready_read: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -639,13 +975,12 @@ enum ConnState {
 }
 
 impl SessionConn {
-    fn new(conn: ServerStream) -> Option<SessionConn> {
-        conn.set_nonblocking(true).ok()?;
-        Some(SessionConn {
+    fn new(conn: ServerStream) -> std::io::Result<SessionConn> {
+        conn.set_nonblocking(true)?;
+        Ok(SessionConn {
             conn,
             fb: FrameBuffer::new(),
-            out: Vec::with_capacity(128 * 1024),
-            out_at: 0,
+            out: OutQueue::default(),
             greeted: false,
             total_pages: 0,
             pages_this_conn: 0,
@@ -656,6 +991,8 @@ impl SessionConn {
             sink: WritebackSink::new(),
             served_pages: HashSet::new(),
             state: ConnState::Open,
+            write_blocked: false,
+            ready_read: true,
         })
     }
 
@@ -663,70 +1000,171 @@ impl SessionConn {
         match self.state {
             ConnState::Open => false,
             ConnState::Dropped => true,
-            ConnState::Closing => self.out_at >= self.out.len(),
+            ConnState::Closing => self.out.is_empty(),
         }
     }
 }
 
+/// How a shard waits for work: a [`crate::poll`] readiness wait where
+/// supported and configured, the portable sleep-poll scan otherwise.
+struct WaitMode {
+    #[cfg(unix)]
+    poller: Option<crate::poll::Poller>,
+}
+
+impl WaitMode {
+    fn new(cfg: &ServerConfig) -> WaitMode {
+        #[cfg(unix)]
+        {
+            WaitMode {
+                poller: cfg.reactor.then(crate::poll::Poller::new),
+            }
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = cfg;
+            WaitMode {}
+        }
+    }
+
+    /// The wait phase of one pass. In reactor mode: parks in `poll(2)`
+    /// (only when the previous pass was idle — a busy shard just
+    /// refreshes readiness with a zero timeout), then marks each
+    /// session's `ready_read`. In sleep-poll mode: sleeps when idle and
+    /// marks everything ready, i.e. the original scan-everything loop.
+    /// Returns whether the listener should be accepted from.
+    fn wait(&mut self, listener: &Listener, sessions: &mut [SessionConn], idle: bool) -> bool {
+        #[cfg(unix)]
+        if let Some(poller) = &mut self.poller {
+            poller.clear();
+            poller.push(listener.raw_fd(), true, false);
+            for s in sessions.iter() {
+                poller.push(
+                    s.conn.raw_fd(),
+                    s.state == ConnState::Open,
+                    !s.out.is_empty(),
+                );
+            }
+            let timeout = if idle { REACTOR_WAIT } else { Duration::ZERO };
+            match poller.wait(timeout) {
+                Ok(_) => {
+                    for (i, s) in sessions.iter_mut().enumerate() {
+                        s.ready_read = poller.readable(i + 1);
+                    }
+                    return poller.readable(0);
+                }
+                Err(_) => {
+                    // Readiness unavailable this pass: degrade to the
+                    // sleep-poll scan rather than spin or stall.
+                    for s in sessions.iter_mut() {
+                        s.ready_read = true;
+                    }
+                    if idle {
+                        std::thread::sleep(POLL_INTERVAL);
+                    }
+                    return true;
+                }
+            }
+        }
+        let _ = listener;
+        for s in sessions.iter_mut() {
+            s.ready_read = true;
+        }
+        if idle {
+            std::thread::sleep(POLL_INTERVAL);
+        }
+        true
+    }
+}
+
 fn worker_loop(
-    listener: &Mutex<Listener>,
+    listener: &Listener,
     stop: &AtomicBool,
-    stats: &SharedStats,
+    hub: &StatsHub,
+    shard_idx: usize,
     cfg: &ServerConfig,
 ) {
+    let gauges = &hub.gauges;
+    let shard = &hub.shards[shard_idx];
+    let mut tally = ShardTally::default();
     let mut sessions: Vec<SessionConn> = Vec::new();
     let mut cursor = 0usize;
     let mut read_buf = vec![0u8; 64 * 1024];
+    let mut pool = BufferPool::default();
+    let mut wait_mode = WaitMode::new(cfg);
     // Hysteresis hello gate, per worker: closes at `gate_high` total
     // pending pages, re-opens below `gate_low`.
     let mut gated = false;
+    // Whether the previous pass made no progress (the wait phase then
+    // blocks instead of spinning).
+    let mut idle = false;
     loop {
         if stop.load(Ordering::SeqCst) {
             // Best-effort flush of what sessions are owed, then bail.
             for s in &mut sessions {
-                pump_writes(s);
-                stats.session_closed();
+                pump_writes(s, &mut pool, &mut tally);
+                gauges.session_closed();
             }
+            shard.publish(&tally);
             return;
         }
+        let accept_ready = wait_mode.wait(listener, &mut sessions, idle);
         let mut progress = false;
 
-        // Accept whatever is pending; the lock shards arrivals across
-        // workers, and a worker already serving sessions multiplexes.
-        loop {
-            let accepted = match listener.lock() {
-                Ok(guard) => guard.try_accept(),
-                Err(_) => return,
-            };
-            match accepted {
-                Ok(Some(conn)) => {
-                    stats.connections.fetch_add(1, Ordering::Relaxed);
-                    if !sessions.is_empty() {
-                        stats.queued_connections.fetch_add(1, Ordering::Relaxed);
-                    }
-                    if let Some(s) = SessionConn::new(conn) {
-                        stats.session_opened();
+        // Accept whatever is pending. Every shard polls the listener
+        // and races to accept; the kernel hands each connection to
+        // exactly one of them, and a shard already serving sessions
+        // multiplexes the newcomer alongside.
+        if accept_ready {
+            while let Ok(Some(conn)) = listener.try_accept() {
+                tally.connections += 1;
+                if !sessions.is_empty() {
+                    tally.queued_connections += 1;
+                }
+                match SessionConn::new(conn) {
+                    Ok(s) => {
+                        gauges.session_opened();
                         sessions.push(s);
                         progress = true;
                     }
+                    Err(e) => {
+                        // An accepted socket we cannot put into
+                        // non-blocking mode is unusable for the
+                        // event loop; drop it *loudly*.
+                        tally.dropped_connections += 1;
+                        eprintln!(
+                            "deputy shard {shard_idx}: dropping accepted \
+                             connection (set_nonblocking failed: {e})"
+                        );
+                    }
                 }
-                Ok(None) | Err(_) => break,
             }
         }
 
         let total_pending: usize = sessions.iter().map(|s| s.pending.len()).sum();
         gated = hello_gate(gated, total_pending, cfg);
         for s in &mut sessions {
-            progress |= pump_reads(s, cfg, stats, &mut read_buf, gated);
+            if s.ready_read {
+                progress |= pump_reads(s, cfg, &mut tally, gauges, &mut pool, &mut read_buf, gated);
+            }
         }
-        progress |= drr_serve(&mut sessions, &mut cursor, cfg, stats);
+        progress |= drr_serve(&mut sessions, &mut cursor, cfg, &mut tally, &mut pool);
+        // Publish protocol counters *before* draining output so a client
+        // that observes a reply also observes the counters behind it;
+        // the end-of-pass publish below picks up the write-side tallies.
+        shard.publish(&tally);
         for s in &mut sessions {
-            progress |= pump_writes(s);
+            progress |= pump_writes(s, &mut pool, &mut tally);
+            // Backpressure hysteresis: a stalled session resumes once
+            // its backlog drains to the low-water mark.
+            if s.write_blocked && s.out.unflushed() <= cfg.write_low_water {
+                s.write_blocked = false;
+            }
         }
         let before = sessions.len();
         sessions.retain(|s| {
             if s.finished() {
-                stats.session_closed();
+                gauges.session_closed();
                 false
             } else {
                 true
@@ -736,9 +1174,8 @@ fn worker_loop(
             cursor %= sessions.len();
         }
 
-        if !progress {
-            std::thread::sleep(POLL_INTERVAL);
-        }
+        shard.publish(&tally);
+        idle = !progress;
     }
 }
 
@@ -759,7 +1196,9 @@ fn hello_gate(gated: bool, total_pending: usize, cfg: &ServerConfig) -> bool {
 fn pump_reads(
     s: &mut SessionConn,
     cfg: &ServerConfig,
-    stats: &SharedStats,
+    tally: &mut ShardTally,
+    gauges: &SharedGauges,
+    pool: &mut BufferPool,
     read_buf: &mut [u8],
     gated: bool,
 ) -> bool {
@@ -793,18 +1232,20 @@ fn pump_reads(
             Ok(Some(f)) => f,
             Ok(None) => break,
             Err(e) => {
-                Frame::Error {
-                    code: 400,
-                    detail: format!("codec: {e}"),
-                }
-                .encode_into(&mut s.out);
+                s.out.frame(
+                    &Frame::Error {
+                        code: 400,
+                        detail: format!("codec: {e}"),
+                    },
+                    pool,
+                );
                 s.state = ConnState::Closing;
                 break;
             }
         };
         progress = true;
         let served_at = Instant::now();
-        handle_frame(s, frame, cfg, stats, gated);
+        handle_frame(s, frame, cfg, tally, gauges, pool, gated);
         s.local.busy_time_ns += served_at.elapsed().as_nanos() as u64;
     }
     progress
@@ -814,7 +1255,9 @@ fn handle_frame(
     s: &mut SessionConn,
     frame: Frame,
     cfg: &ServerConfig,
-    stats: &SharedStats,
+    tally: &mut ShardTally,
+    gauges: &SharedGauges,
+    pool: &mut BufferPool,
     gated: bool,
 ) {
     match frame {
@@ -824,11 +1267,13 @@ fn handle_frame(
             ..
         } => {
             if version != WIRE_VERSION {
-                Frame::Error {
-                    code: 426,
-                    detail: format!("version {version}, deputy speaks {WIRE_VERSION}"),
-                }
-                .encode_into(&mut s.out);
+                s.out.frame(
+                    &Frame::Error {
+                        code: 426,
+                        detail: format!("version {version}, deputy speaks {WIRE_VERSION}"),
+                    },
+                    pool,
+                );
                 s.state = ConnState::Closing;
                 return;
             }
@@ -836,41 +1281,45 @@ fn handle_frame(
                 // The admission gate is closed: defer the session. The
                 // client's reconnect loop redials until the backlog
                 // drains below the low watermark.
-                stats.hellos_deferred.fetch_add(1, Ordering::Relaxed);
-                Frame::Error {
-                    code: CODE_OVERLOADED,
-                    detail: "admission gate closed; retry later".into(),
-                }
-                .encode_into(&mut s.out);
+                gauges.hellos_deferred.fetch_add(1, Ordering::Relaxed);
+                s.out.frame(
+                    &Frame::Error {
+                        code: CODE_OVERLOADED,
+                        detail: "admission gate closed; retry later".into(),
+                    },
+                    pool,
+                );
                 s.state = ConnState::Closing;
                 return;
             }
             s.greeted = true;
             s.total_pages = total_pages;
-            Frame::HelloAck {
-                version: WIRE_VERSION,
-                page_size: PAGE_SIZE as u32,
-            }
-            .encode_into(&mut s.out);
+            s.out.frame(
+                &Frame::HelloAck {
+                    version: WIRE_VERSION,
+                    page_size: PAGE_SIZE as u32,
+                },
+                pool,
+            );
         }
         // A PageRequest leads with its demand page; a PrefetchBatch is
         // speculation only. The distinction is what admission control
         // keys on, so the two types take the same path with a flag.
         Frame::PageRequest { req_id, pages } => {
-            queue_request(s, req_id, pages, true, cfg, stats);
+            queue_request(s, req_id, pages, true, cfg, tally, pool);
         }
         Frame::PrefetchBatch { req_id, pages } => {
-            queue_request(s, req_id, pages, false, cfg, stats);
+            queue_request(s, req_id, pages, false, cfg, tally, pool);
         }
         Frame::SyscallForward { call_id, .. } => {
             // The call's `work` is charged virtually by the migrant; the
             // deputy only provides the round trip.
-            stats.syscalls_served.fetch_add(1, Ordering::Relaxed);
-            Frame::SyscallReply { call_id }.encode_into(&mut s.out);
+            tally.syscalls_served += 1;
+            s.out.frame(&Frame::SyscallReply { call_id }, pool);
         }
         Frame::Ping { token } => {
-            stats.pings_served.fetch_add(1, Ordering::Relaxed);
-            Frame::Pong { token }.encode_into(&mut s.out);
+            tally.pings_served += 1;
+            s.out.frame(&Frame::Pong { token }, pool);
         }
         Frame::StatsFetch => {
             let mut ws = s.local;
@@ -878,54 +1327,61 @@ fn handle_frame(
             ws.max_pending_pages = s.pending.max_depth();
             // Deferred hellos never become sessions, so the counter is
             // deputy-wide rather than session-local.
-            ws.hellos_deferred = stats.hellos_deferred.load(Ordering::Relaxed);
-            Frame::StatsReply(ws).encode_into(&mut s.out);
+            ws.hellos_deferred = gauges.hellos_deferred.load(Ordering::Relaxed);
+            s.out.frame(&Frame::StatsReply(ws), pool);
         }
         Frame::Bye => s.state = ConnState::Closing,
         Frame::WritebackBatch { seq, pages } => {
             if !s.greeted {
-                Frame::Error {
-                    code: 401,
-                    detail: "writeback before hello".into(),
-                }
-                .encode_into(&mut s.out);
+                s.out.frame(
+                    &Frame::Error {
+                        code: 401,
+                        detail: "writeback before hello".into(),
+                    },
+                    pool,
+                );
                 s.state = ConnState::Closing;
                 return;
             }
             for (page, _, _) in &pages {
                 if page.0 >= s.total_pages {
-                    Frame::Error {
-                        code: 416,
-                        detail: format!("writeback page {page} beyond image ({})", s.total_pages),
-                    }
-                    .encode_into(&mut s.out);
+                    s.out.frame(
+                        &Frame::Error {
+                            code: 416,
+                            detail: format!(
+                                "writeback page {page} beyond image ({})",
+                                s.total_pages
+                            ),
+                        },
+                        pool,
+                    );
                     s.state = ConnState::Closing;
                     return;
                 }
             }
             let entries: Vec<(PageId, u64)> = pages.iter().map(|&(p, v, _)| (p, v)).collect();
             let outcome = s.sink.apply_batch(seq, &entries);
-            stats.writeback_batches.fetch_add(1, Ordering::Relaxed);
-            stats
-                .writeback_pages_applied
-                .fetch_add(u64::from(outcome.applied), Ordering::Relaxed);
-            stats
-                .writeback_duplicates
-                .fetch_add(u64::from(outcome.duplicates), Ordering::Relaxed);
-            Frame::WritebackAck {
-                seq,
-                applied: outcome.applied,
-                duplicates: outcome.duplicates,
-            }
-            .encode_into(&mut s.out);
+            tally.writeback_batches += 1;
+            tally.writeback_pages_applied += u64::from(outcome.applied);
+            tally.writeback_duplicates += u64::from(outcome.duplicates);
+            s.out.frame(
+                &Frame::WritebackAck {
+                    seq,
+                    applied: outcome.applied,
+                    duplicates: outcome.duplicates,
+                },
+                pool,
+            );
         }
         Frame::ReturnRequest => {
             if !s.greeted {
-                Frame::Error {
-                    code: 401,
-                    detail: "return before hello".into(),
-                }
-                .encode_into(&mut s.out);
+                s.out.frame(
+                    &Frame::Error {
+                        code: 401,
+                        detail: "return before hello".into(),
+                    },
+                    pool,
+                );
                 s.state = ConnState::Closing;
                 return;
             }
@@ -939,12 +1395,14 @@ fn handle_frame(
                 .filter(|p| s.sink.applied_version(**p) == 0)
                 .count() as u64;
             let freed_pages = s.total_pages.saturating_sub(stub_pages);
-            stats.returns_served.fetch_add(1, Ordering::Relaxed);
-            Frame::ReturnAck {
-                stub_pages,
-                freed_pages,
-            }
-            .encode_into(&mut s.out);
+            tally.returns_served += 1;
+            s.out.frame(
+                &Frame::ReturnAck {
+                    stub_pages,
+                    freed_pages,
+                },
+                pool,
+            );
         }
         Frame::HelloAck { .. }
         | Frame::PageReply { .. }
@@ -955,11 +1413,13 @@ fn handle_frame(
         | Frame::WritebackAck { .. }
         | Frame::ReturnAck { .. }
         | Frame::Error { .. } => {
-            Frame::Error {
-                code: 400,
-                detail: "deputy received a reply frame".into(),
-            }
-            .encode_into(&mut s.out);
+            s.out.frame(
+                &Frame::Error {
+                    code: 400,
+                    detail: "deputy received a reply frame".into(),
+                },
+                pool,
+            );
             s.state = ConnState::Closing;
         }
     }
@@ -977,27 +1437,32 @@ fn queue_request(
     pages: Vec<PageId>,
     has_demand: bool,
     cfg: &ServerConfig,
-    stats: &SharedStats,
+    tally: &mut ShardTally,
+    pool: &mut BufferPool,
 ) {
     if !s.greeted {
-        Frame::Error {
-            code: 401,
-            detail: "request before hello".into(),
-        }
-        .encode_into(&mut s.out);
+        s.out.frame(
+            &Frame::Error {
+                code: 401,
+                detail: "request before hello".into(),
+            },
+            pool,
+        );
         s.state = ConnState::Closing;
         return;
     }
-    if pages.len() as u32 > cfg.max_pages_per_request {
-        Frame::Error {
-            code: 413,
-            detail: format!(
-                "{} pages exceeds per-request cap {}",
-                pages.len(),
-                cfg.max_pages_per_request
-            ),
-        }
-        .encode_into(&mut s.out);
+    if exceeds_request_cap(pages.len(), cfg.max_pages_per_request) {
+        s.out.frame(
+            &Frame::Error {
+                code: 413,
+                detail: format!(
+                    "{} pages exceeds per-request cap {}",
+                    pages.len(),
+                    cfg.max_pages_per_request
+                ),
+            },
+            pool,
+        );
         s.state = ConnState::Closing;
         return;
     }
@@ -1011,15 +1476,17 @@ fn queue_request(
         }
     }
     s.local.requests_served += 1;
-    stats.requests_served.fetch_add(1, Ordering::Relaxed);
+    tally.requests_served += 1;
     let mut shed: Vec<PageId> = Vec::new();
     for (i, page) in pages.into_iter().enumerate() {
         if page.0 >= s.total_pages {
-            Frame::Error {
-                code: 416,
-                detail: format!("page {page} beyond image ({})", s.total_pages),
-            }
-            .encode_into(&mut s.out);
+            s.out.frame(
+                &Frame::Error {
+                    code: 416,
+                    detail: format!("page {page} beyond image ({})", s.total_pages),
+                },
+                pool,
+            );
             s.state = ConnState::Closing;
             return;
         }
@@ -1035,7 +1502,7 @@ fn queue_request(
                 }
             }
             PushOutcome::Coalesced => {
-                stats.pages_coalesced.fetch_add(1, Ordering::Relaxed);
+                tally.pages_coalesced += 1;
             }
             PushOutcome::Shed => shed.push(page),
         }
@@ -1043,10 +1510,8 @@ fn queue_request(
     if !shed.is_empty() {
         s.local.prefetch_pages_shed += shed.len() as u64;
         s.local.shed_events += 1;
-        stats
-            .prefetch_pages_shed
-            .fetch_add(shed.len() as u64, Ordering::Relaxed);
-        stats.shed_events.fetch_add(1, Ordering::Relaxed);
+        tally.prefetch_pages_shed += shed.len() as u64;
+        tally.shed_events += 1;
         let list = shed
             .iter()
             .map(|p| p.0.to_string())
@@ -1054,12 +1519,22 @@ fn queue_request(
             .join(",");
         // Non-fatal by contract: the connection stays Open; the client
         // reverts the named pages and re-fetches them on demand later.
-        Frame::Error {
-            code: CODE_OVERLOADED,
-            detail: format!("shed prefetch: {list}"),
-        }
-        .encode_into(&mut s.out);
+        s.out.frame(
+            &Frame::Error {
+                code: CODE_OVERLOADED,
+                detail: format!("shed prefetch: {list}"),
+            },
+            pool,
+        );
     }
+}
+
+/// Whether a request naming `len` pages exceeds `cap`, compared in
+/// `u64`. The old `len as u32` comparison wrapped for lengths at or
+/// above 2³² — a 2³²-page request truncated to 0 and sailed past the
+/// cap entirely.
+fn exceeds_request_cap(len: usize, cap: u32) -> bool {
+    len as u64 > u64::from(cap)
 }
 
 /// One full DRR drain: the cursor sweeps the worker's sessions, each
@@ -1070,40 +1545,55 @@ fn drr_serve(
     sessions: &mut [SessionConn],
     cursor: &mut usize,
     cfg: &ServerConfig,
-    stats: &SharedStats,
+    tally: &mut ShardTally,
+    pool: &mut BufferPool,
 ) -> bool {
+    /// Servable now: open, pages pending, reader keeping up.
+    fn eligible(s: &SessionConn) -> bool {
+        s.state == ConnState::Open && !s.pending.is_empty() && !s.write_blocked
+    }
     if sessions.is_empty() {
         return false;
     }
     let quantum = u64::from(cfg.quantum_pages.max(1));
     let n = sessions.len();
+    // Tracked incrementally: nothing *becomes* eligible during the pass
+    // (reads are done, service only shrinks queues), so one count up
+    // front plus a decrement when a visited session drains or stalls
+    // replaces the O(sessions) rescan the old loop made per visit.
+    let mut remaining = sessions.iter().filter(|s| eligible(s)).count();
     let mut progress = false;
-    loop {
-        let eligible = sessions
-            .iter()
-            .any(|s| s.state == ConnState::Open && !s.pending.is_empty());
-        if !eligible {
-            break;
-        }
+    while remaining > 0 {
         let idx = *cursor % n;
-        {
-            let s = &mut sessions[idx];
-            if s.state == ConnState::Open && !s.pending.is_empty() {
-                s.deficit += quantum;
-                while s.deficit > 0 && !s.pending.is_empty() && s.state == ConnState::Open {
-                    let take = (s.deficit.min(MAX_BATCH_PAGES as u64)) as usize;
-                    let batch = s.pending.take(take);
-                    s.deficit -= batch.len() as u64;
-                    serve_batch(s, batch, cfg, stats);
-                    progress = true;
-                }
-                if s.pending.is_empty() {
-                    s.deficit = 0;
-                    s.backlog_since = None;
-                }
-            }
-        }
         *cursor = (idx + 1) % n;
+        let s = &mut sessions[idx];
+        if !eligible(s) {
+            continue;
+        }
+        s.deficit += quantum;
+        while s.deficit > 0 && !s.pending.is_empty() && s.state == ConnState::Open {
+            // Backpressure: past the high-water mark this session's
+            // reader owes us a drain before we owe it more pages.
+            if s.out.unflushed() >= cfg.write_high_water {
+                if !s.write_blocked {
+                    s.write_blocked = true;
+                    tally.write_stalls += 1;
+                }
+                break;
+            }
+            let take = (s.deficit.min(MAX_BATCH_PAGES as u64)) as usize;
+            let batch = s.pending.take(take);
+            s.deficit -= batch.len() as u64;
+            serve_batch(s, batch, cfg, tally, pool);
+            progress = true;
+        }
+        if s.pending.is_empty() {
+            s.deficit = 0;
+            s.backlog_since = None;
+        }
+        if !eligible(s) {
+            remaining -= 1;
+        }
     }
     progress
 }
@@ -1115,7 +1605,8 @@ fn serve_batch(
     s: &mut SessionConn,
     batch: Vec<(u64, PageId)>,
     cfg: &ServerConfig,
-    stats: &SharedStats,
+    tally: &mut ShardTally,
+    pool: &mut BufferPool,
 ) {
     if batch.is_empty() {
         return;
@@ -1125,52 +1616,59 @@ fn serve_batch(
     // Served pages are the "fetched" set the home-return accounting
     // partitions; re-serves (retries) are already in the set.
     s.served_pages.extend(batch.iter().map(|&(_, page)| page));
+    // One pooled segment per reply frame, payloads synthesized in
+    // place: the steady-state serving path allocates nothing.
+    let mut seg = pool.take();
     if batch.len() == 1 {
         let (req_id, page) = batch[0];
-        Frame::PageReply {
-            req_id,
-            page,
-            data: page_payload(page),
-        }
-        .encode_into(&mut s.out);
+        encode_page_reply_into(req_id, page, &mut seg);
     } else {
-        let req_id = batch[0].0;
-        let pages: Vec<(PageId, Vec<u8>)> = batch
-            .into_iter()
-            .map(|(_, page)| (page, page_payload(page)))
-            .collect();
-        Frame::PageBatchReply { req_id, pages }.encode_into(&mut s.out);
+        encode_page_batch_reply_into(&batch, &mut seg);
         s.local.batch_replies += 1;
-        stats.batch_replies.fetch_add(1, Ordering::Relaxed);
+        tally.batch_replies += 1;
     }
+    s.out.push_seg(seg, pool);
+    tally.peak_write_backlog = tally.peak_write_backlog.max(s.out.unflushed() as u64);
     s.local.pages_served += served;
     s.pages_this_conn += served;
-    stats.pages_served.fetch_add(served, Ordering::Relaxed);
+    tally.pages_served += served;
     s.local.busy_time_ns += served_at.elapsed().as_nanos() as u64;
     if let Some(limit) = cfg.drop_after_pages {
         if s.pages_this_conn >= limit {
             // Abrupt: unflushed replies are discarded with the socket,
             // so the migrant sees an EOF mid-stream.
-            stats.dropped_connections.fetch_add(1, Ordering::Relaxed);
+            tally.dropped_connections += 1;
             s.state = ConnState::Dropped;
         }
     }
 }
 
-/// Flushes as much of the outbound queue as the socket accepts.
-fn pump_writes(s: &mut SessionConn) -> bool {
-    if s.state == ConnState::Dropped || s.out_at >= s.out.len() {
+/// Flushes as much of the outbound queue as the socket accepts, handing
+/// up to [`MAX_WRITE_IOV`] queued segments to each `write_vectored`
+/// call — a whole DRR pass leaves in one syscall. Drained segments
+/// retire to the pool.
+fn pump_writes(s: &mut SessionConn, pool: &mut BufferPool, tally: &mut ShardTally) -> bool {
+    if s.state == ConnState::Dropped || s.out.is_empty() {
         return false;
     }
     let mut progress = false;
-    while s.out_at < s.out.len() {
-        match s.conn.write(&s.out[s.out_at..]) {
+    loop {
+        if s.out.is_empty() {
+            break;
+        }
+        const EMPTY: &[u8] = &[];
+        let mut bufs = [IoSlice::new(EMPTY); MAX_WRITE_IOV];
+        let n = s.out.fill_slices(&mut bufs);
+        match s.conn.write_vectored(&bufs[..n]) {
             Ok(0) => {
                 s.state = ConnState::Dropped;
                 return progress;
             }
-            Ok(n) => {
-                s.out_at += n;
+            Ok(written) => {
+                if n > 1 {
+                    tally.vectored_writes += 1;
+                }
+                s.out.advance(written, pool);
                 progress = true;
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
@@ -1181,13 +1679,8 @@ fn pump_writes(s: &mut SessionConn) -> bool {
             }
         }
     }
-    if s.out_at >= s.out.len() {
-        s.out.clear();
-        s.out_at = 0;
+    if s.out.is_empty() {
         let _ = s.conn.flush();
-    } else if s.out_at > 64 * 1024 {
-        s.out.drain(..s.out_at);
-        s.out_at = 0;
     }
     progress
 }
@@ -1290,6 +1783,105 @@ mod tests {
             !hello_gate(false, usize::MAX - 1, &default),
             "the default config never gates"
         );
+    }
+
+    #[test]
+    fn request_cap_compares_in_full_width() {
+        // The boundary: exactly at the cap is admitted, one past is not.
+        assert!(!exceeds_request_cap(4096, 4096));
+        assert!(exceeds_request_cap(4097, 4096));
+        assert!(!exceeds_request_cap(0, 0));
+        assert!(exceeds_request_cap(1, 0));
+        // The regression: `len as u32` wrapped 2³² to 0 and let the
+        // request through. (Lengths this large cannot arrive off the
+        // wire — MAX_FRAME_BYTES bounds a real request to ~131k pages —
+        // so the helper is the honest place to pin the arithmetic.)
+        #[cfg(target_pointer_width = "64")]
+        {
+            let wrap = (u32::MAX as usize) + 1; // == 2^32, wraps to 0u32
+            assert_eq!(wrap as u32, 0, "the old comparison saw this as 0");
+            assert!(exceeds_request_cap(wrap, 4096));
+            assert!(exceeds_request_cap(usize::MAX, u32::MAX));
+        }
+        assert!(!exceeds_request_cap(u32::MAX as usize, u32::MAX));
+    }
+
+    #[test]
+    fn inverted_or_zero_write_watermarks_are_rejected() {
+        let cfg = ServerConfig {
+            write_high_water: 1024,
+            write_low_water: 4096,
+            ..ServerConfig::default()
+        };
+        assert!(DeputyServer::bind_tcp("127.0.0.1:0", cfg).is_err());
+        let cfg = ServerConfig {
+            write_high_water: 0,
+            write_low_water: 0,
+            ..ServerConfig::default()
+        };
+        assert!(DeputyServer::bind_tcp("127.0.0.1:0", cfg).is_err());
+        // Equal watermarks are legal (degenerate hysteresis).
+        let cfg = ServerConfig {
+            write_high_water: 4096,
+            write_low_water: 4096,
+            ..ServerConfig::default()
+        };
+        let server = DeputyServer::bind_tcp("127.0.0.1:0", cfg).expect("equal marks bind");
+        server.shutdown();
+    }
+
+    #[test]
+    fn out_queue_accounts_and_recycles_segments() {
+        let mut pool = BufferPool::default();
+        let mut q = OutQueue::default();
+        assert!(q.is_empty());
+
+        q.push_seg(vec![1, 2, 3], &mut pool);
+        q.push_seg(Vec::new(), &mut pool); // empty: straight to the pool
+        q.push_seg(vec![4, 5], &mut pool);
+        assert_eq!(q.unflushed(), 5);
+
+        let mut bufs = [IoSlice::new(&[]); MAX_WRITE_IOV];
+        let n = q.fill_slices(&mut bufs);
+        assert_eq!(n, 2);
+        assert_eq!(&*bufs[0], &[1, 2, 3]);
+        assert_eq!(&*bufs[1], &[4, 5]);
+
+        // Partial flush inside the first segment...
+        q.advance(2, &mut pool);
+        assert_eq!(q.unflushed(), 3);
+        let mut bufs = [IoSlice::new(&[]); MAX_WRITE_IOV];
+        let n = q.fill_slices(&mut bufs);
+        assert_eq!(n, 2);
+        assert_eq!(&*bufs[0], &[3], "head_at skips the flushed prefix");
+
+        // ...then a flush spanning the segment boundary.
+        q.advance(3, &mut pool);
+        assert!(q.is_empty());
+        let mut bufs = [IoSlice::new(&[]); MAX_WRITE_IOV];
+        assert_eq!(q.fill_slices(&mut bufs), 0);
+
+        // Both drained segments (plus the empty push) were recycled.
+        assert_eq!(pool.free.len(), 3);
+        let seg = pool.take();
+        assert!(seg.is_empty(), "pooled segments come back cleared");
+        assert!(seg.capacity() >= 2, "capacity survives the recycle");
+    }
+
+    #[test]
+    fn frames_queued_via_pool_round_trip() {
+        let mut pool = BufferPool::default();
+        let mut q = OutQueue::default();
+        q.frame(&Frame::Ping { token: 9 }, &mut pool);
+        q.frame(&Frame::Bye, &mut pool);
+        let mut bufs = [IoSlice::new(&[]); MAX_WRITE_IOV];
+        let n = q.fill_slices(&mut bufs);
+        let wire: Vec<u8> = bufs[..n].iter().flat_map(|b| b.to_vec()).collect();
+        let mut fb = FrameBuffer::new();
+        fb.extend(&wire);
+        assert_eq!(fb.pop().unwrap(), Some(Frame::Ping { token: 9 }));
+        assert_eq!(fb.pop().unwrap(), Some(Frame::Bye));
+        assert_eq!(fb.pop().unwrap(), None);
     }
 
     #[test]
