@@ -28,7 +28,7 @@ impl MigrationModel {
     /// Remote-paging tax when the job's home deputy concurrently serves
     /// `migrants` away-jobs: the flat tax scaled by
     /// [`contention_factor`].
-    pub fn slowdown_shared(&self, migrants: u32, solo_saturation: f64) -> f64 {
+    pub fn slowdown_shared(&self, migrants: u64, solo_saturation: f64) -> f64 {
         self.slowdown() * contention_factor(solo_saturation, migrants)
     }
 }
@@ -42,8 +42,38 @@ impl MigrationModel {
 /// headroom and each migrant is served at full speed; past that point
 /// the shared capacity divides, and every page wait stretches by the
 /// overload ratio.
-pub fn contention_factor(solo_saturation: f64, migrants: u32) -> f64 {
-    (f64::from(migrants) * solo_saturation.clamp(0.0, 1.0)).max(1.0)
+pub fn contention_factor(solo_saturation: f64, migrants: u64) -> f64 {
+    (migrants as f64 * solo_saturation.clamp(0.0, 1.0)).max(1.0)
+}
+
+/// What a balancing policy needs to know about a runnable job. Both the
+/// tick-simulator's [`Job`] and the cluster-life engine's `LifeJob`
+/// implement this, so [`BalancePolicy::pick_migrant`] is the single
+/// decision rule for both.
+pub trait Migratable {
+    /// CPU work still outstanding.
+    fn remaining(&self) -> SimDuration;
+    /// Age at `now`.
+    fn age(&self, now: SimTime) -> SimDuration;
+    /// When the job last completed a migration, if ever.
+    fn last_migrated(&self) -> Option<SimTime>;
+    /// True when all work is done.
+    fn is_done(&self) -> bool;
+}
+
+impl Migratable for Job {
+    fn remaining(&self) -> SimDuration {
+        self.remaining
+    }
+    fn age(&self, now: SimTime) -> SimDuration {
+        Job::age(self, now)
+    }
+    fn last_migrated(&self) -> Option<SimTime> {
+        self.last_migrated
+    }
+    fn is_done(&self) -> bool {
+        Job::is_done(self)
+    }
 }
 
 /// Minimum believed load gap before any policy considers migrating: with
@@ -81,15 +111,20 @@ impl BalancePolicy {
     /// Both policies move the job with the most remaining work among the
     /// eligible ones (it amortises the freeze best); they differ in
     /// eligibility.
-    pub fn pick_migrant(&self, jobs: &[Job], now: SimTime, load_gap: f64) -> Option<usize> {
+    pub fn pick_migrant<J: Migratable>(
+        &self,
+        jobs: &[J],
+        now: SimTime,
+        load_gap: f64,
+    ) -> Option<usize> {
         if load_gap < MIN_GAP {
             return None;
         }
-        let rested = |j: &Job| match j.last_migrated {
+        let rested = |j: &J| match j.last_migrated() {
             Some(at) => now.saturating_since(at) >= RESIDENCY,
             None => true,
         };
-        let eligible = |j: &Job| {
+        let eligible = |j: &J| {
             rested(j)
                 && match self {
                     BalancePolicy::LifetimeThreshold(min_age) => j.age(now) >= *min_age,
@@ -99,7 +134,7 @@ impl BalancePolicy {
         jobs.iter()
             .enumerate()
             .filter(|(_, j)| eligible(j) && !j.is_done())
-            .max_by_key(|(_, j)| j.remaining)
+            .max_by_key(|(_, j)| j.remaining())
             .map(|(i, _)| i)
     }
 }
@@ -189,6 +224,20 @@ mod tests {
         };
         assert_eq!(ampom.slowdown_shared(1, 0.1), ampom.slowdown());
         assert!((ampom.slowdown_shared(30, 0.1) - ampom.slowdown() * 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contention_counter_survives_u32_boundary() {
+        // Mirrors the PR 9 `pages.len() as u32` fix: cluster-scale
+        // counters are u64 end to end. A migrant count past u32::MAX
+        // must keep scaling linearly instead of wrapping to ~0.
+        let beyond = u64::from(u32::MAX) + 5;
+        let factor = contention_factor(1.0, beyond);
+        assert!(
+            (factor - beyond as f64).abs() < 8.0,
+            "factor {factor} must track {beyond}, not wrap"
+        );
+        assert!(contention_factor(1.0, beyond) > contention_factor(1.0, u64::from(u32::MAX)));
     }
 
     #[test]

@@ -49,10 +49,12 @@ impl LoadView {
         });
     }
 
-    /// Merges a received entry, keeping the fresher measurement.
+    /// Merges a received entry under the pinned freshness rule of
+    /// [`merge_wins`]: strictly fresher wins; at equal timestamps the
+    /// higher load wins.
     pub fn merge(&mut self, node: usize, entry: LoadEntry) {
         match self.entries[node] {
-            Some(existing) if existing.measured_at >= entry.measured_at => {}
+            Some(existing) if !merge_wins(existing, entry) => {}
             _ => self.entries[node] = Some(entry),
         }
     }
@@ -104,6 +106,206 @@ impl LoadView {
         payload.extend(known);
         payload
     }
+}
+
+/// The pinned merge rule: does `incoming` replace `existing`?
+///
+/// * A strictly fresher measurement always wins.
+/// * At **equal timestamps** the **higher load** wins. Equal-timestamp
+///   conflicts are routine at scale: the balancer's pessimistic
+///   post-migration bump carries the same tick timestamp as the owner's
+///   own measurement, and two gossip paths can deliver both within one
+///   round. Higher-load-wins keeps the pessimism (no herding onto a node
+///   that was just picked) and, unlike first-or-last-writer-wins, is
+///   commutative and associative — the merged view is independent of
+///   delivery order, which the deterministic parallel engine relies on.
+/// * An equal-timestamp, equal-load entry does not replace (no-op).
+pub fn merge_wins(existing: LoadEntry, incoming: LoadEntry) -> bool {
+    incoming.measured_at > existing.measured_at
+        || (incoming.measured_at == existing.measured_at && incoming.load > existing.load)
+}
+
+/// A bounded, age-stamped load window — the 1000-node form of
+/// [`LoadView`].
+///
+/// A full `LoadView` holds one slot per cluster node, which is fine at 16
+/// nodes and pure waste at 1000+: MOSIX's dissemination deliberately keeps
+/// only a *window* of the freshest vector entries per node, because stale
+/// entries are worse than no entries. `WindowView` keeps at most
+/// `capacity` peer entries, rejects entries already older than the
+/// staleness bound at merge time, and evicts the stalest entry when full
+/// (ties broken by the higher node id, so eviction is deterministic).
+#[derive(Debug, Clone)]
+pub struct WindowView {
+    me: usize,
+    own: LoadEntry,
+    window: Vec<(usize, LoadEntry)>,
+    capacity: usize,
+}
+
+impl WindowView {
+    /// A fresh window for node `me` holding at most `capacity` peers.
+    pub fn new(me: usize, capacity: usize) -> Self {
+        assert!(capacity > 0, "WindowView needs a positive capacity");
+        WindowView {
+            me,
+            own: LoadEntry {
+                load: 0.0,
+                measured_at: SimTime::ZERO,
+            },
+            window: Vec::with_capacity(capacity.min(1024)),
+            capacity,
+        }
+    }
+
+    /// This node's id.
+    pub fn me(&self) -> usize {
+        self.me
+    }
+
+    /// Updates this node's own entry.
+    pub fn set_own(&mut self, load: f64, now: SimTime) {
+        self.own = LoadEntry {
+            load,
+            measured_at: now,
+        };
+    }
+
+    /// This node's own entry.
+    pub fn own(&self) -> LoadEntry {
+        self.own
+    }
+
+    /// Forgets everything but the own entry (a restarted node rejoins
+    /// with an empty window).
+    pub fn reset(&mut self, now: SimTime) {
+        self.window.clear();
+        self.own = LoadEntry {
+            load: 0.0,
+            measured_at: now,
+        };
+    }
+
+    /// The entry for `node`, if inside the window.
+    pub fn entry(&self, node: usize) -> Option<LoadEntry> {
+        if node == self.me {
+            return Some(self.own);
+        }
+        self.window
+            .iter()
+            .find(|(n, _)| *n == node)
+            .map(|&(_, e)| e)
+    }
+
+    /// How many peers the window currently holds.
+    pub fn known_peers(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Age of the stalest window entry at `now` (zero for an empty
+    /// window).
+    pub fn max_entry_age(&self, now: SimTime) -> ampom_sim::time::SimDuration {
+        self.window
+            .iter()
+            .map(|(_, e)| now.saturating_since(e.measured_at))
+            .max()
+            .unwrap_or(ampom_sim::time::SimDuration::ZERO)
+    }
+
+    /// Merges a received entry under the staleness bound: entries already
+    /// older than `max_age` at merge time are refused outright (a windowed
+    /// view never spends a slot on an entry it would not act on), fresher
+    /// entries win per [`merge_wins`], and a full window evicts its
+    /// stalest entry. Returns `true` when the window changed.
+    pub fn merge(
+        &mut self,
+        node: usize,
+        entry: LoadEntry,
+        now: SimTime,
+        max_age: ampom_sim::time::SimDuration,
+    ) -> bool {
+        if node == self.me {
+            return false;
+        }
+        if now.saturating_since(entry.measured_at) > max_age {
+            return false;
+        }
+        if let Some(slot) = self.window.iter_mut().find(|(n, _)| *n == node) {
+            if merge_wins(slot.1, entry) {
+                slot.1 = entry;
+                return true;
+            }
+            return false;
+        }
+        if self.window.len() >= self.capacity {
+            // Evict the stalest entry; ties broken toward the higher node
+            // id so eviction is a pure function of the window contents.
+            let victim = self
+                .window
+                .iter()
+                .enumerate()
+                .min_by(|(_, (an, ae)), (_, (bn, be))| {
+                    ae.measured_at.cmp(&be.measured_at).then(bn.cmp(an))
+                })
+                .map(|(i, _)| i)
+                .expect("non-empty window");
+            if !merge_wins(self.window[victim].1, entry)
+                && self.window[victim].1.measured_at >= entry.measured_at
+            {
+                // The incoming entry is staler than everything held.
+                return false;
+            }
+            self.window.swap_remove(victim);
+        }
+        self.window.push((node, entry));
+        true
+    }
+
+    /// The least-loaded known peer with a fresh-enough entry, ties broken
+    /// toward the lower node id (deterministic regardless of window
+    /// order).
+    pub fn least_loaded_peer(
+        &self,
+        now: SimTime,
+        max_age: ampom_sim::time::SimDuration,
+    ) -> Option<(usize, f64)> {
+        self.window
+            .iter()
+            .filter(|(_, e)| now.saturating_since(e.measured_at) <= max_age)
+            .map(|&(n, e)| (n, e.load))
+            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+    }
+
+    /// The MOSIX gossip payload: this node's own entry first, then a
+    /// random half of the window.
+    pub fn payload(&self, rng: &mut SimRng) -> Vec<(usize, LoadEntry)> {
+        let mut known: Vec<(usize, LoadEntry)> = self.window.clone();
+        rng.shuffle(&mut known);
+        known.truncate(known.len() / 2);
+        let mut payload = Vec::with_capacity(known.len() + 1);
+        payload.push((self.me, self.own));
+        payload.extend(known);
+        payload
+    }
+}
+
+/// One node's gossip plan for a tick: the chosen peer and the payload it
+/// sends there. Pure in `(view, rng)`, so an engine can compute all
+/// plans in parallel from an immutable snapshot and apply them in node
+/// order — the deliveries are then independent of the thread count.
+pub fn plan_gossip(
+    view: &WindowView,
+    nodes: usize,
+    rng: &mut SimRng,
+) -> Option<(usize, Vec<(usize, LoadEntry)>)> {
+    if nodes < 2 {
+        return None;
+    }
+    let mut target = rng.below(nodes as u64 - 1) as usize;
+    if target >= view.me() {
+        target += 1;
+    }
+    Some((target, view.payload(rng)))
 }
 
 /// Gossip parameters.
@@ -260,6 +462,191 @@ mod tests {
         assert_eq!(payload[0].1.load, 4.0);
         // Half of the two known peers = 1 extra entry.
         assert_eq!(payload.len(), 2);
+    }
+
+    #[test]
+    fn merge_equal_timestamp_higher_load_wins() {
+        // Regression for the previously unpinned tie-break: the old rule
+        // (`existing.measured_at >= entry.measured_at` keeps existing)
+        // silently dropped the balancer's pessimistic bump whenever it
+        // carried the same tick timestamp as the owner's measurement.
+        let mut v = LoadView::new(4, 0);
+        v.merge(
+            1,
+            LoadEntry {
+                load: 2.0,
+                measured_at: t(7),
+            },
+        );
+        v.merge(
+            1,
+            LoadEntry {
+                load: 3.0,
+                measured_at: t(7),
+            },
+        ); // same timestamp, higher load: wins
+        assert_eq!(v.entry(1).unwrap().load, 3.0);
+        v.merge(
+            1,
+            LoadEntry {
+                load: 1.0,
+                measured_at: t(7),
+            },
+        ); // same timestamp, lower load: loses
+        assert_eq!(v.entry(1).unwrap().load, 3.0);
+    }
+
+    #[test]
+    fn merge_rule_is_order_independent() {
+        // Any delivery order of the same entry set converges to the same
+        // view — the property the parallel engine's sequential-apply
+        // phase relies on.
+        let entries = [
+            LoadEntry {
+                load: 2.0,
+                measured_at: t(7),
+            },
+            LoadEntry {
+                load: 5.0,
+                measured_at: t(7),
+            },
+            LoadEntry {
+                load: 9.0,
+                measured_at: t(3),
+            },
+            LoadEntry {
+                load: 1.0,
+                measured_at: t(7),
+            },
+        ];
+        // All 4! orders, generated by repeated rotation/swap: simplest is
+        // to test a handful of distinct permutations.
+        let orders: [[usize; 4]; 6] = [
+            [0, 1, 2, 3],
+            [3, 2, 1, 0],
+            [1, 0, 3, 2],
+            [2, 3, 0, 1],
+            [1, 3, 0, 2],
+            [2, 0, 3, 1],
+        ];
+        for order in orders {
+            let mut v = LoadView::new(2, 0);
+            for &k in &order {
+                v.merge(1, entries[k]);
+            }
+            let got = v.entry(1).unwrap();
+            assert_eq!((got.load, got.measured_at), (5.0, t(7)), "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn window_refuses_stale_entries_at_merge_time() {
+        let mut w = WindowView::new(0, 8);
+        let max_age = SimDuration::from_secs(8);
+        assert!(!w.merge(
+            1,
+            LoadEntry {
+                load: 1.0,
+                measured_at: t(0),
+            },
+            t(20),
+            max_age,
+        ));
+        assert_eq!(w.known_peers(), 0);
+        assert!(w.merge(
+            1,
+            LoadEntry {
+                load: 1.0,
+                measured_at: t(15),
+            },
+            t(20),
+            max_age,
+        ));
+        assert_eq!(w.known_peers(), 1);
+    }
+
+    #[test]
+    fn window_evicts_stalest_deterministically() {
+        let mut w = WindowView::new(0, 2);
+        let max_age = SimDuration::from_secs(3600);
+        w.merge(
+            1,
+            LoadEntry {
+                load: 1.0,
+                measured_at: t(10),
+            },
+            t(10),
+            max_age,
+        );
+        w.merge(
+            2,
+            LoadEntry {
+                load: 2.0,
+                measured_at: t(10),
+            },
+            t(10),
+            max_age,
+        );
+        // Full window; a fresher entry for node 3 evicts the stalest.
+        // Both held entries share t(10), so the tie goes to the higher
+        // node id: node 2 is evicted.
+        assert!(w.merge(
+            3,
+            LoadEntry {
+                load: 9.0,
+                measured_at: t(11),
+            },
+            t(11),
+            max_age,
+        ));
+        assert_eq!(w.known_peers(), 2);
+        assert!(w.entry(1).is_some());
+        assert!(w.entry(2).is_none());
+        assert!(w.entry(3).is_some());
+        // An entry staler than everything held is refused even though the
+        // window is full of other nodes.
+        assert!(!w.merge(
+            4,
+            LoadEntry {
+                load: 0.1,
+                measured_at: t(9),
+            },
+            t(11),
+            max_age,
+        ));
+        assert!(w.entry(4).is_none());
+    }
+
+    #[test]
+    fn window_least_loaded_breaks_ties_by_node_id() {
+        let mut w = WindowView::new(0, 8);
+        let max_age = SimDuration::from_secs(60);
+        for node in [5, 2, 7] {
+            w.merge(
+                node,
+                LoadEntry {
+                    load: 1.0,
+                    measured_at: t(1),
+                },
+                t(1),
+                max_age,
+            );
+        }
+        assert_eq!(w.least_loaded_peer(t(2), max_age), Some((2, 1.0)));
+    }
+
+    #[test]
+    fn plan_gossip_never_targets_self() {
+        let mut w = WindowView::new(3, 8);
+        w.set_own(1.0, t(0));
+        let mut rng = SimRng::seed_from_u64(99);
+        for _ in 0..200 {
+            let (target, payload) = plan_gossip(&w, 8, &mut rng).unwrap();
+            assert_ne!(target, 3);
+            assert!(target < 8);
+            assert_eq!(payload[0].0, 3);
+        }
+        assert!(plan_gossip(&w, 1, &mut rng).is_none());
     }
 
     #[test]

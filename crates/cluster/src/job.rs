@@ -19,8 +19,10 @@ pub struct Job {
     pub remaining: SimDuration,
     /// Resident-set size in MB (drives migration cost).
     pub memory_mb: u64,
-    /// Number of times the job has been migrated.
-    pub migrations: u32,
+    /// Number of times the job has been migrated. u64: cluster-life runs
+    /// accumulate migrations over the whole horizon, and a capped counter
+    /// would truncate silently (the PR 9 `pages.len() as u32` lesson).
+    pub migrations: u64,
     /// When the job last completed a migration (residency cooldowns key
     /// off this; openMosix likewise requires a minimum residency before a
     /// process is eligible to move again).
@@ -67,7 +69,7 @@ pub struct Completion {
     /// Pure CPU demand (ideal single-node, idle-machine runtime).
     pub demand: SimDuration,
     /// Times migrated.
-    pub migrations: u32,
+    pub migrations: u64,
 }
 
 impl Completion {

@@ -18,7 +18,12 @@
 //!   the least-loaded *known* node when the imbalance justifies it),
 //! * [`simulation`] — the tick-driven cluster simulator combining
 //!   arrivals, gossip, decisions, processor-sharing execution and the
-//!   migration cost model calibrated from the paper's Figure 5/6 results.
+//!   migration cost model calibrated from the paper's Figure 5/6 results,
+//! * [`life`] — the cluster-life engine: Poisson arrivals over a Table 1
+//!   kernel mix, bounded [`gossip::WindowView`] dissemination at
+//!   300–1000+ nodes, lifecycle placement with remigration and
+//!   home-return chains, and a compute/apply tick split that is
+//!   bit-identical across thread counts.
 //!
 //! The headline experiment (`hpcc-repro ext-cluster`, and
 //! `examples/cluster_balance.rs`) compares eager-openMosix migration
@@ -28,9 +33,11 @@
 pub mod balancer;
 pub mod gossip;
 pub mod job;
+pub mod life;
 pub mod simulation;
 
-pub use balancer::{BalancePolicy, MigrationModel};
-pub use gossip::{GossipConfig, LoadView};
+pub use balancer::{BalancePolicy, Migratable, MigrationModel};
+pub use gossip::{GossipConfig, LoadView, WindowView};
 pub use job::{Job, JobId};
+pub use life::{run_cluster_life, CrashEvent, JobMix, JobSpec, LifeConfig, LifeJob, LifeOutcome};
 pub use simulation::{simulate, ClusterConfig, ClusterOutcome};

@@ -114,12 +114,13 @@ struct NodeState {
     downlink: Link,
     /// Jobs currently running elsewhere whose home deputy this node is:
     /// they share its page service, so their count sets the contention
-    /// factor of the paging tax.
-    away: u32,
+    /// factor of the paging tax. u64 like every cluster counter: a
+    /// long-horizon run must never truncate silently.
+    away: u64,
 }
 
 /// Bytes a migration moves during its freeze, per scheme.
-fn freeze_bytes(scheme: Scheme, memory_mb: u64) -> u64 {
+pub fn freeze_bytes(scheme: Scheme, memory_mb: u64) -> u64 {
     let pages = memory_mb * 1024 * 1024 / PAGE_SIZE;
     match scheme {
         Scheme::OpenMosix => memory_mb * 1024 * 1024,
@@ -395,7 +396,7 @@ mod tests {
     #[test]
     fn migrated_jobs_carry_their_count() {
         let out = outcome(BalancePolicy::Aggressive, Scheme::Ampom, 4);
-        let migrated: u64 = out.completions.iter().map(|c| c.migrations as u64).sum();
+        let migrated: u64 = out.completions.iter().map(|c| c.migrations).sum();
         assert_eq!(migrated, out.migrations);
     }
 

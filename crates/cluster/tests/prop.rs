@@ -82,9 +82,13 @@ fn merge_never_regresses_freshness() {
                     measured_at: at,
                 },
             );
+            // Oracle mirrors the pinned rule: strictly fresher wins, and
+            // at equal timestamps the higher load wins.
             match freshest {
                 None => freshest = Some((at, load)),
-                Some((best, _)) if at > best => freshest = Some((at, load)),
+                Some((best, best_load)) if at > best || (at == best && load > best_load) => {
+                    freshest = Some((at, load))
+                }
                 _ => {}
             }
             let entry = v.entry(1).unwrap();

@@ -107,6 +107,74 @@ impl WritebackSpec {
     }
 }
 
+/// Closed-form per-migration costs for cluster-scale composition.
+///
+/// [`run_lifecycle`] simulates one migrant's out → dirty → writeback →
+/// return chain page by page. A 1000-node cluster-life engine cannot
+/// afford that per job, so it charges this analytic model built from the
+/// *same* constants: outbound freezes from
+/// [`crate::scheduler::freeze_time`], return traffic from the dirty
+/// footprint via [`writeback_batch_bytes`] (the home-return merge only
+/// ships pages the away phase dirtied — clean pages are free at home,
+/// §2.2), and the return freeze as the scheme's freeze over that dirty
+/// footprint. The two layers therefore stay calibrated against each
+/// other by construction, which `cost_model_tracks_lifecycle_constants`
+/// pins.
+#[derive(Debug, Clone, Copy)]
+pub struct LifecycleCostModel {
+    /// The migration mechanism.
+    pub scheme: Scheme,
+    /// Writeback batching knobs (set the return wire overhead).
+    pub writeback: WritebackSpec,
+}
+
+impl LifecycleCostModel {
+    /// A model for `scheme` with default writeback batching.
+    pub fn new(scheme: Scheme) -> Self {
+        LifecycleCostModel {
+            scheme,
+            writeback: WritebackSpec::default(),
+        }
+    }
+
+    /// Freeze paid when the job leaves home (or remigrates): the Figure 5
+    /// calibration for the scheme.
+    pub fn outbound_freeze(&self, memory_mb: u64) -> SimDuration {
+        crate::scheduler::freeze_time(self.scheme, memory_mb)
+    }
+
+    /// Pages the away phase dirtied and the return must reconcile.
+    pub fn dirty_pages(&self, memory_mb: u64, dirty_fraction: f64) -> u64 {
+        let pages = memory_mb * 1024 * 1024 / PAGE_SIZE;
+        (pages as f64 * dirty_fraction.clamp(0.0, 1.0)).ceil() as u64
+    }
+
+    /// Bytes the home-return ships: the dirty pages in writeback batches
+    /// of at most `max_batch_pages`, each paying the batch header and
+    /// per-entry overhead. Eager openMosix has no writeback channel — its
+    /// return re-ships the whole footprint, exactly like the outbound
+    /// copy.
+    pub fn return_bytes(&self, memory_mb: u64, dirty_fraction: f64) -> u64 {
+        match self.scheme {
+            Scheme::OpenMosix => memory_mb * 1024 * 1024,
+            Scheme::Ampom | Scheme::NoPrefetch | Scheme::Ffa => {
+                let dirty = self.dirty_pages(memory_mb, dirty_fraction);
+                let cap = self.writeback.max_batch_pages as u64;
+                let batches = dirty.div_ceil(cap.max(1));
+                dirty * (PAGE_SIZE + WRITEBACK_ENTRY_OVERHEAD) + batches * WRITEBACK_HEADER_BYTES
+            }
+        }
+    }
+
+    /// Software freeze paid at return: the scheme's freeze over the dirty
+    /// footprint only (pages never touched away are free at home).
+    pub fn return_freeze(&self, memory_mb: u64, dirty_fraction: f64) -> SimDuration {
+        let dirty_mb =
+            (self.dirty_pages(memory_mb, dirty_fraction) * PAGE_SIZE).div_ceil(1024 * 1024);
+        crate::scheduler::freeze_time(self.scheme, dirty_mb.max(1))
+    }
+}
+
 /// Configuration of one lifecycle run (out → dirty → writeback → return).
 #[derive(Debug, Clone)]
 pub struct LifecycleConfig {
@@ -920,6 +988,45 @@ mod tests {
     use ampom_workloads::synthetic::{Sequential, SequentialWrite};
 
     const CPU: SimDuration = SimDuration::from_micros(15);
+
+    #[test]
+    fn cost_model_tracks_lifecycle_constants() {
+        let m = LifecycleCostModel::new(Scheme::Ampom);
+        // Outbound freeze is exactly the Figure 5 calibration.
+        assert_eq!(
+            m.outbound_freeze(230),
+            crate::scheduler::freeze_time(Scheme::Ampom, 230)
+        );
+        // Return bytes are the dirty pages in capped writeback batches
+        // with the v4 frame overheads — the same constants the simulated
+        // writeback engine charges per flush.
+        let dirty = m.dirty_pages(230, 0.25);
+        let batches = dirty.div_ceil(m.writeback.max_batch_pages as u64);
+        assert_eq!(
+            m.return_bytes(230, 0.25),
+            dirty * (PAGE_SIZE + WRITEBACK_ENTRY_OVERHEAD) + batches * WRITEBACK_HEADER_BYTES
+        );
+        // A fully clean away phase returns almost for free; eager
+        // openMosix re-ships the footprint regardless.
+        assert!(m.return_bytes(230, 0.0) == 0);
+        let eager = LifecycleCostModel::new(Scheme::OpenMosix);
+        assert_eq!(eager.return_bytes(230, 0.0), 230 * 1024 * 1024);
+        assert_eq!(eager.return_bytes(230, 1.0), 230 * 1024 * 1024);
+    }
+
+    #[test]
+    fn cost_model_return_freeze_scales_with_dirty_footprint() {
+        let m = LifecycleCostModel::new(Scheme::Ampom);
+        let clean = m.return_freeze(460, 0.01);
+        let dirty = m.return_freeze(460, 1.0);
+        assert!(clean < dirty, "{clean:?} vs {dirty:?}");
+        // The dirtiest return costs exactly the freeze of the full
+        // footprint.
+        assert_eq!(dirty, crate::scheduler::freeze_time(Scheme::Ampom, 460));
+        // Degenerate dirty fractions clamp instead of exploding.
+        assert_eq!(m.dirty_pages(230, -1.0), 0);
+        assert_eq!(m.dirty_pages(230, 2.0), m.dirty_pages(230, 1.0));
+    }
 
     // Stores-only sweeps: every touched page is dirtied, so the writeback
     // engine has real work to conserve (Sequential is read-only).

@@ -1,0 +1,538 @@
+//! `hpcc-repro clusterlife` — the cluster-life engine as a reported fact.
+//!
+//! Drives [`ampom_cluster::run_cluster_life`] over a panel of cluster
+//! sizes and migration schemes, re-running every cell at several thread
+//! counts plus one repeat and refusing to report anything unless every
+//! run produced the same fingerprint. The output is the same
+//! self-verified shape as the other commands: an append-only JSONL fact
+//! stream, a Prometheus-style metrics dump, and a compact
+//! `BENCH_cluster.json` perf fact gated by `--baseline` at 80 % of the
+//! committed per-cell throughput.
+
+use std::time::{Duration, Instant};
+
+use ampom_cluster::{run_cluster_life, LifeConfig, LifeOutcome};
+use ampom_core::migration::Scheme;
+use ampom_core::AmpomError;
+use ampom_obs::{parse, JsonValue, JsonWriter, MetricsRegistry};
+use ampom_sim::time::SimDuration;
+
+use crate::chaos_cmd::env_seed;
+use crate::report::AsciiTable;
+
+/// Version stamp carried by every JSONL fact line.
+pub const FACTS_SCHEMA: u64 = 1;
+
+/// Thread counts every cell must agree across. The determinism contract
+/// of the engine is that the count is invisible; this is where we hold
+/// it to that.
+const THREAD_PANEL: [usize; 3] = [1, 2, 8];
+
+/// Options for `hpcc-repro clusterlife`.
+#[derive(Debug, Clone)]
+pub struct ClusterLifeOptions {
+    /// Smaller panel and shorter horizon for CI smoke runs.
+    pub quick: bool,
+    /// Base RNG seed (from `AMPOM_FAULT_SEED` when unset).
+    pub seed: u64,
+}
+
+impl Default for ClusterLifeOptions {
+    fn default() -> Self {
+        ClusterLifeOptions {
+            quick: false,
+            seed: env_seed(),
+        }
+    }
+}
+
+impl ClusterLifeOptions {
+    /// `(nodes, scheme, horizon)` cells. The full panel reproduces the
+    /// 300-node comparison and the 1000-node scale point of
+    /// EXPERIMENTS.md; quick mode shrinks both axes for CI.
+    pub fn panel(&self) -> Vec<(usize, Scheme, SimDuration)> {
+        if self.quick {
+            let h = SimDuration::from_secs(600);
+            vec![(64, Scheme::Ampom, h), (64, Scheme::OpenMosix, h)]
+        } else {
+            let h = SimDuration::from_secs(3600);
+            vec![
+                (300, Scheme::Ampom, h),
+                (300, Scheme::OpenMosix, h),
+                (1000, Scheme::Ampom, h),
+            ]
+        }
+    }
+}
+
+/// One measured `(nodes, scheme)` cell, determinism already enforced.
+#[derive(Debug)]
+pub struct ClusterCell {
+    pub nodes: usize,
+    pub scheme: Scheme,
+    pub horizon: SimDuration,
+    pub outcome: LifeOutcome,
+    /// Fingerprint shared by every thread-count run and the repeat.
+    pub fingerprint: u64,
+    /// Wall-clock for all determinism runs of this cell combined.
+    pub wall: Duration,
+}
+
+/// A completed clusterlife invocation: the cells plus the three rendered
+/// artifacts.
+#[derive(Debug)]
+pub struct ClusterLifeRun {
+    pub cells: Vec<ClusterCell>,
+    pub jsonl: String,
+    pub prometheus: String,
+    pub bench_json: String,
+}
+
+fn run_cell(
+    nodes: usize,
+    scheme: Scheme,
+    horizon: SimDuration,
+    seed: u64,
+) -> Result<ClusterCell, AmpomError> {
+    let mut cfg = LifeConfig::standard(nodes, scheme);
+    cfg.horizon = horizon;
+    cfg.seed = seed;
+    cfg.validate().map_err(AmpomError::InvalidConfig)?;
+
+    let started = Instant::now();
+    let mut runs: Vec<(usize, LifeOutcome)> = Vec::new();
+    for &t in &THREAD_PANEL {
+        let mut c = cfg.clone();
+        c.threads = t;
+        runs.push((t, run_cluster_life(&c)));
+    }
+    // One repeat at the widest thread count: catches nondeterminism that
+    // a single pass per count would miss (e.g. leaked wall-clock state).
+    let repeat_threads = *THREAD_PANEL.last().unwrap();
+    let mut c = cfg.clone();
+    c.threads = repeat_threads;
+    runs.push((repeat_threads, run_cluster_life(&c)));
+
+    let fingerprint = runs[0].1.fingerprint();
+    for (t, outcome) in &runs[1..] {
+        let f = outcome.fingerprint();
+        if f != fingerprint {
+            return Err(AmpomError::InvalidConfig(format!(
+                "clusterlife {nodes}x{scheme}: fingerprint diverged at \
+                 {t} thread(s): {f:#018x} vs {fingerprint:#018x}"
+            )));
+        }
+    }
+    let outcome = runs.pop().unwrap().1;
+    if !outcome.conserves_jobs() {
+        return Err(AmpomError::InvalidConfig(format!(
+            "clusterlife {nodes}x{scheme}: job conservation violated: \
+             {} arrived != {} completed + {} failed + {} running",
+            outcome.arrived, outcome.completed, outcome.failed, outcome.running_at_horizon
+        )));
+    }
+    Ok(ClusterCell {
+        nodes,
+        scheme,
+        horizon,
+        outcome,
+        fingerprint,
+        wall: started.elapsed(),
+    })
+}
+
+/// Runs the panel, each cell across the full thread panel plus a repeat.
+pub fn run_clusterlife(opts: &ClusterLifeOptions) -> Result<ClusterLifeRun, AmpomError> {
+    let mut cells = Vec::new();
+    for (nodes, scheme, horizon) in opts.panel() {
+        eprintln!(
+            "clusterlife: {nodes} nodes, {scheme}, {}s horizon, threads \
+             {THREAD_PANEL:?} + repeat...",
+            horizon.as_secs_f64()
+        );
+        cells.push(run_cell(nodes, scheme, horizon, opts.seed)?);
+    }
+    let jsonl = render_facts(&cells, opts.seed);
+    let prometheus = render_metrics(&cells);
+    let bench_json = render_bench(&cells, opts.seed);
+    Ok(ClusterLifeRun {
+        cells,
+        jsonl,
+        prometheus,
+        bench_json,
+    })
+}
+
+fn hex_fp(fp: u64) -> String {
+    format!("{fp:#018x}")
+}
+
+/// One `cluster-cell` JSONL line per cell under a `clusterlife-run`
+/// header, every line schema-stamped.
+fn render_facts(cells: &[ClusterCell], seed: u64) -> String {
+    let mut lines = Vec::new();
+    let mut header = JsonWriter::object();
+    header.field_str("type", "clusterlife-run");
+    header.field_u64("schema", FACTS_SCHEMA);
+    header.field_u64("seed", seed);
+    header.field_u64("cells", cells.len() as u64);
+    lines.push(header.close());
+    for c in cells {
+        let o = &c.outcome;
+        let mut w = JsonWriter::object();
+        w.field_str("type", "cluster-cell");
+        w.field_u64("schema", FACTS_SCHEMA);
+        w.field_u64("nodes", c.nodes as u64);
+        w.field_str("scheme", c.scheme.name());
+        w.field_f64("horizon_s", c.horizon.as_secs_f64());
+        w.field_u64("arrived", o.arrived);
+        w.field_u64("completed", o.completed);
+        w.field_u64("failed", o.failed);
+        w.field_u64("running_at_horizon", o.running_at_horizon);
+        w.field_u64("migrations", o.migrations);
+        w.field_u64("out_migrations", o.out_migrations);
+        w.field_u64("remigrations", o.remigrations);
+        w.field_u64("returns_home", o.returns_home);
+        w.field_u64("gossip_messages", o.gossip_messages);
+        w.field_u64("gossip_entries_merged", o.gossip_entries_merged);
+        w.field_u64("storm_ticks", o.storm_ticks);
+        w.field_u64("peak_migrations_per_tick", o.peak_migrations_per_tick);
+        w.field_u64("max_live_stubs", o.max_live_stubs);
+        w.field_f64("freeze_paid_s", o.freeze_paid.as_secs_f64());
+        w.field_u64("bytes_moved", o.bytes_moved);
+        w.field_f64("mean_slowdown", o.slowdown.mean());
+        w.field_f64("p50_slowdown", o.p50_slowdown);
+        w.field_f64("p99_slowdown", o.p99_slowdown);
+        w.field_f64("mean_load_stddev", o.mean_load_stddev);
+        w.field_f64("final_load_stddev", o.final_load_stddev);
+        w.field_f64("throughput_jobs_per_hour", o.throughput_jobs_per_hour);
+        w.field_str("fingerprint", &hex_fp(c.fingerprint));
+        lines.push(w.close());
+    }
+    lines.join("\n") + "\n"
+}
+
+/// `ampom_cluster_<scheme>_n<nodes>_*` gauges and counters.
+fn render_metrics(cells: &[ClusterCell]) -> String {
+    let mut reg = MetricsRegistry::new();
+    for c in cells {
+        let key = format!(
+            "{}_n{}",
+            c.scheme.name().to_lowercase().replace('-', "_"),
+            c.nodes
+        );
+        reg.export_gauge(
+            &format!("ampom_cluster_{key}_throughput_jobs_per_hour"),
+            "completed jobs per simulated hour",
+            c.outcome.throughput_jobs_per_hour,
+        );
+        reg.export_gauge(
+            &format!("ampom_cluster_{key}_p99_slowdown"),
+            "tail completed-job slowdown",
+            c.outcome.p99_slowdown,
+        );
+        reg.export_gauge(
+            &format!("ampom_cluster_{key}_mean_load_stddev"),
+            "time-averaged stddev of per-node run-queue lengths",
+            c.outcome.mean_load_stddev,
+        );
+        reg.export_counter(
+            &format!("ampom_cluster_{key}_storm_ticks_total"),
+            "ticks whose migration count crossed the storm threshold",
+            c.outcome.storm_ticks,
+        );
+        reg.export_counter(
+            &format!("ampom_cluster_{key}_migrations_total"),
+            "out-migrations + remigrations + home returns",
+            c.outcome.migrations,
+        );
+    }
+    reg.render_prometheus()
+}
+
+/// The `BENCH_cluster.json` fact: one compact cell entry per measurement.
+fn render_bench(cells: &[ClusterCell], seed: u64) -> String {
+    let entries: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            let mut w = JsonWriter::object();
+            w.field_u64("nodes", c.nodes as u64);
+            w.field_str("scheme", c.scheme.name());
+            w.field_f64(
+                "throughput_jobs_per_hour",
+                c.outcome.throughput_jobs_per_hour,
+            );
+            w.field_f64("p99_slowdown", c.outcome.p99_slowdown);
+            w.field_str("fingerprint", &hex_fp(c.fingerprint));
+            w.close()
+        })
+        .collect();
+    let mut w = JsonWriter::object();
+    w.field_str("bench", "cluster");
+    w.field_u64("schema", FACTS_SCHEMA);
+    w.field_u64("seed", seed);
+    w.field_raw("cells", &format!("[{}]", entries.join(",")));
+    w.close() + "\n"
+}
+
+/// Self-verification: every fact line parses, carries the schema stamp,
+/// the header accounts for every cell, and every cell's counters are
+/// internally consistent — jobs conserve, the migration kinds sum to the
+/// total, and no job ever held two live deputy stubs.
+pub fn verify_facts(jsonl: &str) -> Result<(), String> {
+    let mut declared: Option<u64> = None;
+    let mut cell_lines = 0u64;
+    for (i, line) in jsonl.lines().enumerate() {
+        let v = parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+        let schema = v
+            .get("schema")
+            .and_then(|s| s.as_u64())
+            .ok_or_else(|| format!("line {}: missing \"schema\"", i + 1))?;
+        if schema != FACTS_SCHEMA {
+            return Err(format!("line {}: schema {schema} != {FACTS_SCHEMA}", i + 1));
+        }
+        match v.get("type").and_then(|t| t.as_str()) {
+            Some("clusterlife-run") => {
+                declared = Some(
+                    v.get("cells")
+                        .and_then(|c| c.as_u64())
+                        .ok_or_else(|| format!("line {}: header lacks cells", i + 1))?,
+                );
+            }
+            Some("cluster-cell") => {
+                cell_lines += 1;
+                let u64_field = |key: &str| {
+                    v.get(key)
+                        .and_then(|x| x.as_u64())
+                        .ok_or_else(|| format!("line {}: cell lacks {key}", i + 1))
+                };
+                let arrived = u64_field("arrived")?;
+                let settled = u64_field("completed")?
+                    + u64_field("failed")?
+                    + u64_field("running_at_horizon")?;
+                if arrived != settled {
+                    return Err(format!(
+                        "line {}: job conservation violated ({arrived} arrived, \
+                         {settled} accounted)",
+                        i + 1
+                    ));
+                }
+                let kinds = u64_field("out_migrations")?
+                    + u64_field("remigrations")?
+                    + u64_field("returns_home")?;
+                if u64_field("migrations")? != kinds {
+                    return Err(format!(
+                        "line {}: migration kinds do not sum to the total",
+                        i + 1
+                    ));
+                }
+                if u64_field("max_live_stubs")? > 1 {
+                    return Err(format!(
+                        "line {}: deputy-chain avoidance violated (>1 live stub)",
+                        i + 1
+                    ));
+                }
+                if u64_field("completed")? == 0 {
+                    return Err(format!("line {}: cell completed no jobs", i + 1));
+                }
+                let fp = v
+                    .get("fingerprint")
+                    .and_then(|f| f.as_str())
+                    .ok_or_else(|| format!("line {}: cell lacks fingerprint", i + 1))?;
+                if !fp.starts_with("0x") || fp.len() != 18 {
+                    return Err(format!("line {}: malformed fingerprint {fp:?}", i + 1));
+                }
+            }
+            other => return Err(format!("line {}: unknown fact type {other:?}", i + 1)),
+        }
+    }
+    match declared {
+        None => Err("no clusterlife-run header line".into()),
+        Some(c) if c != cell_lines => Err(format!(
+            "header declares {c} cells but the stream has {cell_lines}"
+        )),
+        Some(_) => Ok(()),
+    }
+}
+
+/// Pulls `(nodes, scheme) -> throughput` out of a `BENCH_cluster.json`
+/// document.
+fn bench_cells(doc: &JsonValue) -> Result<Vec<(u64, String, f64)>, String> {
+    let cells = match doc.get("cells") {
+        Some(JsonValue::Arr(items)) => items,
+        _ => return Err("bench fact lacks a cells array".into()),
+    };
+    cells
+        .iter()
+        .map(|c| {
+            let nodes = c
+                .get("nodes")
+                .and_then(|n| n.as_u64())
+                .ok_or("cell lacks nodes")?;
+            let scheme = c
+                .get("scheme")
+                .and_then(|s| s.as_str())
+                .ok_or("cell lacks scheme")?
+                .to_string();
+            let thr = c
+                .get("throughput_jobs_per_hour")
+                .and_then(|t| t.as_f64())
+                .ok_or("cell lacks throughput_jobs_per_hour")?;
+            Ok((nodes, scheme, thr))
+        })
+        .collect()
+}
+
+/// Regression gate: every baseline (nodes, scheme) cell present in the
+/// fresh run must hold at least 80 % of its committed throughput.
+/// Returns a human summary on success.
+pub fn check_baseline(current_json: &str, baseline_json: &str) -> Result<String, String> {
+    let current = parse(current_json.trim()).map_err(|e| format!("current fact: {e}"))?;
+    let baseline = parse(baseline_json.trim()).map_err(|e| format!("baseline fact: {e}"))?;
+    let cur = bench_cells(&current)?;
+    let base = bench_cells(&baseline)?;
+    let mut compared = 0usize;
+    for (nodes, scheme, was) in &base {
+        let Some((_, _, now)) = cur.iter().find(|(n, s, _)| n == nodes && s == scheme) else {
+            continue;
+        };
+        compared += 1;
+        if *now < was * 0.8 {
+            return Err(format!(
+                "{scheme}/{nodes} nodes regressed: {now:.1} jobs/h vs \
+                 baseline {was:.1} (floor {:.1})",
+                was * 0.8
+            ));
+        }
+    }
+    if compared == 0 {
+        return Err("no (nodes, scheme) cell overlaps the baseline".into());
+    }
+    Ok(format!("{compared} cell(s) within 20 % of baseline"))
+}
+
+/// The clusterlife table: one row per cell.
+pub fn clusterlife_table(run: &ClusterLifeRun) -> AsciiTable {
+    let mut t = AsciiTable::new(
+        "clusterlife: cluster-scale job flow under gossip-informed migration",
+        &[
+            "nodes",
+            "scheme",
+            "jobs/h",
+            "completed",
+            "out/remig/return",
+            "storms",
+            "p99 slow",
+            "load dev",
+            "GB moved",
+            "fingerprint",
+        ],
+    );
+    for c in &run.cells {
+        let o = &c.outcome;
+        t.row(vec![
+            c.nodes.to_string(),
+            c.scheme.name().to_string(),
+            format!("{:.0}", o.throughput_jobs_per_hour),
+            o.completed.to_string(),
+            format!("{}/{}/{}", o.out_migrations, o.remigrations, o.returns_home),
+            o.storm_ticks.to_string(),
+            format!("{:.2}", o.p99_slowdown),
+            format!("{:.2}", o.mean_load_stddev),
+            format!("{:.1}", o.bytes_moved as f64 / (1u64 << 30) as f64),
+            hex_fp(c.fingerprint),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cells() -> Vec<ClusterCell> {
+        let mut cfg = LifeConfig::standard(8, Scheme::Ampom);
+        cfg.horizon = SimDuration::from_secs(240);
+        cfg.seed = 7;
+        let outcome = run_cluster_life(&cfg);
+        let fingerprint = outcome.fingerprint();
+        vec![ClusterCell {
+            nodes: 8,
+            scheme: Scheme::Ampom,
+            horizon: cfg.horizon,
+            outcome,
+            fingerprint,
+            wall: Duration::from_millis(1),
+        }]
+    }
+
+    #[test]
+    fn facts_self_verify() {
+        let cells = tiny_cells();
+        let jsonl = render_facts(&cells, 7);
+        verify_facts(&jsonl).expect("facts verify");
+    }
+
+    #[test]
+    fn doctored_facts_are_rejected() {
+        let cells = tiny_cells();
+        let jsonl = render_facts(&cells, 7);
+        // Break conservation in the cell line and the stream must fail.
+        let broken = jsonl.replacen("\"arrived\":", "\"arrived_was\":999,\"arrived\":", 1);
+        let broken = {
+            let o = &cells[0].outcome;
+            broken.replacen(
+                &format!("\"arrived\":{}", o.arrived),
+                &format!("\"arrived\":{}", o.arrived + 1),
+                1,
+            )
+        };
+        assert!(verify_facts(&broken).is_err());
+        // Truncating the stream breaks the header count.
+        let header_only = jsonl.lines().next().unwrap().to_string();
+        assert!(verify_facts(&header_only).is_err());
+    }
+
+    #[test]
+    fn bench_fact_passes_its_own_baseline() {
+        let cells = tiny_cells();
+        let bench = render_bench(&cells, 7);
+        let msg = check_baseline(&bench, &bench).expect("self-baseline holds");
+        assert!(msg.contains("1 cell(s)"));
+    }
+
+    #[test]
+    fn baseline_gate_catches_regression() {
+        let cells = tiny_cells();
+        let bench = render_bench(&cells, 7);
+        let thr = cells[0].outcome.throughput_jobs_per_hour;
+        let inflated = bench.replacen(
+            &format!("\"throughput_jobs_per_hour\":{thr}"),
+            &format!("\"throughput_jobs_per_hour\":{}", thr * 2.0),
+            1,
+        );
+        assert_ne!(inflated, bench, "replacement must hit");
+        // Baseline twice as fast as current -> current is below the floor.
+        assert!(check_baseline(&bench, &inflated).is_err());
+        // Disjoint panels are an error, not a silent pass.
+        let other = bench.replace("\"nodes\":8", "\"nodes\":9");
+        assert!(check_baseline(&bench, &other).is_err());
+    }
+
+    #[test]
+    fn metrics_and_table_render() {
+        let cells = tiny_cells();
+        let prom = render_metrics(&cells);
+        assert!(prom.contains("ampom_cluster_ampom_n8_throughput_jobs_per_hour"));
+        assert!(prom.contains("ampom_cluster_ampom_n8_storm_ticks_total"));
+        let run = ClusterLifeRun {
+            jsonl: render_facts(&cells, 7),
+            prometheus: prom,
+            bench_json: render_bench(&cells, 7),
+            cells,
+        };
+        let text = clusterlife_table(&run).render();
+        assert!(text.contains("AMPoM"));
+        assert!(text.contains("0x"));
+    }
+}

@@ -52,11 +52,19 @@
 //! page audit, JSONL facts and the committed `BENCH_deputy.json` fact
 //! with a `--baseline` regression gate.
 //!
+//! The [`clusterlife`] module backs `hpcc-repro clusterlife`: the
+//! cluster-life engine (Poisson arrivals over the Table 1 kernel mix,
+//! windowed gossip at 300–1000 nodes, remigration and home-return
+//! chains) run at several thread counts per cell with a fingerprint
+//! determinism gate — JSONL facts and the committed `BENCH_cluster.json`
+//! fact with a `--baseline` regression gate.
+//!
 //! The `hpcc-repro` binary drives these; see `hpcc-repro --help`.
 
 pub mod bakeoff;
 pub mod chaos_cmd;
 pub mod checks;
+pub mod clusterlife;
 pub mod deputybench;
 pub mod experiments;
 pub mod extensions;

@@ -47,6 +47,10 @@
 //!   deputybench C10K session sweep against one loopback deputy, reactor
 //!             vs sleep-poll wait modes: pages/s, p99 completion latency,
 //!             idle CPU, exactly-once audit, BENCH_deputy.json
+//!   clusterlife cluster-life engine at 300/1000 nodes (64 quick):
+//!             Poisson arrivals, windowed gossip, remigration and
+//!             home-return chains, per-cell thread-count determinism
+//!             gate, JSONL facts, BENCH_cluster.json
 //!
 //! Options:
 //!   --quick   tiny problem sizes (seconds instead of minutes)
@@ -66,12 +70,16 @@
 //!                    (default ./BENCH_lifecycle.json)
 //!                    deputybench: write BENCH_deputy.json to PATH
 //!                    (default ./BENCH_deputy.json)
+//!                    clusterlife: write BENCH_cluster.json to PATH
+//!                    (default ./BENCH_cluster.json)
 //!   --sessions LIST  deputybench: comma-separated session panel
 //!                    (default 64,256,1000 quick; +4000,10000 full)
 //!   --baseline PATH  deputybench: compare against a committed
 //!                    BENCH_deputy.json; >20% pages/s regression fails
+//!                    clusterlife: compare against a committed
+//!                    BENCH_cluster.json; >20% throughput regression fails
 //!
-//! `chaos` and `lifecycle` seed their fault plans from the
+//! `chaos`, `lifecycle` and `clusterlife` seed their runs from the
 //! `AMPOM_FAULT_SEED` environment variable (default 42), matching the CI
 //! fault matrix.
 //! ```
@@ -83,7 +91,9 @@ use ampom_core::migration::Scheme;
 use ampom_hpcc::matrix::{full_matrix, Cell};
 use ampom_hpcc::profile::{self, ProfileOptions};
 use ampom_hpcc::report::AsciiTable;
-use ampom_hpcc::{chaos_cmd, checks, deputybench, experiments, extensions, lifecycle_cmd, live};
+use ampom_hpcc::{
+    chaos_cmd, checks, clusterlife, deputybench, experiments, extensions, lifecycle_cmd, live,
+};
 use ampom_workloads::Kernel;
 
 struct Options {
@@ -198,7 +208,7 @@ fn parse_args() -> Options {
             "--help" | "-h" => {
                 println!(
                     "hpcc-repro [all|table1|fig2|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|\
-                     ext-vm|ext-cluster|ext-ptrans|ext-interactive|ext-roundtrip|ext-syscall|ext-pressure|ext-hpl|ext-locality|ext-timing|ext-gossip|ext-accuracy|parsweep|faultsweep|timeline|check|sweep|live|calibrate|profile|multisweep|bakeoff|chaos|lifecycle|deputybench] \
+                     ext-vm|ext-cluster|ext-ptrans|ext-interactive|ext-roundtrip|ext-syscall|ext-pressure|ext-hpl|ext-locality|ext-timing|ext-gossip|ext-accuracy|parsweep|faultsweep|timeline|check|sweep|live|calibrate|profile|multisweep|bakeoff|chaos|lifecycle|deputybench|clusterlife] \
                      [--quick] [--csv DIR] [--loopback|--endpoint ADDR] \
                      [--kernel K] [--scheme S] [--json PATH] [--prom PATH] [--top K] \
                      [--scenario NAME] [--bench PATH] [--sessions LIST] [--baseline PATH]"
@@ -520,6 +530,84 @@ fn run_deputybench_command(opts: &Options) {
     println!("wrote deputy bench fact to {}", path.display());
 }
 
+fn run_clusterlife_command(opts: &Options) {
+    let cl_opts = clusterlife::ClusterLifeOptions {
+        quick: opts.quick,
+        ..clusterlife::ClusterLifeOptions::default()
+    };
+    eprintln!(
+        "running the cluster-life panel ({} mode), seed {}...",
+        if opts.quick { "quick" } else { "full" },
+        cl_opts.seed
+    );
+    let run = match clusterlife::run_clusterlife(&cl_opts) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("clusterlife failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    emit(&clusterlife::clusterlife_table(&run), opts, "clusterlife");
+
+    // Self-verification before anything is persisted: the facts must
+    // parse back, conserve jobs, and respect deputy-chain avoidance.
+    if let Err(e) = clusterlife::verify_facts(&run.jsonl) {
+        eprintln!("clusterlife facts self-verification FAILED: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "facts self-verification OK: {} JSONL lines, schema v{}",
+        run.jsonl.lines().count(),
+        clusterlife::FACTS_SCHEMA
+    );
+
+    if let Some(path) = &opts.json_path {
+        if let Err(e) = chaos_cmd::append_artifact(path, &run.jsonl) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+        println!(
+            "appended {} JSONL fact lines to {}",
+            run.jsonl.lines().count(),
+            path.display()
+        );
+    }
+    if let Some(path) = &opts.prom_path {
+        if let Err(e) = profile::write_artifact(path, &run.prometheus) {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+        println!("wrote metrics dump to {}", path.display());
+    } else {
+        println!("{}", run.prometheus);
+    }
+    if let Some(path) = &opts.baseline_path {
+        let committed = match std::fs::read_to_string(path) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("could not read baseline {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        };
+        match clusterlife::check_baseline(&run.bench_json, &committed) {
+            Ok(summary) => println!("baseline check OK: {summary}"),
+            Err(e) => {
+                eprintln!("baseline check FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    let path = opts
+        .bench_path
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("BENCH_cluster.json"));
+    if let Err(e) = profile::write_artifact(&path, &run.bench_json) {
+        eprintln!("{e}");
+        std::process::exit(1);
+    }
+    println!("wrote cluster bench fact to {}", path.display());
+}
+
 fn main() {
     let opts = parse_args();
     let wants = |name: &str| opts.command == "all" || opts.command == name;
@@ -730,6 +818,10 @@ fn main() {
     }
     if opts.command == "deputybench" {
         run_deputybench_command(&opts);
+        ran = true;
+    }
+    if opts.command == "clusterlife" {
+        run_clusterlife_command(&opts);
         ran = true;
     }
     if !ran {

@@ -11,7 +11,10 @@
 //! * [`phase`] — [`PhaseBreakdown`], the per-phase simulated-time split
 //!   whose disjoint phases sum exactly to a run's total time,
 //! * [`json`] — dependency-free JSONL writing plus the small parser
-//!   `hpcc-repro profile` uses to verify its own output.
+//!   `hpcc-repro profile` uses to verify its own output,
+//! * [`series`] — a bounded, self-decimating [`Series`] recorder for
+//!   over-time samples (cluster load stddev across multi-hour horizons)
+//!   whose memory never grows with the run length.
 //!
 //! ## Read-only by construction
 //!
@@ -24,9 +27,11 @@
 pub mod json;
 pub mod phase;
 pub mod registry;
+pub mod series;
 
 pub use json::{parse, trace_event_json, JsonValue, JsonWriter};
 pub use phase::PhaseBreakdown;
 pub use registry::{
     CounterHandle, GaugeHandle, Histogram, HistogramHandle, MetricSource, MetricsRegistry,
 };
+pub use series::{SamplePoint, Series};

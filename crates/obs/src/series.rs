@@ -1,0 +1,166 @@
+//! A bounded, self-decimating time series.
+//!
+//! Cluster-life runs sample load statistics once per simulated second for
+//! hours across 1000+ nodes; storing every sample would let the horizon
+//! dictate memory. [`Series`] keeps at most a fixed number of points: when
+//! full it drops every other retained point and doubles its sampling
+//! stride, so the series always spans the whole run at a resolution that
+//! degrades gracefully (a classic decimating recorder). Recording is pure
+//! accumulation — like the rest of `ampom-obs` it cannot perturb a run,
+//! and its contents are a deterministic function of the recorded values.
+
+/// One retained sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SamplePoint {
+    /// Seconds since the run started.
+    pub at_secs: f64,
+    /// The recorded value.
+    pub value: f64,
+}
+
+/// A bounded time series that decimates itself when full.
+#[derive(Debug, Clone)]
+pub struct Series {
+    points: Vec<SamplePoint>,
+    capacity: usize,
+    /// Record every `stride`-th offered sample; doubles on decimation.
+    stride: u64,
+    /// Offered samples since the last retained one.
+    since_kept: u64,
+    offered: u64,
+}
+
+impl Series {
+    /// A series retaining at most `capacity` points (minimum 8).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(8);
+        Series {
+            points: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            stride: 1,
+            since_kept: 0,
+            offered: 0,
+        }
+    }
+
+    /// Offers a sample; it is retained if it falls on the current stride.
+    pub fn record(&mut self, at_secs: f64, value: f64) {
+        self.offered += 1;
+        if self.since_kept > 0 {
+            self.since_kept -= 1;
+            return;
+        }
+        self.since_kept = self.stride - 1;
+        self.points.push(SamplePoint { at_secs, value });
+        if self.points.len() >= self.capacity {
+            // Keep points at even indices (0, 2, 4, ...): the first point
+            // survives every decimation, so the series always anchors at
+            // the run start.
+            let mut i = 0;
+            self.points.retain(|_| {
+                let keep = i % 2 == 0;
+                i += 1;
+                keep
+            });
+            self.stride *= 2;
+        }
+    }
+
+    /// The retained points, oldest first.
+    pub fn points(&self) -> &[SamplePoint] {
+        &self.points
+    }
+
+    /// Total samples offered (retained or not).
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Current sampling stride (1 until the first decimation).
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// Mean of the retained values (0 for an empty series).
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|p| p.value).sum::<f64>() / self.points.len() as f64
+    }
+
+    /// The last retained value, if any.
+    pub fn last(&self) -> Option<SamplePoint> {
+        self.points.last().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retains_everything_until_full() {
+        let mut s = Series::new(16);
+        for i in 0..10 {
+            s.record(i as f64, i as f64 * 2.0);
+        }
+        assert_eq!(s.points().len(), 10);
+        assert_eq!(s.stride(), 1);
+        assert_eq!(
+            s.points()[3],
+            SamplePoint {
+                at_secs: 3.0,
+                value: 6.0
+            }
+        );
+    }
+
+    #[test]
+    fn decimates_and_doubles_stride_when_full() {
+        let mut s = Series::new(8);
+        for i in 0..1000 {
+            s.record(i as f64, 1.0);
+        }
+        assert!(s.points().len() < 8, "bounded: {}", s.points().len());
+        assert!(s.stride() > 1);
+        assert_eq!(s.offered(), 1000);
+        // The first sample always survives.
+        assert_eq!(s.points()[0].at_secs, 0.0);
+        // Retained points still span (most of) the run.
+        assert!(s.points().last().unwrap().at_secs > 500.0);
+    }
+
+    #[test]
+    fn bounded_regardless_of_volume() {
+        let mut s = Series::new(64);
+        for i in 0..100_000 {
+            s.record(i as f64, (i % 7) as f64);
+        }
+        assert!(s.points().len() <= 64);
+        assert_eq!(s.offered(), 100_000);
+    }
+
+    #[test]
+    fn deterministic_for_equal_inputs() {
+        let run = || {
+            let mut s = Series::new(32);
+            for i in 0..5000 {
+                s.record(i as f64 * 0.5, (i as f64).sin());
+            }
+            s.points().to_vec()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn mean_and_last_track_retained_points() {
+        let mut s = Series::new(8);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.last().is_none());
+        s.record(0.0, 2.0);
+        s.record(1.0, 4.0);
+        assert!((s.mean() - 3.0).abs() < 1e-12);
+        assert_eq!(s.last().unwrap().value, 4.0);
+    }
+}
